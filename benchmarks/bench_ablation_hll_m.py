@@ -1,0 +1,83 @@
+"""Ablation A2 — HLL register count m: estimation error vs merge cost.
+
+The paper fixes ``m = 128`` ("to achieve a relative error at most 10%")
+and notes ``m = 32`` suffices where distances are cheap (MNIST).  This
+ablation sweeps ``m`` over {16, 32, 64, 128, 256, 512} on the
+Webspam-like workload and reports, per m:
+
+* the mean relative error of the candSize estimate vs. the exact
+  distinct count (theory: ``1.04 / sqrt(m)``), and
+* the per-query sketch-merge time (theory: linear in ``m * L``).
+
+Expected shape: error halves per 4x registers; merge cost grows
+roughly linearly in m; m = 128 sits at the paper's sweet spot.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import NUM_TABLES
+from repro.core.presets import paper_parameters
+from repro.datasets import split_queries
+from repro.evaluation.report import format_table
+from repro.index import LSHIndex
+
+_PRECISIONS = (4, 5, 6, 7, 8, 9)  # m = 16 .. 512
+
+
+@pytest.fixture(scope="module")
+def sweep(webspam_bench):
+    data, queries = split_queries(webspam_bench.points, num_queries=25, seed=0)
+    params = paper_parameters("cosine", dim=data.shape[1], radius=0.08,
+                              num_tables=NUM_TABLES, seed=0)
+    rows = []
+    indexes = {}
+    for p in _PRECISIONS:
+        index = LSHIndex(
+            params.family, k=params.k, num_tables=params.num_tables, hll_precision=p
+        ).build(data)
+        indexes[p] = (index, queries)
+        errors, merge_seconds = [], 0.0
+        for q in queries:
+            lookup = index.lookup(q)
+            start = time.perf_counter()
+            estimate = index.merged_sketch(lookup).estimate()
+            merge_seconds += time.perf_counter() - start
+            exact = index.candidate_ids(lookup).size
+            if exact >= 10:
+                errors.append(abs(estimate - exact) / exact)
+        rows.append(
+            (1 << p, float(np.mean(errors)), 1.04 / np.sqrt(1 << p),
+             1000 * merge_seconds / len(queries))
+        )
+    print("\n=== Ablation A2: HLL register count (webspam-like) ===")
+    print(format_table(
+        ["m", "measured err", "theory 1.04/sqrt(m)", "merge ms/query"],
+        [[str(m), f"{err:.3f}", f"{theory:.3f}", f"{ms:.3f}"] for m, err, theory, ms in rows],
+    ))
+    return rows, indexes
+
+
+@pytest.mark.parametrize("p", [5, 7, 9])
+def test_merge_cost_vs_m(benchmark, p, sweep):
+    _, indexes = sweep
+    index, queries = indexes[p]
+    lookups = [index.lookup(q) for q in queries[:10]]
+
+    def merge_all():
+        return [index.merged_sketch(lookup).estimate() for lookup in lookups]
+
+    benchmark(merge_all)
+
+
+def test_error_shrinks_with_m(sweep):
+    """4x registers should roughly halve the estimation error."""
+    rows, _ = sweep
+    errors = {m: err for m, err, _, _ in rows}
+    assert errors[512] < errors[16]
+    # Within ~3x of the theoretical error at the paper's m = 128.
+    assert errors[128] < 3 * (1.04 / np.sqrt(128))

@@ -1,0 +1,69 @@
+"""Figure 2(a) — CPU time vs radius on MNIST (Hamming, bit sampling).
+
+Paper shape (r = 12..17, 64-bit fingerprints, L = 50): at small r all
+of hybrid/LSH beat linear decisively; as r grows LSH-based search
+degrades and hybrid bends toward (and converges to) the flat linear
+line, staying at or below the better of the two at every radius.
+
+The printed series is the regenerated artifact; the pytest-benchmark
+entries time one full query-set pass per strategy at the largest
+radius (the regime where the strategies separate most).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import NUM_QUERIES, NUM_TABLES, REPEATS
+from repro.core import CostModel, HybridSearcher, LinearScan, LSHSearch
+from repro.datasets import split_queries
+from repro.evaluation import figure2_experiment
+from repro.evaluation.experiments import build_paper_index
+from repro.evaluation.report import format_figure2
+
+
+@pytest.fixture(scope="module")
+def fig2a_rows(mnist_bench):
+    rows = figure2_experiment(
+        mnist_bench,
+        num_queries=NUM_QUERIES,
+        repeats=REPEATS,
+        num_tables=NUM_TABLES,
+        seed=0,
+    )
+    print("\n=== Figure 2(a): MNIST-like, Hamming distance ===")
+    print(format_figure2(rows))
+    print("paper shape: hybrid <= min(lsh, linear); converges to linear at large r")
+    return rows
+
+
+@pytest.fixture(scope="module")
+def strategies(mnist_bench):
+    radius = float(max(mnist_bench.radii))
+    data, queries = split_queries(mnist_bench.points, num_queries=NUM_QUERIES, seed=0)
+    index = build_paper_index(data, "hamming", radius, num_tables=NUM_TABLES, seed=0)
+    model = CostModel.from_ratio(mnist_bench.beta_over_alpha)
+    return {
+        "hybrid": HybridSearcher(index, model),
+        "lsh": LSHSearch(index),
+        "linear": LinearScan(data, "hamming"),
+    }, queries, radius
+
+
+@pytest.mark.parametrize("strategy", ["hybrid", "lsh", "linear"])
+def test_fig2a_query_set(benchmark, strategy, strategies, fig2a_rows):
+    searchers, queries, radius = strategies
+    searcher = searchers[strategy]
+
+    def run():
+        return [searcher.query(q, radius).output_size for q in queries]
+
+    sizes = benchmark(run)
+    assert len(sizes) == len(queries)
+
+
+def test_fig2a_shape(fig2a_rows):
+    """Shape check: hybrid is never far above the per-radius best."""
+    for row in fig2a_rows:
+        best = min(row.lsh_seconds, row.linear_seconds)
+        assert row.hybrid_seconds <= 2.0 * best, row

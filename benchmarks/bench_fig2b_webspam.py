@@ -1,0 +1,71 @@
+"""Figure 2(b) — CPU time vs radius on Webspam (cosine, SimHash).
+
+This is the paper's headline panel: Webspam has hard queries even at
+tiny radii, so hybrid search is *strictly* better than both pure
+strategies across the whole sweep — LSH-based search pays duplicate
+removal on the spam-farm queries, linear search wastes full scans on
+the easy ones.
+
+Expected shape: hybrid < min(LSH, linear) for most radii, with LSH
+degrading fastest as r grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import NUM_QUERIES, NUM_TABLES, REPEATS
+from repro.core import CostModel, HybridSearcher, LinearScan, LSHSearch
+from repro.datasets import split_queries
+from repro.evaluation import figure2_experiment
+from repro.evaluation.experiments import build_paper_index
+from repro.evaluation.report import format_figure2
+
+
+@pytest.fixture(scope="module")
+def fig2b_rows(webspam_bench):
+    rows = figure2_experiment(
+        webspam_bench,
+        num_queries=NUM_QUERIES,
+        repeats=REPEATS,
+        num_tables=NUM_TABLES,
+        seed=0,
+    )
+    print("\n=== Figure 2(b): Webspam-like, cosine distance ===")
+    print(format_figure2(rows))
+    print("paper shape: hybrid strictly below both pure strategies")
+    return rows
+
+
+@pytest.fixture(scope="module")
+def strategies(webspam_bench):
+    radius = 0.08
+    data, queries = split_queries(webspam_bench.points, num_queries=NUM_QUERIES, seed=0)
+    index = build_paper_index(data, "cosine", radius, num_tables=NUM_TABLES, seed=0)
+    model = CostModel.from_ratio(webspam_bench.beta_over_alpha)
+    return {
+        "hybrid": HybridSearcher(index, model),
+        "lsh": LSHSearch(index),
+        "linear": LinearScan(data, "cosine"),
+    }, queries, radius
+
+
+@pytest.mark.parametrize("strategy", ["hybrid", "lsh", "linear"])
+def test_fig2b_query_set(benchmark, strategy, strategies, fig2b_rows):
+    searchers, queries, radius = strategies
+    searcher = searchers[strategy]
+
+    def run():
+        return [searcher.query(q, radius).output_size for q in queries]
+
+    sizes = benchmark(run)
+    assert len(sizes) == len(queries)
+
+
+def test_fig2b_shape(fig2b_rows):
+    """Shape checks for the headline panel."""
+    for row in fig2b_rows:
+        best = min(row.lsh_seconds, row.linear_seconds)
+        assert row.hybrid_seconds <= 2.0 * best, row
+    # Hard queries exist from small radii: hybrid issues linear calls.
+    assert any(row.linear_call_fraction > 0.0 for row in fig2b_rows)

@@ -1,0 +1,63 @@
+"""Figure 2(c) — CPU time vs radius on CoverType (L1, Cauchy p-stable).
+
+Paper shape (r = 3000..4000, k = 8, w = 4r, L = 50): LSH and hybrid
+are comparable at the small end of the sweep; as r grows the output
+sizes blow up and hybrid departs from LSH toward the flat linear line.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import NUM_QUERIES, NUM_TABLES, REPEATS
+from repro.core import CostModel, HybridSearcher, LinearScan, LSHSearch
+from repro.datasets import split_queries
+from repro.evaluation import figure2_experiment
+from repro.evaluation.experiments import build_paper_index
+from repro.evaluation.report import format_figure2
+
+
+@pytest.fixture(scope="module")
+def fig2c_rows(covertype_bench):
+    rows = figure2_experiment(
+        covertype_bench,
+        num_queries=NUM_QUERIES,
+        repeats=REPEATS,
+        num_tables=NUM_TABLES,
+        seed=0,
+    )
+    print("\n=== Figure 2(c): CoverType-like, L1 distance ===")
+    print(format_figure2(rows))
+    print("paper shape: hybrid tracks lsh at small r, bends to linear at large r")
+    return rows
+
+
+@pytest.fixture(scope="module")
+def strategies(covertype_bench):
+    radius = 3600.0
+    data, queries = split_queries(covertype_bench.points, num_queries=NUM_QUERIES, seed=0)
+    index = build_paper_index(data, "l1", radius, num_tables=NUM_TABLES, seed=0)
+    model = CostModel.from_ratio(covertype_bench.beta_over_alpha)
+    return {
+        "hybrid": HybridSearcher(index, model),
+        "lsh": LSHSearch(index),
+        "linear": LinearScan(data, "l1"),
+    }, queries, radius
+
+
+@pytest.mark.parametrize("strategy", ["hybrid", "lsh", "linear"])
+def test_fig2c_query_set(benchmark, strategy, strategies, fig2c_rows):
+    searchers, queries, radius = strategies
+    searcher = searchers[strategy]
+
+    def run():
+        return [searcher.query(q, radius).output_size for q in queries]
+
+    sizes = benchmark(run)
+    assert len(sizes) == len(queries)
+
+
+def test_fig2c_shape(fig2c_rows):
+    for row in fig2c_rows:
+        best = min(row.lsh_seconds, row.linear_seconds)
+        assert row.hybrid_seconds <= 2.0 * best, row

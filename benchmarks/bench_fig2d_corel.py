@@ -1,0 +1,64 @@
+"""Figure 2(d) — CPU time vs radius on Corel (L2, Gaussian p-stable).
+
+Paper shape (r = 0.35..0.6, k = 7, w = 2r, L = 50): hybrid and LSH are
+comparable and far below linear at small radii; LSH-based search
+degrades past the mid-sweep and hybrid converges to the linear line
+instead of following LSH up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import NUM_QUERIES, NUM_TABLES, REPEATS
+from repro.core import CostModel, HybridSearcher, LinearScan, LSHSearch
+from repro.datasets import split_queries
+from repro.evaluation import figure2_experiment
+from repro.evaluation.experiments import build_paper_index
+from repro.evaluation.report import format_figure2
+
+
+@pytest.fixture(scope="module")
+def fig2d_rows(corel_bench):
+    rows = figure2_experiment(
+        corel_bench,
+        num_queries=NUM_QUERIES,
+        repeats=REPEATS,
+        num_tables=NUM_TABLES,
+        seed=0,
+    )
+    print("\n=== Figure 2(d): Corel-like, L2 distance ===")
+    print(format_figure2(rows))
+    print("paper shape: hybrid ~ lsh << linear at small r; hybrid -> linear at large r")
+    return rows
+
+
+@pytest.fixture(scope="module")
+def strategies(corel_bench):
+    radius = 0.5
+    data, queries = split_queries(corel_bench.points, num_queries=NUM_QUERIES, seed=0)
+    index = build_paper_index(data, "l2", radius, num_tables=NUM_TABLES, seed=0)
+    model = CostModel.from_ratio(corel_bench.beta_over_alpha)
+    return {
+        "hybrid": HybridSearcher(index, model),
+        "lsh": LSHSearch(index),
+        "linear": LinearScan(data, "l2"),
+    }, queries, radius
+
+
+@pytest.mark.parametrize("strategy", ["hybrid", "lsh", "linear"])
+def test_fig2d_query_set(benchmark, strategy, strategies, fig2d_rows):
+    searchers, queries, radius = strategies
+    searcher = searchers[strategy]
+
+    def run():
+        return [searcher.query(q, radius).output_size for q in queries]
+
+    sizes = benchmark(run)
+    assert len(sizes) == len(queries)
+
+
+def test_fig2d_shape(fig2d_rows):
+    for row in fig2d_rows:
+        best = min(row.lsh_seconds, row.linear_seconds)
+        assert row.hybrid_seconds <= 2.0 * best, row

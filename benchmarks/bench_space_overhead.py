@@ -1,0 +1,82 @@
+"""Space-overhead claims of Section 3.2 — sketch memory accounting.
+
+The paper's complexity analysis: "the space overhead of HLLs is
+usually smaller than large buckets (e.g., #points > m).  For small
+buckets (e.g., #points < m), we might not need HLL" (the lazy trick).
+
+This benchmark builds the Webspam-like index at several register
+counts and prints the byte-level breakdown — data matrix, bucket ids,
+bucket keys, sketches — verifying that with the lazy threshold the
+sketch overhead stays a small fraction of the structure it annotates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import NUM_TABLES
+from repro.core.presets import paper_parameters
+from repro.datasets import split_queries
+from repro.evaluation.report import format_table
+from repro.index import LSHIndex
+
+_PRECISIONS = (5, 7, 9)  # m = 32, 128, 512
+
+
+@pytest.fixture(scope="module")
+def reports(webspam_bench):
+    data, _ = split_queries(webspam_bench.points, num_queries=25, seed=0)
+    params = paper_parameters(
+        "cosine", dim=data.shape[1], radius=0.08, num_tables=NUM_TABLES, seed=0
+    )
+    rows = []
+    built = {}
+    for p in _PRECISIONS:
+        index = LSHIndex(
+            params.family, k=params.k, num_tables=params.num_tables, hll_precision=p
+        ).build(data)
+        report = index.memory_report()
+        built[p] = index
+        rows.append((1 << p, report))
+    print("\n=== Section 3.2: space overhead of per-bucket HLLs (webspam-like) ===")
+    print(format_table(
+        ["m", "points MiB", "ids MiB", "keys MiB", "sketches MiB", "sketch share"],
+        [
+            [
+                str(m),
+                f"{r['points'] / 2**20:.1f}",
+                f"{r['bucket_ids'] / 2**20:.1f}",
+                f"{r['bucket_keys'] / 2**20:.1f}",
+                f"{r['sketches'] / 2**20:.2f}",
+                f"{100 * r['sketches'] / r['total']:.1f}%",
+            ]
+            for m, r in rows
+        ],
+    ))
+    return rows, built
+
+
+@pytest.mark.parametrize("p", _PRECISIONS)
+def test_memory_report_cost(benchmark, p, reports):
+    _, built = reports
+    index = built[p]
+    benchmark(index.memory_report)
+
+
+def test_sketches_below_bucket_ids(reports):
+    """The §3.2 claim at every register count (lazy threshold active)."""
+    rows, _ = reports
+    for m, report in rows:
+        assert report["sketches"] < report["bucket_ids"], (m, report)
+
+
+def test_sketch_share_is_small(reports):
+    """With the lazy threshold, sketches stay a minor share of the index.
+
+    Note the share is *not* monotone in m: the default lazy threshold
+    equals m, so a larger m also disqualifies more buckets from
+    carrying a sketch at all.
+    """
+    rows, _ = reports
+    for m, report in rows:
+        assert report["sketches"] / report["total"] < 0.2, (m, report)

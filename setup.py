@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works in offline environments whose
+setuptools predates PEP 660 editable wheels; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""Hybrid LSH: faster near neighbors reporting in high-dimensional space.
+
+A from-scratch reproduction of Ninh Pham's EDBT 2017 paper.  The
+package implements the full stack: distance metrics, LSH families
+(bit sampling, SimHash, p-stable, MinHash), HyperLogLog bucket
+sketches, the multi-table (and multi-probe) index, the computational
+cost model, and the hybrid per-query dispatch between LSH-based search
+and linear search — plus the synthetic dataset stand-ins and the
+evaluation harness regenerating every table and figure.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import HybridLSH, CostModel
+>>> rng = np.random.default_rng(0)
+>>> points = rng.normal(size=(2000, 32))
+>>> searcher = HybridLSH(points, metric="l2", radius=2.0,
+...                      cost_model=CostModel.from_ratio(6.0), seed=1)
+>>> result = searcher.query(points[0])
+>>> 0 in result.ids
+True
+"""
+
+from repro.core import (
+    CostModel,
+    HybridLSH,
+    HybridSearcher,
+    LinearScan,
+    LSHSearch,
+    QueryResult,
+    QueryStats,
+    Strategy,
+    calibrate_cost_model,
+    paper_parameters,
+)
+from repro.distances import get_metric
+from repro.hashing import (
+    BitSamplingLSH,
+    MinHashLSH,
+    PStableLSH,
+    SimHashLSH,
+    concatenation_width,
+    family_for_metric,
+)
+from repro.index import CoveringLSHIndex, LSHIndex, MultiProbeLSHIndex
+from repro.index.serialize import load_index, save_index
+from repro.sketches import HyperLogLog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HybridLSH",
+    "HybridSearcher",
+    "LSHSearch",
+    "LinearScan",
+    "CostModel",
+    "calibrate_cost_model",
+    "QueryResult",
+    "QueryStats",
+    "Strategy",
+    "paper_parameters",
+    "LSHIndex",
+    "MultiProbeLSHIndex",
+    "CoveringLSHIndex",
+    "save_index",
+    "load_index",
+    "HyperLogLog",
+    "BitSamplingLSH",
+    "SimHashLSH",
+    "PStableLSH",
+    "MinHashLSH",
+    "family_for_metric",
+    "concatenation_width",
+    "get_metric",
+    "__version__",
+]

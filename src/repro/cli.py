@@ -1,0 +1,163 @@
+"""Command-line interface: regenerate paper experiments without pytest.
+
+Usage::
+
+    python -m repro.cli table1   [--datasets webspam corel ...] [--n 12000]
+    python -m repro.cli figure2  --dataset webspam [--n 12000] [--queries 50]
+    python -m repro.cli figure3  [--n 12000]
+    python -m repro.cli profile  --dataset corel [--n 5000]
+
+Every command prints the same text tables the benchmark harness emits,
+so results can be generated in CI logs or piped to files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets import corel_like, covertype_like, mnist_like, webspam_like
+from repro.evaluation import (
+    figure2_experiment,
+    figure3_experiment,
+    format_figure2,
+    format_figure3,
+    format_recall,
+    recall_experiment,
+    table1_experiment,
+)
+from repro.evaluation.profile import distance_profile, hardness_profile, suggest_radii
+from repro.evaluation.report import format_table, format_table1
+
+_DATASETS = {
+    "webspam": webspam_like,
+    "covertype": covertype_like,
+    "corel": corel_like,
+    "mnist": mnist_like,
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=12_000, help="dataset size")
+    parser.add_argument("--queries", type=int, default=50, help="query-set size")
+    parser.add_argument("--tables", type=int, default=50, help="L, number of hash tables")
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the Hybrid LSH (EDBT 2017) experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table1 = sub.add_parser("table1", help="Table 1: HLL cost and error")
+    p_table1.add_argument(
+        "--datasets", nargs="+", choices=sorted(_DATASETS), default=sorted(_DATASETS)
+    )
+    _add_common(p_table1)
+
+    p_fig2 = sub.add_parser("figure2", help="Figure 2: CPU time vs radius")
+    p_fig2.add_argument("--dataset", choices=sorted(_DATASETS), required=True)
+    p_fig2.add_argument("--repeats", type=int, default=2)
+    _add_common(p_fig2)
+
+    p_fig3 = sub.add_parser("figure3", help="Figure 3: output sizes and %LS calls")
+    _add_common(p_fig3)
+
+    p_profile = sub.add_parser("profile", help="distance/hardness diagnostics")
+    p_profile.add_argument("--dataset", choices=sorted(_DATASETS), required=True)
+    _add_common(p_profile)
+
+    p_recall = sub.add_parser(
+        "recall", help="recall vs radius (the paper's omitted experiment)"
+    )
+    p_recall.add_argument("--dataset", choices=sorted(_DATASETS), required=True)
+    _add_common(p_recall)
+
+    return parser
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    rows = []
+    for name in args.datasets:
+        dataset = _DATASETS[name](n=args.n, seed=args.seed)
+        rows.append(
+            table1_experiment(
+                dataset,
+                num_queries=args.queries,
+                num_tables=args.tables,
+                seed=args.seed,
+            )
+        )
+    print(format_table1(rows))
+
+
+def _cmd_figure2(args: argparse.Namespace) -> None:
+    dataset = _DATASETS[args.dataset](n=args.n, seed=args.seed)
+    rows = figure2_experiment(
+        dataset,
+        num_queries=args.queries,
+        repeats=args.repeats,
+        num_tables=args.tables,
+        seed=args.seed,
+    )
+    print(format_figure2(rows, title=f"Figure 2: {dataset.name} ({dataset.metric})"))
+
+
+def _cmd_figure3(args: argparse.Namespace) -> None:
+    dataset = webspam_like(n=args.n, seed=args.seed)
+    rows = figure3_experiment(
+        dataset, num_queries=args.queries, num_tables=args.tables, seed=args.seed
+    )
+    print(format_figure3(rows, title=f"Figure 3: {dataset.name}"))
+
+
+def _cmd_profile(args: argparse.Namespace) -> None:
+    dataset = _DATASETS[args.dataset](n=args.n, seed=args.seed)
+    profile = distance_profile(dataset.points, dataset.metric, seed=args.seed)
+    print(f"{dataset.name}: n = {dataset.n}, d = {dataset.dim}, metric = {dataset.metric}")
+    print(format_table(
+        ["quantile", "distance"],
+        [[f"{q:g}", f"{v:.4g}"] for q, v in sorted(profile.quantiles.items())],
+    ))
+    print(f"suggested sweep: {tuple(round(r, 4) for r in suggest_radii(profile))}")
+    print(f"paper sweep    : {dataset.radii}")
+    mid_radius = dataset.radii[len(dataset.radii) // 2]
+    hardness = hardness_profile(
+        dataset.points, dataset.metric, float(mid_radius),
+        num_queries=args.queries, seed=args.seed,
+    )
+    print(
+        f"hardness at r = {mid_radius:g}: avg out {hardness.avg_output:.1f}, "
+        f"max {hardness.max_output}, min {hardness.min_output}, "
+        f"hard fraction {hardness.hard_fraction:.0%}"
+    )
+
+
+def _cmd_recall(args: argparse.Namespace) -> None:
+    dataset = _DATASETS[args.dataset](n=args.n, seed=args.seed)
+    rows = recall_experiment(
+        dataset, num_queries=args.queries, num_tables=args.tables, seed=args.seed
+    )
+    print(format_recall(rows, title=f"Recall vs radius: {dataset.name}"))
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "figure2": _cmd_figure2,
+    "figure3": _cmd_figure3,
+    "profile": _cmd_profile,
+    "recall": _cmd_recall,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,252 @@
+"""Hybrid search — Algorithm 2 of the paper, and the public facade.
+
+Per query the hybrid strategy:
+
+1. looks up the query's bucket in each of the ``L`` tables (Step S1;
+   the lookup is shared with whichever strategy runs next);
+2. reads the exact ``#collisions`` from the stored bucket sizes;
+3. merges the buckets' HyperLogLog sketches (``O(mL)``) to estimate
+   ``candSize``;
+4. evaluates ``LSHCost = alpha * #collisions + beta * candSize`` and
+   ``LinearCost = beta * n`` and dispatches to LSH-based search if
+   ``LSHCost < LinearCost``, else to linear search.
+
+Because the ``O(mL)`` estimation overhead is comparable to the hash
+computations of Step S1, the hybrid query is never much slower than the
+better of the two pure strategies — and on mixtures of easy and hard
+queries it beats both, which is the paper's headline result.
+
+:class:`HybridSearcher` works on any built sketched index (including
+:class:`~repro.index.multiprobe_index.MultiProbeLSHIndex`).
+:class:`HybridLSH` is the one-call facade: pick the family for the
+metric, apply the paper's parameter presets, build the index, calibrate
+the cost model, answer queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.calibration import calibrate_cost_model
+from repro.core.cost_model import CostModel
+from repro.core.linear_scan import LinearScan
+from repro.core.lsh_search import LSHSearch
+from repro.core.presets import paper_parameters
+from repro.core.results import QueryResult, QueryStats, Strategy
+from repro.index.lsh_index import LSHIndex
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_positive, check_vector
+
+__all__ = ["HybridSearcher", "HybridLSH"]
+
+
+class HybridSearcher:
+    """Algorithm 2: cost-estimated dispatch between LSH and linear search.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`~repro.index.lsh_index.LSHIndex` with sketches
+        enabled.
+    cost_model:
+        The calibrated :class:`~repro.core.cost_model.CostModel`.
+    """
+
+    def __init__(self, index: LSHIndex, cost_model: CostModel) -> None:
+        if not index.is_built:
+            from repro.exceptions import EmptyIndexError
+
+            raise EmptyIndexError("HybridSearcher requires a built index")
+        if not index.with_sketches:
+            from repro.exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                "HybridSearcher requires an index built with sketches "
+                "(with_sketches=True)"
+            )
+        self.index = index
+        self.cost_model = cost_model
+        self._lsh = LSHSearch(index)
+        self._linear = LinearScan(index.points, index.family.metric)
+
+    def _linear_scan(self) -> LinearScan:
+        """The exact-scan fallback, refreshed after incremental inserts.
+
+        ``index.insert`` replaces the points array, so a cached scan
+        would silently search the stale copy; rebuilding is cheap (the
+        scan object only holds references).
+        """
+        if self._linear.points is not self.index.points:
+            self._linear = LinearScan(self.index.points, self.index.family.metric)
+        return self._linear
+
+    def query(self, query: np.ndarray, radius: float) -> QueryResult:
+        """Answer one rNNR query with the cost-optimal strategy.
+
+        The returned result's :class:`~repro.core.results.QueryStats`
+        records the decision inputs (collisions, estimated candidates,
+        both cost estimates) and which strategy ran.
+        """
+        query = check_vector(query, dim=self.index.dim, name="query")
+        radius = check_positive(radius, "radius")
+        lookup = self.index.lookup(query)
+        num_collisions = lookup.num_collisions
+        estimated_candidates = self.index.merged_sketch(lookup).estimate()
+        lsh_cost = self.cost_model.lsh_cost(num_collisions, estimated_candidates)
+        linear_cost = self.cost_model.linear_cost(self.index.n)
+
+        if lsh_cost < linear_cost:
+            result = self._lsh.query_from_lookup(query, radius, lookup)
+            strategy = Strategy.LSH
+        else:
+            result = self._linear_scan().query(query, radius)
+            strategy = Strategy.LINEAR
+
+        result.stats = QueryStats(
+            num_collisions=num_collisions,
+            estimated_candidates=estimated_candidates,
+            exact_candidates=result.stats.exact_candidates,
+            estimated_lsh_cost=lsh_cost,
+            linear_cost=linear_cost,
+            strategy=strategy,
+        )
+        return result
+
+    def query_batch(self, queries: np.ndarray, radius: float) -> list[QueryResult]:
+        """Answer a query set; Step S1 is hashed for all queries at once.
+
+        Produces exactly the same results as looping :meth:`query`,
+        but the per-query hashing overhead is amortised through
+        :meth:`~repro.index.lsh_index.LSHIndex.lookup_batch`.
+        """
+        radius = check_positive(radius, "radius")
+        lookups = self.index.lookup_batch(np.asarray(queries))
+        results: list[QueryResult] = []
+        for query, lookup in zip(np.asarray(queries), lookups):
+            num_collisions = lookup.num_collisions
+            estimated_candidates = self.index.merged_sketch(lookup).estimate()
+            lsh_cost = self.cost_model.lsh_cost(num_collisions, estimated_candidates)
+            linear_cost = self.cost_model.linear_cost(self.index.n)
+            if lsh_cost < linear_cost:
+                result = self._lsh.query_from_lookup(query, radius, lookup)
+                strategy = Strategy.LSH
+            else:
+                result = self._linear_scan().query(query, radius)
+                strategy = Strategy.LINEAR
+            result.stats = QueryStats(
+                num_collisions=num_collisions,
+                estimated_candidates=estimated_candidates,
+                exact_candidates=result.stats.exact_candidates,
+                estimated_lsh_cost=lsh_cost,
+                linear_cost=linear_cost,
+                strategy=strategy,
+            )
+            results.append(result)
+        return results
+
+    def decide(self, query: np.ndarray) -> Strategy:
+        """The dispatch decision only (no candidate retrieval).
+
+        Useful for the Figure 3 experiment, which tracks the fraction
+        of linear-search calls without needing the answers.
+        """
+        query = check_vector(query, dim=self.index.dim, name="query")
+        lookup = self.index.lookup(query)
+        return self.cost_model.choose(
+            lookup.num_collisions,
+            self.index.merged_sketch(lookup).estimate(),
+            self.index.n,
+        )
+
+    def __repr__(self) -> str:
+        return f"HybridSearcher(index={self.index!r}, cost_model={self.cost_model!r})"
+
+
+class HybridLSH:
+    """Facade: build a paper-configured hybrid rNNR searcher in one call.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` data matrix.
+    metric:
+        ``"l2"``, ``"l1"``, ``"cosine"``, ``"hamming"`` or ``"jaccard"``.
+    radius:
+        The radius the index parameters are tuned for (queries may pass
+        a different radius, but the ``1 - delta`` guarantee is stated
+        at this one).
+    num_tables / delta / hll_precision:
+        Paper defaults 50 / 0.1 / 7 (= 128 registers).
+    cost_model:
+        Pass a :class:`~repro.core.cost_model.CostModel` (e.g. built
+        via :meth:`CostModel.from_ratio` with the paper's ratios) to
+        skip timing-based calibration; ``None`` runs
+        :func:`~repro.core.calibration.calibrate_cost_model`.
+    seed:
+        Master randomness (family sampling + calibration sampling).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(7)
+    >>> points = rng.normal(size=(1000, 24))
+    >>> hybrid = HybridLSH(points, metric="l2", radius=2.0,
+    ...                    cost_model=CostModel.from_ratio(6.0), seed=1)
+    >>> result = hybrid.query(points[3])
+    >>> 3 in result.ids
+    True
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        metric: str,
+        radius: float,
+        num_tables: int = 50,
+        delta: float = 0.1,
+        hll_precision: int = 7,
+        cost_model: CostModel | None = None,
+        lazy_threshold: int | None = None,
+        seed: RandomState = None,
+    ) -> None:
+        points = np.asarray(points)
+        params = paper_parameters(
+            metric,
+            dim=points.shape[1],
+            radius=radius,
+            num_tables=num_tables,
+            delta=delta,
+            seed=seed,
+        )
+        self.params = params
+        self.radius = float(radius)
+        self.index = LSHIndex(
+            params.family,
+            k=params.k,
+            num_tables=params.num_tables,
+            hll_precision=hll_precision,
+            lazy_threshold=lazy_threshold,
+        ).build(points)
+        if cost_model is None:
+            cost_model = calibrate_cost_model(points, params.family.metric, seed=seed).model
+        self.searcher = HybridSearcher(self.index, cost_model)
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model driving the per-query dispatch."""
+        return self.searcher.cost_model
+
+    def query(self, query: np.ndarray, radius: float | None = None) -> QueryResult:
+        """Answer one query; defaults to the tuned radius."""
+        return self.searcher.query(query, self.radius if radius is None else radius)
+
+    def query_batch(self, queries: np.ndarray, radius: float | None = None) -> list[QueryResult]:
+        """Answer a query set (one result per row)."""
+        queries = np.asarray(queries)
+        return [self.query(q, radius) for q in queries]
+
+    def __repr__(self) -> str:
+        return (
+            f"HybridLSH(metric={self.params.family.metric_name}, r={self.radius}, "
+            f"k={self.params.k}, L={self.params.num_tables})"
+        )

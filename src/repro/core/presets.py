@@ -1,0 +1,113 @@
+"""The paper's experiment parameter presets.
+
+Section 4 fixes ``L = 50`` and ``delta = 10%`` and derives ``k`` from
+the parameter rule for SimHash and bit sampling; for the p-stable
+families (whose collision probability depends on the extra width
+parameter ``w``) the paper instead pins
+
+* L1 / CoverType: ``k = 8,  w = 4 r``
+* L2 / Corel:     ``k = 7,  w = 2 r``
+
+chosen so the ``delta = 10%`` target is met in practice with ``L = 50``.
+Note these pinned values satisfy the 90% reporting guarantee comfortably
+for points *well inside* the radius (where most true neighbors of a real
+query live) while being somewhat optimistic for points exactly at the
+boundary distance ``r`` — a selectivity/recall trade the paper accepts.
+:func:`paper_parameters` reproduces exactly this logic for any metric,
+returning everything needed to build the index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distances import get_metric
+from repro.exceptions import UnknownMetricError
+from repro.hashing.base import LSHFamily, family_for_metric
+from repro.hashing.params import concatenation_width
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_delta, check_positive, check_positive_int
+
+__all__ = ["PaperParameters", "paper_parameters"]
+
+# (k, w/r multiplier) pinned by the paper for the p-stable families.
+_PSTABLE_PRESETS = {"l1": (8, 4.0), "l2": (7, 2.0)}
+
+
+@dataclass(frozen=True)
+class PaperParameters:
+    """Resolved index parameters for one (metric, radius) pair.
+
+    Attributes
+    ----------
+    family:
+        A constructed LSH family (p-stable families carry their width).
+    k:
+        Concatenation width.
+    num_tables:
+        ``L``.
+    p1:
+        Atomic collision probability at the radius (for reporting).
+    radius / delta:
+        Echo of the inputs.
+    """
+
+    family: LSHFamily
+    k: int
+    num_tables: int
+    p1: float
+    radius: float
+    delta: float
+
+
+def paper_parameters(
+    metric: str,
+    dim: int,
+    radius: float,
+    num_tables: int = 50,
+    delta: float = 0.1,
+    seed: RandomState = None,
+) -> PaperParameters:
+    """Resolve the paper's parameter setting for a metric and radius.
+
+    Parameters
+    ----------
+    metric:
+        ``"hamming"``, ``"cosine"``, ``"l1"``, ``"l2"`` or
+        ``"jaccard"`` (or an alias).
+    dim:
+        Data dimensionality.
+    radius:
+        The query radius the index is tuned for (``p1`` and, for
+        p-stable families, ``w`` depend on it).
+    num_tables:
+        ``L`` (paper: 50).
+    delta:
+        Failure probability (paper: 0.1).
+    seed:
+        Randomness for family construction.
+
+    Returns
+    -------
+    PaperParameters
+    """
+    dim = check_positive_int(dim, "dim")
+    radius = check_positive(radius, "radius")
+    num_tables = check_positive_int(num_tables, "num_tables")
+    delta = check_delta(delta)
+    name = get_metric(metric).name
+    if name in _PSTABLE_PRESETS:
+        k, w_multiplier = _PSTABLE_PRESETS[name]
+        family = family_for_metric(name, dim, seed=seed, w=w_multiplier * radius)
+        p1 = family.collision_probability(radius)
+        return PaperParameters(
+            family=family, k=k, num_tables=num_tables, p1=p1, radius=radius, delta=delta
+        )
+    if name in ("hamming", "cosine", "jaccard"):
+        family = family_for_metric(name, dim, seed=seed)
+        p1 = family.collision_probability(radius)
+        k = concatenation_width(num_tables, delta, p1)
+        return PaperParameters(
+            family=family, k=k, num_tables=num_tables, p1=p1, radius=radius, delta=delta
+        )
+    raise UnknownMetricError(f"no paper preset for metric {metric!r}")

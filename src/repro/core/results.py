@@ -1,0 +1,101 @@
+"""Result and statistics types returned by the search strategies.
+
+Every searcher returns a :class:`QueryResult`; hybrid search fills in
+the decision diagnostics (:class:`QueryStats`) that the Figure 3 and
+Table 1 experiments aggregate — which strategy ran, the exact collision
+count, and the estimated vs. exact candidate-set size.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Strategy", "QueryStats", "QueryResult"]
+
+
+class Strategy(str, enum.Enum):
+    """Which search strategy answered a query."""
+
+    LSH = "lsh"
+    LINEAR = "linear"
+    HYBRID = "hybrid"  # used only as a label for the dispatching searcher
+
+
+@dataclass
+class QueryStats:
+    """Decision diagnostics for one query.
+
+    Attributes
+    ----------
+    num_collisions:
+        Exact total occupancy of the query's buckets (Step S2 driver).
+    estimated_candidates:
+        HLL estimate of ``candSize``; ``nan`` when not computed (pure
+        linear or pure LSH runs).
+    exact_candidates:
+        True distinct candidate count; filled only when LSH-based
+        search actually ran (it materialises the candidate set anyway)
+        or when explicitly requested by an experiment.
+    estimated_lsh_cost / linear_cost:
+        The two sides of the Algorithm 2 comparison, in cost-model
+        units.
+    strategy:
+        The strategy that produced the answer.
+    elapsed_seconds:
+        Wall-clock time of the query (set by the evaluation runner).
+    """
+
+    num_collisions: int = 0
+    estimated_candidates: float = float("nan")
+    exact_candidates: int = -1
+    estimated_lsh_cost: float = float("nan")
+    linear_cost: float = float("nan")
+    strategy: Strategy = Strategy.LSH
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class QueryResult:
+    """Answer to one rNNR query.
+
+    Attributes
+    ----------
+    ids:
+        Indices of the reported points, sorted ascending.
+    distances:
+        Distances of the reported points, aligned with ``ids``.
+    radius:
+        The query radius ``r``.
+    stats:
+        Decision diagnostics (see :class:`QueryStats`).
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    radius: float
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def output_size(self) -> int:
+        """Number of reported near neighbors."""
+        return int(self.ids.shape[0])
+
+    def recall_against(self, true_ids: np.ndarray) -> float:
+        """Fraction of ``true_ids`` present in this result.
+
+        An empty ground truth yields recall 1.0 by convention (there
+        was nothing to miss).
+        """
+        true_ids = np.asarray(true_ids)
+        if true_ids.size == 0:
+            return 1.0
+        return float(np.isin(true_ids, self.ids).mean())
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult(r={self.radius}, found={self.output_size}, "
+            f"strategy={self.stats.strategy.value})"
+        )

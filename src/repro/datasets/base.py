@@ -1,0 +1,60 @@
+"""The :class:`Dataset` container shared by generators and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """A point set plus the metadata the experiment harness needs.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (``"webspam-like"``, ...).
+    points:
+        ``(n, d)`` data matrix.
+    metric:
+        Canonical metric name the dataset is meant to be searched under.
+    radii:
+        The radius sweep of the corresponding paper figure (the same
+        x-axis values; the stand-ins are scaled to make them
+        meaningful).
+    beta_over_alpha:
+        The paper's measured cost ratio for this dataset, used when the
+        benchmarks skip timing-based calibration.
+    description:
+        One-line provenance note.
+    extras:
+        Generator-specific payloads (e.g. raw MNIST-like images before
+        fingerprinting, cluster assignments for diagnostics).
+    """
+
+    name: str
+    points: np.ndarray
+    metric: str
+    radii: tuple[float, ...] = ()
+    beta_over_alpha: float = 1.0
+    description: str = ""
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        """Number of points."""
+        return int(self.points.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality."""
+        return int(self.points.shape[1])
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self.name!r}, n={self.n}, d={self.dim}, "
+            f"metric={self.metric!r})"
+        )

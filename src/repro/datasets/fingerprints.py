@@ -1,0 +1,48 @@
+"""SimHash fingerprinting — real vectors to compact binary codes.
+
+The paper "applied SimHash to obtain 64-bit fingerprint vectors for
+MNIST and use bit sampling LSH for Hamming distance".  The fingerprint
+of a vector is the sign pattern of its projections onto ``bits`` random
+hyperplanes; by the random-hyperplane collision argument, the Hamming
+distance between two fingerprints concentrates around
+``bits * theta / pi`` for vectors at angle ``theta`` — so near vectors
+in angle become near fingerprints in Hamming distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_matrix, check_positive_int
+
+__all__ = ["simhash_fingerprints"]
+
+
+def simhash_fingerprints(
+    points: np.ndarray, bits: int = 64, seed: RandomState = None
+) -> np.ndarray:
+    """Project ``points`` onto random hyperplanes and keep the sign bits.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` real matrix (e.g. flattened images).
+    bits:
+        Fingerprint length (paper: 64).
+    seed:
+        Hyperplane randomness.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, bits)`` uint8 matrix of 0/1 entries, ready for
+        :class:`~repro.hashing.bit_sampling.BitSamplingLSH` under
+        Hamming distance.
+    """
+    points = check_matrix(points, name="points")
+    bits = check_positive_int(bits, "bits")
+    rng = ensure_rng(seed)
+    planes = rng.standard_normal(size=(points.shape[1], bits))
+    projections = np.asarray(points, dtype=np.float64) @ planes
+    return (projections > 0.0).astype(np.uint8)

@@ -1,0 +1,51 @@
+"""Query-set extraction — the paper's evaluation protocol.
+
+"For each dataset, we randomly remove 100 points and use it as the
+query set" (Section 4).  :func:`split_queries` reproduces that split
+deterministically given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_matrix, check_positive_int
+
+__all__ = ["split_queries"]
+
+
+def split_queries(
+    points: np.ndarray, num_queries: int = 100, seed: RandomState = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Randomly remove ``num_queries`` points to use as the query set.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` data matrix.
+    num_queries:
+        How many points to remove (paper: 100); must be < n.
+    seed:
+        Sampling randomness.
+
+    Returns
+    -------
+    (data, queries):
+        ``data`` is ``(n - num_queries, d)`` and keeps the original row
+        order of the surviving points; ``queries`` is
+        ``(num_queries, d)``.
+    """
+    points = check_matrix(points, name="points")
+    num_queries = check_positive_int(num_queries, "num_queries")
+    n = points.shape[0]
+    if num_queries >= n:
+        raise ConfigurationError(
+            f"num_queries ({num_queries}) must be smaller than the dataset ({n})"
+        )
+    rng = ensure_rng(seed)
+    query_rows = rng.choice(n, size=num_queries, replace=False)
+    mask = np.ones(n, dtype=bool)
+    mask[query_rows] = False
+    return points[mask], points[query_rows]

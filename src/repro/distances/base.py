@@ -1,0 +1,96 @@
+"""Metric abstraction and registry.
+
+A :class:`Metric` bundles the scalar kernel, the batch kernel and a
+human-readable name.  The registry maps canonical names and their
+aliases to metric instances; LSH families declare which metric they are
+sensitive for by naming it, and the hybrid searcher looks the kernels up
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import UnknownMetricError
+
+__all__ = ["Metric", "register_metric", "get_metric", "available_metrics"]
+
+ScalarKernel = Callable[[np.ndarray, np.ndarray], float]
+BatchKernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Metric:
+    """A distance measure with scalar and vectorised kernels.
+
+    Attributes
+    ----------
+    name:
+        Canonical lower-case name (``"l2"``, ``"cosine"``, ...).
+    scalar:
+        ``scalar(x, y)`` -> distance between two vectors.
+    batch:
+        ``batch(X, q)`` -> 1-d array of distances from each row of the
+        ``(n, d)`` matrix ``X`` to the vector ``q``.
+    description:
+        One-line summary for reports and ``repr``.
+    aliases:
+        Alternative registry keys (e.g. ``"euclidean"`` for ``"l2"``).
+    """
+
+    name: str
+    scalar: ScalarKernel
+    batch: BatchKernel
+    description: str = ""
+    aliases: tuple[str, ...] = field(default=())
+
+    def __call__(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Scalar distance between ``x`` and ``y``."""
+        return self.scalar(x, y)
+
+    def distances_to(self, points: np.ndarray, query: np.ndarray) -> np.ndarray:
+        """Distances from every row of ``points`` to ``query``."""
+        return self.batch(points, query)
+
+    def __repr__(self) -> str:
+        return f"Metric({self.name!r})"
+
+
+_REGISTRY: dict[str, Metric] = {}
+
+
+def register_metric(metric: Metric) -> Metric:
+    """Add ``metric`` to the registry under its name and aliases.
+
+    Re-registering an existing name replaces it, which keeps the module
+    reload-friendly (useful in notebooks and in the test suite).
+    """
+    _REGISTRY[metric.name.lower()] = metric
+    for alias in metric.aliases:
+        _REGISTRY[alias.lower()] = metric
+    return metric
+
+
+def get_metric(name: str | Metric) -> Metric:
+    """Resolve a metric by name (case-insensitive) or pass one through.
+
+    Raises
+    ------
+    UnknownMetricError
+        If ``name`` is not registered.
+    """
+    if isinstance(name, Metric):
+        return name
+    key = name.lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(available_metrics()))
+        raise UnknownMetricError(f"unknown metric {name!r}; known metrics: {known}")
+    return _REGISTRY[key]
+
+
+def available_metrics() -> list[str]:
+    """Sorted list of canonical metric names (aliases excluded)."""
+    return sorted({m.name for m in _REGISTRY.values()})

@@ -1,0 +1,57 @@
+"""Jaccard distance on binary set-membership vectors.
+
+Not one of the paper's four evaluation metrics, but the paper cites
+MinHash (Broder et al.) among the LSH families the hybrid strategy
+supports, so we provide the metric + family pair for completeness and
+for the near-duplicate-web-pages example application the introduction
+motivates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.base import Metric, register_metric
+
+__all__ = ["jaccard_distance", "jaccard_distance_batch", "JACCARD"]
+
+
+def jaccard_distance(x: np.ndarray, y: np.ndarray) -> float:
+    """``1 - |x ∩ y| / |x ∪ y|`` for 0/1 indicator vectors.
+
+    Two empty sets are at distance 0 by convention.
+
+    Examples
+    --------
+    >>> jaccard_distance(np.array([1, 1, 0, 0]), np.array([1, 0, 1, 0]))
+    0.6666666666666667
+    """
+    x = np.asarray(x).astype(bool)
+    y = np.asarray(y).astype(bool)
+    union = np.count_nonzero(x | y)
+    if union == 0:
+        return 0.0
+    inter = np.count_nonzero(x & y)
+    return float(1.0 - inter / union)
+
+
+def jaccard_distance_batch(points: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Jaccard distances from every row of ``points`` to ``query``."""
+    points = np.asarray(points).astype(bool)
+    query = np.asarray(query).astype(bool)
+    inter = (points & query).sum(axis=1).astype(np.float64)
+    union = (points | query).sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sims = np.where(union == 0.0, 1.0, inter / np.maximum(union, 1e-300))
+    return 1.0 - sims
+
+
+JACCARD = register_metric(
+    Metric(
+        name="jaccard",
+        scalar=jaccard_distance,
+        batch=jaccard_distance_batch,
+        description="Jaccard distance on 0/1 set indicators (MinHash LSH)",
+        aliases=(),
+    )
+)

@@ -1,0 +1,69 @@
+"""Exact ground truth for rNNR queries, computed once and cached.
+
+Recall measurement and the Figure 3 output-size statistics both need
+the exact neighbor sets of every query at every radius; a single
+distance matrix pass per query serves all radii at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances import Metric, get_metric
+from repro.utils.validation import check_matrix
+
+__all__ = ["GroundTruth"]
+
+
+class GroundTruth:
+    """Exact neighbor sets of a query set over a point set.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` data matrix.
+    queries:
+        ``(q, d)`` query matrix.
+    metric:
+        Metric name or object.
+
+    Notes
+    -----
+    Distances are computed lazily per query and cached, so asking for
+    several radii costs one scan per query total.
+    """
+
+    def __init__(self, points: np.ndarray, queries: np.ndarray, metric: str | Metric) -> None:
+        self.points = check_matrix(points, name="points")
+        self.queries = check_matrix(queries, dim=self.points.shape[1], name="queries")
+        self.metric = get_metric(metric)
+        self._distances: dict[int, np.ndarray] = {}
+
+    def distances(self, query_index: int) -> np.ndarray:
+        """All n distances of one query (cached)."""
+        if query_index not in self._distances:
+            self._distances[query_index] = self.metric.distances_to(
+                self.points, self.queries[query_index]
+            )
+        return self._distances[query_index]
+
+    def neighbors(self, query_index: int, radius: float) -> np.ndarray:
+        """Exact ids within ``radius`` of query ``query_index``."""
+        return np.flatnonzero(self.distances(query_index) <= radius)
+
+    def neighbor_sets(self, radius: float) -> list[np.ndarray]:
+        """Exact neighbor ids for every query at one radius."""
+        return [self.neighbors(i, radius) for i in range(self.queries.shape[0])]
+
+    def output_sizes(self, radius: float) -> np.ndarray:
+        """Exact output size per query (Figure 3 left panel data)."""
+        return np.asarray(
+            [self.neighbors(i, radius).size for i in range(self.queries.shape[0])],
+            dtype=np.int64,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GroundTruth(n={self.points.shape[0]}, q={self.queries.shape[0]}, "
+            f"metric={self.metric.name})"
+        )

@@ -1,0 +1,71 @@
+"""Quality metrics: recall, relative estimation error, summaries."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["recall", "mean_recall", "relative_error", "summarize", "Summary"]
+
+
+def recall(reported_ids: np.ndarray, true_ids: np.ndarray) -> float:
+    """Fraction of true near neighbors that were reported.
+
+    Empty ground truth counts as perfect recall (nothing to miss).
+    """
+    true_ids = np.asarray(true_ids)
+    if true_ids.size == 0:
+        return 1.0
+    reported_ids = np.asarray(reported_ids)
+    return float(np.isin(true_ids, reported_ids).mean())
+
+
+def mean_recall(
+    reported: list[np.ndarray], truth: list[np.ndarray]
+) -> float:
+    """Average per-query recall over a query set."""
+    if len(reported) != len(truth):
+        raise ValueError(
+            f"got {len(reported)} result sets but {len(truth)} ground-truth sets"
+        )
+    if not reported:
+        return 1.0
+    return float(np.mean([recall(r, t) for r, t in zip(reported, truth)]))
+
+
+def relative_error(estimate: float, exact: float) -> float:
+    """``|estimate - exact| / exact``; zero-exact pairs use the convention
+    0 for a zero estimate and ``inf`` otherwise."""
+    if exact == 0:
+        return 0.0 if estimate == 0 else math.inf
+    return abs(estimate - exact) / abs(exact)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / std / min / max of a sample (for reporting)."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    count: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.std:.3g} (min {self.min:.4g}, max {self.max:.4g})"
+
+
+def summarize(values: np.ndarray | list[float]) -> Summary:
+    """Summary statistics of a non-empty sample."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        min=float(arr.min()),
+        max=float(arr.max()),
+        count=int(arr.size),
+    )

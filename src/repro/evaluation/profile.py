@@ -1,0 +1,175 @@
+"""Dataset distance profiling — picking radii and predicting hardness.
+
+The paper's experiments hinge on choosing radius sweeps where the
+neighbor fraction is "interesting" (neither empty nor everything) and
+on the presence of hard queries (output near ``n/2``).  This module
+packages those diagnostics for any dataset + metric:
+
+* :func:`distance_profile` — sampled pairwise-distance quantiles and
+  the fraction-within-radius curve;
+* :func:`suggest_radii` — a sweep of radii covering a target neighbor
+  fraction band (how the stand-ins' sweeps were validated);
+* :func:`hardness_profile` — per-query output sizes at a radius, i.e.
+  the data behind Figure 3's left panel, plus the easy/hard split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distances import Metric, get_metric
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_matrix, check_positive_int
+
+__all__ = ["DistanceProfile", "distance_profile", "suggest_radii", "hardness_profile", "HardnessProfile"]
+
+
+@dataclass(frozen=True)
+class DistanceProfile:
+    """Sampled pairwise-distance summary of a dataset.
+
+    Attributes
+    ----------
+    quantiles:
+        Mapping of quantile level -> distance (levels 0.01 .. 0.99).
+    sample_pairs:
+        Number of (query, point) pairs behind the estimate.
+    metric:
+        Canonical metric name.
+    """
+
+    quantiles: dict[float, float]
+    sample_pairs: int
+    metric: str
+
+    def fraction_within(self, radius: float) -> float:
+        """Interpolated fraction of pairs within ``radius``.
+
+        Piecewise-linear in the sampled quantile table; clamped to
+        [0, 1] outside its range.
+        """
+        levels = np.asarray(sorted(self.quantiles))
+        values = np.asarray([self.quantiles[q] for q in levels])
+        if radius <= values[0]:
+            return float(levels[0]) if radius == values[0] else 0.0
+        if radius >= values[-1]:
+            return float(levels[-1])
+        return float(np.interp(radius, values, levels))
+
+
+_QUANTILE_LEVELS = (0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.50, 0.70, 0.90, 0.99)
+
+
+def distance_profile(
+    points: np.ndarray,
+    metric: str | Metric,
+    num_queries: int = 50,
+    num_points: int = 2000,
+    seed: RandomState = None,
+) -> DistanceProfile:
+    """Estimate the pairwise-distance quantiles from a random sample."""
+    metric = get_metric(metric)
+    points = check_matrix(points, name="points")
+    rng = ensure_rng(seed)
+    n = points.shape[0]
+    num_queries = min(check_positive_int(num_queries, "num_queries"), n)
+    num_points = min(check_positive_int(num_points, "num_points"), n)
+    queries = points[rng.choice(n, size=num_queries, replace=False)]
+    sample = points[rng.choice(n, size=num_points, replace=False)]
+    distances = np.concatenate(
+        [metric.distances_to(sample, q) for q in queries]
+    )
+    distances = distances[distances > 0]  # drop self-pairs
+    if distances.size == 0:
+        raise ConfigurationError("all sampled pairs are at distance zero")
+    quantiles = {
+        level: float(np.quantile(distances, level)) for level in _QUANTILE_LEVELS
+    }
+    return DistanceProfile(
+        quantiles=quantiles, sample_pairs=int(distances.size), metric=metric.name
+    )
+
+
+def suggest_radii(
+    profile: DistanceProfile,
+    num_radii: int = 6,
+    low_fraction: float = 0.005,
+    high_fraction: float = 0.10,
+) -> tuple[float, ...]:
+    """A radius sweep spanning a target neighbor-fraction band.
+
+    Interpolates the profile's quantile table between the radii at
+    which roughly ``low_fraction`` and ``high_fraction`` of pairs are
+    within range — the band the paper's sweeps occupy.
+    """
+    if not 0.0 < low_fraction < high_fraction <= 1.0:
+        raise ConfigurationError(
+            f"need 0 < low_fraction < high_fraction <= 1, got "
+            f"{low_fraction}, {high_fraction}"
+        )
+    num_radii = check_positive_int(num_radii, "num_radii")
+    levels = np.asarray(sorted(profile.quantiles))
+    values = np.asarray([profile.quantiles[q] for q in levels])
+    low_radius = float(np.interp(low_fraction, levels, values))
+    high_radius = float(np.interp(high_fraction, levels, values))
+    return tuple(np.linspace(low_radius, high_radius, num_radii).tolist())
+
+
+@dataclass(frozen=True)
+class HardnessProfile:
+    """Per-query output-size statistics at one radius (Figure 3 data).
+
+    ``hard_fraction`` is the share of sampled queries whose output
+    exceeds ``hard_threshold`` (default: n/10) — a cheap predictor of
+    how often hybrid search will route to linear search.
+    """
+
+    radius: float
+    output_sizes: np.ndarray
+    n: int
+    hard_threshold: int
+
+    @property
+    def avg_output(self) -> float:
+        return float(self.output_sizes.mean())
+
+    @property
+    def max_output(self) -> int:
+        return int(self.output_sizes.max())
+
+    @property
+    def min_output(self) -> int:
+        return int(self.output_sizes.min())
+
+    @property
+    def hard_fraction(self) -> float:
+        return float(np.mean(self.output_sizes > self.hard_threshold))
+
+
+def hardness_profile(
+    points: np.ndarray,
+    metric: str | Metric,
+    radius: float,
+    num_queries: int = 50,
+    hard_threshold: int | None = None,
+    seed: RandomState = None,
+) -> HardnessProfile:
+    """Sample per-query output sizes at ``radius`` (exact, via scans)."""
+    metric = get_metric(metric)
+    points = check_matrix(points, name="points")
+    rng = ensure_rng(seed)
+    n = points.shape[0]
+    num_queries = min(check_positive_int(num_queries, "num_queries"), n)
+    if hard_threshold is None:
+        hard_threshold = max(1, n // 10)
+    queries = points[rng.choice(n, size=num_queries, replace=False)]
+    sizes = np.asarray(
+        [int(np.count_nonzero(metric.distances_to(points, q) <= radius)) for q in queries],
+        dtype=np.int64,
+    )
+    return HardnessProfile(
+        radius=float(radius), output_sizes=sizes, n=n, hard_threshold=int(hard_threshold)
+    )

@@ -1,0 +1,108 @@
+"""Plain-text rendering of experiment rows (paper-style tables/series)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.evaluation.experiments import Figure2Row, Figure3Row, RecallRow, Table1Row
+
+__all__ = [
+    "format_table",
+    "format_figure2",
+    "format_figure3",
+    "format_table1",
+    "format_recall",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned fixed-width text table."""
+    columns = [list(col) for col in zip(headers, *rows)] if rows else [[h] for h in headers]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = [fmt_row(headers), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render Table 1: relative cost and error of HLLs per dataset."""
+    headers = ["Dataset", "% Cost", "% Error", "% Error std", "r", "queries"]
+    body = [
+        [
+            row.dataset,
+            f"{row.cost_percent:.2f}%",
+            f"{row.error_percent:.2f}%",
+            f"{row.error_std_percent:.2f}%",
+            f"{row.radius:g}",
+            str(row.num_queries),
+        ]
+        for row in rows
+    ]
+    return format_table(headers, body)
+
+
+def format_figure2(rows: Sequence[Figure2Row], title: str = "") -> str:
+    """Render one Figure 2 panel as a radius / times series."""
+    headers = [
+        "Radius",
+        "Hybrid (s)",
+        "LSH (s)",
+        "Linear (s)",
+        "winner",
+        "%LS calls",
+        "Hybrid recall",
+        "LSH recall",
+    ]
+    body = [
+        [
+            f"{row.radius:g}",
+            f"{row.hybrid_seconds:.4f}",
+            f"{row.lsh_seconds:.4f}",
+            f"{row.linear_seconds:.4f}",
+            row.winner,
+            f"{100 * row.linear_call_fraction:.0f}%",
+            f"{row.hybrid_recall:.3f}",
+            f"{row.lsh_recall:.3f}",
+        ]
+        for row in rows
+    ]
+    table = format_table(headers, body)
+    return f"{title}\n{table}" if title else table
+
+
+def format_recall(rows: Sequence[RecallRow], title: str = "") -> str:
+    """Render the recall comparison (the paper's omitted experiment)."""
+    headers = ["Radius", "Hybrid recall", "LSH recall", "Analytic", "%LS calls"]
+    body = [
+        [
+            f"{row.radius:g}",
+            f"{row.hybrid_recall:.3f}",
+            f"{row.lsh_recall:.3f}",
+            f"{row.analytic_recall:.3f}",
+            f"{100 * row.linear_call_fraction:.0f}%",
+        ]
+        for row in rows
+    ]
+    table = format_table(headers, body)
+    return f"{title}\n{table}" if title else table
+
+
+def format_figure3(rows: Sequence[Figure3Row], title: str = "") -> str:
+    """Render Figure 3 (both panels) as a radius series."""
+    headers = ["Radius", "Avg out", "Max out", "Min out", "n/2", "%LS calls"]
+    body = [
+        [
+            f"{row.radius:g}",
+            f"{row.avg_output:.1f}",
+            str(row.max_output),
+            str(row.min_output),
+            str(row.n // 2),
+            f"{row.linear_call_percent:.1f}%",
+        ]
+        for row in rows
+    ]
+    table = format_table(headers, body)
+    return f"{title}\n{table}" if title else table

@@ -1,0 +1,112 @@
+"""Query-set runner: timings, recall and decision statistics per strategy.
+
+The paper reports "the average of 5 runs of algorithms on the query
+set"; :func:`run_queries` reproduces that protocol for any searcher
+exposing ``query(q, radius) -> QueryResult``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.results import QueryResult, Strategy
+from repro.evaluation.ground_truth import GroundTruth
+from repro.evaluation.metrics import mean_recall
+from repro.utils.validation import check_positive_int
+
+__all__ = ["StrategyRun", "run_queries"]
+
+
+@dataclass
+class StrategyRun:
+    """Aggregated outcome of running one strategy over a query set.
+
+    Attributes
+    ----------
+    name:
+        Strategy label (``"hybrid"``, ``"lsh"``, ``"linear"``).
+    total_seconds:
+        Mean (over repeats) wall-clock time for the whole query set —
+        the quantity on Figure 2's y-axis.
+    per_query_seconds:
+        ``total_seconds / num_queries``.
+    recall:
+        Mean per-query recall against exact ground truth (``nan`` if no
+        ground truth was supplied).
+    output_sizes:
+        Reported output size per query (last repeat).
+    linear_call_fraction:
+        Fraction of queries the strategy answered by linear search
+        (Figure 3 right panel; 0.0 for pure LSH, 1.0 for pure linear).
+    results:
+        The per-query results of the last repeat (for downstream
+        inspection).
+    """
+
+    name: str
+    total_seconds: float
+    per_query_seconds: float
+    recall: float
+    output_sizes: np.ndarray
+    linear_call_fraction: float
+    results: list[QueryResult] = field(default_factory=list, repr=False)
+
+
+def run_queries(
+    searcher,
+    queries: np.ndarray,
+    radius: float,
+    name: str,
+    repeats: int = 5,
+    ground_truth: GroundTruth | None = None,
+) -> StrategyRun:
+    """Run ``searcher.query`` over the query set and aggregate.
+
+    Parameters
+    ----------
+    searcher:
+        Object with ``query(q, radius) -> QueryResult``.
+    queries:
+        ``(q, d)`` query matrix.
+    radius:
+        Query radius.
+    name:
+        Label for the run.
+    repeats:
+        Wall-clock averaging repeats (paper: 5).
+    ground_truth:
+        Optional exact neighbor sets for recall computation.
+    """
+    repeats = check_positive_int(repeats, "repeats")
+    queries = np.asarray(queries)
+    times: list[float] = []
+    results: list[QueryResult] = []
+    for _ in range(repeats):
+        results = []
+        start = time.perf_counter()
+        for q in queries:
+            results.append(searcher.query(q, radius))
+        times.append(time.perf_counter() - start)
+
+    total = float(np.mean(times))
+    output_sizes = np.asarray([r.output_size for r in results], dtype=np.int64)
+    linear_calls = np.mean(
+        [1.0 if r.stats.strategy == Strategy.LINEAR else 0.0 for r in results]
+    )
+    if ground_truth is not None:
+        truth_sets = ground_truth.neighbor_sets(radius)
+        measured_recall = mean_recall([r.ids for r in results], truth_sets)
+    else:
+        measured_recall = float("nan")
+    return StrategyRun(
+        name=name,
+        total_seconds=total,
+        per_query_seconds=total / max(1, queries.shape[0]),
+        recall=measured_recall,
+        output_sizes=output_sizes,
+        linear_call_fraction=float(linear_calls),
+        results=results,
+    )

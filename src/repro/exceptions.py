@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to distinguish configuration
+mistakes from runtime state problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DimensionMismatchError",
+    "EmptyIndexError",
+    "UnknownMetricError",
+    "SketchError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter combination was supplied.
+
+    Raised eagerly at construction time (for instance a non-positive
+    number of hash tables, a ``delta`` outside ``(0, 1)``, or an HLL
+    precision outside the supported range) so that misconfiguration
+    never surfaces as a confusing downstream failure.
+    """
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Query or data dimensionality disagrees with the indexed data."""
+
+
+class EmptyIndexError(ReproError, RuntimeError):
+    """A query was issued against an index with no points inserted."""
+
+
+class UnknownMetricError(ReproError, KeyError):
+    """A metric name was requested that is not in the distance registry."""
+
+
+class SketchError(ReproError, ValueError):
+    """A sketch operation received incompatible operands.
+
+    The canonical example is merging two HyperLogLog sketches that were
+    created with different register counts: their registers are not
+    comparable, so the merge is refused rather than silently corrupted.
+    """

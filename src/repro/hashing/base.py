@@ -1,0 +1,157 @@
+"""The LSH family abstraction.
+
+Definition 2 of the paper (after Indyk–Motwani): a family ``H`` is
+``(r, cr, p1, p2)``-sensitive for a distance ``f`` when near points
+(``f <= r``) collide with probability at least ``p1`` and far points
+(``f >= cr``) with probability at most ``p2 < p1``.
+
+Concrete families subclass :class:`LSHFamily` and provide
+
+* :meth:`LSHFamily.sample` — draw a :class:`~repro.hashing.composite.CompositeHash`
+  of ``k`` independent atomic functions (one per call; the index draws
+  ``L`` of them), and
+* :meth:`LSHFamily.collision_probability` — the exact ``p(c)`` curve of
+  one atomic function at distance ``c``, which both the parameter rule
+  ``k = ceil(log(1 - delta^{1/L}) / log p1)`` and the recall analysis
+  consume.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.distances import Metric, get_metric
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["LSHFamily", "family_for_metric"]
+
+
+class LSHFamily(abc.ABC):
+    """Abstract base class for locality-sensitive hash families.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the vectors to be hashed.
+    seed:
+        Master randomness; every :meth:`sample` call consumes from it,
+        so two families constructed with the same seed draw identical
+        hash functions in the same order.
+    """
+
+    #: canonical name of the metric this family is sensitive for
+    metric_name: str = ""
+
+    def __init__(self, dim: int, seed: RandomState = None) -> None:
+        if dim < 1:
+            from repro.exceptions import ConfigurationError
+
+            raise ConfigurationError(f"dim must be >= 1, got {dim}")
+        self.dim = int(dim)
+        self._rng = ensure_rng(seed)
+
+    @property
+    def metric(self) -> Metric:
+        """The :class:`~repro.distances.base.Metric` this family targets."""
+        return get_metric(self.metric_name)
+
+    @abc.abstractmethod
+    def sample(self, k: int) -> "CompositeHashProtocol":
+        """Draw a composite hash of ``k`` independent atomic functions."""
+
+    def sample_batch(self, k: int, num_tables: int) -> "BatchedHash":
+        """Draw the ``L`` composite functions of an index, fused.
+
+        The returned :class:`~repro.hashing.batched.BatchedHash` hashes
+        a query into all ``L`` tables with one vectorised call (the
+        Step-S1 fast path).  This generic fallback loops over ``L``
+        independent :meth:`sample` draws; projection-based families
+        override it with a genuinely stacked kernel.
+        """
+        from repro.hashing.batched import BatchedHash
+
+        composites = [self.sample(k) for _ in range(num_tables)]
+
+        def fused(points: np.ndarray) -> np.ndarray:
+            return np.concatenate([g.hash_matrix(points) for g in composites], axis=1)
+
+        return BatchedHash(fused, k=k, num_tables=num_tables, dim=self.dim)
+
+    @abc.abstractmethod
+    def collision_probability(self, distance: float) -> float:
+        """``Pr[h(x) = h(y)]`` for one atomic function at the given distance."""
+
+    def p1(self, radius: float) -> float:
+        """Collision probability at the query radius (the ``p1`` of Def. 2)."""
+        return self.collision_probability(radius)
+
+    def collision_probability_batch(self, distances: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`collision_probability` (default: python loop)."""
+        distances = np.asarray(distances, dtype=np.float64)
+        return np.array([self.collision_probability(float(c)) for c in distances.ravel()]).reshape(
+            distances.shape
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(dim={self.dim})"
+
+
+class CompositeHashProtocol:
+    """Structural type for what :meth:`LSHFamily.sample` returns.
+
+    Documented here for reference; the concrete implementation is
+    :class:`repro.hashing.composite.CompositeHash`.
+    """
+
+    def hash_matrix(self, points: np.ndarray) -> np.ndarray:  # pragma: no cover
+        """``(n, d) -> (n, k)`` integer hash values."""
+        raise NotImplementedError
+
+    def keys(self, points: np.ndarray) -> list[bytes]:  # pragma: no cover
+        """``(n, d) -> n`` hashable bucket keys."""
+        raise NotImplementedError
+
+
+def family_for_metric(
+    metric: str, dim: int, seed: RandomState = None, **kwargs
+) -> LSHFamily:
+    """Construct the default LSH family for a metric name.
+
+    This is the mapping the paper's experiments use: bit sampling for
+    Hamming, SimHash for cosine, Cauchy p-stable for L1, Gaussian
+    p-stable for L2, MinHash for Jaccard.
+
+    Parameters
+    ----------
+    metric:
+        One of ``"hamming"``, ``"cosine"``, ``"l1"``, ``"l2"``,
+        ``"jaccard"`` (or a registered alias).
+    dim:
+        Vector dimensionality.
+    seed:
+        Randomness for hash-function sampling.
+    **kwargs:
+        Extra family parameters; p-stable families accept ``w`` (bucket
+        width), which is required for them.
+    """
+    from repro.hashing.bit_sampling import BitSamplingLSH
+    from repro.hashing.minhash import MinHashLSH
+    from repro.hashing.pstable import PStableLSH
+    from repro.hashing.simhash import SimHashLSH
+
+    name = get_metric(metric).name
+    if name == "hamming":
+        return BitSamplingLSH(dim, seed=seed, **kwargs)
+    if name == "cosine":
+        return SimHashLSH(dim, seed=seed, **kwargs)
+    if name == "l1":
+        return PStableLSH(dim, p=1, seed=seed, **kwargs)
+    if name == "l2":
+        return PStableLSH(dim, p=2, seed=seed, **kwargs)
+    if name == "jaccard":
+        return MinHashLSH(dim, seed=seed, **kwargs)
+    from repro.exceptions import UnknownMetricError
+
+    raise UnknownMetricError(f"no default LSH family for metric {metric!r}")

@@ -1,0 +1,103 @@
+"""Composite hash functions ``g = (h_1, ..., h_k)`` and bucket keys.
+
+The classic LSH algorithm concatenates ``k`` atomic hash values to
+sharpen the near/far collision-probability gap (``p1^k`` vs ``p2^k``)
+and builds one hash table per composite function.  This module supplies
+the concatenation machinery shared by every family:
+
+* each family's :meth:`sample` returns a :class:`CompositeHash` holding
+  a vectorised ``(n, d) -> (n, k)`` kernel;
+* :func:`encode_rows` converts integer hash rows into compact ``bytes``
+  keys usable as Python dict keys, which is how the hash tables in
+  :mod:`repro.index` store buckets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_vector
+
+__all__ = ["CompositeHash", "encode_rows"]
+
+HashKernel = Callable[[np.ndarray], np.ndarray]
+
+
+def encode_rows(hash_matrix: np.ndarray) -> list[bytes]:
+    """Encode each row of an integer hash matrix as a ``bytes`` key.
+
+    Rows are cast to little-endian int64 before packing so the encoding
+    is platform-independent and injective for hash values within int64
+    range (all families here produce small integers).
+
+    Parameters
+    ----------
+    hash_matrix:
+        ``(n, k)`` integer array of atomic hash values.
+
+    Returns
+    -------
+    list[bytes]
+        ``n`` keys, each ``8 * k`` bytes.
+    """
+    arr = np.ascontiguousarray(hash_matrix, dtype="<i8")
+    if arr.ndim != 2:
+        raise ValueError(f"hash matrix must be 2-d, got shape {arr.shape}")
+    row_bytes = arr.view(np.uint8).reshape(arr.shape[0], arr.shape[1] * 8)
+    return [row.tobytes() for row in row_bytes]
+
+
+class CompositeHash:
+    """A concatenation of ``k`` atomic LSH functions.
+
+    Instances are produced by :meth:`LSHFamily.sample`; they close over
+    the family's sampled randomness (projection matrices, sampled
+    coordinates, ...) inside ``kernel``.
+
+    Parameters
+    ----------
+    kernel:
+        Vectorised map from an ``(n, d)`` point matrix to an ``(n, k)``
+        integer hash matrix.
+    k:
+        Number of concatenated atomic functions.
+    dim:
+        Expected input dimensionality (validated on every call).
+    """
+
+    __slots__ = ("_kernel", "k", "dim")
+
+    def __init__(self, kernel: HashKernel, k: int, dim: int) -> None:
+        self._kernel = kernel
+        self.k = int(k)
+        self.dim = int(dim)
+
+    def hash_matrix(self, points: np.ndarray) -> np.ndarray:
+        """Hash all rows of ``points``; returns the ``(n, k)`` value matrix."""
+        points = check_matrix(points, dim=self.dim, name="points")
+        values = self._kernel(points)
+        if values.shape != (points.shape[0], self.k):
+            raise RuntimeError(
+                f"hash kernel returned shape {values.shape}, "
+                f"expected {(points.shape[0], self.k)}"
+            )
+        return values
+
+    def hash_one(self, point: np.ndarray) -> np.ndarray:
+        """Hash a single vector; returns the length-``k`` value row."""
+        point = check_vector(point, dim=self.dim, name="point")
+        return self.hash_matrix(point[None, :])[0]
+
+    def keys(self, points: np.ndarray) -> list[bytes]:
+        """Bucket keys for all rows of ``points``."""
+        return encode_rows(self.hash_matrix(points))
+
+    def key_one(self, point: np.ndarray) -> bytes:
+        """Bucket key of a single vector."""
+        point = check_vector(point, dim=self.dim, name="point")
+        return encode_rows(self.hash_matrix(point[None, :]))[0]
+
+    def __repr__(self) -> str:
+        return f"CompositeHash(k={self.k}, dim={self.dim})"

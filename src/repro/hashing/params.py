@@ -1,0 +1,113 @@
+"""Parameter rules tying ``(L, delta, p1)`` to the concatenation width ``k``.
+
+The paper fixes the number of tables ``L`` and derives
+
+    ``k = ceil( log(1 - delta^{1/L}) / log p1 )``
+
+(the practical E2LSH setting) so that a point at distance ``r`` — which
+collides with the query under one atomic hash with probability ``p1`` —
+is reported with probability close to ``1 - delta``.  Derivation: a
+near point is *missed* by one table with probability ``1 - p1^k`` and
+by all ``L`` independent tables with probability ``(1 - p1^k)^L``;
+requiring that to be ``<= delta`` and solving gives the *real-valued*
+width ``k* = log(1 - delta^{1/L}) / log p1``.  Note the rounding
+direction: the strict ``>= 1 - delta`` guarantee needs ``floor(k*)``,
+but the paper (following E2LSH) takes ``ceil(k*)`` — trading a hair of
+recall for substantially fewer collisions.  The success probability
+therefore *brackets* ``1 - delta``:
+``success(ceil(k*)) <= 1 - delta <= success(floor(k*))``.
+
+This module also provides the forward map :func:`success_probability`
+(used by tests to verify the guarantee) and :func:`expected_recall`
+(integrating the per-point success probability over a batch of true
+neighbors at their actual distances).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_delta, check_positive_int
+
+__all__ = ["concatenation_width", "success_probability", "expected_recall"]
+
+
+def concatenation_width(num_tables: int, delta: float, p1: float, max_k: int = 64) -> int:
+    """The paper's rule ``k = ceil(log(1 - delta^{1/L}) / log p1)``.
+
+    Parameters
+    ----------
+    num_tables:
+        ``L``, the number of hash tables.
+    delta:
+        Per-point failure probability of the rNNR guarantee, in (0, 1).
+    p1:
+        Collision probability of one atomic hash at the query radius;
+        must lie in (0, 1].  ``p1 = 1`` (e.g. radius 0) means any ``k``
+        satisfies the guarantee, so the widest allowed ``k`` is
+        returned to maximise selectivity.
+    max_k:
+        Safety cap: extremely small ``p1`` would demand enormous ``k``
+        (and thus empty buckets everywhere); values are clamped here.
+
+    Returns
+    -------
+    int
+        ``k >= 1``.
+    """
+    num_tables = check_positive_int(num_tables, "num_tables")
+    delta = check_delta(delta)
+    if not 0.0 < p1 <= 1.0:
+        raise ConfigurationError(f"p1 must be in (0, 1], got {p1}")
+    max_k = check_positive_int(max_k, "max_k")
+    if p1 == 1.0:
+        return max_k
+    # delta^(1/L) is the per-table miss budget; log of its complement
+    # over log p1 is the exact real-valued width.
+    numerator = math.log(1.0 - delta ** (1.0 / num_tables))
+    k = math.ceil(numerator / math.log(p1))
+    return int(min(max(k, 1), max_k))
+
+
+def success_probability(k: int, num_tables: int, p1: float) -> float:
+    """``1 - (1 - p1^k)^L`` — probability a radius-``r`` point is reported.
+
+    This is the guarantee the width rule inverts; the property-based
+    tests assert ``success_probability(concatenation_width(L, delta, p1),
+    L, p1) >= 1 - delta`` for all valid inputs.
+    """
+    k = check_positive_int(k, "k")
+    num_tables = check_positive_int(num_tables, "num_tables")
+    if not 0.0 <= p1 <= 1.0:
+        raise ConfigurationError(f"p1 must be in [0, 1], got {p1}")
+    return 1.0 - (1.0 - p1**k) ** num_tables
+
+
+def expected_recall(
+    collision_probabilities: np.ndarray, k: int, num_tables: int
+) -> float:
+    """Expected recall over true neighbors with the given atomic ``p(c)``.
+
+    Each true neighbor at distance ``c`` is found with probability
+    ``1 - (1 - p(c)^k)^L``; the expected recall of a query is the mean
+    of that over its neighbor set.  Used by the evaluation harness to
+    report *analytic* recall next to the measured one.
+
+    Parameters
+    ----------
+    collision_probabilities:
+        Array of one-atomic-hash collision probabilities, one entry per
+        true neighbor (at that neighbor's actual distance).
+    k, num_tables:
+        The index parameters.
+    """
+    probs = np.asarray(collision_probabilities, dtype=np.float64)
+    if probs.size == 0:
+        return 1.0
+    if np.any((probs < 0.0) | (probs > 1.0)):
+        raise ConfigurationError("collision probabilities must lie in [0, 1]")
+    per_point = 1.0 - (1.0 - probs**k) ** num_tables
+    return float(per_point.mean())

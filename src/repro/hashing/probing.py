@@ -1,0 +1,102 @@
+"""Multi-probe perturbation sequences (Lv et al., VLDB 2007).
+
+The paper's conclusion singles out multi-probe LSH as the natural host
+for hybrid search: multi-probe trades tables for probes by also looking
+into buckets *near* ``g(q)``, which multiplies the number of buckets
+examined per query — exactly the regime where estimating ``candSize``
+before paying the de-duplication cost matters most.
+
+We implement the structural part of multi-probe generically:
+
+* :func:`perturbation_offsets` enumerates perturbation vectors
+  ``delta in {-1, 0, +1}^k`` ordered by a simple cost heuristic (number
+  of perturbed coordinates first, then lexicographic), suitable for the
+  integer hash values of p-stable families;
+* :func:`hamming_probe_keys` enumerates bit-flip probes for the binary
+  hash values of SimHash / bit sampling.
+
+Both return *probe generators* over composite hash rows; the
+:class:`~repro.index.multiprobe_index.MultiProbeLSHIndex` applies them
+per table.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.hashing.composite import encode_rows
+from repro.utils.validation import check_positive_int
+
+__all__ = ["perturbation_offsets", "hamming_probe_keys"]
+
+
+def perturbation_offsets(k: int, num_probes: int) -> list[np.ndarray]:
+    """Perturbation vectors for integer-valued composite hashes.
+
+    Enumerates ``{-1, 0, +1}^k`` offsets (excluding the zero vector,
+    which is the home bucket and always probed first by the index) in
+    increasing order of the number of non-zero entries — the standard
+    "fewer perturbations are more probable" heuristic — truncated to
+    ``num_probes`` entries.
+
+    Parameters
+    ----------
+    k:
+        Width of the composite hash.
+    num_probes:
+        Number of *additional* buckets to probe per table.
+
+    Returns
+    -------
+    list of int64 arrays of length ``k``.
+    """
+    k = check_positive_int(k, "k")
+    if num_probes < 0:
+        raise ValueError(f"num_probes must be >= 0, got {num_probes}")
+    offsets: list[np.ndarray] = []
+    # Perturb 1 coordinate, then 2, ... until we have enough probes.
+    for weight in range(1, k + 1):
+        if len(offsets) >= num_probes:
+            break
+        for positions in itertools.combinations(range(k), weight):
+            for signs in itertools.product((-1, 1), repeat=weight):
+                delta = np.zeros(k, dtype=np.int64)
+                for pos, sign in zip(positions, signs):
+                    delta[pos] = sign
+                offsets.append(delta)
+                if len(offsets) >= num_probes:
+                    return offsets
+    return offsets
+
+
+def hamming_probe_keys(hash_row: np.ndarray, num_probes: int) -> list[bytes]:
+    """Probe keys for binary composite hashes (SimHash, bit sampling).
+
+    Yields the bucket keys obtained by flipping one bit, then two bits,
+    of ``hash_row`` (values in {0, 1}), truncated to ``num_probes``
+    keys.  The home bucket is *not* included.
+
+    Parameters
+    ----------
+    hash_row:
+        Length-``k`` 0/1 hash row of the query in one table.
+    num_probes:
+        Number of additional buckets to probe in that table.
+    """
+    if num_probes < 0:
+        raise ValueError(f"num_probes must be >= 0, got {num_probes}")
+    row = np.asarray(hash_row, dtype=np.int64)
+    k = row.shape[0]
+    keys: list[bytes] = []
+    for weight in (1, 2):
+        if len(keys) >= num_probes:
+            break
+        for positions in itertools.combinations(range(k), weight):
+            flipped = row.copy()
+            flipped[list(positions)] ^= 1
+            keys.append(encode_rows(flipped[None, :])[0])
+            if len(keys) >= num_probes:
+                return keys
+    return keys

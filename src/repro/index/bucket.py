@@ -1,0 +1,151 @@
+"""A hash-table bucket: point ids plus an optional HyperLogLog sketch.
+
+Algorithm 1 of the paper attaches an HLL to every bucket.  Its
+complexity analysis then observes that for buckets smaller than the
+register count ``m`` the sketch costs more memory than the ids
+themselves, and that such buckets can instead contribute their raw ids
+to the *merged* sketch at query time ("we can update the merged HLL on
+demand at the query time.  This trick can save the space overhead").
+:class:`Bucket` implements both modes: a bucket materialises its sketch
+only once it outgrows ``lazy_threshold``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketches.hyperloglog import HyperLogLog, PrecomputedHllHashes
+
+__all__ = ["Bucket"]
+
+
+class Bucket:
+    """Point ids hashed to one bucket, with an optional attached sketch.
+
+    Parameters
+    ----------
+    hll_precision:
+        Precision ``p`` of the attached sketch (``m = 2**p`` registers).
+    hll_seed:
+        Sketch hash salt; all buckets of an index share it so their
+        sketches merge losslessly.
+    lazy_threshold:
+        Buckets with at most this many points keep ids only (the
+        paper's small-bucket trick).  ``0`` disables laziness (always
+        sketch); ``None`` defaults to ``m``.
+    """
+
+    __slots__ = ("_ids", "_frozen_ids", "sketch", "hll_precision", "hll_seed", "lazy_threshold")
+
+    def __init__(
+        self,
+        hll_precision: int = 7,
+        hll_seed: int = 0,
+        lazy_threshold: int | None = None,
+    ) -> None:
+        self._ids: list[int] = []
+        self._frozen_ids: np.ndarray | None = None
+        self.hll_precision = int(hll_precision)
+        self.hll_seed = int(hll_seed)
+        self.lazy_threshold = (1 << self.hll_precision) if lazy_threshold is None else int(lazy_threshold)
+        self.sketch: HyperLogLog | None = None
+
+    # ------------------------------------------------------------------
+    # Build path (Algorithm 1)
+    # ------------------------------------------------------------------
+    def append(self, point_id: int, hashes: PrecomputedHllHashes | None = None) -> None:
+        """Insert a point id; grow/update the sketch past the threshold.
+
+        Parameters
+        ----------
+        point_id:
+            Index of the point in the dataset.
+        hashes:
+            Precomputed HLL hash pairs for the whole point universe;
+            required to maintain the sketch (pass ``None`` only when
+            sketches are disabled at the index level).
+        """
+        self._frozen_ids = None
+        self._ids.append(point_id)
+        if hashes is None:
+            return
+        if self.sketch is not None:
+            self.sketch.add_precomputed(*hashes.pair(point_id))
+        elif len(self._ids) > self.lazy_threshold:
+            self._materialise_sketch(hashes)
+
+    def _materialise_sketch(self, hashes: PrecomputedHllHashes) -> None:
+        """Build the sketch from all ids accumulated so far."""
+        sketch = HyperLogLog(p=self.hll_precision, seed=self.hll_seed)
+        ids = np.asarray(self._ids, dtype=np.int64)
+        sketch.add_precomputed_batch(hashes.registers[ids], hashes.ranks[ids])
+        self.sketch = sketch
+
+    @classmethod
+    def from_ids(
+        cls,
+        ids: np.ndarray,
+        hashes: PrecomputedHllHashes | None,
+        hll_precision: int = 7,
+        hll_seed: int = 0,
+        lazy_threshold: int | None = None,
+    ) -> "Bucket":
+        """Bulk-construct a bucket from a full id array (build fast path).
+
+        Equivalent to appending each id in order, but the sketch (when
+        the bucket exceeds the lazy threshold) is built with one
+        vectorised register update instead of per-point calls.
+        """
+        bucket = cls(
+            hll_precision=hll_precision, hll_seed=hll_seed, lazy_threshold=lazy_threshold
+        )
+        ids = np.asarray(ids, dtype=np.int64)
+        bucket._ids = ids.tolist()
+        bucket._frozen_ids = ids
+        if hashes is not None and ids.size > bucket.lazy_threshold:
+            bucket._materialise_sketch(hashes)
+        return bucket
+
+    # ------------------------------------------------------------------
+    # Query path (Algorithm 2)
+    # ------------------------------------------------------------------
+    @property
+    def ids(self) -> np.ndarray:
+        """Point ids in this bucket as an int64 array (cached)."""
+        if self._frozen_ids is None:
+            self._frozen_ids = np.asarray(self._ids, dtype=np.int64)
+        return self._frozen_ids
+
+    @property
+    def size(self) -> int:
+        """Number of points in the bucket (duplicates impossible by construction)."""
+        return len(self._ids)
+
+    @property
+    def has_sketch(self) -> bool:
+        """Whether the sketch is materialised (False for lazy small buckets)."""
+        return self.sketch is not None
+
+    def contribute_to(self, merged: HyperLogLog, hashes: PrecomputedHllHashes) -> None:
+        """Fold this bucket into a merged query-time sketch.
+
+        Sketched buckets merge in ``O(m)``; lazy buckets insert their
+        raw ids (``O(size)``, by definition ``<= lazy_threshold``).
+        """
+        if self.sketch is not None:
+            merged.merge_in_place(self.sketch)
+        elif self._ids:
+            ids = self.ids
+            merged.add_precomputed_batch(hashes.registers[ids], hashes.ranks[ids])
+
+    @property
+    def sketch_memory_bytes(self) -> int:
+        """Memory held by the materialised sketch (0 when lazy)."""
+        return self.sketch.memory_bytes if self.sketch is not None else 0
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __repr__(self) -> str:
+        mode = "sketched" if self.has_sketch else "lazy"
+        return f"Bucket(size={self.size}, {mode})"

@@ -1,0 +1,196 @@
+"""Covering LSH — rNNR reporting with *no false negatives* (paper §5).
+
+The paper's conclusion names "the covering LSH [14]" (Pagh, SODA 2016)
+alongside multi-probe LSH as schemes the hybrid strategy fits well,
+"which typically require a large number of probes".  This module
+implements a covering scheme for Hamming space and wires it into the
+same bucket/sketch machinery so :class:`~repro.core.hybrid.HybridSearcher`
+runs on it unchanged.
+
+Construction (block pigeonhole covering)
+----------------------------------------
+For radius ``r``, split the ``d`` bit positions into ``r + 1``
+near-equal blocks and build one table per block, hashing each point by
+its bits in that block.  Two points at Hamming distance ``<= r`` have
+at most ``r`` differing positions, which cannot touch all ``r + 1``
+blocks — so they agree on *some* whole block and collide in that
+table.  This yields the covering guarantee deterministically:
+
+    every point within radius ``r`` appears in the candidate set,
+    i.e. the "exact" rNNR variant with ``delta = 0``.
+
+The price is selectivity: blocks of width ``d / (r + 1)`` are short
+composite hashes, so buckets are large — precisely the "large number
+of probes/collisions" regime where the paper expects cost estimation
+to pay off most.  A random bit permutation (seeded) decorrelates the
+blocks from any structure in the input coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, EmptyIndexError
+from repro.hashing.composite import encode_rows
+from repro.index.bucket import Bucket
+from repro.index.lsh_index import LSHIndex, QueryLookup
+from repro.index.table import HashTable
+from repro.sketches.hyperloglog import PrecomputedHllHashes
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_matrix, check_positive_int, check_vector
+
+__all__ = ["CoveringLSHIndex"]
+
+
+class CoveringLSHIndex:
+    """Hamming-space rNNR index with a no-false-negative guarantee.
+
+    Parameters
+    ----------
+    dim:
+        Number of bits per vector.
+    radius:
+        The Hamming radius the covering guarantee is constructed for.
+        Queries at larger radii lose the guarantee (they degrade to
+        ordinary LSH behaviour).
+    hll_precision / hll_seed / lazy_threshold / with_sketches / dedup:
+        Bucket-sketch and Step-S2 configuration, exactly as in
+        :class:`~repro.index.lsh_index.LSHIndex`.
+    seed:
+        Randomness for the bit permutation.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> points = (rng.random((300, 32)) < 0.5).astype(np.uint8)
+    >>> index = CoveringLSHIndex(dim=32, radius=4, seed=1).build(points)
+    >>> lookup = index.lookup(points[0])
+    >>> 0 in index.candidate_ids(lookup)   # the point itself always collides
+    True
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        radius: int,
+        hll_precision: int = 7,
+        hll_seed: int = 0,
+        lazy_threshold: int | None = None,
+        with_sketches: bool = True,
+        dedup: str = "scalar",
+        seed: RandomState = None,
+    ) -> None:
+        self.dim = check_positive_int(dim, "dim")
+        self.radius = check_positive_int(radius, "radius")
+        if self.radius >= self.dim:
+            raise ConfigurationError(
+                f"radius ({radius}) must be smaller than dim ({dim}) for a "
+                f"covering construction"
+            )
+        self.num_tables = self.radius + 1
+        self.hll_precision = int(hll_precision)
+        self.hll_seed = int(hll_seed)
+        self.lazy_threshold = lazy_threshold
+        self.with_sketches = bool(with_sketches)
+        if dedup not in ("scalar", "vectorized"):
+            raise ConfigurationError(
+                f'dedup must be "scalar" or "vectorized", got {dedup!r}'
+            )
+        self.dedup = dedup
+        rng = ensure_rng(seed)
+        permutation = rng.permutation(self.dim)
+        # Near-equal consecutive slices of the permuted positions.
+        self._blocks = [
+            np.sort(block) for block in np.array_split(permutation, self.num_tables)
+        ]
+        self.tables: list[HashTable] = []
+        self.points: np.ndarray | None = None
+        self._hll_hashes: PrecomputedHllHashes | None = None
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self, points: np.ndarray) -> "CoveringLSHIndex":
+        """Hash every point's block projections into the r+1 tables."""
+        points = check_matrix(points, dim=self.dim, name="points")
+        n = points.shape[0]
+        if n == 0:
+            raise ConfigurationError("cannot build an index over zero points")
+        self.points = points
+        self._hll_hashes = (
+            PrecomputedHllHashes(n, p=self.hll_precision, seed=self.hll_seed)
+            if self.with_sketches
+            else None
+        )
+        self.tables = []
+        for block in self._blocks:
+            table = HashTable(
+                hll_precision=self.hll_precision,
+                hll_seed=self.hll_seed,
+                lazy_threshold=self.lazy_threshold,
+                with_sketches=self.with_sketches,
+            )
+            table.insert_hashed(
+                np.ascontiguousarray(points[:, block], dtype=np.int64),
+                self._hll_hashes,
+            )
+            self.tables.append(table)
+        return self
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has been called."""
+        return self.points is not None
+
+    @property
+    def n(self) -> int:
+        """Number of indexed points."""
+        self._require_built()
+        return int(self.points.shape[0])
+
+    def _require_built(self) -> None:
+        if self.points is None:
+            raise EmptyIndexError("index has not been built; call build(points) first")
+
+    # ------------------------------------------------------------------
+    # Query primitives (same surface as LSHIndex, so HybridSearcher works)
+    # ------------------------------------------------------------------
+    def lookup(self, query: np.ndarray) -> QueryLookup:
+        """Locate the query's bucket in each of the r+1 block tables."""
+        self._require_built()
+        query = check_vector(query, dim=self.dim, name="query")
+        keys: list[bytes] = []
+        buckets: list[Bucket | None] = []
+        hash_rows: list[np.ndarray] = []
+        for table, block in zip(self.tables, self._blocks):
+            row = np.ascontiguousarray(query[block], dtype=np.int64)
+            hash_rows.append(row)
+            key = encode_rows(row[None, :])[0]
+            keys.append(key)
+            buckets.append(table.get(key))
+        return QueryLookup(keys=keys, buckets=buckets, hash_rows=hash_rows)
+
+    # The remaining primitives are identical to LSHIndex; reuse them.
+    merged_sketch = LSHIndex.merged_sketch
+    estimate_candidates = LSHIndex.estimate_candidates
+    candidate_ids = LSHIndex.candidate_ids
+    num_collisions = LSHIndex.num_collisions
+    sketch_memory_bytes = LSHIndex.sketch_memory_bytes
+    bucket_statistics = LSHIndex.bucket_statistics
+
+    @property
+    def family(self):
+        """Minimal family facade (metric access for the searchers)."""
+        from repro.hashing.bit_sampling import BitSamplingLSH
+
+        facade = BitSamplingLSH.__new__(BitSamplingLSH)
+        facade.dim = self.dim
+        return facade
+
+    def __repr__(self) -> str:
+        built = f"n={self.n}" if self.is_built else "unbuilt"
+        return (
+            f"CoveringLSHIndex(dim={self.dim}, radius={self.radius}, "
+            f"tables={self.num_tables}, {built})"
+        )

@@ -1,0 +1,101 @@
+"""A single LSH hash table: the buckets of one composite function.
+
+Hashing itself lives in :class:`~repro.hashing.batched.BatchedHash`
+(owned by the index, fused across tables); the table receives the
+precomputed ``(n, k)`` hash-value matrix of its points and groups them
+into buckets with one vectorised sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.composite import encode_rows
+from repro.index.bucket import Bucket
+from repro.sketches.hyperloglog import PrecomputedHllHashes
+
+__all__ = ["HashTable"]
+
+
+class HashTable:
+    """One of the ``L`` tables of an :class:`~repro.index.lsh_index.LSHIndex`.
+
+    Parameters
+    ----------
+    hll_precision, hll_seed, lazy_threshold:
+        Bucket-sketch configuration, forwarded to every bucket; see
+        :class:`~repro.index.bucket.Bucket`.
+    with_sketches:
+        ``False`` builds a plain LSH table with no sketches at all
+        (the classic baseline the paper compares against).
+    """
+
+    def __init__(
+        self,
+        hll_precision: int = 7,
+        hll_seed: int = 0,
+        lazy_threshold: int | None = None,
+        with_sketches: bool = True,
+    ) -> None:
+        self.hll_precision = int(hll_precision)
+        self.hll_seed = int(hll_seed)
+        self.lazy_threshold = lazy_threshold
+        self.with_sketches = bool(with_sketches)
+        self.buckets: dict[bytes, Bucket] = {}
+
+    def insert_hashed(
+        self, hash_matrix: np.ndarray, hashes: PrecomputedHllHashes | None
+    ) -> None:
+        """Group pre-hashed points into buckets (Algorithm 1 inner loop).
+
+        Groups rows with one vectorised sort instead of n dict probes:
+        ``np.unique(axis=0)`` yields the distinct buckets and an inverse
+        map, and a stable argsort of the inverse map lays point ids out
+        bucket-by-bucket.
+
+        Parameters
+        ----------
+        hash_matrix:
+            ``(n, k)`` composite hash values of this table; row ``i``
+            belongs to point id ``i``.
+        hashes:
+            Precomputed HLL pairs for ids ``0..n-1``; ignored when the
+            table was built with ``with_sketches=False``.
+        """
+        hash_matrix = np.asarray(hash_matrix)
+        unique_rows, inverse = np.unique(hash_matrix, axis=0, return_inverse=True)
+        keys = encode_rows(unique_rows)
+        order = np.argsort(inverse, kind="stable")
+        counts = np.bincount(inverse.ravel(), minlength=unique_rows.shape[0])
+        boundaries = np.cumsum(counts)[:-1]
+        id_groups = np.split(order, boundaries)
+        sketch_hashes = hashes if self.with_sketches else None
+        for key, ids in zip(keys, id_groups):
+            self.buckets[key] = Bucket.from_ids(
+                ids,
+                sketch_hashes,
+                hll_precision=self.hll_precision,
+                hll_seed=self.hll_seed,
+                lazy_threshold=self.lazy_threshold,
+            )
+
+    def get(self, key: bytes) -> Bucket | None:
+        """The bucket stored under ``key``, or ``None``."""
+        return self.buckets.get(key)
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of non-empty buckets."""
+        return len(self.buckets)
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Sizes of all buckets (for occupancy diagnostics)."""
+        return np.asarray([b.size for b in self.buckets.values()], dtype=np.int64)
+
+    @property
+    def sketch_memory_bytes(self) -> int:
+        """Total bytes held by materialised bucket sketches in this table."""
+        return sum(b.sketch_memory_bytes for b in self.buckets.values())
+
+    def __repr__(self) -> str:
+        return f"HashTable(buckets={self.num_buckets})"

@@ -1,0 +1,101 @@
+"""Bloom filter — an approximate-membership structure for duplicate removal.
+
+The cost model's ``alpha`` is "the average cost of removing a duplicate"
+(Step S2).  The classic implementations the paper mentions are a hash
+set or an n-bit bitvector; a Bloom filter is the third standard option
+when ``n`` bits per query is too much.  We provide it so the S2-cost
+ablation can compare all three duplicate-removal mechanisms and so the
+near-duplicate example has a compact seen-set.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.sketches.hashing64 import hash64
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Standard Bloom filter over integer element ids.
+
+    Parameters
+    ----------
+    capacity:
+        Expected number of distinct insertions.
+    error_rate:
+        Target false-positive probability at ``capacity`` insertions;
+        the bit count and hash count are sized from it the usual way
+        (``bits = -n ln eps / ln^2 2``, ``hashes = bits/n * ln 2``).
+    seed:
+        Base salt; hash ``i`` uses ``seed + i``.
+    """
+
+    __slots__ = ("capacity", "error_rate", "seed", "num_bits", "num_hashes", "bits", "count")
+
+    def __init__(self, capacity: int, error_rate: float = 0.01, seed: int = 0) -> None:
+        if not isinstance(capacity, (int, np.integer)) or isinstance(capacity, bool) or capacity < 1:
+            raise ConfigurationError(f"capacity must be a positive integer, got {capacity!r}")
+        if not 0.0 < error_rate < 1.0:
+            raise ConfigurationError(f"error_rate must be in (0, 1), got {error_rate}")
+        self.capacity = int(capacity)
+        self.error_rate = float(error_rate)
+        self.seed = int(seed)
+        self.num_bits = max(8, int(math.ceil(-capacity * math.log(error_rate) / (math.log(2) ** 2))))
+        self.num_hashes = max(1, int(round(self.num_bits / capacity * math.log(2))))
+        self.bits = np.zeros(self.num_bits, dtype=bool)
+        self.count = 0
+
+    def _positions(self, element: int) -> list[int]:
+        return [
+            int(hash64(np.uint64(element), seed=self.seed + i)) % self.num_bits
+            for i in range(self.num_hashes)
+        ]
+
+    def add(self, element: int) -> None:
+        """Insert one element id."""
+        for pos in self._positions(element):
+            self.bits[pos] = True
+        self.count += 1
+
+    def __contains__(self, element: int) -> bool:
+        """Approximate membership: no false negatives, bounded false positives."""
+        return all(self.bits[pos] for pos in self._positions(element))
+
+    def add_if_new(self, element: int) -> bool:
+        """Insert and report whether the element was (probably) unseen.
+
+        This is the one-pass duplicate-removal primitive the S2 step
+        needs: returns ``True`` for first sightings, ``False`` for
+        (probable) duplicates.
+        """
+        positions = self._positions(element)
+        seen = all(self.bits[pos] for pos in positions)
+        if not seen:
+            for pos in positions:
+                self.bits[pos] = True
+            self.count += 1
+        return not seen
+
+    @property
+    def expected_false_positive_rate(self) -> float:
+        """Current FP probability given the number of insertions so far."""
+        if self.count == 0:
+            return 0.0
+        exponent = -self.num_hashes * self.count / self.num_bits
+        return (1.0 - math.exp(exponent)) ** self.num_hashes
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bit-array footprint in bytes if packed (num_bits / 8)."""
+        return (self.num_bits + 7) // 8
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(capacity={self.capacity}, bits={self.num_bits}, "
+            f"hashes={self.num_hashes}, inserted={self.count})"
+        )

@@ -1,0 +1,100 @@
+"""64-bit integer hashing shared by all sketches.
+
+Every sketch in this package consumes *point indices* (integers in
+``[0, n)``).  HLL theory assumes elements are hashed to uniform 64-bit
+strings; we use the SplitMix64 finaliser, a well-studied bijective
+mixer whose output passes the usual avalanche tests, salted with the
+sketch seed so independent experiments decorrelate.
+
+Because the mixing is deterministic per ``(value, seed)``, two sketches
+built with the same seed map any shared element to the same register
+and rank — the property that makes bucket-sketch *merging* (Algorithm 2
+of the paper) exact for the union.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hash64", "split_hash", "rho_positions"]
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def hash64(values: np.ndarray | int, seed: int = 0) -> np.ndarray:
+    """SplitMix64-mix ``values`` (ints or int arrays) into uniform uint64.
+
+    Parameters
+    ----------
+    values:
+        Scalar int or integer array; negative values are not supported
+        (point indices are always non-negative).
+    seed:
+        Salt mixed into the input; different seeds give independent
+        hash functions for all practical purposes.
+
+    Returns
+    -------
+    numpy.ndarray
+        uint64 array with the same shape as ``values`` (0-d for a
+        scalar input).
+    """
+    v = np.asarray(values, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        z = (v + np.uint64(seed) * _GOLDEN + _GOLDEN)
+        z = (z ^ (z >> np.uint64(30))) * _MIX1
+        z = (z ^ (z >> np.uint64(27))) * _MIX2
+        z = z ^ (z >> np.uint64(31))
+    return z
+
+
+def split_hash(hashes: np.ndarray, p: int) -> tuple[np.ndarray, np.ndarray]:
+    """Split 64-bit hashes into (register index, remaining bits).
+
+    The top ``p`` bits select one of ``m = 2**p`` registers (stochastic
+    averaging); the low ``64 - p`` bits feed the rank computation.
+
+    Returns
+    -------
+    (indices, rest):
+        ``indices`` as int64 in ``[0, 2**p)``; ``rest`` as uint64 with
+        the top ``p`` bits cleared.
+    """
+    h = np.asarray(hashes, dtype=np.uint64)
+    shift = np.uint64(64 - p)
+    indices = (h >> shift).astype(np.int64)
+    mask = np.uint64((1 << (64 - p)) - 1)
+    rest = h & mask
+    return indices, rest
+
+
+def rho_positions(rest: np.ndarray, width: int) -> np.ndarray:
+    """Position of the leftmost 1-bit in ``width``-bit words (1-based).
+
+    This is the ``rho`` function of Flajolet et al.: for a word whose
+    ``width`` low bits are ``0^{k-1} 1 ...`` when read from the most
+    significant of those bits, ``rho = k``.  An all-zero word maps to
+    ``width + 1`` (geometric tail convention).
+
+    Parameters
+    ----------
+    rest:
+        uint64 array whose low ``width`` bits carry the hash remainder.
+    width:
+        How many low bits are meaningful (``64 - p`` for precision p).
+    """
+    r = np.asarray(rest, dtype=np.uint64)
+    out = np.full(r.shape, width + 1, dtype=np.uint8)
+    found = np.zeros(r.shape, dtype=bool)
+    # Scan bits from the most significant of the `width` low bits down;
+    # this is a fixed 64-iteration loop at most, fully vectorised per bit.
+    for k in range(1, width + 1):
+        bit = np.uint64(1) << np.uint64(width - k)
+        hit = (~found) & ((r & bit) != 0)
+        out[hit] = k
+        found |= hit
+        if found.all():
+            break
+    return out

@@ -1,0 +1,98 @@
+"""K-Minimum-Values (bottom-k) distinct estimator.
+
+Ablation baseline A3: an alternative mergeable cardinality sketch.  A
+KMV sketch keeps the ``k`` smallest 64-bit hash values seen; with the
+hash space normalised to ``(0, 1]`` the estimator is ``(k - 1) / v_k``
+where ``v_k`` is the k-th smallest normalised value.  Merging takes the
+union of the two value sets and re-truncates to ``k``.
+
+Compared to HLL: similar accuracy per byte at small cardinalities, but
+each stored value is 8 bytes (vs. 1 byte per HLL register) and merge is
+``O(k log k)`` rather than ``O(m)``, which is why the paper's choice of
+HLL wins for per-bucket sketches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SketchError
+from repro.sketches.hashing64 import hash64
+
+__all__ = ["KMinValues"]
+
+_HASH_SPACE = float(2**64)
+
+
+class KMinValues:
+    """Bottom-k distinct estimator over integer element ids.
+
+    Parameters
+    ----------
+    k:
+        Number of minimum hash values retained; relative standard error
+        is roughly ``1 / sqrt(k - 2)``.
+    seed:
+        Hash salt; sketches merge only with equal ``k`` and ``seed``.
+    """
+
+    __slots__ = ("k", "seed", "_values")
+
+    def __init__(self, k: int = 128, seed: int = 0) -> None:
+        if not isinstance(k, (int, np.integer)) or isinstance(k, bool) or k < 2:
+            raise ConfigurationError(f"k must be an integer >= 2, got {k!r}")
+        self.k = int(k)
+        self.seed = int(seed)
+        self._values = np.empty(0, dtype=np.uint64)
+
+    def add(self, element: int) -> None:
+        """Insert one element id."""
+        self.add_batch(np.asarray([element], dtype=np.uint64))
+
+    def add_batch(self, elements: np.ndarray) -> None:
+        """Insert many element ids at once."""
+        elements = np.asarray(elements, dtype=np.uint64)
+        if elements.size == 0:
+            return
+        hashes = hash64(elements, seed=self.seed)
+        merged = np.union1d(self._values, hashes)  # sorted + deduplicated
+        self._values = merged[: self.k]
+
+    def estimate(self) -> float:
+        """Distinct-count estimate.
+
+        Exact (count of stored values) while fewer than ``k`` distinct
+        hashes have been seen; the order-statistics estimator
+        ``(k - 1) / v_k`` once the sketch is full.
+        """
+        if self._values.size < self.k:
+            return float(self._values.size)
+        v_k = float(self._values[self.k - 1]) / _HASH_SPACE
+        if v_k == 0.0:
+            return float(self.k)
+        return (self.k - 1) / v_k
+
+    def is_empty(self) -> bool:
+        """True if no element has ever been inserted."""
+        return self._values.size == 0
+
+    def merge_in_place(self, other: "KMinValues") -> "KMinValues":
+        """Union with ``other``; lossless for unions (bottom-k of union)."""
+        if not isinstance(other, KMinValues):
+            raise SketchError(f"cannot merge KMinValues with {type(other).__name__}")
+        if self.k != other.k or self.seed != other.seed:
+            raise SketchError(
+                f"incompatible sketches: (k={self.k}, seed={self.seed}) vs "
+                f"(k={other.k}, seed={other.seed})"
+            )
+        merged = np.union1d(self._values, other._values)
+        self._values = merged[: self.k]
+        return self
+
+    @property
+    def memory_bytes(self) -> int:
+        """Footprint of the stored hash values in bytes."""
+        return int(self._values.nbytes)
+
+    def __repr__(self) -> str:
+        return f"KMinValues(k={self.k}, estimate~{self.estimate():.1f})"

@@ -1,0 +1,168 @@
+"""Sparse HyperLogLog — the "practical version" memory optimisation.
+
+The HLL paper the reproduction cites ([9], and its engineering
+follow-ups popularised as HLL++) stores small-cardinality sketches as
+a list of ``(register, rank)`` pairs instead of a dense ``m``-byte
+register array, upgrading to dense form only when the pair list would
+outgrow it.  This is the same engineering insight as the paper's own
+small-bucket trick (DESIGN.md ablation A1), applied *inside* the
+sketch rather than at the bucket layer, and it composes with it: an
+index can keep dense sketches only for genuinely hot buckets.
+
+:class:`SparseHyperLogLog` is estimate- and merge-compatible with
+:class:`~repro.sketches.hyperloglog.HyperLogLog`: ``to_dense()``
+produces a bit-identical dense sketch, and merging mixed
+representations is supported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SketchError
+from repro.sketches.hashing64 import hash64, rho_positions, split_hash
+from repro.sketches.hyperloglog import HyperLogLog, _check_precision
+
+__all__ = ["SparseHyperLogLog"]
+
+
+class SparseHyperLogLog:
+    """Pair-list HLL that upgrades itself to dense past a threshold.
+
+    Parameters
+    ----------
+    p:
+        Precision (``m = 2**p`` registers once dense).
+    seed:
+        Hash salt; compatible with dense sketches of equal (p, seed).
+    dense_threshold:
+        Upgrade to a dense register array once more than this many
+        distinct registers are occupied.  ``None`` picks ``m // 4``
+        (each sparse entry costs ~4x a dense register byte).
+    """
+
+    __slots__ = ("p", "m", "seed", "dense_threshold", "_pairs", "_dense")
+
+    def __init__(self, p: int = 7, seed: int = 0, dense_threshold: int | None = None) -> None:
+        _check_precision(p)
+        self.p = int(p)
+        self.m = 1 << self.p
+        self.seed = int(seed)
+        self.dense_threshold = (
+            max(1, self.m // 4) if dense_threshold is None else int(dense_threshold)
+        )
+        self._pairs: dict[int, int] = {}
+        self._dense: HyperLogLog | None = None
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    @property
+    def is_dense(self) -> bool:
+        """Whether the sketch has upgraded to the dense register array."""
+        return self._dense is not None
+
+    def _maybe_upgrade(self) -> None:
+        if self._dense is None and len(self._pairs) > self.dense_threshold:
+            self._dense = self.to_dense()
+            self._pairs.clear()
+
+    def add(self, element: int) -> None:
+        """Insert one element id."""
+        if self._dense is not None:
+            self._dense.add(element)
+            return
+        h = hash64(np.uint64(element), seed=self.seed)
+        idx, rest = split_hash(h.reshape(1), self.p)
+        rank = int(rho_positions(rest, 64 - self.p)[0])
+        register = int(idx[0])
+        if rank > self._pairs.get(register, 0):
+            self._pairs[register] = rank
+        self._maybe_upgrade()
+
+    def add_batch(self, elements: np.ndarray) -> None:
+        """Insert many element ids at once."""
+        elements = np.asarray(elements, dtype=np.uint64)
+        if elements.size == 0:
+            return
+        if self._dense is not None:
+            self._dense.add_batch(elements)
+            return
+        h = hash64(elements, seed=self.seed)
+        idx, rest = split_hash(h, self.p)
+        ranks = rho_positions(rest, 64 - self.p)
+        for register, rank in zip(idx.tolist(), ranks.tolist()):
+            if rank > self._pairs.get(register, 0):
+                self._pairs[register] = rank
+        self._maybe_upgrade()
+
+    # ------------------------------------------------------------------
+    # Estimation and conversion
+    # ------------------------------------------------------------------
+    def to_dense(self) -> HyperLogLog:
+        """The equivalent dense sketch (bit-identical registers)."""
+        if self._dense is not None:
+            return self._dense.copy()
+        dense = HyperLogLog(p=self.p, seed=self.seed)
+        for register, rank in self._pairs.items():
+            dense.registers[register] = rank
+        return dense
+
+    def estimate(self) -> float:
+        """Cardinality estimate (same corrections as the dense sketch)."""
+        if self._dense is not None:
+            return self._dense.estimate()
+        return self.to_dense().estimate()
+
+    def is_empty(self) -> bool:
+        """True if no element has ever been inserted."""
+        if self._dense is not None:
+            return self._dense.is_empty()
+        return not self._pairs
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def merge_in_place(self, other: "SparseHyperLogLog | HyperLogLog") -> "SparseHyperLogLog":
+        """Union with a sparse or dense sketch of equal (p, seed)."""
+        if isinstance(other, HyperLogLog):
+            if other.p != self.p or other.seed != self.seed:
+                raise SketchError(
+                    f"incompatible sketches: (p={self.p}, seed={self.seed}) vs "
+                    f"(p={other.p}, seed={other.seed})"
+                )
+            if self._dense is None:
+                self._dense = self.to_dense()
+                self._pairs.clear()
+            self._dense.merge_in_place(other)
+            return self
+        if isinstance(other, SparseHyperLogLog):
+            if other.p != self.p or other.seed != self.seed:
+                raise SketchError(
+                    f"incompatible sketches: (p={self.p}, seed={self.seed}) vs "
+                    f"(p={other.p}, seed={other.seed})"
+                )
+            if other._dense is not None:
+                return self.merge_in_place(other._dense)
+            if self._dense is not None:
+                for register, rank in other._pairs.items():
+                    if rank > self._dense.registers[register]:
+                        self._dense.registers[register] = rank
+                return self
+            for register, rank in other._pairs.items():
+                if rank > self._pairs.get(register, 0):
+                    self._pairs[register] = rank
+            self._maybe_upgrade()
+            return self
+        raise SketchError(f"cannot merge SparseHyperLogLog with {type(other).__name__}")
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate footprint: dense registers, or ~12 bytes per pair."""
+        if self._dense is not None:
+            return self._dense.memory_bytes
+        return 12 * len(self._pairs)
+
+    def __repr__(self) -> str:
+        mode = "dense" if self.is_dense else f"sparse({len(self._pairs)} pairs)"
+        return f"SparseHyperLogLog(p={self.p}, {mode}, estimate~{self.estimate():.1f})"

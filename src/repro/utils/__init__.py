@@ -1,0 +1,25 @@
+"""Shared low-level helpers: seeded RNG management, validation, timing."""
+
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_delta,
+    check_matrix,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_vector,
+)
+
+__all__ = [
+    "RandomState",
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_delta",
+    "check_matrix",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_vector",
+]

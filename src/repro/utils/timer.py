@@ -1,0 +1,69 @@
+"""A tiny monotonic stopwatch used by the evaluation harness.
+
+The paper reports CPU time per query set; :class:`Timer` wraps
+:func:`time.perf_counter` behind a context manager so that the harness
+code stays free of timing boilerplate and the tests can assert on the
+accumulated state.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Accumulating stopwatch.
+
+    Can be used as a context manager (each ``with`` block adds to the
+    running total) or driven manually with :meth:`start` / :meth:`stop`.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(100))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        """Begin a timing interval; raises if one is already open."""
+        if self._started_at is not None:
+            raise RuntimeError("Timer is already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Close the open interval and return its duration in seconds."""
+        if self._started_at is None:
+            raise RuntimeError("Timer was not started")
+        interval = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.elapsed += interval
+        return interval
+
+    def reset(self) -> None:
+        """Zero the accumulated time; any open interval is discarded."""
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        """Whether an interval is currently open."""
+        return self._started_at is not None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self.running else "stopped"
+        return f"Timer(elapsed={self.elapsed:.6f}s, {state})"

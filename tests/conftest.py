@@ -1,0 +1,57 @@
+"""Shared fixtures: small deterministic datasets and indexes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import BitSamplingLSH, PStableLSH, SimHashLSH
+from repro.index import LSHIndex
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def gaussian_points(rng) -> np.ndarray:
+    """600 points in R^16: two tight clusters plus scattered noise."""
+    cluster_a = rng.normal(loc=0.0, scale=0.3, size=(250, 16))
+    cluster_b = rng.normal(loc=3.0, scale=0.3, size=(250, 16))
+    noise = rng.uniform(-6.0, 6.0, size=(100, 16))
+    return np.concatenate([cluster_a, cluster_b, noise])
+
+
+@pytest.fixture
+def binary_points(rng) -> np.ndarray:
+    """400 binary vectors in {0,1}^32 clustered around two templates."""
+    template_a = rng.integers(0, 2, size=32)
+    template_b = rng.integers(0, 2, size=32)
+    flips = rng.random(size=(400, 32)) < 0.08
+    base = np.where(np.arange(400)[:, None] < 200, template_a, template_b)
+    return (base ^ flips).astype(np.uint8)
+
+
+@pytest.fixture
+def l2_index(gaussian_points) -> LSHIndex:
+    family = PStableLSH(dim=16, w=2.0, p=2, seed=7)
+    return LSHIndex(family, k=4, num_tables=10, hll_precision=7, hll_seed=3).build(
+        gaussian_points
+    )
+
+
+@pytest.fixture
+def cosine_index(gaussian_points) -> LSHIndex:
+    family = SimHashLSH(dim=16, seed=7)
+    return LSHIndex(family, k=6, num_tables=10, hll_precision=7, hll_seed=3).build(
+        gaussian_points
+    )
+
+
+@pytest.fixture
+def hamming_index(binary_points) -> LSHIndex:
+    family = BitSamplingLSH(dim=32, seed=7)
+    return LSHIndex(family, k=8, num_tables=10, hll_precision=6, hll_seed=3).build(
+        binary_points
+    )

@@ -1,0 +1,58 @@
+"""Tests for the alpha/beta calibration (paper Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import calibrate_cost_model, measure_alpha, measure_beta
+from repro.exceptions import ConfigurationError
+
+RNG = np.random.default_rng(31)
+
+
+class TestMeasureBeta:
+    def test_positive(self):
+        beta = measure_beta(RNG.normal(size=(500, 16)), RNG.normal(size=(5, 16)), "l2")
+        assert beta > 0
+
+    def test_scales_with_dimension(self):
+        """Distance cost grows with d (the sparsity/metric dependence)."""
+        small = measure_beta(RNG.normal(size=(2000, 4)), RNG.normal(size=(5, 4)), "l2")
+        large = measure_beta(RNG.normal(size=(2000, 512)), RNG.normal(size=(5, 512)), "l2")
+        assert large > small
+
+
+class TestMeasureAlpha:
+    def test_positive(self):
+        assert measure_alpha(n=10_000, num_collisions=5_000, seed=0) > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            measure_alpha(n=0, num_collisions=10)
+        with pytest.raises(ConfigurationError):
+            measure_alpha(n=10, num_collisions=0)
+
+
+class TestCalibrate:
+    def test_report_fields(self):
+        points = RNG.normal(size=(2_000, 16))
+        report = calibrate_cost_model(points, "l2", num_queries=10, num_points=500, seed=0)
+        assert report.model.alpha == report.alpha_seconds
+        assert report.model.beta == report.beta_seconds
+        assert report.num_queries == 10
+        assert report.num_points == 500
+        assert report.beta_over_alpha > 0
+
+    def test_sample_sizes_clipped(self):
+        points = RNG.normal(size=(50, 8))
+        report = calibrate_cost_model(points, "l2", num_queries=100, num_points=10_000, seed=0)
+        assert report.num_queries == 50
+        assert report.num_points == 50
+
+    def test_deterministic_sampling(self):
+        """Same seed draws the same samples (timings differ, samples don't)."""
+        points = RNG.normal(size=(300, 8))
+        a = calibrate_cost_model(points, "l2", num_queries=5, num_points=100, seed=7)
+        b = calibrate_cost_model(points, "l2", num_queries=5, num_points=100, seed=7)
+        # Ratios are timing-noisy but must be the same order of magnitude.
+        ratio = a.beta_over_alpha / b.beta_over_alpha
+        assert 0.1 < ratio < 10.0

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface (tiny scales)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main([
+            "table1", "--datasets", "corel", "--n", "800",
+            "--queries", "10", "--tables", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "corel-like" in out
+        assert "% Cost" in out
+
+    def test_figure2(self, capsys):
+        assert main([
+            "figure2", "--dataset", "mnist", "--n", "800",
+            "--queries", "8", "--tables", "6", "--repeats", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Hybrid (s)" in out
+        assert "mnist-like" in out
+
+    def test_figure3(self, capsys):
+        assert main([
+            "figure3", "--n", "800", "--queries", "10", "--tables", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "%LS calls" in out
+
+    def test_profile(self, capsys):
+        assert main([
+            "profile", "--dataset", "webspam", "--n", "800", "--queries", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "suggested sweep" in out
+        assert "hardness at r" in out
+
+    def test_recall(self, capsys):
+        assert main([
+            "recall", "--dataset", "corel", "--n", "800",
+            "--queries", "8", "--tables", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Hybrid recall" in out
+        assert "Analytic" in out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure2", "--dataset", "nope"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,110 @@
+"""Tests for the covering LSH index (no-false-negative guarantee)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, HybridSearcher, LinearScan, LSHSearch
+from repro.exceptions import ConfigurationError, EmptyIndexError
+from repro.index import CoveringLSHIndex
+
+
+@pytest.fixture
+def covering_index(binary_points):
+    return CoveringLSHIndex(dim=32, radius=4, seed=1).build(binary_points)
+
+
+class TestConstruction:
+    def test_table_count_is_r_plus_1(self, covering_index):
+        assert covering_index.num_tables == 5
+        assert len(covering_index.tables) == 5
+
+    def test_blocks_partition_dimensions(self):
+        index = CoveringLSHIndex(dim=32, radius=4, seed=1)
+        all_positions = np.concatenate(index._blocks)
+        assert sorted(all_positions.tolist()) == list(range(32))
+
+    def test_radius_must_be_below_dim(self):
+        with pytest.raises(ConfigurationError):
+            CoveringLSHIndex(dim=8, radius=8)
+
+    def test_invalid_dedup(self):
+        with pytest.raises(ConfigurationError):
+            CoveringLSHIndex(dim=8, radius=2, dedup="bogus")
+
+    def test_unbuilt_raises(self):
+        index = CoveringLSHIndex(dim=8, radius=2)
+        with pytest.raises(EmptyIndexError):
+            index.lookup(np.zeros(8))
+
+
+class TestCoveringGuarantee:
+    def test_no_false_negatives(self, covering_index, binary_points):
+        """Every point within the construction radius MUST be a candidate.
+
+        This is the covering property: r differing bits cannot touch all
+        r + 1 blocks, so some block matches exactly.
+        """
+        scan = LinearScan(binary_points, "hamming")
+        searcher = LSHSearch(covering_index)
+        for i in range(0, 60, 7):
+            q = binary_points[i]
+            true_ids = scan.query(q, radius=4.0).ids
+            reported = searcher.query(q, radius=4.0).ids
+            assert np.array_equal(reported, true_ids)
+
+    def test_guarantee_holds_for_adversarial_flips(self, rng):
+        """Flipping exactly r bits anywhere still collides somewhere."""
+        dim, radius = 24, 3
+        base = rng.integers(0, 2, size=dim).astype(np.uint8)
+        variants = []
+        for _ in range(40):
+            flipped = base.copy()
+            positions = rng.choice(dim, size=radius, replace=False)
+            flipped[positions] ^= 1
+            variants.append(flipped)
+        points = np.stack([base] + variants)
+        index = CoveringLSHIndex(dim=dim, radius=radius, seed=0).build(points)
+        candidates = index.candidate_ids(index.lookup(base))
+        assert np.array_equal(candidates, np.arange(points.shape[0]))
+
+    def test_beyond_radius_not_guaranteed_but_allowed(self, covering_index, binary_points):
+        """Queries past the construction radius still work (subset of truth)."""
+        scan = LinearScan(binary_points, "hamming")
+        searcher = LSHSearch(covering_index)
+        q = binary_points[0]
+        reported = set(searcher.query(q, radius=10.0).ids.tolist())
+        true_ids = set(scan.query(q, radius=10.0).ids.tolist())
+        assert reported <= true_ids
+
+
+class TestHybridOnCovering:
+    def test_hybrid_searcher_works(self, covering_index, binary_points):
+        hybrid = HybridSearcher(covering_index, CostModel.from_ratio(1.0))
+        result = hybrid.query(binary_points[3], radius=4.0)
+        assert 3 in result.ids
+
+    def test_hybrid_is_exact_at_construction_radius(self, covering_index, binary_points):
+        """Covering guarantee + exact linear fallback => recall 1.0."""
+        hybrid = HybridSearcher(covering_index, CostModel.from_ratio(1.0))
+        scan = LinearScan(binary_points, "hamming")
+        for i in (0, 11, 47):
+            q = binary_points[i]
+            assert np.array_equal(
+                hybrid.query(q, radius=4.0).ids, scan.query(q, radius=4.0).ids
+            )
+
+    def test_sketch_estimate_available(self, covering_index, binary_points):
+        lookup = covering_index.lookup(binary_points[0])
+        exact = covering_index.candidate_ids(lookup).size
+        estimate = covering_index.merged_sketch(lookup).estimate()
+        assert exact > 0
+        assert abs(estimate - exact) / exact < 0.5
+
+    def test_collisions_are_large(self, covering_index, binary_points):
+        """Short block hashes => big buckets — the regime the paper says
+        most needs cost estimation."""
+        lookup = covering_index.lookup(binary_points[0])
+        assert lookup.num_collisions > covering_index.num_tables
+
+    def test_repr(self, covering_index):
+        assert "CoveringLSHIndex" in repr(covering_index)

@@ -1,0 +1,28 @@
+"""Execute the docstring examples of the public modules.
+
+Keeps the documentation honest: every ``>>>`` example in the package
+is run by the regular test suite (equivalent to
+``pytest --doctest-modules src/repro`` but wired into ``pytest tests/``).
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_module_names() -> list[str]:
+    names = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_module_names())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, optionflags=doctest.NORMALIZE_WHITESPACE)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

@@ -1,0 +1,136 @@
+"""Tests for metrics, ground truth and the query runner."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, HybridSearcher, LinearScan
+from repro.evaluation import GroundTruth, mean_recall, recall, relative_error, run_queries, summarize
+from repro.evaluation.metrics import Summary
+from repro.hashing import PStableLSH
+from repro.index import LSHIndex
+
+
+class TestRecall:
+    def test_perfect(self):
+        assert recall(np.array([1, 2, 3]), np.array([1, 2, 3])) == 1.0
+
+    def test_partial(self):
+        assert recall(np.array([1, 2]), np.array([1, 2, 3, 4])) == 0.5
+
+    def test_empty_truth(self):
+        assert recall(np.array([1, 2]), np.array([])) == 1.0
+
+    def test_empty_reported(self):
+        assert recall(np.array([]), np.array([1, 2])) == 0.0
+
+    def test_extra_reported_does_not_hurt(self):
+        assert recall(np.array([1, 2, 3, 99]), np.array([1, 2, 3])) == 1.0
+
+    def test_mean_recall(self):
+        reported = [np.array([1]), np.array([2, 3])]
+        truth = [np.array([1, 2]), np.array([2, 3])]
+        assert mean_recall(reported, truth) == pytest.approx(0.75)
+
+    def test_mean_recall_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_recall([np.array([1])], [])
+
+    def test_mean_recall_empty(self):
+        assert mean_recall([], []) == 1.0
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+
+    def test_zero_exact_zero_estimate(self):
+        assert relative_error(0, 0) == 0.0
+
+    def test_zero_exact_nonzero_estimate(self):
+        assert math.isinf(relative_error(5, 0))
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert isinstance(s, Summary)
+        assert s.mean == 2.0
+        assert s.min == 1.0
+        assert s.max == 3.0
+        assert s.count == 3
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestGroundTruth:
+    @pytest.fixture
+    def gt(self, gaussian_points):
+        return GroundTruth(gaussian_points[10:], gaussian_points[:10], "l2")
+
+    def test_neighbors_match_linear_scan(self, gt, gaussian_points):
+        scan = LinearScan(gaussian_points[10:], "l2")
+        for i in range(3):
+            expected = scan.query(gaussian_points[i], 1.5).ids
+            assert np.array_equal(gt.neighbors(i, 1.5), expected)
+
+    def test_distance_caching(self, gt):
+        a = gt.distances(0)
+        b = gt.distances(0)
+        assert a is b
+
+    def test_output_sizes(self, gt):
+        sizes = gt.output_sizes(1.5)
+        assert sizes.shape == (10,)
+        assert np.all(sizes >= 0)
+
+    def test_neighbor_sets(self, gt):
+        sets = gt.neighbor_sets(1.0)
+        assert len(sets) == 10
+
+    def test_monotone_in_radius(self, gt):
+        small = gt.output_sizes(0.5)
+        large = gt.output_sizes(2.0)
+        assert np.all(large >= small)
+
+
+class TestRunQueries:
+    @pytest.fixture
+    def setup(self, gaussian_points):
+        data, queries = gaussian_points[20:], gaussian_points[:20]
+        index = LSHIndex(PStableLSH(16, w=2.0, p=2, seed=1), k=4, num_tables=8).build(data)
+        searcher = HybridSearcher(index, CostModel.from_ratio(6.0))
+        truth = GroundTruth(data, queries, "l2")
+        return searcher, queries, truth
+
+    def test_fields(self, setup):
+        searcher, queries, truth = setup
+        run = run_queries(searcher, queries, 1.0, "hybrid", repeats=2, ground_truth=truth)
+        assert run.name == "hybrid"
+        assert run.total_seconds > 0
+        assert run.per_query_seconds == pytest.approx(run.total_seconds / 20)
+        assert 0.0 <= run.recall <= 1.0
+        assert run.output_sizes.shape == (20,)
+        assert 0.0 <= run.linear_call_fraction <= 1.0
+        assert len(run.results) == 20
+
+    def test_no_ground_truth_gives_nan_recall(self, setup):
+        searcher, queries, _ = setup
+        run = run_queries(searcher, queries, 1.0, "hybrid", repeats=1)
+        assert math.isnan(run.recall)
+
+    def test_linear_scan_fraction_is_one(self, gaussian_points):
+        scan = LinearScan(gaussian_points, "l2")
+        run = run_queries(scan, gaussian_points[:5], 1.0, "linear", repeats=1)
+        assert run.linear_call_fraction == 1.0
+
+    def test_invalid_repeats(self, setup):
+        searcher, queries, _ = setup
+        with pytest.raises(Exception):
+            run_queries(searcher, queries, 1.0, "x", repeats=0)

@@ -1,0 +1,126 @@
+"""Hypothesis-driven end-to-end fuzzing of the search stack.
+
+These tests generate random datasets, parameters and radii and assert
+the structural invariants that must hold for *every* input:
+
+* LSH search reports a subset of the exact answer (no false positives);
+* hybrid search equals whichever pure strategy it dispatched to;
+* the covering index reports exactly the true neighbor set at its
+  construction radius;
+* estimates and collision counts are internally consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CostModel, HybridSearcher, LinearScan, LSHSearch
+from repro.hashing import PStableLSH, SimHashLSH
+from repro.index import CoveringLSHIndex, LSHIndex
+
+
+@st.composite
+def gaussian_case(draw):
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(30, 150))
+    dim = draw(st.integers(2, 12))
+    k = draw(st.integers(1, 5))
+    num_tables = draw(st.integers(1, 8))
+    radius = draw(st.floats(0.1, 5.0))
+    rng = np.random.default_rng(seed)
+    points = rng.normal(scale=draw(st.floats(0.2, 3.0)), size=(n, dim))
+    return points, k, num_tables, radius, seed
+
+
+@st.composite
+def binary_case(draw):
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(20, 120))
+    dim = draw(st.integers(6, 32))
+    radius = draw(st.integers(1, 5))
+    rng = np.random.default_rng(seed)
+    points = rng.integers(0, 2, size=(n, dim)).astype(np.uint8)
+    return points, min(radius, dim - 1), seed
+
+
+class TestLSHSoundness:
+    @given(gaussian_case())
+    @settings(max_examples=25, deadline=None)
+    def test_lsh_reports_subset_of_truth(self, case):
+        points, k, num_tables, radius, seed = case
+        index = LSHIndex(
+            PStableLSH(points.shape[1], w=max(radius, 0.5), p=2, seed=seed),
+            k=k,
+            num_tables=num_tables,
+        ).build(points)
+        searcher = LSHSearch(index)
+        scan = LinearScan(points, "l2")
+        q = points[0]
+        reported = set(searcher.query(q, radius).ids.tolist())
+        truth = set(scan.query(q, radius).ids.tolist())
+        assert reported <= truth
+        assert 0 in reported  # self always collides with itself
+
+    @given(gaussian_case())
+    @settings(max_examples=25, deadline=None)
+    def test_collisions_bound_candidates(self, case):
+        points, k, num_tables, radius, seed = case
+        index = LSHIndex(
+            SimHashLSH(points.shape[1], seed=seed), k=k, num_tables=num_tables
+        ).build(points)
+        lookup = index.lookup(points[0])
+        candidates = index.candidate_ids(lookup)
+        assert candidates.size <= lookup.num_collisions
+        assert lookup.num_collisions <= index.n * num_tables
+
+
+class TestHybridSoundness:
+    @given(gaussian_case(), st.floats(0.01, 100.0))
+    @settings(max_examples=25, deadline=None)
+    def test_hybrid_equals_dispatched_strategy(self, case, ratio):
+        points, k, num_tables, radius, seed = case
+        index = LSHIndex(
+            PStableLSH(points.shape[1], w=max(radius, 0.5), p=2, seed=seed),
+            k=k,
+            num_tables=num_tables,
+        ).build(points)
+        model = CostModel.from_ratio(ratio)
+        hybrid = HybridSearcher(index, model)
+        q = points[0]
+        result = hybrid.query(q, radius)
+        if result.stats.strategy.value == "linear":
+            expected = LinearScan(points, "l2").query(q, radius).ids
+        else:
+            expected = LSHSearch(index).query(q, radius).ids
+        assert np.array_equal(result.ids, expected)
+
+    @given(gaussian_case())
+    @settings(max_examples=20, deadline=None)
+    def test_stats_costs_consistent(self, case):
+        points, k, num_tables, radius, seed = case
+        index = LSHIndex(
+            SimHashLSH(points.shape[1], seed=seed), k=k, num_tables=num_tables
+        ).build(points)
+        model = CostModel.from_ratio(3.0)
+        hybrid = HybridSearcher(index, model)
+        stats = hybrid.query(points[0], radius if radius <= 2.0 else 1.0).stats
+        recomputed = model.lsh_cost(stats.num_collisions, stats.estimated_candidates)
+        assert stats.estimated_lsh_cost == pytest.approx(recomputed)
+        assert stats.linear_cost == pytest.approx(model.linear_cost(index.n))
+
+
+class TestCoveringExactness:
+    @given(binary_case())
+    @settings(max_examples=25, deadline=None)
+    def test_covering_equals_truth_at_construction_radius(self, case):
+        points, radius, seed = case
+        index = CoveringLSHIndex(
+            dim=points.shape[1], radius=radius, seed=seed
+        ).build(points)
+        scan = LinearScan(points, "hamming")
+        searcher = LSHSearch(index)
+        q = points[0]
+        assert np.array_equal(
+            searcher.query(q, float(radius)).ids, scan.query(q, float(radius)).ids
+        )

@@ -1,0 +1,78 @@
+"""Tests for composite hashes and bucket-key encoding."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.hashing import SimHashLSH
+from repro.hashing.composite import CompositeHash, encode_rows
+
+RNG = np.random.default_rng(77)
+
+
+class TestEncodeRows:
+    def test_length(self):
+        keys = encode_rows(RNG.integers(-5, 5, size=(10, 3)))
+        assert len(keys) == 10
+
+    def test_key_width(self):
+        keys = encode_rows(np.zeros((2, 4), dtype=np.int64))
+        assert all(len(k) == 32 for k in keys)
+
+    def test_injective(self):
+        rows = np.array([[0, 1], [1, 0], [0, 0], [1, 1], [2, 1]])
+        keys = encode_rows(rows)
+        assert len(set(keys)) == 5
+
+    def test_equal_rows_equal_keys(self):
+        rows = np.array([[3, -7, 2], [3, -7, 2]])
+        keys = encode_rows(rows)
+        assert keys[0] == keys[1]
+
+    def test_negative_values_supported(self):
+        keys = encode_rows(np.array([[-1], [1]]))
+        assert keys[0] != keys[1]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            encode_rows(np.array([1, 2, 3]))
+
+    def test_platform_independent_layout(self):
+        key = encode_rows(np.array([[1]]))[0]
+        assert key == (1).to_bytes(8, "little")
+
+
+class TestCompositeHash:
+    def test_hash_matrix_shape(self):
+        g = SimHashLSH(dim=8, seed=0).sample(k=5)
+        assert g.hash_matrix(RNG.normal(size=(7, 8))).shape == (7, 5)
+
+    def test_hash_one_matches_matrix_row(self):
+        g = SimHashLSH(dim=8, seed=0).sample(k=5)
+        points = RNG.normal(size=(4, 8))
+        matrix = g.hash_matrix(points)
+        assert np.array_equal(g.hash_one(points[2]), matrix[2])
+
+    def test_key_one_matches_keys(self):
+        g = SimHashLSH(dim=8, seed=0).sample(k=5)
+        points = RNG.normal(size=(4, 8))
+        assert g.key_one(points[1]) == g.keys(points)[1]
+
+    def test_dimension_mismatch(self):
+        g = SimHashLSH(dim=8, seed=0).sample(k=3)
+        with pytest.raises(DimensionMismatchError):
+            g.hash_matrix(RNG.normal(size=(4, 9)))
+
+    def test_vector_rejected_by_hash_matrix(self):
+        g = SimHashLSH(dim=8, seed=0).sample(k=3)
+        with pytest.raises(DimensionMismatchError):
+            g.hash_matrix(RNG.normal(size=8))
+
+    def test_bad_kernel_shape_detected(self):
+        g = CompositeHash(lambda pts: np.zeros((pts.shape[0], 2), dtype=np.int64), k=3, dim=4)
+        with pytest.raises(RuntimeError):
+            g.hash_matrix(RNG.normal(size=(2, 4)))
+
+    def test_repr(self):
+        g = SimHashLSH(dim=8, seed=0).sample(k=3)
+        assert "k=3" in repr(g)

@@ -1,0 +1,110 @@
+"""Tests for the parameter rule k = ceil(log(1 - delta^(1/L)) / log p1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hashing import concatenation_width, expected_recall, success_probability
+
+
+class TestConcatenationWidth:
+    def test_paper_mnist_setting(self):
+        """MNIST at r=12, d=64: p1 = 1 - 12/64 = 0.8125 with L=50, delta=0.1."""
+        p1 = 1 - 12 / 64
+        k = concatenation_width(50, 0.1, p1)
+        expected = math.ceil(math.log(1 - 0.1 ** (1 / 50)) / math.log(p1))
+        assert k == expected
+
+    def test_guarantee_bracketing(self):
+        """The ceil rule brackets 1 - delta (E2LSH trades a hair of recall).
+
+        success(k) <= 1 - delta <= success(k - 1) whenever the real-valued
+        width is not an integer and k is not clamped.
+        """
+        for p1 in (0.5, 0.7, 0.85, 0.95):
+            for delta in (0.05, 0.1, 0.3):
+                for L in (10, 50, 200):
+                    k = concatenation_width(L, delta, p1)
+                    if k >= 64:  # clamped; bracketing not applicable
+                        continue
+                    assert success_probability(k, L, p1) <= 1 - delta + 1e-9
+                    if k > 1:
+                        assert success_probability(k - 1, L, p1) >= 1 - delta - 1e-9
+
+    def test_recall_close_to_target(self):
+        """At the paper's own settings the recall loss from ceil is small."""
+        p1 = 1 - 12 / 64  # MNIST at r = 12
+        k = concatenation_width(50, 0.1, p1)
+        assert success_probability(k, 50, p1) > 0.8  # target is 0.9
+
+    def test_p1_one_returns_cap(self):
+        assert concatenation_width(50, 0.1, 1.0, max_k=32) == 32
+
+    def test_tiny_p1_clamped(self):
+        assert concatenation_width(50, 0.1, 1e-9, max_k=64) <= 64
+
+    def test_minimum_is_one(self):
+        assert concatenation_width(1000, 0.9, 0.99) >= 1
+
+    @pytest.mark.parametrize("bad_p1", [0.0, -0.5, 1.5])
+    def test_invalid_p1(self, bad_p1):
+        with pytest.raises(ConfigurationError):
+            concatenation_width(50, 0.1, bad_p1)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ConfigurationError):
+            concatenation_width(50, 0.0, 0.9)
+
+    def test_invalid_tables(self):
+        with pytest.raises(ConfigurationError):
+            concatenation_width(0, 0.1, 0.9)
+
+    def test_larger_p1_allows_larger_k(self):
+        k_low = concatenation_width(50, 0.1, 0.7)
+        k_high = concatenation_width(50, 0.1, 0.95)
+        assert k_high >= k_low
+
+
+class TestSuccessProbability:
+    def test_bounds(self):
+        assert 0.0 <= success_probability(5, 10, 0.5) <= 1.0
+
+    def test_more_tables_help(self):
+        assert success_probability(5, 100, 0.8) > success_probability(5, 10, 0.8)
+
+    def test_wider_hash_hurts(self):
+        assert success_probability(10, 50, 0.8) < success_probability(5, 50, 0.8)
+
+    def test_p1_one_is_certain(self):
+        assert success_probability(8, 3, 1.0) == 1.0
+
+    def test_p1_zero_is_impossible(self):
+        assert success_probability(8, 3, 0.0) == 0.0
+
+    def test_invalid_p1(self):
+        with pytest.raises(ConfigurationError):
+            success_probability(5, 10, 1.5)
+
+
+class TestExpectedRecall:
+    def test_empty_is_perfect(self):
+        assert expected_recall(np.array([]), k=5, num_tables=10) == 1.0
+
+    def test_matches_single_point_formula(self):
+        probs = np.array([0.8])
+        assert expected_recall(probs, k=4, num_tables=20) == pytest.approx(
+            success_probability(4, 20, 0.8)
+        )
+
+    def test_mean_over_points(self):
+        probs = np.array([0.7, 0.9])
+        expected = 0.5 * (
+            success_probability(3, 10, 0.7) + success_probability(3, 10, 0.9)
+        )
+        assert expected_recall(probs, k=3, num_tables=10) == pytest.approx(expected)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            expected_recall(np.array([1.2]), k=3, num_tables=10)

@@ -1,0 +1,183 @@
+"""Tests for the HyperLogLog sketch."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SketchError
+from repro.sketches import HyperLogLog, PrecomputedHllHashes
+from repro.sketches.hyperloglog import alpha_m
+
+
+class TestAlphaM:
+    def test_known_constants(self):
+        assert alpha_m(16) == 0.673
+        assert alpha_m(32) == 0.697
+        assert alpha_m(64) == 0.709
+
+    def test_asymptotic_formula(self):
+        assert alpha_m(128) == pytest.approx(0.7213 / (1 + 1.079 / 128))
+
+    def test_monotone_beyond_64(self):
+        assert alpha_m(128) < alpha_m(1 << 14)
+
+
+class TestConstruction:
+    def test_register_count(self):
+        assert HyperLogLog(p=7).m == 128
+
+    def test_starts_empty(self):
+        assert HyperLogLog(p=5).is_empty()
+
+    @pytest.mark.parametrize("bad_p", [0, 1, 19, -3, 2.5, "a"])
+    def test_invalid_precision(self, bad_p):
+        with pytest.raises(ConfigurationError):
+            HyperLogLog(p=bad_p)
+
+    def test_relative_standard_error(self):
+        assert HyperLogLog(p=7).relative_standard_error == pytest.approx(1.04 / math.sqrt(128))
+
+
+class TestEstimation:
+    @pytest.mark.parametrize("true_count", [10, 100, 1000, 50_000])
+    def test_accuracy_within_4_sigma(self, true_count):
+        sketch = HyperLogLog(p=7, seed=11)
+        sketch.add_batch(np.arange(true_count))
+        err = abs(sketch.estimate() - true_count) / true_count
+        assert err < 4 * sketch.relative_standard_error
+
+    def test_empty_estimates_zero(self):
+        assert HyperLogLog(p=7).estimate() == 0.0
+
+    def test_exactish_for_tiny_counts(self):
+        """Small-range linear counting keeps tiny cardinalities accurate."""
+        sketch = HyperLogLog(p=7, seed=0)
+        sketch.add_batch(np.arange(5))
+        assert abs(sketch.estimate() - 5) <= 1.0
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = HyperLogLog(p=7, seed=1)
+        sketch.add_batch(np.tile(np.arange(200), 50))
+        err = abs(sketch.estimate() - 200) / 200
+        assert err < 4 * sketch.relative_standard_error
+
+    def test_add_scalar_matches_batch(self):
+        a = HyperLogLog(p=6, seed=2)
+        b = HyperLogLog(p=6, seed=2)
+        for i in range(300):
+            a.add(i)
+        b.add_batch(np.arange(300))
+        assert a == b
+
+    def test_higher_precision_is_more_accurate_on_average(self):
+        true_count = 20_000
+        errors = {}
+        for p in (4, 10):
+            errs = []
+            for seed in range(5):
+                sketch = HyperLogLog(p=p, seed=seed)
+                sketch.add_batch(np.arange(true_count))
+                errs.append(abs(sketch.estimate() - true_count) / true_count)
+            errors[p] = np.mean(errs)
+        assert errors[10] < errors[4]
+
+
+class TestMerge:
+    def test_merge_equals_union_sketch(self):
+        """Merging sketches of two sets gives the sketch of their union."""
+        a = HyperLogLog(p=7, seed=3)
+        b = HyperLogLog(p=7, seed=3)
+        union = HyperLogLog(p=7, seed=3)
+        a.add_batch(np.arange(0, 600))
+        b.add_batch(np.arange(400, 1000))
+        union.add_batch(np.arange(0, 1000))
+        assert a.merge(b) == union
+
+    def test_merge_in_place_returns_self(self):
+        a = HyperLogLog(p=5, seed=0)
+        b = HyperLogLog(p=5, seed=0)
+        assert a.merge_in_place(b) is a
+
+    def test_merge_is_idempotent(self):
+        a = HyperLogLog(p=6, seed=1)
+        a.add_batch(np.arange(100))
+        merged = a.merge(a)
+        assert merged == a
+
+    def test_merge_is_commutative(self):
+        a = HyperLogLog(p=6, seed=1)
+        b = HyperLogLog(p=6, seed=1)
+        a.add_batch(np.arange(50))
+        b.add_batch(np.arange(30, 90))
+        assert a.merge(b) == b.merge(a)
+
+    def test_incompatible_precision_raises(self):
+        with pytest.raises(SketchError):
+            HyperLogLog(p=6).merge(HyperLogLog(p=7))
+
+    def test_incompatible_seed_raises(self):
+        with pytest.raises(SketchError):
+            HyperLogLog(p=6, seed=0).merge(HyperLogLog(p=6, seed=1))
+
+    def test_merge_wrong_type_raises(self):
+        with pytest.raises(SketchError):
+            HyperLogLog(p=6).merge_in_place(object())
+
+    def test_merge_many(self):
+        parts = []
+        for start in range(0, 1000, 100):
+            s = HyperLogLog(p=7, seed=4)
+            s.add_batch(np.arange(start, start + 100))
+            parts.append(s)
+        merged = HyperLogLog.merge_many(parts)
+        err = abs(merged.estimate() - 1000) / 1000
+        assert err < 4 * merged.relative_standard_error
+
+    def test_merge_many_empty_list_raises(self):
+        with pytest.raises(SketchError):
+            HyperLogLog.merge_many([])
+
+    def test_copy_is_independent(self):
+        a = HyperLogLog(p=6, seed=0)
+        a.add_batch(np.arange(100))
+        b = a.copy()
+        b.add_batch(np.arange(100, 200))
+        assert a != b
+
+
+class TestPrecomputed:
+    def test_matches_direct_insertion(self):
+        n = 500
+        hashes = PrecomputedHllHashes(n, p=7, seed=9)
+        via_pairs = HyperLogLog(p=7, seed=9)
+        for i in range(n):
+            via_pairs.add_precomputed(*hashes.pair(i))
+        direct = HyperLogLog(p=7, seed=9)
+        direct.add_batch(np.arange(n))
+        assert via_pairs == direct
+
+    def test_batch_matches_scalar_path(self):
+        n = 300
+        hashes = PrecomputedHllHashes(n, p=6, seed=2)
+        a = HyperLogLog(p=6, seed=2)
+        a.add_precomputed_batch(hashes.registers, hashes.ranks)
+        b = HyperLogLog(p=6, seed=2)
+        for i in range(n):
+            b.add_precomputed(*hashes.pair(i))
+        assert a == b
+
+    def test_len(self):
+        assert len(PrecomputedHllHashes(42, p=5)) == 42
+
+    def test_negative_n_raises(self):
+        with pytest.raises(ConfigurationError):
+            PrecomputedHllHashes(-1, p=5)
+
+
+class TestMemory:
+    def test_memory_bytes_equals_m(self):
+        assert HyperLogLog(p=7).memory_bytes == 128
+
+    def test_repr(self):
+        assert "HyperLogLog" in repr(HyperLogLog(p=5))

@@ -1,0 +1,144 @@
+"""Tests for incremental insertion and batch lookup."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, HybridSearcher, LinearScan, LSHSearch
+from repro.exceptions import DimensionMismatchError, EmptyIndexError
+from repro.hashing import PStableLSH
+from repro.index import LSHIndex
+from repro.sketches import PrecomputedHllHashes
+
+
+def build_index(points, seed=5):
+    return LSHIndex(
+        PStableLSH(16, w=2.0, p=2, seed=seed), k=4, num_tables=8, hll_seed=3
+    ).build(points)
+
+
+class TestPrecomputedExtend:
+    def test_extend_preserves_prefix(self):
+        small = PrecomputedHllHashes(100, p=6, seed=2)
+        grown = PrecomputedHllHashes(100, p=6, seed=2)
+        grown.extend(250)
+        assert np.array_equal(small.registers, grown.registers[:100])
+        assert np.array_equal(small.ranks, grown.ranks[:100])
+
+    def test_extend_matches_fresh(self):
+        grown = PrecomputedHllHashes(100, p=6, seed=2)
+        grown.extend(250)
+        fresh = PrecomputedHllHashes(250, p=6, seed=2)
+        assert np.array_equal(grown.registers, fresh.registers)
+        assert np.array_equal(grown.ranks, fresh.ranks)
+
+    def test_extend_noop(self):
+        hashes = PrecomputedHllHashes(50, p=6, seed=2)
+        hashes.extend(50)
+        assert len(hashes) == 50
+
+    def test_shrink_rejected(self):
+        hashes = PrecomputedHllHashes(50, p=6, seed=2)
+        with pytest.raises(Exception):
+            hashes.extend(10)
+
+
+class TestIncrementalInsert:
+    def test_ids_assigned_sequentially(self, gaussian_points):
+        index = build_index(gaussian_points[:400])
+        new_ids = index.insert(gaussian_points[400:])
+        assert new_ids.tolist() == list(range(400, 600))
+        assert index.n == 600
+
+    def test_insert_empty(self, gaussian_points):
+        index = build_index(gaussian_points)
+        assert index.insert(np.empty((0, 16))).size == 0
+
+    def test_incremental_equals_bulk(self, gaussian_points):
+        """Build-then-insert must answer queries exactly like bulk build."""
+        bulk = build_index(gaussian_points, seed=5)
+        incremental = build_index(gaussian_points[:400], seed=5)
+        # Same seed => the family RNG state differs after build (bulk drew
+        # the same functions), so compare via search results instead of keys.
+        incremental.insert(gaussian_points[400:])
+        scan = LinearScan(gaussian_points, "l2")
+        for i in (0, 250, 450, 599):
+            q = gaussian_points[i]
+            inc_ids = set(LSHSearch(incremental).query(q, 1.2).ids.tolist())
+            true_ids = set(scan.query(q, 1.2).ids.tolist())
+            assert i in inc_ids
+            assert inc_ids <= true_ids
+
+    def test_inserted_points_are_findable(self, gaussian_points):
+        index = build_index(gaussian_points[:500])
+        index.insert(gaussian_points[500:])
+        searcher = LSHSearch(index)
+        for i in (500, 555, 599):
+            result = searcher.query(gaussian_points[i], radius=0.5)
+            assert i in result.ids
+
+    def test_sketches_cover_inserted_points(self, gaussian_points):
+        """The merged estimate must track exact counts after insertion."""
+        index = build_index(gaussian_points[:400])
+        index.insert(gaussian_points[400:])
+        errors = []
+        for i in range(0, 100, 10):
+            lookup = index.lookup(gaussian_points[i])
+            exact = index.candidate_ids(lookup).size
+            if exact < 10:
+                continue
+            estimate = index.merged_sketch(lookup).estimate()
+            errors.append(abs(estimate - exact) / exact)
+        assert errors and float(np.mean(errors)) < 0.25
+
+    def test_insert_dimension_mismatch(self, gaussian_points):
+        index = build_index(gaussian_points)
+        with pytest.raises(DimensionMismatchError):
+            index.insert(np.zeros((3, 5)))
+
+    def test_insert_before_build_rejected(self):
+        index = LSHIndex(PStableLSH(16, w=2.0, p=2, seed=0), k=2, num_tables=2)
+        with pytest.raises(EmptyIndexError):
+            index.insert(np.zeros((2, 16)))
+
+    def test_linear_branch_sees_inserted_points(self, gaussian_points):
+        """Regression: the hybrid's exact-scan fallback must cover points
+        inserted after the searcher was constructed (the cached scan
+        used to go stale)."""
+        from repro.core import CostModel, HybridSearcher
+
+        index = build_index(gaussian_points[:400])
+        # Force the linear branch for every query.
+        hybrid = HybridSearcher(index, CostModel(alpha=1e12, beta=1.0))
+        index.insert(gaussian_points[400:])
+        result = hybrid.query(gaussian_points[599], radius=0.5)
+        assert result.stats.strategy.value == "linear"
+        assert 599 in result.ids
+
+    def test_hybrid_after_insert(self, gaussian_points):
+        index = build_index(gaussian_points[:400])
+        index.insert(gaussian_points[400:])
+        hybrid = HybridSearcher(index, CostModel.from_ratio(6.0))
+        result = hybrid.query(gaussian_points[599], radius=1.0)
+        assert 599 in result.ids
+        assert result.stats.linear_cost == pytest.approx(
+            hybrid.cost_model.linear_cost(600)
+        )
+
+
+class TestLookupBatch:
+    def test_matches_single_lookups(self, l2_index, gaussian_points):
+        queries = gaussian_points[:10]
+        batch = l2_index.lookup_batch(queries)
+        for q, lookup in zip(queries, batch):
+            single = l2_index.lookup(q)
+            assert lookup.keys == single.keys
+            assert lookup.num_collisions == single.num_collisions
+
+    def test_empty_rejected(self, l2_index):
+        with pytest.raises(DimensionMismatchError):
+            l2_index.lookup_batch(np.zeros(16))  # 1-d, not a matrix
+
+    def test_unbuilt_rejected(self, gaussian_points):
+        index = LSHIndex(PStableLSH(16, w=2.0, p=2, seed=0), k=2, num_tables=2)
+        with pytest.raises(EmptyIndexError):
+            index.lookup_batch(gaussian_points[:3])

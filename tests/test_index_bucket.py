@@ -1,0 +1,123 @@
+"""Tests for buckets and the small-bucket (lazy sketch) trick."""
+
+import numpy as np
+import pytest
+
+from repro.index.bucket import Bucket
+from repro.sketches import HyperLogLog, PrecomputedHllHashes
+
+
+@pytest.fixture
+def hashes():
+    return PrecomputedHllHashes(1000, p=5, seed=4)
+
+
+class TestBucketBasics:
+    def test_append_and_size(self, hashes):
+        bucket = Bucket(hll_precision=5, hll_seed=4)
+        for i in range(10):
+            bucket.append(i, hashes)
+        assert bucket.size == 10
+        assert len(bucket) == 10
+
+    def test_ids_array(self, hashes):
+        bucket = Bucket(hll_precision=5, hll_seed=4)
+        bucket.append(3, hashes)
+        bucket.append(7, hashes)
+        assert bucket.ids.tolist() == [3, 7]
+        assert bucket.ids.dtype == np.int64
+
+    def test_ids_cache_invalidated_on_append(self, hashes):
+        bucket = Bucket(hll_precision=5, hll_seed=4)
+        bucket.append(1, hashes)
+        _ = bucket.ids
+        bucket.append(2, hashes)
+        assert bucket.ids.tolist() == [1, 2]
+
+
+class TestLazySketch:
+    def test_small_bucket_has_no_sketch(self, hashes):
+        bucket = Bucket(hll_precision=5, hll_seed=4)  # threshold = 32
+        for i in range(32):
+            bucket.append(i, hashes)
+        assert not bucket.has_sketch
+        assert bucket.sketch_memory_bytes == 0
+
+    def test_sketch_materialises_past_threshold(self, hashes):
+        bucket = Bucket(hll_precision=5, hll_seed=4)
+        for i in range(33):
+            bucket.append(i, hashes)
+        assert bucket.has_sketch
+        assert bucket.sketch_memory_bytes == 32
+
+    def test_materialised_sketch_covers_all_ids(self, hashes):
+        """The sketch built late must equal one built from the start."""
+        bucket = Bucket(hll_precision=5, hll_seed=4)
+        for i in range(100):
+            bucket.append(i, hashes)
+        reference = HyperLogLog(p=5, seed=4)
+        reference.add_batch(np.arange(100))
+        assert bucket.sketch == reference
+
+    def test_threshold_zero_sketches_immediately(self, hashes):
+        bucket = Bucket(hll_precision=5, hll_seed=4, lazy_threshold=0)
+        bucket.append(0, hashes)
+        assert bucket.has_sketch
+
+    def test_custom_threshold(self, hashes):
+        bucket = Bucket(hll_precision=5, hll_seed=4, lazy_threshold=5)
+        for i in range(5):
+            bucket.append(i, hashes)
+        assert not bucket.has_sketch
+        bucket.append(5, hashes)
+        assert bucket.has_sketch
+
+    def test_no_hashes_means_no_sketch(self):
+        bucket = Bucket(hll_precision=5, hll_seed=4, lazy_threshold=0)
+        bucket.append(0, None)
+        assert not bucket.has_sketch
+
+
+class TestContributeTo:
+    def test_lazy_bucket_contributes_raw_ids(self, hashes):
+        bucket = Bucket(hll_precision=5, hll_seed=4)
+        for i in range(10):
+            bucket.append(i, hashes)
+        merged = HyperLogLog(p=5, seed=4)
+        bucket.contribute_to(merged, hashes)
+        reference = HyperLogLog(p=5, seed=4)
+        reference.add_batch(np.arange(10))
+        assert merged == reference
+
+    def test_sketched_bucket_contributes_sketch(self, hashes):
+        bucket = Bucket(hll_precision=5, hll_seed=4, lazy_threshold=0)
+        for i in range(50):
+            bucket.append(i, hashes)
+        merged = HyperLogLog(p=5, seed=4)
+        bucket.contribute_to(merged, hashes)
+        reference = HyperLogLog(p=5, seed=4)
+        reference.add_batch(np.arange(50))
+        assert merged == reference
+
+    def test_lazy_and_eager_agree(self, hashes):
+        """The small-bucket trick must not change the merged estimate."""
+        lazy = Bucket(hll_precision=5, hll_seed=4, lazy_threshold=100)
+        eager = Bucket(hll_precision=5, hll_seed=4, lazy_threshold=0)
+        for i in range(60):
+            lazy.append(i, hashes)
+            eager.append(i, hashes)
+        merged_lazy = HyperLogLog(p=5, seed=4)
+        merged_eager = HyperLogLog(p=5, seed=4)
+        lazy.contribute_to(merged_lazy, hashes)
+        eager.contribute_to(merged_eager, hashes)
+        assert merged_lazy == merged_eager
+
+    def test_empty_bucket_contributes_nothing(self, hashes):
+        bucket = Bucket(hll_precision=5, hll_seed=4)
+        merged = HyperLogLog(p=5, seed=4)
+        bucket.contribute_to(merged, hashes)
+        assert merged.is_empty()
+
+    def test_repr(self, hashes):
+        bucket = Bucket(hll_precision=5, hll_seed=4)
+        assert "lazy" in repr(bucket)

@@ -1,0 +1,67 @@
+"""Tests for the single hash table grouping logic."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.composite import encode_rows
+from repro.index.table import HashTable
+from repro.sketches import PrecomputedHllHashes
+
+
+@pytest.fixture
+def hashes():
+    return PrecomputedHllHashes(100, p=5, seed=1)
+
+
+class TestInsertHashed:
+    def test_groups_by_row(self, hashes):
+        table = HashTable(hll_precision=5, hll_seed=1)
+        hash_matrix = np.array([[0, 0], [1, 1], [0, 0], [2, 2], [1, 1], [0, 0]])
+        table.insert_hashed(hash_matrix, hashes)
+        assert table.num_buckets == 3
+        key_000 = encode_rows(np.array([[0, 0]]))[0]
+        assert table.get(key_000).ids.tolist() == [0, 2, 5]
+
+    def test_every_point_exactly_once(self, hashes):
+        rng = np.random.default_rng(0)
+        hash_matrix = rng.integers(-3, 3, size=(100, 3))
+        table = HashTable(hll_precision=5, hll_seed=1)
+        table.insert_hashed(hash_matrix, hashes)
+        all_ids = np.concatenate([b.ids for b in table.buckets.values()])
+        assert sorted(all_ids.tolist()) == list(range(100))
+
+    def test_bucket_keys_match_rows(self, hashes):
+        rng = np.random.default_rng(1)
+        hash_matrix = rng.integers(0, 2, size=(50, 4))
+        table = HashTable(hll_precision=5, hll_seed=1)
+        table.insert_hashed(hash_matrix, hashes)
+        for i in range(50):
+            key = encode_rows(hash_matrix[i][None, :])[0]
+            assert i in table.get(key).ids
+
+    def test_missing_key_returns_none(self, hashes):
+        table = HashTable()
+        table.insert_hashed(np.array([[1]]), None)
+        assert table.get(b"\x00" * 8) is None
+
+    def test_bucket_sizes(self, hashes):
+        table = HashTable(hll_precision=5, hll_seed=1)
+        table.insert_hashed(np.array([[0], [0], [1]]), hashes)
+        assert sorted(table.bucket_sizes().tolist()) == [1, 2]
+
+    def test_sketchless_table(self):
+        table = HashTable(with_sketches=False)
+        table.insert_hashed(np.zeros((40, 2), dtype=np.int64), None)
+        bucket = next(iter(table.buckets.values()))
+        assert not bucket.has_sketch
+        assert table.sketch_memory_bytes == 0
+
+    def test_sketches_built_past_threshold(self, hashes):
+        table = HashTable(hll_precision=5, hll_seed=1, lazy_threshold=10)
+        table.insert_hashed(np.zeros((40, 2), dtype=np.int64), hashes)
+        bucket = next(iter(table.buckets.values()))
+        assert bucket.has_sketch
+
+    def test_repr(self):
+        table = HashTable()
+        assert "HashTable" in repr(table)

@@ -1,0 +1,63 @@
+"""Tests for the linear-scan baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import LinearScan, Strategy
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+
+class TestLinearScan:
+    def test_exactness(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0], [6.0, 8.0]])
+        scan = LinearScan(points, "l2")
+        result = scan.query(np.array([0.0, 0.0]), radius=5.0)
+        assert result.ids.tolist() == [0, 1]
+        assert result.distances.tolist() == [0.0, 5.0]
+
+    def test_empty_result(self):
+        scan = LinearScan(np.ones((5, 2)), "l2")
+        result = scan.query(np.array([100.0, 100.0]), radius=1.0)
+        assert result.output_size == 0
+
+    def test_all_within(self):
+        scan = LinearScan(np.zeros((7, 3)), "l2")
+        result = scan.query(np.zeros(3), radius=0.5)
+        assert result.output_size == 7
+
+    def test_strategy_label(self):
+        scan = LinearScan(np.zeros((3, 2)), "l2")
+        assert scan.query(np.zeros(2), 1.0).stats.strategy == Strategy.LINEAR
+
+    def test_radius_boundary_inclusive(self):
+        """f(x, q) <= r per Definition 1: boundary points are reported."""
+        scan = LinearScan(np.array([[3.0, 4.0]]), "l2")
+        assert scan.query(np.zeros(2), radius=5.0).output_size == 1
+
+    def test_invalid_radius(self):
+        scan = LinearScan(np.zeros((3, 2)), "l2")
+        with pytest.raises(ConfigurationError):
+            scan.query(np.zeros(2), radius=0.0)
+
+    def test_dimension_mismatch(self):
+        scan = LinearScan(np.zeros((3, 2)), "l2")
+        with pytest.raises(DimensionMismatchError):
+            scan.query(np.zeros(3), radius=1.0)
+
+    def test_query_ids_shortcut(self):
+        points = np.array([[0.0], [1.0], [10.0]])
+        scan = LinearScan(points, "l1")
+        assert scan.query_ids(np.array([0.0]), 2.0).tolist() == [0, 1]
+
+    def test_recall_is_always_perfect(self, gaussian_points):
+        scan = LinearScan(gaussian_points, "l2")
+        q = gaussian_points[0]
+        result = scan.query(q, radius=2.0)
+        assert result.recall_against(result.ids) == 1.0
+
+    @pytest.mark.parametrize("metric", ["l1", "l2", "cosine"])
+    def test_metrics_supported(self, metric, gaussian_points):
+        scan = LinearScan(gaussian_points, metric)
+        radius = 2.0 if metric != "cosine" else 0.5
+        result = scan.query(gaussian_points[0], radius)
+        assert 0 in result.ids  # self at distance 0

@@ -1,0 +1,65 @@
+"""Tests for memory accounting and batched hybrid queries."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, HybridSearcher
+from repro.exceptions import EmptyIndexError
+from repro.hashing import PStableLSH
+from repro.index import LSHIndex
+
+
+class TestMemoryReport:
+    def test_keys_present(self, l2_index):
+        report = l2_index.memory_report()
+        assert set(report) == {"points", "bucket_ids", "bucket_keys", "sketches", "total"}
+
+    def test_total_is_sum(self, l2_index):
+        report = l2_index.memory_report()
+        assert report["total"] == (
+            report["points"] + report["bucket_ids"] + report["bucket_keys"] + report["sketches"]
+        )
+
+    def test_bucket_ids_accounting(self, l2_index, gaussian_points):
+        """Each point stored once per table at 8 bytes per id."""
+        report = l2_index.memory_report()
+        assert report["bucket_ids"] == 8 * gaussian_points.shape[0] * 10
+
+    def test_paper_space_claim(self, gaussian_points):
+        """§3.2: with the lazy threshold, sketch memory stays below the
+        id storage of the buckets that carry sketches (m < 8m each)."""
+        index = LSHIndex(
+            PStableLSH(16, w=4.0, p=2, seed=1), k=2, num_tables=8, hll_precision=5
+        ).build(gaussian_points)
+        report = index.memory_report()
+        assert report["sketches"] < report["bucket_ids"]
+
+    def test_unbuilt_raises(self):
+        index = LSHIndex(PStableLSH(4, w=1.0, p=2, seed=0), k=2, num_tables=2)
+        with pytest.raises(EmptyIndexError):
+            index.memory_report()
+
+
+class TestQueryBatch:
+    @pytest.fixture
+    def hybrid(self, l2_index):
+        return HybridSearcher(l2_index, CostModel.from_ratio(6.0))
+
+    def test_matches_single_queries(self, hybrid, gaussian_points):
+        queries = gaussian_points[:12]
+        batch = hybrid.query_batch(queries, radius=1.2)
+        for q, batched_result in zip(queries, batch):
+            single = hybrid.query(q, radius=1.2)
+            assert np.array_equal(batched_result.ids, single.ids)
+            assert batched_result.stats.strategy == single.stats.strategy
+            assert batched_result.stats.num_collisions == single.stats.num_collisions
+
+    def test_stats_filled(self, hybrid, gaussian_points):
+        results = hybrid.query_batch(gaussian_points[:3], radius=1.0)
+        for result in results:
+            assert result.stats.estimated_lsh_cost >= 0
+            assert result.stats.linear_cost > 0
+
+    def test_invalid_radius(self, hybrid, gaussian_points):
+        with pytest.raises(Exception):
+            hybrid.query_batch(gaussian_points[:3], radius=0.0)

@@ -1,0 +1,80 @@
+"""Tests for multi-probe perturbation sequences."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.composite import encode_rows
+from repro.hashing.probing import hamming_probe_keys, perturbation_offsets
+
+
+class TestPerturbationOffsets:
+    def test_count(self):
+        assert len(perturbation_offsets(k=4, num_probes=6)) == 6
+
+    def test_zero_probes(self):
+        assert perturbation_offsets(k=4, num_probes=0) == []
+
+    def test_no_zero_vector(self):
+        for delta in perturbation_offsets(k=3, num_probes=10):
+            assert np.any(delta != 0)
+
+    def test_values_in_pm_one(self):
+        for delta in perturbation_offsets(k=3, num_probes=20):
+            assert set(np.unique(delta)) <= {-1, 0, 1}
+
+    def test_single_perturbations_first(self):
+        offsets = perturbation_offsets(k=5, num_probes=10)
+        # 5 coordinates x 2 signs = 10 weight-1 offsets come first.
+        assert all(np.count_nonzero(d) == 1 for d in offsets)
+
+    def test_weight_two_after_weight_one(self):
+        offsets = perturbation_offsets(k=2, num_probes=8)
+        weights = [int(np.count_nonzero(d)) for d in offsets]
+        assert weights == sorted(weights)
+
+    def test_distinct(self):
+        offsets = perturbation_offsets(k=3, num_probes=15)
+        keys = {tuple(d.tolist()) for d in offsets}
+        assert len(keys) == len(offsets)
+
+    def test_exhausts_gracefully(self):
+        """Asking for more probes than exist returns all of them."""
+        offsets = perturbation_offsets(k=1, num_probes=100)
+        assert len(offsets) == 2  # only -1 and +1 for a single coordinate
+
+    def test_negative_probes_raises(self):
+        with pytest.raises(ValueError):
+            perturbation_offsets(k=3, num_probes=-1)
+
+
+class TestHammingProbeKeys:
+    def test_count(self):
+        row = np.array([0, 1, 0, 1])
+        assert len(hamming_probe_keys(row, num_probes=4)) == 4
+
+    def test_single_flips_first(self):
+        row = np.array([0, 0, 0])
+        keys = hamming_probe_keys(row, num_probes=3)
+        expected = [
+            encode_rows(np.array([[1, 0, 0]]))[0],
+            encode_rows(np.array([[0, 1, 0]]))[0],
+            encode_rows(np.array([[0, 0, 1]]))[0],
+        ]
+        assert keys == expected
+
+    def test_home_bucket_excluded(self):
+        row = np.array([1, 0])
+        home = encode_rows(row[None, :])[0]
+        assert home not in hamming_probe_keys(row, num_probes=5)
+
+    def test_distinct(self):
+        row = np.array([0, 1, 1, 0, 1])
+        keys = hamming_probe_keys(row, num_probes=12)
+        assert len(set(keys)) == len(keys)
+
+    def test_zero_probes(self):
+        assert hamming_probe_keys(np.array([0, 1]), num_probes=0) == []
+
+    def test_negative_probes_raises(self):
+        with pytest.raises(ValueError):
+            hamming_probe_keys(np.array([0, 1]), num_probes=-2)

@@ -1,0 +1,99 @@
+"""Tests for dataset distance/hardness profiling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import webspam_like
+from repro.evaluation.profile import (
+    distance_profile,
+    hardness_profile,
+    suggest_radii,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def profile():
+    rng = np.random.default_rng(3)
+    points = rng.normal(size=(800, 12))
+    return distance_profile(points, "l2", num_queries=30, num_points=400, seed=0), points
+
+
+class TestDistanceProfile:
+    def test_quantiles_monotone(self, profile):
+        prof, _ = profile
+        levels = sorted(prof.quantiles)
+        values = [prof.quantiles[q] for q in levels]
+        assert values == sorted(values)
+
+    def test_fraction_within_endpoints(self, profile):
+        prof, _ = profile
+        assert prof.fraction_within(0.0) == 0.0
+        assert prof.fraction_within(1e9) == pytest.approx(0.99)
+
+    def test_fraction_within_is_monotone(self, profile):
+        prof, _ = profile
+        radii = np.linspace(prof.quantiles[0.01], prof.quantiles[0.99], 10)
+        fractions = [prof.fraction_within(r) for r in radii]
+        assert fractions == sorted(fractions)
+
+    def test_fraction_within_matches_quantile(self, profile):
+        prof, _ = profile
+        assert prof.fraction_within(prof.quantiles[0.5]) == pytest.approx(0.5, abs=0.05)
+
+    def test_metric_recorded(self, profile):
+        prof, _ = profile
+        assert prof.metric == "l2"
+
+    def test_degenerate_dataset_raises(self):
+        with pytest.raises(ConfigurationError):
+            distance_profile(np.zeros((50, 3)), "l2", seed=0)
+
+
+class TestSuggestRadii:
+    def test_count_and_order(self, profile):
+        prof, _ = profile
+        radii = suggest_radii(prof, num_radii=6)
+        assert len(radii) == 6
+        assert list(radii) == sorted(radii)
+
+    def test_band_respected(self, profile):
+        prof, _ = profile
+        radii = suggest_radii(prof, low_fraction=0.01, high_fraction=0.2)
+        assert prof.fraction_within(radii[0]) == pytest.approx(0.01, abs=0.02)
+        assert prof.fraction_within(radii[-1]) == pytest.approx(0.2, abs=0.05)
+
+    def test_invalid_band(self, profile):
+        prof, _ = profile
+        with pytest.raises(ConfigurationError):
+            suggest_radii(prof, low_fraction=0.5, high_fraction=0.1)
+
+    def test_standins_sweeps_sit_in_band(self):
+        """Validates the stand-in design: the paper's radii fall in a
+        sensible neighbor-fraction band for our webspam-like data."""
+        ds = webspam_like(n=1500, seed=0)
+        prof = distance_profile(ds.points, ds.metric, seed=0)
+        assert 0.001 < prof.fraction_within(min(ds.radii))
+        assert prof.fraction_within(max(ds.radii)) < 0.9
+
+
+class TestHardnessProfile:
+    def test_fields(self, profile):
+        _, points = profile
+        hardness = hardness_profile(points, "l2", radius=2.0, num_queries=20, seed=0)
+        assert hardness.min_output <= hardness.avg_output <= hardness.max_output
+        assert 0.0 <= hardness.hard_fraction <= 1.0
+        assert hardness.n == points.shape[0]
+
+    def test_webspam_hardness_grows_with_radius(self):
+        ds = webspam_like(n=1500, seed=0)
+        low = hardness_profile(ds.points, "cosine", radius=0.05, num_queries=30, seed=0)
+        high = hardness_profile(ds.points, "cosine", radius=0.10, num_queries=30, seed=0)
+        assert high.hard_fraction >= low.hard_fraction
+
+    def test_custom_threshold(self, profile):
+        _, points = profile
+        hardness = hardness_profile(
+            points, "l2", radius=2.0, num_queries=10, hard_threshold=1, seed=0
+        )
+        assert hardness.hard_threshold == 1

@@ -1,0 +1,52 @@
+"""Tests for the recall experiment (the paper's omitted result)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel
+from repro.datasets import webspam_like
+from repro.evaluation import recall_experiment
+from repro.evaluation.report import format_recall
+
+
+@pytest.fixture(scope="module")
+def rows():
+    dataset = webspam_like(n=1200, seed=0)
+    return recall_experiment(
+        dataset,
+        radii=(0.06, 0.1),
+        num_queries=20,
+        num_tables=12,
+        cost_model=CostModel.from_ratio(10.0),
+        seed=0,
+    )
+
+
+class TestRecallExperiment:
+    def test_row_count(self, rows):
+        assert len(rows) == 2
+
+    def test_recalls_in_unit_interval(self, rows):
+        for row in rows:
+            assert 0.0 <= row.lsh_recall <= 1.0
+            assert 0.0 <= row.hybrid_recall <= 1.0
+            assert 0.0 <= row.analytic_recall <= 1.0
+
+    def test_hybrid_dominates_lsh(self, rows):
+        """The paper's claim: linear fallbacks can only add true neighbors."""
+        for row in rows:
+            assert row.hybrid_recall >= row.lsh_recall - 1e-9
+
+    def test_lsh_tracks_analytic(self, rows):
+        for row in rows:
+            assert abs(row.lsh_recall - row.analytic_recall) < 0.2
+
+    def test_linear_fraction_bounds(self, rows):
+        for row in rows:
+            assert 0.0 <= row.linear_call_fraction <= 1.0
+
+    def test_format(self, rows):
+        text = format_recall(rows, title="test")
+        assert "Hybrid recall" in text
+        assert "Analytic" in text
+        assert text.startswith("test")

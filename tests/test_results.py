@@ -1,0 +1,63 @@
+"""Tests for the result/statistics types."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import QueryResult, QueryStats, Strategy
+
+
+class TestStrategy:
+    def test_values(self):
+        assert Strategy.LSH.value == "lsh"
+        assert Strategy.LINEAR.value == "linear"
+
+    def test_string_comparison(self):
+        assert Strategy.LSH == "lsh"
+
+
+class TestQueryStats:
+    def test_defaults(self):
+        stats = QueryStats()
+        assert stats.num_collisions == 0
+        assert np.isnan(stats.estimated_candidates)
+        assert stats.exact_candidates == -1
+        assert stats.strategy == Strategy.LSH
+
+
+class TestQueryResult:
+    @pytest.fixture
+    def result(self):
+        return QueryResult(
+            ids=np.array([2, 5, 9]),
+            distances=np.array([0.1, 0.5, 0.9]),
+            radius=1.0,
+        )
+
+    def test_output_size(self, result):
+        assert result.output_size == 3
+
+    def test_recall_perfect(self, result):
+        assert result.recall_against(np.array([2, 5, 9])) == 1.0
+
+    def test_recall_partial(self, result):
+        assert result.recall_against(np.array([2, 5, 9, 11])) == 0.75
+
+    def test_recall_empty_truth(self, result):
+        assert result.recall_against(np.array([])) == 1.0
+
+    def test_recall_zero(self, result):
+        assert result.recall_against(np.array([100, 200])) == 0.0
+
+    def test_repr(self, result):
+        text = repr(result)
+        assert "found=3" in text
+        assert "lsh" in text
+
+    def test_empty_result(self):
+        result = QueryResult(
+            ids=np.empty(0, dtype=np.int64),
+            distances=np.empty(0),
+            radius=0.5,
+        )
+        assert result.output_size == 0
+        assert result.recall_against(np.array([1])) == 0.0

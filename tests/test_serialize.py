@@ -1,0 +1,146 @@
+"""Tests for index persistence (save_index / load_index)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, HybridSearcher, LSHSearch
+from repro.exceptions import ConfigurationError
+from repro.hashing import BitSamplingLSH, MinHashLSH, PStableLSH, SimHashLSH
+from repro.index import LSHIndex
+from repro.index.serialize import load_index, save_index
+
+
+def roundtrip(index, tmp_path):
+    path = str(tmp_path / "index.npz")
+    save_index(index, path)
+    return load_index(path)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "family_factory",
+        [
+            lambda: PStableLSH(16, w=2.0, p=2, seed=5),
+            lambda: PStableLSH(16, w=3.0, p=1, seed=5),
+            lambda: SimHashLSH(16, seed=5),
+        ],
+    )
+    def test_real_valued_families(self, family_factory, gaussian_points, tmp_path):
+        index = LSHIndex(family_factory(), k=4, num_tables=6, hll_seed=2).build(
+            gaussian_points
+        )
+        loaded = roundtrip(index, tmp_path)
+        for i in (0, 17, 91):
+            q = gaussian_points[i]
+            a = index.lookup(q)
+            b = loaded.lookup(q)
+            assert a.keys == b.keys
+            assert np.array_equal(index.candidate_ids(a), loaded.candidate_ids(b))
+
+    def test_bit_sampling(self, binary_points, tmp_path):
+        index = LSHIndex(BitSamplingLSH(32, seed=1), k=8, num_tables=5).build(
+            binary_points
+        )
+        loaded = roundtrip(index, tmp_path)
+        q = binary_points[3]
+        assert np.array_equal(
+            index.candidate_ids(index.lookup(q)), loaded.candidate_ids(loaded.lookup(q))
+        )
+
+    def test_minhash(self, rng, tmp_path):
+        points = (rng.random((100, 24)) < 0.3).astype(np.uint8)
+        index = LSHIndex(MinHashLSH(24, seed=1), k=2, num_tables=4).build(points)
+        loaded = roundtrip(index, tmp_path)
+        q = points[7]
+        assert index.lookup(q).keys == loaded.lookup(q).keys
+
+    def test_sketches_rebuilt_identically(self, gaussian_points, tmp_path):
+        index = LSHIndex(
+            PStableLSH(16, w=2.0, p=2, seed=5), k=4, num_tables=6, hll_seed=9
+        ).build(gaussian_points)
+        loaded = roundtrip(index, tmp_path)
+        q = gaussian_points[0]
+        original = index.merged_sketch(index.lookup(q))
+        restored = loaded.merged_sketch(loaded.lookup(q))
+        assert original == restored
+
+    def test_search_results_identical(self, gaussian_points, tmp_path):
+        index = LSHIndex(PStableLSH(16, w=2.0, p=2, seed=5), k=4, num_tables=6).build(
+            gaussian_points
+        )
+        loaded = roundtrip(index, tmp_path)
+        a = LSHSearch(index).query(gaussian_points[2], 1.5)
+        b = LSHSearch(loaded).query(gaussian_points[2], 1.5)
+        assert np.array_equal(a.ids, b.ids)
+        assert np.allclose(a.distances, b.distances)
+
+    def test_hybrid_works_on_loaded_index(self, gaussian_points, tmp_path):
+        index = LSHIndex(PStableLSH(16, w=2.0, p=2, seed=5), k=4, num_tables=6).build(
+            gaussian_points
+        )
+        loaded = roundtrip(index, tmp_path)
+        hybrid = HybridSearcher(loaded, CostModel.from_ratio(6.0))
+        result = hybrid.query(gaussian_points[0], radius=1.0)
+        assert 0 in result.ids
+
+    def test_config_preserved(self, gaussian_points, tmp_path):
+        index = LSHIndex(
+            PStableLSH(16, w=2.5, p=1, seed=3),
+            k=3,
+            num_tables=4,
+            hll_precision=6,
+            hll_seed=11,
+            lazy_threshold=17,
+            dedup="vectorized",
+        ).build(gaussian_points)
+        loaded = roundtrip(index, tmp_path)
+        assert loaded.k == 3
+        assert loaded.num_tables == 4
+        assert loaded.hll_precision == 6
+        assert loaded.hll_seed == 11
+        assert loaded.lazy_threshold == 17
+        assert loaded.dedup == "vectorized"
+        assert loaded.family.p == 1
+        assert loaded.family.w == 2.5
+
+
+class TestErrors:
+    def test_unbuilt_index_rejected(self, tmp_path):
+        index = LSHIndex(SimHashLSH(8, seed=0), k=2, num_tables=2)
+        with pytest.raises(ConfigurationError):
+            save_index(index, str(tmp_path / "x.npz"))
+
+    def test_generic_family_rejected(self, gaussian_points, tmp_path):
+        from repro.hashing.base import LSHFamily
+        from repro.hashing.composite import CompositeHash
+
+        class CustomFamily(LSHFamily):
+            metric_name = "l2"
+
+            def sample(self, k):
+                coords = self._rng.integers(0, self.dim, size=k)
+
+                def kernel(points):
+                    return np.floor(points[:, coords]).astype(np.int64)
+
+                return CompositeHash(kernel, k=k, dim=self.dim)
+
+            def collision_probability(self, distance):
+                return max(0.0, 1.0 - distance)
+
+        index = LSHIndex(CustomFamily(16, seed=0), k=2, num_tables=2).build(
+            gaussian_points
+        )
+        with pytest.raises(ConfigurationError):
+            save_index(index, str(tmp_path / "x.npz"))
+
+    def test_sketchless_roundtrip(self, gaussian_points, tmp_path):
+        index = LSHIndex(
+            SimHashLSH(16, seed=0), k=3, num_tables=3, with_sketches=False
+        ).build(gaussian_points)
+        loaded = roundtrip(index, tmp_path)
+        assert not loaded.with_sketches
+        q = gaussian_points[1]
+        assert np.array_equal(
+            index.candidate_ids(index.lookup(q)), loaded.candidate_ids(loaded.lookup(q))
+        )

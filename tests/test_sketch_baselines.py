@@ -1,0 +1,155 @@
+"""Tests for the baseline sketches: LinearCounter, KMV, exact, Bloom."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SketchError
+from repro.sketches import BloomFilter, ExactDistinctCounter, KMinValues, LinearCounter
+
+
+class TestLinearCounter:
+    def test_accuracy_below_capacity(self):
+        counter = LinearCounter(m=4096, seed=0)
+        counter.add_batch(np.arange(500))
+        assert abs(counter.estimate() - 500) / 500 < 0.1
+
+    def test_duplicates_ignored(self):
+        counter = LinearCounter(m=2048, seed=0)
+        counter.add_batch(np.tile(np.arange(100), 20))
+        assert abs(counter.estimate() - 100) / 100 < 0.15
+
+    def test_saturation_returns_inf(self):
+        counter = LinearCounter(m=8, seed=0)
+        counter.add_batch(np.arange(10_000))
+        assert math.isinf(counter.estimate())
+
+    def test_merge_union(self):
+        a = LinearCounter(m=4096, seed=1)
+        b = LinearCounter(m=4096, seed=1)
+        a.add_batch(np.arange(0, 300))
+        b.add_batch(np.arange(200, 500))
+        a.merge_in_place(b)
+        assert abs(a.estimate() - 500) / 500 < 0.15
+
+    def test_merge_incompatible_raises(self):
+        with pytest.raises(SketchError):
+            LinearCounter(m=64).merge_in_place(LinearCounter(m=128))
+
+    def test_invalid_m(self):
+        with pytest.raises(ConfigurationError):
+            LinearCounter(m=0)
+
+    def test_scalar_add(self):
+        counter = LinearCounter(m=64, seed=0)
+        counter.add(7)
+        assert not counter.is_empty()
+
+    def test_empty(self):
+        assert LinearCounter(m=64).is_empty()
+
+
+class TestKMinValues:
+    def test_exact_below_k(self):
+        sketch = KMinValues(k=128, seed=0)
+        sketch.add_batch(np.arange(50))
+        assert sketch.estimate() == 50.0
+
+    def test_accuracy_above_k(self):
+        sketch = KMinValues(k=256, seed=0)
+        sketch.add_batch(np.arange(20_000))
+        err = abs(sketch.estimate() - 20_000) / 20_000
+        assert err < 4 / math.sqrt(256 - 2)
+
+    def test_duplicates_ignored(self):
+        sketch = KMinValues(k=64, seed=0)
+        sketch.add_batch(np.tile(np.arange(30), 10))
+        assert sketch.estimate() == 30.0
+
+    def test_merge_union(self):
+        a = KMinValues(k=256, seed=2)
+        b = KMinValues(k=256, seed=2)
+        union = KMinValues(k=256, seed=2)
+        a.add_batch(np.arange(0, 5000))
+        b.add_batch(np.arange(3000, 8000))
+        union.add_batch(np.arange(0, 8000))
+        a.merge_in_place(b)
+        assert a.estimate() == pytest.approx(union.estimate())
+
+    def test_merge_incompatible_raises(self):
+        with pytest.raises(SketchError):
+            KMinValues(k=16).merge_in_place(KMinValues(k=32))
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            KMinValues(k=1)
+
+    def test_empty(self):
+        sketch = KMinValues(k=8)
+        assert sketch.is_empty()
+        assert sketch.estimate() == 0.0
+
+
+class TestExactDistinctCounter:
+    def test_exact(self):
+        counter = ExactDistinctCounter()
+        counter.add_batch(np.tile(np.arange(123), 3))
+        assert counter.estimate() == 123.0
+        assert len(counter) == 123
+
+    def test_merge(self):
+        a = ExactDistinctCounter()
+        b = ExactDistinctCounter()
+        a.add_batch(np.arange(0, 10))
+        b.add_batch(np.arange(5, 15))
+        a.merge_in_place(b)
+        assert a.estimate() == 15.0
+
+    def test_merge_wrong_type(self):
+        with pytest.raises(SketchError):
+            ExactDistinctCounter().merge_in_place(KMinValues(k=4))
+
+    def test_empty(self):
+        assert ExactDistinctCounter().is_empty()
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(capacity=1000, error_rate=0.01, seed=0)
+        for i in range(500):
+            bloom.add(i)
+        assert all(i in bloom for i in range(500))
+
+    def test_false_positive_rate_bounded(self):
+        bloom = BloomFilter(capacity=2000, error_rate=0.01, seed=1)
+        for i in range(2000):
+            bloom.add(i)
+        false_hits = sum(1 for i in range(10_000, 20_000) if i in bloom)
+        assert false_hits / 10_000 < 0.05
+
+    def test_add_if_new(self):
+        bloom = BloomFilter(capacity=100, seed=0)
+        assert bloom.add_if_new(42) is True
+        assert bloom.add_if_new(42) is False
+
+    def test_expected_fp_rate_grows(self):
+        bloom = BloomFilter(capacity=100, seed=0)
+        assert bloom.expected_false_positive_rate == 0.0
+        for i in range(100):
+            bloom.add(i)
+        assert 0.0 < bloom.expected_false_positive_rate < 0.1
+
+    @pytest.mark.parametrize("bad", [0, -5, 1.5])
+    def test_invalid_capacity(self, bad):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(capacity=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5])
+    def test_invalid_error_rate(self, bad):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(capacity=10, error_rate=bad)
+
+    def test_memory_is_packed_bits(self):
+        bloom = BloomFilter(capacity=1000, error_rate=0.01)
+        assert bloom.memory_bytes == (bloom.num_bits + 7) // 8

@@ -1,0 +1,80 @@
+"""Tests for the shared 64-bit sketch hashing."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.hashing64 import hash64, rho_positions, split_hash
+
+
+class TestHash64:
+    def test_deterministic(self):
+        a = hash64(np.arange(100), seed=5)
+        b = hash64(np.arange(100), seed=5)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_output(self):
+        a = hash64(np.arange(100), seed=1)
+        b = hash64(np.arange(100), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_injective_on_small_range(self):
+        h = hash64(np.arange(100_000), seed=0)
+        assert np.unique(h).size == 100_000
+
+    def test_uniformity_top_bit(self):
+        h = hash64(np.arange(50_000), seed=3)
+        top = (h >> np.uint64(63)).astype(float)
+        assert abs(top.mean() - 0.5) < 0.02
+
+    def test_scalar_input(self):
+        assert hash64(7, seed=0).shape == ()
+
+    def test_dtype(self):
+        assert hash64(np.arange(4)).dtype == np.uint64
+
+
+class TestSplitHash:
+    def test_index_range(self):
+        h = hash64(np.arange(10_000), seed=0)
+        idx, rest = split_hash(h, p=7)
+        assert idx.min() >= 0
+        assert idx.max() < 128
+
+    def test_rest_mask(self):
+        h = hash64(np.arange(1000), seed=0)
+        _, rest = split_hash(h, p=7)
+        assert np.all(rest < np.uint64(1 << 57))
+
+    def test_reconstruction(self):
+        h = hash64(np.arange(1000), seed=0)
+        idx, rest = split_hash(h, p=4)
+        rebuilt = (idx.astype(np.uint64) << np.uint64(60)) | rest
+        assert np.array_equal(rebuilt, h)
+
+
+class TestRhoPositions:
+    def test_known_values(self):
+        width = 8
+        # 0b10000000 -> leading bit set -> rho 1
+        assert rho_positions(np.array([1 << 7], dtype=np.uint64), width)[0] == 1
+        # 0b00000001 -> rho 8
+        assert rho_positions(np.array([1], dtype=np.uint64), width)[0] == 8
+        # all zero -> width + 1
+        assert rho_positions(np.array([0], dtype=np.uint64), width)[0] == 9
+
+    def test_geometric_distribution(self):
+        """rho follows Geometric(1/2): P(rho = k) ~ 2^-k."""
+        h = hash64(np.arange(100_000), seed=1)
+        _, rest = split_hash(h, p=7)
+        rho = rho_positions(rest, 57)
+        frac_one = float(np.mean(rho == 1))
+        frac_two = float(np.mean(rho == 2))
+        assert abs(frac_one - 0.5) < 0.01
+        assert abs(frac_two - 0.25) < 0.01
+
+    def test_range(self):
+        h = hash64(np.arange(10_000), seed=2)
+        _, rest = split_hash(h, p=7)
+        rho = rho_positions(rest, 57)
+        assert rho.min() >= 1
+        assert rho.max() <= 58

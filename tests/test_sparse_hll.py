@@ -1,0 +1,118 @@
+"""Tests for the sparse HyperLogLog representation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SketchError
+from repro.sketches import HyperLogLog
+from repro.sketches.sparse_hll import SparseHyperLogLog
+
+
+class TestEquivalence:
+    def test_to_dense_matches_direct_dense(self):
+        sparse = SparseHyperLogLog(p=7, seed=3, dense_threshold=10_000)
+        dense = HyperLogLog(p=7, seed=3)
+        elements = np.arange(500)
+        sparse.add_batch(elements)
+        dense.add_batch(elements)
+        assert sparse.to_dense() == dense
+
+    def test_estimate_matches_dense(self):
+        sparse = SparseHyperLogLog(p=7, seed=3, dense_threshold=10_000)
+        dense = HyperLogLog(p=7, seed=3)
+        elements = np.arange(2000)
+        sparse.add_batch(elements)
+        dense.add_batch(elements)
+        assert sparse.estimate() == pytest.approx(dense.estimate())
+
+    def test_scalar_add_matches_batch(self):
+        a = SparseHyperLogLog(p=6, seed=1, dense_threshold=10_000)
+        b = SparseHyperLogLog(p=6, seed=1, dense_threshold=10_000)
+        for i in range(100):
+            a.add(i)
+        b.add_batch(np.arange(100))
+        assert a.to_dense() == b.to_dense()
+
+
+class TestUpgrade:
+    def test_starts_sparse(self):
+        assert not SparseHyperLogLog(p=7).is_dense
+
+    def test_upgrades_past_threshold(self):
+        sketch = SparseHyperLogLog(p=7, seed=0, dense_threshold=8)
+        sketch.add_batch(np.arange(10_000))
+        assert sketch.is_dense
+
+    def test_upgrade_preserves_registers(self):
+        elements = np.arange(5_000)
+        upgrading = SparseHyperLogLog(p=7, seed=0, dense_threshold=8)
+        never = SparseHyperLogLog(p=7, seed=0, dense_threshold=10**9)
+        upgrading.add_batch(elements)
+        never.add_batch(elements)
+        assert upgrading.to_dense() == never.to_dense()
+
+    def test_memory_smaller_when_sparse(self):
+        sketch = SparseHyperLogLog(p=10, seed=0)  # m = 1024
+        sketch.add(1)
+        sketch.add(2)
+        assert sketch.memory_bytes < HyperLogLog(p=10).memory_bytes
+
+    def test_dense_adds_continue_working(self):
+        sketch = SparseHyperLogLog(p=6, seed=0, dense_threshold=4)
+        sketch.add_batch(np.arange(1000))
+        assert sketch.is_dense
+        sketch.add(5000)
+        sketch.add_batch(np.arange(1000, 1200))
+        reference = HyperLogLog(p=6, seed=0)
+        reference.add_batch(np.arange(1200))
+        reference.add(5000)
+        assert sketch.to_dense() == reference
+
+
+class TestMerge:
+    def test_sparse_sparse_merge(self):
+        a = SparseHyperLogLog(p=6, seed=2, dense_threshold=10_000)
+        b = SparseHyperLogLog(p=6, seed=2, dense_threshold=10_000)
+        a.add_batch(np.arange(0, 60))
+        b.add_batch(np.arange(40, 120))
+        a.merge_in_place(b)
+        union = HyperLogLog(p=6, seed=2)
+        union.add_batch(np.arange(0, 120))
+        assert a.to_dense() == union
+
+    def test_sparse_dense_merge(self):
+        sparse = SparseHyperLogLog(p=6, seed=2, dense_threshold=10_000)
+        dense = HyperLogLog(p=6, seed=2)
+        sparse.add_batch(np.arange(0, 50))
+        dense.add_batch(np.arange(30, 100))
+        sparse.merge_in_place(dense)
+        union = HyperLogLog(p=6, seed=2)
+        union.add_batch(np.arange(0, 100))
+        assert sparse.to_dense() == union
+
+    def test_incompatible_merge_raises(self):
+        with pytest.raises(SketchError):
+            SparseHyperLogLog(p=6).merge_in_place(SparseHyperLogLog(p=7))
+        with pytest.raises(SketchError):
+            SparseHyperLogLog(p=6, seed=0).merge_in_place(HyperLogLog(p=6, seed=1))
+        with pytest.raises(SketchError):
+            SparseHyperLogLog(p=6).merge_in_place(object())
+
+
+class TestMisc:
+    def test_empty(self):
+        sketch = SparseHyperLogLog(p=6)
+        assert sketch.is_empty()
+        assert sketch.estimate() == 0.0
+
+    def test_empty_batch(self):
+        sketch = SparseHyperLogLog(p=6)
+        sketch.add_batch(np.empty(0, dtype=np.uint64))
+        assert sketch.is_empty()
+
+    def test_repr(self):
+        sketch = SparseHyperLogLog(p=6)
+        assert "sparse" in repr(sketch)
+        sketch2 = SparseHyperLogLog(p=6, dense_threshold=0)
+        sketch2.add(1)
+        assert "dense" in repr(sketch2)

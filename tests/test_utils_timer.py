@@ -1,0 +1,49 @@
+"""Tests for repro.utils.timer."""
+
+import pytest
+
+from repro.utils.timer import Timer
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            pass
+        assert t.elapsed >= first >= 0.0
+
+    def test_manual_start_stop(self):
+        t = Timer()
+        t.start()
+        interval = t.stop()
+        assert interval >= 0.0
+        assert t.elapsed == pytest.approx(interval)
+
+    def test_double_start_raises(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+        assert not t.running
+
+    def test_running_flag(self):
+        t = Timer()
+        assert not t.running
+        t.start()
+        assert t.running
+        t.stop()
+        assert not t.running

@@ -1,0 +1,89 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.utils.validation import (
+    check_delta,
+    check_matrix,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_accepts_int(self):
+        assert check_positive(3, "x") == 3.0
+
+    @pytest.mark.parametrize("bad", [0, -1.0, float("nan"), float("inf"), "a", None, True])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive(bad, "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(2, "x") == 2
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    @pytest.mark.parametrize("bad", [0, -3, 1.5, "a", None, True])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(bad, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_probability(ok, "p") == ok
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, "a", True])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_probability(bad, "p")
+
+
+class TestCheckDelta:
+    def test_accepts_interior(self):
+        assert check_delta(0.1) == 0.1
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 2.0])
+    def test_rejects_boundaries(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_delta(bad)
+
+
+class TestCheckVector:
+    def test_accepts_1d(self):
+        v = check_vector(np.ones(4))
+        assert v.shape == (4,)
+
+    def test_enforces_dim(self):
+        with pytest.raises(DimensionMismatchError):
+            check_vector(np.ones(4), dim=5)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(DimensionMismatchError):
+            check_vector(np.ones((2, 2)))
+
+
+class TestCheckMatrix:
+    def test_accepts_2d(self):
+        m = check_matrix(np.ones((3, 4)))
+        assert m.shape == (3, 4)
+
+    def test_enforces_columns(self):
+        with pytest.raises(DimensionMismatchError):
+            check_matrix(np.ones((3, 4)), dim=5)
+
+    def test_rejects_vector(self):
+        with pytest.raises(DimensionMismatchError):
+            check_matrix(np.ones(4))
