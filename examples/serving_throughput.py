@@ -1,0 +1,93 @@
+"""Serving tour: batched queries, sharding, inserts, caching, QPS.
+
+Builds a mixed workload (dense clusters + uniform background — the
+landscape of the paper's Figure 1), then walks the serving subsystem:
+
+1. a :class:`~repro.service.batch.BatchQueryEngine` answering 200
+   queries in one batch, bit-identical to the sequential loop;
+2. a :class:`~repro.service.sharded.ShardedHybridIndex` fanning the
+   same batch across 4 shards, plus exact global top-k;
+3. live inserts that every later query sees immediately;
+4. a cache-fronted :class:`~repro.service.service.QueryService`
+   absorbing a repeat-heavy query stream.
+
+Run with::
+
+    PYTHONPATH=src python examples/serving_throughput.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import CostModel
+from repro.evaluation import mixed_workload
+from repro.service import (
+    BatchQueryEngine,
+    QueryResultCache,
+    QueryService,
+    ShardedHybridIndex,
+)
+
+N, NUM_QUERIES = 8_000, 200
+
+points, queries, radius = mixed_workload(N, num_queries=NUM_QUERIES, seed=7)
+cost_model = CostModel.from_ratio(6.0)
+print(f"workload: n = {N}, d = {points.shape[1]}, r = {radius:.3g}, "
+      f"{NUM_QUERIES} queries")
+
+# -- 1. batched engine vs the sequential loop ---------------------------
+engine = BatchQueryEngine.from_points(
+    points, metric="l2", radius=radius, cost_model=cost_model, seed=1
+)
+started = time.perf_counter()
+sequential = [engine.searcher.query(q, radius) for q in queries]
+seq_seconds = time.perf_counter() - started
+
+started = time.perf_counter()
+batched = engine.query_batch(queries)
+bat_seconds = time.perf_counter() - started
+
+assert all(
+    np.array_equal(s.ids, b.ids) and np.array_equal(s.distances, b.distances)
+    for s, b in zip(sequential, batched)
+)
+strategies = [r.stats.strategy.value for r in batched]
+print(f"sequential: {NUM_QUERIES / seq_seconds:7.0f} qps")
+print(f"batched   : {NUM_QUERIES / bat_seconds:7.0f} qps "
+      f"({seq_seconds / bat_seconds:.1f}x, identical answers, "
+      f"{strategies.count('linear')}/{NUM_QUERIES} went linear)")
+
+# -- 2. sharded index + exact top-k -------------------------------------
+sharded = ShardedHybridIndex(
+    points, metric="l2", radius=radius, num_shards=4,
+    cost_model=cost_model, seed=1,
+)
+started = time.perf_counter()
+sharded.query_batch(queries)
+print(f"sharded   : {NUM_QUERIES / (time.perf_counter() - started):7.0f} qps "
+      f"(K = 4, shard sizes {sharded.shard_sizes()})")
+
+topk = sharded.query_topk(queries[0], k=5)
+print(f"top-5 of query 0: ids {topk.ids.tolist()}, "
+      f"kth distance {topk.radius:.3g}")
+
+# -- 3. inserts are visible immediately ---------------------------------
+new_ids = sharded.insert(queries[:3] + 1e-4)
+hits = [int(new_id in sharded.query(q).ids)
+        for new_id, q in zip(new_ids, queries[:3])]
+print(f"inserted {len(new_ids)} points -> found by the next query: "
+      f"{sum(hits)}/{len(hits)}")
+
+# -- 4. cache-fronted service under a repeat-heavy stream ---------------
+service = QueryService(engine, cache=QueryResultCache(maxsize=1024))
+rng = np.random.default_rng(0)
+stream = queries[rng.integers(0, 20, size=500)]  # hot set of 20 queries
+for start in range(0, len(stream), 50):          # arrives in micro-batches
+    service.query_batch(stream[start : start + 50])
+stats = service.stats
+saved = stats.cache_hits + stats.deduplicated
+print(f"service   : {stats.queries_served} served in {stats.batches} batches, "
+      f"{saved} without engine work ({stats.cache_hits} cache hits + "
+      f"{stats.deduplicated} in-batch duplicates), "
+      f"{stats.qps:.0f} qps including cache")

@@ -44,6 +44,12 @@ from repro.hashing import (
 )
 from repro.index import CoveringLSHIndex, LSHIndex, MultiProbeLSHIndex
 from repro.index.serialize import load_index, save_index
+from repro.service import (
+    BatchQueryEngine,
+    QueryResultCache,
+    QueryService,
+    ShardedHybridIndex,
+)
 from repro.sketches import HyperLogLog
 
 __version__ = "1.0.0"
@@ -64,6 +70,10 @@ __all__ = [
     "CoveringLSHIndex",
     "save_index",
     "load_index",
+    "BatchQueryEngine",
+    "ShardedHybridIndex",
+    "QueryResultCache",
+    "QueryService",
     "HyperLogLog",
     "BitSamplingLSH",
     "SimHashLSH",

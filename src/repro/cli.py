@@ -6,14 +6,19 @@ Usage::
     python -m repro.cli figure2  --dataset webspam [--n 12000] [--queries 50]
     python -m repro.cli figure3  [--n 12000]
     python -m repro.cli profile  --dataset corel [--n 5000]
+    python -m repro.cli throughput [--n 20000] [--shards 4] [--json out.json]
+    python -m repro.cli serve    --dataset corel [--shards 2] [--cache-size 512]
 
-Every command prints the same text tables the benchmark harness emits,
-so results can be generated in CI logs or piped to files.
+Every experiment command prints the same text tables the benchmark
+harness emits, so results can be generated in CI logs or piped to
+files.  ``serve`` instead speaks the :mod:`repro.service.stream`
+JSON-lines protocol on stdin/stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import sys
 
 from repro.datasets import corel_like, covertype_like, mnist_like, webspam_like
@@ -23,8 +28,12 @@ from repro.evaluation import (
     format_figure2,
     format_figure3,
     format_recall,
+    format_throughput,
+    mixed_workload,
     recall_experiment,
     table1_experiment,
+    throughput_experiment,
+    write_throughput_json,
 )
 from repro.evaluation.profile import distance_profile, hardness_profile, suggest_radii
 from repro.evaluation.report import format_table, format_table1
@@ -74,6 +83,43 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_recall.add_argument("--dataset", choices=sorted(_DATASETS), required=True)
     _add_common(p_recall)
+
+    p_tp = sub.add_parser(
+        "throughput", help="QPS: sequential vs batched vs sharded serving"
+    )
+    p_tp.add_argument("--n", type=int, default=20_000, help="dataset size")
+    p_tp.add_argument("--queries", type=int, default=200, help="query-set size")
+    p_tp.add_argument("--tables", type=int, default=50, help="L, number of hash tables")
+    p_tp.add_argument("--dim", type=int, default=24, help="dimensionality")
+    p_tp.add_argument("--shards", type=int, default=4, help="K, number of shards")
+    p_tp.add_argument("--repeats", type=int, default=1)
+    p_tp.add_argument(
+        "--ratio", type=float, default=6.0,
+        help="beta/alpha cost ratio (0 = calibrate by timing)",
+    )
+    p_tp.add_argument("--json", metavar="PATH", help="also write the JSON artifact")
+    p_tp.add_argument("--seed", type=int, default=0, help="master seed")
+
+    p_serve = sub.add_parser(
+        "serve", help="answer JSON-lines queries on stdin (see repro.service.stream)"
+    )
+    p_serve.add_argument(
+        "--dataset", choices=sorted(_DATASETS), default="corel",
+        help="synthetic dataset stand-in to index",
+    )
+    p_serve.add_argument("--radius", type=float, default=None,
+                         help="default query radius (default: the dataset's mid sweep radius)")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="K > 1 serves from a ShardedHybridIndex")
+    p_serve.add_argument("--cache-size", type=int, default=0,
+                         help="LRU result-cache capacity (0 disables)")
+    p_serve.add_argument("--batch-size", type=int, default=64,
+                         help="micro-batch size for consecutive queries")
+    p_serve.add_argument(
+        "--ratio", type=float, default=6.0,
+        help="beta/alpha cost ratio (0 = calibrate by timing)",
+    )
+    _add_common(p_serve)
 
     return parser
 
@@ -143,12 +189,167 @@ def _cmd_recall(args: argparse.Namespace) -> None:
     print(format_recall(rows, title=f"Recall vs radius: {dataset.name}"))
 
 
+def _cost_model_from_ratio(ratio: float):
+    """``--ratio 0`` means "calibrate by timing" (slower, hardware-true)."""
+    if ratio and ratio > 0:
+        from repro.core import CostModel
+
+        return CostModel.from_ratio(ratio)
+    return None
+
+
+def _cmd_throughput(args: argparse.Namespace) -> None:
+    points, queries, radius = mixed_workload(
+        args.n, dim=args.dim, num_queries=args.queries, seed=args.seed
+    )
+    rows = throughput_experiment(
+        points,
+        queries,
+        metric="l2",
+        radius=radius,
+        num_tables=args.tables,
+        num_shards=args.shards,
+        cost_model=_cost_model_from_ratio(args.ratio),
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    title = (
+        f"Serving throughput: n = {args.n}, d = {args.dim}, "
+        f"{args.queries} queries, K = {args.shards}, r = {radius:.3g}"
+    )
+    print(format_throughput(rows, title=title))
+    if args.json:
+        write_throughput_json(
+            rows,
+            args.json,
+            meta={
+                "n": args.n,
+                "dim": args.dim,
+                "num_shards": args.shards,
+                "num_tables": args.tables,
+                "radius": radius,
+                "seed": args.seed,
+            },
+        )
+        print(f"wrote {args.json}")
+
+
+def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
+    from repro.service import (
+        BatchQueryEngine,
+        QueryResultCache,
+        QueryService,
+        ShardedHybridIndex,
+        serve_stream,
+    )
+
+    stdin = sys.stdin if stdin is None else stdin
+    stdout = sys.stdout if stdout is None else stdout
+    dataset = _DATASETS[args.dataset](n=args.n, seed=args.seed)
+    radius = (
+        float(dataset.radii[len(dataset.radii) // 2])
+        if args.radius is None
+        else args.radius
+    )
+    cost_model = _cost_model_from_ratio(args.ratio)
+    if args.shards > 1:
+        engine = ShardedHybridIndex(
+            dataset.points,
+            metric=dataset.metric,
+            radius=radius,
+            num_shards=args.shards,
+            num_tables=args.tables,
+            cost_model=cost_model,
+            seed=args.seed,
+        )
+    else:
+        engine = BatchQueryEngine.from_points(
+            dataset.points,
+            metric=dataset.metric,
+            radius=radius,
+            num_tables=args.tables,
+            cost_model=cost_model,
+            seed=args.seed,
+        )
+    cache = QueryResultCache(maxsize=args.cache_size) if args.cache_size > 0 else None
+    service = QueryService(engine, cache=cache)
+    print(
+        f"serving {dataset.name}: n = {service.n}, d = {service.dim}, "
+        f"metric = {dataset.metric}, r = {radius:g}, shards = {args.shards} "
+        "(one JSON request per line; Ctrl-D to stop)",
+        file=sys.stderr,
+    )
+    lines, more_ready = _line_stream_with_probe(stdin)
+    for response in serve_stream(
+        service, lines, batch_size=args.batch_size, more_ready=more_ready
+    ):
+        print(response, file=stdout, flush=True)
+
+
+def _line_stream_with_probe(stdin):
+    """Line iterator over ``stdin`` plus an honest backlog probe.
+
+    Micro-batching needs to know whether more requests are already
+    waiting.  A bare ``select`` on the fd cannot see lines sitting in
+    a ``TextIOWrapper``'s readahead buffer, so a keep-alive client's
+    burst would be served line by line.  Reading the fd through our
+    own buffer makes the backlog fully inspectable: ``more_ready`` is
+    true while a complete line is buffered or the fd is readable.
+
+    Returns ``(lines, more_ready)``; falls back to ``(stdin, None)``
+    (answer every query immediately) when the stream has no usable fd.
+    """
+    import os
+    import select
+
+    try:
+        fd = stdin.fileno()
+    except (AttributeError, OSError, ValueError, io.UnsupportedOperation):
+        return stdin, None
+
+    buffer = bytearray()
+    eof = [False]
+
+    def fd_ready() -> bool:
+        try:
+            return bool(select.select([fd], [], [], 0.0)[0])
+        except (OSError, ValueError):
+            return False
+
+    def more_ready() -> bool:
+        return b"\n" in buffer or (not eof[0] and fd_ready())
+
+    def lines():
+        while True:
+            newline = buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(buffer[: newline + 1])
+                del buffer[: newline + 1]
+                yield line.decode("utf-8", errors="replace")
+                continue
+            if eof[0]:
+                if buffer:
+                    tail = bytes(buffer)
+                    buffer.clear()
+                    yield tail.decode("utf-8", errors="replace")
+                return
+            chunk = os.read(fd, 65536)
+            if chunk:
+                buffer.extend(chunk)
+            else:
+                eof[0] = True
+
+    return lines(), more_ready
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "figure2": _cmd_figure2,
     "figure3": _cmd_figure3,
     "profile": _cmd_profile,
     "recall": _cmd_recall,
+    "throughput": _cmd_throughput,
+    "serve": _cmd_serve,
 }
 
 

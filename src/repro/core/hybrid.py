@@ -112,36 +112,57 @@ class HybridSearcher:
         )
         return result
 
-    def query_batch(self, queries: np.ndarray, radius: float) -> list[QueryResult]:
+    def query_batch(
+        self, queries: np.ndarray, radius: float, dedup: str | None = None
+    ) -> list[QueryResult]:
         """Answer a query set; Step S1 is hashed for all queries at once.
 
-        Produces exactly the same results as looping :meth:`query`,
-        but the per-query hashing overhead is amortised through
-        :meth:`~repro.index.lsh_index.LSHIndex.lookup_batch`.
+        Produces exactly the same results as looping :meth:`query`:
+        the per-query hashing overhead is amortised through
+        :meth:`~repro.index.lsh_index.LSHIndex.lookup_batch`, and all
+        queries the cost model sends to linear search are answered by
+        one :meth:`~repro.core.linear_scan.LinearScan.query_batch`
+        distance-matrix pass (same kernel per row, so bit-identical
+        answers).
+
+        ``dedup`` is forwarded to the LSH branch's candidate retrieval;
+        both dedup implementations return the identical candidate set,
+        so it only affects speed (:class:`~repro.service.BatchQueryEngine`
+        passes ``"vectorized"``).
         """
         radius = check_positive(radius, "radius")
-        lookups = self.index.lookup_batch(np.asarray(queries))
-        results: list[QueryResult] = []
-        for query, lookup in zip(np.asarray(queries), lookups):
+        queries = np.asarray(queries)
+        lookups = self.index.lookup_batch(queries)
+        linear_cost = self.cost_model.linear_cost(self.index.n)
+        sketches = self.index.merged_sketches_batch(lookups)
+        decisions: list[tuple[int, float, float]] = []
+        for lookup, sketch in zip(lookups, sketches):
             num_collisions = lookup.num_collisions
-            estimated_candidates = self.index.merged_sketch(lookup).estimate()
+            estimated_candidates = sketch.estimate()
             lsh_cost = self.cost_model.lsh_cost(num_collisions, estimated_candidates)
-            linear_cost = self.cost_model.linear_cost(self.index.n)
-            if lsh_cost < linear_cost:
-                result = self._lsh.query_from_lookup(query, radius, lookup)
-                strategy = Strategy.LSH
-            else:
-                result = self._linear_scan().query(query, radius)
-                strategy = Strategy.LINEAR
+            decisions.append((num_collisions, estimated_candidates, lsh_cost))
+
+        results: list[QueryResult | None] = [None] * len(lookups)
+        linear_rows = [i for i, (_, _, lsh_cost) in enumerate(decisions) if not lsh_cost < linear_cost]
+        if linear_rows:
+            scanned = self._linear_scan().query_batch(queries[linear_rows], radius)
+            for i, result in zip(linear_rows, scanned):
+                results[i] = result
+        for i, lookup in enumerate(lookups):
+            if results[i] is None:
+                results[i] = self._lsh.query_from_lookup(
+                    queries[i], radius, lookup, dedup=dedup
+                )
+        for i, result in enumerate(results):
+            num_collisions, estimated_candidates, lsh_cost = decisions[i]
             result.stats = QueryStats(
                 num_collisions=num_collisions,
                 estimated_candidates=estimated_candidates,
                 exact_candidates=result.stats.exact_candidates,
                 estimated_lsh_cost=lsh_cost,
                 linear_cost=linear_cost,
-                strategy=strategy,
+                strategy=Strategy.LINEAR if not lsh_cost < linear_cost else Strategy.LSH,
             )
-            results.append(result)
         return results
 
     def decide(self, query: np.ndarray) -> Strategy:
@@ -241,9 +262,10 @@ class HybridLSH:
         return self.searcher.query(query, self.radius if radius is None else radius)
 
     def query_batch(self, queries: np.ndarray, radius: float | None = None) -> list[QueryResult]:
-        """Answer a query set (one result per row)."""
-        queries = np.asarray(queries)
-        return [self.query(q, radius) for q in queries]
+        """Answer a query set (one result per row, batched Step S1)."""
+        return self.searcher.query_batch(
+            np.asarray(queries), self.radius if radius is None else radius
+        )
 
     def __repr__(self) -> str:
         return (

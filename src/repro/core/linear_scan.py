@@ -52,6 +52,34 @@ class LinearScan:
         stats = QueryStats(strategy=Strategy.LINEAR, linear_cost=float(self.n))
         return QueryResult(ids=ids, distances=distances[mask], radius=radius, stats=stats)
 
+    def query_batch(self, queries: np.ndarray, radius: float) -> list[QueryResult]:
+        """Answer a query set with one distance-matrix pass.
+
+        Computes the full ``(q, n)`` distance matrix through
+        :func:`~repro.distances.matrix.pairwise_distances` — which calls
+        the very same per-row batch kernel as :meth:`query`, so the
+        reported ids and distances are bit-identical to looping
+        :meth:`query` — and thresholds each row.
+        """
+        from repro.distances.matrix import pairwise_distances
+
+        queries = check_matrix(queries, dim=self.dim, name="queries")
+        radius = check_positive(radius, "radius")
+        distance_matrix = pairwise_distances(queries, self.points, self.metric)
+        results = []
+        for row in distance_matrix:
+            mask = row <= radius
+            stats = QueryStats(strategy=Strategy.LINEAR, linear_cost=float(self.n))
+            results.append(
+                QueryResult(
+                    ids=np.flatnonzero(mask),
+                    distances=row[mask],
+                    radius=radius,
+                    stats=stats,
+                )
+            )
+        return results
+
     def query_ids(self, query: np.ndarray, radius: float) -> np.ndarray:
         """Just the neighbor ids (used as ground truth by the evaluator)."""
         return self.query(query, radius).ids

@@ -57,11 +57,34 @@ class LSHSearch:
         lookup = self.index.lookup(query)
         return self.query_from_lookup(query, radius, lookup)
 
+    def query_batch(self, queries: np.ndarray, radius: float) -> list[QueryResult]:
+        """Answer a query set; Step S1 is one fused hashing pass.
+
+        Identical results to ``[self.query(q, radius) for q in queries]``.
+        """
+        radius = check_positive(radius, "radius")
+        queries = np.asarray(queries)
+        lookups = self.index.lookup_batch(queries)
+        return [
+            self.query_from_lookup(query, radius, lookup)
+            for query, lookup in zip(queries, lookups)
+        ]
+
     def query_from_lookup(
-        self, query: np.ndarray, radius: float, lookup: QueryLookup
+        self,
+        query: np.ndarray,
+        radius: float,
+        lookup: QueryLookup,
+        dedup: str | None = None,
     ) -> QueryResult:
-        """Steps S2+S3 given an existing lookup (hybrid search reuses S1)."""
-        candidates = self.index.candidate_ids(lookup)
+        """Steps S2+S3 given an existing lookup (hybrid search reuses S1).
+
+        ``dedup`` is forwarded to
+        :meth:`~repro.index.lsh_index.LSHIndex.candidate_ids`; both
+        implementations yield the identical candidate array, so the
+        answer never depends on it.
+        """
+        candidates = self.index.candidate_ids(lookup, dedup=dedup)
         metric = self.index.family.metric
         if candidates.size:
             distances = metric.distances_to(self.index.points[candidates], query)

@@ -1,0 +1,252 @@
+"""Serving-throughput experiment: sequential vs batched vs sharded QPS.
+
+The paper evaluates per-query CPU time; a serving system cares about
+queries per second under batching.  This experiment times three ways of
+answering the same query set against the same data:
+
+* ``sequential`` — the seed behaviour: one
+  :meth:`~repro.core.hybrid.HybridSearcher.query` call per query;
+* ``batched`` — one :class:`~repro.service.batch.BatchQueryEngine`
+  batch (fused Step-S1 hashing, grouped linear pass, vectorised dedup);
+* ``sharded`` — one :class:`~repro.service.sharded.ShardedHybridIndex`
+  batch across ``K`` shards.
+
+Exactness is asserted, not assumed: the batched row only reports
+``matches=True`` if every id and distance equals the sequential answer
+bit for bit, and the sharded row compares its batch path against its
+own per-query loop.  Index build time is excluded — the experiment
+measures serving, not construction.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost_model import CostModel
+from repro.core.hybrid import HybridLSH
+from repro.core.results import QueryResult, Strategy
+from repro.datasets.queries import split_queries
+from repro.datasets.synthetic import gaussian_mixture
+from repro.evaluation.report import format_table
+from repro.service.batch import BatchQueryEngine
+from repro.service.sharded import ShardedHybridIndex
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = [
+    "ThroughputRow",
+    "mixed_workload",
+    "throughput_experiment",
+    "format_throughput",
+    "write_throughput_json",
+]
+
+
+@dataclass
+class ThroughputRow:
+    """One serving mode's measurement."""
+
+    mode: str
+    num_queries: int
+    seconds: float
+    qps: float
+    speedup: float
+    matches: bool
+    linear_fraction: float
+
+
+def mixed_workload(
+    n: int,
+    dim: int = 24,
+    num_queries: int = 200,
+    seed: RandomState = 0,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """A Figure 1-style landscape where neither pure strategy wins.
+
+    Tight Gaussian clusters produce "hard" queries (dense buckets →
+    Algorithm 2 picks linear search) while a uniform background
+    produces "easy" ones (near-empty buckets → LSH search).  Returns
+    ``(data, queries, radius)`` with the queries split off the data per
+    the paper's protocol; the radius spans a cluster, so cluster
+    queries report hundreds of neighbors and background queries few.
+    """
+    rng = ensure_rng(seed)
+    num_clusters = 6
+    centers = rng.uniform(0.0, 10.0, size=(num_clusters, dim))
+    # One dominant, very tight cluster: its points co-collide in every
+    # table, so its queries exceed the Algorithm 2 linear threshold
+    # (a cluster of size s costs up to (L + ratio) * s, vs ratio * n
+    # for the scan) and dispatch to linear search.  Five mid-size
+    # clusters sit safely *under* that threshold — LSH-bound but
+    # collision-heavy, the regime where Step-S2 dedup dominates — and
+    # a uniform background supplies the easy, near-empty-bucket queries.
+    spreads = np.array([0.08, 0.10, 0.10, 0.10, 0.10, 0.10])
+    weights = np.array([0.40, 0.12, 0.12, 0.12, 0.12, 0.12])
+    points = gaussian_mixture(
+        n + num_queries,
+        dim,
+        centers,
+        spreads,
+        weights=weights,
+        background_fraction=0.25,
+        background_scale=10.0,
+        seed=rng,
+    )
+    data, queries = split_queries(points, num_queries=num_queries, seed=rng)
+    radius = 0.25 * np.sqrt(2.0 * dim) * 1.2
+    return data, queries, float(radius)
+
+
+def _linear_fraction(results: list[QueryResult]) -> float:
+    return float(
+        np.mean([r.stats.strategy == Strategy.LINEAR for r in results])
+    )
+
+
+def _results_equal(a: list[QueryResult], b: list[QueryResult]) -> bool:
+    return all(
+        np.array_equal(x.ids, y.ids) and np.array_equal(x.distances, y.distances)
+        for x, y in zip(a, b)
+    )
+
+
+def _time_best(fn, repeats: int) -> tuple[float, list[QueryResult]]:
+    """Run ``fn`` ``repeats`` times; return (best wall time, last results)."""
+    best = float("inf")
+    results: list[QueryResult] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        results = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, results
+
+
+def throughput_experiment(
+    points: np.ndarray,
+    queries: np.ndarray,
+    metric: str,
+    radius: float,
+    num_tables: int = 50,
+    num_shards: int = 4,
+    cost_model: CostModel | None = None,
+    repeats: int = 1,
+    seed: RandomState = 0,
+) -> list[ThroughputRow]:
+    """Measure sequential / batched / sharded QPS on one workload.
+
+    The sequential and batched rows share one index (so the comparison
+    isolates the serving path), the sharded row builds its own ``K``
+    shard indexes.  ``cost_model=None`` calibrates on ``points`` once
+    and shares the result, keeping the three dispatch policies aligned.
+    """
+    if cost_model is None:
+        from repro.core.calibration import calibrate_cost_model
+
+        cost_model = calibrate_cost_model(points, metric, seed=seed).model
+    queries = np.asarray(queries)
+    num_queries = queries.shape[0]
+
+    hybrid = HybridLSH(
+        points, metric=metric, radius=radius, num_tables=num_tables,
+        cost_model=cost_model, seed=seed,
+    )
+    engine = BatchQueryEngine(hybrid.searcher, radius=radius)
+    sharded = ShardedHybridIndex(
+        points, metric=metric, radius=radius, num_shards=num_shards,
+        num_tables=num_tables, cost_model=cost_model, seed=seed,
+    )
+
+    # Warm every path once (BLAS thread pools, lazy imports) before timing.
+    warm = queries[:2]
+    [hybrid.searcher.query(q, radius) for q in warm]
+    engine.query_batch(warm, radius)
+    sharded.query_batch(warm, radius)
+
+    seq_seconds, seq_results = _time_best(
+        lambda: [hybrid.searcher.query(q, radius) for q in queries], repeats
+    )
+    bat_seconds, bat_results = _time_best(
+        lambda: engine.query_batch(queries, radius), repeats
+    )
+    sh_seconds, sh_results = _time_best(
+        lambda: sharded.query_batch(queries, radius), repeats
+    )
+    sh_reference = [sharded.query(q, radius) for q in queries]
+
+    def row(mode: str, seconds: float, matches: bool, linear_fraction: float) -> ThroughputRow:
+        return ThroughputRow(
+            mode=mode,
+            num_queries=num_queries,
+            seconds=seconds,
+            qps=num_queries / seconds if seconds else float("inf"),
+            speedup=seq_seconds / seconds if seconds else float("inf"),
+            matches=matches,
+            linear_fraction=linear_fraction,
+        )
+
+    return [
+        row("sequential", seq_seconds, True, _linear_fraction(seq_results)),
+        row(
+            "batched",
+            bat_seconds,
+            _results_equal(seq_results, bat_results),
+            _linear_fraction(bat_results),
+        ),
+        row(
+            "sharded",
+            sh_seconds,
+            _results_equal(sh_reference, sh_results),
+            float("nan"),
+        ),
+    ]
+
+
+def format_throughput(rows: list[ThroughputRow], title: str = "") -> str:
+    """Render the QPS comparison as a text table."""
+    headers = ["Mode", "Queries", "Seconds", "QPS", "Speedup", "Exact", "%LS"]
+    body = [
+        [
+            row.mode,
+            str(row.num_queries),
+            f"{row.seconds:.3f}",
+            f"{row.qps:.0f}",
+            f"{row.speedup:.2f}x",
+            "yes" if row.matches else "NO",
+            "-" if np.isnan(row.linear_fraction) else f"{row.linear_fraction:.0%}",
+        ]
+        for row in rows
+    ]
+    table = format_table(headers, body)
+    return f"{title}\n{table}" if title else table
+
+
+def write_throughput_json(
+    rows: list[ThroughputRow], path: str, meta: dict | None = None
+) -> None:
+    """Persist the measurement as a JSON artifact (perf trajectory)."""
+    payload = {
+        "experiment": "throughput",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        **(meta or {}),
+        "modes": {
+            row.mode: {
+                "queries": row.num_queries,
+                "seconds": row.seconds,
+                "qps": row.qps,
+                "speedup_vs_sequential": row.speedup,
+                "matches_reference": row.matches,
+                "linear_fraction": None
+                if np.isnan(row.linear_fraction)
+                else row.linear_fraction,
+            }
+            for row in rows
+        },
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")

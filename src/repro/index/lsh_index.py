@@ -56,8 +56,16 @@ class QueryLookup:
 
     @property
     def num_collisions(self) -> int:
-        """Step-S2 cost driver: total occupancy of the query's buckets."""
-        return sum(b.size for b in self.buckets if b is not None)
+        """Step-S2 cost driver: total occupancy of the query's buckets.
+
+        Cached after the first access — the hybrid pipeline reads it
+        once for the cost decision and once for the result stats.
+        """
+        cached = getattr(self, "_num_collisions", None)
+        if cached is None:
+            cached = sum(b.size for b in self.buckets if b is not None)
+            self._num_collisions = cached
+        return cached
 
     def nonempty_buckets(self) -> list[Bucket]:
         """The buckets that actually exist, in table order."""
@@ -271,9 +279,13 @@ class LSHIndex:
         self._require_built()
         queries = check_matrix(queries, dim=self.dim, name="queries")
         all_rows = self._batched.hash_points(queries)  # (q, L, k)
+        num_queries = all_rows.shape[0]
+        # One encode call for all q * L rows (row qi*L + t is query qi,
+        # table t) instead of one per query.
+        flat_keys = encode_rows(all_rows.reshape(num_queries * self.num_tables, self.k))
         lookups = []
-        for rows in all_rows:
-            keys = encode_rows(np.ascontiguousarray(rows))
+        for qi, rows in enumerate(all_rows):
+            keys = flat_keys[qi * self.num_tables : (qi + 1) * self.num_tables]
             buckets = [table.get(key) for table, key in zip(self.tables, keys)]
             lookups.append(QueryLookup(keys=keys, buckets=buckets, hash_rows=list(rows)))
         return lookups
@@ -297,11 +309,67 @@ class LSHIndex:
             bucket.contribute_to(merged, self._hll_hashes)
         return merged
 
+    def merged_sketches_batch(self, lookups: list[QueryLookup]) -> list[HyperLogLog]:
+        """One merged sketch per lookup, register maxima vectorised.
+
+        Returns exactly ``[self.merged_sketch(lk) for lk in lookups]``:
+        HLL merging and lazy-bucket contribution are elementwise integer
+        maxima, which are associative and commutative, so computing all
+        sketched-bucket maxima with one ``np.maximum.reduceat`` over the
+        stacked register matrix and all lazy-bucket contributions with
+        one scatter-max yields bit-identical registers — the per-query
+        Python merge loop of the single-query path is what disappears.
+        """
+        self._require_built()
+        if not self.with_sketches or self._hll_hashes is None:
+            raise ConfigurationError("index was built with with_sketches=False")
+        m = 1 << self.hll_precision
+        registers = np.zeros((len(lookups), m), dtype=np.uint8)
+        sketched_regs: list[np.ndarray] = []
+        segment_starts: list[int] = []
+        segment_rows: list[int] = []
+        lazy_rows: list[int] = []
+        lazy_ids: list[np.ndarray] = []
+        for i, lookup in enumerate(lookups):
+            new_segment = True
+            for bucket in lookup.nonempty_buckets():
+                if bucket.sketch is not None:
+                    if new_segment:
+                        segment_starts.append(len(sketched_regs))
+                        segment_rows.append(i)
+                        new_segment = False
+                    sketched_regs.append(bucket.sketch.registers)
+                elif len(bucket):
+                    lazy_rows.append(i)
+                    lazy_ids.append(bucket.ids)
+        if sketched_regs:
+            stacked = np.stack(sketched_regs)
+            segment_max = np.maximum.reduceat(stacked, np.asarray(segment_starts), axis=0)
+            # Each query owns at most one segment and its row is still
+            # all-zero here, so plain assignment is the max.
+            registers[np.asarray(segment_rows)] = segment_max
+        if lazy_ids:
+            rows = np.repeat(
+                np.asarray(lazy_rows), [ids.size for ids in lazy_ids]
+            )
+            ids = np.concatenate(lazy_ids)
+            np.maximum.at(
+                registers,
+                (rows, self._hll_hashes.registers[ids]),
+                self._hll_hashes.ranks[ids],
+            )
+        sketches = []
+        for i in range(len(lookups)):
+            sketch = HyperLogLog(p=self.hll_precision, seed=self.hll_seed)
+            sketch.registers = registers[i]
+            sketches.append(sketch)
+        return sketches
+
     def estimate_candidates(self, lookup: QueryLookup) -> float:
         """Estimated ``candSize`` — distinct points among the L buckets."""
         return self.merged_sketch(lookup).estimate()
 
-    def candidate_ids(self, lookup: QueryLookup) -> np.ndarray:
+    def candidate_ids(self, lookup: QueryLookup, dedup: str | None = None) -> np.ndarray:
         """The deduplicated candidate set (exact; this is what LSH search pays for).
 
         Step S2 as the paper models it: an n-bit bitvector probed once
@@ -311,12 +379,27 @@ class LSHIndex:
         and collapsing alpha by orders of magnitude (see the
         ``dedup="vectorized"`` option and the dedup ablation benchmark)
         shrinks the very bottleneck the paper's Figure 1 is about.
+
+        ``dedup`` overrides the index-level setting for this one call;
+        both implementations return the identical sorted id array, so
+        serving layers (:mod:`repro.service`) may pass
+        ``dedup="vectorized"`` for speed without changing any answer.
         """
         self._require_built()
-        if self.dedup == "vectorized":
+        if dedup is None:
+            dedup = self.dedup
+        elif dedup not in ("scalar", "vectorized"):
+            raise ConfigurationError(
+                f'dedup must be "scalar" or "vectorized", got {dedup!r}'
+            )
+        if dedup == "vectorized":
             seen_arr = np.zeros(self.n, dtype=bool)
-            for bucket in lookup.nonempty_buckets():
-                seen_arr[bucket.ids] = True
+            buckets = lookup.nonempty_buckets()
+            if buckets:
+                if len(buckets) == 1:
+                    seen_arr[buckets[0].ids] = True
+                else:
+                    seen_arr[np.concatenate([b.ids for b in buckets])] = True
             return np.flatnonzero(seen_arr)
         seen = np.zeros(self.n, dtype=bool)
         out: list[int] = []

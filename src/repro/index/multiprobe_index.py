@@ -67,6 +67,23 @@ class MultiProbeLSHIndex(LSHIndex):
         perturbed = np.stack([hash_row + delta for delta in self._offsets])
         return encode_rows(perturbed)
 
+    def _lookup_from_rows(self, rows: np.ndarray, home_keys: list[bytes]) -> QueryLookup:
+        """Assemble one query's home + probe buckets from its hash rows.
+
+        Shared by :meth:`lookup` and :meth:`lookup_batch` so the probed
+        bucket set (and its order) can never diverge between the
+        single-query and batched paths.
+        """
+        keys: list[bytes] = []
+        buckets: list[Bucket | None] = []
+        for table, row, home_key in zip(self.tables, rows, home_keys):
+            keys.append(home_key)
+            buckets.append(table.get(home_key))
+            for key in self._probe_keys(row):
+                keys.append(key)
+                buckets.append(table.get(key))
+        return QueryLookup(keys=keys, buckets=buckets, hash_rows=list(rows))
+
     def lookup(self, query: np.ndarray) -> QueryLookup:
         """Locate home + probe buckets in every table.
 
@@ -78,16 +95,28 @@ class MultiProbeLSHIndex(LSHIndex):
         """
         self._require_built()
         rows = self._batched.query_rows(query)  # validates dim; (L, k)
-        home_keys = encode_rows(rows)
-        keys: list[bytes] = []
-        buckets: list[Bucket | None] = []
-        for table, row, home_key in zip(self.tables, rows, home_keys):
-            keys.append(home_key)
-            buckets.append(table.get(home_key))
-            for key in self._probe_keys(row):
-                keys.append(key)
-                buckets.append(table.get(key))
-        return QueryLookup(keys=keys, buckets=buckets, hash_rows=list(rows))
+        return self._lookup_from_rows(rows, encode_rows(rows))
+
+    def lookup_batch(self, queries: np.ndarray) -> list[QueryLookup]:
+        """Batched home + probe lookups (one fused hashing pass).
+
+        Overridden so the batched serving stack sees exactly the same
+        probed bucket set as :meth:`lookup` — the base implementation
+        would silently return home buckets only.
+        """
+        from repro.utils.validation import check_matrix
+
+        self._require_built()
+        queries = check_matrix(queries, dim=self.dim, name="queries")
+        all_rows = self._batched.hash_points(queries)  # (q, L, k)
+        num_queries = all_rows.shape[0]
+        flat_keys = encode_rows(all_rows.reshape(num_queries * self.num_tables, self.k))
+        return [
+            self._lookup_from_rows(
+                rows, flat_keys[qi * self.num_tables : (qi + 1) * self.num_tables]
+            )
+            for qi, rows in enumerate(all_rows)
+        ]
 
     def __repr__(self) -> str:
         base = super().__repr__()

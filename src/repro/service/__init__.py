@@ -1,0 +1,37 @@
+"""Query serving: batched dispatch, sharding, caching, and a wire protocol.
+
+The core package answers one query at a time on one thread — faithful
+to the paper's experimental protocol, but far from a serving system.
+This subsystem turns the reproduction into a query-serving engine while
+preserving the paper's semantics exactly:
+
+* :class:`BatchQueryEngine` — answers a ``(q, d)`` query matrix with
+  one fused hashing pass, a per-query Algorithm 2 cost decision, one
+  grouped distance-matrix pass for all linear-bound queries, and
+  vectorised Step-S2 deduplication for the LSH-bound ones.  Results are
+  bit-identical to looping :meth:`~repro.core.hybrid.HybridSearcher.query`.
+* :class:`ShardedHybridIndex` — partitions the dataset across ``K``
+  shards, builds per-shard hybrid indexes in parallel via
+  :mod:`concurrent.futures`, fans queries out, and merges per-shard
+  answers with exact radius (disjoint union) and top-k semantics.
+* :class:`QueryResultCache` — an LRU cache keyed on quantised query
+  vectors, for workloads with repeated or near-duplicate queries.
+* :class:`QueryService` — the facade gluing engine + cache + counters;
+  :func:`serve_stream` speaks a JSON-lines request/response protocol on
+  top of it (see ``python -m repro.cli serve``).
+"""
+
+from repro.service.batch import BatchQueryEngine
+from repro.service.cache import QueryResultCache
+from repro.service.service import QueryService, ServiceStats
+from repro.service.sharded import ShardedHybridIndex
+from repro.service.stream import serve_stream
+
+__all__ = [
+    "BatchQueryEngine",
+    "ShardedHybridIndex",
+    "QueryResultCache",
+    "QueryService",
+    "ServiceStats",
+    "serve_stream",
+]

@@ -1,0 +1,303 @@
+"""A sharded hybrid index: partition the data, fan out, merge exactly.
+
+:class:`ShardedHybridIndex` splits the dataset round-robin across ``K``
+disjoint shards and builds one paper-configured hybrid index per shard
+(in parallel, via :class:`concurrent.futures.ThreadPoolExecutor` —
+index construction is dominated by numpy kernels that release the GIL).
+Each shard runs Algorithm 2 independently, so the cost decision adapts
+to the *shard-local* density landscape, and each shard serves batches
+through its own :class:`~repro.service.batch.BatchQueryEngine`.
+
+Merge semantics are exact because the shards partition the dataset:
+
+* **radius** queries are the disjoint union of the per-shard answers
+  (every point is examined by exactly one shard);
+* **top-k** queries are answered exactly — each shard computes its
+  local distances with the metric's batch kernel and the global ``k``
+  smallest are selected with deterministic ``(distance, id)``
+  tie-breaking, so sharded top-k equals unsharded top-k (up to the
+  kernel's summation-order ulps when two candidates are near-tied).
+
+Point ids are global: shard-local ids are translated back through the
+shard's id map, and :meth:`insert` routes new points round-robin while
+extending those maps — batches issued after an insert see the new
+points immediately (the per-shard engines re-read their index's point
+matrix on every call, the same refresh-on-insert discipline as
+:meth:`repro.core.hybrid.HybridSearcher._linear_scan`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.calibration import calibrate_cost_model
+from repro.core.cost_model import CostModel
+from repro.core.hybrid import HybridLSH
+from repro.core.results import QueryResult, QueryStats, Strategy
+from repro.distances import get_metric
+from repro.distances.matrix import pairwise_distances
+from repro.exceptions import ConfigurationError
+from repro.service.batch import BatchQueryEngine
+from repro.utils.rng import RandomState, spawn_rngs
+from repro.utils.validation import check_matrix, check_positive_int
+
+__all__ = ["ShardedHybridIndex"]
+
+
+class ShardedHybridIndex:
+    """``K`` disjoint hybrid indexes behind one query interface.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` data matrix; row ``i`` keeps the global id ``i``.
+    metric:
+        Metric name (``"l2"``, ``"l1"``, ``"cosine"``, ``"hamming"``,
+        ``"jaccard"``).
+    radius:
+        Radius the per-shard indexes are tuned for (also the default
+        query radius).
+    num_shards:
+        ``K``; must not exceed ``n``.
+    num_tables / delta / hll_precision:
+        Per-shard index parameters (paper defaults).
+    cost_model:
+        Shared :class:`~repro.core.cost_model.CostModel`; ``None``
+        calibrates once on the full dataset (not per shard — alpha and
+        beta are hardware constants, not data constants).
+    max_workers:
+        Thread-pool width for shard builds and query fan-out
+        (default: ``K``).
+    seed:
+        Master randomness; per-shard family draws use spawned streams.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import CostModel
+    >>> rng = np.random.default_rng(0)
+    >>> points = rng.normal(size=(600, 12))
+    >>> sharded = ShardedHybridIndex(
+    ...     points, metric="l2", radius=1.0, num_shards=3,
+    ...     num_tables=6, cost_model=CostModel.from_ratio(6.0), seed=1)
+    >>> int(sharded.query(points[17]).ids[0])
+    17
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        metric: str,
+        radius: float,
+        num_shards: int = 4,
+        num_tables: int = 50,
+        delta: float = 0.1,
+        hll_precision: int = 7,
+        cost_model: CostModel | None = None,
+        max_workers: int | None = None,
+        seed: RandomState = None,
+    ) -> None:
+        points = check_matrix(points, name="points")
+        num_shards = check_positive_int(num_shards, "num_shards")
+        n = points.shape[0]
+        if num_shards > n:
+            raise ConfigurationError(
+                f"num_shards ({num_shards}) must not exceed the dataset size ({n})"
+            )
+        self.metric_name = metric
+        self.metric = get_metric(metric)
+        self.radius = float(radius)
+        self.num_shards = num_shards
+        self._max_workers = max_workers if max_workers is not None else num_shards
+        # Round-robin partition: shard s owns global rows s, s+K, s+2K, …
+        # (balanced to within one point, and insert routing stays trivial).
+        self._shard_gids = [
+            np.arange(s, n, num_shards, dtype=np.int64) for s in range(num_shards)
+        ]
+        self._next_shard = n % num_shards
+        if cost_model is None:
+            cost_model = calibrate_cost_model(points, self.metric, seed=seed).model
+        self.cost_model = cost_model
+        shard_rngs = spawn_rngs(seed, num_shards)
+
+        def build_shard(s: int) -> HybridLSH:
+            return HybridLSH(
+                points[self._shard_gids[s]],
+                metric=metric,
+                radius=radius,
+                num_tables=num_tables,
+                delta=delta,
+                hll_precision=hll_precision,
+                cost_model=cost_model,
+                seed=shard_rngs[s],
+            )
+
+        # One persistent pool for builds and every later fan-out; a
+        # per-call pool would put K thread spawns on the serving hot
+        # path.  Threads are started lazily and reaped at interpreter
+        # exit; close() releases them earlier.
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._max_workers, thread_name_prefix="repro-shard"
+        )
+        self.shards = list(self._pool.map(build_shard, range(num_shards)))
+        self._engines = [
+            BatchQueryEngine(shard.searcher, radius=radius) for shard in self.shards
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Total number of indexed points across all shards."""
+        return sum(shard.index.n for shard in self.shards)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed points."""
+        return self.shards[0].index.dim
+
+    def gather_points(self) -> np.ndarray:
+        """Reassemble the global ``(n, d)`` matrix (row ``i`` = id ``i``)."""
+        out = np.empty((self.n, self.dim), dtype=self.shards[0].index.points.dtype)
+        for gids, shard in zip(self._shard_gids, self.shards):
+            out[gids] = shard.index.points
+        return out
+
+    def shard_sizes(self) -> list[int]:
+        """Current per-shard point counts."""
+        return [shard.index.n for shard in self.shards]
+
+    def _resolve_radius(self, radius: float | None) -> float:
+        return self.radius if radius is None else float(radius)
+
+    def _fan_out(self, work, count: int) -> list:
+        """Run ``work(s)`` for every shard on the persistent pool."""
+        return list(self._pool.map(work, range(count)))
+
+    def close(self) -> None:
+        """Shut down the fan-out thread pool (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Radius queries
+    # ------------------------------------------------------------------
+    def query(self, query: np.ndarray, radius: float | None = None) -> QueryResult:
+        """Answer one rNNR query across all shards."""
+        return self.query_batch(np.asarray(query)[None, :], radius)[0]
+
+    def query_batch(
+        self, queries: np.ndarray, radius: float | None = None
+    ) -> list[QueryResult]:
+        """Answer a ``(q, d)`` matrix; per-shard batches run on the pool.
+
+        Each merged result carries global ids sorted ascending — the
+        disjoint union of the shard answers — and aggregate stats
+        (collision counts and costs summed over shards, strategy
+        labelled :attr:`~repro.core.results.Strategy.HYBRID`).
+        """
+        radius = self._resolve_radius(radius)
+        queries = check_matrix(queries, dim=self.dim, name="queries")
+        per_shard = self._fan_out(
+            lambda s: self._engines[s].query_batch(queries, radius),
+            self.num_shards,
+        )
+        return [
+            self._merge_radius([shard_results[qi] for shard_results in per_shard], radius)
+            for qi in range(queries.shape[0])
+        ]
+
+    def _merge_radius(self, shard_results: list[QueryResult], radius: float) -> QueryResult:
+        ids = np.concatenate(
+            [gids[res.ids] for gids, res in zip(self._shard_gids, shard_results)]
+        )
+        distances = np.concatenate([res.distances for res in shard_results])
+        order = np.argsort(ids, kind="stable")
+        exact = [res.stats.exact_candidates for res in shard_results]
+        stats = QueryStats(
+            num_collisions=sum(res.stats.num_collisions for res in shard_results),
+            estimated_candidates=float(
+                sum(res.stats.estimated_candidates for res in shard_results)
+            ),
+            exact_candidates=sum(exact) if all(e >= 0 for e in exact) else -1,
+            estimated_lsh_cost=float(
+                sum(res.stats.estimated_lsh_cost for res in shard_results)
+            ),
+            linear_cost=float(sum(res.stats.linear_cost for res in shard_results)),
+            strategy=Strategy.HYBRID,
+        )
+        return QueryResult(
+            ids=ids[order], distances=distances[order], radius=radius, stats=stats
+        )
+
+    # ------------------------------------------------------------------
+    # Top-k queries (exact)
+    # ------------------------------------------------------------------
+    def query_topk(self, query: np.ndarray, k: int) -> QueryResult:
+        """Exact k-nearest-neighbors of one query (see :meth:`query_topk_batch`)."""
+        return self.query_topk_batch(np.asarray(query)[None, :], k)[0]
+
+    def query_topk_batch(self, queries: np.ndarray, k: int) -> list[QueryResult]:
+        """Exact k-NN for a query matrix, merged across shards.
+
+        Every shard computes its local distance block with the metric's
+        batch kernel; the global ``k`` smallest per query are selected
+        with ``(distance, id)`` tie-breaking.  Results are ordered by
+        ascending distance (ties by id) — *not* by id like radius
+        results — and ``result.radius`` reports the k-th distance.
+        """
+        k = check_positive_int(k, "k")
+        queries = check_matrix(queries, dim=self.dim, name="queries")
+        if k > self.n:
+            raise ConfigurationError(f"k ({k}) must not exceed the index size ({self.n})")
+        blocks = self._fan_out(
+            lambda s: pairwise_distances(queries, self.shards[s].index.points, self.metric),
+            self.num_shards,
+        )
+        all_ids = np.concatenate(self._shard_gids)
+        results = []
+        for qi in range(queries.shape[0]):
+            distances = np.concatenate([block[qi] for block in blocks])
+            order = np.lexsort((all_ids, distances))[:k]
+            ids = all_ids[order]
+            dists = distances[order]
+            stats = QueryStats(strategy=Strategy.LINEAR, linear_cost=float(self.n))
+            results.append(
+                QueryResult(ids=ids, distances=dists, radius=float(dists[-1]), stats=stats)
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Incremental inserts
+    # ------------------------------------------------------------------
+    def insert(self, new_points: np.ndarray) -> np.ndarray:
+        """Insert points, routing them round-robin across the shards.
+
+        Returns the assigned global ids (``n .. n + m - 1``).  The next
+        query — single, batched, or top-k — sees the new points: the
+        per-shard id maps are extended here and the shard engines read
+        their index's point matrix afresh on every call.
+        """
+        new_points = check_matrix(new_points, dim=self.dim, name="new_points")
+        m = new_points.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=np.int64)
+        start = self.n
+        global_ids = np.arange(start, start + m, dtype=np.int64)
+        assignment = (self._next_shard + np.arange(m)) % self.num_shards
+        for s in range(self.num_shards):
+            rows = np.flatnonzero(assignment == s)
+            if rows.size == 0:
+                continue
+            self.shards[s].index.insert(new_points[rows])
+            self._shard_gids[s] = np.concatenate([self._shard_gids[s], global_ids[rows]])
+        self._next_shard = (self._next_shard + m) % self.num_shards
+        return global_ids
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedHybridIndex(K={self.num_shards}, n={self.n}, "
+            f"dim={self.dim}, metric={self.metric_name}, r={self.radius})"
+        )

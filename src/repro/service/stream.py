@@ -1,0 +1,139 @@
+"""JSON-lines request/response protocol over a :class:`QueryService`.
+
+One request per line, one response per line, in order:
+
+* ``{"query": [..], "radius": 0.5}`` — an rNNR query (``radius``
+  optional when the engine has a default) →
+  ``{"ids": [...], "distances": [...], "found": n, "strategy": "lsh"}``;
+* ``{"op": "insert", "points": [[..], ..]}`` — add points →
+  ``{"inserted": m, "ids": [...], "n": total}``;
+* ``{"op": "stats"}`` — counters snapshot → the
+  :meth:`~repro.service.service.ServiceStats.as_dict` payload.
+
+Consecutive query lines are micro-batched: while more input is already
+waiting (see ``more_ready``), up to ``batch_size`` of them are answered
+with one engine batch (grouped by radius), which is where the batched
+engine's throughput comes from; an idle interactive client always gets
+its response immediately.  Malformed lines produce
+``{"error": "..."}`` without disturbing neighbouring requests.
+
+``python -m repro.cli serve`` wires this to stdin/stdout.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.service.service import QueryService
+
+__all__ = ["serve_stream"]
+
+
+def _parse_query(request: dict, dim: int) -> tuple[np.ndarray, float | None]:
+    query = np.asarray(request["query"], dtype=np.float64)
+    if query.ndim != 1 or query.shape[0] != dim:
+        raise ValueError(f"query must be a flat list of {dim} numbers")
+    radius = request.get("radius")
+    if radius is not None:
+        radius = float(radius)
+        if not radius > 0:
+            raise ValueError(f"radius must be > 0, got {radius}")
+    return query, radius
+
+
+def _answer(result) -> str:
+    return json.dumps(
+        {
+            "ids": result.ids.tolist(),
+            "distances": result.distances.tolist(),
+            "found": result.output_size,
+            "strategy": result.stats.strategy.value,
+        }
+    )
+
+
+def _flush(service: QueryService, pending: list[tuple[np.ndarray, float | None]]) -> list[str]:
+    """Answer the buffered queries, one engine batch per distinct radius."""
+    responses: list[str | None] = [None] * len(pending)
+    by_radius: dict[float | None, list[int]] = {}
+    for j, (_, radius) in enumerate(pending):
+        by_radius.setdefault(radius, []).append(j)
+    for radius, rows in by_radius.items():
+        batch = np.stack([pending[j][0] for j in rows])
+        try:
+            results = service.query_batch(batch, radius)
+        except Exception as exc:
+            # e.g. no radius given and the engine has no default; the
+            # per-line contract means the rest of the stream lives on.
+            error = json.dumps({"error": f"query failed: {exc}"})
+            for j in rows:
+                responses[j] = error
+            continue
+        for j, result in zip(rows, results):
+            responses[j] = _answer(result)
+    pending.clear()
+    return responses
+
+
+def serve_stream(
+    service: QueryService,
+    lines: Iterable[str],
+    batch_size: int = 64,
+    more_ready: "Callable[[], bool] | None" = None,
+) -> Iterator[str]:
+    """Yield one JSON response line per JSON request line, in order.
+
+    ``more_ready`` reports whether further input is already waiting
+    (e.g. a ``select`` probe on stdin).  Queries are only buffered
+    toward ``batch_size`` while it returns ``True``; without it every
+    query is answered immediately, so an interactive client that sends
+    one request and waits never deadlocks — bulk pipes keep the
+    micro-batching because their backlog keeps ``more_ready`` true.
+    """
+    pending: list[tuple[np.ndarray, float | None]] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            yield from _flush(service, pending)
+            yield json.dumps({"error": f"bad request: {exc}"})
+            continue
+
+        if "query" in request:
+            try:
+                pending.append(_parse_query(request, service.dim))
+            except (ValueError, TypeError) as exc:
+                yield from _flush(service, pending)
+                yield json.dumps({"error": str(exc)})
+                continue
+            if len(pending) >= batch_size or not (more_ready and more_ready()):
+                yield from _flush(service, pending)
+            continue
+
+        # Non-query ops act on the index state, so drain queued queries
+        # first to keep responses aligned with request order.
+        yield from _flush(service, pending)
+        op = request.get("op")
+        if op == "stats":
+            yield json.dumps(service.stats.as_dict())
+        elif op == "insert":
+            try:
+                points = np.asarray(request["points"], dtype=np.float64)
+                ids = service.insert(points)
+            except Exception as exc:  # surface shape/validation problems per line
+                yield json.dumps({"error": f"insert failed: {exc}"})
+            else:
+                yield json.dumps(
+                    {"inserted": int(ids.size), "ids": ids.tolist(), "n": service.n}
+                )
+        else:
+            yield json.dumps({"error": f"unknown request: {sorted(request)}"})
+    yield from _flush(service, pending)

@@ -1,5 +1,8 @@
 """Tests for the command-line interface (tiny scales)."""
 
+import io
+import json
+
 import pytest
 
 from repro.cli import main
@@ -47,6 +50,88 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Hybrid recall" in out
         assert "Analytic" in out
+
+    def test_throughput(self, capsys, tmp_path):
+        artifact = tmp_path / "tp.json"
+        assert main([
+            "throughput", "--n", "900", "--queries", "12", "--tables", "6",
+            "--shards", "2", "--json", str(artifact),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "QPS" in out and "sequential" in out and "batched" in out
+        payload = json.loads(artifact.read_text())
+        assert set(payload["modes"]) == {"sequential", "batched", "sharded"}
+        assert payload["modes"]["batched"]["matches_reference"] is True
+
+    def test_serve(self, capsys, monkeypatch):
+        from repro.datasets import corel_like
+
+        dataset = corel_like(n=400, seed=0)
+        lines = [
+            json.dumps({"query": dataset.points[0].tolist()}),
+            json.dumps({"query": [1.0, 2.0]}),
+            json.dumps({"op": "stats"}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main([
+            "serve", "--dataset", "corel", "--n", "400",
+            "--tables", "4", "--cache-size", "16",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "serving corel-like" in captured.err
+        responses = [json.loads(line) for line in captured.out.splitlines()]
+        assert 0 in responses[0]["ids"]
+        assert "error" in responses[1]
+        assert responses[2]["queries_served"] == 1
+
+    def test_serve_sharded(self, capsys, monkeypatch):
+        from repro.datasets import corel_like
+
+        dataset = corel_like(n=300, seed=0)
+        request = json.dumps({"query": dataset.points[5].tolist()})
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        assert main([
+            "serve", "--dataset", "corel", "--n", "300",
+            "--tables", "4", "--shards", "2",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert 5 in json.loads(captured.out.splitlines()[0])["ids"]
+
+    def test_line_stream_probe_sees_buffered_burst(self):
+        """A keep-alive client's burst must be visible to the backlog
+        probe even once it sits in the reader's buffer, so serve keeps
+        micro-batching instead of degrading to per-line answers."""
+        import os
+
+        from repro.cli import _line_stream_with_probe
+
+        read_fd, write_fd = os.pipe()
+        try:
+            with open(read_fd, "r", closefd=False) as stdin:
+                os.write(write_fd, b"one\ntwo\nthree\n")
+                lines, more_ready = _line_stream_with_probe(stdin)
+                assert next(lines) == "one\n"
+                # The burst now lives in the internal buffer, not the fd.
+                assert more_ready() is True
+                assert next(lines) == "two\n"
+                assert more_ready() is True
+                assert next(lines) == "three\n"
+                assert more_ready() is False  # idle client: flush now
+                os.close(write_fd)
+                write_fd = -1
+                assert list(lines) == []
+        finally:
+            if write_fd >= 0:
+                os.close(write_fd)
+            os.close(read_fd)
+
+    def test_line_stream_probe_without_fd_falls_back(self):
+        from repro.cli import _line_stream_with_probe
+
+        source = io.StringIO("a\nb\n")
+        lines, more_ready = _line_stream_with_probe(source)
+        assert more_ready is None
+        assert lines is source
 
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):
