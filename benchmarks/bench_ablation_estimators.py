@@ -24,7 +24,7 @@ from repro.core.presets import paper_parameters
 from repro.datasets import split_queries
 from repro.evaluation.report import format_table
 from repro.index import LSHIndex
-from repro.sketches import ExactDistinctCounter, KMinValues
+from repro.sketches import get_estimator
 
 
 @pytest.fixture(scope="module")
@@ -40,25 +40,9 @@ def setup(webspam_bench):
     return index, lookups, exact_counts
 
 
-def _estimate_hll(index, lookup) -> float:
-    return index.merged_sketch(lookup).estimate()
-
-
-def _estimate_kmv(index, lookup) -> float:
-    sketch = KMinValues(k=128, seed=1)
-    for bucket in lookup.nonempty_buckets():
-        sketch.add_batch(bucket.ids)
-    return sketch.estimate()
-
-
-def _estimate_exact(index, lookup) -> float:
-    counter = ExactDistinctCounter()
-    for bucket in lookup.nonempty_buckets():
-        counter.add_batch(bucket.ids)
-    return counter.estimate()
-
-
-_ESTIMATORS = {"hll": _estimate_hll, "kmv": _estimate_kmv, "exact": _estimate_exact}
+# The three candidates, resolved from the estimator registry — the same
+# names an IndexSpec's ``estimator`` field accepts.
+_ESTIMATORS = {name: get_estimator(name) for name in ("hll", "kmv", "exact")}
 
 
 @pytest.fixture(scope="module")

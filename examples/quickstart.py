@@ -1,9 +1,10 @@
-"""Quickstart: build a hybrid rNNR searcher and inspect its decisions.
+"""Quickstart: declare an index with a spec, query it, inspect decisions.
 
 Builds the paper-configured index over a synthetic L2 dataset with both
-sparse and dense regions (the Figure 1 landscape), answers a few
-queries, and shows the per-query cost estimates that drive the
-LSH-vs-linear dispatch.
+sparse and dense regions (the Figure 1 landscape) through the
+spec-driven API — one :class:`repro.IndexSpec` document describes the
+whole index — answers a few queries, and shows the per-query cost
+estimates that drive the LSH-vs-linear dispatch.
 
 Run:  python examples/quickstart.py
 """
@@ -12,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import CostModel, HybridLSH
+from repro import Index, IndexSpec, QuerySpec
 from repro.datasets import gaussian_mixture
 
 
@@ -29,25 +30,26 @@ def main() -> None:
         8000, 24, centers, spreads, weights=weights, seed=rng
     )
 
-    radius = 2.0
-    searcher = HybridLSH(
-        points,
+    # The whole index in one declarative document (JSON round-trippable:
+    # spec.to_dict() is exactly what the CLI and wire protocol speak).
+    spec = IndexSpec(
         metric="l2",
-        radius=radius,
+        radius=2.0,
         num_tables=50,
         delta=0.1,
-        cost_model=CostModel.from_ratio(6.0),  # the paper's Corel ratio
+        cost_ratio=6.0,  # the paper's Corel beta/alpha ratio
         seed=1,
     )
-    print(f"index: {searcher!r}")
-    print(f"cost model: {searcher.cost_model!r}")
-    print(f"n = {searcher.index.n}, sketch memory = "
-          f"{searcher.index.sketch_memory_bytes / 1024:.1f} KiB\n")
+    index = Index.build(points, spec)
+    print(f"index: {index!r}")
+    print(f"cost model: {index.cost_model!r}")
+    print(f"n = {index.n}, sketch memory = "
+          f"{index.engine.index.sketch_memory_bytes / 1024:.1f} KiB\n")
 
     print(f"{'query':>6} {'strategy':>8} {'#coll':>8} {'est cand':>9} "
           f"{'found':>6} {'LSHCost':>10} {'LinCost':>10}")
     for i in range(0, 40, 4):
-        result = searcher.query(points[i])
+        result = index.query(QuerySpec(points[i]))
         s = result.stats
         print(
             f"{i:>6} {s.strategy.value:>8} {s.num_collisions:>8} "
@@ -55,11 +57,16 @@ def main() -> None:
             f"{s.estimated_lsh_cost:>10.1f} {s.linear_cost:>10.1f}"
         )
 
-    linear_share = np.mean(
-        [searcher.query(points[i]).stats.strategy.value == "linear" for i in range(100)]
-    )
+    # One batch through the same uniform query surface (fused hashing).
+    results = index.query(QuerySpec(points[:100]))
+    linear_share = np.mean([r.stats.strategy.value == "linear" for r in results])
     print(f"\nfraction of queries answered by linear search: {linear_share:.0%}")
     print("dense-clump queries route to linear search; sparse ones to LSH.")
+
+    # Exact top-k rides the same method — just ask with k instead of radius.
+    topk = index.query(QuerySpec(points[0], k=5))
+    print(f"top-5 of query 0: ids {topk.ids.tolist()}, "
+          f"kth distance {topk.radius:.3g}")
 
 
 if __name__ == "__main__":

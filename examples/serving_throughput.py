@@ -1,51 +1,48 @@
-"""Serving tour: batched queries, sharding, inserts, caching, QPS.
+"""Serving tour: one spec-driven ``Index`` facade for the whole stack.
 
 Builds a mixed workload (dense clusters + uniform background — the
-landscape of the paper's Figure 1), then walks the serving subsystem:
+landscape of the paper's Figure 1), then walks the serving subsystem
+through the :class:`repro.Index` facade:
 
-1. a :class:`~repro.service.batch.BatchQueryEngine` answering 200
-   queries in one batch, bit-identical to the sequential loop;
-2. a :class:`~repro.service.sharded.ShardedHybridIndex` fanning the
-   same batch across 4 shards, plus exact global top-k;
+1. a batched single index answering 200 queries in one
+   :class:`~repro.QuerySpec`, bit-identical to the sequential loop;
+2. a 4-shard index built from the *same spec document* plus
+   ``num_shards=4``, with exact global top-k through the same
+   ``query`` method;
 3. live inserts that every later query sees immediately;
-4. a cache-fronted :class:`~repro.service.service.QueryService`
-   absorbing a repeat-heavy query stream.
+4. a cache-fronted index (``cache_size`` in the spec) absorbing a
+   repeat-heavy query stream — inserts only evict the touched shard's
+   entries;
+5. save / reopen round-trip: the persisted index answers identically.
 
 Run with::
 
     PYTHONPATH=src python examples/serving_throughput.py
 """
 
+import tempfile
 import time
 
 import numpy as np
 
-from repro.core import CostModel
+from repro import Index, IndexSpec, QuerySpec
 from repro.evaluation import mixed_workload
-from repro.service import (
-    BatchQueryEngine,
-    QueryResultCache,
-    QueryService,
-    ShardedHybridIndex,
-)
 
 N, NUM_QUERIES = 8_000, 200
 
 points, queries, radius = mixed_workload(N, num_queries=NUM_QUERIES, seed=7)
-cost_model = CostModel.from_ratio(6.0)
+spec = IndexSpec(metric="l2", radius=radius, cost_ratio=6.0, seed=1)
 print(f"workload: n = {N}, d = {points.shape[1]}, r = {radius:.3g}, "
       f"{NUM_QUERIES} queries")
 
-# -- 1. batched engine vs the sequential loop ---------------------------
-engine = BatchQueryEngine.from_points(
-    points, metric="l2", radius=radius, cost_model=cost_model, seed=1
-)
+# -- 1. batched facade vs the sequential loop ---------------------------
+index = Index.build(points, spec)
 started = time.perf_counter()
-sequential = [engine.searcher.query(q, radius) for q in queries]
+sequential = [index.query(QuerySpec(q)) for q in queries]
 seq_seconds = time.perf_counter() - started
 
 started = time.perf_counter()
-batched = engine.query_batch(queries)
+batched = index.query(QuerySpec(queries))
 bat_seconds = time.perf_counter() - started
 
 assert all(
@@ -58,36 +55,48 @@ print(f"batched   : {NUM_QUERIES / bat_seconds:7.0f} qps "
       f"({seq_seconds / bat_seconds:.1f}x, identical answers, "
       f"{strategies.count('linear')}/{NUM_QUERIES} went linear)")
 
-# -- 2. sharded index + exact top-k -------------------------------------
-sharded = ShardedHybridIndex(
-    points, metric="l2", radius=radius, num_shards=4,
-    cost_model=cost_model, seed=1,
-)
+# -- 2. sharded index from the same spec + exact top-k ------------------
+sharded = Index.build(points, spec.with_overrides(num_shards=4))
 started = time.perf_counter()
-sharded.query_batch(queries)
+sharded.query(QuerySpec(queries))
 print(f"sharded   : {NUM_QUERIES / (time.perf_counter() - started):7.0f} qps "
-      f"(K = 4, shard sizes {sharded.shard_sizes()})")
+      f"(K = 4, shard sizes {sharded.engine.shard_sizes()})")
 
-topk = sharded.query_topk(queries[0], k=5)
+topk = sharded.query(QuerySpec(queries[0], k=5))
 print(f"top-5 of query 0: ids {topk.ids.tolist()}, "
       f"kth distance {topk.radius:.3g}")
 
 # -- 3. inserts are visible immediately ---------------------------------
 new_ids = sharded.insert(queries[:3] + 1e-4)
-hits = [int(new_id in sharded.query(q).ids)
+hits = [int(new_id in sharded.query(QuerySpec(q)).ids)
         for new_id, q in zip(new_ids, queries[:3])]
 print(f"inserted {len(new_ids)} points -> found by the next query: "
       f"{sum(hits)}/{len(hits)}")
 
-# -- 4. cache-fronted service under a repeat-heavy stream ---------------
-service = QueryService(engine, cache=QueryResultCache(maxsize=1024))
+# -- 4. cache-fronted sharded serving under a repeat-heavy stream -------
+served = Index.build(points, spec.with_overrides(num_shards=4, cache_size=4096))
 rng = np.random.default_rng(0)
 stream = queries[rng.integers(0, 20, size=500)]  # hot set of 20 queries
 for start in range(0, len(stream), 50):          # arrives in micro-batches
-    service.query_batch(stream[start : start + 50])
-stats = service.stats
+    served.query(QuerySpec(stream[start : start + 50]))
+served.insert(queries[:1] + 5e-4)                # evicts ONE shard's partials
+served.query(QuerySpec(stream[:50]))             # 3 of 4 shards still cached
+stats = served.stats
 saved = stats.cache_hits + stats.deduplicated
 print(f"service   : {stats.queries_served} served in {stats.batches} batches, "
       f"{saved} without engine work ({stats.cache_hits} cache hits + "
       f"{stats.deduplicated} in-batch duplicates), "
       f"{stats.qps:.0f} qps including cache")
+
+# -- 5. persistence: save, reopen, answers are bit-identical ------------
+with tempfile.TemporaryDirectory() as tmp:
+    path = f"{tmp}/serving-index"
+    sharded.save(path)
+    reopened = Index.open(path)
+    a = sharded.query(QuerySpec(queries[:50]))
+    b = reopened.query(QuerySpec(queries[:50]))
+    assert all(
+        np.array_equal(x.ids, y.ids) and np.array_equal(x.distances, y.distances)
+        for x, y in zip(a, b)
+    )
+    print(f"persisted : {reopened!r} reopened from disk, identical answers")

@@ -11,19 +11,29 @@ evaluation harness regenerating every table and figure.
 Quickstart
 ----------
 >>> import numpy as np
->>> from repro import HybridLSH, CostModel
+>>> from repro import Index, IndexSpec, QuerySpec
 >>> rng = np.random.default_rng(0)
 >>> points = rng.normal(size=(2000, 32))
->>> searcher = HybridLSH(points, metric="l2", radius=2.0,
-...                      cost_model=CostModel.from_ratio(6.0), seed=1)
->>> result = searcher.query(points[0])
+>>> index = Index.build(points, IndexSpec(metric="l2", radius=2.0, seed=1))
+>>> result = index.query(QuerySpec(points[0]))
 >>> 0 in result.ids
 True
 """
 
+from repro.api import (
+    Index,
+    IndexSpec,
+    QuerySpec,
+    available_estimators,
+    available_families,
+    get_estimator,
+    get_family,
+    register_estimator,
+    register_family,
+)
+from repro.api.deprecations import deprecated_front_door as _deprecated_front_door
 from repro.core import (
     CostModel,
-    HybridLSH,
     HybridSearcher,
     LinearScan,
     LSHSearch,
@@ -33,6 +43,7 @@ from repro.core import (
     calibrate_cost_model,
     paper_parameters,
 )
+from repro.core import HybridLSH as _HybridLSH
 from repro.distances import get_metric
 from repro.hashing import (
     BitSamplingLSH,
@@ -44,17 +55,37 @@ from repro.hashing import (
 )
 from repro.index import CoveringLSHIndex, LSHIndex, MultiProbeLSHIndex
 from repro.index.serialize import load_index, save_index
-from repro.service import (
-    BatchQueryEngine,
-    QueryResultCache,
-    QueryService,
-    ShardedHybridIndex,
-)
+from repro.service import QueryResultCache
+from repro.service import BatchQueryEngine as _BatchQueryEngine
+from repro.service import QueryService as _QueryService
+from repro.service import ShardedHybridIndex as _ShardedHybridIndex
 from repro.sketches import HyperLogLog
 
-__version__ = "1.0.0"
+# Legacy front doors: fully functional, but constructing one through the
+# top-level package warns (once) that repro.Index is the supported path.
+HybridLSH = _deprecated_front_door(_HybridLSH, "repro.Index.build(points, IndexSpec(...))")
+QueryService = _deprecated_front_door(
+    _QueryService, "repro.Index.build(points, IndexSpec(cache_size=...))"
+)
+BatchQueryEngine = _deprecated_front_door(
+    _BatchQueryEngine, "repro.Index.build(points, IndexSpec(...))"
+)
+ShardedHybridIndex = _deprecated_front_door(
+    _ShardedHybridIndex, "repro.Index.build(points, IndexSpec(num_shards=...))"
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "Index",
+    "IndexSpec",
+    "QuerySpec",
+    "register_family",
+    "get_family",
+    "available_families",
+    "register_estimator",
+    "get_estimator",
+    "available_estimators",
     "HybridLSH",
     "HybridSearcher",
     "LSHSearch",

@@ -1,0 +1,43 @@
+"""Spec-driven public API: one declarative front door for the package.
+
+The paper's contribution is a single decision procedure; this package
+gives it a single surface:
+
+* :class:`IndexSpec` / :class:`QuerySpec` — immutable, validated
+  descriptions of an index and a request, with JSON round-trips
+  (``to_dict`` / ``from_dict``) so the CLI, the JSON-lines protocol
+  and saved-index files all speak the same document;
+* :class:`Index` — ``Index.build(points, spec)``, one
+  ``index.query(QuerySpec)`` for radius / top-k / batch,
+  ``insert``, and full ``save`` / ``Index.open`` persistence
+  (including sharded indexes);
+* the plugin registries — :func:`register_family` /
+  :func:`get_family` for LSH families and :func:`register_estimator` /
+  :func:`get_estimator` for ``candSize`` estimators — extending the
+  distance-registry pattern so specs resolve everything by name.
+"""
+
+from repro.api.facade import Index, ServiceStats
+from repro.api.persist import open_index, save_index
+from repro.api.spec import IndexSpec, QuerySpec
+from repro.hashing.base import available_families, get_family, register_family
+from repro.sketches.registry import (
+    available_estimators,
+    get_estimator,
+    register_estimator,
+)
+
+__all__ = [
+    "Index",
+    "IndexSpec",
+    "QuerySpec",
+    "ServiceStats",
+    "save_index",
+    "open_index",
+    "register_family",
+    "get_family",
+    "available_families",
+    "register_estimator",
+    "get_estimator",
+    "available_estimators",
+]

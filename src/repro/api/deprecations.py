@@ -1,0 +1,52 @@
+"""Deprecation shims for the pre-spec front doors.
+
+The top-level package keeps exporting ``HybridLSH``, ``QueryService``,
+``BatchQueryEngine`` and ``ShardedHybridIndex`` so existing code runs
+unchanged — but constructing one through ``repro.<Name>`` now emits a
+single :class:`DeprecationWarning` per process pointing at the
+spec-driven replacement.  The implementation classes themselves (in
+:mod:`repro.core` and :mod:`repro.service`) stay warning-free: they are
+the engines the :class:`repro.api.Index` facade runs on.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["deprecated_front_door", "warn_once"]
+
+#: names that have already warned this process (tests may clear this)
+_WARNED: set[str] = set()
+
+
+def warn_once(name: str, alternative: str, stacklevel: int = 3) -> None:
+    """Emit one :class:`DeprecationWarning` per process for ``name``."""
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"{name}(...) is a deprecated front door; build via {alternative} "
+        f"(see repro.api). The class keeps working unchanged.",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def deprecated_front_door(cls: type, alternative: str) -> type:
+    """A subclass of ``cls`` that warns (once) on construction.
+
+    The shim is substitutable everywhere the original is accepted
+    (``isinstance`` checks see the real class) and forwards every
+    argument untouched.
+    """
+
+    class Shim(cls):
+        def __init__(self, *args, **kwargs):
+            warn_once(cls.__name__, alternative)
+            super().__init__(*args, **kwargs)
+
+    Shim.__name__ = cls.__name__
+    Shim.__qualname__ = cls.__qualname__
+    Shim.__doc__ = cls.__doc__
+    Shim.__module__ = cls.__module__
+    return Shim

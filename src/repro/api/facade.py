@@ -1,0 +1,543 @@
+"""The ``Index`` facade: one spec-driven front door for every workload.
+
+The package grew three entry points — :class:`~repro.core.hybrid.HybridLSH`
+(single index), :class:`~repro.service.sharded.ShardedHybridIndex`
+(partitioned), and :class:`~repro.service.service.QueryService`
+(cache + counters) — each with its own constructor vocabulary.
+:class:`Index` replaces them with one declarative surface:
+
+* :meth:`Index.build` consumes an :class:`~repro.api.spec.IndexSpec`
+  and assembles the right engine underneath (batched single index or
+  sharded fan-out), the cost model (fixed ratio or timing-calibrated),
+  the ``candSize`` estimator (resolved from the estimator registry),
+  and the optional result cache;
+* :meth:`Index.query` answers a :class:`~repro.api.spec.QuerySpec` —
+  radius, exact top-k, single or batch — through one method, with
+  answers bit-identical to the legacy paths it delegates to;
+* :meth:`Index.insert` routes new points in and invalidates only the
+  affected shards' cache entries (the cache stores per-shard partial
+  answers under shard-tagged keys);
+* :meth:`Index.save` / :meth:`Index.open` persist everything —
+  per-shard tables and sketches, shard id maps, the spec, and the
+  calibrated cost model — so a process restart never rebuilds.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.api.spec import IndexSpec, QuerySpec
+from repro.core.calibration import calibrate_cost_model
+from repro.core.cost_model import CostModel
+from repro.core.hybrid import HybridLSH, HybridSearcher
+from repro.core.presets import _PSTABLE_PRESETS, paper_parameters
+from repro.core.linear_scan import exact_topk_results
+from repro.core.results import QueryResult
+from repro.distances import get_metric
+from repro.distances.matrix import pairwise_distances
+from repro.exceptions import ConfigurationError
+from repro.hashing.base import family_for_metric, get_family
+from repro.hashing.params import concatenation_width
+from repro.index.lsh_index import LSHIndex
+from repro.service.batch import BatchQueryEngine
+from repro.service.cache import QueryResultCache
+from repro.service.sharded import ShardedHybridIndex
+from repro.service.stats import ServiceStats
+from repro.sketches.registry import get_estimator
+from repro.utils.validation import check_matrix, check_positive_int
+
+__all__ = ["Index", "ServiceStats"]
+
+
+class _SingleBackend:
+    """Adapter presenting a :class:`BatchQueryEngine` as a 1-shard backend."""
+
+    kind = "single"
+
+    def __init__(self, engine: BatchQueryEngine) -> None:
+        self.engine = engine
+
+    @property
+    def num_partitions(self) -> int:
+        return 1
+
+    @property
+    def n(self) -> int:
+        return self.engine.n
+
+    @property
+    def dim(self) -> int:
+        return self.engine.dim
+
+    def resolve_radius(self, radius: float | None) -> float:
+        return self.engine._resolve_radius(radius)
+
+    def query_batch(self, queries: np.ndarray, radius: float) -> list[QueryResult]:
+        return self.engine.query_batch(queries, radius)
+
+    def shard_query_batch(self, shard: int, queries, radius) -> list[QueryResult]:
+        return self.engine.query_batch(queries, radius)
+
+    def merge(self, parts: list[QueryResult], radius: float) -> QueryResult:
+        return parts[0]
+
+    def map_shards(self, work) -> list:
+        return [work(0)]
+
+    def topk_batch(self, queries: np.ndarray, k: int) -> list[QueryResult]:
+        index = self.engine.index
+        if k > index.n:
+            raise ConfigurationError(f"k ({k}) must not exceed the index size ({index.n})")
+        block = pairwise_distances(queries, index.points, index.family.metric)
+        return exact_topk_results(np.arange(index.n, dtype=np.int64), [block], k, index.n)
+
+    def insert(self, new_points: np.ndarray) -> tuple[np.ndarray, set[int]]:
+        ids = self.engine.insert(new_points)
+        return ids, ({0} if ids.size else set())
+
+    def close(self) -> None:
+        pass
+
+
+class _ShardedBackend:
+    """Adapter presenting a :class:`ShardedHybridIndex` as a K-shard backend."""
+
+    kind = "sharded"
+
+    def __init__(self, sharded: ShardedHybridIndex) -> None:
+        self.engine = sharded
+
+    @property
+    def num_partitions(self) -> int:
+        return self.engine.num_shards
+
+    @property
+    def n(self) -> int:
+        return self.engine.n
+
+    @property
+    def dim(self) -> int:
+        return self.engine.dim
+
+    def resolve_radius(self, radius: float | None) -> float:
+        return self.engine._resolve_radius(radius)
+
+    def query_batch(self, queries: np.ndarray, radius: float) -> list[QueryResult]:
+        return self.engine.query_batch(queries, radius)
+
+    def shard_query_batch(self, shard: int, queries, radius) -> list[QueryResult]:
+        return self.engine.shard_query_batch(shard, queries, radius)
+
+    def merge(self, parts: list[QueryResult], radius: float) -> QueryResult:
+        return self.engine.merge_radius(parts, radius)
+
+    def map_shards(self, work) -> list:
+        return self.engine.map_shards(work)
+
+    def topk_batch(self, queries: np.ndarray, k: int) -> list[QueryResult]:
+        return self.engine.query_topk_batch(queries, k)
+
+    def insert(self, new_points: np.ndarray) -> tuple[np.ndarray, set[int]]:
+        affected = set(int(s) for s in self.engine.peek_assignment(new_points.shape[0]))
+        ids = self.engine.insert(new_points)
+        return ids, (affected if ids.size else set())
+
+    def close(self) -> None:
+        self.engine.close()
+
+
+def _resolve_estimator(spec: IndexSpec):
+    """Spec estimator name -> searcher argument.
+
+    The *built-in* HLL estimator maps to ``None`` so the searcher keeps
+    the vectorised batch sketch merge (the paper's path, bit-identical
+    and fastest); any other registration — including a user-replaced
+    ``"hll"`` — is honoured as the callable the registry resolves.
+    """
+    from repro.sketches.registry import _hll_estimate
+
+    estimator = get_estimator(spec.estimator)
+    if estimator is _hll_estimate:
+        return None
+    return estimator
+
+
+def _resolve_cost_model(spec: IndexSpec, points: np.ndarray) -> CostModel:
+    if spec.cost_ratio is not None:
+        return CostModel.from_ratio(spec.cost_ratio)
+    return calibrate_cost_model(points, get_metric(spec.metric), seed=spec.seed).model
+
+
+def _resolve_family_and_k(spec: IndexSpec, dim: int):
+    """Resolve (family, k) for a single-index build.
+
+    The default spec reproduces :func:`~repro.core.presets.paper_parameters`
+    exactly (identical hash draws for a given seed); any override —
+    named family, explicit ``k``, bucket width, extra factory kwargs —
+    switches to direct registry-driven construction.
+    """
+    customised = (
+        spec.hash_family is not None
+        or spec.k is not None
+        or spec.bucket_width is not None
+        or spec.family_params
+    )
+    if not customised:
+        params = paper_parameters(
+            spec.metric,
+            dim=dim,
+            radius=spec.radius,
+            num_tables=spec.num_tables,
+            delta=spec.delta,
+            seed=spec.seed,
+        )
+        return params.family, params.k
+    kwargs = dict(spec.family_params or {})
+    metric_name = get_metric(spec.metric).name
+    preset = _PSTABLE_PRESETS.get(metric_name)
+    if spec.bucket_width is not None:
+        kwargs.setdefault("w", spec.bucket_width)
+    elif preset is not None and spec.hash_family is None:
+        kwargs.setdefault("w", preset[1] * spec.radius)
+    if spec.hash_family is not None:
+        family = get_family(spec.hash_family)(dim, seed=spec.seed, **kwargs)
+    else:
+        family = family_for_metric(spec.metric, dim, seed=spec.seed, **kwargs)
+    k = spec.k
+    if k is None:
+        if preset is not None and spec.hash_family is None:
+            k = preset[0]
+        else:
+            k = concatenation_width(
+                spec.num_tables, spec.delta, family.collision_probability(spec.radius)
+            )
+    return family, k
+
+
+class Index:
+    """Spec-driven facade over the whole serving stack.
+
+    Build one from data and an :class:`~repro.api.spec.IndexSpec`, ask
+    it anything via :class:`~repro.api.spec.QuerySpec`, persist it with
+    :meth:`save` / :meth:`open`:
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.api import Index, IndexSpec, QuerySpec
+    >>> rng = np.random.default_rng(0)
+    >>> points = rng.normal(size=(600, 12))
+    >>> index = Index.build(points, IndexSpec(
+    ...     metric="l2", radius=1.0, num_tables=6, num_shards=2, seed=1))
+    >>> int(index.query(QuerySpec(points[17])).ids[0])
+    17
+    >>> index.query(QuerySpec(points[17], k=3)).ids.shape
+    (3,)
+    """
+
+    def __init__(
+        self,
+        backend,
+        spec: IndexSpec | None = None,
+        cache: QueryResultCache | None = None,
+    ) -> None:
+        self._backend = backend
+        self.spec = spec
+        self.cache = cache
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, points: np.ndarray, spec: IndexSpec) -> "Index":
+        """Build an index over ``points`` as described by ``spec``."""
+        if not isinstance(spec, IndexSpec):
+            spec = IndexSpec.from_dict(spec)
+        points = check_matrix(points, name="points")
+        cost_model = _resolve_cost_model(spec, points)
+        estimator = _resolve_estimator(spec)
+        if spec.num_shards > 1:
+            unsupported = {
+                "k": spec.k,
+                "hash_family": spec.hash_family,
+                "bucket_width": spec.bucket_width,
+                "family_params": spec.family_params or None,
+                "lazy_threshold": spec.lazy_threshold,
+                "hll_seed": spec.hll_seed or None,
+            }
+            customised = sorted(name for name, value in unsupported.items() if value is not None)
+            if customised:
+                raise ConfigurationError(
+                    f"spec fields {customised} are not supported with "
+                    f"num_shards > 1 (paper-preset shards only)"
+                )
+            sharded = ShardedHybridIndex(
+                points,
+                metric=spec.metric,
+                radius=spec.radius,
+                num_shards=spec.num_shards,
+                num_tables=spec.num_tables,
+                delta=spec.delta,
+                hll_precision=spec.hll_precision,
+                cost_model=cost_model,
+                seed=spec.seed,
+                estimator=estimator,
+                dedup=spec.dedup,
+            )
+            backend = _ShardedBackend(sharded)
+        else:
+            family, k = _resolve_family_and_k(spec, points.shape[1])
+            index = LSHIndex(
+                family,
+                k=k,
+                num_tables=spec.num_tables,
+                hll_precision=spec.hll_precision,
+                hll_seed=spec.hll_seed,
+                lazy_threshold=spec.lazy_threshold,
+            ).build(points)
+            searcher = HybridSearcher(index, cost_model, estimator=estimator)
+            backend = _SingleBackend(
+                BatchQueryEngine(searcher, radius=spec.radius, dedup=spec.dedup)
+            )
+        return cls(backend, spec=spec, cache=_cache_from_spec(spec))
+
+    @classmethod
+    def from_engine(
+        cls,
+        engine,
+        cache: QueryResultCache | None = None,
+        spec: IndexSpec | None = None,
+    ) -> "Index":
+        """Wrap an already-built engine in the facade.
+
+        Accepts a :class:`~repro.service.batch.BatchQueryEngine`, a
+        :class:`~repro.service.sharded.ShardedHybridIndex`, a
+        :class:`~repro.core.hybrid.HybridLSH`, or a bare
+        :class:`~repro.core.hybrid.HybridSearcher` — this is the
+        rebase hook for the legacy front doors.
+        """
+        if isinstance(engine, ShardedHybridIndex):
+            backend = _ShardedBackend(engine)
+        elif isinstance(engine, BatchQueryEngine):
+            backend = _SingleBackend(engine)
+        elif isinstance(engine, HybridLSH):
+            backend = _SingleBackend(
+                BatchQueryEngine(engine.searcher, radius=engine.radius)
+            )
+        elif isinstance(engine, HybridSearcher):
+            backend = _SingleBackend(BatchQueryEngine(engine))
+        else:
+            raise ConfigurationError(
+                f"cannot wrap {type(engine).__name__} as an Index backend"
+            )
+        return cls(backend, spec=spec, cache=cache)
+
+    @classmethod
+    def open(cls, path: str) -> "Index":
+        """Reopen an index saved by :meth:`save` (bit-identical answers)."""
+        from repro.api.persist import open_index
+
+        return open_index(path)
+
+    def save(self, path: str) -> None:
+        """Persist the full index state (spec, shards, id maps, cost model)."""
+        from repro.api.persist import save_index
+
+        save_index(self, path)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The underlying engine (batched single index or sharded fan-out)."""
+        return self._backend.engine
+
+    @property
+    def num_shards(self) -> int:
+        """Number of data partitions (1 for a single index)."""
+        return self._backend.num_partitions
+
+    @property
+    def n(self) -> int:
+        """Number of served points."""
+        return self._backend.n
+
+    @property
+    def dim(self) -> int:
+        """Expected query dimensionality."""
+        return self._backend.dim
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model driving the per-query dispatch."""
+        engine = self._backend.engine
+        if isinstance(engine, ShardedHybridIndex):
+            return engine.cost_model
+        return engine.searcher.cost_model
+
+    def reset_stats(self) -> None:
+        """Zero the counters (cache contents are kept)."""
+        self.stats = ServiceStats()
+
+    def close(self) -> None:
+        """Release backend resources (sharded thread pool); idempotent."""
+        self._backend.close()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, request, radius: float | None = None):
+        """Answer one :class:`~repro.api.spec.QuerySpec` (or raw vector/matrix).
+
+        Radius requests return points within the radius; ``k`` requests
+        return the exact k nearest neighbors.  A single-vector request
+        returns one :class:`~repro.core.results.QueryResult`, a matrix
+        returns a list (answered through the batched engine).
+        """
+        if not isinstance(request, QuerySpec):
+            request = QuerySpec(request, radius=radius)
+        elif radius is not None:
+            raise ConfigurationError(
+                "pass the radius inside the QuerySpec, not alongside it"
+            )
+        if request.mode == "topk":
+            results = self._topk_batch(request.queries, request.k)
+        else:
+            results = self._radius_batch(request.queries, request.radius)
+        return results[0] if request.single else results
+
+    def query_batch(
+        self, queries: np.ndarray, radius: float | None = None
+    ) -> list[QueryResult]:
+        """Answer a ``(q, d)`` radius-query matrix (one result per row)."""
+        return self._radius_batch(np.asarray(queries), radius)
+
+    def insert(self, new_points: np.ndarray) -> np.ndarray:
+        """Insert points; only the receiving shards' cache entries drop.
+
+        Cache keys are tagged with the shard whose partial answer they
+        hold, so entries for untouched shards stay hot across inserts —
+        the per-shard refinement of the old clear-everything behavior.
+        """
+        new_points = check_matrix(new_points, dim=self.dim, name="new_points")
+        ids, affected_shards = self._backend.insert(new_points)
+        if self.cache is not None and ids.size:
+            for shard in affected_shards:
+                self.cache.invalidate_shard(shard)
+        return ids
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _topk_batch(self, queries: np.ndarray, k: int) -> list[QueryResult]:
+        started = time.perf_counter()
+        queries = check_matrix(queries, dim=self.dim, name="queries")
+        k = check_positive_int(k, "k")
+        results = self._backend.topk_batch(queries, k)
+        self._account(results, queries.shape[0], started)
+        return results
+
+    def _radius_batch(
+        self, queries: np.ndarray, radius: float | None
+    ) -> list[QueryResult]:
+        started = time.perf_counter()
+        queries = check_matrix(queries, dim=self.dim, name="queries")
+        radius = self._backend.resolve_radius(radius)
+        if self.cache is None:
+            results = self._backend.query_batch(queries, radius)
+        else:
+            results = self._radius_batch_cached(queries, radius)
+        self._account(results, queries.shape[0], started)
+        return results
+
+    def _radius_batch_cached(
+        self, queries: np.ndarray, radius: float
+    ) -> list[QueryResult]:
+        """Cache-fronted batch: per-shard partials under shard-tagged keys.
+
+        A query's answer is the merge of ``K`` shard partials; each
+        partial is cached under its own shard tag, so a query after an
+        insert recomputes only the shards the insert touched.  In-batch
+        duplicates of a missing query are answered once and shared
+        (popular-item storms), exactly like the legacy service.
+        """
+        cache = self.cache
+        num_shards = self._backend.num_partitions
+        num_queries = queries.shape[0]
+        results: list[QueryResult | None] = [None] * num_queries
+        base_keys = [cache.make_key(q, radius) for q in queries]
+        miss_rep: dict[bytes, int] = {}
+        duplicates: list[tuple[int, int]] = []
+        parts_by_row: dict[int, list[QueryResult | None]] = {}
+        shard_miss_rows: list[list[int]] = [[] for _ in range(num_shards)]
+        hits = 0
+        for i, base in enumerate(base_keys):
+            if base in miss_rep:
+                # A batch-mate already carries this missing key: answer
+                # it once and share the result, without touching the
+                # store's hit/miss counters.
+                duplicates.append((i, miss_rep[base]))
+                continue
+            parts = [
+                cache.get(base if s == 0 else cache.retag_key(base, s))
+                for s in range(num_shards)
+            ]
+            missing = [s for s, part in enumerate(parts) if part is None]
+            if not missing:
+                results[i] = self._backend.merge(parts, radius)
+                hits += 1
+            else:
+                miss_rep[base] = i
+                parts_by_row[i] = parts
+                for s in missing:
+                    shard_miss_rows[s].append(i)
+
+        if parts_by_row:
+
+            def work(shard: int) -> list[QueryResult]:
+                rows = shard_miss_rows[shard]
+                if not rows:
+                    return []
+                return self._backend.shard_query_batch(shard, queries[rows], radius)
+
+            fresh = self._backend.map_shards(work)
+            for s in range(num_shards):
+                for row, part in zip(shard_miss_rows[s], fresh[s]):
+                    parts_by_row[row][s] = part
+                    key = base_keys[row] if s == 0 else cache.retag_key(base_keys[row], s)
+                    cache.put(key, part)
+            for row, parts in parts_by_row.items():
+                results[row] = self._backend.merge(parts, radius)
+        for i, rep in duplicates:
+            results[i] = results[rep]
+
+        self.stats.cache_hits += hits
+        self.stats.cache_misses += len(parts_by_row)
+        self.stats.deduplicated += len(duplicates)
+        return results
+
+    def _account(self, results: list[QueryResult], count: int, started: float) -> None:
+        self.stats.queries_served += count
+        self.stats.batches += 1
+        self.stats.elapsed_seconds += time.perf_counter() - started
+        for result in results:
+            name = result.stats.strategy.value
+            self.stats.strategy_counts[name] = self.stats.strategy_counts.get(name, 0) + 1
+
+    def __repr__(self) -> str:
+        cache = "off" if self.cache is None else f"{len(self.cache)}/{self.cache.maxsize}"
+        spec = "legacy-wrapped" if self.spec is None else self.spec.metric
+        return (
+            f"Index(n={self.n}, dim={self.dim}, shards={self.num_shards}, "
+            f"spec={spec}, cache={cache})"
+        )
+
+
+def _cache_from_spec(spec: IndexSpec) -> QueryResultCache | None:
+    if spec.cache_size <= 0:
+        return None
+    return QueryResultCache(maxsize=spec.cache_size, quantum=spec.cache_quantum)

@@ -1,0 +1,145 @@
+"""Full-index persistence: spec + shards + id maps + cost model.
+
+:func:`save_index` writes an :class:`~repro.api.facade.Index` to a
+directory; :func:`open_index` reassembles it without rehashing a single
+point, so the reopened index answers **bit-identically** to the one
+that was saved (per-shard tables and sketches round-trip through
+:mod:`repro.index.serialize`, the shard id maps and the calibrated
+cost-model constants ride along).  Layout::
+
+    path/
+      index.json       # format version, spec document, cost model,
+                       # shard routing state
+      shard_000.npz    # one per shard, via repro.index.serialize
+      ...
+      shard_gids.npz   # global-id map per shard (sharded indexes only)
+
+Everything is JSON + compressed numpy archives — no pickle, safe to
+load from untrusted storage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.api.spec import IndexSpec
+from repro.core.cost_model import CostModel
+from repro.core.hybrid import HybridLSH, HybridSearcher
+from repro.exceptions import ConfigurationError
+from repro.index.serialize import load_index as _load_shard
+from repro.index.serialize import save_index as _save_shard
+from repro.service.batch import BatchQueryEngine
+from repro.service.sharded import ShardedHybridIndex
+
+__all__ = ["save_index", "open_index"]
+
+_FORMAT_VERSION = 1
+_META_FILE = "index.json"
+_GIDS_FILE = "shard_gids.npz"
+
+
+def _shard_file(shard: int) -> str:
+    return f"shard_{shard:03d}.npz"
+
+
+def save_index(index, path: str) -> None:
+    """Persist ``index`` (an :class:`repro.api.Index`) under directory ``path``."""
+    from repro.api.facade import Index
+
+    if not isinstance(index, Index):
+        raise ConfigurationError(
+            f"save_index persists repro.api.Index objects, got {type(index).__name__}"
+        )
+    if index.spec is None:
+        raise ConfigurationError(
+            "this Index wraps a legacy engine and carries no IndexSpec; "
+            "build it via Index.build(points, spec) to make it persistable"
+        )
+    engine = index.engine
+    cost_model = index.cost_model
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "spec": index.spec.to_dict(),
+        "cost_model": {"alpha": cost_model.alpha, "beta": cost_model.beta},
+        "n": index.n,
+        "dim": index.dim,
+    }
+    os.makedirs(path, exist_ok=True)
+    if isinstance(engine, ShardedHybridIndex):
+        meta["num_shards"] = engine.num_shards
+        meta["next_shard"] = int(engine._next_shard)
+        for s, shard in enumerate(engine.shards):
+            _save_shard(shard.index, os.path.join(path, _shard_file(s)))
+        np.savez_compressed(
+            os.path.join(path, _GIDS_FILE),
+            **{f"gids_{s:03d}": gids for s, gids in enumerate(engine._shard_gids)},
+        )
+    else:
+        meta["num_shards"] = 1
+        meta["next_shard"] = 0
+        _save_shard(engine.index, os.path.join(path, _shard_file(0)))
+    with open(os.path.join(path, _META_FILE), "w") as fh:
+        json.dump(meta, fh, indent=2)
+        fh.write("\n")
+
+
+def open_index(path: str):
+    """Reopen an index saved by :func:`save_index`.
+
+    Returns an :class:`repro.api.Index` whose radius, top-k and batch
+    answers are bit-identical to the saved instance's: the per-shard
+    hash kernels, buckets and sketches are reconstructed exactly, and
+    the cost model is restored from its saved constants (calibration is
+    never re-run).
+    """
+    from repro.api.facade import Index, _cache_from_spec, _resolve_estimator
+
+    meta_path = os.path.join(path, _META_FILE)
+    if not os.path.exists(meta_path):
+        raise ConfigurationError(f"no saved index at {path!r} (missing {_META_FILE})")
+    with open(meta_path) as fh:
+        meta = json.load(fh)
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported index format version: {meta.get('format_version')!r}"
+        )
+    spec = IndexSpec.from_dict(meta["spec"])
+    cost_model = CostModel(
+        alpha=float(meta["cost_model"]["alpha"]), beta=float(meta["cost_model"]["beta"])
+    )
+    estimator = _resolve_estimator(spec)
+    num_shards = int(meta["num_shards"])
+    shard_indexes = [
+        _load_shard(os.path.join(path, _shard_file(s))) for s in range(num_shards)
+    ]
+    if num_shards > 1:
+        with np.load(os.path.join(path, _GIDS_FILE), allow_pickle=False) as archive:
+            shard_gids = [archive[f"gids_{s:03d}"] for s in range(num_shards)]
+        shards = [
+            HybridLSH.from_index(
+                idx, spec.radius, cost_model, delta=spec.delta, estimator=estimator
+            )
+            for idx in shard_indexes
+        ]
+        backend_engine = ShardedHybridIndex.from_state(
+            shards,
+            shard_gids,
+            metric=spec.metric,
+            radius=spec.radius,
+            cost_model=cost_model,
+            next_shard=int(meta.get("next_shard", 0)),
+            dedup=spec.dedup,
+        )
+        from repro.api.facade import _ShardedBackend
+
+        backend = _ShardedBackend(backend_engine)
+    else:
+        searcher = HybridSearcher(shard_indexes[0], cost_model, estimator=estimator)
+        engine = BatchQueryEngine(searcher, radius=spec.radius, dedup=spec.dedup)
+        from repro.api.facade import _SingleBackend
+
+        backend = _SingleBackend(engine)
+    return Index(backend, spec=spec, cache=_cache_from_spec(spec))

@@ -7,18 +7,25 @@ Usage::
     python -m repro.cli figure3  [--n 12000]
     python -m repro.cli profile  --dataset corel [--n 5000]
     python -m repro.cli throughput [--n 20000] [--shards 4] [--json out.json]
+    python -m repro.cli build    --dataset corel --out idx/ [--spec spec.json]
     python -m repro.cli serve    --dataset corel [--shards 2] [--cache-size 512]
+    python -m repro.cli serve    --index idx/
 
 Every experiment command prints the same text tables the benchmark
 harness emits, so results can be generated in CI logs or piped to
-files.  ``serve`` instead speaks the :mod:`repro.service.stream`
-JSON-lines protocol on stdin/stdout.
+files.  ``build`` and ``serve`` are spec-driven (:mod:`repro.api`):
+``build`` assembles an :class:`~repro.api.Index` from an
+:class:`~repro.api.IndexSpec` — from a JSON file via ``--spec``,
+otherwise from the flags — and persists it; ``serve`` speaks the
+:mod:`repro.service.stream` JSON-lines protocol on stdin/stdout over a
+freshly built or reopened index.
 """
 
 from __future__ import annotations
 
 import argparse
 import io
+import json
 import sys
 
 from repro.datasets import corel_like, covertype_like, mnist_like, webspam_like
@@ -100,6 +107,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p_tp.add_argument("--json", metavar="PATH", help="also write the JSON artifact")
     p_tp.add_argument("--seed", type=int, default=0, help="master seed")
 
+    p_build = sub.add_parser(
+        "build", help="build a spec-driven index over a dataset and save it"
+    )
+    p_build.add_argument(
+        "--dataset", choices=sorted(_DATASETS), default="corel",
+        help="synthetic dataset stand-in to index",
+    )
+    p_build.add_argument("--out", required=True, metavar="DIR",
+                         help="directory to persist the index into")
+    _add_spec_options(p_build)
+    _add_common(p_build)
+
     p_serve = sub.add_parser(
         "serve", help="answer JSON-lines queries on stdin (see repro.service.stream)"
     )
@@ -107,21 +126,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--dataset", choices=sorted(_DATASETS), default="corel",
         help="synthetic dataset stand-in to index",
     )
-    p_serve.add_argument("--radius", type=float, default=None,
-                         help="default query radius (default: the dataset's mid sweep radius)")
-    p_serve.add_argument("--shards", type=int, default=1,
-                         help="K > 1 serves from a ShardedHybridIndex")
-    p_serve.add_argument("--cache-size", type=int, default=0,
-                         help="LRU result-cache capacity (0 disables)")
+    p_serve.add_argument("--index", metavar="DIR", default=None,
+                         help="serve a saved index instead of building one")
     p_serve.add_argument("--batch-size", type=int, default=64,
                          help="micro-batch size for consecutive queries")
-    p_serve.add_argument(
-        "--ratio", type=float, default=6.0,
-        help="beta/alpha cost ratio (0 = calibrate by timing)",
-    )
+    _add_spec_options(p_serve)
     _add_common(p_serve)
 
     return parser
+
+
+def _add_spec_options(parser: argparse.ArgumentParser) -> None:
+    """Flags that assemble an :class:`~repro.api.IndexSpec`."""
+    parser.add_argument("--spec", metavar="JSON", default=None,
+                        help="IndexSpec JSON file; its keys override the flags")
+    parser.add_argument("--radius", type=float, default=None,
+                        help="default query radius (default: the dataset's mid sweep radius)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="K > 1 builds a sharded index")
+    parser.add_argument("--cache-size", type=int, default=0,
+                        help="LRU result-cache capacity (0 disables)")
+    parser.add_argument(
+        "--ratio", type=float, default=6.0,
+        help="beta/alpha cost ratio (0 = calibrate by timing)",
+    )
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
@@ -234,54 +262,95 @@ def _cmd_throughput(args: argparse.Namespace) -> None:
         print(f"wrote {args.json}")
 
 
-def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
-    from repro.service import (
-        BatchQueryEngine,
-        QueryResultCache,
-        QueryService,
-        ShardedHybridIndex,
-        serve_stream,
-    )
+def _index_spec_from_args(args: argparse.Namespace, metric: str, radius: float):
+    """Assemble an :class:`~repro.api.IndexSpec` from the CLI flags.
 
-    stdin = sys.stdin if stdin is None else stdin
-    stdout = sys.stdout if stdout is None else stdout
+    A ``--spec`` JSON file wins over individual flags, which win over
+    the dataset-derived metric and radius.
+    """
+    from repro.api import IndexSpec
+
+    doc = {
+        "metric": metric,
+        "radius": radius,
+        "num_tables": args.tables,
+        "num_shards": args.shards,
+        "cache_size": args.cache_size,
+        "cost_ratio": args.ratio if args.ratio and args.ratio > 0 else None,
+        "seed": args.seed,
+    }
+    if args.spec:
+        with open(args.spec) as fh:
+            doc.update(json.load(fh))
+    return IndexSpec.from_dict(doc)
+
+
+def _build_index(args: argparse.Namespace):
+    """Build a spec-driven index over the chosen dataset stand-in."""
+    from repro.api import Index
+
     dataset = _DATASETS[args.dataset](n=args.n, seed=args.seed)
     radius = (
         float(dataset.radii[len(dataset.radii) // 2])
         if args.radius is None
         else args.radius
     )
-    cost_model = _cost_model_from_ratio(args.ratio)
-    if args.shards > 1:
-        engine = ShardedHybridIndex(
-            dataset.points,
-            metric=dataset.metric,
-            radius=radius,
-            num_shards=args.shards,
-            num_tables=args.tables,
-            cost_model=cost_model,
-            seed=args.seed,
-        )
-    else:
-        engine = BatchQueryEngine.from_points(
-            dataset.points,
-            metric=dataset.metric,
-            radius=radius,
-            num_tables=args.tables,
-            cost_model=cost_model,
-            seed=args.seed,
-        )
-    cache = QueryResultCache(maxsize=args.cache_size) if args.cache_size > 0 else None
-    service = QueryService(engine, cache=cache)
+    spec = _index_spec_from_args(args, dataset.metric, radius)
+    return dataset, Index.build(dataset.points, spec)
+
+
+def _cmd_build(args: argparse.Namespace) -> None:
+    dataset, index = _build_index(args)
+    index.save(args.out)
     print(
-        f"serving {dataset.name}: n = {service.n}, d = {service.dim}, "
-        f"metric = {dataset.metric}, r = {radius:g}, shards = {args.shards} "
+        f"built {dataset.name}: n = {index.n}, d = {index.dim}, "
+        f"shards = {index.num_shards} -> saved to {args.out}"
+    )
+    print(json.dumps(index.spec.to_dict(), indent=2))
+
+
+def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
+    from repro.api import Index
+    from repro.service import serve_stream
+
+    stdin = sys.stdin if stdin is None else stdin
+    stdout = sys.stdout if stdout is None else stdout
+    if args.index:
+        # A saved index carries its own spec; accepting build flags here
+        # and ignoring them would silently serve a different policy than
+        # the operator asked for.
+        conflicting = [
+            flag
+            for flag, given in (
+                ("--spec", args.spec is not None),
+                ("--radius", args.radius is not None),
+                ("--shards", args.shards != 1),
+                ("--cache-size", args.cache_size != 0),
+                ("--ratio", args.ratio != 6.0),
+            )
+            if given
+        ]
+        if conflicting:
+            sys.exit(
+                f"error: --index serves the saved index's own spec; "
+                f"remove {', '.join(conflicting)} (or rebuild with "
+                f"`repro.cli build`)"
+            )
+        index = Index.open(args.index)
+        source = args.index
+    else:
+        dataset, index = _build_index(args)
+        source = dataset.name
+    spec = index.spec
+    print(
+        f"serving {source}: n = {index.n}, d = {index.dim}, "
+        f"metric = {spec.metric}, r = {spec.radius:g}, shards = {index.num_shards} "
         "(one JSON request per line; Ctrl-D to stop)",
         file=sys.stderr,
     )
     lines, more_ready = _line_stream_with_probe(stdin)
     for response in serve_stream(
-        service, lines, batch_size=args.batch_size, more_ready=more_ready
+        index, lines, batch_size=args.batch_size, more_ready=more_ready
     ):
         print(response, file=stdout, flush=True)
 
@@ -349,6 +418,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "recall": _cmd_recall,
     "throughput": _cmd_throughput,
+    "build": _cmd_build,
     "serve": _cmd_serve,
 }
 

@@ -50,9 +50,19 @@ class HybridSearcher:
         enabled.
     cost_model:
         The calibrated :class:`~repro.core.cost_model.CostModel`.
+    estimator:
+        Optional ``candSize`` estimator ``f(index, lookup) -> float``
+        (see :func:`repro.sketches.register_estimator`); ``None`` uses
+        the paper's merged-HLL estimate, which also enables the
+        vectorised batch merge in :meth:`query_batch`.
     """
 
-    def __init__(self, index: LSHIndex, cost_model: CostModel) -> None:
+    def __init__(
+        self,
+        index: LSHIndex,
+        cost_model: CostModel,
+        estimator=None,
+    ) -> None:
         if not index.is_built:
             from repro.exceptions import EmptyIndexError
 
@@ -66,8 +76,15 @@ class HybridSearcher:
             )
         self.index = index
         self.cost_model = cost_model
+        self.estimator = estimator
         self._lsh = LSHSearch(index)
         self._linear = LinearScan(index.points, index.family.metric)
+
+    def _estimate(self, lookup) -> float:
+        """``candSize`` for one lookup through the configured estimator."""
+        if self.estimator is None:
+            return self.index.merged_sketch(lookup).estimate()
+        return float(self.estimator(self.index, lookup))
 
     def _linear_scan(self) -> LinearScan:
         """The exact-scan fallback, refreshed after incremental inserts.
@@ -91,7 +108,7 @@ class HybridSearcher:
         radius = check_positive(radius, "radius")
         lookup = self.index.lookup(query)
         num_collisions = lookup.num_collisions
-        estimated_candidates = self.index.merged_sketch(lookup).estimate()
+        estimated_candidates = self._estimate(lookup)
         lsh_cost = self.cost_model.lsh_cost(num_collisions, estimated_candidates)
         linear_cost = self.cost_model.linear_cost(self.index.n)
 
@@ -134,11 +151,14 @@ class HybridSearcher:
         queries = np.asarray(queries)
         lookups = self.index.lookup_batch(queries)
         linear_cost = self.cost_model.linear_cost(self.index.n)
-        sketches = self.index.merged_sketches_batch(lookups)
+        if self.estimator is None:
+            sketches = self.index.merged_sketches_batch(lookups)
+            estimates = [sketch.estimate() for sketch in sketches]
+        else:
+            estimates = [self._estimate(lookup) for lookup in lookups]
         decisions: list[tuple[int, float, float]] = []
-        for lookup, sketch in zip(lookups, sketches):
+        for lookup, estimated_candidates in zip(lookups, estimates):
             num_collisions = lookup.num_collisions
-            estimated_candidates = sketch.estimate()
             lsh_cost = self.cost_model.lsh_cost(num_collisions, estimated_candidates)
             decisions.append((num_collisions, estimated_candidates, lsh_cost))
 
@@ -175,7 +195,7 @@ class HybridSearcher:
         lookup = self.index.lookup(query)
         return self.cost_model.choose(
             lookup.num_collisions,
-            self.index.merged_sketch(lookup).estimate(),
+            self._estimate(lookup),
             self.index.n,
         )
 
@@ -229,6 +249,7 @@ class HybridLSH:
         cost_model: CostModel | None = None,
         lazy_threshold: int | None = None,
         seed: RandomState = None,
+        estimator=None,
     ) -> None:
         points = np.asarray(points)
         params = paper_parameters(
@@ -250,7 +271,39 @@ class HybridLSH:
         ).build(points)
         if cost_model is None:
             cost_model = calibrate_cost_model(points, params.family.metric, seed=seed).model
-        self.searcher = HybridSearcher(self.index, cost_model)
+        self.searcher = HybridSearcher(self.index, cost_model, estimator=estimator)
+
+    @classmethod
+    def from_index(
+        cls,
+        index: LSHIndex,
+        radius: float,
+        cost_model: CostModel,
+        delta: float = 0.1,
+        estimator=None,
+    ) -> "HybridLSH":
+        """Wrap an already-built index (e.g. one loaded from disk).
+
+        Skips parameter derivation and construction entirely — the
+        index's own family, ``k`` and ``L`` are taken as-is, so a
+        persisted index reopened through here answers bit-identically
+        to the instance that saved it.
+        """
+        from repro.core.presets import PaperParameters
+
+        self = cls.__new__(cls)
+        self.params = PaperParameters(
+            family=index.family,
+            k=index.k,
+            num_tables=index.num_tables,
+            p1=index.family.collision_probability(radius),
+            radius=float(radius),
+            delta=float(delta),
+        )
+        self.radius = float(radius)
+        self.index = index
+        self.searcher = HybridSearcher(index, cost_model, estimator=estimator)
+        return self
 
     @property
     def cost_model(self) -> CostModel:

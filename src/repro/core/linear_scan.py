@@ -15,7 +15,33 @@ from repro.core.results import QueryResult, QueryStats, Strategy
 from repro.distances import Metric, get_metric
 from repro.utils.validation import check_matrix, check_positive, check_vector
 
-__all__ = ["LinearScan"]
+__all__ = ["LinearScan", "exact_topk_results"]
+
+
+def exact_topk_results(
+    all_ids: np.ndarray, distance_blocks: list[np.ndarray], k: int, n: int
+) -> list[QueryResult]:
+    """Exact top-k selection with deterministic ``(distance, id)`` tie-breaking.
+
+    ``distance_blocks`` holds one ``(q, n_b)`` distance block per data
+    partition (a single block for an unpartitioned scan) and ``all_ids``
+    the concatenated global ids those columns refer to.  Shared by the
+    sharded index and the single-index facade so both layouts select —
+    and tie-break — identically; results are ordered by ascending
+    distance (ties by id) and ``result.radius`` reports the k-th distance.
+    """
+    num_queries = distance_blocks[0].shape[0]
+    results = []
+    for qi in range(num_queries):
+        distances = np.concatenate([block[qi] for block in distance_blocks])
+        order = np.lexsort((all_ids, distances))[:k]
+        ids = all_ids[order]
+        dists = distances[order]
+        stats = QueryStats(strategy=Strategy.LINEAR, linear_cost=float(n))
+        results.append(
+            QueryResult(ids=ids, distances=dists, radius=float(dists[-1]), stats=stats)
+        )
+    return results
 
 
 class LinearScan:

@@ -19,7 +19,13 @@ turns atomic ``(r, cr, p1, p2)``-sensitive functions into the composite
   the paper's future-work extension.
 """
 
-from repro.hashing.base import LSHFamily, family_for_metric
+from repro.hashing.base import (
+    LSHFamily,
+    available_families,
+    family_for_metric,
+    get_family,
+    register_family,
+)
 from repro.hashing.bit_sampling import BitSamplingLSH
 from repro.hashing.composite import CompositeHash, encode_rows
 from repro.hashing.minhash import MinHashLSH
@@ -35,6 +41,9 @@ from repro.hashing.simhash import SimHashLSH
 __all__ = [
     "LSHFamily",
     "family_for_metric",
+    "register_family",
+    "get_family",
+    "available_families",
     "BitSamplingLSH",
     "SimHashLSH",
     "PStableLSH",

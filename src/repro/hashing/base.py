@@ -25,7 +25,13 @@ import numpy as np
 from repro.distances import Metric, get_metric
 from repro.utils.rng import RandomState, ensure_rng
 
-__all__ = ["LSHFamily", "family_for_metric"]
+__all__ = [
+    "LSHFamily",
+    "family_for_metric",
+    "register_family",
+    "get_family",
+    "available_families",
+]
 
 
 class LSHFamily(abc.ABC):
@@ -114,6 +120,117 @@ class CompositeHashProtocol:
         raise NotImplementedError
 
 
+# ----------------------------------------------------------------------
+# Family registry (the distance-registry pattern applied to hash families)
+# ----------------------------------------------------------------------
+#: name -> (factory(dim, seed=..., **kwargs) -> LSHFamily, description)
+_FAMILY_REGISTRY: dict[str, tuple] = {}
+#: canonical metric name -> family name used by default for that metric
+_METRIC_DEFAULT_FAMILY: dict[str, str] = {}
+
+
+def register_family(
+    name: str,
+    factory,
+    *,
+    metric: str | None = None,
+    aliases: tuple[str, ...] = (),
+    description: str = "",
+):
+    """Register an LSH-family factory under ``name`` (and ``aliases``).
+
+    ``factory(dim, seed=None, **kwargs)`` must return an
+    :class:`LSHFamily`.  When ``metric`` is given the family becomes the
+    default :func:`family_for_metric` resolves for that metric, which is
+    how third-party families slot into spec-driven index construction
+    (:class:`repro.api.IndexSpec` resolves ``hash_family`` here).
+    Re-registering a name replaces it (reload-friendly, like
+    :func:`repro.distances.register_metric`).
+    """
+    key = name.lower()
+    _FAMILY_REGISTRY[key] = (factory, description)
+    for alias in aliases:
+        _FAMILY_REGISTRY[alias.lower()] = (factory, description)
+    if metric is not None:
+        _METRIC_DEFAULT_FAMILY[get_metric(metric).name] = key
+    return factory
+
+
+def get_family(name: str):
+    """Resolve a family factory by registered name (case-insensitive)."""
+    _ensure_builtin_families()
+    key = name.lower()
+    if key not in _FAMILY_REGISTRY:
+        from repro.exceptions import ConfigurationError
+
+        known = ", ".join(available_families())
+        raise ConfigurationError(
+            f"unknown hash family {name!r}; registered families: {known}"
+        )
+    return _FAMILY_REGISTRY[key][0]
+
+
+def available_families() -> list[str]:
+    """Sorted list of registered family names (aliases included)."""
+    _ensure_builtin_families()
+    return sorted(_FAMILY_REGISTRY)
+
+
+_BUILTIN_FAMILIES_LOADED = False
+
+
+def _ensure_builtin_families() -> None:
+    """Register the paper's families on first registry access.
+
+    Lazy so that ``repro.hashing.base`` keeps importing before the
+    concrete family modules (which subclass :class:`LSHFamily`).
+    User registrations made *before* this runs win: a name already in
+    the registry is not overwritten and an already-claimed metric
+    default is left alone.
+    """
+    global _BUILTIN_FAMILIES_LOADED
+    if _BUILTIN_FAMILIES_LOADED:
+        return
+    _BUILTIN_FAMILIES_LOADED = True
+    from repro.hashing.bit_sampling import BitSamplingLSH
+    from repro.hashing.minhash import MinHashLSH
+    from repro.hashing.pstable import PStableLSH
+    from repro.hashing.simhash import SimHashLSH
+
+    def builtin(name, factory, metric, aliases=(), description=""):
+        if name not in _FAMILY_REGISTRY:
+            _FAMILY_REGISTRY[name] = (factory, description)
+        for alias in aliases:
+            _FAMILY_REGISTRY.setdefault(alias, _FAMILY_REGISTRY[name])
+        _METRIC_DEFAULT_FAMILY.setdefault(get_metric(metric).name, name)
+
+    builtin(
+        "bit_sampling", BitSamplingLSH, "hamming",
+        description="bit sampling for Hamming distance",
+    )
+    builtin(
+        "simhash", SimHashLSH, "cosine",
+        description="random-hyperplane SimHash for cosine distance",
+    )
+    builtin(
+        "pstable_l1",
+        lambda dim, seed=None, **kw: PStableLSH(dim, p=1, seed=seed, **kw),
+        "l1",
+        description="Cauchy p-stable projections for L1",
+    )
+    builtin(
+        "pstable_l2",
+        lambda dim, seed=None, **kw: PStableLSH(dim, p=2, seed=seed, **kw),
+        "l2",
+        aliases=("pstable",),
+        description="Gaussian p-stable projections for L2",
+    )
+    builtin(
+        "minhash", MinHashLSH, "jaccard",
+        description="MinHash for Jaccard distance on binary vectors",
+    )
+
+
 def family_for_metric(
     metric: str, dim: int, seed: RandomState = None, **kwargs
 ) -> LSHFamily:
@@ -121,7 +238,8 @@ def family_for_metric(
 
     This is the mapping the paper's experiments use: bit sampling for
     Hamming, SimHash for cosine, Cauchy p-stable for L1, Gaussian
-    p-stable for L2, MinHash for Jaccard.
+    p-stable for L2, MinHash for Jaccard — resolved through the family
+    registry, so :func:`register_family` can extend or override it.
 
     Parameters
     ----------
@@ -136,22 +254,11 @@ def family_for_metric(
         Extra family parameters; p-stable families accept ``w`` (bucket
         width), which is required for them.
     """
-    from repro.hashing.bit_sampling import BitSamplingLSH
-    from repro.hashing.minhash import MinHashLSH
-    from repro.hashing.pstable import PStableLSH
-    from repro.hashing.simhash import SimHashLSH
-
+    _ensure_builtin_families()
     name = get_metric(metric).name
-    if name == "hamming":
-        return BitSamplingLSH(dim, seed=seed, **kwargs)
-    if name == "cosine":
-        return SimHashLSH(dim, seed=seed, **kwargs)
-    if name == "l1":
-        return PStableLSH(dim, p=1, seed=seed, **kwargs)
-    if name == "l2":
-        return PStableLSH(dim, p=2, seed=seed, **kwargs)
-    if name == "jaccard":
-        return MinHashLSH(dim, seed=seed, **kwargs)
-    from repro.exceptions import UnknownMetricError
+    family_name = _METRIC_DEFAULT_FAMILY.get(name)
+    if family_name is None:
+        from repro.exceptions import UnknownMetricError
 
-    raise UnknownMetricError(f"no default LSH family for metric {metric!r}")
+        raise UnknownMetricError(f"no default LSH family for metric {metric!r}")
+    return get_family(family_name)(dim, seed=seed, **kwargs)

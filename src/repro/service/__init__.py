@@ -15,10 +15,15 @@ preserving the paper's semantics exactly:
   :mod:`concurrent.futures`, fans queries out, and merges per-shard
   answers with exact radius (disjoint union) and top-k semantics.
 * :class:`QueryResultCache` — an LRU cache keyed on quantised query
-  vectors, for workloads with repeated or near-duplicate queries.
-* :class:`QueryService` — the facade gluing engine + cache + counters;
-  :func:`serve_stream` speaks a JSON-lines request/response protocol on
-  top of it (see ``python -m repro.cli serve``).
+  vectors (shard-tagged, so inserts evict only the touched shards'
+  entries), for workloads with repeated or near-duplicate queries.
+* :class:`QueryService` — the legacy serving facade, now a thin
+  delegate over :class:`repro.api.Index`; :func:`serve_stream` speaks
+  a JSON-lines request/response protocol over an ``Index`` or a
+  ``QueryService`` (see ``python -m repro.cli serve``).
+
+These are the engines the spec-driven :mod:`repro.api` front door
+builds on; new code should start from :class:`repro.api.Index`.
 """
 
 from repro.service.batch import BatchQueryEngine

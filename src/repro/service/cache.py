@@ -10,6 +10,12 @@ hashing, so queries within ``quantum / 2`` per coordinate share an
 entry.  With the default tiny quantum this only canonicalises float
 noise (and ``-0.0`` vs ``0.0``); pass a coarser quantum to trade exact
 answers for hit rate, or ``quantum=0`` to key on raw bytes.
+
+Every key carries a *shard tag* (default shard 0).  A sharded serving
+layer stores each shard's partial answer under its own tag, so an
+insert that touches only some shards can evict exactly those shards'
+entries (:meth:`QueryResultCache.invalidate_shard`) and keep the rest
+hot — instead of dropping the whole cache on every insert.
 """
 
 from __future__ import annotations
@@ -60,8 +66,11 @@ class QueryResultCache:
         self.hits = 0
         self.misses = 0
 
-    def make_key(self, query: np.ndarray, radius: float) -> bytes:
-        """Build the cache key for one query vector and radius."""
+    #: byte width of the shard tag prefixed to every key
+    _TAG_BYTES = 4
+
+    def make_key(self, query: np.ndarray, radius: float, shard: int = 0) -> bytes:
+        """Build the cache key for one query vector, radius and shard tag."""
         query = np.ascontiguousarray(query, dtype=np.float64)
         if self.quantum:
             # + 0.0 canonicalises -0.0 so symmetric queries share a key.
@@ -75,7 +84,30 @@ class QueryResultCache:
                 payload = b"r" + query.tobytes()
         else:
             payload = b"r" + query.tobytes()
-        return np.float64(radius).tobytes() + payload
+        return self._tag(shard) + np.float64(radius).tobytes() + payload
+
+    def _tag(self, shard: int) -> bytes:
+        return int(shard).to_bytes(self._TAG_BYTES, "little")
+
+    def retag_key(self, key: bytes, shard: int) -> bytes:
+        """The same (query, radius) key under a different shard tag.
+
+        Cheaper than re-quantising the vector when one query needs a
+        key per shard.
+        """
+        return self._tag(shard) + key[self._TAG_BYTES:]
+
+    def invalidate_shard(self, shard: int) -> int:
+        """Drop every entry tagged with ``shard``; returns the count dropped.
+
+        Hit/miss counters are kept — unlike :meth:`clear`, this is a
+        partial, consistency-driven eviction, not a reset.
+        """
+        tag = self._tag(shard)
+        stale = [key for key in self._store if key[: self._TAG_BYTES] == tag]
+        for key in stale:
+            del self._store[key]
+        return len(stale)
 
     def get(self, key: bytes) -> QueryResult | None:
         """Look up a key, refreshing its recency; counts the hit/miss."""

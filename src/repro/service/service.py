@@ -1,17 +1,18 @@
-"""The serving facade: engine + cache + counters behind one interface.
+"""The legacy serving facade, rebased on :class:`repro.api.Index`.
 
-:class:`QueryService` accepts either a
-:class:`~repro.service.batch.BatchQueryEngine` (single index) or a
-:class:`~repro.service.sharded.ShardedHybridIndex` (both expose the
-same ``query`` / ``query_batch`` / ``insert`` surface), threads every
-request through the optional :class:`~repro.service.cache.QueryResultCache`,
-and keeps the throughput counters a deployment wants to watch.
+:class:`QueryService` predates the spec-driven API; it now delegates
+every request to an :class:`~repro.api.facade.Index` wrapped around the
+given engine, keeping its public surface (``query`` / ``query_batch`` /
+``insert`` / ``stats``) and counter semantics intact while inheriting
+the facade's improvements — in particular per-shard cache invalidation
+on insert instead of dropping the whole cache.
+
+:class:`~repro.service.stats.ServiceStats` is re-exported here so
+existing ``from repro.service import ServiceStats`` callers keep
+working.
 """
 
 from __future__ import annotations
-
-import time
-from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -19,46 +20,18 @@ from repro.core.results import QueryResult
 from repro.service.batch import BatchQueryEngine
 from repro.service.cache import QueryResultCache
 from repro.service.sharded import ShardedHybridIndex
-from repro.utils.validation import check_matrix
+from repro.service.stats import ServiceStats
 
 __all__ = ["QueryService", "ServiceStats"]
 
 
-@dataclass
-class ServiceStats:
-    """Running counters of a :class:`QueryService`."""
-
-    queries_served: int = 0
-    batches: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    #: queries answered by an identical batch-mate's fresh result —
-    #: engine work avoided, but not by the cache store.
-    deduplicated: int = 0
-    elapsed_seconds: float = 0.0
-    strategy_counts: dict[str, int] = field(default_factory=dict)
-
-    @property
-    def qps(self) -> float:
-        """Average queries per second over the measured time."""
-        return self.queries_served / self.elapsed_seconds if self.elapsed_seconds else 0.0
-
-    def as_dict(self) -> dict[str, float]:
-        """JSON-friendly snapshot."""
-        return {
-            "queries_served": self.queries_served,
-            "batches": self.batches,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "deduplicated": self.deduplicated,
-            "elapsed_seconds": self.elapsed_seconds,
-            "qps": self.qps,
-            **{f"strategy_{name}": count for name, count in sorted(self.strategy_counts.items())},
-        }
-
-
 class QueryService:
     """Cache-fronted, stats-keeping query service over an engine.
+
+    .. deprecated::
+        New code should build a :class:`repro.api.Index` from an
+        :class:`repro.api.IndexSpec`; this class is a thin delegate
+        kept for existing callers.
 
     Parameters
     ----------
@@ -90,19 +63,35 @@ class QueryService:
         engine: BatchQueryEngine | ShardedHybridIndex,
         cache: QueryResultCache | None = None,
     ) -> None:
+        # Imported here, not at module top: the facade sits above this
+        # package (it builds on these engines), so a top-level import
+        # would be circular during package initialisation.
+        from repro.api.facade import Index
+
         self.engine = engine
         self.cache = cache
-        self.stats = ServiceStats()
+        self._index = Index.from_engine(engine, cache=cache)
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Running counters (kept by the wrapped :class:`~repro.api.Index`)."""
+        return self._index.stats
+
+    @stats.setter
+    def stats(self, value: ServiceStats) -> None:
+        # ``service.stats = ServiceStats()`` predates reset_stats();
+        # keep the attribute writable for such callers.
+        self._index.stats = value
 
     @property
     def n(self) -> int:
         """Number of served points."""
-        return self.engine.n
+        return self._index.n
 
     @property
     def dim(self) -> int:
         """Expected query dimensionality."""
-        return self.engine.dim
+        return self._index.dim
 
     def query(self, query: np.ndarray, radius: float | None = None) -> QueryResult:
         """Answer one query (through the cache when one is attached)."""
@@ -112,60 +101,15 @@ class QueryService:
         self, queries: np.ndarray, radius: float | None = None
     ) -> list[QueryResult]:
         """Answer a query matrix; cache misses are batched to the engine."""
-        started = time.perf_counter()
-        queries = check_matrix(queries, dim=self.dim, name="queries")
-        effective_radius = self.engine._resolve_radius(radius)
-        results: list[QueryResult | None] = [None] * queries.shape[0]
-        if self.cache is not None:
-            keys = [self.cache.make_key(q, effective_radius) for q in queries]
-            miss_rows: list[int] = []
-            key_to_slot: dict[bytes, int] = {}
-            duplicates: list[tuple[int, int]] = []
-            for i, key in enumerate(keys):
-                if key in key_to_slot:
-                    # A batch-mate already carries this key: answer it
-                    # once and share the result (popular-item storms)
-                    # without touching the store's hit/miss counters.
-                    duplicates.append((i, key_to_slot[key]))
-                    continue
-                cached = self.cache.get(key)
-                if cached is not None:
-                    results[i] = cached
-                else:
-                    key_to_slot[key] = len(miss_rows)
-                    miss_rows.append(i)
-            if miss_rows:
-                fresh = self.engine.query_batch(queries[miss_rows], effective_radius)
-                for i, result in zip(miss_rows, fresh):
-                    results[i] = result
-                    self.cache.put(keys[i], result)
-                for i, slot in duplicates:
-                    results[i] = fresh[slot]
-            self.stats.cache_hits += (
-                queries.shape[0] - len(miss_rows) - len(duplicates)
-            )
-            self.stats.cache_misses += len(miss_rows)
-            self.stats.deduplicated += len(duplicates)
-        else:
-            results = self.engine.query_batch(queries, effective_radius)
-        self.stats.queries_served += queries.shape[0]
-        self.stats.batches += 1
-        self.stats.elapsed_seconds += time.perf_counter() - started
-        for result in results:
-            name = result.stats.strategy.value
-            self.stats.strategy_counts[name] = self.stats.strategy_counts.get(name, 0) + 1
-        return results
+        return self._index.query_batch(queries, radius)
 
     def insert(self, new_points: np.ndarray) -> np.ndarray:
-        """Insert points and invalidate the cache (answers changed)."""
-        ids = self.engine.insert(new_points)
-        if self.cache is not None and ids.size:
-            self.cache.clear()
-        return ids
+        """Insert points; only the affected shards' cache entries drop."""
+        return self._index.insert(new_points)
 
     def reset_stats(self) -> None:
         """Zero the counters (cache contents are kept)."""
-        self.stats = ServiceStats()
+        self._index.reset_stats()
 
     def __repr__(self) -> str:
         cache = "off" if self.cache is None else f"{len(self.cache)}/{self.cache.maxsize}"

@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.calibration import calibrate_cost_model
 from repro.core.cost_model import CostModel
 from repro.core.hybrid import HybridLSH
+from repro.core.linear_scan import exact_topk_results
 from repro.core.results import QueryResult, QueryStats, Strategy
 from repro.distances import get_metric
 from repro.distances.matrix import pairwise_distances
@@ -98,6 +99,8 @@ class ShardedHybridIndex:
         cost_model: CostModel | None = None,
         max_workers: int | None = None,
         seed: RandomState = None,
+        estimator=None,
+        dedup: str = "vectorized",
     ) -> None:
         points = check_matrix(points, name="points")
         num_shards = check_positive_int(num_shards, "num_shards")
@@ -132,6 +135,7 @@ class ShardedHybridIndex:
                 hll_precision=hll_precision,
                 cost_model=cost_model,
                 seed=shard_rngs[s],
+                estimator=estimator,
             )
 
         # One persistent pool for builds and every later fan-out; a
@@ -143,8 +147,53 @@ class ShardedHybridIndex:
         )
         self.shards = list(self._pool.map(build_shard, range(num_shards)))
         self._engines = [
-            BatchQueryEngine(shard.searcher, radius=radius) for shard in self.shards
+            BatchQueryEngine(shard.searcher, radius=radius, dedup=dedup)
+            for shard in self.shards
         ]
+
+    @classmethod
+    def from_state(
+        cls,
+        shards: list[HybridLSH],
+        shard_gids: list[np.ndarray],
+        metric: str,
+        radius: float,
+        cost_model: CostModel,
+        next_shard: int = 0,
+        max_workers: int | None = None,
+        dedup: str = "vectorized",
+    ) -> "ShardedHybridIndex":
+        """Reassemble a sharded index from prebuilt per-shard searchers.
+
+        Persistence (:meth:`repro.api.Index.open`) loads each shard's
+        :class:`~repro.index.lsh_index.LSHIndex` from disk, wraps it via
+        :meth:`~repro.core.hybrid.HybridLSH.from_index`, and hands the
+        pieces here — no rehashing, so answers are bit-identical to the
+        instance that was saved.
+        """
+        if len(shards) != len(shard_gids) or not shards:
+            raise ConfigurationError(
+                f"need matching non-empty shards/gid lists, got "
+                f"{len(shards)}/{len(shard_gids)}"
+            )
+        self = cls.__new__(cls)
+        self.metric_name = metric
+        self.metric = get_metric(metric)
+        self.radius = float(radius)
+        self.num_shards = len(shards)
+        self._max_workers = max_workers if max_workers is not None else self.num_shards
+        self._shard_gids = [np.asarray(g, dtype=np.int64) for g in shard_gids]
+        self._next_shard = int(next_shard) % self.num_shards
+        self.cost_model = cost_model
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._max_workers, thread_name_prefix="repro-shard"
+        )
+        self.shards = list(shards)
+        self._engines = [
+            BatchQueryEngine(shard.searcher, radius=self.radius, dedup=dedup)
+            for shard in self.shards
+        ]
+        return self
 
     # ------------------------------------------------------------------
     # Introspection
@@ -176,6 +225,36 @@ class ShardedHybridIndex:
     def _fan_out(self, work, count: int) -> list:
         """Run ``work(s)`` for every shard on the persistent pool."""
         return list(self._pool.map(work, range(count)))
+
+    def map_shards(self, work) -> list:
+        """Run ``work(s)`` for every shard index ``s`` on the thread pool.
+
+        The facade's per-shard cache layer uses this to compute only the
+        missing shards' partial answers in parallel.
+        """
+        return self._fan_out(work, self.num_shards)
+
+    def shard_query_batch(
+        self, shard: int, queries: np.ndarray, radius: float
+    ) -> list[QueryResult]:
+        """One shard's *local* radius answers (ids are shard-local).
+
+        Feed the per-shard results of all shards to :meth:`merge_radius`
+        to obtain the global answer; cached partials from unaffected
+        shards stay valid across inserts because the shard id maps only
+        ever grow.
+        """
+        return self._engines[shard].query_batch(queries, radius)
+
+    def merge_radius(
+        self, shard_results: list[QueryResult], radius: float
+    ) -> QueryResult:
+        """Merge one query's per-shard local results into the global answer."""
+        return self._merge_radius(shard_results, radius)
+
+    def peek_assignment(self, count: int) -> np.ndarray:
+        """Shard ids the next ``count`` inserted points would be routed to."""
+        return (self._next_shard + np.arange(count)) % self.num_shards
 
     def close(self) -> None:
         """Shut down the fan-out thread pool (idempotent)."""
@@ -256,18 +335,7 @@ class ShardedHybridIndex:
             lambda s: pairwise_distances(queries, self.shards[s].index.points, self.metric),
             self.num_shards,
         )
-        all_ids = np.concatenate(self._shard_gids)
-        results = []
-        for qi in range(queries.shape[0]):
-            distances = np.concatenate([block[qi] for block in blocks])
-            order = np.lexsort((all_ids, distances))[:k]
-            ids = all_ids[order]
-            dists = distances[order]
-            stats = QueryStats(strategy=Strategy.LINEAR, linear_cost=float(self.n))
-            results.append(
-                QueryResult(ids=ids, distances=dists, radius=float(dists[-1]), stats=stats)
-            )
-        return results
+        return exact_topk_results(np.concatenate(self._shard_gids), blocks, k, self.n)
 
     # ------------------------------------------------------------------
     # Incremental inserts

@@ -1,0 +1,45 @@
+"""Serving counters, shared by :class:`repro.api.Index` and the legacy
+:class:`~repro.service.service.QueryService` (which delegates to it).
+
+Kept free of intra-package imports so both layers can depend on it
+without ordering constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Running counters of a served index."""
+
+    queries_served: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: queries answered by an identical batch-mate's fresh result —
+    #: engine work avoided, but not by the cache store.
+    deduplicated: int = 0
+    elapsed_seconds: float = 0.0
+    strategy_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def qps(self) -> float:
+        """Average queries per second over the measured time."""
+        return self.queries_served / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-friendly snapshot."""
+        return {
+            "queries_served": self.queries_served,
+            "batches": self.batches,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "deduplicated": self.deduplicated,
+            "elapsed_seconds": self.elapsed_seconds,
+            "qps": self.qps,
+            **{f"strategy_{name}": count for name, count in sorted(self.strategy_counts.items())},
+        }

@@ -1,20 +1,34 @@
-"""JSON-lines request/response protocol over a :class:`QueryService`.
+"""JSON-lines request/response protocol over a served index.
 
-One request per line, one response per line, in order:
+One request per line, one response per line, in order.  The serving
+target is an :class:`repro.api.Index` (or a legacy
+:class:`~repro.service.service.QueryService`, which exposes the same
+query surface):
 
 * ``{"query": [..], "radius": 0.5}`` — an rNNR query (``radius``
-  optional when the engine has a default) →
+  optional when the index has a default) →
   ``{"ids": [...], "distances": [...], "found": n, "strategy": "lsh"}``;
+* ``{"query": [..], "k": 10}`` — an exact top-k query (same response
+  shape, ordered by ascending distance);
 * ``{"op": "insert", "points": [[..], ..]}`` — add points →
   ``{"inserted": m, "ids": [...], "n": total}``;
 * ``{"op": "stats"}`` — counters snapshot → the
-  :meth:`~repro.service.service.ServiceStats.as_dict` payload.
+  :meth:`~repro.service.stats.ServiceStats.as_dict` payload;
+* ``{"op": "spec"}`` — the served index's
+  :class:`~repro.api.spec.IndexSpec` document → ``{"spec": {...}}``;
+* ``{"op": "save", "path": "..."}`` — persist the served index →
+  ``{"saved": path}``;
+* ``{"op": "open", "path": "..."}`` — swap in an index saved earlier
+  (:meth:`repro.api.Index.open`) → ``{"opened": path, "n": ..., "dim": ...}``;
+* ``{"op": "create", "spec": {...}, "points": [[..], ..]}`` — build a
+  fresh index from an inline spec document and data
+  (:meth:`repro.api.Index.build`) → ``{"created": true, "n": ..., "dim": ...}``.
 
-Consecutive query lines are micro-batched: while more input is already
-waiting (see ``more_ready``), up to ``batch_size`` of them are answered
-with one engine batch (grouped by radius), which is where the batched
-engine's throughput comes from; an idle interactive client always gets
-its response immediately.  Malformed lines produce
+Consecutive radius-query lines are micro-batched: while more input is
+already waiting (see ``more_ready``), up to ``batch_size`` of them are
+answered with one engine batch (grouped by radius), which is where the
+batched engine's throughput comes from; an idle interactive client
+always gets its response immediately.  Malformed lines produce
 ``{"error": "..."}`` without disturbing neighbouring requests.
 
 ``python -m repro.cli serve`` wires this to stdin/stdout.
@@ -27,21 +41,26 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
-from repro.service.service import QueryService
-
 __all__ = ["serve_stream"]
 
 
-def _parse_query(request: dict, dim: int) -> tuple[np.ndarray, float | None]:
+def _parse_query(request: dict, dim: int) -> tuple[np.ndarray, float | None, int | None]:
     query = np.asarray(request["query"], dtype=np.float64)
     if query.ndim != 1 or query.shape[0] != dim:
         raise ValueError(f"query must be a flat list of {dim} numbers")
     radius = request.get("radius")
+    k = request.get("k")
+    if radius is not None and k is not None:
+        raise ValueError("pass either radius or k, not both")
     if radius is not None:
         radius = float(radius)
         if not radius > 0:
             raise ValueError(f"radius must be > 0, got {radius}")
-    return query, radius
+    if k is not None:
+        k = int(k)
+        if not k > 0:
+            raise ValueError(f"k must be > 0, got {k}")
+    return query, radius, k
 
 
 def _answer(result) -> str:
@@ -55,8 +74,8 @@ def _answer(result) -> str:
     )
 
 
-def _flush(service: QueryService, pending: list[tuple[np.ndarray, float | None]]) -> list[str]:
-    """Answer the buffered queries, one engine batch per distinct radius."""
+def _flush(service, pending: list[tuple[np.ndarray, float | None]]) -> list[str]:
+    """Answer the buffered radius queries, one engine batch per distinct radius."""
     responses: list[str | None] = [None] * len(pending)
     by_radius: dict[float | None, list[int]] = {}
     for j, (_, radius) in enumerate(pending):
@@ -78,21 +97,91 @@ def _flush(service: QueryService, pending: list[tuple[np.ndarray, float | None]]
     return responses
 
 
+def _handle_op(state: dict, request: dict) -> str:
+    """Dispatch a non-query op against the current serving target."""
+    from repro.api.facade import Index
+    from repro.api.spec import IndexSpec
+
+    service = state["target"]
+    op = request.get("op")
+    if op == "stats":
+        return json.dumps(service.stats.as_dict())
+    if op == "insert":
+        try:
+            points = np.asarray(request["points"], dtype=np.float64)
+            ids = service.insert(points)
+        except Exception as exc:  # surface shape/validation problems per line
+            return json.dumps({"error": f"insert failed: {exc}"})
+        return json.dumps(
+            {"inserted": int(ids.size), "ids": ids.tolist(), "n": service.n}
+        )
+    if op == "spec":
+        spec = getattr(service, "spec", None)
+        if spec is None:
+            return json.dumps({"error": "the served index carries no spec"})
+        return json.dumps({"spec": spec.to_dict()})
+    if op == "save":
+        try:
+            path = str(request["path"])
+            service.save(path)
+        except Exception as exc:
+            return json.dumps({"error": f"save failed: {exc}"})
+        return json.dumps({"saved": path})
+    if op == "open":
+        try:
+            path = str(request["path"])
+            _swap_target(state, Index.open(path))
+        except Exception as exc:
+            return json.dumps({"error": f"open failed: {exc}"})
+        return json.dumps(
+            {"opened": path, "n": state["target"].n, "dim": state["target"].dim}
+        )
+    if op == "create":
+        try:
+            spec = IndexSpec.from_dict(request["spec"])
+            points = np.asarray(request["points"], dtype=np.float64)
+            _swap_target(state, Index.build(points, spec))
+        except Exception as exc:
+            return json.dumps({"error": f"create failed: {exc}"})
+        return json.dumps(
+            {"created": True, "n": state["target"].n, "dim": state["target"].dim}
+        )
+    return json.dumps({"error": f"unknown request: {sorted(request)}"})
+
+
+def _swap_target(state: dict, new_target) -> None:
+    """Replace the serving target, releasing any stream-owned old one.
+
+    The caller's original index is never closed (they still own it);
+    indexes the stream itself opened or created are closed on swap so a
+    long-lived server cycling through ``open``/``create`` requests does
+    not accumulate shard thread pools.
+    """
+    old, was_owned = state["target"], state["owned"]
+    state["target"] = new_target
+    state["owned"] = True
+    if was_owned:
+        old.close()
+
+
 def serve_stream(
-    service: QueryService,
+    service,
     lines: Iterable[str],
     batch_size: int = 64,
     more_ready: "Callable[[], bool] | None" = None,
 ) -> Iterator[str]:
     """Yield one JSON response line per JSON request line, in order.
 
-    ``more_ready`` reports whether further input is already waiting
-    (e.g. a ``select`` probe on stdin).  Queries are only buffered
-    toward ``batch_size`` while it returns ``True``; without it every
-    query is answered immediately, so an interactive client that sends
-    one request and waits never deadlocks — bulk pipes keep the
-    micro-batching because their backlog keeps ``more_ready`` true.
+    ``service`` is an :class:`repro.api.Index` or a legacy
+    :class:`~repro.service.service.QueryService`.  ``more_ready``
+    reports whether further input is already waiting (e.g. a ``select``
+    probe on stdin).  Queries are only buffered toward ``batch_size``
+    while it returns ``True``; without it every query is answered
+    immediately, so an interactive client that sends one request and
+    waits never deadlocks — bulk pipes keep the micro-batching because
+    their backlog keeps ``more_ready`` true.
     """
+    state = {"target": service, "owned": False}
     pending: list[tuple[np.ndarray, float | None]] = []
     for line in lines:
         line = line.strip()
@@ -103,37 +192,43 @@ def serve_stream(
             if not isinstance(request, dict):
                 raise ValueError("request must be a JSON object")
         except ValueError as exc:
-            yield from _flush(service, pending)
+            yield from _flush(state["target"], pending)
             yield json.dumps({"error": f"bad request: {exc}"})
             continue
 
         if "query" in request:
             try:
-                pending.append(_parse_query(request, service.dim))
+                query, radius, k = _parse_query(request, state["target"].dim)
             except (ValueError, TypeError) as exc:
-                yield from _flush(service, pending)
+                yield from _flush(state["target"], pending)
                 yield json.dumps({"error": str(exc)})
                 continue
+            if k is not None:
+                # Top-k requests are answered immediately (no batching
+                # across k values); queued radius queries drain first to
+                # keep responses aligned with request order.
+                yield from _flush(state["target"], pending)
+                try:
+                    yield _answer(_topk(state["target"], query, k))
+                except Exception as exc:
+                    yield json.dumps({"error": f"query failed: {exc}"})
+                continue
+            pending.append((query, radius))
             if len(pending) >= batch_size or not (more_ready and more_ready()):
-                yield from _flush(service, pending)
+                yield from _flush(state["target"], pending)
             continue
 
         # Non-query ops act on the index state, so drain queued queries
         # first to keep responses aligned with request order.
-        yield from _flush(service, pending)
-        op = request.get("op")
-        if op == "stats":
-            yield json.dumps(service.stats.as_dict())
-        elif op == "insert":
-            try:
-                points = np.asarray(request["points"], dtype=np.float64)
-                ids = service.insert(points)
-            except Exception as exc:  # surface shape/validation problems per line
-                yield json.dumps({"error": f"insert failed: {exc}"})
-            else:
-                yield json.dumps(
-                    {"inserted": int(ids.size), "ids": ids.tolist(), "n": service.n}
-                )
-        else:
-            yield json.dumps({"error": f"unknown request: {sorted(request)}"})
-    yield from _flush(service, pending)
+        yield from _flush(state["target"], pending)
+        yield _handle_op(state, request)
+    yield from _flush(state["target"], pending)
+
+
+def _topk(target, query: np.ndarray, k: int):
+    """Answer one top-k request on an Index (or an Index-backed service)."""
+    from repro.api.spec import QuerySpec
+
+    if hasattr(target, "_index"):  # legacy QueryService delegate
+        target = target._index
+    return target.query(QuerySpec(query, k=k))

@@ -26,9 +26,17 @@ from repro.sketches.hashing64 import hash64, rho_positions, split_hash
 from repro.sketches.hyperloglog import HyperLogLog, PrecomputedHllHashes
 from repro.sketches.kmv import KMinValues
 from repro.sketches.linear_counting import LinearCounter
+from repro.sketches.registry import (
+    available_estimators,
+    get_estimator,
+    register_estimator,
+)
 from repro.sketches.sparse_hll import SparseHyperLogLog
 
 __all__ = [
+    "register_estimator",
+    "get_estimator",
+    "available_estimators",
     "HyperLogLog",
     "SparseHyperLogLog",
     "PrecomputedHllHashes",

@@ -1,0 +1,109 @@
+"""Cardinality-estimator registry — pluggable ``candSize`` estimation.
+
+The hybrid dispatch of Algorithm 2 needs one number per query: the
+estimated count of *distinct* candidates among the query's ``L``
+buckets.  The paper uses merged HyperLogLog sketches; the estimator
+ablation additionally measures KMV and exact counting.  This registry
+names those procedures so spec-driven construction
+(:class:`repro.api.IndexSpec`) can resolve them — and third-party
+estimators slot in via :func:`register_estimator`, the same pattern as
+:func:`repro.distances.register_metric` and
+:func:`repro.hashing.base.register_family`.
+
+An estimator is a callable ``estimate(index, lookup) -> float`` where
+``index`` is a built :class:`~repro.index.lsh_index.LSHIndex` and
+``lookup`` the query's :class:`~repro.index.lsh_index.QueryLookup`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["register_estimator", "get_estimator", "available_estimators"]
+
+Estimator = Callable[["LSHIndex", "QueryLookup"], float]  # noqa: F821
+
+_ESTIMATOR_REGISTRY: dict[str, tuple] = {}
+
+
+def register_estimator(
+    name: str,
+    estimator: Estimator,
+    *,
+    aliases: tuple[str, ...] = (),
+    description: str = "",
+) -> Estimator:
+    """Register ``estimator`` under ``name`` (and ``aliases``).
+
+    Re-registering a name replaces it (reload-friendly).  Returns the
+    estimator so the function can be used as a decorator-style helper.
+    """
+    _ESTIMATOR_REGISTRY[name.lower()] = (estimator, description)
+    for alias in aliases:
+        _ESTIMATOR_REGISTRY[alias.lower()] = (estimator, description)
+    return estimator
+
+
+def get_estimator(name: str) -> Estimator:
+    """Resolve an estimator by registered name (case-insensitive)."""
+    _ensure_builtin_estimators()
+    key = name.lower()
+    if key not in _ESTIMATOR_REGISTRY:
+        from repro.exceptions import ConfigurationError
+
+        known = ", ".join(available_estimators())
+        raise ConfigurationError(
+            f"unknown cardinality estimator {name!r}; registered: {known}"
+        )
+    return _ESTIMATOR_REGISTRY[key][0]
+
+
+def available_estimators() -> list[str]:
+    """Sorted list of registered estimator names (aliases included)."""
+    _ensure_builtin_estimators()
+    return sorted(_ESTIMATOR_REGISTRY)
+
+
+def _hll_estimate(index, lookup) -> float:
+    return index.merged_sketch(lookup).estimate()
+
+
+def _kmv_estimate(index, lookup) -> float:
+    from repro.sketches.kmv import KMinValues
+
+    sketch = KMinValues(k=128, seed=1)
+    for bucket in lookup.nonempty_buckets():
+        sketch.add_batch(bucket.ids)
+    return sketch.estimate()
+
+
+def _exact_estimate(index, lookup) -> float:
+    from repro.sketches.exact_counter import ExactDistinctCounter
+
+    counter = ExactDistinctCounter()
+    for bucket in lookup.nonempty_buckets():
+        counter.add_batch(bucket.ids)
+    return counter.estimate()
+
+
+_BUILTIN_ESTIMATORS_LOADED = False
+
+
+def _ensure_builtin_estimators() -> None:
+    """Register the built-ins once; user registrations made first win."""
+    global _BUILTIN_ESTIMATORS_LOADED
+    if _BUILTIN_ESTIMATORS_LOADED:
+        return
+    _BUILTIN_ESTIMATORS_LOADED = True
+    for name, estimator, aliases, description in (
+        (
+            "hll", _hll_estimate, ("hyperloglog",),
+            "merged per-bucket HyperLogLog sketches (the paper's O(mL) path)",
+        ),
+        ("kmv", _kmv_estimate, (), "K-Minimum-Values over the raw bucket id lists"),
+        ("exact", _exact_estimate, (), "exact distinct count (pays the Step-S2 cost upfront)"),
+    ):
+        if name not in _ESTIMATOR_REGISTRY:
+            _ESTIMATOR_REGISTRY[name] = (estimator, description)
+        for alias in aliases:
+            _ESTIMATOR_REGISTRY.setdefault(alias, _ESTIMATOR_REGISTRY[name])

@@ -84,6 +84,32 @@ class TestCli:
         assert "error" in responses[1]
         assert responses[2]["queries_served"] == 1
 
+    def test_build_then_serve_saved_index(self, capsys, monkeypatch, tmp_path):
+        from repro.datasets import corel_like
+
+        out = str(tmp_path / "cli-index")
+        assert main([
+            "build", "--dataset", "corel", "--n", "300",
+            "--tables", "4", "--shards", "2", "--out", out,
+        ]) == 0
+        capsys.readouterr()
+        dataset = corel_like(n=300, seed=0)
+        lines = [
+            json.dumps({"query": dataset.points[0].tolist()}),
+            json.dumps({"op": "spec"}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main(["serve", "--index", out]) == 0
+        responses = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert 0 in responses[0]["ids"]
+        assert responses[1]["spec"]["num_shards"] == 2
+
+    def test_serve_index_rejects_conflicting_build_flags(self, tmp_path):
+        """--index serves the saved spec; silently ignoring --cache-size
+        etc. would serve a different policy than the operator asked for."""
+        with pytest.raises(SystemExit, match="cache-size"):
+            main(["serve", "--index", str(tmp_path / "x"), "--cache-size", "64"])
+
     def test_serve_sharded(self, capsys, monkeypatch):
         from repro.datasets import corel_like
 

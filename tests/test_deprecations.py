@@ -1,0 +1,127 @@
+"""The legacy top-level constructors keep working — and warn exactly once.
+
+``repro.HybridLSH`` / ``repro.QueryService`` (and friends) are thin
+shims over the real implementation classes: fully substitutable
+(``isinstance`` sees the originals), bit-identical in behavior, but
+emitting one :class:`DeprecationWarning` per process that points at the
+spec-driven ``repro.Index`` API.  The implementation classes imported
+from their own modules stay silent — they are the facade's engines.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api.deprecations import _WARNED
+from repro.core import CostModel
+
+
+@pytest.fixture
+def points():
+    return np.random.default_rng(0).normal(size=(300, 8))
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    """Each test sees the once-per-process guard in its pristine state."""
+    saved = set(_WARNED)
+    _WARNED.clear()
+    yield
+    _WARNED.clear()
+    _WARNED.update(saved)
+
+
+def _legacy_hybrid(points):
+    return repro.HybridLSH(
+        points, metric="l2", radius=1.0, num_tables=6,
+        cost_model=CostModel.from_ratio(6.0), seed=1,
+    )
+
+
+class TestHybridLSHShim:
+    def test_still_works_and_warns_exactly_once(self, points):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = _legacy_hybrid(points)
+            second = _legacy_hybrid(points)  # the second construction is silent
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "HybridLSH" in str(deprecations[0].message)
+        assert "repro.Index" in str(deprecations[0].message)
+        result = first.query(points[0])
+        assert 0 in result.ids
+        assert np.array_equal(result.ids, second.query(points[0]).ids)
+
+    def test_shim_is_substitutable(self, points):
+        from repro.core.hybrid import HybridLSH as RealHybridLSH
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = _legacy_hybrid(points)
+        assert isinstance(shim, RealHybridLSH)
+
+    def test_real_class_does_not_warn(self, points):
+        from repro.core.hybrid import HybridLSH as RealHybridLSH
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            RealHybridLSH(
+                points, metric="l2", radius=1.0, num_tables=6,
+                cost_model=CostModel.from_ratio(6.0), seed=1,
+            )
+        assert not [w for w in caught if w.category is DeprecationWarning]
+
+
+class TestQueryServiceShim:
+    def test_still_works_and_warns_exactly_once(self, points):
+        from repro.service import BatchQueryEngine
+
+        engine = BatchQueryEngine.from_points(
+            points, metric="l2", radius=1.0, num_tables=6,
+            cost_model=CostModel.from_ratio(6.0), seed=1,
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            service = repro.QueryService(engine)
+            repro.QueryService(engine)  # silent the second time
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "QueryService" in str(deprecations[0].message)
+        result = service.query(points[0])
+        assert 0 in result.ids
+        assert service.stats.queries_served == 1
+
+    def test_real_class_does_not_warn(self, points):
+        from repro.service import BatchQueryEngine
+        from repro.service.service import QueryService as RealQueryService
+
+        engine = BatchQueryEngine.from_points(
+            points, metric="l2", radius=1.0, num_tables=6,
+            cost_model=CostModel.from_ratio(6.0), seed=1,
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            RealQueryService(engine)
+        assert not [w for w in caught if w.category is DeprecationWarning]
+
+
+class TestOtherFrontDoors:
+    @pytest.mark.parametrize("name", ["BatchQueryEngine", "ShardedHybridIndex"])
+    def test_each_warns_once_per_process(self, name, points):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            if name == "BatchQueryEngine":
+                repro.BatchQueryEngine.from_points(
+                    points, metric="l2", radius=1.0, num_tables=4,
+                    cost_model=CostModel.from_ratio(6.0), seed=1,
+                )
+            else:
+                repro.ShardedHybridIndex(
+                    points, metric="l2", radius=1.0, num_shards=2,
+                    num_tables=4, cost_model=CostModel.from_ratio(6.0), seed=1,
+                )
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert name in str(deprecations[0].message)

@@ -49,17 +49,19 @@ class TestExports:
         """The README's quickstart snippet must stay executable."""
         rng = np.random.default_rng(0)
         points = rng.normal(size=(500, 16))
-        searcher = repro.HybridLSH(
+        index = repro.Index.build(
             points,
-            metric="l2",
-            radius=2.0,
-            num_tables=6,
-            cost_model=repro.CostModel.from_ratio(6.0),
-            seed=42,
+            repro.IndexSpec(metric="l2", radius=2.0, num_tables=6, seed=42),
         )
-        result = searcher.query(points[0])
+        result = index.query(repro.QuerySpec(points[0]))
         assert 0 in result.ids
         assert result.stats.strategy in (repro.Strategy.LSH, repro.Strategy.LINEAR)
+
+    def test_api_subpackage_all_resolves(self):
+        import repro.api
+
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name, None) is not None, name
 
 
 class TestExceptionHierarchy:

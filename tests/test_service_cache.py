@@ -155,6 +155,16 @@ class TestQueryService:
         payload = json.dumps(service.stats.as_dict())
         assert json.loads(payload)["queries_served"] == 1
 
+    def test_stats_attribute_stays_assignable(self, service, gaussian_points):
+        """Legacy callers reset counters by assignment, not reset_stats()."""
+        from repro.service import ServiceStats
+
+        service.query(gaussian_points[0])
+        service.stats = ServiceStats()
+        assert service.stats.queries_served == 0
+        service.query(gaussian_points[1])
+        assert service.stats.queries_served == 1
+
 
 class TestServeStream:
     def test_query_insert_stats_roundtrip(self, service, gaussian_points):
