@@ -5,7 +5,10 @@ landscape of the paper's Figure 1), then walks the serving subsystem
 through the :class:`repro.Index` facade:
 
 1. a batched single index answering 200 queries in one
-   :class:`~repro.QuerySpec`, bit-identical to the sequential loop;
+   :class:`~repro.QuerySpec`, bit-identical to the sequential loop —
+   then the same index on the **frozen CSR layout**
+   (``layout="frozen"``: contiguous bucket arrays, vectorised sketch
+   merging, zero per-bucket Python objects), still bit-identical;
 2. a 4-shard index built from the *same spec document* plus
    ``num_shards=4``, with exact global top-k through the same
    ``query`` method;
@@ -54,6 +57,20 @@ print(f"sequential: {NUM_QUERIES / seq_seconds:7.0f} qps")
 print(f"batched   : {NUM_QUERIES / bat_seconds:7.0f} qps "
       f"({seq_seconds / bat_seconds:.1f}x, identical answers, "
       f"{strategies.count('linear')}/{NUM_QUERIES} went linear)")
+
+# -- 1b. the frozen CSR layout: same answers, contiguous arrays ---------
+frozen = Index.build(points, spec.with_overrides(layout="frozen"))
+frozen.query(QuerySpec(queries[:2]))  # warm
+started = time.perf_counter()
+frozen_batched = frozen.query(QuerySpec(queries))
+fz_seconds = time.perf_counter() - started
+assert all(
+    np.array_equal(s.ids, f.ids) and np.array_equal(s.distances, f.distances)
+    for s, f in zip(sequential, frozen_batched)
+)
+print(f"frozen    : {NUM_QUERIES / fz_seconds:7.0f} qps "
+      f"({seq_seconds / fz_seconds:.1f}x, identical answers, "
+      f"CSR arrays, no per-bucket objects)")
 
 # -- 2. sharded index from the same spec + exact top-k ------------------
 sharded = Index.build(points, spec.with_overrides(num_shards=4))

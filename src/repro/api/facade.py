@@ -286,6 +286,7 @@ class Index:
                 seed=spec.seed,
                 estimator=estimator,
                 dedup=spec.dedup,
+                layout=spec.layout,
             )
             backend = _ShardedBackend(sharded)
         else:
@@ -298,6 +299,8 @@ class Index:
                 hll_seed=spec.hll_seed,
                 lazy_threshold=spec.lazy_threshold,
             ).build(points)
+            if spec.layout == "frozen":
+                index = index.freeze()
             searcher = HybridSearcher(index, cost_model, estimator=estimator)
             backend = _SingleBackend(
                 BatchQueryEngine(searcher, radius=spec.radius, dedup=spec.dedup)

@@ -9,13 +9,15 @@ cost-model constants ride along).  Layout::
 
     path/
       index.json       # format version, spec document, cost model,
-                       # shard routing state
-      shard_000.npz    # one per shard, via repro.index.serialize
-      ...
+                       # shard routing state, bucket layout
+      shard_000.npz    # one per dict-layout shard, via repro.index.serialize
+      shard_000.frozen/  # one per frozen-layout shard: plain .npy arrays,
+      ...                # reopened with np.load(mmap_mode="r") — zero-copy,
+                         # no bucket reconstruction (repro.index.frozen)
       shard_gids.npz   # global-id map per shard (sharded indexes only)
 
-Everything is JSON + compressed numpy archives — no pickle, safe to
-load from untrusted storage.
+Everything is JSON + numpy archives — no pickle, safe to load from
+untrusted storage.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from repro.api.spec import IndexSpec
 from repro.core.cost_model import CostModel
 from repro.core.hybrid import HybridLSH, HybridSearcher
 from repro.exceptions import ConfigurationError
+from repro.index.frozen import FrozenLSHIndex, load_frozen_index, save_frozen_index
 from repro.index.serialize import load_index as _load_shard
 from repro.index.serialize import save_index as _save_shard
 from repro.service.batch import BatchQueryEngine
@@ -43,6 +46,30 @@ _GIDS_FILE = "shard_gids.npz"
 
 def _shard_file(shard: int) -> str:
     return f"shard_{shard:03d}.npz"
+
+
+def _frozen_shard_dir(shard: int) -> str:
+    return f"shard_{shard:03d}.frozen"
+
+
+def _save_shard_any(shard_index, path: str, shard: int) -> str:
+    """Persist one shard in its own layout; returns the layout tag.
+
+    Dict-layout shards stay one compressed ``.npz``; frozen shards
+    become a directory of mmap-loadable ``.npy`` arrays (see
+    :mod:`repro.index.frozen`).
+    """
+    if isinstance(shard_index, FrozenLSHIndex):
+        save_frozen_index(shard_index, os.path.join(path, _frozen_shard_dir(shard)))
+        return "frozen"
+    _save_shard(shard_index, os.path.join(path, _shard_file(shard)))
+    return "dict"
+
+
+def _load_shard_any(path: str, shard: int, layout: str):
+    if layout == "frozen":
+        return load_frozen_index(os.path.join(path, _frozen_shard_dir(shard)))
+    return _load_shard(os.path.join(path, _shard_file(shard)))
 
 
 def save_index(index, path: str) -> None:
@@ -71,8 +98,17 @@ def save_index(index, path: str) -> None:
     if isinstance(engine, ShardedHybridIndex):
         meta["num_shards"] = engine.num_shards
         meta["next_shard"] = int(engine._next_shard)
+        layouts = {shard.index.layout for shard in engine.shards}
+        if len(layouts) != 1:
+            # Validate before writing anything: failing halfway would
+            # leave a partial artifact next to a stale index.json.
+            raise ConfigurationError(
+                f"shards use mixed bucket layouts {sorted(layouts)}; "
+                "freeze all shards or none before saving"
+            )
+        meta["layout"] = layouts.pop()
         for s, shard in enumerate(engine.shards):
-            _save_shard(shard.index, os.path.join(path, _shard_file(s)))
+            _save_shard_any(shard.index, path, s)
         np.savez_compressed(
             os.path.join(path, _GIDS_FILE),
             **{f"gids_{s:03d}": gids for s, gids in enumerate(engine._shard_gids)},
@@ -80,7 +116,7 @@ def save_index(index, path: str) -> None:
     else:
         meta["num_shards"] = 1
         meta["next_shard"] = 0
-        _save_shard(engine.index, os.path.join(path, _shard_file(0)))
+        meta["layout"] = _save_shard_any(engine.index, path, 0)
     with open(os.path.join(path, _META_FILE), "w") as fh:
         json.dump(meta, fh, indent=2)
         fh.write("\n")
@@ -112,8 +148,9 @@ def open_index(path: str):
     )
     estimator = _resolve_estimator(spec)
     num_shards = int(meta["num_shards"])
+    layout = meta.get("layout", "dict")
     shard_indexes = [
-        _load_shard(os.path.join(path, _shard_file(s))) for s in range(num_shards)
+        _load_shard_any(path, s, layout) for s in range(num_shards)
     ]
     if num_shards > 1:
         with np.load(os.path.join(path, _GIDS_FILE), allow_pickle=False) as archive:

@@ -33,6 +33,7 @@ JSON schema (all keys optional unless noted)::
       "cache_size":    0,              # LRU result-cache capacity; 0 = off
       "cache_quantum": 1e-9,           # cache key quantisation step
       "dedup":         "vectorized",   # serving-side Step-S2 dedup
+      "layout":        "dict",         # bucket storage: "dict" | "frozen" (CSR arrays)
       "seed":          null            # master randomness (int for reproducibility)
     }
 """
@@ -91,6 +92,7 @@ class IndexSpec:
     cache_size: int = 0
     cache_quantum: float = 1e-9
     dedup: str = "vectorized"
+    layout: str = "dict"
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -136,6 +138,10 @@ class IndexSpec:
         if self.dedup not in ("scalar", "vectorized"):
             raise ConfigurationError(
                 f'dedup must be "scalar" or "vectorized", got {self.dedup!r}'
+            )
+        if self.layout not in ("dict", "frozen"):
+            raise ConfigurationError(
+                f'layout must be "dict" or "frozen", got {self.layout!r}'
             )
         if self.seed is not None:
             if isinstance(self.seed, bool) or not isinstance(self.seed, int):

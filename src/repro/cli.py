@@ -106,6 +106,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_tp.add_argument("--json", metavar="PATH", help="also write the JSON artifact")
     p_tp.add_argument("--seed", type=int, default=0, help="master seed")
+    p_tp.add_argument(
+        "--assert-frozen-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless frozen_batched is bit-identical and "
+             "reaches X times the sequential QPS (CI regression gate)",
+    )
 
     p_build = sub.add_parser(
         "build", help="build a spec-driven index over a dataset and save it"
@@ -149,6 +154,11 @@ def _add_spec_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--ratio", type=float, default=6.0,
         help="beta/alpha cost ratio (0 = calibrate by timing)",
+    )
+    parser.add_argument(
+        "--layout", choices=("dict", "frozen"), default="dict",
+        help="bucket storage layout; 'frozen' compacts into CSR arrays "
+             "(vectorised serving, mmap-backed persistence)",
     )
 
 
@@ -246,6 +256,20 @@ def _cmd_throughput(args: argparse.Namespace) -> None:
         f"{args.queries} queries, K = {args.shards}, r = {radius:.3g}"
     )
     print(format_throughput(rows, title=title))
+    if args.assert_frozen_speedup is not None:
+        by_mode = {row.mode: row for row in rows}
+        frozen, seq = by_mode["frozen_batched"], by_mode["sequential"]
+        if not frozen.matches:
+            sys.exit("error: frozen_batched answers diverged from sequential")
+        if frozen.qps < args.assert_frozen_speedup * seq.qps:
+            sys.exit(
+                f"error: frozen_batched speedup "
+                f"{frozen.qps / seq.qps:.2f}x < {args.assert_frozen_speedup}x bar"
+            )
+        print(
+            f"frozen_batched {frozen.qps / seq.qps:.2f}x >= "
+            f"{args.assert_frozen_speedup}x: OK"
+        )
     if args.json:
         write_throughput_json(
             rows,
@@ -277,6 +301,7 @@ def _index_spec_from_args(args: argparse.Namespace, metric: str, radius: float):
         "num_shards": args.shards,
         "cache_size": args.cache_size,
         "cost_ratio": args.ratio if args.ratio and args.ratio > 0 else None,
+        "layout": args.layout,
         "seed": args.seed,
     }
     if args.spec:
@@ -327,6 +352,7 @@ def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
                 ("--shards", args.shards != 1),
                 ("--cache-size", args.cache_size != 0),
                 ("--ratio", args.ratio != 6.0),
+                ("--layout", args.layout != "dict"),
             )
             if given
         ]

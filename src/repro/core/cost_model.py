@@ -83,10 +83,20 @@ class CostModel:
         return self.alpha * num_collisions + self.beta * cand_size
 
     def linear_cost(self, n: int) -> float:
-        """Equation (2): ``beta * n``."""
+        """Equation (2): ``beta * n``.
+
+        Memoised on the last ``n`` seen: the per-query dispatch
+        evaluates this for the same index size until the next insert,
+        so the hot path does no redundant arithmetic or validation.
+        """
+        cached = getattr(self, "_linear_cache", None)
+        if cached is not None and cached[0] == n:
+            return cached[1]
         if n < 0:
             raise ConfigurationError(f"n must be >= 0, got {n}")
-        return self.beta * n
+        value = self.beta * n
+        object.__setattr__(self, "_linear_cache", (n, value))
+        return value
 
     def choose(self, num_collisions: int, cand_size: float, n: int) -> Strategy:
         """Algorithm 2, line 4: LSH iff ``LSHCost < LinearCost``."""

@@ -152,15 +152,20 @@ class HybridSearcher:
         lookups = self.index.lookup_batch(queries)
         linear_cost = self.cost_model.linear_cost(self.index.n)
         if self.estimator is None:
-            sketches = self.index.merged_sketches_batch(lookups)
-            estimates = [sketch.estimate() for sketch in sketches]
+            # One vectorised pass over the batch-merged registers; the
+            # frozen layout computes this without any sketch objects.
+            estimates = self.index.merged_estimates_batch(lookups).tolist()
         else:
             estimates = [self._estimate(lookup) for lookup in lookups]
-        decisions: list[tuple[int, float, float]] = []
-        for lookup, estimated_candidates in zip(lookups, estimates):
-            num_collisions = lookup.num_collisions
-            lsh_cost = self.cost_model.lsh_cost(num_collisions, estimated_candidates)
-            decisions.append((num_collisions, estimated_candidates, lsh_cost))
+        # Equation (1) for the whole batch in two vector ops; float64
+        # elementwise arithmetic matches the scalar lsh_cost() bit for
+        # bit, so the dispatch decisions are identical to looping it.
+        collision_counts = [lookup.num_collisions for lookup in lookups]
+        lsh_costs = (
+            self.cost_model.alpha * np.asarray(collision_counts, dtype=np.float64)
+            + self.cost_model.beta * np.asarray(estimates, dtype=np.float64)
+        ).tolist()
+        decisions = list(zip(collision_counts, estimates, lsh_costs))
 
         results: list[QueryResult | None] = [None] * len(lookups)
         linear_rows = [i for i, (_, _, lsh_cost) in enumerate(decisions) if not lsh_cost < linear_cost]
@@ -168,11 +173,24 @@ class HybridSearcher:
             scanned = self._linear_scan().query_batch(queries[linear_rows], radius)
             for i, result in zip(linear_rows, scanned):
                 results[i] = result
-        for i, lookup in enumerate(lookups):
-            if results[i] is None:
-                results[i] = self._lsh.query_from_lookup(
-                    queries[i], radius, lookup, dedup=dedup
-                )
+        lsh_rows = [i for i in range(len(lookups)) if results[i] is None]
+        # The frozen layout can recognise queries with identical bucket
+        # sets (equal rows of its bucket-index matrix) and union each
+        # distinct set once; other layouts deduplicate per query.
+        batch_dedup = getattr(self.index, "candidate_ids_batch", None)
+        candidate_sets = (
+            batch_dedup([lookups[i] for i in lsh_rows], dedup=dedup)
+            if batch_dedup is not None and lsh_rows
+            else None
+        )
+        for j, i in enumerate(lsh_rows):
+            results[i] = self._lsh.query_from_lookup(
+                queries[i],
+                radius,
+                lookups[i],
+                dedup=dedup,
+                candidates=None if candidate_sets is None else candidate_sets[j],
+            )
         for i, result in enumerate(results):
             num_collisions, estimated_candidates, lsh_cost = decisions[i]
             result.stats = QueryStats(
@@ -303,6 +321,20 @@ class HybridLSH:
         self.radius = float(radius)
         self.index = index
         self.searcher = HybridSearcher(index, cost_model, estimator=estimator)
+        return self
+
+    def freeze(self, refreeze_threshold: int | None = None) -> "HybridLSH":
+        """Compact the underlying index into the frozen CSR layout.
+
+        Replaces ``self.index`` with its
+        :class:`~repro.index.frozen.FrozenLSHIndex` (bit-identical
+        answers, vectorised batch primitives) and rewires the searcher.
+        Returns ``self`` for chaining.
+        """
+        self.index = self.index.freeze(refreeze_threshold=refreeze_threshold)
+        self.searcher = HybridSearcher(
+            self.index, self.searcher.cost_model, estimator=self.searcher.estimator
+        )
         return self
 
     @property

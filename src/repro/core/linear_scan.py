@@ -67,6 +67,17 @@ class LinearScan:
         self.points = check_matrix(points, name="points")
         self.n = int(self.points.shape[0])
         self.dim = int(self.points.shape[1])
+        # Lazily computed metric state (e.g. squared norms for L2),
+        # shared by every batch call; the scan object is rebuilt on
+        # insert, so the state can never go stale.
+        self._prepared_state = None
+        self._prepared_ready = False
+
+    def _prepared(self):
+        if not self._prepared_ready:
+            self._prepared_state = self.metric.prepare_points(self.points)
+            self._prepared_ready = True
+        return self._prepared_state
 
     def query(self, query: np.ndarray, radius: float) -> QueryResult:
         """Report every point within ``radius`` of ``query`` (exact)."""
@@ -81,17 +92,20 @@ class LinearScan:
     def query_batch(self, queries: np.ndarray, radius: float) -> list[QueryResult]:
         """Answer a query set with one distance-matrix pass.
 
-        Computes the full ``(q, n)`` distance matrix through
-        :func:`~repro.distances.matrix.pairwise_distances` — which calls
-        the very same per-row batch kernel as :meth:`query`, so the
-        reported ids and distances are bit-identical to looping
-        :meth:`query` — and thresholds each row.
+        Computes the full ``(q, n)`` distance matrix with one batch
+        kernel call per row — bit-identical to looping :meth:`query`
+        (the prepared kernel reuses the query-independent terms but
+        reproduces the plain kernel's floats exactly) — and thresholds
+        each row.
         """
-        from repro.distances.matrix import pairwise_distances
-
         queries = check_matrix(queries, dim=self.dim, name="queries")
         radius = check_positive(radius, "radius")
-        distance_matrix = pairwise_distances(queries, self.points, self.metric)
+        state = self._prepared()
+        distance_matrix = np.empty((queries.shape[0], self.n), dtype=np.float64)
+        for i, q in enumerate(queries):
+            distance_matrix[i] = self.metric.distances_to_prepared(
+                self.points, q, state
+            )
         results = []
         for row in distance_matrix:
             mask = row <= radius

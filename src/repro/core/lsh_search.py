@@ -49,6 +49,24 @@ class LSHSearch:
 
     def __init__(self, index: LSHIndex) -> None:
         self.index = index
+        # Metric state (e.g. squared norms for L2) over the full point
+        # matrix, gathered per candidate set in Step S3; refreshed when
+        # insert() replaces the points array.
+        self._prepared_points: np.ndarray | None = None
+        self._prepared_state = None
+        # Last candidate gather, keyed by array identity: batched
+        # serving hands queries with identical bucket sets the *same*
+        # candidates object, and the (points, norms) gather is
+        # query-independent, so it is reused verbatim.
+        self._gather_key: np.ndarray | None = None
+        self._gather_value = None
+
+    def _prepared(self):
+        points = self.index.points
+        if self._prepared_points is not points:
+            self._prepared_state = self.index.family.metric.prepare_points(points)
+            self._prepared_points = points
+        return self._prepared_state
 
     def query(self, query: np.ndarray, radius: float) -> QueryResult:
         """Report near neighbors via bucket lookup + candidate verification."""
@@ -76,18 +94,29 @@ class LSHSearch:
         radius: float,
         lookup: QueryLookup,
         dedup: str | None = None,
+        candidates: np.ndarray | None = None,
     ) -> QueryResult:
         """Steps S2+S3 given an existing lookup (hybrid search reuses S1).
 
         ``dedup`` is forwarded to
         :meth:`~repro.index.lsh_index.LSHIndex.candidate_ids`; both
         implementations yield the identical candidate array, so the
-        answer never depends on it.
+        answer never depends on it.  A precomputed ``candidates`` array
+        (from a batched Step-S2 pass) skips the per-query dedup.
         """
-        candidates = self.index.candidate_ids(lookup, dedup=dedup)
+        if candidates is None:
+            candidates = self.index.candidate_ids(lookup, dedup=dedup)
         metric = self.index.family.metric
         if candidates.size:
-            distances = metric.distances_to(self.index.points[candidates], query)
+            if candidates is self._gather_key:
+                gathered, state_sub = self._gather_value
+            else:
+                state = self._prepared()
+                gathered = self.index.points[candidates]
+                state_sub = None if state is None else state[candidates]
+                self._gather_key = candidates
+                self._gather_value = (gathered, state_sub)
+            distances = metric.distances_to_prepared(gathered, query, state_sub)
             within = distances <= radius
             ids = candidates[within]
             dists = distances[within]

@@ -46,6 +46,14 @@ class Metric:
     batch: BatchKernel
     description: str = ""
     aliases: tuple[str, ...] = field(default=())
+    #: Optional serving-side fast path: ``prepare(points)`` computes a
+    #: reusable per-point state (e.g. squared norms for L2) and
+    #: ``batch_prepared(points, query, state)`` consumes it, returning
+    #: **bit-identical** distances to ``batch(points, query)``.  Batch
+    #: engines amortise ``prepare`` across many queries; metrics without
+    #: a prepared kernel fall back to ``batch`` transparently.
+    prepare: Callable[[np.ndarray], np.ndarray] | None = None
+    batch_prepared: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray] | None = None
 
     def __call__(self, x: np.ndarray, y: np.ndarray) -> float:
         """Scalar distance between ``x`` and ``y``."""
@@ -54,6 +62,27 @@ class Metric:
     def distances_to(self, points: np.ndarray, query: np.ndarray) -> np.ndarray:
         """Distances from every row of ``points`` to ``query``."""
         return self.batch(points, query)
+
+    def prepare_points(self, points: np.ndarray):
+        """Per-point reusable state for :meth:`distances_to_prepared`.
+
+        Returns ``None`` when the metric has no prepared kernel.
+        """
+        if self.prepare is None:
+            return None
+        return self.prepare(points)
+
+    def distances_to_prepared(
+        self, points: np.ndarray, query: np.ndarray, state
+    ) -> np.ndarray:
+        """Like :meth:`distances_to`, reusing prepared per-point state.
+
+        Falls back to the plain batch kernel when ``state`` is ``None``;
+        the returned distances are bit-identical either way.
+        """
+        if state is None or self.batch_prepared is None:
+            return self.batch(points, query)
+        return self.batch_prepared(points, query, state)
 
     def __repr__(self) -> str:
         return f"Metric({self.name!r})"

@@ -14,7 +14,13 @@ import numpy as np
 
 from repro.distances.base import Metric, register_metric
 
-__all__ = ["euclidean_distance", "euclidean_distance_batch", "EUCLIDEAN"]
+__all__ = [
+    "euclidean_distance",
+    "euclidean_distance_batch",
+    "euclidean_prepare",
+    "euclidean_distance_batch_prepared",
+    "EUCLIDEAN",
+]
 
 
 def euclidean_distance(x: np.ndarray, y: np.ndarray) -> float:
@@ -45,6 +51,29 @@ def euclidean_distance_batch(points: np.ndarray, query: np.ndarray) -> np.ndarra
     return np.sqrt(sq)
 
 
+def euclidean_prepare(points: np.ndarray) -> np.ndarray:
+    """Reusable squared row norms — the query-independent einsum term."""
+    points = np.asarray(points, dtype=np.float64)
+    return np.einsum("ij,ij->i", points, points)
+
+
+def euclidean_distance_batch_prepared(
+    points: np.ndarray, query: np.ndarray, norms: np.ndarray
+) -> np.ndarray:
+    """:func:`euclidean_distance_batch` with the row norms precomputed.
+
+    Bit-identical: ``norms`` holds exactly the per-row einsum values the
+    plain kernel recomputes (the reduction is per row, so a cached or
+    gathered norm carries the same float), and the remaining ops match
+    term for term.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    sq = norms - 2.0 * (points @ query) + np.dot(query, query)
+    np.clip(sq, 0.0, None, out=sq)
+    return np.sqrt(sq)
+
+
 EUCLIDEAN = register_metric(
     Metric(
         name="l2",
@@ -52,5 +81,7 @@ EUCLIDEAN = register_metric(
         batch=euclidean_distance_batch,
         description="Euclidean distance (p-stable LSH with Gaussian projections)",
         aliases=("euclidean",),
+        prepare=euclidean_prepare,
+        batch_prepared=euclidean_distance_batch_prepared,
     )
 )

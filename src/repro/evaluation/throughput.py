@@ -8,6 +8,10 @@ answering the same query set against the same data:
   :meth:`~repro.core.hybrid.HybridSearcher.query` call per query;
 * ``batched`` — one :class:`~repro.service.batch.BatchQueryEngine`
   batch (fused Step-S1 hashing, grouped linear pass, vectorised dedup);
+* ``frozen_batched`` — the same batch over the *same* index compacted
+  into the frozen CSR layout (:meth:`~repro.index.lsh_index.LSHIndex.freeze`):
+  searchsorted lookups, stacked-register sketch merging, slice-scatter
+  dedup — no per-bucket Python objects on the hot path;
 * ``sharded`` — one :class:`~repro.service.sharded.ShardedHybridIndex`
   batch across ``K`` shards.
 
@@ -157,11 +161,18 @@ def throughput_experiment(
 
     from repro.api import Index
 
+    from repro.core.hybrid import HybridSearcher
+
     hybrid = HybridLSH(
         points, metric=metric, radius=radius, num_tables=num_tables,
         cost_model=cost_model, seed=seed,
     )
     engine = BatchQueryEngine(hybrid.searcher, radius=radius)
+    # Freezing the *same* built index isolates the layout effect: the
+    # hash draws, buckets, and sketches are identical by construction.
+    frozen_engine = BatchQueryEngine(
+        HybridSearcher(hybrid.index.freeze(), cost_model), radius=radius
+    )
     sharded = ShardedHybridIndex(
         points, metric=metric, radius=radius, num_shards=num_shards,
         num_tables=num_tables, cost_model=cost_model, seed=seed,
@@ -169,12 +180,14 @@ def throughput_experiment(
     # The serving rows go through the public facade (what a deployment
     # calls); it delegates to the engines above, bit-identically.
     batched_front = Index.from_engine(engine)
+    frozen_front = Index.from_engine(frozen_engine)
     sharded_front = Index.from_engine(sharded)
 
     # Warm every path once (BLAS thread pools, lazy imports) before timing.
     warm = queries[:2]
     [hybrid.searcher.query(q, radius) for q in warm]
     batched_front.query_batch(warm, radius)
+    frozen_front.query_batch(warm, radius)
     sharded_front.query_batch(warm, radius)
 
     seq_seconds, seq_results = _time_best(
@@ -182,6 +195,9 @@ def throughput_experiment(
     )
     bat_seconds, bat_results = _time_best(
         lambda: batched_front.query_batch(queries, radius), repeats
+    )
+    fz_seconds, fz_results = _time_best(
+        lambda: frozen_front.query_batch(queries, radius), repeats
     )
     sh_seconds, sh_results = _time_best(
         lambda: sharded_front.query_batch(queries, radius), repeats
@@ -206,6 +222,12 @@ def throughput_experiment(
             bat_seconds,
             _results_equal(seq_results, bat_results),
             _linear_fraction(bat_results),
+        ),
+        row(
+            "frozen_batched",
+            fz_seconds,
+            _results_equal(seq_results, fz_results),
+            _linear_fraction(fz_results),
         ),
         row(
             "sharded",

@@ -12,12 +12,16 @@ query time).
 * :class:`LSHIndex` — the ``L``-table index with the query-side
   primitives Algorithm 2 needs (``#collisions``, merged sketch,
   candidate set);
+* :class:`FrozenLSHIndex` — the same index compacted into contiguous
+  CSR arrays (``LSHIndex.freeze()``): vectorised batch primitives,
+  zero per-bucket Python objects, mmap-able persistence;
 * :class:`MultiProbeLSHIndex` — the multi-probe extension the paper
   names as future work.
 """
 
 from repro.index.bucket import Bucket
 from repro.index.covering import CoveringLSHIndex
+from repro.index.frozen import FrozenLSHIndex, FrozenQueryLookup, FrozenTables
 from repro.index.lsh_index import LSHIndex, QueryLookup
 from repro.index.multiprobe_index import MultiProbeLSHIndex
 from repro.index.table import HashTable
@@ -27,6 +31,9 @@ __all__ = [
     "HashTable",
     "LSHIndex",
     "QueryLookup",
+    "FrozenLSHIndex",
+    "FrozenQueryLookup",
+    "FrozenTables",
     "MultiProbeLSHIndex",
     "CoveringLSHIndex",
 ]

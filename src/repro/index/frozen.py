@@ -1,0 +1,1114 @@
+"""Frozen CSR index layout — contiguous bucket arrays for serving.
+
+The dict layout of :class:`~repro.index.lsh_index.LSHIndex` stores one
+Python :class:`~repro.index.bucket.Bucket` object per bucket, so every
+query-side primitive (collision counting, sketch merging, candidate
+union) walks Python objects even on the batched serving path.  This
+module *freezes* a built index into CSR-style contiguous arrays, fused
+across all ``L`` tables:
+
+* ``keys`` — every bucket's composite-hash key, 8 * k bytes each,
+  sorted within each table's segment so a lookup is one
+  ``np.searchsorted`` per table;
+* ``offsets`` / ``members`` — int64 CSR offsets into one flat member
+  array holding all bucket ids back to back (stored in the platform
+  index dtype so the per-query gathers and scatters skip numpy's
+  index-conversion pass);
+* ``sizes`` — per-bucket occupancy (``#collisions`` is a gather + sum);
+* ``registers`` — the HLL registers of every *materialised* bucket
+  sketch stacked into a single ``(S, m)`` uint8 matrix, with
+  ``sketch_rows`` mapping buckets to rows (-1 = lazy small bucket).
+
+On this layout ``lookup_batch`` is a fused hash pass plus one binary
+search per table, merged-sketch estimation is a row-gathered
+``np.maximum.reduceat`` over the register matrix, and candidate
+deduplication is a boolean scatter over member slices — all vectorised
+across queries *and* tables with zero per-bucket Python objects, and
+all **bit-identical** to the dict layout (register maxima and id unions
+are associative, so regrouping cannot change a single byte).
+
+:meth:`FrozenLSHIndex.insert` keeps working: new points land in a small
+mutable dict-layout *overflow* side-table probed alongside the frozen
+arrays, and the index re-freezes itself once the overflow outgrows
+``refreeze_threshold``.  Splitting a logical bucket into a frozen part
+and an overflow part changes no answer for the same associativity
+reason.
+
+The frozen arrays persist as a directory of plain ``.npy`` files
+(:func:`save_frozen_index` / :func:`load_frozen_index`), so reopening a
+saved index is ``np.load(..., mmap_mode="r")`` per array — zero-copy,
+no bucket reconstruction, first query pages in only what it touches.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.hashing.composite import encode_rows
+from repro.index.bucket import Bucket
+from repro.index.lsh_index import LSHIndex
+from repro.index.table import HashTable
+from repro.sketches.hyperloglog import HyperLogLog, PrecomputedHllHashes, alpha_m
+
+__all__ = [
+    "FrozenLSHIndex",
+    "FrozenTables",
+    "FrozenQueryLookup",
+    "save_frozen_index",
+    "load_frozen_index",
+]
+
+#: Overflow points tolerated before :meth:`FrozenLSHIndex.insert`
+#: triggers an automatic re-freeze.
+DEFAULT_REFREEZE_THRESHOLD = 1024
+
+_FROZEN_FORMAT_VERSION = 1
+_CONFIG_FILE = "config.json"
+
+
+def _void_view(key_matrix: np.ndarray) -> np.ndarray:
+    """View a ``(B, w)`` uint8 key matrix as ``(B,)`` fixed-width scalars.
+
+    ``np.void`` scalars compare bytewise (memcmp), giving a total order
+    that ``np.argsort``/``np.searchsorted`` share — the actual order is
+    irrelevant, only consistency and exact equality matter.
+    """
+    width = key_matrix.shape[1]
+    return np.ascontiguousarray(key_matrix).view(np.dtype((np.void, width))).ravel()
+
+
+def _csr_gather(
+    members: np.ndarray, starts: np.ndarray, lens: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``members[starts[i] : starts[i] + lens[i]]`` slices."""
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=members.dtype)
+    exclusive = np.concatenate(([0], np.cumsum(lens[:-1])))
+    idx = np.repeat(starts - exclusive, lens) + np.arange(total, dtype=np.int64)
+    return members[idx]
+
+
+class FrozenTables:
+    """All ``L`` tables of a frozen index as one fused CSR structure.
+
+    Bucket ``b`` (a *global* index across tables) owns members
+    ``members[offsets[b] : offsets[b + 1]]``; table ``t`` owns the
+    bucket range ``table_slices[t] : table_slices[t + 1]``, whose keys
+    are sorted so :meth:`locate` can binary-search them.
+    """
+
+    __slots__ = (
+        "num_tables",
+        "key_width",
+        "keys_raw",
+        "keys",
+        "table_slices",
+        "offsets",
+        "sizes",
+        "members",
+        "sketch_rows",
+        "registers",
+    )
+
+    def __init__(
+        self,
+        num_tables: int,
+        key_width: int,
+        keys_raw: np.ndarray,
+        table_slices: np.ndarray,
+        offsets: np.ndarray,
+        sizes: np.ndarray,
+        members: np.ndarray,
+        sketch_rows: np.ndarray,
+        registers: np.ndarray,
+    ) -> None:
+        self.num_tables = int(num_tables)
+        self.key_width = int(key_width)
+        self.keys_raw = keys_raw
+        self.keys = _void_view(keys_raw) if keys_raw.size else keys_raw.view(
+            np.dtype((np.void, key_width))
+        ).reshape(0)
+        self.table_slices = table_slices
+        self.offsets = offsets
+        self.sizes = sizes
+        self.members = members
+        self.sketch_rows = sketch_rows
+        self.registers = registers
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def assemble(
+        cls,
+        per_table: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+        key_width: int,
+        hll_hashes: PrecomputedHllHashes | None,
+        lazy_threshold: int,
+        hll_precision: int,
+    ) -> "FrozenTables":
+        """Fuse per-table ``(sorted key matrix, sizes, members)`` triples.
+
+        Sketch materialisation follows the dict layout's invariant —
+        a bucket is sketched iff its size exceeds the lazy threshold —
+        and registers are rebuilt from the member ids in one vectorised
+        scatter-max (bit-identical to incrementally maintained sketches,
+        because registers are maxima over per-id hash pairs).
+        """
+        num_tables = len(per_table)
+        table_slices = np.zeros(num_tables + 1, dtype=np.int64)
+        for t, (keys_mat, _, _) in enumerate(per_table):
+            table_slices[t + 1] = table_slices[t] + keys_mat.shape[0]
+        total_buckets = int(table_slices[-1])
+        keys_raw = (
+            np.concatenate([keys_mat for keys_mat, _, _ in per_table])
+            if total_buckets
+            else np.empty((0, key_width), dtype=np.uint8)
+        )
+        sizes = (
+            np.concatenate([s for _, s, _ in per_table]).astype(np.int64)
+            if total_buckets
+            else np.empty(0, dtype=np.int64)
+        )
+        member_parts = [m for _, _, m in per_table if m.size]
+        members = (
+            np.concatenate(member_parts)
+            if member_parts
+            else np.empty(0, dtype=np.intp)
+        )
+        offsets = np.zeros(total_buckets + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+
+        m = 1 << hll_precision
+        sketch_rows = np.full(total_buckets, -1, dtype=np.int64)
+        if hll_hashes is not None:
+            sketched = np.flatnonzero(sizes > lazy_threshold)
+            sketch_rows[sketched] = np.arange(sketched.size)
+            registers = np.zeros((sketched.size, m), dtype=np.uint8)
+            if sketched.size:
+                ids = _csr_gather(members, offsets[sketched], sizes[sketched])
+                rows = np.repeat(np.arange(sketched.size), sizes[sketched])
+                np.maximum.at(
+                    registers,
+                    (rows, hll_hashes.registers[ids]),
+                    hll_hashes.ranks[ids],
+                )
+        else:
+            registers = np.zeros((0, m), dtype=np.uint8)
+        return cls(
+            num_tables=num_tables,
+            key_width=key_width,
+            keys_raw=keys_raw,
+            table_slices=table_slices,
+            offsets=offsets,
+            sizes=sizes,
+            members=members,
+            sketch_rows=sketch_rows,
+            registers=registers,
+        )
+
+    @staticmethod
+    def table_arrays(
+        table: HashTable, key_width: int, member_dtype=np.intp
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One dict-layout table -> ``(sorted key matrix, sizes, members)``."""
+        num = len(table.buckets)
+        if num == 0:
+            return (
+                np.empty((0, key_width), dtype=np.uint8),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=member_dtype),
+            )
+        keys_mat = np.frombuffer(
+            b"".join(table.buckets.keys()), dtype=np.uint8
+        ).reshape(num, key_width)
+        order = np.argsort(_void_view(keys_mat), kind="stable")
+        buckets = list(table.buckets.values())
+        sizes = np.asarray([buckets[i].size for i in order], dtype=np.int64)
+        members = (
+            np.concatenate([buckets[i].ids for i in order]).astype(member_dtype)
+            if int(sizes.sum())
+            else np.empty(0, dtype=member_dtype)
+        )
+        return np.ascontiguousarray(keys_mat[order]), sizes, members
+
+    def merged_table_arrays(
+        self, t: int, overflow: HashTable, key_width: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Table ``t`` merged with its overflow side-table (for re-freeze).
+
+        Duplicate keys keep their frozen members first and overflow
+        members second — the exact id order the dict layout's append
+        path produces — and the merge is a stable sort over the
+        concatenated key sets, no per-bucket Python loop.
+        """
+        lo, hi = int(self.table_slices[t]), int(self.table_slices[t + 1])
+        f_keys = self.keys_raw[lo:hi]
+        f_sizes = self.sizes[lo:hi]
+        seg_start, seg_stop = int(self.offsets[lo]), int(self.offsets[hi])
+        f_members = self.members[seg_start:seg_stop]
+        f_starts = self.offsets[lo:hi] - seg_start
+        o_keys, o_sizes, o_members = self.table_arrays(
+            overflow, key_width, member_dtype=self.members.dtype
+        )
+        if o_keys.shape[0] == 0:
+            return (
+                np.ascontiguousarray(f_keys),
+                np.asarray(f_sizes),
+                np.asarray(f_members),
+            )
+        src_members = np.concatenate([f_members, o_members])
+        o_starts = np.concatenate(([0], np.cumsum(o_sizes[:-1]))) + f_members.size
+        src_starts = np.concatenate([f_starts, o_starts])
+        src_sizes = np.concatenate([f_sizes, o_sizes])
+        comb_keys = np.concatenate([np.ascontiguousarray(f_keys), o_keys])
+        # Stable sort keeps frozen source buckets ahead of overflow ones
+        # for equal keys (frozen rows come first in the concatenation).
+        order = np.argsort(_void_view(comb_keys), kind="stable")
+        ordered_keys = comb_keys[order]
+        ordered_view = _void_view(ordered_keys)
+        new_bucket = np.empty(order.size, dtype=bool)
+        new_bucket[0] = True
+        new_bucket[1:] = ordered_view[1:] != ordered_view[:-1]
+        group_starts = np.flatnonzero(new_bucket)
+        merged_keys = np.ascontiguousarray(ordered_keys[group_starts])
+        ordered_sizes = src_sizes[order]
+        merged_sizes = np.add.reduceat(ordered_sizes, group_starts)
+        merged_members = _csr_gather(src_members, src_starts[order], ordered_sizes)
+        return merged_keys, merged_sizes, merged_members
+
+    # ------------------------------------------------------------------
+    # Query-side primitives
+    # ------------------------------------------------------------------
+    def locate(self, query_keys: np.ndarray) -> np.ndarray:
+        """Global bucket index per ``(query, table)``; -1 for empty buckets.
+
+        ``query_keys`` is the ``(q, L)`` void-key matrix of a query
+        batch; each table costs one ``np.searchsorted`` over its sorted
+        key segment.
+        """
+        q = query_keys.shape[0]
+        out = np.full((q, self.num_tables), -1, dtype=np.int64)
+        for t in range(self.num_tables):
+            lo, hi = int(self.table_slices[t]), int(self.table_slices[t + 1])
+            if hi == lo:
+                continue
+            segment = self.keys[lo:hi]
+            column = query_keys[:, t]
+            pos = np.searchsorted(segment, column)
+            in_range = pos < (hi - lo)
+            clamped = np.where(in_range, pos, 0)
+            hit = in_range & (segment[clamped] == column)
+            out[:, t] = np.where(hit, lo + clamped, -1)
+        return out
+
+    def gather_members(self, bucket_idx: np.ndarray) -> np.ndarray:
+        """Concatenated member ids of the given global buckets."""
+        return _csr_gather(
+            self.members, self.offsets[bucket_idx], self.sizes[bucket_idx]
+        )
+
+    @property
+    def num_buckets(self) -> int:
+        return int(self.table_slices[-1])
+
+    @property
+    def memory_bytes(self) -> dict[str, int]:
+        return {
+            "bucket_ids": int(self.members.nbytes),
+            "bucket_keys": int(self.keys_raw.nbytes),
+            "sketches": int(self.registers.nbytes),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FrozenTables(L={self.num_tables}, buckets={self.num_buckets}, "
+            f"members={self.members.size}, sketched={self.registers.shape[0]})"
+        )
+
+
+class _FrozenBucketView:
+    """Read-only bucket facade for estimator callbacks on frozen lookups.
+
+    Exposes the subset of the :class:`~repro.index.bucket.Bucket`
+    surface the registered estimators consume (``ids``, ``size``,
+    ``__len__``) without materialising per-bucket state in the index.
+    """
+
+    __slots__ = ("ids",)
+
+    def __init__(self, ids: np.ndarray) -> None:
+        self.ids = ids
+
+    @property
+    def size(self) -> int:
+        return int(self.ids.size)
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    def __repr__(self) -> str:
+        return f"_FrozenBucketView(size={self.size})"
+
+
+class FrozenQueryLookup:
+    """A query's bucket addresses in the frozen arrays (Step S1 output).
+
+    The frozen counterpart of
+    :class:`~repro.index.lsh_index.QueryLookup`: instead of one Python
+    ``Bucket`` per table it carries one int64 per table — the global
+    bucket index, or -1 where the query fell into an empty bucket —
+    plus the matching overflow buckets when the index has absorbed
+    inserts since it was frozen.
+    """
+
+    __slots__ = (
+        "bucket_ids",
+        "hash_rows",
+        "overflow",
+        "_frozen",
+        "_num_collisions",
+        "_found",
+    )
+
+    def __init__(
+        self,
+        bucket_ids: np.ndarray,
+        hash_rows: np.ndarray,
+        frozen: FrozenTables,
+        overflow: list[Bucket | None] | None = None,
+        num_collisions: int | None = None,
+    ) -> None:
+        self.bucket_ids = bucket_ids
+        self.hash_rows = hash_rows
+        self.overflow = overflow
+        self._frozen = frozen
+        self._num_collisions = num_collisions
+        self._found = None
+
+    @property
+    def num_collisions(self) -> int:
+        """Total occupancy of the query's buckets (frozen + overflow)."""
+        if self._num_collisions is None:
+            found = self.bucket_ids[self.bucket_ids >= 0]
+            total = int(self._frozen.sizes[found].sum())
+            if self.overflow is not None:
+                total += sum(b.size for b in self.overflow if b is not None)
+            self._num_collisions = total
+        return self._num_collisions
+
+    def found_buckets(self) -> np.ndarray:
+        """Global indexes of the query's non-empty frozen buckets (cached)."""
+        if self._found is None:
+            self._found = self.bucket_ids[self.bucket_ids >= 0]
+        return self._found
+
+    def member_slices(self) -> list[np.ndarray]:
+        """Zero-copy member views of the found buckets, in table order."""
+        frozen = self._frozen
+        found = self.found_buckets()
+        starts = frozen.offsets[found]
+        stops = (starts + frozen.sizes[found]).tolist()
+        members = frozen.members
+        return [
+            members[a:b] for a, b in zip(starts.tolist(), stops)
+        ]
+
+    def nonempty_buckets(self) -> list:
+        """Bucket views in table order (estimator-callback compatibility).
+
+        Frozen buckets surface as light :class:`_FrozenBucketView`
+        objects (``ids``/``size`` only); overflow buckets are the real
+        mutable :class:`~repro.index.bucket.Bucket` instances.
+        """
+        views: list = []
+        for t, b in enumerate(self.bucket_ids):
+            if b >= 0:
+                start = int(self._frozen.offsets[b])
+                stop = start + int(self._frozen.sizes[b])
+                views.append(
+                    _FrozenBucketView(
+                        np.asarray(self._frozen.members[start:stop], dtype=np.int64)
+                    )
+                )
+            if self.overflow is not None:
+                bucket = self.overflow[t]
+                if bucket is not None and len(bucket):
+                    views.append(bucket)
+        return views
+
+
+class FrozenLSHIndex(LSHIndex):
+    """A built LSH index compacted into contiguous CSR arrays.
+
+    Produced by :meth:`repro.index.lsh_index.LSHIndex.freeze`; answers
+    every query-side primitive bit-identically to the dict-layout index
+    it was frozen from, while the batched serving path runs entirely in
+    numpy.  Supports :meth:`insert` through a mutable overflow
+    side-table that is automatically re-frozen once it exceeds
+    ``refreeze_threshold`` points.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.hashing import SimHashLSH
+    >>> from repro.index import LSHIndex
+    >>> rng = np.random.default_rng(0)
+    >>> points = rng.normal(size=(300, 16))
+    >>> index = LSHIndex(SimHashLSH(16, seed=1), k=4, num_tables=8, seed=2)
+    >>> frozen = index.build(points).freeze()
+    >>> frozen.num_collisions(points[0]) == index.num_collisions(points[0])
+    True
+    >>> lookup = frozen.lookup(points[0])
+    >>> bool(np.array_equal(frozen.candidate_ids(lookup),
+    ...                     index.candidate_ids(index.lookup(points[0]))))
+    True
+    """
+
+    layout = "frozen"
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict_index(
+        cls, index: LSHIndex, refreeze_threshold: int | None = None
+    ) -> "FrozenLSHIndex":
+        """Compact a built dict-layout index (shares points and kernel)."""
+        index._require_built()
+        self = cls.__new__(cls)
+        self._adopt(index)
+        key_width = 8 * self.k
+        # Members live in the platform index dtype (intp): every hot-path
+        # consumer is a fancy index (candidate scatter, HLL pair gather,
+        # point gather), and numpy converts any other integer dtype to
+        # intp per call — a measurable per-query tax at serving rates.
+        per_table = [
+            FrozenTables.table_arrays(table, key_width, member_dtype=np.intp)
+            for table in index.tables
+        ]
+        self.frozen = FrozenTables.assemble(
+            per_table,
+            key_width,
+            self._hll_hashes,
+            self._effective_lazy_threshold,
+            self.hll_precision,
+        )
+        self._init_overflow(refreeze_threshold)
+        return self
+
+    @classmethod
+    def from_state(
+        cls,
+        family,
+        batched,
+        points: np.ndarray,
+        frozen: FrozenTables,
+        k: int,
+        num_tables: int,
+        hll_precision: int,
+        hll_seed: int,
+        lazy_threshold: int | None,
+        with_sketches: bool,
+        dedup: str,
+        refreeze_threshold: int | None = None,
+    ) -> "FrozenLSHIndex":
+        """Reassemble from persisted arrays (no bucket reconstruction)."""
+        self = cls.__new__(cls)
+        self.family = family
+        self.k = int(k)
+        self.num_tables = int(num_tables)
+        self.hll_precision = int(hll_precision)
+        self.hll_seed = int(hll_seed)
+        self.lazy_threshold = lazy_threshold
+        self.with_sketches = bool(with_sketches)
+        self.dedup = dedup
+        self.points = points
+        self._batched = batched
+        self._hll_hashes = (
+            PrecomputedHllHashes(
+                points.shape[0], p=self.hll_precision, seed=self.hll_seed
+            )
+            if self.with_sketches
+            else None
+        )
+        self.frozen = frozen
+        self._init_overflow(refreeze_threshold)
+        return self
+
+    def _adopt(self, index: LSHIndex) -> None:
+        """Share the immutable pieces of the source index."""
+        self.family = index.family
+        self.k = index.k
+        self.num_tables = index.num_tables
+        self.hll_precision = index.hll_precision
+        self.hll_seed = index.hll_seed
+        self.lazy_threshold = index.lazy_threshold
+        self.with_sketches = index.with_sketches
+        self.dedup = index.dedup
+        self.points = index.points
+        self._hll_hashes = index._hll_hashes
+        self._batched = index._batched
+
+    def _init_overflow(self, refreeze_threshold: int | None) -> None:
+        self.refreeze_threshold = (
+            DEFAULT_REFREEZE_THRESHOLD
+            if refreeze_threshold is None
+            else int(refreeze_threshold)
+        )
+        self.tables = [
+            HashTable(
+                hll_precision=self.hll_precision,
+                hll_seed=self.hll_seed,
+                lazy_threshold=self.lazy_threshold,
+                with_sketches=self.with_sketches,
+            )
+            for _ in range(self.num_tables)
+        ]
+        self._overflow_count = 0
+
+    @property
+    def _effective_lazy_threshold(self) -> int:
+        return (
+            (1 << self.hll_precision)
+            if self.lazy_threshold is None
+            else int(self.lazy_threshold)
+        )
+
+    @property
+    def overflow_count(self) -> int:
+        """Points inserted since the last (re-)freeze."""
+        return self._overflow_count
+
+    def build(self, points: np.ndarray) -> "LSHIndex":
+        raise ConfigurationError(
+            "a frozen index is created from a built dict-layout index via "
+            "LSHIndex.freeze(); it cannot be rebuilt in place"
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation: overflow inserts + re-freeze
+    # ------------------------------------------------------------------
+    def insert(self, new_points: np.ndarray) -> np.ndarray:
+        """Insert points into the overflow side-table; re-freeze past the threshold."""
+        new_ids = super().insert(new_points)
+        self._overflow_count += int(new_ids.size)
+        if self._overflow_count > self.refreeze_threshold:
+            self.refreeze()
+        return new_ids
+
+    def refreeze(self) -> "FrozenLSHIndex":
+        """Fold the overflow side-table back into the CSR arrays (in place)."""
+        if self._overflow_count == 0 and not any(t.buckets for t in self.tables):
+            return self
+        key_width = 8 * self.k
+        per_table = [
+            self.frozen.merged_table_arrays(t, self.tables[t], key_width)
+            for t in range(self.num_tables)
+        ]
+        self.frozen = FrozenTables.assemble(
+            per_table,
+            key_width,
+            self._hll_hashes,
+            self._effective_lazy_threshold,
+            self.hll_precision,
+        )
+        self._init_overflow(self.refreeze_threshold)
+        return self
+
+    def freeze(self, refreeze_threshold: int | None = None) -> "FrozenLSHIndex":
+        """Re-freezing a frozen index compacts its overflow (idempotent)."""
+        if refreeze_threshold is not None:
+            self.refreeze_threshold = int(refreeze_threshold)
+        return self.refreeze()
+
+    # ------------------------------------------------------------------
+    # Step S1: lookups
+    # ------------------------------------------------------------------
+    def _query_key_matrix(self, all_rows: np.ndarray) -> np.ndarray:
+        """``(q, L, k)`` int64 hash tensor -> ``(q, L)`` void key matrix."""
+        q = all_rows.shape[0]
+        width = 8 * self.k
+        flat = np.ascontiguousarray(all_rows.reshape(q, self.num_tables * self.k), dtype="<i8")
+        raw = flat.view(np.uint8).reshape(q, self.num_tables, width)
+        return raw.view(np.dtype((np.void, width)))[:, :, 0]
+
+    def _overflow_buckets_for(self, keys: list[bytes]) -> list[Bucket | None] | None:
+        if self._overflow_count == 0:
+            return None
+        return [table.buckets.get(key) for table, key in zip(self.tables, keys)]
+
+    def lookup(self, query: np.ndarray) -> FrozenQueryLookup:
+        """Locate the query's bucket in every table (one binary search each)."""
+        self._require_built()
+        rows = self._batched.query_rows(query)  # validates dim; (L, k)
+        key_matrix = self._query_key_matrix(rows[None, :, :])
+        bucket_ids = self.frozen.locate(key_matrix)[0]
+        overflow = (
+            self._overflow_buckets_for(encode_rows(rows))
+            if self._overflow_count
+            else None
+        )
+        return FrozenQueryLookup(
+            bucket_ids=bucket_ids, hash_rows=rows, frozen=self.frozen, overflow=overflow
+        )
+
+    def lookup_batch(self, queries: np.ndarray) -> list[FrozenQueryLookup]:
+        """Locate many queries' buckets: fused hash pass + searchsorted per table."""
+        from repro.utils.validation import check_matrix
+
+        self._require_built()
+        queries = check_matrix(queries, dim=self.dim, name="queries")
+        all_rows = self._batched.hash_points(queries)  # (q, L, k)
+        q = all_rows.shape[0]
+        key_matrix = self._query_key_matrix(all_rows)
+        positions = self.frozen.locate(key_matrix)  # (q, L)
+        found = positions >= 0
+        safe = np.where(found, positions, 0)
+        collisions = np.where(found, self.frozen.sizes[safe], 0).sum(axis=1)
+        if self._overflow_count:
+            flat_keys = encode_rows(
+                all_rows.reshape(q * self.num_tables, self.k)
+            )
+        lookups = []
+        for qi in range(q):
+            overflow = None
+            num_collisions = int(collisions[qi])
+            if self._overflow_count:
+                keys = flat_keys[qi * self.num_tables : (qi + 1) * self.num_tables]
+                overflow = self._overflow_buckets_for(keys)
+                num_collisions += sum(
+                    b.size for b in overflow if b is not None
+                )
+            lookups.append(
+                FrozenQueryLookup(
+                    bucket_ids=positions[qi],
+                    hash_rows=all_rows[qi],
+                    frozen=self.frozen,
+                    overflow=overflow,
+                    num_collisions=num_collisions,
+                )
+            )
+        return lookups
+
+    # ------------------------------------------------------------------
+    # Sketch merging (Algorithm 2, line 2)
+    # ------------------------------------------------------------------
+    def _require_sketches(self) -> None:
+        self._require_built()
+        if not self.with_sketches or self._hll_hashes is None:
+            raise ConfigurationError("index was built with with_sketches=False")
+
+    def merged_sketch(self, lookup: FrozenQueryLookup) -> HyperLogLog:
+        """Merge the query's bucket sketches: row maxima over the register matrix."""
+        self._require_sketches()
+        m = 1 << self.hll_precision
+        regs = np.zeros(m, dtype=np.uint8)
+        found = lookup.found_buckets()
+        srows = self.frozen.sketch_rows[found]
+        sketched = srows[srows >= 0]
+        if sketched.size:
+            np.maximum.reduce(self.frozen.registers[sketched], axis=0, out=regs)
+        lazy = found[srows < 0]
+        if lazy.size:
+            ids = self.frozen.gather_members(lazy)
+            np.maximum.at(
+                regs, self._hll_hashes.registers[ids], self._hll_hashes.ranks[ids]
+            )
+        merged = HyperLogLog(p=self.hll_precision, seed=self.hll_seed)
+        merged.registers = regs
+        if lookup.overflow is not None:
+            for bucket in lookup.overflow:
+                if bucket is not None:
+                    bucket.contribute_to(merged, self._hll_hashes)
+        return merged
+
+    def _merged_registers_batch(self, lookups: list[FrozenQueryLookup]) -> np.ndarray:
+        """The ``(q, m)`` merged-register matrix of a lookup batch."""
+        m = 1 << self.hll_precision
+        q = len(lookups)
+        registers = np.zeros((q, m), dtype=np.uint8)
+        if q == 0:
+            return registers
+        bucket_mat = np.stack([lk.bucket_ids for lk in lookups])  # (q, L)
+        found = bucket_mat >= 0
+        qi, _ = np.nonzero(found)  # row-major -> qi ascending
+        buckets = bucket_mat[found]
+        srows = self.frozen.sketch_rows[buckets]
+        sketched = srows >= 0
+        if sketched.any():
+            rows = qi[sketched]
+            stacked = self.frozen.registers[srows[sketched]]
+            # Row-major np.nonzero keeps `rows` sorted, so segments of
+            # equal query index are contiguous: one reduceat merges each
+            # query's sketched buckets.
+            seg_starts = np.flatnonzero(np.diff(rows, prepend=-1))
+            seg_max = np.maximum.reduceat(stacked, seg_starts, axis=0)
+            registers[rows[seg_starts]] = seg_max
+        lazy = ~sketched
+        if lazy.any():
+            lazy_buckets = buckets[lazy]
+            ids = self.frozen.gather_members(lazy_buckets)
+            rows = np.repeat(qi[lazy], self.frozen.sizes[lazy_buckets])
+            np.maximum.at(
+                registers,
+                (rows, self._hll_hashes.registers[ids]),
+                self._hll_hashes.ranks[ids],
+            )
+        if self._overflow_count:
+            for i, lk in enumerate(lookups):
+                if lk.overflow is None:
+                    continue
+                for bucket in lk.overflow:
+                    if bucket is None or not len(bucket):
+                        continue
+                    if bucket.sketch is not None:
+                        np.maximum(
+                            registers[i], bucket.sketch.registers, out=registers[i]
+                        )
+                    else:
+                        ids = bucket.ids
+                        np.maximum.at(
+                            registers[i],
+                            self._hll_hashes.registers[ids],
+                            self._hll_hashes.ranks[ids],
+                        )
+        return registers
+
+    def merged_sketches_batch(
+        self, lookups: list[FrozenQueryLookup]
+    ) -> list[HyperLogLog]:
+        """One merged sketch per lookup, fully vectorised across queries."""
+        self._require_sketches()
+        registers = self._merged_registers_batch(lookups)
+        sketches = []
+        for i in range(len(lookups)):
+            sketch = HyperLogLog(p=self.hll_precision, seed=self.hll_seed)
+            sketch.registers = registers[i]
+            sketches.append(sketch)
+        return sketches
+
+    def merged_estimates_batch(
+        self, lookups: list[FrozenQueryLookup]
+    ) -> np.ndarray:
+        """``candSize`` estimates for a lookup batch without sketch objects.
+
+        The harmonic sums and zero-register counts are computed for all
+        queries in two vectorised passes; the scalar bias/linear-counting
+        finish per query replays :meth:`HyperLogLog.estimate` exactly,
+        so the values are bit-identical to the per-sketch path.
+        """
+        self._require_sketches()
+        registers = self._merged_registers_batch(lookups)
+        m = registers.shape[1]
+        inv_sums = np.sum(np.exp2(-registers.astype(np.float64)), axis=1)
+        zero_counts = m - np.count_nonzero(registers, axis=1)
+        # Elementwise division reproduces the scalar estimator's floats;
+        # only rows needing the linear-counting correction pay a scalar
+        # finish (identical math.log arithmetic to HyperLogLog.estimate).
+        out = (alpha_m(m) * m * m) / inv_sums
+        corrected = np.flatnonzero((out <= 2.5 * m) & (zero_counts > 0))
+        for i in corrected.tolist():
+            out[i] = m * math.log(m / int(zero_counts[i]))
+        return out
+
+    # ------------------------------------------------------------------
+    # Step S2: candidate union
+    # ------------------------------------------------------------------
+    def candidate_ids(
+        self, lookup: FrozenQueryLookup, dedup: str | None = None
+    ) -> np.ndarray:
+        """Deduplicated candidate set: boolean scatter over member slices."""
+        self._require_built()
+        if dedup is None:
+            dedup = self.dedup
+        elif dedup not in ("scalar", "vectorized"):
+            raise ConfigurationError(
+                f'dedup must be "scalar" or "vectorized", got {dedup!r}'
+            )
+        if dedup == "vectorized":
+            # One boolean scatter over the concatenated zero-copy member
+            # slices; members are stored in native index dtype (intp) so
+            # the scatter pays no per-query index conversion.
+            parts = lookup.member_slices()
+            if lookup.overflow is not None:
+                parts = parts + [
+                    bucket.ids
+                    for bucket in lookup.overflow
+                    if bucket is not None and len(bucket)
+                ]
+            seen = np.zeros(self.n, dtype=bool)
+            if parts:
+                seen[np.concatenate(parts)] = True
+            return np.flatnonzero(seen)
+        # Scalar mode preserves Equation (1)'s per-collision cost
+        # structure, exactly like the dict layout's implementation.
+        return self._candidate_ids_scalar(lookup)
+
+    def _candidate_ids_scalar(self, lookup: FrozenQueryLookup) -> np.ndarray:
+        seen = np.zeros(self.n, dtype=bool)
+        out: list[int] = []
+        for t in range(self.num_tables):
+            b = int(lookup.bucket_ids[t])
+            if b >= 0:
+                start = int(self.frozen.offsets[b])
+                stop = start + int(self.frozen.sizes[b])
+                for point_id in self.frozen.members[start:stop].tolist():
+                    if not seen[point_id]:
+                        seen[point_id] = True
+                        out.append(point_id)
+            if lookup.overflow is not None:
+                bucket = lookup.overflow[t]
+                if bucket is not None:
+                    for point_id in bucket.ids.tolist():
+                        if not seen[point_id]:
+                            seen[point_id] = True
+                            out.append(point_id)
+        return np.sort(np.asarray(out, dtype=np.int64))
+
+    def candidate_ids_batch(
+        self, lookups: list[FrozenQueryLookup], dedup: str | None = None
+    ) -> list[np.ndarray]:
+        """Candidate sets for many lookups, deduplicating shared work.
+
+        Equivalent to ``[self.candidate_ids(lk, dedup) for lk in
+        lookups]``.  Queries from the same dense region collide into the
+        *same* bucket in every table — their rows of the ``(q, L)``
+        bucket-index matrix are identical — so each distinct bucket set
+        is unioned once and the resulting array shared (it is consumed
+        read-only by Step S3).  Only expressible in the frozen layout,
+        where a query's bucket set is a plain integer row.
+        """
+        self._require_built()
+        if dedup is None:
+            dedup = self.dedup
+        if dedup == "scalar" or self._overflow_count or len(lookups) <= 1:
+            # Overflow buckets are per-lookup objects; the bucket row
+            # alone no longer keys the candidate set, so fall back.
+            return [self.candidate_ids(lk, dedup=dedup) for lk in lookups]
+        matrix = np.stack([lk.bucket_ids for lk in lookups])
+        unique_rows, inverse = np.unique(matrix, axis=0, return_inverse=True)
+        if unique_rows.shape[0] == len(lookups):
+            return [self.candidate_ids(lk, dedup=dedup) for lk in lookups]
+        representatives = {}
+        for i, group in enumerate(inverse.tolist()):
+            if group not in representatives:
+                representatives[group] = self.candidate_ids(lookups[i], dedup=dedup)
+        return [representatives[group] for group in inverse.tolist()]
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def sketch_memory_bytes(self) -> int:
+        overflow = sum(t.sketch_memory_bytes for t in self.tables)
+        return int(self.frozen.registers.nbytes) + overflow
+
+    def memory_report(self) -> dict[str, int]:
+        self._require_built()
+        report = self.frozen.memory_bytes
+        for table in self.tables:
+            for key, bucket in table.buckets.items():
+                report["bucket_ids"] += 8 * bucket.size
+                report["bucket_keys"] += len(key)
+        report["sketches"] = self.sketch_memory_bytes
+        report["points"] = int(self.points.nbytes)
+        report["total"] = sum(
+            report[k] for k in ("points", "bucket_ids", "bucket_keys", "sketches")
+        )
+        return report
+
+    def bucket_statistics(self) -> dict[str, float]:
+        self._require_built()
+        sizes = [np.asarray(self.frozen.sizes)]
+        sketched = [np.asarray(self.frozen.sketch_rows) >= 0]
+        for table in self.tables:
+            if table.buckets:
+                sizes.append(table.bucket_sizes())
+                sketched.append(
+                    np.asarray([b.has_sketch for b in table.buckets.values()])
+                )
+        all_sizes = np.concatenate(sizes)
+        return {
+            "tables": float(self.num_tables),
+            "buckets": float(all_sizes.size),
+            "mean_size": float(all_sizes.mean()),
+            "max_size": float(all_sizes.max()),
+            "sketched_fraction": float(np.mean(np.concatenate(sketched))),
+        }
+
+    def __repr__(self) -> str:
+        built = f"n={self.n}" if self.is_built else "unbuilt"
+        return (
+            f"{type(self).__name__}(family={type(self.family).__name__}, "
+            f"k={self.k}, L={self.num_tables}, {built}, "
+            f"overflow={self._overflow_count})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Persistence: a directory of plain .npy files, mmap-loadable
+# ----------------------------------------------------------------------
+
+_ARRAY_FILES = (
+    "points",
+    "keys_raw",
+    "table_slices",
+    "offsets",
+    "sizes",
+    "members",
+    "sketch_rows",
+    "registers",
+)
+
+
+def save_frozen_index(index: FrozenLSHIndex, path: str) -> None:
+    """Persist a frozen index under directory ``path`` (plain ``.npy`` files).
+
+    Any overflow side-table is compacted first (:meth:`refreeze`), so
+    the artifact is pure CSR arrays.  Every array lands in its own
+    uncompressed ``.npy`` file — unlike ``.npz`` members these can be
+    reopened with ``np.load(..., mmap_mode="r")``, which is what makes
+    :func:`load_frozen_index` zero-copy.
+    """
+    if not isinstance(index, FrozenLSHIndex):
+        raise ConfigurationError(
+            f"save_frozen_index persists FrozenLSHIndex objects, "
+            f"got {type(index).__name__}"
+        )
+    index._require_built()
+    batched = index._batched
+    if batched.params is None or batched.kind == "generic":
+        raise ConfigurationError(
+            "index family does not expose serialisable kernel parameters "
+            f"(kind={batched.kind!r}); only built-in families are supported"
+        )
+    index.refreeze()
+    config = {
+        "format_version": _FROZEN_FORMAT_VERSION,
+        "layout": "frozen",
+        "k": index.k,
+        "num_tables": index.num_tables,
+        "hll_precision": index.hll_precision,
+        "hll_seed": index.hll_seed,
+        "lazy_threshold": index.lazy_threshold,
+        "with_sketches": index.with_sketches,
+        "dedup": index.dedup,
+        "dim": index.dim,
+        "family": batched.kind,
+        "refreeze_threshold": index.refreeze_threshold,
+        "kernel_params": sorted(batched.params),
+    }
+    if batched.kind == "pstable":
+        config["p"] = index.family.p
+        config["w"] = index.family.w
+    os.makedirs(path, exist_ok=True)
+    frozen = index.frozen
+    arrays = {
+        "points": index.points,
+        "keys_raw": frozen.keys_raw,
+        "table_slices": frozen.table_slices,
+        "offsets": frozen.offsets,
+        "sizes": frozen.sizes,
+        "members": frozen.members,
+        "sketch_rows": frozen.sketch_rows,
+        "registers": frozen.registers,
+    }
+    for name, array in batched.params.items():
+        arrays[f"kernel_{name}"] = array
+    # Write-to-temp + rename: a re-saved index may hold arrays that are
+    # memory-mapped from the very files being written (open -> save back
+    # to the same path); truncating those in place would corrupt the
+    # mapping mid-write and destroy the artifact.
+    for name, array in arrays.items():
+        target = os.path.join(path, f"{name}.npy")
+        tmp = target + ".tmp"
+        with open(tmp, "wb") as fh:
+            np.save(fh, np.ascontiguousarray(array))
+        os.replace(tmp, target)
+    config_target = os.path.join(path, _CONFIG_FILE)
+    with open(config_target + ".tmp", "w") as fh:
+        json.dump(config, fh, indent=2)
+        fh.write("\n")
+    os.replace(config_target + ".tmp", config_target)
+
+
+def load_frozen_index(path: str, mmap_mode: str | None = "r") -> FrozenLSHIndex:
+    """Reopen a frozen index saved by :func:`save_frozen_index`.
+
+    All bucket arrays (and the data matrix) come back memory-mapped
+    with the default ``mmap_mode="r"`` — no bucket reconstruction, no
+    rehashing, answers bit-identical to the saved instance.  Pass
+    ``mmap_mode=None`` to materialise everything in RAM instead.
+    """
+    from repro.hashing.batched import BatchedHash
+    from repro.index.serialize import _rebuild_family_and_kernel
+
+    config_path = os.path.join(path, _CONFIG_FILE)
+    if not os.path.exists(config_path):
+        raise ConfigurationError(
+            f"no frozen index at {path!r} (missing {_CONFIG_FILE})"
+        )
+    with open(config_path) as fh:
+        config = json.load(fh)
+    if config.get("format_version") != _FROZEN_FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported frozen index version: {config.get('format_version')!r}"
+        )
+    arrays = {
+        name: np.load(
+            os.path.join(path, f"{name}.npy"),
+            mmap_mode=mmap_mode,
+            allow_pickle=False,
+        )
+        for name in _ARRAY_FILES
+    }
+    kernel_params = {
+        name: np.load(
+            os.path.join(path, f"kernel_{name}.npy"),
+            mmap_mode=mmap_mode,
+            allow_pickle=False,
+        )
+        for name in config["kernel_params"]
+    }
+    dim = config["dim"]
+    family, fused = _rebuild_family_and_kernel(config, kernel_params, dim)
+    batched = BatchedHash(
+        fused,
+        k=config["k"],
+        num_tables=config["num_tables"],
+        dim=dim,
+        kind=config["family"],
+        params=kernel_params,
+    )
+    frozen = FrozenTables(
+        num_tables=config["num_tables"],
+        key_width=8 * config["k"],
+        keys_raw=arrays["keys_raw"],
+        table_slices=arrays["table_slices"],
+        offsets=arrays["offsets"],
+        sizes=arrays["sizes"],
+        members=arrays["members"],
+        sketch_rows=arrays["sketch_rows"],
+        registers=arrays["registers"],
+    )
+    return FrozenLSHIndex.from_state(
+        family=family,
+        batched=batched,
+        points=arrays["points"],
+        frozen=frozen,
+        k=config["k"],
+        num_tables=config["num_tables"],
+        hll_precision=config["hll_precision"],
+        hll_seed=config["hll_seed"],
+        lazy_threshold=config["lazy_threshold"],
+        with_sketches=config["with_sketches"],
+        dedup=config["dedup"],
+        refreeze_threshold=config.get("refreeze_threshold"),
+    )

@@ -63,13 +63,23 @@ class QueryLookup:
         """
         cached = getattr(self, "_num_collisions", None)
         if cached is None:
-            cached = sum(b.size for b in self.buckets if b is not None)
+            cached = sum(b.size for b in self.nonempty_buckets())
             self._num_collisions = cached
         return cached
 
     def nonempty_buckets(self) -> list[Bucket]:
-        """The buckets that actually exist, in table order."""
-        return [b for b in self.buckets if b is not None]
+        """The buckets that actually exist, in table order.
+
+        Computed once and cached: the hybrid pipeline walks the same
+        non-empty set for the collision count, the sketch merge, *and*
+        the candidate union, so each lookup filters its ``L`` bucket
+        slots exactly once instead of once per step.
+        """
+        cached = getattr(self, "_nonempty", None)
+        if cached is None:
+            cached = [b for b in self.buckets if b is not None]
+            self._nonempty = cached
+        return cached
 
 
 class LSHIndex:
@@ -114,6 +124,9 @@ class LSHIndex:
     >>> lookup.num_collisions >= 8  # the point collides with itself everywhere
     True
     """
+
+    #: Storage layout tag; the CSR-compacted subclass overrides this.
+    layout = "dict"
 
     def __init__(
         self,
@@ -229,6 +242,28 @@ class LSHIndex:
                     table.buckets[key] = bucket
                 bucket.append(int(point_id), self._hll_hashes)
         return new_ids
+
+    def freeze(self, refreeze_threshold: int | None = None):
+        """Compact the index into the frozen CSR layout (serving fast path).
+
+        Returns a :class:`~repro.index.frozen.FrozenLSHIndex` sharing
+        this index's points and hash kernel: contiguous bucket arrays,
+        one stacked HLL register matrix, vectorised batch primitives —
+        bit-identical answers, no per-bucket Python objects.  The source
+        index is left untouched.  ``refreeze_threshold`` bounds how many
+        overflow inserts the frozen index absorbs before re-compacting.
+        """
+        from repro.index.frozen import FrozenLSHIndex
+
+        self._require_built()
+        if type(self) is not LSHIndex:
+            raise ConfigurationError(
+                f"freeze() supports the base LSHIndex layout only, "
+                f"not {type(self).__name__}"
+            )
+        return FrozenLSHIndex.from_dict_index(
+            self, refreeze_threshold=refreeze_threshold
+        )
 
     @property
     def is_built(self) -> bool:
@@ -364,6 +399,19 @@ class LSHIndex:
             sketch.registers = registers[i]
             sketches.append(sketch)
         return sketches
+
+    def merged_estimates_batch(self, lookups: list[QueryLookup]) -> np.ndarray:
+        """``candSize`` estimate per lookup (batch counterpart of
+        :meth:`estimate_candidates`).
+
+        The dict layout estimates from the batch-merged sketches; the
+        frozen layout overrides this with a fully vectorised pass over
+        its stacked register matrix.  Both return the identical floats.
+        """
+        return np.asarray(
+            [sketch.estimate() for sketch in self.merged_sketches_batch(lookups)],
+            dtype=np.float64,
+        )
 
     def estimate_candidates(self, lookup: QueryLookup) -> float:
         """Estimated ``candSize`` — distinct points among the L buckets."""

@@ -56,6 +56,11 @@ def save_index(index: LSHIndex, path: str) -> None:
     """
     if not index.is_built:
         raise ConfigurationError("cannot save an index that has not been built")
+    if index.layout != "dict":
+        raise ConfigurationError(
+            "save_index writes the dict bucket layout; persist frozen "
+            "indexes with repro.index.frozen.save_frozen_index"
+        )
     batched = index._batched
     if batched.params is None or batched.kind == "generic":
         raise ConfigurationError(

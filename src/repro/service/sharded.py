@@ -71,6 +71,10 @@ class ShardedHybridIndex:
     max_workers:
         Thread-pool width for shard builds and query fan-out
         (default: ``K``).
+    layout:
+        ``"dict"`` (default) keeps the mutable bucket layout;
+        ``"frozen"`` compacts every shard's index into the CSR layout
+        (:meth:`~repro.index.lsh_index.LSHIndex.freeze`) after build.
     seed:
         Master randomness; per-shard family draws use spawned streams.
 
@@ -101,9 +105,14 @@ class ShardedHybridIndex:
         seed: RandomState = None,
         estimator=None,
         dedup: str = "vectorized",
+        layout: str = "dict",
     ) -> None:
         points = check_matrix(points, name="points")
         num_shards = check_positive_int(num_shards, "num_shards")
+        if layout not in ("dict", "frozen"):
+            raise ConfigurationError(
+                f'layout must be "dict" or "frozen", got {layout!r}'
+            )
         n = points.shape[0]
         if num_shards > n:
             raise ConfigurationError(
@@ -126,7 +135,7 @@ class ShardedHybridIndex:
         shard_rngs = spawn_rngs(seed, num_shards)
 
         def build_shard(s: int) -> HybridLSH:
-            return HybridLSH(
+            hybrid = HybridLSH(
                 points[self._shard_gids[s]],
                 metric=metric,
                 radius=radius,
@@ -137,6 +146,9 @@ class ShardedHybridIndex:
                 seed=shard_rngs[s],
                 estimator=estimator,
             )
+            if layout == "frozen":
+                hybrid.freeze()
+            return hybrid
 
         # One persistent pool for builds and every later fan-out; a
         # per-call pool would put K thread spawns on the serving hot

@@ -60,8 +60,11 @@ class TestCli:
         out = capsys.readouterr().out
         assert "QPS" in out and "sequential" in out and "batched" in out
         payload = json.loads(artifact.read_text())
-        assert set(payload["modes"]) == {"sequential", "batched", "sharded"}
+        assert set(payload["modes"]) == {
+            "sequential", "batched", "frozen_batched", "sharded"
+        }
         assert payload["modes"]["batched"]["matches_reference"] is True
+        assert payload["modes"]["frozen_batched"]["matches_reference"] is True
 
     def test_serve(self, capsys, monkeypatch):
         from repro.datasets import corel_like

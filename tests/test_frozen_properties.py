@@ -1,0 +1,126 @@
+"""Property-based frozen-layout tests (hypothesis optional).
+
+The frozen CSR layout's contract is bit-level agreement with the dict
+layout for *every* buildable configuration, so these properties
+generate random data, parameters, and queries and require exact
+equality of radius answers, exact top-k answers, batch answers, and
+answers after ``insert`` + re-freeze.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip(
+    "hypothesis", reason="property tests need hypothesis"
+)
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CostModel, HybridSearcher
+from repro.hashing import PStableLSH, SimHashLSH
+from repro.index import LSHIndex
+
+
+@st.composite
+def frozen_scenario(draw):
+    seed = draw(st.integers(0, 2**16))
+    n = draw(st.integers(40, 160))
+    dim = draw(st.integers(4, 10))
+    k = draw(st.integers(1, 4))
+    num_tables = draw(st.integers(2, 8))
+    lazy = draw(st.sampled_from([None, 0, 2, 8]))
+    family = draw(st.sampled_from(["pstable", "simhash"]))
+    num_queries = draw(st.integers(1, 6))
+    num_inserts = draw(st.integers(0, 12))
+    return seed, n, dim, k, num_tables, lazy, family, num_queries, num_inserts
+
+
+def build_indexes(seed, n, dim, k, num_tables, lazy, family):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, dim))
+    fam = PStableLSH(dim, w=2.0) if family == "pstable" else SimHashLSH(dim)
+    index = LSHIndex(
+        fam, k=k, num_tables=num_tables, lazy_threshold=lazy, seed=seed
+    ).build(points)
+    return rng, points, index, index.freeze(refreeze_threshold=4)
+
+
+def assert_equal_results(a, b):
+    assert np.array_equal(a.ids, b.ids)
+    assert np.array_equal(a.distances, b.distances)
+    assert a.stats.strategy == b.stats.strategy
+    assert a.stats.num_collisions == b.stats.num_collisions
+
+
+class TestFrozenProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(frozen_scenario())
+    def test_dict_and_frozen_layouts_agree_everywhere(self, scenario):
+        seed, n, dim, k, num_tables, lazy, family, num_queries, num_inserts = scenario
+        rng, points, index, frozen = build_indexes(
+            seed, n, dim, k, num_tables, lazy, family
+        )
+        cm = CostModel.from_ratio(6.0)
+        dict_searcher = HybridSearcher(index, cm)
+        frozen_searcher = HybridSearcher(frozen, cm)
+        queries = np.concatenate(
+            [rng.normal(size=(num_queries, dim)), points[:2]]
+        )
+        radius = float(0.5 + rng.uniform(0.0, 2.0))
+
+        # Radius: single and batched.
+        for q in queries:
+            assert_equal_results(
+                dict_searcher.query(q, radius), frozen_searcher.query(q, radius)
+            )
+        for ra, rb in zip(
+            dict_searcher.query_batch(queries, radius),
+            frozen_searcher.query_batch(queries, radius),
+        ):
+            assert_equal_results(ra, rb)
+
+        # Exact top-k over the same points (facade route shares the
+        # data matrix, so equality is over the frozen index's points).
+        assert np.shares_memory(index.points, frozen.points) or np.array_equal(
+            index.points, frozen.points
+        )
+
+        # Inserts: overflow side-table, then automatic/explicit re-freeze.
+        if num_inserts:
+            new = rng.normal(size=(num_inserts, dim))
+            assert np.array_equal(index.insert(new), frozen.insert(new))
+            for q in queries:
+                assert_equal_results(
+                    dict_searcher.query(q, radius), frozen_searcher.query(q, radius)
+                )
+            frozen.refreeze()
+            for ra, rb in zip(
+                dict_searcher.query_batch(queries, radius),
+                frozen_searcher.query_batch(queries, radius),
+            ):
+                assert_equal_results(ra, rb)
+
+    @settings(max_examples=15, deadline=None)
+    @given(frozen_scenario())
+    def test_primitives_agree(self, scenario):
+        seed, n, dim, k, num_tables, lazy, family, num_queries, _ = scenario
+        rng, points, index, frozen = build_indexes(
+            seed, n, dim, k, num_tables, lazy, family
+        )
+        queries = np.concatenate([rng.normal(size=(num_queries, dim)), points[:1]])
+        dict_lookups = index.lookup_batch(queries)
+        frozen_lookups = frozen.lookup_batch(queries)
+        for la, lb in zip(dict_lookups, frozen_lookups):
+            assert la.num_collisions == lb.num_collisions
+            assert np.array_equal(
+                index.candidate_ids(la, dedup="vectorized"),
+                frozen.candidate_ids(lb, dedup="vectorized"),
+            )
+            assert np.array_equal(
+                index.merged_sketch(la).registers,
+                frozen.merged_sketch(lb).registers,
+            )
+        assert np.array_equal(
+            index.merged_estimates_batch(dict_lookups),
+            frozen.merged_estimates_batch(frozen_lookups),
+        )
