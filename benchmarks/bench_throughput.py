@@ -10,14 +10,21 @@ results to the sequential single-query loop:
 * the ``frozen_batched`` engine — the same batch over the index
   compacted into the frozen CSR layout (``LSHIndex.freeze()``) — must
   reach >= 5x sequential QPS, so a regression in the contiguous-array
-  hot path fails loudly.
+  hot path fails loudly;
+* the ``workers`` mode — the same shards frozen, persisted, and served
+  by a process pool mmap'ing the saved arrays — must stay bit-identical
+  to the thread path *always*, and on hosts with more than one core
+  must beat the thread-pool ``sharded`` mode by >= 1.5x QPS (on 1-core
+  hosts the speedup bar is skipped: a process pool cannot outrun
+  threads without real cores, and the mode is still recorded).
 
 Emits ``BENCH_throughput.json`` at the repo root so later PRs (async
 serving, multi-backend, persistence) can track the perf trajectory.
 
 Environment knobs: ``REPRO_BENCH_THROUGHPUT_N`` (default 20,000),
 ``REPRO_BENCH_QUERIES`` (default 200 here), ``REPRO_BENCH_SHARDS``
-(default 4), ``REPRO_BENCH_REPEATS`` (default 3; best-of timing).
+(default 4), ``REPRO_BENCH_REPEATS`` (default 3; best-of timing),
+``REPRO_BENCH_WORKERS`` (pool width; default min(shards, cpus)).
 The bars are calibrated for the default scale — shrinking the
 workload shrinks the fixed per-query overheads batching amortises,
 so reduced runs may land below them.
@@ -44,10 +51,18 @@ NUM_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "200"))
 NUM_SHARDS = int(os.environ.get("REPRO_BENCH_SHARDS", "4"))
 NUM_TABLES = int(os.environ.get("REPRO_BENCH_TABLES", "50"))
 REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+NUM_WORKERS = (
+    int(os.environ["REPRO_BENCH_WORKERS"])
+    if "REPRO_BENCH_WORKERS" in os.environ
+    else None
+)
 ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
 
 MIN_SPEEDUP = 3.0
 MIN_FROZEN_SPEEDUP = 5.0
+#: workers-over-sharded bar; only enforced where the pool has >1 core.
+MIN_WORKERS_SPEEDUP = 1.5
+MULTI_CORE = (os.cpu_count() or 1) > 1
 
 
 def _run_throughput():
@@ -64,6 +79,8 @@ def _run_throughput():
         cost_model=CostModel.from_ratio(6.0),
         repeats=REPEATS,
         seed=0,
+        include_workers=True,
+        num_workers=NUM_WORKERS,
     )
     title = (
         f"Serving throughput: n = {THROUGHPUT_N}, {NUM_QUERIES} queries, "
@@ -105,6 +122,7 @@ if pytest is not None:
         assert by_mode["batched"].matches
         assert by_mode["frozen_batched"].matches  # CSR layout == dict layout
         assert by_mode["sharded"].matches  # batch path == its own per-query loop
+        assert by_mode["workers"].matches  # process pool == thread path
 
     def test_workload_is_mixed(throughput_rows):
         """Both strategies must actually run, else the comparison is vacuous."""
@@ -124,13 +142,28 @@ if pytest is not None:
         assert frozen.matches
         assert frozen.qps >= MIN_FROZEN_SPEEDUP * by_mode["sequential"].qps, by_mode
 
+    def test_workers_speedup_over_thread_sharding(throughput_rows):
+        """Acceptance: the process pool >= 1.5x the thread fan-out.
+
+        Only meaningful with real cores — the whole point of the pool is
+        side-stepping the GIL — so 1-core hosts record the mode (the
+        bit-identity gate above still ran) and skip the bar.
+        """
+        if not MULTI_CORE:
+            pytest.skip("single-core host: a process pool cannot beat threads")
+        by_mode = {row.mode: row for row in throughput_rows}
+        workers = by_mode["workers"]
+        assert workers.qps >= MIN_WORKERS_SPEEDUP * by_mode["sharded"].qps, by_mode
+
 
 if __name__ == "__main__":
     rows = _run_throughput()
     by_mode = {row.mode: row for row in rows}
     best = max(by_mode["batched"].qps, by_mode["sharded"].qps)
     frozen = by_mode["frozen_batched"]
+    workers = by_mode["workers"]
     assert by_mode["batched"].matches and frozen.matches and by_mode["sharded"].matches
+    assert workers.matches, "workers mode diverged from the thread path"
     assert best >= MIN_SPEEDUP * by_mode["sequential"].qps, by_mode
     assert frozen.qps >= MIN_FROZEN_SPEEDUP * by_mode["sequential"].qps, by_mode
     print(f"speedup {best / by_mode['sequential'].qps:.2f}x >= {MIN_SPEEDUP}x: OK")
@@ -138,3 +171,11 @@ if __name__ == "__main__":
         f"frozen_batched {frozen.qps / by_mode['sequential'].qps:.2f}x "
         f">= {MIN_FROZEN_SPEEDUP}x: OK"
     )
+    if MULTI_CORE:
+        assert workers.qps >= MIN_WORKERS_SPEEDUP * by_mode["sharded"].qps, by_mode
+        print(
+            f"workers {workers.qps / by_mode['sharded'].qps:.2f}x over sharded "
+            f">= {MIN_WORKERS_SPEEDUP}x: OK"
+        )
+    else:
+        print("workers bit-identical: OK (speedup bar skipped on 1-core host)")

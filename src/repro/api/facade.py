@@ -102,12 +102,17 @@ class _SingleBackend:
 
 
 class _ShardedBackend:
-    """Adapter presenting a :class:`ShardedHybridIndex` as a K-shard backend."""
+    """Adapter presenting a K-shard engine as a backend.
 
-    kind = "sharded"
+    Works for both partitioned engines — the thread fan-out
+    (:class:`ShardedHybridIndex`) and the process pool
+    (:class:`~repro.service.workers.WorkerPool`) — because they share
+    one query/insert surface.
+    """
 
-    def __init__(self, sharded: ShardedHybridIndex) -> None:
+    def __init__(self, sharded) -> None:
         self.engine = sharded
+        self.kind = getattr(sharded, "kind", "sharded")
 
     @property
     def num_partitions(self) -> int:
@@ -170,13 +175,15 @@ def _resolve_cost_model(spec: IndexSpec, points: np.ndarray) -> CostModel:
     return calibrate_cost_model(points, get_metric(spec.metric), seed=spec.seed).model
 
 
-def _resolve_family_and_k(spec: IndexSpec, dim: int):
-    """Resolve (family, k) for a single-index build.
+def _resolve_family_and_k(spec: IndexSpec, dim: int, seed=None):
+    """Resolve (family, k) for one index build.
 
     The default spec reproduces :func:`~repro.core.presets.paper_parameters`
     exactly (identical hash draws for a given seed); any override —
     named family, explicit ``k``, bucket width, extra factory kwargs —
-    switches to direct registry-driven construction.
+    switches to direct registry-driven construction.  ``seed`` is the
+    randomness for *this* index's family draw — the spec's own seed for
+    a single index, a spawned per-shard stream for sharded builds.
     """
     customised = (
         spec.hash_family is not None
@@ -191,7 +198,7 @@ def _resolve_family_and_k(spec: IndexSpec, dim: int):
             radius=spec.radius,
             num_tables=spec.num_tables,
             delta=spec.delta,
-            seed=spec.seed,
+            seed=seed,
         )
         return params.family, params.k
     kwargs = dict(spec.family_params or {})
@@ -202,9 +209,9 @@ def _resolve_family_and_k(spec: IndexSpec, dim: int):
     elif preset is not None and spec.hash_family is None:
         kwargs.setdefault("w", preset[1] * spec.radius)
     if spec.hash_family is not None:
-        family = get_family(spec.hash_family)(dim, seed=spec.seed, **kwargs)
+        family = get_family(spec.hash_family)(dim, seed=seed, **kwargs)
     else:
-        family = family_for_metric(spec.metric, dim, seed=spec.seed, **kwargs)
+        family = family_for_metric(spec.metric, dim, seed=seed, **kwargs)
     k = spec.k
     if k is None:
         if preset is not None and spec.hash_family is None:
@@ -214,6 +221,59 @@ def _resolve_family_and_k(spec: IndexSpec, dim: int):
                 spec.num_tables, spec.delta, family.collision_probability(spec.radius)
             )
     return family, k
+
+
+def _spec_is_shard_customised(spec: IndexSpec) -> bool:
+    """Whether a sharded build needs the spec-driven per-shard factory.
+
+    The paper-preset fields route through :class:`HybridLSH` directly
+    (identical draws to the legacy constructor); anything beyond them —
+    named family, explicit ``k``/width/params, lazy threshold, sketch
+    seed — builds each shard through :func:`_build_single_index`.
+    """
+    return bool(
+        spec.k is not None
+        or spec.hash_family is not None
+        or spec.bucket_width is not None
+        or spec.family_params
+        or spec.lazy_threshold is not None
+        or spec.hll_seed
+    )
+
+
+def _build_single_index(
+    spec: IndexSpec, points: np.ndarray, seed, freeze: bool
+) -> LSHIndex:
+    """Build one (possibly customised) index as the spec describes it."""
+    family, k = _resolve_family_and_k(spec, points.shape[1], seed=seed)
+    index = LSHIndex(
+        family,
+        k=k,
+        num_tables=spec.num_tables,
+        hll_precision=spec.hll_precision,
+        hll_seed=spec.hll_seed,
+        lazy_threshold=spec.lazy_threshold,
+    ).build(points)
+    if freeze:
+        index = index.freeze()
+    return index
+
+
+def _custom_shard_factory(spec: IndexSpec, cost_model: CostModel, estimator):
+    """``factory(shard_points, rng) -> HybridLSH`` for customised shards.
+
+    Mirrors the single-index build path per shard, with the shard's
+    spawned randomness driving the family draw; freezing (when the spec
+    asks for it) stays in :class:`ShardedHybridIndex`'s build step.
+    """
+
+    def factory(shard_points: np.ndarray, rng) -> HybridLSH:
+        index = _build_single_index(spec, shard_points, seed=rng, freeze=False)
+        return HybridLSH.from_index(
+            index, spec.radius, cost_model, delta=spec.delta, estimator=estimator
+        )
+
+    return factory
 
 
 class Index:
@@ -246,34 +306,44 @@ class Index:
         self._backend = backend
         self.spec = spec
         self.cache = cache
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(pool_workers=_fanout_width_of(backend))
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, points: np.ndarray, spec: IndexSpec) -> "Index":
-        """Build an index over ``points`` as described by ``spec``."""
+    def build(
+        cls,
+        points: np.ndarray,
+        spec: IndexSpec,
+        num_workers: int | None = None,
+    ) -> "Index":
+        """Build an index over ``points`` as described by ``spec``.
+
+        ``execution="processes"`` builds the sharded frozen index, saves
+        it to a transient artifact, and serves it through a
+        :class:`~repro.service.workers.WorkerPool` of ``num_workers``
+        processes (default ``min(num_shards, cpu count)``); the artifact
+        is removed when the returned index is closed.
+        """
         if not isinstance(spec, IndexSpec):
             spec = IndexSpec.from_dict(spec)
+        if num_workers is not None and spec.execution != "processes":
+            # Mirror Index.open: dropping the argument silently would let
+            # the caller believe they configured a process pool.
+            raise ConfigurationError(
+                'num_workers applies to execution="processes" specs only; '
+                f"this spec has execution={spec.execution!r}"
+            )
         points = check_matrix(points, name="points")
         cost_model = _resolve_cost_model(spec, points)
         estimator = _resolve_estimator(spec)
         if spec.num_shards > 1:
-            unsupported = {
-                "k": spec.k,
-                "hash_family": spec.hash_family,
-                "bucket_width": spec.bucket_width,
-                "family_params": spec.family_params or None,
-                "lazy_threshold": spec.lazy_threshold,
-                "hll_seed": spec.hll_seed or None,
-            }
-            customised = sorted(name for name, value in unsupported.items() if value is not None)
-            if customised:
-                raise ConfigurationError(
-                    f"spec fields {customised} are not supported with "
-                    f"num_shards > 1 (paper-preset shards only)"
-                )
+            factory = (
+                _custom_shard_factory(spec, cost_model, estimator)
+                if _spec_is_shard_customised(spec)
+                else None
+            )
             sharded = ShardedHybridIndex(
                 points,
                 metric=spec.metric,
@@ -287,25 +357,21 @@ class Index:
                 estimator=estimator,
                 dedup=spec.dedup,
                 layout=spec.layout,
+                index_factory=factory,
             )
             backend = _ShardedBackend(sharded)
         else:
-            family, k = _resolve_family_and_k(spec, points.shape[1])
-            index = LSHIndex(
-                family,
-                k=k,
-                num_tables=spec.num_tables,
-                hll_precision=spec.hll_precision,
-                hll_seed=spec.hll_seed,
-                lazy_threshold=spec.lazy_threshold,
-            ).build(points)
-            if spec.layout == "frozen":
-                index = index.freeze()
+            index = _build_single_index(
+                spec, points, seed=spec.seed, freeze=spec.layout == "frozen"
+            )
             searcher = HybridSearcher(index, cost_model, estimator=estimator)
             backend = _SingleBackend(
                 BatchQueryEngine(searcher, radius=spec.radius, dedup=spec.dedup)
             )
-        return cls(backend, spec=spec, cache=_cache_from_spec(spec))
+        built = cls(backend, spec=spec, cache=_cache_from_spec(spec))
+        if spec.execution == "processes":
+            return _as_process_pool(built, num_workers=num_workers)
+        return built
 
     @classmethod
     def from_engine(
@@ -322,7 +388,9 @@ class Index:
         :class:`~repro.core.hybrid.HybridSearcher` — this is the
         rebase hook for the legacy front doors.
         """
-        if isinstance(engine, ShardedHybridIndex):
+        from repro.service.workers import WorkerPool
+
+        if isinstance(engine, (ShardedHybridIndex, WorkerPool)):
             backend = _ShardedBackend(engine)
         elif isinstance(engine, BatchQueryEngine):
             backend = _SingleBackend(engine)
@@ -339,11 +407,17 @@ class Index:
         return cls(backend, spec=spec, cache=cache)
 
     @classmethod
-    def open(cls, path: str) -> "Index":
-        """Reopen an index saved by :meth:`save` (bit-identical answers)."""
+    def open(cls, path: str, num_workers: int | None = None) -> "Index":
+        """Reopen an index saved by :meth:`save` (bit-identical answers).
+
+        A spec with ``execution="processes"`` comes back behind a
+        :class:`~repro.service.workers.WorkerPool` whose workers mmap
+        the saved shards — no rebuild, no rehash; ``num_workers``
+        overrides the pool width (default ``min(num_shards, cpus)``).
+        """
         from repro.api.persist import open_index
 
-        return open_index(path)
+        return open_index(path, num_workers=num_workers)
 
     def save(self, path: str) -> None:
         """Persist the full index state (spec, shards, id maps, cost model)."""
@@ -378,13 +452,19 @@ class Index:
     def cost_model(self) -> CostModel:
         """The cost model driving the per-query dispatch."""
         engine = self._backend.engine
-        if isinstance(engine, ShardedHybridIndex):
-            return engine.cost_model
-        return engine.searcher.cost_model
+        searcher = getattr(engine, "searcher", None)
+        if searcher is not None:
+            return searcher.cost_model
+        return engine.cost_model  # sharded fan-out / worker pool
+
+    @property
+    def execution(self) -> str:
+        """How shard work fans out: ``"threads"`` or ``"processes"``."""
+        return "processes" if self._backend.kind == "processes" else "threads"
 
     def reset_stats(self) -> None:
         """Zero the counters (cache contents are kept)."""
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(pool_workers=self.stats.pool_workers)
 
     def close(self) -> None:
         """Release backend resources (sharded thread pool); idempotent."""
@@ -544,3 +624,40 @@ def _cache_from_spec(spec: IndexSpec) -> QueryResultCache | None:
     if spec.cache_size <= 0:
         return None
     return QueryResultCache(maxsize=spec.cache_size, quantum=spec.cache_quantum)
+
+
+def _fanout_width_of(backend) -> int:
+    """The chosen shard fan-out width (0 for an unpartitioned engine)."""
+    engine = getattr(backend, "engine", None)
+    width = getattr(engine, "num_workers", None)  # process pool
+    if width is None:
+        width = getattr(engine, "max_workers", None)  # thread fan-out
+    return int(width) if width else 0
+
+
+def _as_process_pool(index: Index, num_workers: int | None = None) -> Index:
+    """Re-serve a freshly built sharded frozen index through a WorkerPool.
+
+    Saves the index to a transient artifact (the workers' mmap source),
+    releases the thread-backed engine, and opens the pool over it; the
+    artifact is deleted when the returned index is closed.
+    """
+    import tempfile
+
+    from repro.api.persist import save_index
+    from repro.service.workers import WorkerPool
+
+    path = tempfile.mkdtemp(prefix="repro-worker-pool-")
+    try:
+        save_index(index, path)
+    except BaseException:
+        import shutil
+
+        shutil.rmtree(path, ignore_errors=True)
+        raise
+    finally:
+        index.close()
+    pool = WorkerPool(path, num_workers=num_workers, owns_path=True)
+    return Index(
+        _ShardedBackend(pool), spec=index.spec, cache=_cache_from_spec(index.spec)
+    )

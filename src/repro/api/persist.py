@@ -72,6 +72,19 @@ def _load_shard_any(path: str, shard: int, layout: str):
     return _load_shard(os.path.join(path, _shard_file(shard)))
 
 
+def write_shard_gids(path: str, shard_gids: list[np.ndarray]) -> None:
+    """Write the per-shard global-id maps archive (single layout owner).
+
+    Every writer of a sharded artifact — :func:`save_index` for both
+    engine kinds and :meth:`~repro.service.workers.WorkerPool.checkpoint`
+    — goes through here so the archive's keying scheme has one home.
+    """
+    np.savez_compressed(
+        os.path.join(path, _GIDS_FILE),
+        **{f"gids_{s:03d}": gids for s, gids in enumerate(shard_gids)},
+    )
+
+
 def save_index(index, path: str) -> None:
     """Persist ``index`` (an :class:`repro.api.Index`) under directory ``path``."""
     from repro.api.facade import Index
@@ -95,7 +108,19 @@ def save_index(index, path: str) -> None:
         "dim": index.dim,
     }
     os.makedirs(path, exist_ok=True)
-    if isinstance(engine, ShardedHybridIndex):
+    from repro.service.workers import WorkerPool
+
+    if isinstance(engine, WorkerPool):
+        # The parent holds no shard state: each owning worker writes its
+        # shards (compacting any overflow first), the parent writes the
+        # id maps and metadata around them.
+        meta["num_shards"] = engine.num_shards
+        meta["next_shard"] = int(engine._next_shard)
+        meta["layout"] = "frozen"
+        engine.save_shards(path)
+        if engine.num_shards > 1:
+            write_shard_gids(path, engine._shard_gids)
+    elif isinstance(engine, ShardedHybridIndex):
         meta["num_shards"] = engine.num_shards
         meta["next_shard"] = int(engine._next_shard)
         layouts = {shard.index.layout for shard in engine.shards}
@@ -109,10 +134,7 @@ def save_index(index, path: str) -> None:
         meta["layout"] = layouts.pop()
         for s, shard in enumerate(engine.shards):
             _save_shard_any(shard.index, path, s)
-        np.savez_compressed(
-            os.path.join(path, _GIDS_FILE),
-            **{f"gids_{s:03d}": gids for s, gids in enumerate(engine._shard_gids)},
-        )
+        write_shard_gids(path, engine._shard_gids)
     else:
         meta["num_shards"] = 1
         meta["next_shard"] = 0
@@ -122,16 +144,24 @@ def save_index(index, path: str) -> None:
         fh.write("\n")
 
 
-def open_index(path: str):
+def open_index(path: str, num_workers: int | None = None):
     """Reopen an index saved by :func:`save_index`.
 
     Returns an :class:`repro.api.Index` whose radius, top-k and batch
     answers are bit-identical to the saved instance's: the per-shard
     hash kernels, buckets and sketches are reconstructed exactly, and
     the cost model is restored from its saved constants (calibration is
-    never re-run).
+    never re-run).  A spec carrying ``execution="processes"`` is served
+    through a :class:`~repro.service.workers.WorkerPool` — ``K`` worker
+    processes mmap the saved frozen shards, no arrays are loaded in the
+    parent; ``num_workers`` overrides the pool width.
     """
-    from repro.api.facade import Index, _cache_from_spec, _resolve_estimator
+    from repro.api.facade import (
+        Index,
+        _cache_from_spec,
+        _resolve_estimator,
+        _ShardedBackend,
+    )
 
     meta_path = os.path.join(path, _META_FILE)
     if not os.path.exists(meta_path):
@@ -143,6 +173,16 @@ def open_index(path: str):
             f"unsupported index format version: {meta.get('format_version')!r}"
         )
     spec = IndexSpec.from_dict(meta["spec"])
+    if spec.execution == "processes":
+        from repro.service.workers import WorkerPool
+
+        pool = WorkerPool(path, num_workers=num_workers)
+        return Index(_ShardedBackend(pool), spec=spec, cache=_cache_from_spec(spec))
+    if num_workers is not None:
+        raise ConfigurationError(
+            "num_workers applies to execution=\"processes\" indexes only; "
+            f"this artifact was saved with execution={spec.execution!r}"
+        )
     cost_model = CostModel(
         alpha=float(meta["cost_model"]["alpha"]), beta=float(meta["cost_model"]["beta"])
     )

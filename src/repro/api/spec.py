@@ -34,6 +34,9 @@ JSON schema (all keys optional unless noted)::
       "cache_quantum": 1e-9,           # cache key quantisation step
       "dedup":         "vectorized",   # serving-side Step-S2 dedup
       "layout":        "dict",         # bucket storage: "dict" | "frozen" (CSR arrays)
+      "execution":     "threads",      # shard fan-out: "threads" | "processes"
+                                       # ("processes" = mmap'd worker pool;
+                                       #  requires layout "frozen")
       "seed":          null            # master randomness (int for reproducibility)
     }
 """
@@ -93,6 +96,7 @@ class IndexSpec:
     cache_quantum: float = 1e-9
     dedup: str = "vectorized"
     layout: str = "dict"
+    execution: str = "threads"
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -142,6 +146,16 @@ class IndexSpec:
         if self.layout not in ("dict", "frozen"):
             raise ConfigurationError(
                 f'layout must be "dict" or "frozen", got {self.layout!r}'
+            )
+        if self.execution not in ("threads", "processes"):
+            raise ConfigurationError(
+                f'execution must be "threads" or "processes", '
+                f"got {self.execution!r}"
+            )
+        if self.execution == "processes" and self.layout != "frozen":
+            raise ConfigurationError(
+                'execution="processes" requires layout="frozen" — the worker '
+                "pool serves mmap'd frozen shard artifacts (zero-copy)"
             )
         if self.seed is not None:
             if isinstance(self.seed, bool) or not isinstance(self.seed, int):

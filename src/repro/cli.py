@@ -7,9 +7,10 @@ Usage::
     python -m repro.cli figure3  [--n 12000]
     python -m repro.cli profile  --dataset corel [--n 5000]
     python -m repro.cli throughput [--n 20000] [--shards 4] [--json out.json]
+    python -m repro.cli throughput --execution processes [--workers 4]
     python -m repro.cli build    --dataset corel --out idx/ [--spec spec.json]
     python -m repro.cli serve    --dataset corel [--shards 2] [--cache-size 512]
-    python -m repro.cli serve    --index idx/
+    python -m repro.cli serve    --index idx/ [--workers 4] [--inflight 4]
 
 Every experiment command prints the same text tables the benchmark
 harness emits, so results can be generated in CI logs or piped to
@@ -111,6 +112,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exit non-zero unless frozen_batched is bit-identical and "
              "reaches X times the sequential QPS (CI regression gate)",
     )
+    p_tp.add_argument(
+        "--execution", choices=("threads", "processes"), default="threads",
+        help="'processes' also measures the mmap'd worker-pool mode "
+             "('workers' row) against the thread-pool sharded fan-out",
+    )
+    p_tp.add_argument(
+        "--workers", type=int, default=None, metavar="W",
+        help="worker-pool width for --execution processes "
+             "(default: min(shards, cpu count))",
+    )
+    p_tp.add_argument(
+        "--assert-workers-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless the workers mode is bit-identical to the "
+             "thread path; on multi-core hosts additionally require X times "
+             "the sharded (thread-pool) QPS — skipped on 1-core hosts",
+    )
 
     p_build = sub.add_parser(
         "build", help="build a spec-driven index over a dataset and save it"
@@ -135,6 +152,16 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="serve a saved index instead of building one")
     p_serve.add_argument("--batch-size", type=int, default=64,
                          help="micro-batch size for consecutive queries")
+    p_serve.add_argument(
+        "--workers", type=int, default=None, metavar="W",
+        help="worker-pool width for execution='processes' indexes "
+             "(default: min(shards, cpu count))",
+    )
+    p_serve.add_argument(
+        "--inflight", type=int, default=1, metavar="B",
+        help="in-flight batch window; > 1 enables the concurrent request "
+             "loop (reader thread, responses kept in request order)",
+    )
     _add_spec_options(p_serve)
     _add_common(p_serve)
 
@@ -159,6 +186,11 @@ def _add_spec_options(parser: argparse.ArgumentParser) -> None:
         "--layout", choices=("dict", "frozen"), default="dict",
         help="bucket storage layout; 'frozen' compacts into CSR arrays "
              "(vectorised serving, mmap-backed persistence)",
+    )
+    parser.add_argument(
+        "--execution", choices=("threads", "processes"), default="threads",
+        help="shard fan-out: 'processes' serves mmap'd frozen shards from "
+             "a pool of worker processes (requires --layout frozen)",
     )
 
 
@@ -237,6 +269,10 @@ def _cost_model_from_ratio(ratio: float):
 
 
 def _cmd_throughput(args: argparse.Namespace) -> None:
+    if args.workers is not None and args.execution != "processes":
+        # Same policy as Index.build/open: dropping the flag silently
+        # would let the user believe the pool was measured.
+        sys.exit("error: --workers requires --execution processes")
     points, queries, radius = mixed_workload(
         args.n, dim=args.dim, num_queries=args.queries, seed=args.seed
     )
@@ -250,14 +286,16 @@ def _cmd_throughput(args: argparse.Namespace) -> None:
         cost_model=_cost_model_from_ratio(args.ratio),
         repeats=args.repeats,
         seed=args.seed,
+        include_workers=args.execution == "processes",
+        num_workers=args.workers,
     )
     title = (
         f"Serving throughput: n = {args.n}, d = {args.dim}, "
         f"{args.queries} queries, K = {args.shards}, r = {radius:.3g}"
     )
     print(format_throughput(rows, title=title))
+    by_mode = {row.mode: row for row in rows}
     if args.assert_frozen_speedup is not None:
-        by_mode = {row.mode: row for row in rows}
         frozen, seq = by_mode["frozen_batched"], by_mode["sequential"]
         if not frozen.matches:
             sys.exit("error: frozen_batched answers diverged from sequential")
@@ -270,6 +308,34 @@ def _cmd_throughput(args: argparse.Namespace) -> None:
             f"frozen_batched {frozen.qps / seq.qps:.2f}x >= "
             f"{args.assert_frozen_speedup}x: OK"
         )
+    if args.assert_workers_speedup is not None:
+        import os as _os
+
+        if "workers" not in by_mode:
+            sys.exit(
+                "error: --assert-workers-speedup requires --execution processes"
+            )
+        workers, sharded = by_mode["workers"], by_mode["sharded"]
+        if not workers.matches:
+            sys.exit("error: workers answers diverged from the thread path")
+        cores = _os.cpu_count() or 1
+        if cores <= 1:
+            # A process pool cannot beat threads without real cores; the
+            # bit-identity gate above still ran.
+            print(
+                f"workers bit-identical: OK (speedup bar skipped on "
+                f"{cores}-core host)"
+            )
+        elif workers.qps < args.assert_workers_speedup * sharded.qps:
+            sys.exit(
+                f"error: workers speedup {workers.qps / sharded.qps:.2f}x "
+                f"over sharded < {args.assert_workers_speedup}x bar"
+            )
+        else:
+            print(
+                f"workers {workers.qps / sharded.qps:.2f}x over sharded >= "
+                f"{args.assert_workers_speedup}x: OK"
+            )
     if args.json:
         write_throughput_json(
             rows,
@@ -302,6 +368,7 @@ def _index_spec_from_args(args: argparse.Namespace, metric: str, radius: float):
         "cache_size": args.cache_size,
         "cost_ratio": args.ratio if args.ratio and args.ratio > 0 else None,
         "layout": args.layout,
+        "execution": args.execution,
         "seed": args.seed,
     }
     if args.spec:
@@ -321,7 +388,8 @@ def _build_index(args: argparse.Namespace):
         else args.radius
     )
     spec = _index_spec_from_args(args, dataset.metric, radius)
-    return dataset, Index.build(dataset.points, spec)
+    num_workers = getattr(args, "workers", None)
+    return dataset, Index.build(dataset.points, spec, num_workers=num_workers)
 
 
 def _cmd_build(args: argparse.Namespace) -> None:
@@ -332,18 +400,24 @@ def _cmd_build(args: argparse.Namespace) -> None:
         f"shards = {index.num_shards} -> saved to {args.out}"
     )
     print(json.dumps(index.spec.to_dict(), indent=2))
+    # Releases worker processes and any transient pool artifact when the
+    # spec asked for execution="processes".
+    index.close()
 
 
 def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
     from repro.api import Index
-    from repro.service import serve_stream
+    from repro.service import serve_stream, serve_stream_concurrent
 
     stdin = sys.stdin if stdin is None else stdin
     stdout = sys.stdout if stdout is None else stdout
+    if args.inflight < 1:
+        sys.exit("error: --inflight must be >= 1")
     if args.index:
         # A saved index carries its own spec; accepting build flags here
         # and ignoring them would silently serve a different policy than
-        # the operator asked for.
+        # the operator asked for.  (--workers and --inflight are runtime
+        # knobs, not spec fields, so they stay allowed.)
         conflicting = [
             flag
             for flag, given in (
@@ -353,6 +427,7 @@ def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
                 ("--cache-size", args.cache_size != 0),
                 ("--ratio", args.ratio != 6.0),
                 ("--layout", args.layout != "dict"),
+                ("--execution", args.execution != "threads"),
             )
             if given
         ]
@@ -362,22 +437,34 @@ def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
                 f"remove {', '.join(conflicting)} (or rebuild with "
                 f"`repro.cli build`)"
             )
-        index = Index.open(args.index)
+        index = Index.open(args.index, num_workers=args.workers)
         source = args.index
     else:
         dataset, index = _build_index(args)
         source = dataset.name
     spec = index.spec
+    workers = (
+        f", workers = {index.stats.pool_workers}"
+        if index.execution == "processes"
+        else ""
+    )
     print(
         f"serving {source}: n = {index.n}, d = {index.dim}, "
-        f"metric = {spec.metric}, r = {spec.radius:g}, shards = {index.num_shards} "
+        f"metric = {spec.metric}, r = {spec.radius:g}, "
+        f"shards = {index.num_shards}, execution = {index.execution}{workers} "
         "(one JSON request per line; Ctrl-D to stop)",
         file=sys.stderr,
     )
-    lines, more_ready = _line_stream_with_probe(stdin)
-    for response in serve_stream(
-        index, lines, batch_size=args.batch_size, more_ready=more_ready
-    ):
+    if args.inflight > 1:
+        responses = serve_stream_concurrent(
+            index, stdin, batch_size=args.batch_size, window=args.inflight
+        )
+    else:
+        lines, more_ready = _line_stream_with_probe(stdin)
+        responses = serve_stream(
+            index, lines, batch_size=args.batch_size, more_ready=more_ready
+        )
+    for response in responses:
         print(response, file=stdout, flush=True)
 
 

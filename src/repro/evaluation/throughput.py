@@ -13,7 +13,11 @@ answering the same query set against the same data:
   searchsorted lookups, stacked-register sketch merging, slice-scatter
   dedup — no per-bucket Python objects on the hot path;
 * ``sharded`` — one :class:`~repro.service.sharded.ShardedHybridIndex`
-  batch across ``K`` shards.
+  batch across ``K`` shards (thread-pool fan-out);
+* ``workers`` (optional) — the same ``K`` shards frozen, persisted,
+  and served by a :class:`~repro.service.workers.WorkerPool` of worker
+  *processes* that mmap the saved shard arrays — the only mode that can
+  use more than one core for the GIL-bound per-shard dedup/merge work.
 
 The batched and sharded rows are served through the
 :class:`repro.api.Index` facade — the surface a deployment actually
@@ -30,6 +34,7 @@ measures serving, not construction.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass
@@ -144,6 +149,8 @@ def throughput_experiment(
     cost_model: CostModel | None = None,
     repeats: int = 1,
     seed: RandomState = 0,
+    include_workers: bool = False,
+    num_workers: int | None = None,
 ) -> list[ThroughputRow]:
     """Measure sequential / batched / sharded QPS on one workload.
 
@@ -151,6 +158,14 @@ def throughput_experiment(
     isolates the serving path), the sharded row builds its own ``K``
     shard indexes.  ``cost_model=None`` calibrates on ``points`` once
     and shares the result, keeping the three dispatch policies aligned.
+
+    ``include_workers=True`` adds the ``workers`` row: the same shard
+    configuration built with the frozen layout and the *same* seed and
+    cost model (so its per-shard hash draws equal the ``sharded`` row's
+    bit for bit), persisted to a transient artifact, and served by a
+    process pool of ``num_workers`` workers mmap'ing the saved arrays.
+    Its ``matches`` flag asserts bit-identity against the thread path's
+    per-query reference.
     """
     if cost_model is None:
         from repro.core.calibration import calibrate_cost_model
@@ -204,6 +219,21 @@ def throughput_experiment(
     )
     sh_reference = [sharded.query(q, radius) for q in queries]
 
+    wk_seconds = wk_results = None
+    if include_workers:
+        wk_seconds, wk_results = _measure_workers(
+            points,
+            queries,
+            metric=metric,
+            radius=radius,
+            num_tables=num_tables,
+            num_shards=num_shards,
+            cost_model=cost_model,
+            seed=seed,
+            repeats=repeats,
+            num_workers=num_workers,
+        )
+
     def row(mode: str, seconds: float, matches: bool, linear_fraction: float) -> ThroughputRow:
         return ThroughputRow(
             mode=mode,
@@ -215,7 +245,7 @@ def throughput_experiment(
             linear_fraction=linear_fraction,
         )
 
-    return [
+    rows = [
         row("sequential", seq_seconds, True, _linear_fraction(seq_results)),
         row(
             "batched",
@@ -236,6 +266,79 @@ def throughput_experiment(
             float("nan"),
         ),
     ]
+    if include_workers:
+        rows.append(
+            row(
+                "workers",
+                wk_seconds,
+                # Same seed + cost model as the sharded row -> identical
+                # per-shard draws; the process pool must reproduce the
+                # thread path's answers bit for bit.
+                _results_equal(sh_reference, wk_results),
+                float("nan"),
+            )
+        )
+    return rows
+
+
+def _measure_workers(
+    points: np.ndarray,
+    queries: np.ndarray,
+    metric: str,
+    radius: float,
+    num_tables: int,
+    num_shards: int,
+    cost_model: CostModel,
+    seed: RandomState,
+    repeats: int,
+    num_workers: int | None,
+) -> tuple[float, list[QueryResult]]:
+    """Build, persist and time the process-pool serving mode.
+
+    The frozen sharded index shares the thread row's seed and cost
+    model, is saved to a transient artifact, and reopened behind the
+    worker pool (``execution="processes"``); build, save and pool
+    startup are excluded from the timing, like every other mode.
+    """
+    import shutil
+    import tempfile
+
+    from repro.api import Index, IndexSpec
+
+    frozen_sharded = ShardedHybridIndex(
+        points,
+        metric=metric,
+        radius=radius,
+        num_shards=num_shards,
+        num_tables=num_tables,
+        cost_model=cost_model,
+        seed=seed,
+        layout="frozen",
+    )
+    spec = IndexSpec(
+        metric=metric,
+        radius=radius,
+        num_tables=num_tables,
+        num_shards=num_shards,
+        layout="frozen",
+        execution="processes",
+        seed=seed if isinstance(seed, int) else None,
+    )
+    front = Index.from_engine(frozen_sharded, spec=spec)
+    path = tempfile.mkdtemp(prefix="repro-bench-workers-")
+    try:
+        front.save(path)
+        front.close()
+        workers_front = Index.open(path, num_workers=num_workers)
+        try:
+            workers_front.query_batch(queries[:2], radius)  # warm the pipes
+            return _time_best(
+                lambda: workers_front.query_batch(queries, radius), repeats
+            )
+        finally:
+            workers_front.close()
+    finally:
+        shutil.rmtree(path, ignore_errors=True)
 
 
 def format_throughput(rows: list[ThroughputRow], title: str = "") -> str:
@@ -265,6 +368,9 @@ def write_throughput_json(
         "experiment": "throughput",
         "python": platform.python_version(),
         "numpy": np.__version__,
+        # Recorded so the workers-vs-threads comparison can be judged in
+        # context: on a 1-core host the process pool cannot win.
+        "cpu_count": os.cpu_count(),
         **(meta or {}),
         "modes": {
             row.mode: {

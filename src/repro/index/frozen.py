@@ -34,6 +34,18 @@ arrays, and the index re-freezes itself once the overflow outgrows
 and an overflow part changes no answer for the same associativity
 reason.
 
+Re-freezing is **double-buffered**: the insert that crosses the
+threshold does not pay the compaction — it moves the overflow tables
+aside as a *compacting* generation, opens a fresh overflow generation
+for subsequent inserts, and hands the merge of ``frozen ⊕ compacting``
+to a background thread.  Queries issued while the compaction runs take
+a consistent snapshot (old frozen arrays plus both overflow
+generations) under a lock, so their answers are bit-identical
+throughout; when the merge finishes, the new :class:`FrozenTables` is
+swapped in atomically and the compacting generation is dropped.
+:meth:`FrozenLSHIndex.refreeze` remains synchronous — it waits for any
+in-flight background compaction and folds whatever overflow is left.
+
 The frozen arrays persist as a directory of plain ``.npy`` files
 (:func:`save_frozen_index` / :func:`load_frozen_index`), so reopening a
 saved index is ``np.load(..., mmap_mode="r")`` per array — zero-copy,
@@ -45,6 +57,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import threading
 
 import numpy as np
 
@@ -428,6 +441,7 @@ class FrozenQueryLookup:
         mutable :class:`~repro.index.bucket.Bucket` instances.
         """
         views: list = []
+        num_tables = len(self.bucket_ids)
         for t, b in enumerate(self.bucket_ids):
             if b >= 0:
                 start = int(self._frozen.offsets[b])
@@ -438,9 +452,11 @@ class FrozenQueryLookup:
                     )
                 )
             if self.overflow is not None:
-                bucket = self.overflow[t]
-                if bucket is not None and len(bucket):
-                    views.append(bucket)
+                # Generation-major flat list (G * num_tables slots):
+                # table t owns slot g * num_tables + t of each generation.
+                for bucket in self.overflow[t::num_tables]:
+                    if bucket is not None and len(bucket):
+                        views.append(bucket)
         return views
 
 
@@ -562,7 +578,20 @@ class FrozenLSHIndex(LSHIndex):
             if refreeze_threshold is None
             else int(refreeze_threshold)
         )
-        self.tables = [
+        #: When True (default) the insert crossing ``refreeze_threshold``
+        #: hands compaction to a background thread instead of running it
+        #: inline; answers are bit-identical either way.
+        self.background_refreeze = getattr(self, "background_refreeze", True)
+        self.tables = self._fresh_tables()
+        self._overflow_count = 0
+        self._compacting_tables: list[HashTable] | None = None
+        self._compacting_count = 0
+        self._refreeze_lock = threading.Lock()
+        self._refreeze_thread: threading.Thread | None = None
+        self._refreeze_error: BaseException | None = None
+
+    def _fresh_tables(self) -> list[HashTable]:
+        return [
             HashTable(
                 hll_precision=self.hll_precision,
                 hll_seed=self.hll_seed,
@@ -571,7 +600,6 @@ class FrozenLSHIndex(LSHIndex):
             )
             for _ in range(self.num_tables)
         ]
-        self._overflow_count = 0
 
     @property
     def _effective_lazy_threshold(self) -> int:
@@ -583,8 +611,12 @@ class FrozenLSHIndex(LSHIndex):
 
     @property
     def overflow_count(self) -> int:
-        """Points inserted since the last (re-)freeze."""
-        return self._overflow_count
+        """Points inserted since the last completed (re-)freeze.
+
+        Includes the generation an in-flight background compaction is
+        currently folding in; drops to zero once the swap lands.
+        """
+        return self._overflow_count + self._compacting_count
 
     def build(self, points: np.ndarray) -> "LSHIndex":
         raise ConfigurationError(
@@ -596,30 +628,136 @@ class FrozenLSHIndex(LSHIndex):
     # Mutation: overflow inserts + re-freeze
     # ------------------------------------------------------------------
     def insert(self, new_points: np.ndarray) -> np.ndarray:
-        """Insert points into the overflow side-table; re-freeze past the threshold."""
+        """Insert points into the overflow side-table; re-freeze past the threshold.
+
+        With :attr:`background_refreeze` (the default) the triggering
+        insert only *starts* the compaction and returns immediately;
+        queries keep probing both overflow generations until the
+        background swap lands, so nothing is ever missed.
+        """
         new_ids = super().insert(new_points)
-        self._overflow_count += int(new_ids.size)
-        if self._overflow_count > self.refreeze_threshold:
-            self.refreeze()
+        with self._refreeze_lock:
+            self._overflow_count += int(new_ids.size)
+            trigger = self._overflow_count > self.refreeze_threshold
+        if trigger:
+            if self.background_refreeze:
+                self._start_background_refreeze()
+            else:
+                self.refreeze()
         return new_ids
 
-    def refreeze(self) -> "FrozenLSHIndex":
-        """Fold the overflow side-table back into the CSR arrays (in place)."""
-        if self._overflow_count == 0 and not any(t.buckets for t in self.tables):
-            return self
+    def _start_background_refreeze(self) -> None:
+        """Rotate the overflow generation and compact it off-thread."""
+        with self._refreeze_lock:
+            if self._refreeze_thread is not None:
+                # One compaction at a time; the overflow keeps growing in
+                # the current generation and the next insert re-triggers.
+                return
+            if self._compacting_tables is None:
+                self._compacting_tables = self.tables
+                self._compacting_count = self._overflow_count
+                self.tables = self._fresh_tables()
+                self._overflow_count = 0
+            # else: a previous background fold failed — retry the stuck
+            # generation (queries kept probing it, nothing was lost).
+            snapshot = self.frozen
+            compacting = self._compacting_tables
+            thread = threading.Thread(
+                target=self._background_refreeze_run,
+                args=(snapshot, compacting),
+                name="repro-refreeze",
+                daemon=True,
+            )
+            self._refreeze_thread = thread
+            # Start while holding the lock so a concurrent
+            # wait_for_refreeze() can never join() an unstarted thread;
+            # the new thread only needs the lock when its fold is done.
+            thread.start()
+
+    def _background_refreeze_run(
+        self, snapshot: FrozenTables, compacting: list[HashTable]
+    ) -> None:
+        try:
+            merged = self._fold_generation(snapshot, compacting)
+        except BaseException as exc:  # leave both generations queryable
+            with self._refreeze_lock:
+                self._refreeze_error = exc
+                self._refreeze_thread = None
+            return
+        with self._refreeze_lock:
+            self._refreeze_thread = None
+            if self._compacting_tables is not compacting:
+                # A synchronous refreeze() superseded this run while the
+                # fold was in flight; its arrays already contain every
+                # generation — swapping in ours would drop newer points.
+                return
+            self.frozen = merged
+            self._compacting_tables = None
+            self._compacting_count = 0
+            self._refreeze_error = None
+
+    def _fold_generation(
+        self, frozen: FrozenTables, overflow: list[HashTable]
+    ) -> FrozenTables:
+        """Merge one overflow generation into ``frozen`` (pure function)."""
         key_width = 8 * self.k
         per_table = [
-            self.frozen.merged_table_arrays(t, self.tables[t], key_width)
+            frozen.merged_table_arrays(t, overflow[t], key_width)
             for t in range(self.num_tables)
         ]
-        self.frozen = FrozenTables.assemble(
+        return FrozenTables.assemble(
             per_table,
             key_width,
             self._hll_hashes,
             self._effective_lazy_threshold,
             self.hll_precision,
         )
-        self._init_overflow(self.refreeze_threshold)
+
+    @property
+    def last_refreeze_error(self) -> BaseException | None:
+        """The most recent background compaction failure, if any.
+
+        A failed fold never loses data — queries keep probing the stuck
+        overflow generation — and the next threshold crossing (or an
+        explicit :meth:`refreeze`) retries it; this surfaces the cause.
+        """
+        return self._refreeze_error
+
+    def wait_for_refreeze(self) -> "FrozenLSHIndex":
+        """Block until any in-flight background compaction has landed."""
+        with self._refreeze_lock:
+            # Assignment and start() both happen under this lock, so a
+            # thread observed here can never be assigned-but-unstarted
+            # (joining one raises RuntimeError).
+            thread = self._refreeze_thread
+        if thread is not None:
+            thread.join()
+        return self
+
+    def refreeze(self) -> "FrozenLSHIndex":
+        """Fold all overflow back into the CSR arrays, synchronously.
+
+        Waits for an in-flight background compaction first, then folds
+        whatever generations remain — oldest first, so duplicate keys
+        keep their members in insertion order (bit-identical to the
+        dict layout's append path).
+        """
+        self.wait_for_refreeze()
+        with self._refreeze_lock:
+            self._refreeze_error = None
+            generations = [
+                gen
+                for gen in (self._compacting_tables, self.tables)
+                if gen is not None and any(t.buckets for t in gen)
+            ]
+            frozen = self.frozen
+            for gen in generations:
+                frozen = self._fold_generation(frozen, gen)
+            self.frozen = frozen
+            self.tables = self._fresh_tables()
+            self._overflow_count = 0
+            self._compacting_tables = None
+            self._compacting_count = 0
         return self
 
     def freeze(self, refreeze_threshold: int | None = None) -> "FrozenLSHIndex":
@@ -639,24 +777,50 @@ class FrozenLSHIndex(LSHIndex):
         raw = flat.view(np.uint8).reshape(q, self.num_tables, width)
         return raw.view(np.dtype((np.void, width)))[:, :, 0]
 
-    def _overflow_buckets_for(self, keys: list[bytes]) -> list[Bucket | None] | None:
-        if self._overflow_count == 0:
+    def _snapshot(self) -> tuple[FrozenTables, list[list[HashTable]]]:
+        """A consistent ``(frozen arrays, overflow generations)`` view.
+
+        Taken under the re-freeze lock so a concurrent background swap
+        can never hand a lookup the *new* arrays together with the
+        compacting generation (double counting) or the *old* arrays
+        without it (missed points).  Generations are ordered oldest
+        first.
+        """
+        with self._refreeze_lock:
+            generations = []
+            if self._compacting_count:
+                generations.append(self._compacting_tables)
+            if self._overflow_count:
+                generations.append(self.tables)
+            return self.frozen, generations
+
+    def _overflow_buckets_for(
+        self, keys: list[bytes], generations: list[list[HashTable]]
+    ) -> list[Bucket | None] | None:
+        """Generation-major flat bucket list (``G * L`` slots), or None.
+
+        Slot ``g * L + t`` holds generation ``g``'s bucket in table
+        ``t``; candidate unions and register maxima are associative, so
+        consumers may walk the flat list in any grouping.
+        """
+        if not generations:
             return None
-        return [table.buckets.get(key) for table, key in zip(self.tables, keys)]
+        return [
+            table.buckets.get(key)
+            for gen in generations
+            for table, key in zip(gen, keys)
+        ]
 
     def lookup(self, query: np.ndarray) -> FrozenQueryLookup:
         """Locate the query's bucket in every table (one binary search each)."""
         self._require_built()
         rows = self._batched.query_rows(query)  # validates dim; (L, k)
+        frozen, generations = self._snapshot()
         key_matrix = self._query_key_matrix(rows[None, :, :])
-        bucket_ids = self.frozen.locate(key_matrix)[0]
-        overflow = (
-            self._overflow_buckets_for(encode_rows(rows))
-            if self._overflow_count
-            else None
-        )
+        bucket_ids = frozen.locate(key_matrix)[0]
+        overflow = self._overflow_buckets_for(encode_rows(rows), generations)
         return FrozenQueryLookup(
-            bucket_ids=bucket_ids, hash_rows=rows, frozen=self.frozen, overflow=overflow
+            bucket_ids=bucket_ids, hash_rows=rows, frozen=frozen, overflow=overflow
         )
 
     def lookup_batch(self, queries: np.ndarray) -> list[FrozenQueryLookup]:
@@ -667,12 +831,13 @@ class FrozenLSHIndex(LSHIndex):
         queries = check_matrix(queries, dim=self.dim, name="queries")
         all_rows = self._batched.hash_points(queries)  # (q, L, k)
         q = all_rows.shape[0]
+        frozen, generations = self._snapshot()
         key_matrix = self._query_key_matrix(all_rows)
-        positions = self.frozen.locate(key_matrix)  # (q, L)
+        positions = frozen.locate(key_matrix)  # (q, L)
         found = positions >= 0
         safe = np.where(found, positions, 0)
-        collisions = np.where(found, self.frozen.sizes[safe], 0).sum(axis=1)
-        if self._overflow_count:
+        collisions = np.where(found, frozen.sizes[safe], 0).sum(axis=1)
+        if generations:
             flat_keys = encode_rows(
                 all_rows.reshape(q * self.num_tables, self.k)
             )
@@ -680,9 +845,9 @@ class FrozenLSHIndex(LSHIndex):
         for qi in range(q):
             overflow = None
             num_collisions = int(collisions[qi])
-            if self._overflow_count:
+            if generations:
                 keys = flat_keys[qi * self.num_tables : (qi + 1) * self.num_tables]
-                overflow = self._overflow_buckets_for(keys)
+                overflow = self._overflow_buckets_for(keys, generations)
                 num_collisions += sum(
                     b.size for b in overflow if b is not None
                 )
@@ -690,7 +855,7 @@ class FrozenLSHIndex(LSHIndex):
                 FrozenQueryLookup(
                     bucket_ids=positions[qi],
                     hash_rows=all_rows[qi],
-                    frozen=self.frozen,
+                    frozen=frozen,
                     overflow=overflow,
                     num_collisions=num_collisions,
                 )
@@ -708,16 +873,20 @@ class FrozenLSHIndex(LSHIndex):
     def merged_sketch(self, lookup: FrozenQueryLookup) -> HyperLogLog:
         """Merge the query's bucket sketches: row maxima over the register matrix."""
         self._require_sketches()
+        # Read through the lookup's snapshot: a background re-freeze may
+        # swap self.frozen between lookup and merge, but the lookup's
+        # bucket indexes address the arrays it was taken against.
+        frozen = lookup._frozen
         m = 1 << self.hll_precision
         regs = np.zeros(m, dtype=np.uint8)
         found = lookup.found_buckets()
-        srows = self.frozen.sketch_rows[found]
+        srows = frozen.sketch_rows[found]
         sketched = srows[srows >= 0]
         if sketched.size:
-            np.maximum.reduce(self.frozen.registers[sketched], axis=0, out=regs)
+            np.maximum.reduce(frozen.registers[sketched], axis=0, out=regs)
         lazy = found[srows < 0]
         if lazy.size:
-            ids = self.frozen.gather_members(lazy)
+            ids = frozen.gather_members(lazy)
             np.maximum.at(
                 regs, self._hll_hashes.registers[ids], self._hll_hashes.ranks[ids]
             )
@@ -736,15 +905,16 @@ class FrozenLSHIndex(LSHIndex):
         registers = np.zeros((q, m), dtype=np.uint8)
         if q == 0:
             return registers
+        frozen = lookups[0]._frozen  # one lookup_batch -> one snapshot
         bucket_mat = np.stack([lk.bucket_ids for lk in lookups])  # (q, L)
         found = bucket_mat >= 0
         qi, _ = np.nonzero(found)  # row-major -> qi ascending
         buckets = bucket_mat[found]
-        srows = self.frozen.sketch_rows[buckets]
+        srows = frozen.sketch_rows[buckets]
         sketched = srows >= 0
         if sketched.any():
             rows = qi[sketched]
-            stacked = self.frozen.registers[srows[sketched]]
+            stacked = frozen.registers[srows[sketched]]
             # Row-major np.nonzero keeps `rows` sorted, so segments of
             # equal query index are contiguous: one reduceat merges each
             # query's sketched buckets.
@@ -754,14 +924,14 @@ class FrozenLSHIndex(LSHIndex):
         lazy = ~sketched
         if lazy.any():
             lazy_buckets = buckets[lazy]
-            ids = self.frozen.gather_members(lazy_buckets)
-            rows = np.repeat(qi[lazy], self.frozen.sizes[lazy_buckets])
+            ids = frozen.gather_members(lazy_buckets)
+            rows = np.repeat(qi[lazy], frozen.sizes[lazy_buckets])
             np.maximum.at(
                 registers,
                 (rows, self._hll_hashes.registers[ids]),
                 self._hll_hashes.ranks[ids],
             )
-        if self._overflow_count:
+        if any(lk.overflow is not None for lk in lookups):
             for i, lk in enumerate(lookups):
                 if lk.overflow is None:
                     continue
@@ -852,24 +1022,27 @@ class FrozenLSHIndex(LSHIndex):
         return self._candidate_ids_scalar(lookup)
 
     def _candidate_ids_scalar(self, lookup: FrozenQueryLookup) -> np.ndarray:
+        frozen = lookup._frozen
         seen = np.zeros(self.n, dtype=bool)
         out: list[int] = []
         for t in range(self.num_tables):
             b = int(lookup.bucket_ids[t])
             if b >= 0:
-                start = int(self.frozen.offsets[b])
-                stop = start + int(self.frozen.sizes[b])
-                for point_id in self.frozen.members[start:stop].tolist():
+                start = int(frozen.offsets[b])
+                stop = start + int(frozen.sizes[b])
+                for point_id in frozen.members[start:stop].tolist():
                     if not seen[point_id]:
                         seen[point_id] = True
                         out.append(point_id)
             if lookup.overflow is not None:
-                bucket = lookup.overflow[t]
-                if bucket is not None:
-                    for point_id in bucket.ids.tolist():
-                        if not seen[point_id]:
-                            seen[point_id] = True
-                            out.append(point_id)
+                # The flat overflow list is generation-major (G * L
+                # slots); table t owns slot g * L + t of each generation.
+                for bucket in lookup.overflow[t :: self.num_tables]:
+                    if bucket is not None:
+                        for point_id in bucket.ids.tolist():
+                            if not seen[point_id]:
+                                seen[point_id] = True
+                                out.append(point_id)
         return np.sort(np.asarray(out, dtype=np.int64))
 
     def candidate_ids_batch(
@@ -888,7 +1061,11 @@ class FrozenLSHIndex(LSHIndex):
         self._require_built()
         if dedup is None:
             dedup = self.dedup
-        if dedup == "scalar" or self._overflow_count or len(lookups) <= 1:
+        if (
+            dedup == "scalar"
+            or len(lookups) <= 1
+            or any(lk.overflow is not None for lk in lookups)
+        ):
             # Overflow buckets are per-lookup objects; the bucket row
             # alone no longer keys the candidate set, so fall back.
             return [self.candidate_ids(lk, dedup=dedup) for lk in lookups]
@@ -905,15 +1082,21 @@ class FrozenLSHIndex(LSHIndex):
     # ------------------------------------------------------------------
     # Diagnostics
     # ------------------------------------------------------------------
+    def _all_overflow_tables(self) -> list[HashTable]:
+        """Every live overflow table, compacting generation included."""
+        tables = list(self._compacting_tables or ())
+        tables.extend(self.tables)
+        return tables
+
     @property
     def sketch_memory_bytes(self) -> int:
-        overflow = sum(t.sketch_memory_bytes for t in self.tables)
+        overflow = sum(t.sketch_memory_bytes for t in self._all_overflow_tables())
         return int(self.frozen.registers.nbytes) + overflow
 
     def memory_report(self) -> dict[str, int]:
         self._require_built()
         report = self.frozen.memory_bytes
-        for table in self.tables:
+        for table in self._all_overflow_tables():
             for key, bucket in table.buckets.items():
                 report["bucket_ids"] += 8 * bucket.size
                 report["bucket_keys"] += len(key)
@@ -928,7 +1111,7 @@ class FrozenLSHIndex(LSHIndex):
         self._require_built()
         sizes = [np.asarray(self.frozen.sizes)]
         sketched = [np.asarray(self.frozen.sketch_rows) >= 0]
-        for table in self.tables:
+        for table in self._all_overflow_tables():
             if table.buckets:
                 sizes.append(table.bucket_sizes())
                 sketched.append(
@@ -948,7 +1131,7 @@ class FrozenLSHIndex(LSHIndex):
         return (
             f"{type(self).__name__}(family={type(self.family).__name__}, "
             f"k={self.k}, L={self.num_tables}, {built}, "
-            f"overflow={self._overflow_count})"
+            f"overflow={self.overflow_count})"
         )
 
 

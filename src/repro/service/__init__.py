@@ -17,10 +17,16 @@ preserving the paper's semantics exactly:
 * :class:`QueryResultCache` — an LRU cache keyed on quantised query
   vectors (shard-tagged, so inserts evict only the touched shards'
   entries), for workloads with repeated or near-duplicate queries.
+* :class:`WorkerPool` — true multi-core serving: ``K`` persistent
+  worker *processes*, each opening the saved frozen shards zero-copy
+  via ``np.load(mmap_mode="r")``, with exact parent-side merges —
+  bit-identical to the thread fan-out (``IndexSpec(execution="processes")``).
 * :class:`QueryService` — the legacy serving facade, now a thin
   delegate over :class:`repro.api.Index`; :func:`serve_stream` speaks
   a JSON-lines request/response protocol over an ``Index`` or a
-  ``QueryService`` (see ``python -m repro.cli serve``).
+  ``QueryService`` (see ``python -m repro.cli serve``), and
+  :func:`serve_stream_concurrent` overlaps in-flight batches behind a
+  reader thread while keeping responses in request order.
 
 These are the engines the spec-driven :mod:`repro.api` front door
 builds on; new code should start from :class:`repro.api.Index`.
@@ -30,7 +36,8 @@ from repro.service.batch import BatchQueryEngine
 from repro.service.cache import QueryResultCache
 from repro.service.service import QueryService, ServiceStats
 from repro.service.sharded import ShardedHybridIndex
-from repro.service.stream import serve_stream
+from repro.service.stream import serve_stream, serve_stream_concurrent
+from repro.service.workers import WorkerPool
 
 __all__ = [
     "BatchQueryEngine",
@@ -38,5 +45,7 @@ __all__ = [
     "QueryResultCache",
     "QueryService",
     "ServiceStats",
+    "WorkerPool",
     "serve_stream",
+    "serve_stream_concurrent",
 ]

@@ -20,6 +20,7 @@ hot — instead of dropping the whole cache on every insert.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -63,6 +64,10 @@ class QueryResultCache:
             raise ConfigurationError(f"quantum must be >= 0, got {quantum}")
         self.quantum = float(quantum)
         self._store: OrderedDict[bytes, QueryResult] = OrderedDict()
+        # Store mutations are locked so the concurrent serving loop
+        # (overlapped in-flight batches) can share one cache; the
+        # OrderedDict relink in get()/put() is not atomic under threads.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -104,27 +109,30 @@ class QueryResultCache:
         partial, consistency-driven eviction, not a reset.
         """
         tag = self._tag(shard)
-        stale = [key for key in self._store if key[: self._TAG_BYTES] == tag]
-        for key in stale:
-            del self._store[key]
+        with self._lock:
+            stale = [key for key in self._store if key[: self._TAG_BYTES] == tag]
+            for key in stale:
+                del self._store[key]
         return len(stale)
 
     def get(self, key: bytes) -> QueryResult | None:
         """Look up a key, refreshing its recency; counts the hit/miss."""
-        result = self._store.get(key)
-        if result is None:
-            self.misses += 1
-            return None
-        self._store.move_to_end(key)
-        self.hits += 1
-        return result
+        with self._lock:
+            result = self._store.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.hits += 1
+            return result
 
     def put(self, key: bytes, result: QueryResult) -> None:
         """Store a result, evicting the LRU entry when full."""
-        self._store[key] = result
-        self._store.move_to_end(key)
-        while len(self._store) > self.maxsize:
-            self._store.popitem(last=False)
+        with self._lock:
+            self._store[key] = result
+            self._store.move_to_end(key)
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
 
     @property
     def hit_rate(self) -> float:
@@ -134,9 +142,10 @@ class QueryResultCache:
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
         return len(self._store)

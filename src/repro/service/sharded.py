@@ -28,6 +28,7 @@ matrix on every call, the same refresh-on-insert discipline as
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -44,7 +45,53 @@ from repro.service.batch import BatchQueryEngine
 from repro.utils.rng import RandomState, spawn_rngs
 from repro.utils.validation import check_matrix, check_positive_int
 
-__all__ = ["ShardedHybridIndex"]
+__all__ = ["ShardedHybridIndex", "default_fanout_width", "merge_radius_results"]
+
+
+def default_fanout_width(num_shards: int) -> int:
+    """Fan-out width that respects the machine: ``min(K, cpu count)``.
+
+    More workers than cores only adds scheduling overhead — each shard
+    task is CPU-bound — and more workers than shards would sit idle.
+    Shared by the thread fan-out here and the process pool in
+    :mod:`repro.service.workers`.
+    """
+    return max(1, min(int(num_shards), os.cpu_count() or 1))
+
+
+def merge_radius_results(
+    shard_gids: list[np.ndarray], shard_results: list[QueryResult], radius: float
+) -> QueryResult:
+    """Merge one query's per-shard local radius answers into the global one.
+
+    The shards partition the dataset, so the global answer is the
+    disjoint union of the local answers with shard-local ids translated
+    through the id maps; stats are summed and the strategy labelled
+    :attr:`~repro.core.results.Strategy.HYBRID`.  Shared by the
+    thread-pool and process-pool serving paths so both merge — and
+    tie-break — identically.
+    """
+    ids = np.concatenate(
+        [gids[res.ids] for gids, res in zip(shard_gids, shard_results)]
+    )
+    distances = np.concatenate([res.distances for res in shard_results])
+    order = np.argsort(ids, kind="stable")
+    exact = [res.stats.exact_candidates for res in shard_results]
+    stats = QueryStats(
+        num_collisions=sum(res.stats.num_collisions for res in shard_results),
+        estimated_candidates=float(
+            sum(res.stats.estimated_candidates for res in shard_results)
+        ),
+        exact_candidates=sum(exact) if all(e >= 0 for e in exact) else -1,
+        estimated_lsh_cost=float(
+            sum(res.stats.estimated_lsh_cost for res in shard_results)
+        ),
+        linear_cost=float(sum(res.stats.linear_cost for res in shard_results)),
+        strategy=Strategy.HYBRID,
+    )
+    return QueryResult(
+        ids=ids[order], distances=distances[order], radius=radius, stats=stats
+    )
 
 
 class ShardedHybridIndex:
@@ -69,8 +116,13 @@ class ShardedHybridIndex:
         calibrates once on the full dataset (not per shard — alpha and
         beta are hardware constants, not data constants).
     max_workers:
-        Thread-pool width for shard builds and query fan-out
-        (default: ``K``).
+        Thread-pool width for shard builds and query fan-out; the
+        default is ``min(K, os.cpu_count())`` — more threads than cores
+        only adds scheduling overhead for CPU-bound shard work.
+    index_factory:
+        Optional ``factory(shard_points, rng) -> HybridLSH`` used to
+        build each shard instead of the paper-preset construction
+        (spec-driven custom families/parameters route through this).
     layout:
         ``"dict"`` (default) keeps the mutable bucket layout;
         ``"frozen"`` compacts every shard's index into the CSR layout
@@ -106,6 +158,7 @@ class ShardedHybridIndex:
         estimator=None,
         dedup: str = "vectorized",
         layout: str = "dict",
+        index_factory=None,
     ) -> None:
         points = check_matrix(points, name="points")
         num_shards = check_positive_int(num_shards, "num_shards")
@@ -122,7 +175,9 @@ class ShardedHybridIndex:
         self.metric = get_metric(metric)
         self.radius = float(radius)
         self.num_shards = num_shards
-        self._max_workers = max_workers if max_workers is not None else num_shards
+        self._max_workers = (
+            max_workers if max_workers is not None else default_fanout_width(num_shards)
+        )
         # Round-robin partition: shard s owns global rows s, s+K, s+2K, …
         # (balanced to within one point, and insert routing stays trivial).
         self._shard_gids = [
@@ -135,17 +190,23 @@ class ShardedHybridIndex:
         shard_rngs = spawn_rngs(seed, num_shards)
 
         def build_shard(s: int) -> HybridLSH:
-            hybrid = HybridLSH(
-                points[self._shard_gids[s]],
-                metric=metric,
-                radius=radius,
-                num_tables=num_tables,
-                delta=delta,
-                hll_precision=hll_precision,
-                cost_model=cost_model,
-                seed=shard_rngs[s],
-                estimator=estimator,
-            )
+            if index_factory is not None:
+                # Spec-driven custom builds (named family, explicit k,
+                # bucket width, lazy threshold, ...) route each shard
+                # through the caller's factory with its spawned stream.
+                hybrid = index_factory(points[self._shard_gids[s]], shard_rngs[s])
+            else:
+                hybrid = HybridLSH(
+                    points[self._shard_gids[s]],
+                    metric=metric,
+                    radius=radius,
+                    num_tables=num_tables,
+                    delta=delta,
+                    hll_precision=hll_precision,
+                    cost_model=cost_model,
+                    seed=shard_rngs[s],
+                    estimator=estimator,
+                )
             if layout == "frozen":
                 hybrid.freeze()
             return hybrid
@@ -193,7 +254,11 @@ class ShardedHybridIndex:
         self.metric = get_metric(metric)
         self.radius = float(radius)
         self.num_shards = len(shards)
-        self._max_workers = max_workers if max_workers is not None else self.num_shards
+        self._max_workers = (
+            max_workers
+            if max_workers is not None
+            else default_fanout_width(self.num_shards)
+        )
         self._shard_gids = [np.asarray(g, dtype=np.int64) for g in shard_gids]
         self._next_shard = int(next_shard) % self.num_shards
         self.cost_model = cost_model
@@ -214,6 +279,11 @@ class ShardedHybridIndex:
     def n(self) -> int:
         """Total number of indexed points across all shards."""
         return sum(shard.index.n for shard in self.shards)
+
+    @property
+    def max_workers(self) -> int:
+        """The chosen fan-out width (threads serving the shard batches)."""
+        return self._max_workers
 
     @property
     def dim(self) -> int:
@@ -301,27 +371,7 @@ class ShardedHybridIndex:
         ]
 
     def _merge_radius(self, shard_results: list[QueryResult], radius: float) -> QueryResult:
-        ids = np.concatenate(
-            [gids[res.ids] for gids, res in zip(self._shard_gids, shard_results)]
-        )
-        distances = np.concatenate([res.distances for res in shard_results])
-        order = np.argsort(ids, kind="stable")
-        exact = [res.stats.exact_candidates for res in shard_results]
-        stats = QueryStats(
-            num_collisions=sum(res.stats.num_collisions for res in shard_results),
-            estimated_candidates=float(
-                sum(res.stats.estimated_candidates for res in shard_results)
-            ),
-            exact_candidates=sum(exact) if all(e >= 0 for e in exact) else -1,
-            estimated_lsh_cost=float(
-                sum(res.stats.estimated_lsh_cost for res in shard_results)
-            ),
-            linear_cost=float(sum(res.stats.linear_cost for res in shard_results)),
-            strategy=Strategy.HYBRID,
-        )
-        return QueryResult(
-            ids=ids[order], distances=distances[order], radius=radius, stats=stats
-        )
+        return merge_radius_results(self._shard_gids, shard_results, radius)
 
     # ------------------------------------------------------------------
     # Top-k queries (exact)

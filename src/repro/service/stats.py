@@ -24,6 +24,9 @@ class ServiceStats:
     #: engine work avoided, but not by the cache store.
     deduplicated: int = 0
     elapsed_seconds: float = 0.0
+    #: chosen shard fan-out width — thread-pool threads or worker
+    #: processes serving the shards; 0 for an unpartitioned engine.
+    pool_workers: int = 0
     strategy_counts: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -41,5 +44,6 @@ class ServiceStats:
             "deduplicated": self.deduplicated,
             "elapsed_seconds": self.elapsed_seconds,
             "qps": self.qps,
+            "pool_workers": self.pool_workers,
             **{f"strategy_{name}": count for name, count in sorted(self.strategy_counts.items())},
         }

@@ -37,11 +37,15 @@ always gets its response immediately.  Malformed lines produce
 from __future__ import annotations
 
 import json
+import queue as queue_mod
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
-__all__ = ["serve_stream"]
+__all__ = ["serve_stream", "serve_stream_concurrent"]
 
 
 def _parse_query(request: dict, dim: int) -> tuple[np.ndarray, float | None, int | None]:
@@ -232,3 +236,129 @@ def _topk(target, query: np.ndarray, k: int):
     if hasattr(target, "_index"):  # legacy QueryService delegate
         target = target._index
     return target.query(QuerySpec(query, k=k))
+
+
+def serve_stream_concurrent(
+    service,
+    lines: Iterable[str],
+    batch_size: int = 64,
+    window: int = 4,
+) -> Iterator[str]:
+    """The concurrent front-end: overlapped batches, ordered responses.
+
+    A reader thread drains ``lines`` into a queue so the serving loop
+    always sees its real backlog; consecutive radius queries are grouped
+    into batches of up to ``batch_size`` and submitted to a small thread
+    pool with at most ``window`` batches in flight.  While one batch
+    blocks — most productively on the worker-pool backend, where the
+    parent thread just waits on pipe replies from the shard processes —
+    the next batch is already being hashed.  Responses are emitted
+    strictly in request order: in-flight futures are consumed in
+    submission order, and every non-query line (ops, top-k, malformed
+    input) acts as a barrier that drains the window first, exactly like
+    the synchronous loop's flush discipline.
+
+    Yields the same responses, in the same order, as
+    :func:`serve_stream` over the same input; only the wall-clock
+    overlap differs.  Result caching on the served index should be left
+    off (or treated as best-effort) — the cache store itself is locked,
+    but hit-rate accounting across overlapped batches is approximate.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    state = {"target": service, "owned": False}
+    inbox: "queue_mod.Queue[object]" = queue_mod.Queue(maxsize=max(4 * batch_size, 256))
+    _EOF = object()
+
+    def _read_all() -> None:
+        try:
+            for line in lines:
+                inbox.put(line)
+        finally:
+            inbox.put(_EOF)
+
+    reader = threading.Thread(
+        target=_read_all, name="repro-serve-reader", daemon=True
+    )
+    reader.start()
+    executor = ThreadPoolExecutor(max_workers=window, thread_name_prefix="repro-serve")
+    inflight: deque = deque()  # futures -> list[str], in submission order
+    pending: list[tuple[np.ndarray, float | None]] = []
+
+    def _submit() -> None:
+        if pending:
+            batch = list(pending)
+            pending.clear()
+            target = state["target"]
+            inflight.append(executor.submit(_flush, target, batch))
+
+    def _drain_completed():
+        while inflight and inflight[0].done():
+            yield from inflight.popleft().result()
+
+    def _drain_all():
+        _submit()
+        while inflight:
+            yield from inflight.popleft().result()
+
+    try:
+        while True:
+            # While responses are in flight, poll the inbox instead of
+            # blocking: an interactive client that sent one query and is
+            # now waiting would otherwise deadlock against us — its
+            # response sitting completed in the window, us blocked on
+            # its next line (the concurrent analogue of the synchronous
+            # loop's ``more_ready`` discipline).
+            if inflight:
+                try:
+                    item = inbox.get(timeout=0.02)
+                except queue_mod.Empty:
+                    yield from _drain_completed()
+                    continue
+            else:
+                item = inbox.get()
+            if item is _EOF:
+                break
+            line = str(item).strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                yield from _drain_all()
+                yield json.dumps({"error": f"bad request: {exc}"})
+                continue
+
+            if "query" in request:
+                try:
+                    query, radius, k = _parse_query(request, state["target"].dim)
+                except (ValueError, TypeError) as exc:
+                    yield from _drain_all()
+                    yield json.dumps({"error": str(exc)})
+                    continue
+                if k is not None:
+                    yield from _drain_all()
+                    try:
+                        yield _answer(_topk(state["target"], query, k))
+                    except Exception as exc:
+                        yield json.dumps({"error": f"query failed: {exc}"})
+                    continue
+                pending.append((query, radius))
+                if len(pending) >= batch_size or inbox.empty():
+                    # Full batch, or no backlog waiting: keep latency low
+                    # by dispatching now (the synchronous loop's
+                    # ``more_ready`` discipline, via the reader queue).
+                    _submit()
+                yield from _drain_completed()
+                while len(inflight) >= window:
+                    yield from inflight.popleft().result()
+                continue
+
+            # Ops mutate serving state: barrier on everything in flight.
+            yield from _drain_all()
+            yield _handle_op(state, request)
+        yield from _drain_all()
+    finally:
+        executor.shutdown(wait=True)

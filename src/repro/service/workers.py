@@ -1,0 +1,635 @@
+"""Zero-copy multi-process serving: mmap'd frozen shards behind a pool.
+
+The thread fan-out of :class:`~repro.service.sharded.ShardedHybridIndex`
+tops out on one core: per-shard dedup/merge work is GIL-bound Python.
+This module cashes in the frozen CSR persistence design instead — each
+shard of a saved frozen index is a directory of plain ``.npy`` files
+reopened with ``np.load(mmap_mode="r")`` — so ``K`` worker *processes*
+can each open their assigned shards zero-copy from the shared page
+cache, with no pickling of index state and no per-worker build cost.
+
+:class:`WorkerPool` spawns the persistent workers over a saved artifact
+(the layout written by :meth:`repro.api.Index.save`), distributes query
+batches over duplex pipes, and merges per-shard answers with the exact
+semantics of the thread path (shared
+:func:`~repro.service.sharded.merge_radius_results` /
+:func:`~repro.core.linear_scan.exact_topk_results` kernels), so
+``execution="processes"`` answers are **bit-identical** to
+``execution="threads"``.  The public surface mirrors
+``ShardedHybridIndex`` — ``query`` / ``query_batch`` / ``query_topk`` /
+``query_topk_batch`` / ``insert`` / ``shard_query_batch`` /
+``merge_radius`` / ``map_shards`` — so :class:`repro.api.Index`,
+:class:`~repro.service.service.QueryService` and the stream protocol
+work unchanged on top.
+
+Operational contract:
+
+* **startup is O(mmap)** — workers reopen saved arrays, never rebuild
+  or rehash; the pool is ready once every worker acks its shards;
+* **inserts** route to the owning worker's overflow side-table (the
+  frozen layout's insert path, background re-freeze included); the
+  parent logs them per worker so a respawn can replay;
+* **crash recovery** — a worker that dies mid-request is respawned
+  from the artifact, its insert log replayed in order, and the request
+  retried once; answers are unchanged because replay reconstructs the
+  exact overflow state;
+* **shutdown** is explicit (:meth:`WorkerPool.close`) and idempotent;
+  workers are daemonic so an abandoned pool cannot outlive the parent.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.cost_model import CostModel
+from repro.core.linear_scan import exact_topk_results
+from repro.core.results import QueryResult, QueryStats, Strategy
+from repro.distances import get_metric
+from repro.exceptions import ConfigurationError
+from repro.service.sharded import default_fanout_width, merge_radius_results
+from repro.utils.validation import check_matrix, check_positive_int
+
+__all__ = ["WorkerPool", "WorkerError"]
+
+
+class WorkerError(RuntimeError):
+    """An operation failed inside a worker process (the worker survives)."""
+
+
+def _shard_dir(path: str, shard: int) -> str:
+    """Absolute shard directory, named by the one true layout source.
+
+    The artifact layout (meta file, gids archive, shard dir scheme) is
+    owned by :mod:`repro.api.persist`; imported lazily to keep this
+    module free of api-layer imports at load time.
+    """
+    from repro.api.persist import _frozen_shard_dir
+
+    return os.path.join(path, _frozen_shard_dir(shard))
+
+
+def _pack_result(result: QueryResult):
+    """QueryResult -> plain tuple (cheap to pickle across the pipe)."""
+    s = result.stats
+    return (
+        np.asarray(result.ids),
+        np.asarray(result.distances),
+        (
+            s.num_collisions,
+            s.estimated_candidates,
+            s.exact_candidates,
+            s.estimated_lsh_cost,
+            s.linear_cost,
+            s.strategy.value,
+        ),
+    )
+
+
+def _unpack_result(packed, radius: float) -> QueryResult:
+    ids, distances, (nc, est, exact, lsh_cost, lin_cost, strategy) = packed
+    stats = QueryStats(
+        num_collisions=int(nc),
+        estimated_candidates=float(est),
+        exact_candidates=int(exact),
+        estimated_lsh_cost=float(lsh_cost),
+        linear_cost=float(lin_cost),
+        strategy=Strategy(strategy),
+    )
+    return QueryResult(ids=ids, distances=distances, radius=radius, stats=stats)
+
+
+def _worker_main(conn, path: str, shard_ids: list[int], spec_doc: dict,
+                 alpha: float, beta: float) -> None:
+    """Worker process loop: open assigned shards via mmap, answer ops.
+
+    Must stay a module-level function so the ``spawn`` start method can
+    import it; with ``fork`` it reuses the parent's loaded modules and
+    the open is dominated by ``np.load(mmap_mode="r")`` calls.
+    """
+    from repro.api.facade import _resolve_estimator
+    from repro.api.spec import IndexSpec
+    from repro.core.hybrid import HybridSearcher
+    from repro.distances.matrix import pairwise_distances
+    from repro.index.frozen import load_frozen_index, save_frozen_index
+    from repro.service.batch import BatchQueryEngine
+
+    try:
+        spec = IndexSpec.from_dict(spec_doc)
+        cost_model = CostModel(alpha=alpha, beta=beta)
+        estimator = _resolve_estimator(spec)
+        metric = get_metric(spec.metric)
+        indexes = {}
+        engines = {}
+        for s in shard_ids:
+            index = load_frozen_index(_shard_dir(path, s))
+            searcher = HybridSearcher(index, cost_model, estimator=estimator)
+            indexes[s] = index
+            engines[s] = BatchQueryEngine(
+                searcher, radius=spec.radius, dedup=spec.dedup
+            )
+        conn.send(("ready", {s: indexes[s].n for s in shard_ids}))
+    except BaseException as exc:
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+        return
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = message[0]
+        if op == "stop":
+            break
+        try:
+            if op == "radius":
+                _, shards, queries, radius = message
+                reply = {
+                    s: [
+                        _pack_result(r)
+                        for r in engines[s].query_batch(queries, radius)
+                    ]
+                    for s in shards
+                }
+            elif op == "topk_block":
+                _, shards, queries = message
+                reply = {
+                    s: pairwise_distances(queries, indexes[s].points, metric)
+                    for s in shards
+                }
+            elif op == "insert":
+                _, s, points = message
+                indexes[s].insert(points)
+                reply = indexes[s].n
+            elif op == "save_shard":
+                _, s, target = message
+                save_frozen_index(indexes[s], target)
+                reply = True
+            elif op == "shard_sizes":
+                reply = {s: indexes[s].n for s in shard_ids}
+            elif op == "ping":
+                reply = "pong"
+            else:
+                reply = ("error", f"unknown worker op: {op!r}")
+        except Exception as exc:
+            reply = ("error", f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class WorkerPool:
+    """``K`` frozen shards served by persistent worker processes.
+
+    Parameters
+    ----------
+    path:
+        A saved index directory (:meth:`repro.api.Index.save`) whose
+        shards use the frozen layout — the artifact the workers mmap.
+    num_workers:
+        Pool width; defaults to ``min(num_shards, os.cpu_count())``.
+        Worker ``w`` owns shards ``w, w + W, w + 2W, ...``.
+    owns_path:
+        When True the artifact directory is deleted on :meth:`close`
+        (used for the transient artifact ``Index.build`` writes when a
+        spec asks for ``execution="processes"``).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``
+        (instant worker start, inherited imports) and falls back to
+        ``spawn`` where fork is unavailable.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.api import Index, IndexSpec, QuerySpec
+    >>> rng = np.random.default_rng(0)
+    >>> points = rng.normal(size=(600, 12))
+    >>> spec = IndexSpec(metric="l2", radius=1.0, num_tables=6,
+    ...                  num_shards=3, layout="frozen",
+    ...                  execution="processes", seed=1)
+    >>> index = Index.build(points, spec)  # doctest: +SKIP
+    >>> int(index.query(QuerySpec(points[17])).ids[0])  # doctest: +SKIP
+    17
+    """
+
+    kind = "processes"
+
+    def __init__(
+        self,
+        path: str,
+        num_workers: int | None = None,
+        owns_path: bool = False,
+        start_method: str | None = None,
+    ) -> None:
+        from repro.api.persist import _GIDS_FILE, _META_FILE
+        from repro.api.spec import IndexSpec
+
+        meta_path = os.path.join(path, _META_FILE)
+        if not os.path.exists(meta_path):
+            raise ConfigurationError(
+                f"no saved index at {path!r} (missing {_META_FILE})"
+            )
+        with open(meta_path) as fh:
+            meta = json.load(fh)
+        if meta.get("layout", "dict") != "frozen":
+            raise ConfigurationError(
+                "the process pool serves frozen-layout artifacts only "
+                f"(saved layout: {meta.get('layout')!r}); rebuild with "
+                'layout="frozen"'
+            )
+        self.path = path
+        self._owns_path = owns_path
+        self.spec = IndexSpec.from_dict(meta["spec"])
+        self.metric_name = self.spec.metric
+        self.metric = get_metric(self.metric_name)
+        self.radius = float(self.spec.radius)
+        self.cost_model = CostModel(
+            alpha=float(meta["cost_model"]["alpha"]),
+            beta=float(meta["cost_model"]["beta"]),
+        )
+        self.num_shards = int(meta["num_shards"])
+        self._dim = int(meta["dim"])
+        gids_path = os.path.join(path, _GIDS_FILE)
+        if self.num_shards > 1:
+            with np.load(gids_path, allow_pickle=False) as archive:
+                self._shard_gids = [
+                    np.asarray(archive[f"gids_{s:03d}"], dtype=np.int64)
+                    for s in range(self.num_shards)
+                ]
+        else:
+            self._shard_gids = [np.arange(int(meta["n"]), dtype=np.int64)]
+        self._next_shard = int(meta.get("next_shard", 0)) % self.num_shards
+        if num_workers is None:
+            num_workers = default_fanout_width(self.num_shards)
+        self.num_workers = min(
+            check_positive_int(num_workers, "num_workers"), self.num_shards
+        )
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+        self._closed = False
+        self._workers: list = [None] * self.num_workers
+        self._conns: list = [None] * self.num_workers
+        self._locks = [threading.Lock() for _ in range(self.num_workers)]
+        #: per-worker replay log of (shard, points) inserts, in order —
+        #: the only state a respawned worker cannot recover from disk.
+        self._insert_log: list[list] = [[] for _ in range(self.num_workers)]
+        self._fanout = ThreadPoolExecutor(
+            max_workers=self.num_workers, thread_name_prefix="repro-pool"
+        )
+        try:
+            for w in range(self.num_workers):
+                self._spawn(w)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+    def worker_shards(self, worker: int) -> list[int]:
+        """Shard ids owned by ``worker`` (round-robin assignment)."""
+        return list(range(worker, self.num_shards, self.num_workers))
+
+    def _owner(self, shard: int) -> int:
+        return shard % self.num_workers
+
+    def _spawn(self, worker: int) -> None:
+        """Start (or restart) one worker and wait for its mmap-open ack."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                self.path,
+                self.worker_shards(worker),
+                self.spec.to_dict(),
+                self.cost_model.alpha,
+                self.cost_model.beta,
+            ),
+            name=f"repro-worker-{worker}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        try:
+            ack = parent_conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerError(f"worker {worker} died during startup") from exc
+        if not (isinstance(ack, tuple) and ack and ack[0] == "ready"):
+            raise WorkerError(f"worker {worker} failed to open shards: {ack!r}")
+        self._workers[worker] = process
+        self._conns[worker] = parent_conn
+
+    def _respawn_locked(self, worker: int) -> None:
+        """Replace a dead worker and replay its insert log (lock held)."""
+        process = self._workers[worker]
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=5.0)
+        conn = self._conns[worker]
+        if conn is not None:
+            conn.close()
+        self._spawn(worker)
+        for shard, points in self._insert_log[worker]:
+            self._conns[worker].send(("insert", shard, points))
+            reply = self._conns[worker].recv()
+            if isinstance(reply, tuple) and reply and reply[0] == "error":
+                raise WorkerError(
+                    f"worker {worker} failed to replay inserts: {reply[1]}"
+                )
+
+    def _request(self, worker: int, message):
+        """One send/recv round trip, with a single respawn-and-retry."""
+        if self._closed:
+            raise ConfigurationError("the worker pool has been closed")
+        with self._locks[worker]:
+            try:
+                self._conns[worker].send(message)
+                reply = self._conns[worker].recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
+                self._respawn_locked(worker)
+                self._conns[worker].send(message)
+                reply = self._conns[worker].recv()
+        if isinstance(reply, tuple) and reply and reply[0] == "error":
+            raise WorkerError(reply[1])
+        return reply
+
+    def _fan_out(self, messages: dict[int, tuple]) -> dict[int, object]:
+        """Send one message per worker concurrently; collect the replies."""
+        futures = {
+            w: self._fanout.submit(self._request, w, message)
+            for w, message in messages.items()
+        }
+        return {w: future.result() for w, future in futures.items()}
+
+    def worker_pids(self) -> list[int]:
+        """The live worker process ids (diagnostics and crash tests)."""
+        return [p.pid for p in self._workers if p is not None]
+
+    def close(self) -> None:
+        """Stop every worker and release the artifact (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for w, conn in enumerate(self._conns):
+            if conn is None:
+                continue
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._workers:
+            if process is None:
+                continue
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for conn in self._conns:
+            if conn is not None:
+                conn.close()
+        self._fanout.shutdown(wait=True)
+        if self._owns_path:
+            shutil.rmtree(self.path, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # Introspection (ShardedHybridIndex-compatible)
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Total number of served points across all shards."""
+        return sum(gids.size for gids in self._shard_gids)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the served points."""
+        return self._dim
+
+    def shard_sizes(self) -> list[int]:
+        """Current per-shard point counts (from the parent's id maps)."""
+        return [int(gids.size) for gids in self._shard_gids]
+
+    def _resolve_radius(self, radius: float | None) -> float:
+        return self.radius if radius is None else float(radius)
+
+    def peek_assignment(self, count: int) -> np.ndarray:
+        """Shard ids the next ``count`` inserted points would be routed to."""
+        return (self._next_shard + np.arange(count)) % self.num_shards
+
+    # ------------------------------------------------------------------
+    # Radius queries
+    # ------------------------------------------------------------------
+    def query(self, query: np.ndarray, radius: float | None = None) -> QueryResult:
+        """Answer one rNNR query across all shards."""
+        return self.query_batch(np.asarray(query)[None, :], radius)[0]
+
+    def query_batch(
+        self, queries: np.ndarray, radius: float | None = None
+    ) -> list[QueryResult]:
+        """Answer a ``(q, d)`` matrix: one pipe round trip per worker.
+
+        Each worker runs the identical per-shard
+        :class:`~repro.service.batch.BatchQueryEngine` batch the thread
+        path runs, so the merged answers are bit-identical to
+        :meth:`ShardedHybridIndex.query_batch`.
+        """
+        radius = self._resolve_radius(radius)
+        queries = check_matrix(queries, dim=self.dim, name="queries")
+        replies = self._fan_out(
+            {
+                w: ("radius", self.worker_shards(w), queries, radius)
+                for w in range(self.num_workers)
+            }
+        )
+        per_shard = {}
+        for reply in replies.values():
+            per_shard.update(reply)
+        return [
+            merge_radius_results(
+                self._shard_gids,
+                [
+                    _unpack_result(per_shard[s][qi], radius)
+                    for s in range(self.num_shards)
+                ],
+                radius,
+            )
+            for qi in range(queries.shape[0])
+        ]
+
+    def shard_query_batch(
+        self, shard: int, queries: np.ndarray, radius: float
+    ) -> list[QueryResult]:
+        """One shard's *local* radius answers (ids are shard-local)."""
+        reply = self._request(
+            self._owner(shard), ("radius", [shard], queries, radius)
+        )
+        return [_unpack_result(packed, radius) for packed in reply[shard]]
+
+    def merge_radius(
+        self, shard_results: list[QueryResult], radius: float
+    ) -> QueryResult:
+        """Merge one query's per-shard local results into the global answer."""
+        return merge_radius_results(self._shard_gids, shard_results, radius)
+
+    def map_shards(self, work) -> list:
+        """Run ``work(s)`` for every shard on the parent fan-out threads."""
+        futures = [
+            self._fanout.submit(work, s) for s in range(self.num_shards)
+        ]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Top-k queries (exact)
+    # ------------------------------------------------------------------
+    def query_topk(self, query: np.ndarray, k: int) -> QueryResult:
+        """Exact k-nearest-neighbors of one query."""
+        return self.query_topk_batch(np.asarray(query)[None, :], k)[0]
+
+    def query_topk_batch(self, queries: np.ndarray, k: int) -> list[QueryResult]:
+        """Exact k-NN: workers compute local distance blocks, parent selects.
+
+        Same merge kernel as the thread path
+        (:func:`~repro.core.linear_scan.exact_topk_results`), so the
+        deterministic ``(distance, id)`` tie-breaking is shared.
+        """
+        k = check_positive_int(k, "k")
+        queries = check_matrix(queries, dim=self.dim, name="queries")
+        if k > self.n:
+            raise ConfigurationError(
+                f"k ({k}) must not exceed the index size ({self.n})"
+            )
+        replies = self._fan_out(
+            {
+                w: ("topk_block", self.worker_shards(w), queries)
+                for w in range(self.num_workers)
+            }
+        )
+        blocks_by_shard = {}
+        for reply in replies.values():
+            blocks_by_shard.update(reply)
+        blocks = [blocks_by_shard[s] for s in range(self.num_shards)]
+        return exact_topk_results(
+            np.concatenate(self._shard_gids), blocks, k, self.n
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental inserts
+    # ------------------------------------------------------------------
+    def insert(self, new_points: np.ndarray) -> np.ndarray:
+        """Insert points round-robin; each lands in its owner's overflow.
+
+        The receiving worker's frozen shard absorbs the points through
+        its overflow side-table (background re-freeze included); the
+        parent extends the global id maps and logs the routed batches so
+        a crashed worker can be replayed into the same state.
+
+        The replay log grows with every insert until a save makes the
+        artifact canonical again — insert-heavy long-running deployments
+        should call :meth:`checkpoint` (or ``save`` to the source path)
+        periodically to re-anchor recovery on disk and drop the log.
+        """
+        new_points = check_matrix(new_points, dim=self.dim, name="new_points")
+        m = new_points.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=np.int64)
+        start = self.n
+        global_ids = np.arange(start, start + m, dtype=np.int64)
+        assignment = (self._next_shard + np.arange(m)) % self.num_shards
+        routed_by_shard = []
+        for s in range(self.num_shards):
+            rows = np.flatnonzero(assignment == s)
+            if rows.size:
+                routed_by_shard.append((s, rows, np.ascontiguousarray(new_points[rows])))
+        # Phase 1: apply on the workers.  If any shard fails, respawn
+        # every worker the batch touched — the replay log does not yet
+        # contain this batch, so the respawn restores the exact
+        # pre-batch state and a caller retry cannot double-insert.
+        touched: list[int] = []
+        try:
+            for s, _, routed in routed_by_shard:
+                worker = self._owner(s)
+                touched.append(worker)
+                self._request(worker, ("insert", s, routed))
+        except BaseException:
+            for worker in dict.fromkeys(touched):
+                with self._locks[worker]:
+                    self._respawn_locked(worker)
+            raise
+        # Phase 2: all workers accepted — commit the parent-side state.
+        for s, rows, routed in routed_by_shard:
+            self._insert_log[self._owner(s)].append((s, routed))
+            self._shard_gids[s] = np.concatenate(
+                [self._shard_gids[s], global_ids[rows]]
+            )
+        self._next_shard = (self._next_shard + m) % self.num_shards
+        return global_ids
+
+    # ------------------------------------------------------------------
+    # Persistence support
+    # ------------------------------------------------------------------
+    def save_shards(self, path: str) -> None:
+        """Have each owner write its shards under ``path`` (frozen dirs).
+
+        Workers compact their overflow first (``save_frozen_index``
+        does), so the artifact is pure CSR arrays; the caller writes the
+        metadata and id maps around them.
+        """
+        for w in range(self.num_workers):
+            for s in self.worker_shards(w):
+                self._request(
+                    w, ("save_shard", s, _shard_dir(path, s))
+                )
+        if os.path.realpath(path) == os.path.realpath(self.path):
+            # Saving in place makes the artifact canonical: a respawned
+            # worker now loads the inserts from disk, so replaying the
+            # log on top of it would double them.
+            self._insert_log = [[] for _ in range(self.num_workers)]
+
+    def checkpoint(self) -> None:
+        """Fold all inserts into the source artifact and drop the replay log.
+
+        Each worker compacts and re-saves its shards in place, making
+        the on-disk artifact the recovery point again; without periodic
+        checkpoints an insert-heavy parent accumulates a copy of every
+        routed batch for crash replay.  Queries keep working throughout
+        (the save writes via temp files + rename under the live mmaps).
+        """
+        from repro.api.persist import _META_FILE, write_shard_gids
+
+        self.save_shards(self.path)
+        if self.num_shards > 1:
+            write_shard_gids(self.path, self._shard_gids)
+        # Keep the metadata honest: n grows with inserts, and a
+        # reopened single-shard pool derives its id map from it.
+        meta_path = os.path.join(self.path, _META_FILE)
+        with open(meta_path) as fh:
+            meta = json.load(fh)
+        meta["n"] = self.n
+        meta["next_shard"] = int(self._next_shard)
+        with open(meta_path + ".tmp", "w") as fh:
+            json.dump(meta, fh, indent=2)
+            fh.write("\n")
+        os.replace(meta_path + ".tmp", meta_path)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool(W={self.num_workers}, K={self.num_shards}, "
+            f"n={self.n}, dim={self.dim}, metric={self.metric_name}, "
+            f"r={self.radius})"
+        )

@@ -90,9 +90,30 @@ class TestBuildParity:
         result = index.query(QuerySpec(gaussian_points[0]))
         assert 0 in result.ids
 
-    def test_sharded_rejects_unsupported_customisation(self, gaussian_points):
-        with pytest.raises(ConfigurationError):
-            Index.build(gaussian_points, _spec(num_shards=2, k=4))
+    def test_sharded_build_honours_custom_spec(self, gaussian_points):
+        """Custom k/family/width specs now build sharded too (PR 4)."""
+        index = Index.build(
+            gaussian_points,
+            _spec(num_shards=2, hash_family="pstable_l2", bucket_width=2.0, k=4),
+        )
+        assert index.num_shards == 2
+        assert all(shard.index.k == 4 for shard in index.engine.shards)
+        result = index.query(QuerySpec(gaussian_points[0]))
+        assert 0 in result.ids
+        index.close()
+
+    def test_sharded_custom_spec_persists_and_reopens(self, gaussian_points, tmp_path):
+        index = Index.build(
+            gaussian_points, _spec(num_shards=2, k=4, lazy_threshold=16)
+        )
+        path = str(tmp_path / "custom-sharded")
+        index.save(path)
+        reopened = Index.open(path)
+        queries = gaussian_points[:8]
+        for ra, rb in zip(index.query_batch(queries), reopened.query_batch(queries)):
+            assert np.array_equal(ra.ids, rb.ids)
+            assert np.array_equal(ra.distances, rb.distances)
+        index.close(), reopened.close()
 
     def test_spec_dedup_reaches_sharded_engines(self, gaussian_points):
         index = Index.build(gaussian_points, _spec(num_shards=2, dedup="scalar"))

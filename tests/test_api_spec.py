@@ -44,6 +44,11 @@ class TestIndexSpecValidation:
             {"seed": "zero"},
             {"seed": 1.5},
             {"family_params": "w=2"},
+            {"execution": "fibers"},
+            # a worker pool serves mmap'd frozen shards; the mutable
+            # dict layout has no zero-copy artifact to hand it
+            {"execution": "processes", "layout": "dict"},
+            {"execution": "processes"},  # default layout is "dict"
         ],
     )
     def test_invalid_values_rejected(self, overrides):
@@ -76,6 +81,16 @@ class TestIndexSpecRoundTrip:
         )
         doc = json.loads(json.dumps(spec.to_dict()))
         assert IndexSpec.from_dict(doc) == spec
+
+    def test_execution_round_trips_and_defaults_to_threads(self):
+        assert IndexSpec(metric="l2", radius=1.0).execution == "threads"
+        spec = IndexSpec(
+            metric="l2", radius=1.0, num_shards=4,
+            layout="frozen", execution="processes",
+        )
+        doc = json.loads(json.dumps(spec.to_dict()))
+        assert IndexSpec.from_dict(doc) == spec
+        assert IndexSpec.from_dict(doc).execution == "processes"
 
     def test_unknown_keys_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -143,8 +158,16 @@ from hypothesis import strategies as st  # noqa: E402
 @st.composite
 def index_specs(draw):
     metric = draw(st.sampled_from(["l2", "l1", "cosine", "hamming", "jaccard"]))
+    layout = draw(st.sampled_from(["dict", "frozen"]))
+    execution = (
+        draw(st.sampled_from(["threads", "processes"]))
+        if layout == "frozen"
+        else "threads"
+    )
     return IndexSpec(
         metric=metric,
+        layout=layout,
+        execution=execution,
         radius=draw(st.floats(1e-3, 1e3)),
         num_tables=draw(st.integers(1, 200)),
         delta=draw(st.floats(0.01, 0.99)),

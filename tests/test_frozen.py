@@ -165,7 +165,19 @@ class TestFrozenSearch:
         frozen = index.freeze(refreeze_threshold=8)
         rng = np.random.default_rng(6)
         frozen.insert(rng.normal(size=(9, 12)))
+        # Compaction runs in a background thread (double-buffered);
+        # after it lands, both generations are folded into the arrays.
+        frozen.wait_for_refreeze()
         assert frozen.overflow_count == 0  # compacted automatically
+        assert all(not t.buckets for t in frozen.tables)
+
+    def test_auto_refreeze_inline_when_background_disabled(self):
+        points, index, _ = build_pair()
+        frozen = index.freeze(refreeze_threshold=8)
+        frozen.background_refreeze = False
+        rng = np.random.default_rng(6)
+        frozen.insert(rng.normal(size=(9, 12)))
+        assert frozen.overflow_count == 0  # compacted on the insert itself
         assert all(not t.buckets for t in frozen.tables)
 
 

@@ -1,0 +1,144 @@
+"""The concurrent request loop must be observationally synchronous.
+
+``serve_stream_concurrent`` overlaps in-flight batches behind a reader
+thread, but the wire contract is unchanged: same responses as
+``serve_stream``, in request order, with ops and top-k acting as
+barriers.  These tests replay mixed request scripts through both loops
+and require byte-equal response sequences (modulo timing counters in
+the stats payload).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import Index, IndexSpec
+from repro.service.stream import serve_stream, serve_stream_concurrent
+
+
+@pytest.fixture(scope="module")
+def served_index():
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(500, 8))
+    index = Index.build(
+        points,
+        IndexSpec(
+            metric="l2", radius=1.2, num_tables=6, num_shards=2,
+            cost_ratio=6.0, seed=3,
+        ),
+    )
+    yield index
+    index.close()
+
+
+def _script(dim, count=30):
+    rng = np.random.default_rng(7)
+    lines = [
+        json.dumps({"query": rng.normal(size=dim).tolist(), "radius": 1.2})
+        for _ in range(count)
+    ]
+    lines.insert(5, json.dumps({"op": "stats"}))
+    lines.insert(12, json.dumps({"query": rng.normal(size=dim).tolist(), "k": 4}))
+    lines.insert(20, "this is not json")
+    lines.insert(25, json.dumps({"query": [1.0], "radius": 1.0}))  # bad dim
+    return lines
+
+
+def _normalise(line):
+    doc = json.loads(line)
+    # Timing-dependent stats fields differ between runs by construction.
+    for volatile in ("elapsed_seconds", "qps", "batches"):
+        doc.pop(volatile, None)
+    return doc
+
+
+class TestConcurrentLoop:
+    @pytest.mark.parametrize("window", [1, 2, 4])
+    def test_matches_synchronous_loop_in_order(self, served_index, window):
+        lines = _script(served_index.dim)
+        served_index.reset_stats()
+        sync = list(serve_stream(served_index, lines, batch_size=8))
+        served_index.reset_stats()
+        concurrent = list(
+            serve_stream_concurrent(
+                served_index, lines, batch_size=8, window=window
+            )
+        )
+        assert len(sync) == len(concurrent) == len(lines)
+        for a, b in zip(sync, concurrent):
+            assert _normalise(a) == _normalise(b)
+
+    def test_small_batch_size_exercises_many_inflight_batches(self, served_index):
+        lines = _script(served_index.dim, count=50)
+        served_index.reset_stats()
+        sync = list(serve_stream(served_index, lines, batch_size=2))
+        served_index.reset_stats()
+        concurrent = list(
+            serve_stream_concurrent(served_index, lines, batch_size=2, window=4)
+        )
+        for a, b in zip(sync, concurrent):
+            assert _normalise(a) == _normalise(b)
+
+    def test_insert_op_is_a_barrier(self, served_index):
+        rng = np.random.default_rng(9)
+        new_point = rng.normal(size=served_index.dim)
+        lines = [
+            json.dumps({"query": new_point.tolist(), "radius": 0.5}),
+            json.dumps({"op": "insert", "points": [new_point.tolist()]}),
+            json.dumps({"query": new_point.tolist(), "radius": 0.5}),
+        ]
+        out = [
+            json.loads(r)
+            for r in serve_stream_concurrent(served_index, lines, window=4)
+        ]
+        assert out[1]["inserted"] == 1
+        # The post-insert query must see the point the barrier added.
+        assert out[2]["found"] == out[0]["found"] + 1
+
+    def test_window_must_be_positive(self, served_index):
+        with pytest.raises(ValueError):
+            list(serve_stream_concurrent(served_index, [], window=0))
+
+    def test_interactive_client_is_never_starved(self, served_index):
+        """A client that sends one request and waits must get its answer.
+
+        Regression: the loop used to drain completed futures only when
+        the *next* input line arrived, deadlocking against a
+        request/response client.
+        """
+        import queue
+        import threading
+
+        requests: "queue.Queue[str | None]" = queue.Queue()
+
+        def lines():
+            while True:
+                item = requests.get()
+                if item is None:
+                    return
+                yield item
+
+        responses = serve_stream_concurrent(
+            served_index, lines(), batch_size=8, window=2
+        )
+        rng = np.random.default_rng(3)
+        received = []
+
+        def consume_one():
+            received.append(json.loads(next(responses)))
+
+        for _ in range(3):  # strict request -> response lockstep
+            requests.put(
+                json.dumps(
+                    {"query": rng.normal(size=served_index.dim).tolist(),
+                     "radius": 1.2}
+                )
+            )
+            consumer = threading.Thread(target=consume_one)
+            consumer.start()
+            consumer.join(timeout=10.0)
+            assert not consumer.is_alive(), "interactive client starved"
+        requests.put(None)
+        assert len(list(responses)) == 0
+        assert all("found" in r for r in received)
