@@ -25,7 +25,7 @@ import time
 import pytest
 
 from benchmarks.conftest import NUM_QUERIES, NUM_TABLES
-from repro.core import CostModel, HybridSearcher, LinearScan, LSHSearch
+from repro.core import HybridSearcher, LinearScan, LSHSearch
 from repro.core.calibration import calibrate_cost_model
 from repro.datasets import split_queries
 from repro.evaluation import GroundTruth, mean_recall

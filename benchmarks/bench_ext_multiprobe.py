@@ -21,11 +21,10 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import NUM_QUERIES
-from repro.core import CostModel, HybridSearcher, LSHSearch
+from repro.core import HybridSearcher, LSHSearch
 from repro.core.calibration import calibrate_cost_model
 from repro.core.presets import paper_parameters
 from repro.datasets import split_queries

@@ -15,7 +15,6 @@ whichever strategy it picks.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import NUM_QUERIES, NUM_TABLES

@@ -18,7 +18,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import NUM_QUERIES, NUM_TABLES
-from repro.core import CostModel, HybridSearcher, LSHSearch
+from repro.core import HybridSearcher
 from repro.core.calibration import calibrate_cost_model
 from repro.datasets import split_queries
 from repro.evaluation import GroundTruth, mean_recall, recall_experiment

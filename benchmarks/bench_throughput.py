@@ -16,7 +16,14 @@ results to the sequential single-query loop:
   to the thread path *always*, and on hosts with more than one core
   must beat the thread-pool ``sharded`` mode by >= 1.5x QPS (on 1-core
   hosts the speedup bar is skipped: a process pool cannot outrun
-  threads without real cores, and the mode is still recorded).
+  threads without real cores, and the mode is still recorded);
+* the ``frozen_multiprobe`` mode — a multi-probe index (2 extra probed
+  buckets per table) compacted into the frozen CSR layout and
+  batch-served — must stay bit-identical to the multi-probe sequential
+  loop (``multiprobe_sequential``) and reach >= 3x its QPS: multi-probe
+  examines ``1 + P`` buckets per table, so the vectorised
+  probe-sequence lookups have proportionally more per-bucket Python
+  overhead to delete.
 
 Emits ``BENCH_throughput.json`` at the repo root so later PRs (async
 serving, multi-backend, persistence) can track the perf trajectory.
@@ -24,7 +31,8 @@ serving, multi-backend, persistence) can track the perf trajectory.
 Environment knobs: ``REPRO_BENCH_THROUGHPUT_N`` (default 20,000),
 ``REPRO_BENCH_QUERIES`` (default 200 here), ``REPRO_BENCH_SHARDS``
 (default 4), ``REPRO_BENCH_REPEATS`` (default 3; best-of timing),
-``REPRO_BENCH_WORKERS`` (pool width; default min(shards, cpus)).
+``REPRO_BENCH_WORKERS`` (pool width; default min(shards, cpus)),
+``REPRO_BENCH_PROBES`` (multi-probe extra buckets; default 2).
 The bars are calibrated for the default scale — shrinking the
 workload shrinks the fixed per-query overheads batching amortises,
 so reduced runs may land below them.
@@ -56,12 +64,15 @@ NUM_WORKERS = (
     if "REPRO_BENCH_WORKERS" in os.environ
     else None
 )
+NUM_PROBES = int(os.environ.get("REPRO_BENCH_PROBES", "2"))
 ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
 
 MIN_SPEEDUP = 3.0
 MIN_FROZEN_SPEEDUP = 5.0
 #: workers-over-sharded bar; only enforced where the pool has >1 core.
 MIN_WORKERS_SPEEDUP = 1.5
+#: frozen_multiprobe over its own sequential loop (multiprobe_sequential).
+MIN_MULTIPROBE_SPEEDUP = 3.0
 MULTI_CORE = (os.cpu_count() or 1) > 1
 
 
@@ -81,6 +92,8 @@ def _run_throughput():
         seed=0,
         include_workers=True,
         num_workers=NUM_WORKERS,
+        include_multiprobe=True,
+        num_probes=NUM_PROBES,
     )
     title = (
         f"Serving throughput: n = {THROUGHPUT_N}, {NUM_QUERIES} queries, "
@@ -123,6 +136,7 @@ if pytest is not None:
         assert by_mode["frozen_batched"].matches  # CSR layout == dict layout
         assert by_mode["sharded"].matches  # batch path == its own per-query loop
         assert by_mode["workers"].matches  # process pool == thread path
+        assert by_mode["frozen_multiprobe"].matches  # frozen probes == dict probes
 
     def test_workload_is_mixed(throughput_rows):
         """Both strategies must actually run, else the comparison is vacuous."""
@@ -141,6 +155,16 @@ if pytest is not None:
         frozen = by_mode["frozen_batched"]
         assert frozen.matches
         assert frozen.qps >= MIN_FROZEN_SPEEDUP * by_mode["sequential"].qps, by_mode
+
+    def test_frozen_multiprobe_speedup(throughput_rows):
+        """Acceptance: frozen multi-probe >= 3x its own sequential loop."""
+        by_mode = {row.mode: row for row in throughput_rows}
+        frozen_mp = by_mode["frozen_multiprobe"]
+        assert frozen_mp.matches
+        assert (
+            frozen_mp.qps
+            >= MIN_MULTIPROBE_SPEEDUP * by_mode["multiprobe_sequential"].qps
+        ), by_mode
 
     def test_workers_speedup_over_thread_sharding(throughput_rows):
         """Acceptance: the process pool >= 1.5x the thread fan-out.
@@ -162,14 +186,23 @@ if __name__ == "__main__":
     best = max(by_mode["batched"].qps, by_mode["sharded"].qps)
     frozen = by_mode["frozen_batched"]
     workers = by_mode["workers"]
+    frozen_mp = by_mode["frozen_multiprobe"]
     assert by_mode["batched"].matches and frozen.matches and by_mode["sharded"].matches
     assert workers.matches, "workers mode diverged from the thread path"
+    assert frozen_mp.matches, "frozen multiprobe diverged from the dict layout"
     assert best >= MIN_SPEEDUP * by_mode["sequential"].qps, by_mode
     assert frozen.qps >= MIN_FROZEN_SPEEDUP * by_mode["sequential"].qps, by_mode
+    assert (
+        frozen_mp.qps >= MIN_MULTIPROBE_SPEEDUP * by_mode["multiprobe_sequential"].qps
+    ), by_mode
     print(f"speedup {best / by_mode['sequential'].qps:.2f}x >= {MIN_SPEEDUP}x: OK")
     print(
         f"frozen_batched {frozen.qps / by_mode['sequential'].qps:.2f}x "
         f">= {MIN_FROZEN_SPEEDUP}x: OK"
+    )
+    print(
+        f"frozen_multiprobe {frozen_mp.qps / by_mode['multiprobe_sequential'].qps:.2f}x "
+        f">= {MIN_MULTIPROBE_SPEEDUP}x: OK"
     )
     if MULTI_CORE:
         assert workers.qps >= MIN_WORKERS_SPEEDUP * by_mode["sharded"].qps, by_mode

@@ -29,7 +29,6 @@ from repro.evaluation.experiments import build_paper_index
 def main() -> None:
     dataset = webspam_like(n=6000, seed=3)
     data, queries = split_queries(dataset.points, num_queries=40, seed=3)
-    labels = dataset.extras["labels"]
     radius = 0.08  # near-duplicate threshold on cosine distance
 
     index = build_paper_index(data, "cosine", radius, num_tables=50, seed=3)

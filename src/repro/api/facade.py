@@ -238,22 +238,48 @@ def _spec_is_shard_customised(spec: IndexSpec) -> bool:
         or spec.family_params
         or spec.lazy_threshold is not None
         or spec.hll_seed
+        or spec.variant != "plain"
     )
 
 
-def _build_single_index(
-    spec: IndexSpec, points: np.ndarray, seed, freeze: bool
-) -> LSHIndex:
-    """Build one (possibly customised) index as the spec describes it."""
-    family, k = _resolve_family_and_k(spec, points.shape[1], seed=seed)
-    index = LSHIndex(
-        family,
-        k=k,
-        num_tables=spec.num_tables,
-        hll_precision=spec.hll_precision,
-        hll_seed=spec.hll_seed,
-        lazy_threshold=spec.lazy_threshold,
-    ).build(points)
+def _build_single_index(spec: IndexSpec, points: np.ndarray, seed, freeze: bool):
+    """Build one (possibly customised) index as the spec describes it.
+
+    ``variant`` selects the index class: ``"plain"`` and
+    ``"multiprobe"`` share the family/``k`` resolution above;
+    ``"covering"`` derives its ``r + 1`` block tables from the spec
+    radius instead of drawing a hash family.  Either layout
+    (``freeze=True`` -> the variant's frozen CSR counterpart) answers
+    bit-identically to its dict-layout twin.
+    """
+    if spec.variant == "covering":
+        from repro.index.covering import CoveringLSHIndex
+
+        index = CoveringLSHIndex(
+            dim=points.shape[1],
+            radius=int(spec.radius),
+            hll_precision=spec.hll_precision,
+            hll_seed=spec.hll_seed,
+            lazy_threshold=spec.lazy_threshold,
+            seed=seed,
+        ).build(points)
+    else:
+        family, k = _resolve_family_and_k(spec, points.shape[1], seed=seed)
+        kwargs = dict(
+            k=k,
+            num_tables=spec.num_tables,
+            hll_precision=spec.hll_precision,
+            hll_seed=spec.hll_seed,
+            lazy_threshold=spec.lazy_threshold,
+        )
+        if spec.variant == "multiprobe":
+            from repro.index.multiprobe_index import MultiProbeLSHIndex
+
+            index = MultiProbeLSHIndex(
+                family, num_probes=spec.num_probes, **kwargs
+            ).build(points)
+        else:
+            index = LSHIndex(family, **kwargs).build(points)
     if freeze:
         index = index.freeze()
     return index

@@ -210,13 +210,11 @@ def open_index(path: str, num_workers: int | None = None):
             next_shard=int(meta.get("next_shard", 0)),
             dedup=spec.dedup,
         )
-        from repro.api.facade import _ShardedBackend
-
         backend = _ShardedBackend(backend_engine)
     else:
-        searcher = HybridSearcher(shard_indexes[0], cost_model, estimator=estimator)
-        engine = BatchQueryEngine(searcher, radius=spec.radius, dedup=spec.dedup)
         from repro.api.facade import _SingleBackend
 
+        searcher = HybridSearcher(shard_indexes[0], cost_model, estimator=estimator)
+        engine = BatchQueryEngine(searcher, radius=spec.radius, dedup=spec.dedup)
         backend = _SingleBackend(engine)
     return Index(backend, spec=spec, cache=_cache_from_spec(spec))

@@ -34,6 +34,9 @@ JSON schema (all keys optional unless noted)::
       "cache_quantum": 1e-9,           # cache key quantisation step
       "dedup":         "vectorized",   # serving-side Step-S2 dedup
       "layout":        "dict",         # bucket storage: "dict" | "frozen" (CSR arrays)
+      "variant":       "plain",        # index variant: "plain" | "multiprobe"
+                                       # | "covering" (hamming only, integer radius)
+      "num_probes":    2,              # extra probed buckets per table (multiprobe)
       "execution":     "threads",      # shard fan-out: "threads" | "processes"
                                        # ("processes" = mmap'd worker pool;
                                        #  requires layout "frozen")
@@ -96,6 +99,8 @@ class IndexSpec:
     cache_quantum: float = 1e-9
     dedup: str = "vectorized"
     layout: str = "dict"
+    variant: str = "plain"
+    num_probes: int = 2
     execution: str = "threads"
     seed: int | None = None
 
@@ -147,6 +152,41 @@ class IndexSpec:
             raise ConfigurationError(
                 f'layout must be "dict" or "frozen", got {self.layout!r}'
             )
+        if self.variant not in ("plain", "multiprobe", "covering"):
+            raise ConfigurationError(
+                f'variant must be "plain", "multiprobe" or "covering", '
+                f"got {self.variant!r}"
+            )
+        if not isinstance(self.num_probes, int) or isinstance(self.num_probes, bool) or self.num_probes < 0:
+            raise ConfigurationError(
+                f"num_probes must be a non-negative int, got {self.num_probes!r}"
+            )
+        if self.variant == "covering":
+            if self.metric != "hamming":
+                raise ConfigurationError(
+                    'variant="covering" is a Hamming-space construction; '
+                    f"it requires metric=\"hamming\", got {self.metric!r}"
+                )
+            if not float(self.radius).is_integer():
+                raise ConfigurationError(
+                    'variant="covering" builds its guarantee for an integer '
+                    f"Hamming radius, got {self.radius!r}"
+                )
+            if (
+                self.hash_family is not None
+                or self.k is not None
+                or self.bucket_width is not None
+                or self.family_params
+            ):
+                raise ConfigurationError(
+                    'variant="covering" derives its tables from the radius '
+                    "(r + 1 bit blocks); hash_family/k/bucket_width/"
+                    "family_params do not apply"
+                )
+            # The construction fixes the table count at r + 1; normalise
+            # so the persisted document never claims a count the artifact
+            # does not have.
+            set_(self, "num_tables", int(self.radius) + 1)
         if self.execution not in ("threads", "processes"):
             raise ConfigurationError(
                 f'execution must be "threads" or "processes", '

@@ -128,6 +128,22 @@ def _build_parser() -> argparse.ArgumentParser:
              "thread path; on multi-core hosts additionally require X times "
              "the sharded (thread-pool) QPS — skipped on 1-core hosts",
     )
+    p_tp.add_argument(
+        "--include-multiprobe", action="store_true",
+        help="also measure a multi-probe index: per-query loop "
+             "('multiprobe_sequential') vs its frozen CSR layout batched "
+             "('frozen_multiprobe', bit-identity asserted)",
+    )
+    p_tp.add_argument(
+        "--probes", type=int, default=2, metavar="P",
+        help="extra probed buckets per table for the multiprobe rows",
+    )
+    p_tp.add_argument(
+        "--assert-multiprobe-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless frozen_multiprobe is bit-identical to the "
+             "multi-probe sequential loop and reaches X times its QPS "
+             "(CI regression gate; implies --include-multiprobe)",
+    )
 
     p_build = sub.add_parser(
         "build", help="build a spec-driven index over a dataset and save it"
@@ -186,6 +202,17 @@ def _add_spec_options(parser: argparse.ArgumentParser) -> None:
         "--layout", choices=("dict", "frozen"), default="dict",
         help="bucket storage layout; 'frozen' compacts into CSR arrays "
              "(vectorised serving, mmap-backed persistence)",
+    )
+    parser.add_argument(
+        "--variant", choices=("plain", "multiprobe", "covering"), default="plain",
+        help="index variant: 'multiprobe' probes extra buckets per table "
+             "(see --probes), 'covering' builds the no-false-negative "
+             "Hamming construction (requires a hamming dataset and an "
+             "integer radius); both compose with either --layout",
+    )
+    parser.add_argument(
+        "--probes", type=int, default=2, metavar="P",
+        help="extra probed buckets per table for --variant multiprobe",
     )
     parser.add_argument(
         "--execution", choices=("threads", "processes"), default="threads",
@@ -276,6 +303,9 @@ def _cmd_throughput(args: argparse.Namespace) -> None:
     points, queries, radius = mixed_workload(
         args.n, dim=args.dim, num_queries=args.queries, seed=args.seed
     )
+    include_multiprobe = (
+        args.include_multiprobe or args.assert_multiprobe_speedup is not None
+    )
     rows = throughput_experiment(
         points,
         queries,
@@ -288,6 +318,8 @@ def _cmd_throughput(args: argparse.Namespace) -> None:
         seed=args.seed,
         include_workers=args.execution == "processes",
         num_workers=args.workers,
+        include_multiprobe=include_multiprobe,
+        num_probes=args.probes,
     )
     title = (
         f"Serving throughput: n = {args.n}, d = {args.dim}, "
@@ -336,6 +368,24 @@ def _cmd_throughput(args: argparse.Namespace) -> None:
                 f"workers {workers.qps / sharded.qps:.2f}x over sharded >= "
                 f"{args.assert_workers_speedup}x: OK"
             )
+    if args.assert_multiprobe_speedup is not None:
+        frozen_mp = by_mode["frozen_multiprobe"]
+        mp_seq = by_mode["multiprobe_sequential"]
+        if not frozen_mp.matches:
+            sys.exit(
+                "error: frozen_multiprobe answers diverged from the "
+                "multi-probe sequential loop"
+            )
+        if frozen_mp.qps < args.assert_multiprobe_speedup * mp_seq.qps:
+            sys.exit(
+                f"error: frozen_multiprobe speedup "
+                f"{frozen_mp.qps / mp_seq.qps:.2f}x < "
+                f"{args.assert_multiprobe_speedup}x bar"
+            )
+        print(
+            f"frozen_multiprobe {frozen_mp.qps / mp_seq.qps:.2f}x >= "
+            f"{args.assert_multiprobe_speedup}x: OK"
+        )
     if args.json:
         write_throughput_json(
             rows,
@@ -368,6 +418,8 @@ def _index_spec_from_args(args: argparse.Namespace, metric: str, radius: float):
         "cache_size": args.cache_size,
         "cost_ratio": args.ratio if args.ratio and args.ratio > 0 else None,
         "layout": args.layout,
+        "variant": args.variant,
+        "num_probes": args.probes,
         "execution": args.execution,
         "seed": args.seed,
     }
@@ -378,8 +430,15 @@ def _index_spec_from_args(args: argparse.Namespace, metric: str, radius: float):
 
 
 def _build_index(args: argparse.Namespace):
-    """Build a spec-driven index over the chosen dataset stand-in."""
+    """Build a spec-driven index over the chosen dataset stand-in.
+
+    Invalid flag combinations (e.g. ``--variant covering`` on a
+    non-Hamming dataset, or ``--execution processes`` without
+    ``--layout frozen``) exit non-zero with the validation message
+    instead of a traceback — the CLI contract for misconfiguration.
+    """
     from repro.api import Index
+    from repro.exceptions import ConfigurationError
 
     dataset = _DATASETS[args.dataset](n=args.n, seed=args.seed)
     radius = (
@@ -387,9 +446,21 @@ def _build_index(args: argparse.Namespace):
         if args.radius is None
         else args.radius
     )
-    spec = _index_spec_from_args(args, dataset.metric, radius)
-    num_workers = getattr(args, "workers", None)
-    return dataset, Index.build(dataset.points, spec, num_workers=num_workers)
+    if (
+        getattr(args, "variant", "plain") == "covering"
+        and args.radius is None
+        and dataset.metric == "hamming"
+    ):
+        # Dataset sweep radii are rarely integral; the covering
+        # construction needs an integer Hamming radius.  (Non-Hamming
+        # datasets fall through so validation reports the real problem.)
+        radius = float(max(1, int(round(radius))))
+    try:
+        spec = _index_spec_from_args(args, dataset.metric, radius)
+        num_workers = getattr(args, "workers", None)
+        return dataset, Index.build(dataset.points, spec, num_workers=num_workers)
+    except ConfigurationError as exc:
+        sys.exit(f"error: {exc}")
 
 
 def _cmd_build(args: argparse.Namespace) -> None:
@@ -427,6 +498,8 @@ def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
                 ("--cache-size", args.cache_size != 0),
                 ("--ratio", args.ratio != 6.0),
                 ("--layout", args.layout != "dict"),
+                ("--variant", args.variant != "plain"),
+                ("--probes", args.probes != 2),
                 ("--execution", args.execution != "threads"),
             )
             if given

@@ -312,7 +312,9 @@ class HybridLSH:
         self = cls.__new__(cls)
         self.params = PaperParameters(
             family=index.family,
-            k=index.k,
+            # The covering variant has no uniform composite width; its
+            # per-table widths follow the block partition.
+            k=getattr(index, "k", 0),
             num_tables=index.num_tables,
             p1=index.family.collision_probability(radius),
             radius=float(radius),

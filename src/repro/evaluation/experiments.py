@@ -25,7 +25,7 @@ from repro.datasets.base import Dataset
 from repro.datasets.queries import split_queries
 from repro.evaluation.ground_truth import GroundTruth
 from repro.evaluation.metrics import relative_error
-from repro.evaluation.runner import StrategyRun, run_queries
+from repro.evaluation.runner import run_queries
 from repro.index.lsh_index import LSHIndex
 from repro.utils.rng import RandomState
 

@@ -17,7 +17,16 @@ answering the same query set against the same data:
 * ``workers`` (optional) — the same ``K`` shards frozen, persisted,
   and served by a :class:`~repro.service.workers.WorkerPool` of worker
   *processes* that mmap the saved shard arrays — the only mode that can
-  use more than one core for the GIL-bound per-shard dedup/merge work.
+  use more than one core for the GIL-bound per-shard dedup/merge work;
+* ``multiprobe_sequential`` / ``frozen_multiprobe`` (optional) — a
+  :class:`~repro.index.multiprobe_index.MultiProbeLSHIndex` over the
+  same workload, per-query loop vs the same index compacted into the
+  frozen CSR layout and batch-served.  Multi-probe examines
+  ``1 + P`` buckets per table, so the frozen layout's batched
+  probe-sequence ``searchsorted`` has proportionally more per-bucket
+  Python overhead to delete; the ``frozen_multiprobe`` row's
+  ``speedup`` is measured against ``multiprobe_sequential`` (its own
+  reference loop), not the plain ``sequential`` row.
 
 The batched and sharded rows are served through the
 :class:`repro.api.Index` facade — the surface a deployment actually
@@ -62,7 +71,13 @@ __all__ = [
 
 @dataclass
 class ThroughputRow:
-    """One serving mode's measurement."""
+    """One serving mode's measurement.
+
+    ``speedup`` is relative to ``reference`` — the per-query loop the
+    mode's ``matches`` flag is also asserted against (``"sequential"``
+    for the plain rows, ``"multiprobe_sequential"`` for the multi-probe
+    rows, whose index answers a different query plan).
+    """
 
     mode: str
     num_queries: int
@@ -71,6 +86,7 @@ class ThroughputRow:
     speedup: float
     matches: bool
     linear_fraction: float
+    reference: str = "sequential"
 
 
 def mixed_workload(
@@ -151,6 +167,8 @@ def throughput_experiment(
     seed: RandomState = 0,
     include_workers: bool = False,
     num_workers: int | None = None,
+    include_multiprobe: bool = False,
+    num_probes: int = 2,
 ) -> list[ThroughputRow]:
     """Measure sequential / batched / sharded QPS on one workload.
 
@@ -166,6 +184,14 @@ def throughput_experiment(
     process pool of ``num_workers`` workers mmap'ing the saved arrays.
     Its ``matches`` flag asserts bit-identity against the thread path's
     per-query reference.
+
+    ``include_multiprobe=True`` adds the ``multiprobe_sequential`` and
+    ``frozen_multiprobe`` rows: one multi-probe index (``num_probes``
+    extra buckets per table, same paper parameters and cost model),
+    measured as a per-query loop and as the frozen CSR layout's batch
+    path.  ``frozen_multiprobe.matches`` asserts bit-identity against
+    the multi-probe sequential loop, and its ``speedup`` is relative to
+    that loop.
     """
     if cost_model is None:
         from repro.core.calibration import calibrate_cost_model
@@ -278,7 +304,94 @@ def throughput_experiment(
                 float("nan"),
             )
         )
+    if include_multiprobe:
+        rows.extend(
+            _measure_multiprobe(
+                points,
+                queries,
+                metric=metric,
+                radius=radius,
+                num_tables=num_tables,
+                num_probes=num_probes,
+                cost_model=cost_model,
+                seed=seed,
+                repeats=repeats,
+            )
+        )
     return rows
+
+
+def _measure_multiprobe(
+    points: np.ndarray,
+    queries: np.ndarray,
+    metric: str,
+    radius: float,
+    num_tables: int,
+    num_probes: int,
+    cost_model: CostModel,
+    seed: RandomState,
+    repeats: int,
+) -> list[ThroughputRow]:
+    """The multi-probe serving rows (dict sequential vs frozen batch).
+
+    One :class:`~repro.index.multiprobe_index.MultiProbeLSHIndex` is
+    built with the paper presets; freezing the *same* built index
+    isolates the layout effect exactly as the plain-index rows do.
+    Both rows report their speedup relative to the multi-probe
+    sequential loop.
+    """
+    from repro.api import Index
+    from repro.core.hybrid import HybridSearcher
+    from repro.core.presets import paper_parameters
+    from repro.index.multiprobe_index import MultiProbeLSHIndex
+
+    params = paper_parameters(
+        metric, dim=points.shape[1], radius=radius, num_tables=num_tables, seed=seed
+    )
+    mp_index = MultiProbeLSHIndex(
+        params.family,
+        k=params.k,
+        num_tables=params.num_tables,
+        num_probes=num_probes,
+    ).build(points)
+    mp_searcher = HybridSearcher(mp_index, cost_model)
+    frozen_front = Index.from_engine(
+        BatchQueryEngine(
+            HybridSearcher(mp_index.freeze(), cost_model), radius=radius
+        )
+    )
+    warm = queries[:2]
+    [mp_searcher.query(q, radius) for q in warm]
+    frozen_front.query_batch(warm, radius)
+    seq_seconds, seq_results = _time_best(
+        lambda: [mp_searcher.query(q, radius) for q in queries], repeats
+    )
+    fz_seconds, fz_results = _time_best(
+        lambda: frozen_front.query_batch(queries, radius), repeats
+    )
+    num_queries = queries.shape[0]
+
+    def row(mode: str, seconds: float, matches: bool, linear_fraction: float):
+        return ThroughputRow(
+            mode=mode,
+            num_queries=num_queries,
+            seconds=seconds,
+            qps=num_queries / seconds if seconds else float("inf"),
+            speedup=seq_seconds / seconds if seconds else float("inf"),
+            matches=matches,
+            linear_fraction=linear_fraction,
+            reference="multiprobe_sequential",
+        )
+
+    return [
+        row("multiprobe_sequential", seq_seconds, True, _linear_fraction(seq_results)),
+        row(
+            "frozen_multiprobe",
+            fz_seconds,
+            _results_equal(seq_results, fz_results),
+            _linear_fraction(fz_results),
+        ),
+    ]
 
 
 def _measure_workers(
@@ -364,6 +477,8 @@ def write_throughput_json(
     rows: list[ThroughputRow], path: str, meta: dict | None = None
 ) -> None:
     """Persist the measurement as a JSON artifact (perf trajectory)."""
+    qps_by_mode = {row.mode: row.qps for row in rows}
+    seq_qps = qps_by_mode.get("sequential")
     payload = {
         "experiment": "throughput",
         "python": platform.python_version(),
@@ -377,7 +492,15 @@ def write_throughput_json(
                 "queries": row.num_queries,
                 "seconds": row.seconds,
                 "qps": row.qps,
-                "speedup_vs_sequential": row.speedup,
+                # vs the mode's own bit-identity reference loop (the
+                # multiprobe rows reference multiprobe_sequential)...
+                "speedup_vs_reference": row.speedup,
+                "reference": row.reference,
+                # ...and vs the shared sequential baseline, so
+                # cross-mode ratios in this artifact stay comparable.
+                "speedup_vs_sequential": (
+                    row.qps / seq_qps if seq_qps else row.speedup
+                ),
                 "matches_reference": row.matches,
                 "linear_fraction": None
                 if np.isnan(row.linear_fraction)

@@ -13,7 +13,6 @@ import numpy as np
 
 from repro.hashing.base import LSHFamily
 from repro.hashing.composite import CompositeHash
-from repro.utils.rng import RandomState
 from repro.utils.validation import check_positive_int
 
 __all__ = ["BitSamplingLSH"]

@@ -16,12 +16,19 @@ query time).
   CSR arrays (``LSHIndex.freeze()``): vectorised batch primitives,
   zero per-bucket Python objects, mmap-able persistence;
 * :class:`MultiProbeLSHIndex` — the multi-probe extension the paper
-  names as future work.
+  names as future work (and :class:`FrozenMultiProbeLSHIndex`, its
+  frozen CSR counterpart);
+* :class:`CoveringLSHIndex` — the no-false-negative covering scheme
+  (and :class:`FrozenCoveringLSHIndex`, its frozen CSR counterpart).
 """
 
 from repro.index.bucket import Bucket
 from repro.index.covering import CoveringLSHIndex
 from repro.index.frozen import FrozenLSHIndex, FrozenQueryLookup, FrozenTables
+from repro.index.frozen_probing import (
+    FrozenCoveringLSHIndex,
+    FrozenMultiProbeLSHIndex,
+)
 from repro.index.lsh_index import LSHIndex, QueryLookup
 from repro.index.multiprobe_index import MultiProbeLSHIndex
 from repro.index.table import HashTable
@@ -35,5 +42,7 @@ __all__ = [
     "FrozenQueryLookup",
     "FrozenTables",
     "MultiProbeLSHIndex",
+    "FrozenMultiProbeLSHIndex",
     "CoveringLSHIndex",
+    "FrozenCoveringLSHIndex",
 ]

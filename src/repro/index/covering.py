@@ -39,7 +39,62 @@ from repro.sketches.hyperloglog import PrecomputedHllHashes
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_matrix, check_positive_int, check_vector
 
-__all__ = ["CoveringLSHIndex"]
+__all__ = [
+    "CoveringLSHIndex",
+    "insert_into_covering_tables",
+    "hamming_family_facade",
+]
+
+
+def hamming_family_facade(dim: int):
+    """Minimal Hamming family facade for the covering indexes.
+
+    The covering construction has no sampled hash family, but the
+    searchers read ``index.family.metric`` (and the persistence layer
+    ``family.dim``); this builds the one stand-in both the dict and
+    frozen covering layouts share, so the exposed surface cannot drift
+    between them.
+    """
+    from repro.hashing.bit_sampling import BitSamplingLSH
+
+    facade = BitSamplingLSH.__new__(BitSamplingLSH)
+    facade.dim = int(dim)
+    return facade
+
+
+def insert_into_covering_tables(index, new_points: np.ndarray) -> np.ndarray:
+    """Incremental covering insert: hash block projections into ``index.tables``.
+
+    The covering construction is inherently incremental — each new
+    point lands in its block bucket per table and the bucket's sketch
+    absorbs its precomputed HLL pair.  Shared by the dict layout's
+    :meth:`CoveringLSHIndex.insert` and the frozen layout's overflow
+    insert (where ``index.tables`` are the overflow side-tables), so
+    the two can never hash an inserted point differently.
+    """
+    index._require_built()
+    new_points = check_matrix(new_points, dim=index.dim, name="new_points")
+    m = new_points.shape[0]
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    old_n = int(index.points.shape[0])
+    new_ids = np.arange(old_n, old_n + m, dtype=np.int64)
+    index.points = np.concatenate([index.points, new_points])
+    if index._hll_hashes is not None:
+        index._hll_hashes.extend(old_n + m)
+    for table, block in zip(index.tables, index._blocks):
+        keys = encode_rows(np.ascontiguousarray(new_points[:, block], dtype=np.int64))
+        for point_id, key in zip(new_ids.tolist(), keys):
+            bucket = table.buckets.get(key)
+            if bucket is None:
+                bucket = Bucket(
+                    hll_precision=index.hll_precision,
+                    hll_seed=index.hll_seed,
+                    lazy_threshold=table.lazy_threshold,
+                )
+                table.buckets[key] = bucket
+            bucket.append(int(point_id), index._hll_hashes)
+    return new_ids
 
 
 class CoveringLSHIndex:
@@ -69,6 +124,10 @@ class CoveringLSHIndex:
     >>> 0 in index.candidate_ids(lookup)   # the point itself always collides
     True
     """
+
+    #: Storage layout / variant tags (the frozen counterpart overrides).
+    layout = "dict"
+    variant = "covering"
 
     def __init__(
         self,
@@ -107,6 +166,10 @@ class CoveringLSHIndex:
         self.tables: list[HashTable] = []
         self.points: np.ndarray | None = None
         self._hll_hashes: PrecomputedHllHashes | None = None
+        self._batched = None  # no fused kernel: blocks have per-table widths
+        # One facade for the index's lifetime: the searchers read
+        # .family.metric once per answered query.
+        self._family_facade = hamming_family_facade(self.dim)
 
     # ------------------------------------------------------------------
     # Build
@@ -171,8 +234,59 @@ class CoveringLSHIndex:
             buckets.append(table.get(key))
         return QueryLookup(keys=keys, buckets=buckets, hash_rows=hash_rows)
 
+    def lookup_batch(self, queries: np.ndarray) -> list[QueryLookup]:
+        """Batched block lookups: one encode pass per table.
+
+        Equivalent to ``[self.lookup(q) for q in queries]``; this is
+        what lets the batched serving engines (and the hybrid batch
+        dispatch) run on a covering index.
+        """
+        self._require_built()
+        queries = check_matrix(queries, dim=self.dim, name="queries")
+        per_table_rows = [
+            np.ascontiguousarray(queries[:, block], dtype=np.int64)
+            for block in self._blocks
+        ]
+        per_table_keys = [encode_rows(rows) for rows in per_table_rows]
+        lookups = []
+        for qi in range(queries.shape[0]):
+            keys = [per_table_keys[t][qi] for t in range(self.num_tables)]
+            buckets = [table.get(key) for table, key in zip(self.tables, keys)]
+            hash_rows = [per_table_rows[t][qi] for t in range(self.num_tables)]
+            lookups.append(QueryLookup(keys=keys, buckets=buckets, hash_rows=hash_rows))
+        return lookups
+
+    def insert(self, new_points: np.ndarray) -> np.ndarray:
+        """Insert points into the block tables (incremental construction).
+
+        Returns the ids assigned to the new points (``n .. n + m - 1``).
+        The covering guarantee extends to the inserted points: they are
+        hashed by the same block projections, so any point within the
+        construction radius of a later query still shares a whole block
+        with it.
+        """
+        return insert_into_covering_tables(self, new_points)
+
+    def freeze(self, refreeze_threshold: int | None = None):
+        """Compact into the frozen CSR layout (covering fast path).
+
+        Returns a
+        :class:`~repro.index.frozen_probing.FrozenCoveringLSHIndex`
+        sharing this index's points and block permutation —
+        bit-identical answers, vectorised batch primitives, mmap-able
+        persistence.  The source index is left untouched.
+        """
+        from repro.index.frozen_probing import FrozenCoveringLSHIndex
+
+        self._require_built()
+        return FrozenCoveringLSHIndex.from_covering_index(
+            self, refreeze_threshold=refreeze_threshold
+        )
+
     # The remaining primitives are identical to LSHIndex; reuse them.
     merged_sketch = LSHIndex.merged_sketch
+    merged_sketches_batch = LSHIndex.merged_sketches_batch
+    merged_estimates_batch = LSHIndex.merged_estimates_batch
     estimate_candidates = LSHIndex.estimate_candidates
     candidate_ids = LSHIndex.candidate_ids
     num_collisions = LSHIndex.num_collisions
@@ -182,11 +296,7 @@ class CoveringLSHIndex:
     @property
     def family(self):
         """Minimal family facade (metric access for the searchers)."""
-        from repro.hashing.bit_sampling import BitSamplingLSH
-
-        facade = BitSamplingLSH.__new__(BitSamplingLSH)
-        facade.dim = self.dim
-        return facade
+        return self._family_facade
 
     def __repr__(self) -> str:
         built = f"n={self.n}" if self.is_built else "unbuilt"

@@ -228,19 +228,34 @@ class FrozenTables:
 
     @staticmethod
     def table_arrays(
-        table: HashTable, key_width: int, member_dtype=np.intp
+        table: HashTable, key_width: int, member_dtype=np.intp, pad_to: int | None = None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """One dict-layout table -> ``(sorted key matrix, sizes, members)``."""
+        """One dict-layout table -> ``(sorted key matrix, sizes, members)``.
+
+        ``key_width`` is the table's true dict-key width in bytes;
+        ``pad_to`` (>= ``key_width``) zero-pads every key on the right
+        so tables with different key widths — the covering index's
+        variable block widths — can share one fused key matrix.
+        Padding cannot collide distinct keys of one table (same true
+        width) and cannot reorder them (the zero suffixes compare
+        equal), so the sorted segment is the same bucket sequence either
+        way.
+        """
+        width = key_width if pad_to is None else int(pad_to)
         num = len(table.buckets)
         if num == 0:
             return (
-                np.empty((0, key_width), dtype=np.uint8),
+                np.empty((0, width), dtype=np.uint8),
                 np.empty(0, dtype=np.int64),
                 np.empty(0, dtype=member_dtype),
             )
         keys_mat = np.frombuffer(
             b"".join(table.buckets.keys()), dtype=np.uint8
         ).reshape(num, key_width)
+        if width != key_width:
+            padded = np.zeros((num, width), dtype=np.uint8)
+            padded[:, :key_width] = keys_mat
+            keys_mat = padded
         order = np.argsort(_void_view(keys_mat), kind="stable")
         buckets = list(table.buckets.values())
         sizes = np.asarray([buckets[i].size for i in order], dtype=np.int64)
@@ -260,6 +275,9 @@ class FrozenTables:
         members second — the exact id order the dict layout's append
         path produces — and the merge is a stable sort over the
         concatenated key sets, no per-bucket Python loop.
+        ``key_width`` is the overflow table's true dict-key width; its
+        keys are padded up to this structure's fused width when the two
+        differ (covering layout).
         """
         lo, hi = int(self.table_slices[t]), int(self.table_slices[t + 1])
         f_keys = self.keys_raw[lo:hi]
@@ -268,7 +286,10 @@ class FrozenTables:
         f_members = self.members[seg_start:seg_stop]
         f_starts = self.offsets[lo:hi] - seg_start
         o_keys, o_sizes, o_members = self.table_arrays(
-            overflow, key_width, member_dtype=self.members.dtype
+            overflow,
+            key_width,
+            member_dtype=self.members.dtype,
+            pad_to=self.key_width,
         )
         if o_keys.shape[0] == 0:
             return (
@@ -299,26 +320,40 @@ class FrozenTables:
     # ------------------------------------------------------------------
     # Query-side primitives
     # ------------------------------------------------------------------
-    def locate(self, query_keys: np.ndarray) -> np.ndarray:
-        """Global bucket index per ``(query, table)``; -1 for empty buckets.
+    def locate(
+        self, query_keys: np.ndarray, probes_per_table: int = 1
+    ) -> np.ndarray:
+        """Global bucket index per ``(query, slot)``; -1 for empty buckets.
 
-        ``query_keys`` is the ``(q, L)`` void-key matrix of a query
-        batch; each table costs one ``np.searchsorted`` over its sorted
-        key segment.
+        ``query_keys`` is the ``(q, S)`` void-key matrix of a query
+        batch.  With the default ``probes_per_table=1`` slot ``s``
+        probes table ``s`` (``S == L``, the plain and covering
+        layouts); the multi-probe layout folds all ``1 + P`` probes of
+        a table into the consecutive slot range
+        ``[t * (1 + P), (t + 1) * (1 + P))`` and passes ``1 + P``.
+        Either way, each table costs one ``np.searchsorted`` over its
+        sorted key segment — covering all of that table's probes and
+        queries in the single call.
         """
-        q = query_keys.shape[0]
-        out = np.full((q, self.num_tables), -1, dtype=np.int64)
+        q, num_slots = query_keys.shape
+        if num_slots != self.num_tables * probes_per_table:
+            raise ValueError(
+                f"key matrix has {num_slots} slot columns; expected "
+                f"{self.num_tables} tables x {probes_per_table} probes"
+            )
+        out = np.full((q, num_slots), -1, dtype=np.int64)
         for t in range(self.num_tables):
             lo, hi = int(self.table_slices[t]), int(self.table_slices[t + 1])
             if hi == lo:
                 continue
             segment = self.keys[lo:hi]
-            column = query_keys[:, t]
-            pos = np.searchsorted(segment, column)
+            cols = slice(t * probes_per_table, (t + 1) * probes_per_table)
+            block = query_keys[:, cols]
+            pos = np.searchsorted(segment, block.ravel()).reshape(block.shape)
             in_range = pos < (hi - lo)
             clamped = np.where(in_range, pos, 0)
-            hit = in_range & (segment[clamped] == column)
-            out[:, t] = np.where(hit, lo + clamped, -1)
+            hit = in_range & (segment[clamped] == block)
+            out[:, cols] = np.where(hit, lo + clamped, -1)
         return out
 
     def gather_members(self, bucket_idx: np.ndarray) -> np.ndarray:
@@ -488,6 +523,41 @@ class FrozenLSHIndex(LSHIndex):
     """
 
     layout = "frozen"
+    #: Index-variant tag; the probing subclasses override this.
+    variant = "plain"
+
+    # ------------------------------------------------------------------
+    # Slot model
+    #
+    # A *slot* is one probed bucket address per query: the plain layout
+    # has one slot per table (S == L), the multi-probe layout has
+    # ``1 + P`` consecutive slots per table.  Everything downstream of
+    # the lookup — collision counts, sketch merges, candidate unions,
+    # overflow probing — is written against slots, so the probing
+    # subclasses only override the three hooks below.
+    # ------------------------------------------------------------------
+    @property
+    def key_width(self) -> int:
+        """Width in bytes of the fused key matrix (covering overrides)."""
+        return 8 * self.k
+
+    @property
+    def num_slots(self) -> int:
+        """Probed bucket addresses per query (``L`` for the plain layout)."""
+        return self.num_tables
+
+    @property
+    def _slot_table_ids(self) -> np.ndarray:
+        """Table owning each slot (identity for the plain layout)."""
+        return np.arange(self.num_tables)
+
+    def _slot_rows(self, all_rows: np.ndarray) -> np.ndarray:
+        """``(q, L, k)`` hash tensor -> ``(q, S, k)`` probed hash rows."""
+        return all_rows
+
+    def _dict_key_width(self, t: int) -> int:
+        """True dict-key width of table ``t`` (uniform except covering)."""
+        return self.key_width
 
     # ------------------------------------------------------------------
     # Construction
@@ -635,7 +705,7 @@ class FrozenLSHIndex(LSHIndex):
         queries keep probing both overflow generations until the
         background swap lands, so nothing is ever missed.
         """
-        new_ids = super().insert(new_points)
+        new_ids = self._insert_overflow(new_points)
         with self._refreeze_lock:
             self._overflow_count += int(new_ids.size)
             trigger = self._overflow_count > self.refreeze_threshold
@@ -645,6 +715,16 @@ class FrozenLSHIndex(LSHIndex):
             else:
                 self.refreeze()
         return new_ids
+
+    def _insert_overflow(self, new_points: np.ndarray) -> np.ndarray:
+        """Hash new points into the current overflow generation.
+
+        The dict layout's incremental Algorithm 1 already lands each
+        point in its home bucket of ``self.tables`` — which here *are*
+        the overflow tables; the covering subclass replaces this with
+        its block-projection hashing.
+        """
+        return super().insert(new_points)
 
     def _start_background_refreeze(self) -> None:
         """Rotate the overflow generation and compact it off-thread."""
@@ -700,14 +780,13 @@ class FrozenLSHIndex(LSHIndex):
         self, frozen: FrozenTables, overflow: list[HashTable]
     ) -> FrozenTables:
         """Merge one overflow generation into ``frozen`` (pure function)."""
-        key_width = 8 * self.k
         per_table = [
-            frozen.merged_table_arrays(t, overflow[t], key_width)
+            frozen.merged_table_arrays(t, overflow[t], self._dict_key_width(t))
             for t in range(self.num_tables)
         ]
         return FrozenTables.assemble(
             per_table,
-            key_width,
+            self.key_width,
             self._hll_hashes,
             self._effective_lazy_threshold,
             self.hll_precision,
@@ -769,12 +848,12 @@ class FrozenLSHIndex(LSHIndex):
     # ------------------------------------------------------------------
     # Step S1: lookups
     # ------------------------------------------------------------------
-    def _query_key_matrix(self, all_rows: np.ndarray) -> np.ndarray:
-        """``(q, L, k)`` int64 hash tensor -> ``(q, L)`` void key matrix."""
-        q = all_rows.shape[0]
-        width = 8 * self.k
-        flat = np.ascontiguousarray(all_rows.reshape(q, self.num_tables * self.k), dtype="<i8")
-        raw = flat.view(np.uint8).reshape(q, self.num_tables, width)
+    def _query_key_matrix(self, slot_rows: np.ndarray) -> np.ndarray:
+        """``(q, S, k)`` int64 slot-hash tensor -> ``(q, S)`` void key matrix."""
+        q, num_slots = slot_rows.shape[0], slot_rows.shape[1]
+        width = self.key_width
+        flat = np.ascontiguousarray(slot_rows.reshape(q, num_slots * self.k), dtype="<i8")
+        raw = flat.view(np.uint8).reshape(q, num_slots, width)
         return raw.view(np.dtype((np.void, width)))[:, :, 0]
 
     def _snapshot(self) -> tuple[FrozenTables, list[list[HashTable]]]:
@@ -797,56 +876,70 @@ class FrozenLSHIndex(LSHIndex):
     def _overflow_buckets_for(
         self, keys: list[bytes], generations: list[list[HashTable]]
     ) -> list[Bucket | None] | None:
-        """Generation-major flat bucket list (``G * L`` slots), or None.
+        """Generation-major flat bucket list (``G * S`` slots), or None.
 
-        Slot ``g * L + t`` holds generation ``g``'s bucket in table
-        ``t``; candidate unions and register maxima are associative, so
+        Slot ``g * S + j`` holds generation ``g``'s bucket for the
+        query's probe ``j`` (probed in the table ``_slot_table_ids[j]``
+        owns); candidate unions and register maxima are associative, so
         consumers may walk the flat list in any grouping.
         """
         if not generations:
             return None
+        slot_tables = self._slot_table_ids.tolist()
         return [
-            table.buckets.get(key)
+            gen[t].buckets.get(key)
             for gen in generations
-            for table, key in zip(gen, keys)
+            for t, key in zip(slot_tables, keys)
         ]
 
     def lookup(self, query: np.ndarray) -> FrozenQueryLookup:
-        """Locate the query's bucket in every table (one binary search each)."""
+        """Locate the query's probed buckets (one binary search per table)."""
         self._require_built()
         rows = self._batched.query_rows(query)  # validates dim; (L, k)
         frozen, generations = self._snapshot()
-        key_matrix = self._query_key_matrix(rows[None, :, :])
-        bucket_ids = frozen.locate(key_matrix)[0]
-        overflow = self._overflow_buckets_for(encode_rows(rows), generations)
+        slot_rows = self._slot_rows(rows[None, :, :])  # (1, S, k)
+        key_matrix = self._query_key_matrix(slot_rows)
+        bucket_ids = frozen.locate(
+            key_matrix, self.num_slots // self.num_tables
+        )[0]
+        overflow = self._overflow_buckets_for(
+            encode_rows(np.ascontiguousarray(slot_rows[0])), generations
+        )
         return FrozenQueryLookup(
             bucket_ids=bucket_ids, hash_rows=rows, frozen=frozen, overflow=overflow
         )
 
     def lookup_batch(self, queries: np.ndarray) -> list[FrozenQueryLookup]:
-        """Locate many queries' buckets: fused hash pass + searchsorted per table."""
+        """Locate many queries' probed buckets: fused hash pass + searchsorted.
+
+        One binary search per table covers every probe slot of every
+        query in the batch (the multi-probe layout's ``1 + P`` slots per
+        table included).
+        """
         from repro.utils.validation import check_matrix
 
         self._require_built()
         queries = check_matrix(queries, dim=self.dim, name="queries")
         all_rows = self._batched.hash_points(queries)  # (q, L, k)
         q = all_rows.shape[0]
+        num_slots = self.num_slots
         frozen, generations = self._snapshot()
-        key_matrix = self._query_key_matrix(all_rows)
-        positions = frozen.locate(key_matrix)  # (q, L)
+        slot_rows = self._slot_rows(all_rows)  # (q, S, k)
+        key_matrix = self._query_key_matrix(slot_rows)
+        positions = frozen.locate(key_matrix, num_slots // self.num_tables)  # (q, S)
         found = positions >= 0
         safe = np.where(found, positions, 0)
         collisions = np.where(found, frozen.sizes[safe], 0).sum(axis=1)
         if generations:
             flat_keys = encode_rows(
-                all_rows.reshape(q * self.num_tables, self.k)
+                np.ascontiguousarray(slot_rows.reshape(q * num_slots, self.k))
             )
         lookups = []
         for qi in range(q):
             overflow = None
             num_collisions = int(collisions[qi])
             if generations:
-                keys = flat_keys[qi * self.num_tables : (qi + 1) * self.num_tables]
+                keys = flat_keys[qi * num_slots : (qi + 1) * num_slots]
                 overflow = self._overflow_buckets_for(keys, generations)
                 num_collisions += sum(
                     b.size for b in overflow if b is not None
@@ -1023,9 +1116,10 @@ class FrozenLSHIndex(LSHIndex):
 
     def _candidate_ids_scalar(self, lookup: FrozenQueryLookup) -> np.ndarray:
         frozen = lookup._frozen
+        num_slots = len(lookup.bucket_ids)
         seen = np.zeros(self.n, dtype=bool)
         out: list[int] = []
-        for t in range(self.num_tables):
+        for t in range(num_slots):
             b = int(lookup.bucket_ids[t])
             if b >= 0:
                 start = int(frozen.offsets[b])
@@ -1035,9 +1129,9 @@ class FrozenLSHIndex(LSHIndex):
                         seen[point_id] = True
                         out.append(point_id)
             if lookup.overflow is not None:
-                # The flat overflow list is generation-major (G * L
-                # slots); table t owns slot g * L + t of each generation.
-                for bucket in lookup.overflow[t :: self.num_tables]:
+                # The flat overflow list is generation-major (G * S
+                # slots); slot t owns entry g * S + t of each generation.
+                for bucket in lookup.overflow[t::num_slots]:
                     if bucket is not None:
                         for point_id in bucket.ids.tolist():
                             if not seen[point_id]:
@@ -1166,17 +1260,10 @@ def save_frozen_index(index: FrozenLSHIndex, path: str) -> None:
             f"got {type(index).__name__}"
         )
     index._require_built()
-    batched = index._batched
-    if batched.params is None or batched.kind == "generic":
-        raise ConfigurationError(
-            "index family does not expose serialisable kernel parameters "
-            f"(kind={batched.kind!r}); only built-in families are supported"
-        )
-    index.refreeze()
     config = {
         "format_version": _FROZEN_FORMAT_VERSION,
         "layout": "frozen",
-        "k": index.k,
+        "variant": index.variant,
         "num_tables": index.num_tables,
         "hll_precision": index.hll_precision,
         "hll_seed": index.hll_seed,
@@ -1184,13 +1271,31 @@ def save_frozen_index(index: FrozenLSHIndex, path: str) -> None:
         "with_sketches": index.with_sketches,
         "dedup": index.dedup,
         "dim": index.dim,
-        "family": batched.kind,
         "refreeze_threshold": index.refreeze_threshold,
-        "kernel_params": sorted(batched.params),
     }
-    if batched.kind == "pstable":
-        config["p"] = index.family.p
-        config["w"] = index.family.w
+    if index.variant == "covering":
+        # No hash kernel to persist: the block permutation *is* the
+        # hash, and it is plain JSON.
+        batched = None
+        config["radius"] = index.radius
+        config["blocks"] = [block.tolist() for block in index._blocks]
+        config["key_width"] = index.key_width
+    else:
+        batched = index._batched
+        if batched.params is None or batched.kind == "generic":
+            raise ConfigurationError(
+                "index family does not expose serialisable kernel parameters "
+                f"(kind={batched.kind!r}); only built-in families are supported"
+            )
+        config["k"] = index.k
+        config["family"] = batched.kind
+        config["kernel_params"] = sorted(batched.params)
+        if batched.kind == "pstable":
+            config["p"] = index.family.p
+            config["w"] = index.family.w
+        if index.variant == "multiprobe":
+            config["num_probes"] = index.num_probes
+    index.refreeze()
     os.makedirs(path, exist_ok=True)
     frozen = index.frozen
     arrays = {
@@ -1203,8 +1308,9 @@ def save_frozen_index(index: FrozenLSHIndex, path: str) -> None:
         "sketch_rows": frozen.sketch_rows,
         "registers": frozen.registers,
     }
-    for name, array in batched.params.items():
-        arrays[f"kernel_{name}"] = array
+    if batched is not None:
+        for name, array in batched.params.items():
+            arrays[f"kernel_{name}"] = array
     # Write-to-temp + rename: a re-saved index may hold arrays that are
     # memory-mapped from the very files being written (open -> save back
     # to the same path); truncating those in place would corrupt the
@@ -1252,6 +1358,36 @@ def load_frozen_index(path: str, mmap_mode: str | None = "r") -> FrozenLSHIndex:
         )
         for name in _ARRAY_FILES
     }
+    variant = config.get("variant", "plain")
+    frozen = FrozenTables(
+        num_tables=config["num_tables"],
+        key_width=(
+            config["key_width"] if variant == "covering" else 8 * config["k"]
+        ),
+        keys_raw=arrays["keys_raw"],
+        table_slices=arrays["table_slices"],
+        offsets=arrays["offsets"],
+        sizes=arrays["sizes"],
+        members=arrays["members"],
+        sketch_rows=arrays["sketch_rows"],
+        registers=arrays["registers"],
+    )
+    if variant == "covering":
+        from repro.index.frozen_probing import FrozenCoveringLSHIndex
+
+        return FrozenCoveringLSHIndex.from_state(
+            points=arrays["points"],
+            frozen=frozen,
+            dim=config["dim"],
+            radius=config["radius"],
+            blocks=config["blocks"],
+            hll_precision=config["hll_precision"],
+            hll_seed=config["hll_seed"],
+            lazy_threshold=config["lazy_threshold"],
+            with_sketches=config["with_sketches"],
+            dedup=config["dedup"],
+            refreeze_threshold=config.get("refreeze_threshold"),
+        )
     kernel_params = {
         name: np.load(
             os.path.join(path, f"kernel_{name}.npy"),
@@ -1270,18 +1406,7 @@ def load_frozen_index(path: str, mmap_mode: str | None = "r") -> FrozenLSHIndex:
         kind=config["family"],
         params=kernel_params,
     )
-    frozen = FrozenTables(
-        num_tables=config["num_tables"],
-        key_width=8 * config["k"],
-        keys_raw=arrays["keys_raw"],
-        table_slices=arrays["table_slices"],
-        offsets=arrays["offsets"],
-        sizes=arrays["sizes"],
-        members=arrays["members"],
-        sketch_rows=arrays["sketch_rows"],
-        registers=arrays["registers"],
-    )
-    return FrozenLSHIndex.from_state(
+    state_kwargs = dict(
         family=family,
         batched=batched,
         points=arrays["points"],
@@ -1295,3 +1420,10 @@ def load_frozen_index(path: str, mmap_mode: str | None = "r") -> FrozenLSHIndex:
         dedup=config["dedup"],
         refreeze_threshold=config.get("refreeze_threshold"),
     )
+    if variant == "multiprobe":
+        from repro.index.frozen_probing import FrozenMultiProbeLSHIndex
+
+        return FrozenMultiProbeLSHIndex.from_state(
+            num_probes=config["num_probes"], **state_kwargs
+        )
+    return FrozenLSHIndex.from_state(**state_kwargs)

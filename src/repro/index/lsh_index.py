@@ -25,7 +25,7 @@ from repro.hashing.base import LSHFamily
 from repro.index.bucket import Bucket
 from repro.index.table import HashTable
 from repro.sketches.hyperloglog import HyperLogLog, PrecomputedHllHashes
-from repro.utils.validation import check_matrix, check_positive_int, check_vector
+from repro.utils.validation import check_matrix, check_positive_int
 
 __all__ = ["LSHIndex", "QueryLookup"]
 
@@ -127,6 +127,8 @@ class LSHIndex:
 
     #: Storage layout tag; the CSR-compacted subclass overrides this.
     layout = "dict"
+    #: Index-variant tag; the probing subclasses override this.
+    variant = "plain"
 
     def __init__(
         self,
@@ -257,9 +259,13 @@ class LSHIndex:
 
         self._require_built()
         if type(self) is not LSHIndex:
+            # MultiProbeLSHIndex and CoveringLSHIndex override freeze()
+            # with their own frozen layouts; anything else is a custom
+            # subclass whose query surface we cannot assume.
             raise ConfigurationError(
-                f"freeze() supports the base LSHIndex layout only, "
-                f"not {type(self).__name__}"
+                f"freeze() has no frozen layout for {type(self).__name__}; "
+                f"built-in variants (LSHIndex, MultiProbeLSHIndex, "
+                f"CoveringLSHIndex) each provide their own freeze()"
             )
         return FrozenLSHIndex.from_dict_index(
             self, refreeze_threshold=refreeze_threshold

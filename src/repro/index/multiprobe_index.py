@@ -22,10 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hashing.bit_sampling import BitSamplingLSH
 from repro.hashing.composite import encode_rows
-from repro.hashing.probing import hamming_probe_keys, perturbation_offsets
-from repro.hashing.simhash import SimHashLSH
+from repro.hashing.probing import probe_deltas
 from repro.index.bucket import Bucket
 from repro.index.lsh_index import LSHIndex, QueryLookup
 
@@ -42,6 +40,8 @@ class MultiProbeLSHIndex(LSHIndex):
     (remaining parameters as in :class:`~repro.index.lsh_index.LSHIndex`)
     """
 
+    variant = "multiprobe"
+
     def __init__(self, *args, num_probes: int = 2, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         if num_probes < 0:
@@ -49,23 +49,21 @@ class MultiProbeLSHIndex(LSHIndex):
 
             raise ConfigurationError(f"num_probes must be >= 0, got {num_probes}")
         self.num_probes = int(num_probes)
-        self._binary_values = isinstance(self.family, (SimHashLSH, BitSamplingLSH))
-        # Integer-offset probes are precomputed once; bit-flip probes
-        # depend on the query's hash row and are generated per lookup.
-        self._offsets = (
-            None
-            if self._binary_values
-            else perturbation_offsets(self.k, self.num_probes)
+        # One classification + enumeration shared with the frozen
+        # layout (repro.hashing.probing.probe_deltas), so the two
+        # layouts can never probe different bucket sets.
+        self._binary_values, self._probe_deltas = probe_deltas(
+            self.family, self.k, self.num_probes
         )
 
     def _probe_keys(self, hash_row: np.ndarray) -> list[bytes]:
         """Keys of the perturbed buckets for one table's hash row."""
-        if self.num_probes == 0:
+        if self._probe_deltas.shape[0] == 0:
             return []
+        row = np.asarray(hash_row, dtype=np.int64)[None, :]
         if self._binary_values:
-            return hamming_probe_keys(hash_row, self.num_probes)
-        perturbed = np.stack([hash_row + delta for delta in self._offsets])
-        return encode_rows(perturbed)
+            return encode_rows(row ^ self._probe_deltas)
+        return encode_rows(row + self._probe_deltas)
 
     def _lookup_from_rows(self, rows: np.ndarray, home_keys: list[bytes]) -> QueryLookup:
         """Assemble one query's home + probe buckets from its hash rows.
@@ -117,6 +115,25 @@ class MultiProbeLSHIndex(LSHIndex):
             )
             for qi, rows in enumerate(all_rows)
         ]
+
+    def freeze(self, refreeze_threshold: int | None = None):
+        """Compact into the frozen CSR layout (multi-probe fast path).
+
+        Returns a
+        :class:`~repro.index.frozen_probing.FrozenMultiProbeLSHIndex`
+        sharing this index's points and hash kernel: the tables compact
+        into the same contiguous arrays as the plain layout (multi-probe
+        changes queries, not construction) and the probe-sequence
+        lookups become batched ``searchsorted`` calls — bit-identical
+        answers, including after ``insert``.  The source index is left
+        untouched.
+        """
+        from repro.index.frozen_probing import FrozenMultiProbeLSHIndex
+
+        self._require_built()
+        return FrozenMultiProbeLSHIndex.from_dict_index(
+            self, refreeze_threshold=refreeze_threshold
+        )
 
     def __repr__(self) -> str:
         base = super().__repr__()

@@ -61,16 +61,10 @@ def save_index(index: LSHIndex, path: str) -> None:
             "save_index writes the dict bucket layout; persist frozen "
             "indexes with repro.index.frozen.save_frozen_index"
         )
-    batched = index._batched
-    if batched.params is None or batched.kind == "generic":
-        raise ConfigurationError(
-            "index family does not expose serialisable kernel parameters "
-            f"(kind={batched.kind!r}); only built-in families are supported"
-        )
-
+    variant = getattr(index, "variant", "plain")
     config = {
         "format_version": _FORMAT_VERSION,
-        "k": index.k,
+        "variant": variant,
         "num_tables": index.num_tables,
         "hll_precision": index.hll_precision,
         "hll_seed": index.hll_seed,
@@ -78,17 +72,32 @@ def save_index(index: LSHIndex, path: str) -> None:
         "with_sketches": index.with_sketches,
         "dedup": index.dedup,
         "dim": index.dim,
-        "family": batched.kind,
     }
-    if batched.kind == "pstable":
-        config["p"] = index.family.p
-        config["w"] = index.family.w
-
     payload: dict[str, np.ndarray] = {"points": index.points}
-    for name, array in batched.params.items():
-        payload[f"kernel_{name}"] = array
-    key_width = 8 * index.k
-    for t, table in enumerate(index.tables):
+    if variant == "covering":
+        # The block permutation is the whole hash; per-table key widths
+        # follow the block widths, so each table records its own.
+        config["radius"] = index.radius
+        config["blocks"] = [block.tolist() for block in index._blocks]
+        key_widths = [8 * block.size for block in index._blocks]
+    else:
+        batched = index._batched
+        if batched.params is None or batched.kind == "generic":
+            raise ConfigurationError(
+                "index family does not expose serialisable kernel parameters "
+                f"(kind={batched.kind!r}); only built-in families are supported"
+            )
+        config["k"] = index.k
+        config["family"] = batched.kind
+        if batched.kind == "pstable":
+            config["p"] = index.family.p
+            config["w"] = index.family.w
+        if variant == "multiprobe":
+            config["num_probes"] = index.num_probes
+        for name, array in batched.params.items():
+            payload[f"kernel_{name}"] = array
+        key_widths = [8 * index.k] * index.num_tables
+    for t, (table, key_width) in enumerate(zip(index.tables, key_widths)):
         keys = list(table.buckets.keys())
         ids = [bucket.ids for bucket in table.buckets.values()]
         if keys:
@@ -122,25 +131,60 @@ def load_index(path: str) -> LSHIndex:
             )
         points = archive["points"]
         dim = config["dim"]
-        k = config["k"]
         num_tables = config["num_tables"]
-        kernel_params = {
-            key[len("kernel_"):]: archive[key]
-            for key in archive.files
-            if key.startswith("kernel_")
-        }
-        family, fused = _rebuild_family_and_kernel(config, kernel_params, dim)
+        variant = config.get("variant", "plain")
+        if variant == "covering":
+            from repro.index.covering import CoveringLSHIndex
 
-        index = LSHIndex(
-            family,
-            k=k,
-            num_tables=num_tables,
-            hll_precision=config["hll_precision"],
-            hll_seed=config["hll_seed"],
-            lazy_threshold=config["lazy_threshold"],
-            with_sketches=config["with_sketches"],
-            dedup=config["dedup"],
-        )
+            index = CoveringLSHIndex(
+                dim=dim,
+                radius=config["radius"],
+                hll_precision=config["hll_precision"],
+                hll_seed=config["hll_seed"],
+                lazy_threshold=config["lazy_threshold"],
+                with_sketches=config["with_sketches"],
+                dedup=config["dedup"],
+                # The constructor's permutation draw is discarded below;
+                # a fixed seed keeps loading deterministic and entropy-free.
+                seed=0,
+            )
+            # The saved permutation replaces the constructor's draw.
+            index._blocks = [
+                np.asarray(block, dtype=np.int64) for block in config["blocks"]
+            ]
+        else:
+            k = config["k"]
+            kernel_params = {
+                key[len("kernel_"):]: archive[key]
+                for key in archive.files
+                if key.startswith("kernel_")
+            }
+            family, fused = _rebuild_family_and_kernel(config, kernel_params, dim)
+            index_kwargs = dict(
+                k=k,
+                num_tables=num_tables,
+                hll_precision=config["hll_precision"],
+                hll_seed=config["hll_seed"],
+                lazy_threshold=config["lazy_threshold"],
+                with_sketches=config["with_sketches"],
+                dedup=config["dedup"],
+            )
+            if variant == "multiprobe":
+                from repro.index.multiprobe_index import MultiProbeLSHIndex
+
+                index = MultiProbeLSHIndex(
+                    family, num_probes=config["num_probes"], **index_kwargs
+                )
+            else:
+                index = LSHIndex(family, **index_kwargs)
+            index._batched = BatchedHash(
+                fused,
+                k=k,
+                num_tables=num_tables,
+                dim=dim,
+                kind=config["family"],
+                params=kernel_params,
+            )
         index.points = points
         index._hll_hashes = (
             PrecomputedHllHashes(
@@ -148,14 +192,6 @@ def load_index(path: str) -> LSHIndex:
             )
             if index.with_sketches
             else None
-        )
-        index._batched = BatchedHash(
-            fused,
-            k=k,
-            num_tables=num_tables,
-            dim=dim,
-            kind=config["family"],
-            params=kernel_params,
         )
         index.tables = []
         for t in range(num_tables):

@@ -25,7 +25,6 @@ from repro.api import (
 from repro.core import CostModel
 from repro.core.hybrid import HybridLSH
 from repro.exceptions import ConfigurationError, DimensionMismatchError
-from repro.service.cache import QueryResultCache
 from repro.service.sharded import ShardedHybridIndex
 from repro.service.stream import serve_stream
 

@@ -169,3 +169,161 @@ class TestCli:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliFailurePaths:
+    """Misbehaving input must degrade per line (serve) or exit with a
+    clear non-zero status (build), never a traceback or a dead stream."""
+
+    def _serve(self, monkeypatch, capsys, lines, argv=None):
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main(
+            ["serve", "--dataset", "corel", "--n", "300", "--tables", "4"]
+            + (argv or [])
+        ) == 0
+        return [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+
+    def test_serve_survives_malformed_and_partial_json(self, capsys, monkeypatch):
+        from repro.datasets import corel_like
+
+        dataset = corel_like(n=300, seed=0)
+        good = json.dumps({"query": dataset.points[0].tolist()})
+        lines = [
+            "this is not json",
+            '{"query": [0.1, 0.2',          # truncated mid-object
+            '["query"]',                     # valid JSON, wrong shape
+            good,                            # the stream must still serve
+        ]
+        responses = self._serve(monkeypatch, capsys, lines)
+        assert len(responses) == len(lines)
+        for bad in responses[:3]:
+            assert set(bad) == {"error"}
+            assert bad["error"].startswith("bad request:")
+        assert 0 in responses[3]["ids"]
+
+    def test_serve_survives_unknown_op(self, capsys, monkeypatch):
+        from repro.datasets import corel_like
+
+        dataset = corel_like(n=300, seed=0)
+        good = json.dumps({"query": dataset.points[0].tolist()})
+        responses = self._serve(
+            monkeypatch, capsys,
+            [json.dumps({"op": "explode"}), json.dumps({"op": "insert"}), good],
+        )
+        assert "error" in responses[0]
+        assert "unknown request" in responses[0]["error"]
+        assert "error" in responses[1]  # insert without points
+        assert 0 in responses[2]["ids"]
+
+    def test_serve_concurrent_loop_survives_malformed_lines(self, capsys, monkeypatch):
+        """The --inflight > 1 reader-thread loop has its own parse path."""
+        from repro.datasets import corel_like
+
+        dataset = corel_like(n=300, seed=0)
+        good = json.dumps({"query": dataset.points[0].tolist()})
+        responses = self._serve(
+            monkeypatch, capsys,
+            ["{{nope", good, json.dumps({"op": "bogus"}), good],
+            argv=["--inflight", "3"],
+        )
+        assert len(responses) == 4
+        assert "error" in responses[0]
+        assert 0 in responses[1]["ids"]
+        assert "error" in responses[2]
+        assert 0 in responses[3]["ids"]
+
+    def test_build_bad_layout_exits_nonzero(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "build", "--dataset", "corel", "--n", "300",
+                "--layout", "zip", "--out", str(tmp_path / "x"),
+            ])
+        assert excinfo.value.code == 2  # argparse: invalid choice
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_build_bad_dataset_exits_nonzero(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "build", "--dataset", "imagenet", "--out", str(tmp_path / "x"),
+            ])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_build_covering_on_wrong_metric_exits_with_message(self, tmp_path):
+        """Semantic misconfiguration (not an argparse choice error) must
+        exit non-zero with the validation message, not a traceback."""
+        with pytest.raises(SystemExit, match="hamming"):
+            main([
+                "build", "--dataset", "corel", "--n", "300",
+                "--variant", "covering", "--out", str(tmp_path / "x"),
+            ])
+
+    def test_build_processes_without_frozen_exits_with_message(self, tmp_path):
+        with pytest.raises(SystemExit, match="frozen"):
+            main([
+                "build", "--dataset", "corel", "--n", "300",
+                "--execution", "processes", "--out", str(tmp_path / "x"),
+            ])
+
+
+class TestCliVariants:
+    def test_build_then_serve_frozen_multiprobe(self, capsys, monkeypatch, tmp_path):
+        from repro.datasets import corel_like
+
+        out = str(tmp_path / "mp-index")
+        assert main([
+            "build", "--dataset", "corel", "--n", "300", "--tables", "4",
+            "--layout", "frozen", "--variant", "multiprobe", "--probes", "3",
+            "--out", out,
+        ]) == 0
+        capsys.readouterr()
+        dataset = corel_like(n=300, seed=0)
+        lines = [
+            json.dumps({"op": "spec"}),
+            json.dumps({"query": dataset.points[3].tolist()}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main(["serve", "--index", out]) == 0
+        responses = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert responses[0]["spec"]["variant"] == "multiprobe"
+        assert responses[0]["spec"]["num_probes"] == 3
+        assert 3 in responses[1]["ids"]
+
+    def test_build_then_serve_frozen_covering(self, capsys, monkeypatch, tmp_path):
+        from repro.datasets import mnist_like
+
+        out = str(tmp_path / "cov-index")
+        assert main([
+            "build", "--dataset", "mnist", "--n", "300",
+            "--layout", "frozen", "--variant", "covering", "--out", out,
+        ]) == 0
+        capsys.readouterr()
+        dataset = mnist_like(n=300, seed=0)
+        lines = [
+            json.dumps({"op": "spec"}),
+            json.dumps({"query": dataset.points[3].tolist()}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main(["serve", "--index", out]) == 0
+        responses = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert responses[0]["spec"]["variant"] == "covering"
+        assert 3 in responses[1]["ids"]
+
+    def test_throughput_multiprobe_gate(self, capsys, tmp_path):
+        artifact = tmp_path / "tp.json"
+        assert main([
+            "throughput", "--n", "900", "--queries", "12", "--tables", "6",
+            "--shards", "2", "--include-multiprobe", "--probes", "2",
+            "--json", str(artifact),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "frozen_multiprobe" in out
+        payload = json.loads(artifact.read_text())
+        assert "frozen_multiprobe" in payload["modes"]
+        assert payload["modes"]["frozen_multiprobe"]["matches_reference"] is True

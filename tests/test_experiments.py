@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import CostModel
-from repro.datasets import corel_like, mnist_like, webspam_like
+from repro.datasets import corel_like, webspam_like
 from repro.evaluation import (
     figure2_experiment,
     figure3_experiment,

@@ -13,7 +13,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.core import CostModel, HybridLSH, HybridSearcher
+from repro.core import CostModel, HybridSearcher
 from repro.exceptions import ConfigurationError
 from repro.hashing import PStableLSH, SimHashLSH
 from repro.index import FrozenLSHIndex, LSHIndex, MultiProbeLSHIndex
@@ -187,14 +187,22 @@ class TestFrozenGuards:
         with pytest.raises(Exception):
             index.freeze()
 
-    def test_freeze_rejects_subclasses(self):
+    def test_freeze_rejects_unknown_subclasses(self):
+        """Built-in variants freeze (multi-probe since PR 5); a custom
+        subclass with an unknown query surface still must not."""
         rng = np.random.default_rng(0)
         points = rng.normal(size=(100, 8))
         probe = MultiProbeLSHIndex(
             SimHashLSH(8, seed=1), k=2, num_tables=3, num_probes=1, seed=2
         ).build(points)
+        assert probe.freeze().variant == "multiprobe"
+
+        class CustomIndex(LSHIndex):
+            pass
+
+        custom = CustomIndex(SimHashLSH(8, seed=1), k=2, num_tables=3).build(points)
         with pytest.raises(ConfigurationError):
-            probe.freeze()
+            custom.freeze()
 
     def test_frozen_rejects_rebuild(self):
         _, _, frozen = build_pair(n=100)

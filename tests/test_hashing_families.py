@@ -1,6 +1,5 @@
 """Tests for the LSH families: determinism, sensitivity, p(c) formulas."""
 
-import math
 
 import numpy as np
 import pytest

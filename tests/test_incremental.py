@@ -55,10 +55,7 @@ class TestIncrementalInsert:
 
     def test_incremental_equals_bulk(self, gaussian_points):
         """Build-then-insert must answer queries exactly like bulk build."""
-        bulk = build_index(gaussian_points, seed=5)
         incremental = build_index(gaussian_points[:400], seed=5)
-        # Same seed => the family RNG state differs after build (bulk drew
-        # the same functions), so compare via search results instead of keys.
         incremental.insert(gaussian_points[400:])
         scan = LinearScan(gaussian_points, "l2")
         for i in (0, 250, 450, 599):

@@ -1,7 +1,6 @@
 """Tests for classic LSH-based rNNR search."""
 
 import numpy as np
-import pytest
 
 from repro.core import LinearScan, LSHSearch, Strategy
 from repro.core.presets import paper_parameters

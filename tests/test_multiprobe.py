@@ -1,6 +1,5 @@
 """Tests for the multi-probe LSH index extension."""
 
-import numpy as np
 import pytest
 
 from repro.core import CostModel, HybridSearcher, LSHSearch
@@ -65,8 +64,8 @@ class TestMultiProbeLookup:
         index = MultiProbeLSHIndex(
             PStableLSH(16, w=2.0, p=2, seed=1), k=4, num_tables=2, num_probes=5
         )
-        assert index._offsets is not None
-        assert len(index._offsets) == 5
+        assert not index._binary_values
+        assert index._probe_deltas.shape == (5, 4)
 
     def test_repr_mentions_probes(self):
         index = MultiProbeLSHIndex(SimHashLSH(4, seed=0), k=2, num_tables=2, num_probes=7)

@@ -1,10 +1,9 @@
 """Property-based tests (hypothesis) on the core invariants."""
 
-import math
 
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 

@@ -1,6 +1,5 @@
 """Tests for the recall experiment (the paper's omitted result)."""
 
-import numpy as np
 import pytest
 
 from repro.core import CostModel

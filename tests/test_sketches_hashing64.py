@@ -1,7 +1,6 @@
 """Tests for the shared 64-bit sketch hashing."""
 
 import numpy as np
-import pytest
 
 from repro.sketches.hashing64 import hash64, rho_positions, split_hash
 
