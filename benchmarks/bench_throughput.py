@@ -73,7 +73,19 @@ MIN_FROZEN_SPEEDUP = 5.0
 MIN_WORKERS_SPEEDUP = 1.5
 #: frozen_multiprobe over its own sequential loop (multiprobe_sequential).
 MIN_MULTIPROBE_SPEEDUP = 3.0
+#: enabled-tracing QPS tax target on frozen_batched (recorded in the
+#: artifact; asserted loosely — wall-clock noise on shared CI hosts
+#: makes a tight 5% gate flaky, so the hard bar is 3x the target).
+TRACING_OVERHEAD_TARGET = 0.05
+MAX_TRACING_OVERHEAD = 0.15
 MULTI_CORE = (os.cpu_count() or 1) > 1
+
+
+def _tracing_overhead(by_mode) -> float:
+    """Fractional QPS loss of frozen_batched_traced vs frozen_batched."""
+    frozen = by_mode["frozen_batched"].qps
+    traced = by_mode["frozen_batched_traced"].qps
+    return 1.0 - traced / frozen if frozen else 0.0
 
 
 def _run_throughput():
@@ -102,6 +114,12 @@ def _run_throughput():
     print()
     print(f"=== {title} ===")
     print(format_throughput(rows))
+    by_mode = {row.mode: row for row in rows}
+    overhead = _tracing_overhead(by_mode)
+    print(
+        f"enabled-tracing overhead on frozen_batched: {overhead:.1%} "
+        f"(target <= {TRACING_OVERHEAD_TARGET:.0%})"
+    )
     write_throughput_json(
         rows,
         str(ARTIFACT),
@@ -111,6 +129,11 @@ def _run_throughput():
             "num_tables": NUM_TABLES,
             "radius": radius,
             "seed": 0,
+            # Fractional QPS lost with stage tracing enabled on the
+            # frozen batch path; the target is advisory, the artifact
+            # records the measured value for the perf trajectory.
+            "tracing_overhead_fraction": overhead,
+            "tracing_overhead_target": TRACING_OVERHEAD_TARGET,
         },
     )
     print(f"wrote {ARTIFACT}")
@@ -134,9 +157,26 @@ if pytest is not None:
         by_mode = {row.mode: row for row in throughput_rows}
         assert by_mode["batched"].matches
         assert by_mode["frozen_batched"].matches  # CSR layout == dict layout
+        assert by_mode["frozen_batched_traced"].matches  # tracing is timing-only
         assert by_mode["sharded"].matches  # batch path == its own per-query loop
         assert by_mode["workers"].matches  # process pool == thread path
         assert by_mode["frozen_multiprobe"].matches  # frozen probes == dict probes
+
+    def test_latency_percentiles_recorded(throughput_rows):
+        """Every mode's latency pass must yield ordered, finite percentiles."""
+        import math
+
+        for row in throughput_rows:
+            assert not math.isnan(row.p50), row
+            assert row.p50 <= row.p95 <= row.p99, row
+
+    def test_tracing_overhead_within_bound(throughput_rows):
+        """Enabled tracing may not tax frozen-batch QPS beyond the loose bar."""
+        by_mode = {row.mode: row for row in throughput_rows}
+        overhead = _tracing_overhead(by_mode)
+        assert overhead <= MAX_TRACING_OVERHEAD, (
+            f"tracing overhead {overhead:.1%} > {MAX_TRACING_OVERHEAD:.0%}"
+        )
 
     def test_workload_is_mixed(throughput_rows):
         """Both strategies must actually run, else the comparison is vacuous."""
@@ -188,8 +228,11 @@ if __name__ == "__main__":
     workers = by_mode["workers"]
     frozen_mp = by_mode["frozen_multiprobe"]
     assert by_mode["batched"].matches and frozen.matches and by_mode["sharded"].matches
+    assert by_mode["frozen_batched_traced"].matches, "tracing changed an answer"
     assert workers.matches, "workers mode diverged from the thread path"
     assert frozen_mp.matches, "frozen multiprobe diverged from the dict layout"
+    overhead = _tracing_overhead(by_mode)
+    assert overhead <= MAX_TRACING_OVERHEAD, f"tracing overhead {overhead:.1%}"
     assert best >= MIN_SPEEDUP * by_mode["sequential"].qps, by_mode
     assert frozen.qps >= MIN_FROZEN_SPEEDUP * by_mode["sequential"].qps, by_mode
     assert (

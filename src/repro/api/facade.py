@@ -41,6 +41,7 @@ from repro.exceptions import ConfigurationError
 from repro.hashing.base import family_for_metric, get_family
 from repro.hashing.params import concatenation_width
 from repro.index.lsh_index import LSHIndex
+from repro.observability import StageTrace, stage_timer
 from repro.service.batch import BatchQueryEngine
 from repro.service.cache import QueryResultCache
 from repro.service.sharded import ShardedHybridIndex
@@ -74,8 +75,10 @@ class _SingleBackend:
     def resolve_radius(self, radius: float | None) -> float:
         return self.engine._resolve_radius(radius)
 
-    def query_batch(self, queries: np.ndarray, radius: float) -> list[QueryResult]:
-        return self.engine.query_batch(queries, radius)
+    def query_batch(
+        self, queries: np.ndarray, radius: float, trace: StageTrace | None = None
+    ) -> list[QueryResult]:
+        return self.engine.query_batch(queries, radius, trace=trace)
 
     def shard_query_batch(self, shard: int, queries, radius) -> list[QueryResult]:
         return self.engine.query_batch(queries, radius)
@@ -86,12 +89,18 @@ class _SingleBackend:
     def map_shards(self, work) -> list:
         return [work(0)]
 
-    def topk_batch(self, queries: np.ndarray, k: int) -> list[QueryResult]:
+    def topk_batch(
+        self, queries: np.ndarray, k: int, trace: StageTrace | None = None
+    ) -> list[QueryResult]:
         index = self.engine.index
         if k > index.n:
             raise ConfigurationError(f"k ({k}) must not exceed the index size ({index.n})")
-        block = pairwise_distances(queries, index.points, index.family.metric)
-        return exact_topk_results(np.arange(index.n, dtype=np.int64), [block], k, index.n)
+        with stage_timer(trace, "linear"):
+            block = pairwise_distances(queries, index.points, index.family.metric)
+        with stage_timer(trace, "merge"):
+            return exact_topk_results(
+                np.arange(index.n, dtype=np.int64), [block], k, index.n
+            )
 
     def insert(self, new_points: np.ndarray) -> tuple[np.ndarray, set[int]]:
         ids = self.engine.insert(new_points)
@@ -129,8 +138,10 @@ class _ShardedBackend:
     def resolve_radius(self, radius: float | None) -> float:
         return self.engine._resolve_radius(radius)
 
-    def query_batch(self, queries: np.ndarray, radius: float) -> list[QueryResult]:
-        return self.engine.query_batch(queries, radius)
+    def query_batch(
+        self, queries: np.ndarray, radius: float, trace: StageTrace | None = None
+    ) -> list[QueryResult]:
+        return self.engine.query_batch(queries, radius, trace=trace)
 
     def shard_query_batch(self, shard: int, queries, radius) -> list[QueryResult]:
         return self.engine.shard_query_batch(shard, queries, radius)
@@ -141,8 +152,10 @@ class _ShardedBackend:
     def map_shards(self, work) -> list:
         return self.engine.map_shards(work)
 
-    def topk_batch(self, queries: np.ndarray, k: int) -> list[QueryResult]:
-        return self.engine.query_topk_batch(queries, k)
+    def topk_batch(
+        self, queries: np.ndarray, k: int, trace: StageTrace | None = None
+    ) -> list[QueryResult]:
+        return self.engine.query_topk_batch(queries, k, trace=trace)
 
     def insert(self, new_points: np.ndarray) -> tuple[np.ndarray, set[int]]:
         affected = set(int(s) for s in self.engine.peek_assignment(new_points.shape[0]))
@@ -333,6 +346,8 @@ class Index:
         self.spec = spec
         self.cache = cache
         self.stats = ServiceStats(pool_workers=_fanout_width_of(backend))
+        self._tracing = False
+        _register_gauge_hooks(self.stats, backend)
 
     # ------------------------------------------------------------------
     # Construction
@@ -490,7 +505,51 @@ class Index:
 
     def reset_stats(self) -> None:
         """Zero the counters (cache contents are kept)."""
-        self.stats = ServiceStats(pool_workers=self.stats.pool_workers)
+        self.stats.reset()
+
+    def enable_tracing(self, enabled: bool = True) -> None:
+        """Toggle per-service stage tracing for every subsequent query.
+
+        Traced queries attribute wall time to the named pipeline stages
+        (accumulated in ``stats.stage_seconds``); answers are
+        bit-identical to untraced ones.  Per-call tracing — passing a
+        :class:`~repro.observability.StageTrace` straight to the
+        internal batch paths — works regardless of this switch.
+        """
+        self._tracing = bool(enabled)
+
+    @property
+    def tracing_enabled(self) -> bool:
+        """Whether per-service stage tracing is on."""
+        return self._tracing
+
+    def stats_snapshot(self) -> dict[str, object]:
+        """Enriched stats document: facade counters + live worker stats.
+
+        For a process-pool backend, each worker's own ``ServiceStats``
+        (latency histogram, bytes shipped over its pipe, its gauges) is
+        fetched via the pool's ``stats`` op and merged — exactly — into
+        a ``workers`` sub-document alongside the per-worker breakdown.
+        """
+        pool = self._backend.engine if self._backend.kind == "processes" else None
+        if pool is not None:
+            # Pipes and respawns are parent-side pool-lifetime counters;
+            # sync them into the facade stats at snapshot time.
+            self.stats.bytes_shipped = pool.bytes_shipped
+            self.stats.worker_respawns = pool.respawns
+        doc = self.stats.as_dict()
+        if pool is not None and hasattr(pool, "worker_stats"):
+            per_worker = pool.worker_stats()
+            aggregate = ServiceStats()
+            for worker_doc in per_worker:
+                aggregate.merge(ServiceStats.from_dict(worker_doc))
+            workers_doc = aggregate.as_dict()
+            workers_doc.pop("pool_workers", None)
+            doc["workers"] = {
+                "aggregate": workers_doc,
+                "per_worker": per_worker,
+            }
+        return doc
 
     def close(self) -> None:
         """Release backend resources (sharded thread pool); idempotent."""
@@ -544,23 +603,28 @@ class Index:
     # ------------------------------------------------------------------
     def _topk_batch(self, queries: np.ndarray, k: int) -> list[QueryResult]:
         started = time.perf_counter()
+        trace = StageTrace() if self._tracing else None
         queries = check_matrix(queries, dim=self.dim, name="queries")
         k = check_positive_int(k, "k")
-        results = self._backend.topk_batch(queries, k)
-        self._account(results, queries.shape[0], started)
+        results = self._backend.topk_batch(queries, k, trace=trace)
+        self._account(results, queries.shape[0], started, trace)
         return results
 
     def _radius_batch(
         self, queries: np.ndarray, radius: float | None
     ) -> list[QueryResult]:
         started = time.perf_counter()
+        trace = StageTrace() if self._tracing else None
         queries = check_matrix(queries, dim=self.dim, name="queries")
         radius = self._backend.resolve_radius(radius)
         if self.cache is None:
-            results = self._backend.query_batch(queries, radius)
+            results = self._backend.query_batch(queries, radius, trace=trace)
         else:
+            # The cache path fans out per shard through map_shards; its
+            # engine work is accounted in the batch latency but not
+            # attributed to stages (the trace stays empty here).
             results = self._radius_batch_cached(queries, radius)
-        self._account(results, queries.shape[0], started)
+        self._account(results, queries.shape[0], started, trace)
         return results
 
     def _radius_batch_cached(
@@ -629,13 +693,20 @@ class Index:
         self.stats.deduplicated += len(duplicates)
         return results
 
-    def _account(self, results: list[QueryResult], count: int, started: float) -> None:
-        self.stats.queries_served += count
-        self.stats.batches += 1
-        self.stats.elapsed_seconds += time.perf_counter() - started
+    def _account(
+        self,
+        results: list[QueryResult],
+        count: int,
+        started: float,
+        trace: StageTrace | None = None,
+    ) -> None:
+        strategies: dict[str, int] = {}
         for result in results:
             name = result.stats.strategy.value
-            self.stats.strategy_counts[name] = self.stats.strategy_counts.get(name, 0) + 1
+            strategies[name] = strategies.get(name, 0) + 1
+        self.stats.record_batch(
+            count, time.perf_counter() - started, strategies=strategies, trace=trace
+        )
 
     def __repr__(self) -> str:
         cache = "off" if self.cache is None else f"{len(self.cache)}/{self.cache.maxsize}"
@@ -650,6 +721,46 @@ def _cache_from_spec(spec: IndexSpec) -> QueryResultCache | None:
     if spec.cache_size <= 0:
         return None
     return QueryResultCache(maxsize=spec.cache_size, quantum=spec.cache_quantum)
+
+
+def _frozen_indexes_of(backend) -> list:
+    """Frozen indexes reachable in-process from ``backend`` (may be [])."""
+    engine = getattr(backend, "engine", None)
+    if engine is None:
+        return []
+    if isinstance(engine, BatchQueryEngine):
+        candidates = [engine.index]
+    else:
+        candidates = [eng.index for eng in getattr(engine, "_engines", [])]
+    # Duck-typed so both FrozenLSHIndex and the frozen covering layout
+    # qualify; a worker pool has no in-process indexes (its workers ship
+    # these gauges back through the ``stats`` op instead).
+    return [ix for ix in candidates if hasattr(ix, "overflow_count") and hasattr(ix, "refreeze_count")]
+
+
+def _register_gauge_hooks(stats: ServiceStats, backend) -> None:
+    """Wire live backend gauges into the stats object.
+
+    Frozen layouts expose their overflow side-table size and background
+    re-freeze counters; hooks read the *current* values at snapshot
+    time, so the gauges track inserts and re-freezes without the stats
+    layer polling anything.
+    """
+    indexes = _frozen_indexes_of(backend)
+    if not indexes:
+        return
+    stats.gauge_hooks["overflow_points"] = lambda: float(
+        sum(ix.overflow_count for ix in indexes)
+    )
+    stats.gauge_hooks["refreeze_generations"] = lambda: float(
+        sum(ix.refreeze_count for ix in indexes)
+    )
+    stats.gauge_hooks["refreeze_seconds_total"] = lambda: float(
+        sum(ix.refreeze_seconds_total for ix in indexes)
+    )
+    stats.gauge_hooks["last_refreeze_seconds"] = lambda: float(
+        max((ix.last_refreeze_seconds for ix in indexes), default=0.0)
+    )
 
 
 def _fanout_width_of(backend) -> int:

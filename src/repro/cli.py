@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli build    --dataset corel --out idx/ [--spec spec.json]
     python -m repro.cli serve    --dataset corel [--shards 2] [--cache-size 512]
     python -m repro.cli serve    --index idx/ [--workers 4] [--inflight 4]
+    python -m repro.cli serve    --index idx/ --stats-interval 10 [--stats-log stats.jsonl]
 
 Every experiment command prints the same text tables the benchmark
 harness emits, so results can be generated in CI logs or piped to
@@ -177,6 +178,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--inflight", type=int, default=1, metavar="B",
         help="in-flight batch window; > 1 enables the concurrent request "
              "loop (reader thread, responses kept in request order)",
+    )
+    p_serve.add_argument(
+        "--stats-interval", type=float, default=0.0, metavar="SECONDS",
+        help="emit a JSONL stats snapshot line every SECONDS (plus one at "
+             "shutdown); 0 disables",
+    )
+    p_serve.add_argument(
+        "--stats-log", metavar="PATH", default=None,
+        help="append the periodic stats lines to PATH instead of stderr",
     )
     _add_spec_options(p_serve)
     _add_common(p_serve)
@@ -487,8 +497,9 @@ def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
     if args.index:
         # A saved index carries its own spec; accepting build flags here
         # and ignoring them would silently serve a different policy than
-        # the operator asked for.  (--workers and --inflight are runtime
-        # knobs, not spec fields, so they stay allowed.)
+        # the operator asked for.  (--workers, --inflight, and the
+        # --stats-* telemetry flags are runtime knobs, not spec fields,
+        # so they stay allowed.)
         conflicting = [
             flag
             for flag, given in (
@@ -537,8 +548,56 @@ def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
         responses = serve_stream(
             index, lines, batch_size=args.batch_size, more_ready=more_ready
         )
-    for response in responses:
-        print(response, file=stdout, flush=True)
+    stop_stats = _start_stats_reporter(
+        index, getattr(args, "stats_interval", 0.0), getattr(args, "stats_log", None)
+    )
+    try:
+        for response in responses:
+            print(response, file=stdout, flush=True)
+    finally:
+        stop_stats()
+
+
+def _start_stats_reporter(index, interval: float, log_path: str | None):
+    """Periodic JSONL stats lines while serving; returns a stop callable.
+
+    Every ``interval`` seconds one ``index.stats_snapshot()`` document
+    (timestamped) is appended as a single JSON line to ``log_path`` (or
+    stderr), plus a final line at shutdown so short sessions still
+    record their totals.  ``interval <= 0`` disables everything and the
+    returned callable is a no-op.  Snapshots always describe the index
+    this process started serving, even if the stream later swaps
+    targets via ``open``/``create`` ops.
+    """
+    import threading
+    import time as time_mod
+
+    if not interval or interval <= 0:
+        return lambda: None
+    sink = open(log_path, "a", encoding="utf-8") if log_path else sys.stderr
+    stop = threading.Event()
+
+    def emit() -> None:
+        doc = {"ts": time_mod.time(), **index.stats_snapshot()}
+        print(json.dumps(doc), file=sink, flush=True)
+
+    def loop() -> None:
+        while not stop.wait(interval):
+            emit()
+
+    thread = threading.Thread(target=loop, name="repro-stats", daemon=True)
+    thread.start()
+
+    def stop_stats() -> None:
+        stop.set()
+        thread.join(timeout=5.0)
+        try:
+            emit()
+        finally:
+            if sink is not sys.stderr:
+                sink.close()
+
+    return stop_stats
 
 
 def _line_stream_with_probe(stdin):

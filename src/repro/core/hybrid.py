@@ -34,6 +34,7 @@ from repro.core.lsh_search import LSHSearch
 from repro.core.presets import paper_parameters
 from repro.core.results import QueryResult, QueryStats, Strategy
 from repro.index.lsh_index import LSHIndex
+from repro.observability import StageTrace, stage_timer
 from repro.utils.rng import RandomState
 from repro.utils.validation import check_positive, check_vector
 
@@ -130,7 +131,11 @@ class HybridSearcher:
         return result
 
     def query_batch(
-        self, queries: np.ndarray, radius: float, dedup: str | None = None
+        self,
+        queries: np.ndarray,
+        radius: float,
+        dedup: str | None = None,
+        trace: StageTrace | None = None,
     ) -> list[QueryResult]:
         """Answer a query set; Step S1 is hashed for all queries at once.
 
@@ -146,51 +151,61 @@ class HybridSearcher:
         both dedup implementations return the identical candidate set,
         so it only affects speed (:class:`~repro.service.BatchQueryEngine`
         passes ``"vectorized"``).
+
+        ``trace`` (a :class:`~repro.observability.StageTrace`) opts into
+        per-stage wall-time attribution — ``hash`` / ``estimate`` /
+        ``linear`` / ``candidates``.  The spans bracket the existing
+        computation without touching it, so traced answers are
+        bit-identical to untraced ones.
         """
         radius = check_positive(radius, "radius")
         queries = np.asarray(queries)
-        lookups = self.index.lookup_batch(queries)
+        with stage_timer(trace, "hash"):
+            lookups = self.index.lookup_batch(queries)
         linear_cost = self.cost_model.linear_cost(self.index.n)
-        if self.estimator is None:
-            # One vectorised pass over the batch-merged registers; the
-            # frozen layout computes this without any sketch objects.
-            estimates = self.index.merged_estimates_batch(lookups).tolist()
-        else:
-            estimates = [self._estimate(lookup) for lookup in lookups]
-        # Equation (1) for the whole batch in two vector ops; float64
-        # elementwise arithmetic matches the scalar lsh_cost() bit for
-        # bit, so the dispatch decisions are identical to looping it.
-        collision_counts = [lookup.num_collisions for lookup in lookups]
-        lsh_costs = (
-            self.cost_model.alpha * np.asarray(collision_counts, dtype=np.float64)
-            + self.cost_model.beta * np.asarray(estimates, dtype=np.float64)
-        ).tolist()
+        with stage_timer(trace, "estimate"):
+            if self.estimator is None:
+                # One vectorised pass over the batch-merged registers; the
+                # frozen layout computes this without any sketch objects.
+                estimates = self.index.merged_estimates_batch(lookups).tolist()
+            else:
+                estimates = [self._estimate(lookup) for lookup in lookups]
+            # Equation (1) for the whole batch in two vector ops; float64
+            # elementwise arithmetic matches the scalar lsh_cost() bit for
+            # bit, so the dispatch decisions are identical to looping it.
+            collision_counts = [lookup.num_collisions for lookup in lookups]
+            lsh_costs = (
+                self.cost_model.alpha * np.asarray(collision_counts, dtype=np.float64)
+                + self.cost_model.beta * np.asarray(estimates, dtype=np.float64)
+            ).tolist()
         decisions = list(zip(collision_counts, estimates, lsh_costs))
 
         results: list[QueryResult | None] = [None] * len(lookups)
         linear_rows = [i for i, (_, _, lsh_cost) in enumerate(decisions) if not lsh_cost < linear_cost]
         if linear_rows:
-            scanned = self._linear_scan().query_batch(queries[linear_rows], radius)
+            with stage_timer(trace, "linear"):
+                scanned = self._linear_scan().query_batch(queries[linear_rows], radius)
             for i, result in zip(linear_rows, scanned):
                 results[i] = result
         lsh_rows = [i for i in range(len(lookups)) if results[i] is None]
-        # The frozen layout can recognise queries with identical bucket
-        # sets (equal rows of its bucket-index matrix) and union each
-        # distinct set once; other layouts deduplicate per query.
-        batch_dedup = getattr(self.index, "candidate_ids_batch", None)
-        candidate_sets = (
-            batch_dedup([lookups[i] for i in lsh_rows], dedup=dedup)
-            if batch_dedup is not None and lsh_rows
-            else None
-        )
-        for j, i in enumerate(lsh_rows):
-            results[i] = self._lsh.query_from_lookup(
-                queries[i],
-                radius,
-                lookups[i],
-                dedup=dedup,
-                candidates=None if candidate_sets is None else candidate_sets[j],
+        with stage_timer(trace if lsh_rows else None, "candidates"):
+            # The frozen layout can recognise queries with identical bucket
+            # sets (equal rows of its bucket-index matrix) and union each
+            # distinct set once; other layouts deduplicate per query.
+            batch_dedup = getattr(self.index, "candidate_ids_batch", None)
+            candidate_sets = (
+                batch_dedup([lookups[i] for i in lsh_rows], dedup=dedup)
+                if batch_dedup is not None and lsh_rows
+                else None
             )
+            for j, i in enumerate(lsh_rows):
+                results[i] = self._lsh.query_from_lookup(
+                    queries[i],
+                    radius,
+                    lookups[i],
+                    dedup=dedup,
+                    candidates=None if candidate_sets is None else candidate_sets[j],
+                )
         for i, result in enumerate(results):
             num_collisions, estimated_candidates, lsh_cost = decisions[i]
             result.stats = QueryStats(

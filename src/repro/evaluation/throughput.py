@@ -18,6 +18,10 @@ answering the same query set against the same data:
   and served by a :class:`~repro.service.workers.WorkerPool` of worker
   *processes* that mmap the saved shard arrays — the only mode that can
   use more than one core for the GIL-bound per-shard dedup/merge work;
+* ``frozen_batched_traced`` — the frozen batch path again with
+  per-stage tracing enabled on the facade; its QPS against
+  ``frozen_batched`` measures the enabled-tracing overhead, and its
+  ``matches`` flag asserts that tracing never changes an answer;
 * ``multiprobe_sequential`` / ``frozen_multiprobe`` (optional) — a
   :class:`~repro.index.multiprobe_index.MultiProbeLSHIndex` over the
   same workload, per-query loop vs the same index compacted into the
@@ -32,6 +36,10 @@ The batched and sharded rows are served through the
 :class:`repro.api.Index` facade — the surface a deployment actually
 calls — so the acceptance bar charges the facade's bookkeeping
 overhead too, not just the raw engines.
+
+Each mode also gets a separate one-query-at-a-time latency pass whose
+p50/p95/p99 land in the row (and the JSON artifact): batch time
+divided by n understates what an individual caller waits.
 
 Exactness is asserted, not assumed: the batched row only reports
 ``matches=True`` if every id and distance equals the sequential answer
@@ -56,6 +64,7 @@ from repro.core.results import QueryResult, Strategy
 from repro.datasets.queries import split_queries
 from repro.datasets.synthetic import gaussian_mixture
 from repro.evaluation.report import format_table
+from repro.observability import LatencyHistogram
 from repro.service.batch import BatchQueryEngine
 from repro.service.sharded import ShardedHybridIndex
 from repro.utils.rng import RandomState, ensure_rng
@@ -87,6 +96,13 @@ class ThroughputRow:
     matches: bool
     linear_fraction: float
     reference: str = "sequential"
+    #: Single-query latency percentiles (seconds), from a separate
+    #: one-query-at-a-time pass after the timed batch run — batching
+    #: amortises overheads, so batch time / n understates what one
+    #: caller waits; NaN when the pass was skipped.
+    p50: float = float("nan")
+    p95: float = float("nan")
+    p99: float = float("nan")
 
 
 def mixed_workload(
@@ -153,6 +169,44 @@ def _time_best(fn, repeats: int) -> tuple[float, list[QueryResult]]:
         results = fn()
         best = min(best, time.perf_counter() - started)
     return best, results
+
+
+def _time_best_interleaved(fn_a, fn_b, repeats: int):
+    """Best-of timing for two functions, alternating run-by-run.
+
+    Two timings taken minutes apart at tens-of-milliseconds scale mostly
+    measure host drift (frequency scaling, noisy neighbours); running
+    the pair back to back inside each repeat subjects both to the same
+    conditions, so their *ratio* — here the tracing-overhead figure —
+    is meaningful.  Returns ``(best_a, last_results_a, best_b,
+    last_results_b)``.
+    """
+    best_a = best_b = float("inf")
+    results_a = results_b = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        results_a = fn_a()
+        best_a = min(best_a, time.perf_counter() - started)
+        started = time.perf_counter()
+        results_b = fn_b()
+        best_b = min(best_b, time.perf_counter() - started)
+    return best_a, results_a, best_b, results_b
+
+
+def _latency_pass(fn_one, queries: np.ndarray) -> LatencyHistogram:
+    """One-query-at-a-time latencies into a mergeable histogram.
+
+    ``fn_one`` answers a single query vector.  This is a separate pass
+    from the throughput timing: the batch run measures amortised cost,
+    this measures what an individual caller waits, which is what the
+    p50/p95/p99 columns report.
+    """
+    histogram = LatencyHistogram()
+    for q in queries:
+        started = time.perf_counter()
+        fn_one(q)
+        histogram.record(time.perf_counter() - started)
+    return histogram
 
 
 def throughput_experiment(
@@ -237,17 +291,49 @@ def throughput_experiment(
     bat_seconds, bat_results = _time_best(
         lambda: batched_front.query_batch(queries, radius), repeats
     )
-    fz_seconds, fz_results = _time_best(
-        lambda: frozen_front.query_batch(queries, radius), repeats
+    # Tracing must be measurement-only: same frozen engine, tracing on.
+    # The traced row's ``matches`` flag doubles as the bit-identity gate
+    # and its QPS against ``frozen_batched`` measures the enabled-tracing
+    # overhead — so the two runs are interleaved repeat-by-repeat to
+    # cancel host drift out of that ratio.
+    def _frozen_traced():
+        frozen_front.enable_tracing(True)
+        try:
+            return frozen_front.query_batch(queries, radius)
+        finally:
+            frozen_front.enable_tracing(False)
+
+    fz_seconds, fz_results, tr_seconds, tr_results = _time_best_interleaved(
+        lambda: frozen_front.query_batch(queries, radius),
+        _frozen_traced,
+        repeats,
     )
     sh_seconds, sh_results = _time_best(
         lambda: sharded_front.query_batch(queries, radius), repeats
     )
     sh_reference = [sharded.query(q, radius) for q in queries]
 
-    wk_seconds = wk_results = None
+    seq_latency = _latency_pass(lambda q: hybrid.searcher.query(q, radius), queries)
+    bat_latency = _latency_pass(
+        lambda q: batched_front.query_batch(q[None, :], radius), queries
+    )
+    fz_latency = _latency_pass(
+        lambda q: frozen_front.query_batch(q[None, :], radius), queries
+    )
+    sh_latency = _latency_pass(
+        lambda q: sharded_front.query_batch(q[None, :], radius), queries
+    )
+    frozen_front.enable_tracing(True)
+    try:
+        tr_latency = _latency_pass(
+            lambda q: frozen_front.query_batch(q[None, :], radius), queries
+        )
+    finally:
+        frozen_front.enable_tracing(False)
+
+    wk_seconds = wk_results = wk_latency = None
     if include_workers:
-        wk_seconds, wk_results = _measure_workers(
+        wk_seconds, wk_results, wk_latency = _measure_workers(
             points,
             queries,
             metric=metric,
@@ -260,7 +346,14 @@ def throughput_experiment(
             num_workers=num_workers,
         )
 
-    def row(mode: str, seconds: float, matches: bool, linear_fraction: float) -> ThroughputRow:
+    def row(
+        mode: str,
+        seconds: float,
+        matches: bool,
+        linear_fraction: float,
+        latency: LatencyHistogram | None = None,
+    ) -> ThroughputRow:
+        quantiles = latency.quantiles() if latency is not None else {}
         return ThroughputRow(
             mode=mode,
             num_queries=num_queries,
@@ -269,27 +362,45 @@ def throughput_experiment(
             speedup=seq_seconds / seconds if seconds else float("inf"),
             matches=matches,
             linear_fraction=linear_fraction,
+            p50=quantiles.get("p50", float("nan")),
+            p95=quantiles.get("p95", float("nan")),
+            p99=quantiles.get("p99", float("nan")),
         )
 
     rows = [
-        row("sequential", seq_seconds, True, _linear_fraction(seq_results)),
+        row(
+            "sequential", seq_seconds, True, _linear_fraction(seq_results),
+            latency=seq_latency,
+        ),
         row(
             "batched",
             bat_seconds,
             _results_equal(seq_results, bat_results),
             _linear_fraction(bat_results),
+            latency=bat_latency,
         ),
         row(
             "frozen_batched",
             fz_seconds,
             _results_equal(seq_results, fz_results),
             _linear_fraction(fz_results),
+            latency=fz_latency,
+        ),
+        row(
+            "frozen_batched_traced",
+            tr_seconds,
+            # Stage timers wrap timing only — the traced run must stay
+            # bit-identical to the sequential loop like the untraced one.
+            _results_equal(seq_results, tr_results),
+            _linear_fraction(tr_results),
+            latency=tr_latency,
         ),
         row(
             "sharded",
             sh_seconds,
             _results_equal(sh_reference, sh_results),
             float("nan"),
+            latency=sh_latency,
         ),
     ]
     if include_workers:
@@ -302,6 +413,7 @@ def throughput_experiment(
                 # thread path's answers bit for bit.
                 _results_equal(sh_reference, wk_results),
                 float("nan"),
+                latency=wk_latency,
             )
         )
     if include_multiprobe:
@@ -369,9 +481,20 @@ def _measure_multiprobe(
     fz_seconds, fz_results = _time_best(
         lambda: frozen_front.query_batch(queries, radius), repeats
     )
+    seq_latency = _latency_pass(lambda q: mp_searcher.query(q, radius), queries)
+    fz_latency = _latency_pass(
+        lambda q: frozen_front.query_batch(q[None, :], radius), queries
+    )
     num_queries = queries.shape[0]
 
-    def row(mode: str, seconds: float, matches: bool, linear_fraction: float):
+    def row(
+        mode: str,
+        seconds: float,
+        matches: bool,
+        linear_fraction: float,
+        latency: LatencyHistogram,
+    ):
+        quantiles = latency.quantiles()
         return ThroughputRow(
             mode=mode,
             num_queries=num_queries,
@@ -381,15 +504,22 @@ def _measure_multiprobe(
             matches=matches,
             linear_fraction=linear_fraction,
             reference="multiprobe_sequential",
+            p50=quantiles.get("p50", float("nan")),
+            p95=quantiles.get("p95", float("nan")),
+            p99=quantiles.get("p99", float("nan")),
         )
 
     return [
-        row("multiprobe_sequential", seq_seconds, True, _linear_fraction(seq_results)),
+        row(
+            "multiprobe_sequential", seq_seconds, True,
+            _linear_fraction(seq_results), seq_latency,
+        ),
         row(
             "frozen_multiprobe",
             fz_seconds,
             _results_equal(seq_results, fz_results),
             _linear_fraction(fz_results),
+            fz_latency,
         ),
     ]
 
@@ -405,7 +535,7 @@ def _measure_workers(
     seed: RandomState,
     repeats: int,
     num_workers: int | None,
-) -> tuple[float, list[QueryResult]]:
+) -> tuple[float, list[QueryResult], LatencyHistogram]:
     """Build, persist and time the process-pool serving mode.
 
     The frozen sharded index shares the thread row's seed and cost
@@ -445,9 +575,13 @@ def _measure_workers(
         workers_front = Index.open(path, num_workers=num_workers)
         try:
             workers_front.query_batch(queries[:2], radius)  # warm the pipes
-            return _time_best(
+            seconds, results = _time_best(
                 lambda: workers_front.query_batch(queries, radius), repeats
             )
+            latency = _latency_pass(
+                lambda q: workers_front.query_batch(q[None, :], radius), queries
+            )
+            return seconds, results, latency
         finally:
             workers_front.close()
     finally:
@@ -455,8 +589,15 @@ def _measure_workers(
 
 
 def format_throughput(rows: list[ThroughputRow], title: str = "") -> str:
-    """Render the QPS comparison as a text table."""
-    headers = ["Mode", "Queries", "Seconds", "QPS", "Speedup", "Exact", "%LS"]
+    """Render the QPS comparison as a text table (percentiles in ms)."""
+    headers = [
+        "Mode", "Queries", "Seconds", "QPS", "Speedup", "Exact", "%LS",
+        "p50ms", "p95ms", "p99ms",
+    ]
+
+    def ms(seconds: float) -> str:
+        return "-" if np.isnan(seconds) else f"{seconds * 1e3:.2f}"
+
     body = [
         [
             row.mode,
@@ -466,6 +607,9 @@ def format_throughput(rows: list[ThroughputRow], title: str = "") -> str:
             f"{row.speedup:.2f}x",
             "yes" if row.matches else "NO",
             "-" if np.isnan(row.linear_fraction) else f"{row.linear_fraction:.0%}",
+            ms(row.p50),
+            ms(row.p95),
+            ms(row.p99),
         ]
         for row in rows
     ]
@@ -505,6 +649,11 @@ def write_throughput_json(
                 "linear_fraction": None
                 if np.isnan(row.linear_fraction)
                 else row.linear_fraction,
+                # Single-query latency percentiles (seconds) from the
+                # dedicated one-at-a-time pass; null when not measured.
+                "latency_p50": None if np.isnan(row.p50) else row.p50,
+                "latency_p95": None if np.isnan(row.p95) else row.p95,
+                "latency_p99": None if np.isnan(row.p99) else row.p99,
             }
             for row in rows
         },

@@ -58,6 +58,7 @@ import json
 import math
 import os
 import threading
+import time
 
 import numpy as np
 
@@ -659,6 +660,11 @@ class FrozenLSHIndex(LSHIndex):
         self._refreeze_lock = threading.Lock()
         self._refreeze_thread: threading.Thread | None = None
         self._refreeze_error: BaseException | None = None
+        #: re-freeze telemetry (read by the observability gauges):
+        #: completed folds, their summed duration, and the last one's.
+        self.refreeze_count = 0
+        self.refreeze_seconds_total = 0.0
+        self.last_refreeze_seconds = 0.0
 
     def _fresh_tables(self) -> list[HashTable]:
         return [
@@ -757,6 +763,7 @@ class FrozenLSHIndex(LSHIndex):
     def _background_refreeze_run(
         self, snapshot: FrozenTables, compacting: list[HashTable]
     ) -> None:
+        started = time.perf_counter()
         try:
             merged = self._fold_generation(snapshot, compacting)
         except BaseException as exc:  # leave both generations queryable
@@ -764,6 +771,7 @@ class FrozenLSHIndex(LSHIndex):
                 self._refreeze_error = exc
                 self._refreeze_thread = None
             return
+        elapsed = time.perf_counter() - started
         with self._refreeze_lock:
             self._refreeze_thread = None
             if self._compacting_tables is not compacting:
@@ -775,6 +783,7 @@ class FrozenLSHIndex(LSHIndex):
             self._compacting_tables = None
             self._compacting_count = 0
             self._refreeze_error = None
+            self._record_refreeze_locked(1, elapsed)
 
     def _fold_generation(
         self, frozen: FrozenTables, overflow: list[HashTable]
@@ -791,6 +800,12 @@ class FrozenLSHIndex(LSHIndex):
             self._effective_lazy_threshold,
             self.hll_precision,
         )
+
+    def _record_refreeze_locked(self, folds: int, elapsed: float) -> None:
+        """Update the re-freeze gauges (``_refreeze_lock`` held)."""
+        self.refreeze_count += folds
+        self.refreeze_seconds_total += elapsed
+        self.last_refreeze_seconds = elapsed
 
     @property
     def last_refreeze_error(self) -> BaseException | None:
@@ -830,6 +845,7 @@ class FrozenLSHIndex(LSHIndex):
                 if gen is not None and any(t.buckets for t in gen)
             ]
             frozen = self.frozen
+            started = time.perf_counter()
             for gen in generations:
                 frozen = self._fold_generation(frozen, gen)
             self.frozen = frozen
@@ -837,6 +853,10 @@ class FrozenLSHIndex(LSHIndex):
             self._overflow_count = 0
             self._compacting_tables = None
             self._compacting_count = 0
+            if generations:
+                self._record_refreeze_locked(
+                    len(generations), time.perf_counter() - started
+                )
         return self
 
     def freeze(self, refreeze_threshold: int | None = None) -> "FrozenLSHIndex":

@@ -29,6 +29,7 @@ from repro.core.cost_model import CostModel
 from repro.core.hybrid import HybridLSH, HybridSearcher
 from repro.core.results import QueryResult
 from repro.exceptions import ConfigurationError
+from repro.observability import StageTrace
 from repro.utils.rng import RandomState
 
 __all__ = ["BatchQueryEngine"]
@@ -145,15 +146,23 @@ class BatchQueryEngine:
         return self.query_batch(np.asarray(query)[None, :], radius)[0]
 
     def query_batch(
-        self, queries: np.ndarray, radius: float | None = None
+        self,
+        queries: np.ndarray,
+        radius: float | None = None,
+        trace: StageTrace | None = None,
     ) -> list[QueryResult]:
         """Answer a ``(q, d)`` query matrix.
 
         Returns exactly the same results (ids, distances, and decision
         stats) as looping :meth:`HybridSearcher.query` over the rows.
+        ``trace`` opts into per-stage timing (forwarded to the searcher;
+        answers are unaffected).
         """
         return self.searcher.query_batch(
-            np.asarray(queries), self._resolve_radius(radius), dedup=self.dedup
+            np.asarray(queries),
+            self._resolve_radius(radius),
+            dedup=self.dedup,
+            trace=trace,
         )
 
     def insert(self, new_points: np.ndarray) -> np.ndarray:

@@ -111,6 +111,10 @@ class QueryService:
         """Zero the counters (cache contents are kept)."""
         self._index.reset_stats()
 
+    def stats_snapshot(self) -> dict[str, object]:
+        """The wrapped index's enriched telemetry document."""
+        return self._index.stats_snapshot()
+
     def __repr__(self) -> str:
         cache = "off" if self.cache is None else f"{len(self.cache)}/{self.cache.maxsize}"
         return f"QueryService(engine={self.engine!r}, cache={cache})"

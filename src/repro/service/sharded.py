@@ -41,6 +41,7 @@ from repro.core.results import QueryResult, QueryStats, Strategy
 from repro.distances import get_metric
 from repro.distances.matrix import pairwise_distances
 from repro.exceptions import ConfigurationError
+from repro.observability import StageTrace, stage_timer
 from repro.service.batch import BatchQueryEngine
 from repro.utils.rng import RandomState, spawn_rngs
 from repro.utils.validation import check_matrix, check_positive_int
@@ -350,7 +351,10 @@ class ShardedHybridIndex:
         return self.query_batch(np.asarray(query)[None, :], radius)[0]
 
     def query_batch(
-        self, queries: np.ndarray, radius: float | None = None
+        self,
+        queries: np.ndarray,
+        radius: float | None = None,
+        trace: StageTrace | None = None,
     ) -> list[QueryResult]:
         """Answer a ``(q, d)`` matrix; per-shard batches run on the pool.
 
@@ -358,17 +362,34 @@ class ShardedHybridIndex:
         disjoint union of the shard answers — and aggregate stats
         (collision counts and costs summed over shards, strategy
         labelled :attr:`~repro.core.results.Strategy.HYBRID`).
+
+        With ``trace``, every shard accumulates into its *own*
+        :class:`~repro.observability.StageTrace` (the hot path stays
+        lock-free) and the per-shard traces are folded in afterwards —
+        so stage seconds are summed CPU attribution across shards and
+        may exceed the batch's wall time under parallel fan-out.
         """
         radius = self._resolve_radius(radius)
         queries = check_matrix(queries, dim=self.dim, name="queries")
+        shard_traces = (
+            [StageTrace() for _ in range(self.num_shards)] if trace is not None else None
+        )
         per_shard = self._fan_out(
-            lambda s: self._engines[s].query_batch(queries, radius),
+            lambda s: self._engines[s].query_batch(
+                queries,
+                radius,
+                trace=None if shard_traces is None else shard_traces[s],
+            ),
             self.num_shards,
         )
-        return [
-            self._merge_radius([shard_results[qi] for shard_results in per_shard], radius)
-            for qi in range(queries.shape[0])
-        ]
+        if shard_traces is not None:
+            for shard_trace in shard_traces:
+                trace.merge(shard_trace)
+        with stage_timer(trace, "merge"):
+            return [
+                self._merge_radius([shard_results[qi] for shard_results in per_shard], radius)
+                for qi in range(queries.shape[0])
+            ]
 
     def _merge_radius(self, shard_results: list[QueryResult], radius: float) -> QueryResult:
         return merge_radius_results(self._shard_gids, shard_results, radius)
@@ -380,7 +401,9 @@ class ShardedHybridIndex:
         """Exact k-nearest-neighbors of one query (see :meth:`query_topk_batch`)."""
         return self.query_topk_batch(np.asarray(query)[None, :], k)[0]
 
-    def query_topk_batch(self, queries: np.ndarray, k: int) -> list[QueryResult]:
+    def query_topk_batch(
+        self, queries: np.ndarray, k: int, trace: StageTrace | None = None
+    ) -> list[QueryResult]:
         """Exact k-NN for a query matrix, merged across shards.
 
         Every shard computes its local distance block with the metric's
@@ -393,11 +416,13 @@ class ShardedHybridIndex:
         queries = check_matrix(queries, dim=self.dim, name="queries")
         if k > self.n:
             raise ConfigurationError(f"k ({k}) must not exceed the index size ({self.n})")
-        blocks = self._fan_out(
-            lambda s: pairwise_distances(queries, self.shards[s].index.points, self.metric),
-            self.num_shards,
-        )
-        return exact_topk_results(np.concatenate(self._shard_gids), blocks, k, self.n)
+        with stage_timer(trace, "linear"):
+            blocks = self._fan_out(
+                lambda s: pairwise_distances(queries, self.shards[s].index.points, self.metric),
+                self.num_shards,
+            )
+        with stage_timer(trace, "merge"):
+            return exact_topk_results(np.concatenate(self._shard_gids), blocks, k, self.n)
 
     # ------------------------------------------------------------------
     # Incremental inserts

@@ -1,20 +1,36 @@
 """Serving counters, shared by :class:`repro.api.Index` and the legacy
 :class:`~repro.service.service.QueryService` (which delegates to it).
 
-Kept free of intra-package imports so both layers can depend on it
-without ordering constraints.
+Depends only on :mod:`repro.observability` (numpy + stdlib), so both
+layers — and worker subprocesses — can import it without ordering
+constraints.
+
+Beyond the original flat counter bag, a stats object now carries a
+mergeable per-query :class:`~repro.observability.LatencyHistogram`,
+per-stage wall-time attributions fed by the opt-in tracing layer,
+worker-pool transport counters (``bytes_shipped``, ``worker_respawns``),
+and two gauge channels: ``gauges`` holds point-in-time values shipped
+from another process (e.g. a worker's overflow size), while
+``gauge_hooks`` holds zero-arg callables the owning backend registers so
+:meth:`ServiceStats.read_gauges` always reads live values (frozen-index
+overflow size, background re-freeze counters).  Hooks are process-local
+by nature and are deliberately excluded from serialisation, merging,
+and equality.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.observability import LatencyHistogram, StageTrace
 
 __all__ = ["ServiceStats"]
 
 
-@dataclass
+@dataclass(eq=False)
 class ServiceStats:
-    """Running counters of a served index."""
+    """Running counters, histograms, and gauges of a served index."""
 
     queries_served: int = 0
     batches: int = 0
@@ -28,15 +44,129 @@ class ServiceStats:
     #: processes serving the shards; 0 for an unpartitioned engine.
     pool_workers: int = 0
     strategy_counts: dict[str, int] = field(default_factory=dict)
+    #: bytes of query/result payload that crossed worker-pool pipes.
+    bytes_shipped: int = 0
+    #: pool workers respawned after a crash (parent-side counter).
+    worker_respawns: int = 0
+    #: per-query latency distribution; each query in a batch is charged
+    #: the batch's wall time, so ``latency.count == queries_served``.
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: accumulated per-stage attribution from traced calls.
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    stage_calls: dict[str, int] = field(default_factory=dict)
+    #: point-in-time gauge values (used when shipping snapshots across
+    #: process boundaries; merged by summation).
+    gauges: dict[str, float] = field(default_factory=dict)
+    #: live gauge callables registered by the owning backend; read at
+    #: snapshot time, never serialised or merged.
+    gauge_hooks: dict[str, Callable[[], float]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def qps(self) -> float:
         """Average queries per second over the measured time."""
         return self.queries_served / self.elapsed_seconds if self.elapsed_seconds else 0.0
 
-    def as_dict(self) -> dict[str, float]:
-        """JSON-friendly snapshot."""
-        return {
+    # ------------------------------------------------------------------
+    # Accumulation
+    # ------------------------------------------------------------------
+    def record_batch(
+        self,
+        count: int,
+        seconds: float,
+        strategies: dict[str, int] | None = None,
+        trace: StageTrace | None = None,
+    ) -> None:
+        """Account one answered batch of ``count`` queries.
+
+        Every query in the batch is charged the batch's wall time in
+        the latency histogram — the latency a caller of that batch
+        actually observed.
+        """
+        self.queries_served += count
+        self.batches += 1
+        self.elapsed_seconds += seconds
+        if count:
+            self.latency.record(seconds, count=count)
+        if strategies:
+            for name, n in strategies.items():
+                self.strategy_counts[name] = self.strategy_counts.get(name, 0) + n
+        if trace is not None:
+            self.add_stages(trace)
+
+    def add_stages(self, trace: StageTrace) -> None:
+        """Fold a completed trace's per-stage attribution into the totals."""
+        for stage, seconds in trace.seconds.items():
+            self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+            self.stage_calls[stage] = self.stage_calls.get(stage, 0) + trace.calls.get(stage, 0)
+
+    def merge(self, other: "ServiceStats") -> "ServiceStats":
+        """Fold another stats object (e.g. a worker's) into this one.
+
+        Counters and histograms add; ``pool_workers`` keeps this
+        object's value (it describes the aggregating front-end, not the
+        contributor); gauges add (each worker reports its own share);
+        gauge hooks stay local.  Returns self.
+        """
+        self.queries_served += other.queries_served
+        self.batches += other.batches
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.deduplicated += other.deduplicated
+        self.elapsed_seconds += other.elapsed_seconds
+        self.bytes_shipped += other.bytes_shipped
+        self.worker_respawns += other.worker_respawns
+        self.latency.merge(other.latency)
+        for name, n in other.strategy_counts.items():
+            self.strategy_counts[name] = self.strategy_counts.get(name, 0) + n
+        for stage, seconds in other.stage_seconds.items():
+            self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+            self.stage_calls[stage] = self.stage_calls.get(stage, 0) + other.stage_calls.get(stage, 0)
+        for name, value in other.gauges.items():
+            self.gauges[name] = self.gauges.get(name, 0.0) + value
+        return self
+
+    def reset(self) -> None:
+        """Zero all measurements in place.
+
+        Structural attributes survive: ``pool_workers`` (a property of
+        the backend, not of traffic) and the registered ``gauge_hooks``.
+        Keeping reset here — instead of re-creating the object at each
+        call site — means new fields can't be silently dropped.
+        """
+        self.queries_served = 0
+        self.batches = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.deduplicated = 0
+        self.elapsed_seconds = 0.0
+        self.bytes_shipped = 0
+        self.worker_respawns = 0
+        self.strategy_counts = {}
+        self.latency = LatencyHistogram()
+        self.stage_seconds = {}
+        self.stage_calls = {}
+        self.gauges = {}
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def read_gauges(self) -> dict[str, float]:
+        """Static gauge values plus one reading of every registered hook."""
+        values = dict(self.gauges)
+        for name, hook in self.gauge_hooks.items():
+            values[name] = float(hook())
+        return values
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot.
+
+        The flat counter keys (including ``strategy_*``) keep their
+        original names and types for existing consumers; the histogram,
+        stage attribution, and gauges ride along as nested documents.
+        """
+        doc: dict[str, object] = {
             "queries_served": self.queries_served,
             "batches": self.batches,
             "cache_hits": self.cache_hits,
@@ -45,5 +175,46 @@ class ServiceStats:
             "elapsed_seconds": self.elapsed_seconds,
             "qps": self.qps,
             "pool_workers": self.pool_workers,
+            "bytes_shipped": self.bytes_shipped,
+            "worker_respawns": self.worker_respawns,
             **{f"strategy_{name}": count for name, count in sorted(self.strategy_counts.items())},
         }
+        doc["latency"] = self.latency.to_dict()
+        doc["stages"] = {
+            stage: {"seconds": self.stage_seconds[stage], "calls": self.stage_calls.get(stage, 0)}
+            for stage in sorted(self.stage_seconds)
+        }
+        doc["gauges"] = self.read_gauges()
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ServiceStats":
+        """Rebuild from :meth:`as_dict` output (derived keys ignored).
+
+        The symmetric half of the worker-aggregation round-trip: a
+        worker ships ``as_dict()`` over its pipe, the parent rebuilds
+        with ``from_dict`` and folds it in with :meth:`merge`.
+        """
+        stats = cls(
+            queries_served=int(doc.get("queries_served", 0)),
+            batches=int(doc.get("batches", 0)),
+            cache_hits=int(doc.get("cache_hits", 0)),
+            cache_misses=int(doc.get("cache_misses", 0)),
+            deduplicated=int(doc.get("deduplicated", 0)),
+            elapsed_seconds=float(doc.get("elapsed_seconds", 0.0)),
+            pool_workers=int(doc.get("pool_workers", 0)),
+            bytes_shipped=int(doc.get("bytes_shipped", 0)),
+            worker_respawns=int(doc.get("worker_respawns", 0)),
+            strategy_counts={
+                key[len("strategy_"):]: int(value)
+                for key, value in doc.items()
+                if key.startswith("strategy_")
+            },
+        )
+        if doc.get("latency"):
+            stats.latency = LatencyHistogram.from_dict(doc["latency"])
+        for stage, entry in (doc.get("stages") or {}).items():
+            stats.stage_seconds[stage] = float(entry["seconds"])
+            stats.stage_calls[stage] = int(entry.get("calls", 0))
+        stats.gauges = {name: float(value) for name, value in (doc.get("gauges") or {}).items()}
+        return stats

@@ -12,8 +12,11 @@ query surface):
   shape, ordered by ascending distance);
 * ``{"op": "insert", "points": [[..], ..]}`` — add points →
   ``{"inserted": m, "ids": [...], "n": total}``;
-* ``{"op": "stats"}`` — counters snapshot → the
-  :meth:`~repro.service.stats.ServiceStats.as_dict` payload;
+* ``{"op": "stats"}`` — telemetry snapshot → the enriched
+  :meth:`repro.api.Index.stats_snapshot` payload (counters, latency
+  histogram, per-stage seconds, gauges, worker aggregation);
+* ``{"op": "metrics"}`` — the same snapshot rendered in the Prometheus
+  text exposition format → ``{"metrics": "..."}``;
 * ``{"op": "spec"}`` — the served index's
   :class:`~repro.api.spec.IndexSpec` document → ``{"spec": {...}}``;
 * ``{"op": "save", "path": "..."}`` — persist the served index →
@@ -109,7 +112,19 @@ def _handle_op(state: dict, request: dict) -> str:
     service = state["target"]
     op = request.get("op")
     if op == "stats":
+        # An Index answers with the enriched snapshot (latency
+        # histogram, stages, gauges, live worker aggregation); a legacy
+        # QueryService falls back to the flat counter document.
+        snapshot = getattr(service, "stats_snapshot", None)
+        if snapshot is not None:
+            return json.dumps(snapshot())
         return json.dumps(service.stats.as_dict())
+    if op == "metrics":
+        from repro.observability import prometheus_text
+
+        snapshot = getattr(service, "stats_snapshot", None)
+        doc = snapshot() if snapshot is not None else service.stats.as_dict()
+        return json.dumps({"metrics": prometheus_text(doc)})
     if op == "insert":
         try:
             points = np.asarray(request["points"], dtype=np.float64)

@@ -44,6 +44,7 @@ import multiprocessing
 import os
 import shutil
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -53,7 +54,9 @@ from repro.core.linear_scan import exact_topk_results
 from repro.core.results import QueryResult, QueryStats, Strategy
 from repro.distances import get_metric
 from repro.exceptions import ConfigurationError
+from repro.observability import StageTrace, stage_timer
 from repro.service.sharded import default_fanout_width, merge_radius_results
+from repro.service.stats import ServiceStats
 from repro.utils.validation import check_matrix, check_positive_int
 
 __all__ = ["WorkerPool", "WorkerError"]
@@ -90,6 +93,23 @@ def _pack_result(result: QueryResult):
             s.strategy.value,
         ),
     )
+
+
+def _payload_nbytes(obj) -> int:
+    """Array bytes inside a pipe message/reply (the dominant pipe cost).
+
+    Counts every ndarray reachable through the tuples/lists/dicts the
+    worker protocol ships; scalar envelope overhead is ignored — the
+    counter answers "how much data crossed the pipe", not "how many
+    pickle bytes".
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (tuple, list)):
+        return sum(_payload_nbytes(item) for item in obj)
+    if isinstance(obj, dict):
+        return sum(_payload_nbytes(value) for value in obj.values())
+    return 0
 
 
 def _unpack_result(packed, radius: float) -> QueryResult:
@@ -134,6 +154,25 @@ def _worker_main(conn, path: str, shard_ids: list[int], spec_doc: dict,
             engines[s] = BatchQueryEngine(
                 searcher, radius=spec.radius, dedup=spec.dedup
             )
+        # Worker-local telemetry: latency histogram + counters for the
+        # batches *this* worker answers, a bytes counter for its pipe
+        # payloads, and live gauges over its frozen shards.  The parent
+        # fetches and exactly merges these via the ``stats`` op.
+        stats = ServiceStats()
+        frozen = [
+            ix for ix in indexes.values()
+            if hasattr(ix, "overflow_count") and hasattr(ix, "refreeze_count")
+        ]
+        if frozen:
+            stats.gauge_hooks["overflow_points"] = lambda: float(
+                sum(ix.overflow_count for ix in frozen)
+            )
+            stats.gauge_hooks["refreeze_generations"] = lambda: float(
+                sum(ix.refreeze_count for ix in frozen)
+            )
+            stats.gauge_hooks["refreeze_seconds_total"] = lambda: float(
+                sum(ix.refreeze_seconds_total for ix in frozen)
+            )
         conn.send(("ready", {s: indexes[s].n for s in shard_ids}))
     except BaseException as exc:
         try:
@@ -153,6 +192,7 @@ def _worker_main(conn, path: str, shard_ids: list[int], spec_doc: dict,
         try:
             if op == "radius":
                 _, shards, queries, radius = message
+                started = time.perf_counter()
                 reply = {
                     s: [
                         _pack_result(r)
@@ -160,12 +200,26 @@ def _worker_main(conn, path: str, shard_ids: list[int], spec_doc: dict,
                     ]
                     for s in shards
                 }
+                # Strategy counts tally the *shard-local* dispatch
+                # decisions, so with multiple owned shards they sum to
+                # queries x shards, not queries_served.
+                strategies: dict[str, int] = {}
+                for packed_results in reply.values():
+                    for packed in packed_results:
+                        name = Strategy(packed[2][5]).value
+                        strategies[name] = strategies.get(name, 0) + 1
+                stats.record_batch(
+                    queries.shape[0], time.perf_counter() - started,
+                    strategies=strategies,
+                )
             elif op == "topk_block":
                 _, shards, queries = message
+                started = time.perf_counter()
                 reply = {
                     s: pairwise_distances(queries, indexes[s].points, metric)
                     for s in shards
                 }
+                stats.record_batch(queries.shape[0], time.perf_counter() - started)
             elif op == "insert":
                 _, s, points = message
                 indexes[s].insert(points)
@@ -176,12 +230,15 @@ def _worker_main(conn, path: str, shard_ids: list[int], spec_doc: dict,
                 reply = True
             elif op == "shard_sizes":
                 reply = {s: indexes[s].n for s in shard_ids}
+            elif op == "stats":
+                reply = stats.as_dict()
             elif op == "ping":
                 reply = "pong"
             else:
                 reply = ("error", f"unknown worker op: {op!r}")
         except Exception as exc:
             reply = ("error", f"{type(exc).__name__}: {exc}")
+        stats.bytes_shipped += _payload_nbytes(message) + _payload_nbytes(reply)
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
@@ -286,6 +343,12 @@ class WorkerPool:
         self._workers: list = [None] * self.num_workers
         self._conns: list = [None] * self.num_workers
         self._locks = [threading.Lock() for _ in range(self.num_workers)]
+        #: parent-side transport counters (lifetime of the pool): bytes
+        #: of array payload shipped over the pipes in either direction,
+        #: and workers respawned after a crash.
+        self._counter_lock = threading.Lock()
+        self.bytes_shipped = 0
+        self.respawns = 0
         #: per-worker replay log of (shard, points) inserts, in order —
         #: the only state a respawned worker cannot recover from disk.
         self._insert_log: list[list] = [[] for _ in range(self.num_workers)]
@@ -346,6 +409,8 @@ class WorkerPool:
         if conn is not None:
             conn.close()
         self._spawn(worker)
+        with self._counter_lock:
+            self.respawns += 1
         for shard, points in self._insert_log[worker]:
             self._conns[worker].send(("insert", shard, points))
             reply = self._conns[worker].recv()
@@ -366,6 +431,10 @@ class WorkerPool:
                 self._respawn_locked(worker)
                 self._conns[worker].send(message)
                 reply = self._conns[worker].recv()
+        nbytes = _payload_nbytes(message) + _payload_nbytes(reply)
+        if nbytes:
+            with self._counter_lock:
+                self.bytes_shipped += nbytes
         if isinstance(reply, tuple) and reply and reply[0] == "error":
             raise WorkerError(reply[1])
         return reply
@@ -381,6 +450,22 @@ class WorkerPool:
     def worker_pids(self) -> list[int]:
         """The live worker process ids (diagnostics and crash tests)."""
         return [p.pid for p in self._workers if p is not None]
+
+    def worker_stats(self) -> list[dict]:
+        """Every worker's own stats snapshot, fetched via the ``stats`` op.
+
+        Each entry is a worker-local ``ServiceStats.as_dict()`` document
+        — latency histogram, counters, bytes shipped over *its* pipe,
+        and live gauges over its frozen shards (overflow size,
+        re-freeze counters).  A worker respawned after a crash starts
+        from zeroed counters; the parent's :attr:`respawns` records the
+        event.  Merge with ``ServiceStats.from_dict`` + ``merge`` for
+        the pool-wide aggregate (exact: shared histogram buckets).
+        """
+        replies = self._fan_out(
+            {w: ("stats",) for w in range(self.num_workers)}
+        )
+        return [replies[w] for w in range(self.num_workers)]
 
     def close(self) -> None:
         """Stop every worker and release the artifact (idempotent)."""
@@ -440,7 +525,10 @@ class WorkerPool:
         return self.query_batch(np.asarray(query)[None, :], radius)[0]
 
     def query_batch(
-        self, queries: np.ndarray, radius: float | None = None
+        self,
+        queries: np.ndarray,
+        radius: float | None = None,
+        trace: StageTrace | None = None,
     ) -> list[QueryResult]:
         """Answer a ``(q, d)`` matrix: one pipe round trip per worker.
 
@@ -448,29 +536,37 @@ class WorkerPool:
         :class:`~repro.service.batch.BatchQueryEngine` batch the thread
         path runs, so the merged answers are bit-identical to
         :meth:`ShardedHybridIndex.query_batch`.
+
+        With ``trace``, the fan-out round trip is attributed to the
+        ``ipc`` stage — which *includes* the workers' compute, since the
+        parent only observes the blocking request/reply — and the
+        parent-side merge to ``merge``.  Per-stage attribution inside
+        the workers lives in their own stats (:meth:`worker_stats`).
         """
         radius = self._resolve_radius(radius)
         queries = check_matrix(queries, dim=self.dim, name="queries")
-        replies = self._fan_out(
-            {
-                w: ("radius", self.worker_shards(w), queries, radius)
-                for w in range(self.num_workers)
-            }
-        )
-        per_shard = {}
-        for reply in replies.values():
-            per_shard.update(reply)
-        return [
-            merge_radius_results(
-                self._shard_gids,
-                [
-                    _unpack_result(per_shard[s][qi], radius)
-                    for s in range(self.num_shards)
-                ],
-                radius,
+        with stage_timer(trace, "ipc"):
+            replies = self._fan_out(
+                {
+                    w: ("radius", self.worker_shards(w), queries, radius)
+                    for w in range(self.num_workers)
+                }
             )
-            for qi in range(queries.shape[0])
-        ]
+        with stage_timer(trace, "merge"):
+            per_shard = {}
+            for reply in replies.values():
+                per_shard.update(reply)
+            return [
+                merge_radius_results(
+                    self._shard_gids,
+                    [
+                        _unpack_result(per_shard[s][qi], radius)
+                        for s in range(self.num_shards)
+                    ],
+                    radius,
+                )
+                for qi in range(queries.shape[0])
+            ]
 
     def shard_query_batch(
         self, shard: int, queries: np.ndarray, radius: float
@@ -501,7 +597,9 @@ class WorkerPool:
         """Exact k-nearest-neighbors of one query."""
         return self.query_topk_batch(np.asarray(query)[None, :], k)[0]
 
-    def query_topk_batch(self, queries: np.ndarray, k: int) -> list[QueryResult]:
+    def query_topk_batch(
+        self, queries: np.ndarray, k: int, trace: StageTrace | None = None
+    ) -> list[QueryResult]:
         """Exact k-NN: workers compute local distance blocks, parent selects.
 
         Same merge kernel as the thread path
@@ -514,19 +612,21 @@ class WorkerPool:
             raise ConfigurationError(
                 f"k ({k}) must not exceed the index size ({self.n})"
             )
-        replies = self._fan_out(
-            {
-                w: ("topk_block", self.worker_shards(w), queries)
-                for w in range(self.num_workers)
-            }
-        )
-        blocks_by_shard = {}
-        for reply in replies.values():
-            blocks_by_shard.update(reply)
-        blocks = [blocks_by_shard[s] for s in range(self.num_shards)]
-        return exact_topk_results(
-            np.concatenate(self._shard_gids), blocks, k, self.n
-        )
+        with stage_timer(trace, "ipc"):
+            replies = self._fan_out(
+                {
+                    w: ("topk_block", self.worker_shards(w), queries)
+                    for w in range(self.num_workers)
+                }
+            )
+        with stage_timer(trace, "merge"):
+            blocks_by_shard = {}
+            for reply in replies.values():
+                blocks_by_shard.update(reply)
+            blocks = [blocks_by_shard[s] for s in range(self.num_shards)]
+            return exact_topk_results(
+                np.concatenate(self._shard_gids), blocks, k, self.n
+            )
 
     # ------------------------------------------------------------------
     # Incremental inserts

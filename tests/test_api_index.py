@@ -356,3 +356,42 @@ class TestStreamSpecOps:
             for line in serve_stream(service, [json.dumps({"op": "spec"})])
         ]
         assert "error" in out[0]
+
+
+class TestStreamTelemetryOps:
+    def test_stats_op_returns_enriched_snapshot(self, sharded_index, gaussian_points):
+        lines = [
+            json.dumps({"query": q.tolist()}) for q in gaussian_points[:6]
+        ] + [json.dumps({"op": "stats"})]
+        out = [json.loads(line) for line in serve_stream(sharded_index, lines)]
+        snapshot = out[-1]
+        assert snapshot["queries_served"] == 6
+        assert snapshot["latency"]["count"] == 6
+        # The cumulative bucket counts must form a monotone CDF that
+        # accounts for every served query.
+        counts = snapshot["latency"]["counts"]
+        assert all(c >= 0 for c in counts)
+        assert sum(counts) == 6
+        assert snapshot["latency"]["p50"] <= snapshot["latency"]["p99"]
+        assert "gauges" in snapshot and "stages" in snapshot
+
+    def test_metrics_op_returns_prometheus_text(self, sharded_index, gaussian_points):
+        lines = [
+            json.dumps({"query": q.tolist()}) for q in gaussian_points[:4]
+        ] + [json.dumps({"op": "metrics"})]
+        out = [json.loads(line) for line in serve_stream(sharded_index, lines)]
+        text = out[-1]["metrics"]
+        assert "repro_queries_served_total 4" in text
+        assert "# TYPE repro_query_latency_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "repro_query_latency_seconds_count 4" in text
+
+    def test_traced_index_ships_stage_metrics(self, sharded_index, gaussian_points):
+        sharded_index.enable_tracing(True)
+        lines = [
+            json.dumps({"query": q.tolist()}) for q in gaussian_points[:4]
+        ] + [json.dumps({"op": "metrics"})]
+        out = [json.loads(line) for line in serve_stream(sharded_index, lines)]
+        text = out[-1]["metrics"]
+        assert 'repro_stage_seconds_total{stage="hash"}' in text
+        assert 'repro_stage_seconds_total{stage="merge"}' in text

@@ -61,10 +61,16 @@ class TestCli:
         assert "QPS" in out and "sequential" in out and "batched" in out
         payload = json.loads(artifact.read_text())
         assert set(payload["modes"]) == {
-            "sequential", "batched", "frozen_batched", "sharded"
+            "sequential", "batched", "frozen_batched", "frozen_batched_traced",
+            "sharded",
         }
         assert payload["modes"]["batched"]["matches_reference"] is True
         assert payload["modes"]["frozen_batched"]["matches_reference"] is True
+        # Tracing is timing-only: the traced run answers identically and
+        # every mode records ordered single-query latency percentiles.
+        assert payload["modes"]["frozen_batched_traced"]["matches_reference"] is True
+        for mode in payload["modes"].values():
+            assert mode["latency_p50"] <= mode["latency_p95"] <= mode["latency_p99"]
 
     def test_serve(self, capsys, monkeypatch):
         from repro.datasets import corel_like
@@ -86,6 +92,32 @@ class TestCli:
         assert 0 in responses[0]["ids"]
         assert "error" in responses[1]
         assert responses[2]["queries_served"] == 1
+
+    def test_serve_stats_interval_writes_jsonl_log(self, capsys, monkeypatch, tmp_path):
+        from repro.datasets import corel_like
+
+        dataset = corel_like(n=400, seed=0)
+        lines = [
+            json.dumps({"query": dataset.points[0].tolist()}),
+            json.dumps({"op": "metrics"}),
+        ]
+        log = tmp_path / "stats.jsonl"
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        # A long interval never fires mid-run; the reporter still emits
+        # one final snapshot line at shutdown, which is what we assert.
+        assert main([
+            "serve", "--dataset", "corel", "--n", "400", "--tables", "4",
+            "--stats-interval", "30", "--stats-log", str(log),
+        ]) == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(line) for line in captured.out.splitlines()]
+        assert "repro_queries_served_total 1" in responses[1]["metrics"]
+        snapshots = [json.loads(line) for line in log.read_text().splitlines()]
+        assert snapshots, "stats reporter wrote no snapshot lines"
+        final = snapshots[-1]
+        assert final["queries_served"] == 1
+        assert final["latency"]["count"] == 1
+        assert "ts" in final
 
     def test_build_then_serve_saved_index(self, capsys, monkeypatch, tmp_path):
         from repro.datasets import corel_like

@@ -31,6 +31,7 @@ class TestExports:
         import repro.evaluation
         import repro.hashing
         import repro.index
+        import repro.observability
         import repro.sketches
 
         for module in (
@@ -40,6 +41,7 @@ class TestExports:
             repro.evaluation,
             repro.hashing,
             repro.index,
+            repro.observability,
             repro.sketches,
         ):
             for name in module.__all__:

@@ -47,8 +47,11 @@ def _script(dim, count=30):
 
 def _normalise(line):
     doc = json.loads(line)
-    # Timing-dependent stats fields differ between runs by construction.
-    for volatile in ("elapsed_seconds", "qps", "batches"):
+    # Timing-dependent stats fields differ between runs by construction:
+    # the loops group batches differently, so wall-clock counters, the
+    # latency bucket distribution, per-stage seconds, and live gauges
+    # all legitimately diverge.  Count-style fields stay compared.
+    for volatile in ("elapsed_seconds", "qps", "batches", "latency", "stages", "gauges"):
         doc.pop(volatile, None)
     return doc
 
@@ -79,6 +82,58 @@ class TestConcurrentLoop:
         )
         for a, b in zip(sync, concurrent):
             assert _normalise(a) == _normalise(b)
+
+    def test_stats_totals_match_sync_loop(self, served_index):
+        """Overlapped batches must account identically to the sync loop.
+
+        With ``batch_size=1`` both loops dispatch every query as its own
+        batch, so the full counter set — queries served, batch count,
+        histogram sample total, strategy tallies — is deterministic and
+        must agree exactly (only the latency *distribution* is timing).
+        """
+        rng = np.random.default_rng(11)
+        lines = [
+            json.dumps({"query": rng.normal(size=served_index.dim).tolist(),
+                        "radius": 1.2})
+            for _ in range(40)
+        ]
+
+        def totals():
+            stats = served_index.stats
+            return {
+                "queries_served": stats.queries_served,
+                "batches": stats.batches,
+                "histogram_total": stats.latency.count,
+                "strategies": dict(stats.strategy_counts),
+            }
+
+        served_index.reset_stats()
+        list(serve_stream(served_index, lines, batch_size=1))
+        sync_totals = totals()
+        served_index.reset_stats()
+        list(serve_stream_concurrent(served_index, lines, batch_size=1, window=4))
+        concurrent_totals = totals()
+
+        assert sync_totals == concurrent_totals
+        assert sync_totals["queries_served"] == len(lines)
+        # Every query in a batch is charged the batch's latency, so the
+        # histogram's sample total always equals queries_served.
+        assert sync_totals["histogram_total"] == sync_totals["queries_served"]
+
+    def test_stats_query_totals_match_under_grouping(self, served_index):
+        """Larger micro-batches regroup work but never lose queries."""
+        rng = np.random.default_rng(13)
+        lines = [
+            json.dumps({"query": rng.normal(size=served_index.dim).tolist(),
+                        "radius": 1.2})
+            for _ in range(30)
+        ]
+        served_index.reset_stats()
+        list(serve_stream_concurrent(served_index, lines, batch_size=8, window=4))
+        stats = served_index.stats
+        assert stats.queries_served == len(lines)
+        assert stats.latency.count == stats.queries_served
+        assert sum(stats.strategy_counts.values()) == len(lines)
 
     def test_insert_op_is_a_barrier(self, served_index):
         rng = np.random.default_rng(9)

@@ -294,3 +294,83 @@ class TestDefaults:
             assert pool.num_workers == min(SHARDS, os.cpu_count() or 1)
         finally:
             index.close()
+
+
+class TestPoolTelemetry:
+    def test_worker_stats_op_reports_served_queries(self, points, queries):
+        from repro.service.stats import ServiceStats
+
+        procs = Index.build(points, _spec(execution="processes"), num_workers=2)
+        try:
+            procs.query_batch(queries)
+            procs.query(QuerySpec(queries, k=3))
+            per_worker = procs.engine.worker_stats()
+            assert len(per_worker) == 2
+            aggregate = ServiceStats()
+            for doc in per_worker:
+                aggregate.merge(ServiceStats.from_dict(doc))
+            # Per-worker stats describe each worker's own workload, and
+            # every worker evaluates every query against its shards: the
+            # pooled total is num_workers x (radius batch + top-k batch).
+            assert aggregate.queries_served == 2 * 2 * len(queries)
+            assert aggregate.latency.count == aggregate.queries_served
+            # Workers count strategies per owned shard, so the tally
+            # covers the radius batch across all shards.
+            assert sum(aggregate.strategy_counts.values()) == len(queries) * SHARDS
+            # Every worker shipped result arrays back over its pipe.
+            assert all(doc["bytes_shipped"] > 0 for doc in per_worker)
+            # Worker-local gauges (frozen overflow state) ride along.
+            assert all("overflow_points" in doc["gauges"] for doc in per_worker)
+        finally:
+            procs.close()
+
+    def test_parent_counts_bytes_and_respawns(self, points, queries):
+        procs = Index.build(points, _spec(execution="processes"), num_workers=2)
+        try:
+            pool = procs.engine
+            assert pool.respawns == 0
+            procs.query_batch(queries)
+            assert pool.bytes_shipped > 0
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            time.sleep(0.05)
+            procs.query_batch(queries)
+            assert pool.respawns == 1
+            snapshot = procs.stats_snapshot()
+            assert snapshot["worker_respawns"] == 1
+            assert snapshot["bytes_shipped"] == pool.bytes_shipped
+        finally:
+            procs.close()
+
+    def test_stats_snapshot_embeds_worker_aggregate(self, points, queries):
+        procs = Index.build(points, _spec(execution="processes"), num_workers=2)
+        try:
+            procs.query_batch(queries)
+            snapshot = procs.stats_snapshot()
+            workers = snapshot["workers"]
+            assert len(workers["per_worker"]) == 2
+            # Both workers evaluated the batch against their own shards;
+            # the front-end's top-level counter still says len(queries).
+            assert workers["aggregate"]["queries_served"] == 2 * len(queries)
+            assert snapshot["queries_served"] == len(queries)
+            # The snapshot must survive the wire format the stream
+            # protocol and the CLI reporter use.
+            import json
+
+            json.loads(json.dumps(snapshot))
+        finally:
+            procs.close()
+
+    def test_traced_pool_queries_attribute_ipc_time(self, points, queries):
+        procs = Index.build(points, _spec(execution="processes"), num_workers=2)
+        try:
+            procs.enable_tracing(True)
+            before = procs.query_batch(queries)
+            stats = procs.stats
+            assert stats.stage_seconds.get("ipc", 0.0) > 0.0
+            assert "merge" in stats.stage_seconds
+            procs.enable_tracing(False)
+            after = procs.query_batch(queries)
+            for ra, rb in zip(before, after):
+                assert_results_equal(ra, rb)
+        finally:
+            procs.close()
