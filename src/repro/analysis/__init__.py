@@ -1,0 +1,61 @@
+"""``reprolint``: repo-specific static analysis for the serving stack.
+
+Every layer of this package rests on invariants that the Hypothesis
+property suites enforce only *at runtime* — frozen layouts bit-identical
+to dict layouts, traced execution bit-identical to untraced, processes
+bit-identical to threads.  This package rejects the hazard classes that
+break those properties at lint time, before a test ever runs:
+
+``unseeded-rng``
+    No nondeterministic randomness in library code (legacy
+    ``np.random`` globals, the stdlib ``random`` module, or
+    ``default_rng()`` without a seed).
+``set-iteration``
+    No iteration over set expressions or ``.keys()`` views feeding
+    result construction — set order is hash-randomised across
+    processes, which silently breaks processes==threads bit-identity.
+``lock-discipline``
+    An attribute mutated under ``with self._lock:`` anywhere in a class
+    is shared state; mutating it outside a lock elsewhere in that class
+    is flagged (a lightweight lexical race detector).
+``dtype-contract``
+    The frozen CSR arrays have declared dtypes (offsets int64, members
+    intp, HLL registers uint8, ...); every ``np.empty``/``np.zeros``/
+    ``astype``/``np.asarray`` site in ``index/`` is checked against the
+    one contract table.
+``trace-stage``
+    ``stage_timer(...)`` stage names must be string literals from the
+    closed :data:`repro.observability.tracing.STAGES` vocabulary.
+``spec-plumb``
+    Every :class:`repro.api.spec.IndexSpec` field must be consumed by
+    the facade / persistence / serialisation layers — an added field
+    that none of them reads is dead configuration.
+
+Run it over the library source::
+
+    python -m repro.analysis check src/
+
+Findings are suppressed per line with ``# reprolint: disable=<rule-id>``
+(comma-separate several ids); suppressions are for documented
+exceptions, not for silencing real findings.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    ProjectRule,
+    Rule,
+    SourceFile,
+    all_rules,
+    register,
+    run_check,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "ProjectRule",
+    "SourceFile",
+    "all_rules",
+    "register",
+    "run_check",
+]

@@ -1,0 +1,58 @@
+"""Command-line front-end: ``python -m repro.analysis check src/``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.core import all_rules, run_check
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: repo-specific static analysis "
+        "(determinism, lock discipline, dtype contracts, ...)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="run all rules over paths")
+    check.add_argument("paths", nargs="+", help="files or directories to analyse")
+    check.add_argument(
+        "--enable",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only these rule ids (repeatable)",
+    )
+    check.add_argument(
+        "--disable",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="skip these rule ids (repeatable)",
+    )
+
+    sub.add_parser("list-rules", help="print the registered rule ids")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-rules":
+        for rule in all_rules().values():
+            print(f"{rule.id:16} {rule.description}")
+        return 0
+
+    findings = run_check(args.paths, enabled=args.enable, disabled=args.disable)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"reprolint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

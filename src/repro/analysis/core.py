@@ -1,0 +1,194 @@
+"""The ``reprolint`` framework: findings, rule registry, suppression, runner.
+
+A rule is a singleton object registered with :func:`register`.  Per-file
+rules implement :meth:`Rule.check_file`; cross-file rules subclass
+:class:`ProjectRule` and implement :meth:`ProjectRule.check_project`
+over every parsed file at once (the spec plumb-through check needs to
+see the spec *and* its consumers).
+
+Files are parsed once into :class:`SourceFile` values — AST, raw lines,
+and the per-line suppression table (``# reprolint: disable=<id>``) —
+and shared across rules.  :func:`run_check` applies every enabled rule,
+drops suppressed findings, and returns the rest sorted by location.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "ProjectRule",
+    "SourceFile",
+    "register",
+    "all_rules",
+    "run_check",
+    "iter_python_files",
+]
+
+#: ``# reprolint: disable=rule-a,rule-b`` anywhere in a line suppresses
+#: those rules' findings on that line.
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+class SourceFile:
+    """One parsed python file: AST, lines, and suppression table."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        #: forward-slash path for rule scoping (``index/frozen.py``).
+        self.posix_path = path.replace(os.sep, "/")
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        self.suppressed: dict[int, set[str]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                ids = {part.strip() for part in match.group(1).split(",")}
+                self.suppressed[lineno] = {part for part in ids if part}
+
+    @classmethod
+    def load(cls, path: str) -> SourceFile:
+        with open(path, encoding="utf-8") as fh:
+            return cls(path, fh.read())
+
+    def matches(self, suffixes: Sequence[str]) -> bool:
+        """Whether this file's path ends with any of the given suffixes."""
+        return any(self.posix_path.endswith(suffix) for suffix in suffixes)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        ids = self.suppressed.get(finding.line)
+        return ids is not None and finding.rule in ids
+
+    def __repr__(self) -> str:
+        return f"SourceFile({self.posix_path!r})"
+
+
+class Rule:
+    """A per-file rule.  Subclass, set ``id``/``description``, register."""
+
+    id: str = ""
+    description: str = ""
+    #: path suffixes this rule is scoped to; empty = every file.
+    path_suffixes: tuple[str, ...] = ()
+    #: path suffixes never checked (sanctioned wrappers, fixtures).
+    exempt_suffixes: tuple[str, ...] = ()
+
+    def applies_to(self, sf: SourceFile) -> bool:
+        if self.exempt_suffixes and sf.matches(self.exempt_suffixes):
+            return False
+        return not self.path_suffixes or sf.matches(self.path_suffixes)
+
+    def check_file(self, sf: SourceFile) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(self, sf: SourceFile, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=sf.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that inspects the whole file set at once."""
+
+    def check_project(self, files: Sequence[SourceFile]) -> Iterator[Finding]:
+        return iter(())
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of the rule to the registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id: {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """The registry (importing the rule modules populates it)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return dict(_REGISTRY)
+
+
+def iter_python_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                out.extend(
+                    os.path.join(dirpath, name)
+                    for name in filenames
+                    if name.endswith(".py")
+                )
+        elif path.endswith(".py"):
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(dict.fromkeys(out))
+
+
+def run_check(
+    paths: Iterable[str],
+    enabled: Iterable[str] | None = None,
+    disabled: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run every (enabled) registered rule over ``paths``.
+
+    ``enabled``/``disabled`` filter the registry by rule id — the test
+    suite uses them to prove each fixture finding comes from exactly the
+    rule under test.  Suppressed findings are dropped here, so rules
+    never need to know about the comment syntax.
+    """
+    rules = all_rules()
+    requested = set(enabled or ()) | set(disabled or ())
+    unknown = sorted(requested - set(rules))
+    if unknown:
+        raise ValueError(f"unknown rule ids: {unknown}")
+    chosen = set(rules) if enabled is None else set(enabled)
+    chosen -= set(disabled or ())
+    files = [SourceFile.load(path) for path in iter_python_files(paths)]
+    by_path = {sf.path: sf for sf in files}
+    findings: list[Finding] = []
+    for rule_id in sorted(chosen):
+        rule = rules[rule_id]
+        scoped = [sf for sf in files if rule.applies_to(sf)]
+        for sf in scoped:
+            findings.extend(rule.check_file(sf))
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(scoped))
+    return sorted(
+        f for f in findings
+        if f.path not in by_path or not by_path[f.path].is_suppressed(f)
+    )

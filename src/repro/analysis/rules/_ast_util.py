@@ -1,0 +1,83 @@
+"""Small shared AST helpers for the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "attr_chain",
+    "numpy_aliases",
+    "dtype_name",
+    "terminal_names",
+]
+
+
+def attr_chain(node: ast.AST) -> list[str] | None:
+    """``np.random.default_rng`` -> ``["np", "random", "default_rng"]``.
+
+    Returns None for anything that is not a plain dotted name chain
+    (calls, subscripts, literals, ...).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def numpy_aliases(tree: ast.Module) -> set[str]:
+    """Module-level names bound to the numpy module (``np``, ``numpy``)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+#: bare names accepted as literal dtypes (``from numpy import int64``
+#: style); any other bare name is a dynamic dtype the rule trusts.
+_SCALAR_TYPE_NAMES = {
+    "bool_", "int8", "int16", "int32", "int64", "intp",
+    "uint8", "uint16", "uint32", "uint64", "uintp",
+    "float16", "float32", "float64", "complex64", "complex128",
+}
+
+
+def dtype_name(node: ast.AST, np_names: set[str]) -> str | None:
+    """The dtype a literal dtype expression denotes, or None if dynamic.
+
+    Recognises ``np.int64`` attribute access, bare names imported from
+    numpy (rare here), string dtype codes (``"uint8"``), and the
+    little-endian struct codes the hot paths use (``"<i8"``).
+    """
+    chain = attr_chain(node)
+    if chain is not None:
+        if len(chain) == 2 and chain[0] in np_names:
+            return chain[1]
+        if len(chain) == 1 and chain[0] in _SCALAR_TYPE_NAMES:
+            return chain[0]
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        codes = {"<i8": "int64", "<u1": "uint8", "|u1": "uint8"}
+        return codes.get(node.value, node.value)
+    return None
+
+
+def terminal_names(node: ast.AST) -> set[str]:
+    """Every dotted-name terminal mentioned in an expression.
+
+    ``self._frozen.members[a:b]`` -> ``{"self", "members", ...}`` —
+    used to ask "does this expression read a contracted array?".
+    """
+    names: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.Name):
+            names.add(sub.id)
+    return names

@@ -1,0 +1,180 @@
+"""Determinism rules: no unseeded randomness, no set-order iteration.
+
+The repo's reproducibility contract (``utils/rng.py``) is that every
+stochastic component threads a seedable ``numpy.random.Generator``;
+bit-identity properties (frozen==dict, processes==threads) additionally
+require that no result construction depends on set iteration order,
+which is hash-randomised across python processes.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import Finding, Rule, SourceFile, register
+from repro.analysis.rules._ast_util import attr_chain, numpy_aliases
+
+#: ``np.random`` members that are deterministic plumbing, not draws.
+_ALLOWED_NP_RANDOM = {"Generator", "SeedSequence", "BitGenerator", "default_rng"}
+
+
+def _random_module_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Names bound to the stdlib ``random`` module / imported from it."""
+    modules: set[str] = set()
+    members: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    modules.add(alias.asname or "random")
+        elif isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                members.add(alias.asname or alias.name)
+    return modules, members
+
+
+def _is_unseeded_call(node: ast.Call) -> bool:
+    """``default_rng()`` / ``default_rng(None)`` — OS-entropy streams."""
+    seed_args = list(node.args) + [kw.value for kw in node.keywords if kw.arg == "seed"]
+    if not seed_args:
+        return True
+    first = seed_args[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+@register
+class UnseededRngRule(Rule):
+    """Library code must thread seedable generators, never global RNG."""
+
+    id = "unseeded-rng"
+    description = (
+        "no unseeded or global randomness in library code: legacy "
+        "np.random.* calls, the stdlib random module, and "
+        "default_rng()/default_rng(None) are all nondeterministic "
+        "across runs; thread a seeded Generator (utils/rng.py)"
+    )
+
+    def check_file(self, sf: SourceFile) -> Iterator[Finding]:
+        np_names = numpy_aliases(sf.tree)
+        rand_modules, rand_members = _random_module_aliases(sf.tree)
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Attribute):
+                chain = attr_chain(node)
+                if chain is None:
+                    continue
+                if (
+                    len(chain) >= 3
+                    and chain[0] in np_names
+                    and chain[1] == "random"
+                    and chain[2] not in _ALLOWED_NP_RANDOM
+                ):
+                    yield self.finding(
+                        sf,
+                        node,
+                        f"legacy global-state numpy RNG "
+                        f"({'.'.join(chain[:3])}); use a seeded "
+                        f"np.random.Generator via repro.utils.rng",
+                    )
+                elif len(chain) == 2 and chain[0] in rand_modules:
+                    yield self.finding(
+                        sf,
+                        node,
+                        f"stdlib random module ({'.'.join(chain)}) is "
+                        f"process-global and unseeded here; use a seeded "
+                        f"np.random.Generator via repro.utils.rng",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = attr_chain(node.func)
+                if chain is None:
+                    continue
+                is_default_rng = (
+                    len(chain) >= 3
+                    and chain[0] in np_names
+                    and chain[1] == "random"
+                    and chain[2] == "default_rng"
+                ) or (len(chain) == 1 and chain[0] == "default_rng")
+                if is_default_rng and _is_unseeded_call(node):
+                    yield self.finding(
+                        sf,
+                        node,
+                        "default_rng() without a seed draws OS entropy; "
+                        "accept and pass through a seed argument",
+                    )
+                elif len(chain) == 1 and chain[0] in rand_members:
+                    yield self.finding(
+                        sf,
+                        node,
+                        f"stdlib random function {chain[0]}() is "
+                        f"process-global and unseeded; use a seeded "
+                        f"np.random.Generator via repro.utils.rng",
+                    )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Set | ast.SetComp):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _is_keys_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+        and not node.keywords
+    )
+
+
+@register
+class SetIterationRule(Rule):
+    """Result construction must not iterate sets (hash-randomised order)."""
+
+    id = "set-iteration"
+    description = (
+        "iteration order of a set (and list()/tuple() of one) is "
+        "hash-randomised across processes, breaking processes==threads "
+        "bit-identity when it feeds result construction; sort it "
+        "(sorted(...)) or keep an ordered container"
+    )
+
+    #: ordering-sensitive wrappers whose first argument we also check.
+    _ORDER_SENSITIVE_CALLS = ("list", "tuple", "enumerate")
+
+    def _iterables(self, tree: ast.Module) -> Iterator[ast.AST]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.For | ast.AsyncFor):
+                yield node.iter
+            elif isinstance(node, ast.ListComp | ast.SetComp | ast.DictComp | ast.GeneratorExp):
+                for gen in node.generators:
+                    yield gen.iter
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._ORDER_SENSITIVE_CALLS
+                and node.args
+            ):
+                yield node.args[0]
+
+    def check_file(self, sf: SourceFile) -> Iterator[Finding]:
+        for iterable in self._iterables(sf.tree):
+            if _is_set_expr(iterable):
+                yield self.finding(
+                    sf,
+                    iterable,
+                    "iterating a set in hash-randomised order; wrap in "
+                    "sorted(...) or restructure around an ordered container",
+                )
+            elif _is_keys_call(iterable):
+                yield self.finding(
+                    sf,
+                    iterable,
+                    "iterating .keys() — iterate the mapping itself (its "
+                    "insertion order is the contract), or sorted(...) if "
+                    "the order must be value-stable",
+                )

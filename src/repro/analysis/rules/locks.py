@@ -1,0 +1,199 @@
+"""Lock-discipline rule: a lexical race detector for shared attributes.
+
+Within one class, any instance attribute mutated under a
+``with self.<lock>:`` block is declared shared state; mutating it
+anywhere else in the class without holding a lock is flagged.  The rule
+is purely lexical — it cannot see callers — so two idioms mark a method
+as lock-exempt:
+
+* a ``_locked`` name suffix (the repo convention for helpers whose
+  contract says "caller holds the lock"), and
+* assigning any lock attribute in the method body (``__init__`` and
+  friends: the object is not shared while its locks are being created).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.analysis.core import Finding, Rule, SourceFile, register
+from repro.analysis.rules._ast_util import attr_chain
+
+#: method names that mutate their receiver in place.
+_MUTATOR_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "sort", "reverse",
+}
+
+#: constructor names whose result marks an attribute as a lock.
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+
+@dataclass
+class _Mutation:
+    attr: str
+    node: ast.AST
+    locked: bool
+
+
+def _own_attr(node: ast.AST, inst: str) -> str | None:
+    """``self.x`` / ``self.x[i]`` / ``self.x[i].y``? -> ``"x"`` (one level).
+
+    Subscripts are stripped so ``self._shard_gids[s] = ...`` counts as a
+    mutation of ``_shard_gids``; deeper attribute chains (``self.a.b``)
+    are out of scope — the rule tracks the instance's own slots.
+    """
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == inst
+    ):
+        return node.attr
+    return None
+
+
+def _contains_lock_factory(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            chain = attr_chain(sub.func)
+            if chain and chain[-1] in _LOCK_FACTORIES:
+                return True
+    return False
+
+
+class _MethodScan:
+    """All instance-attribute mutations of one method, lock-annotated."""
+
+    def __init__(self, method: ast.FunctionDef, inst: str, lock_attrs: set[str]) -> None:
+        self.method = method
+        self.inst = inst
+        self.lock_attrs = lock_attrs
+        self.mutations: list[_Mutation] = []
+        self.assigns_lock = False
+        for stmt in method.body:
+            self._walk(stmt, locked=False)
+
+    def _is_lock_item(self, expr: ast.AST) -> bool:
+        return _own_attr(expr, self.inst) in self.lock_attrs
+
+    def _record(self, attr: str | None, node: ast.AST, locked: bool) -> None:
+        if attr is None:
+            return
+        if attr in self.lock_attrs:
+            self.assigns_lock = True
+            return
+        self.mutations.append(_Mutation(attr=attr, node=node, locked=locked))
+
+    def _walk(self, node: ast.AST, locked: bool) -> None:
+        if isinstance(node, ast.With):
+            inner = locked or any(
+                self._is_lock_item(item.context_expr) for item in node.items
+            )
+            for item in node.items:
+                self._walk(item.context_expr, locked)
+            for stmt in node.body:
+                self._walk(stmt, inner)
+            return
+        if isinstance(node, ast.Assign | ast.AugAssign | ast.AnnAssign):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for leaf in self._target_leaves(target):
+                    self._record(_own_attr(leaf, self.inst), node, locked)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATOR_METHODS
+        ):
+            self._record(_own_attr(node.func.value, self.inst), node, locked)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, locked)
+
+    @staticmethod
+    def _target_leaves(target: ast.AST) -> Iterator[ast.AST]:
+        if isinstance(target, ast.Tuple | ast.List):
+            for element in target.elts:
+                yield from _MethodScan._target_leaves(element)
+        elif isinstance(target, ast.Starred):
+            yield target.value
+        else:
+            yield target
+
+
+@register
+class LockDisciplineRule(Rule):
+    """Attributes mutated under a class's lock must always be locked."""
+
+    id = "lock-discipline"
+    description = (
+        "an attribute mutated under `with self.<lock>:` anywhere in a "
+        "class is shared state; every other mutation of it must hold a "
+        "lock too (or live in a `*_locked` helper whose caller does)"
+    )
+
+    def check_file(self, sf: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(sf, node)
+
+    def _check_class(self, sf: SourceFile, cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = [
+            stmt
+            for stmt in cls.body
+            if isinstance(stmt, ast.FunctionDef | ast.AsyncFunctionDef)
+        ]
+        insts = {m.name: self._receiver(m) for m in methods}
+        lock_attrs = {
+            attr
+            for method in methods
+            if insts[method.name]
+            for stmt in ast.walk(method)
+            if isinstance(stmt, ast.Assign) and _contains_lock_factory(stmt.value)
+            for target in stmt.targets
+            if (attr := _own_attr(target, insts[method.name])) is not None
+        }
+        if not lock_attrs:
+            return
+        scans = [
+            _MethodScan(method, insts[method.name], lock_attrs)
+            for method in methods
+            if insts[method.name]
+        ]
+        guarded: dict[str, str] = {}
+        for scan in scans:
+            for mutation in scan.mutations:
+                if mutation.locked:
+                    guarded.setdefault(mutation.attr, scan.method.name)
+        if not guarded:
+            return
+        for scan in scans:
+            if (
+                scan.method.name == "__init__"
+                or scan.method.name.endswith("_locked")
+                or scan.assigns_lock
+            ):
+                continue
+            for mutation in scan.mutations:
+                if not mutation.locked and mutation.attr in guarded:
+                    yield self.finding(
+                        sf,
+                        mutation.node,
+                        f"{cls.name}.{mutation.attr} is mutated under a lock "
+                        f"in {guarded[mutation.attr]}() but mutated here "
+                        f"without one; take the lock or rename the helper "
+                        f"to *_locked if the caller holds it",
+                    )
+
+    @staticmethod
+    def _receiver(method: ast.FunctionDef) -> str | None:
+        """The instance parameter name, or None for static/classmethods."""
+        for decorator in method.decorator_list:
+            chain = attr_chain(decorator)
+            if chain and chain[-1] in ("staticmethod", "classmethod"):
+                return None
+        if not method.args.args:
+            return None
+        return method.args.args[0].arg

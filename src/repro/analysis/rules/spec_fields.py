@@ -1,0 +1,82 @@
+"""Spec-field plumb-through rule: no dead ``IndexSpec`` configuration.
+
+Every field declared on :class:`repro.api.spec.IndexSpec` must be
+consumed somewhere in the layers that act on a spec — the facade build
+path, the persistence layer, or the dict-layout serialiser.  A field
+none of them reads is configuration that silently does nothing: the
+spec validates it, round-trips it through JSON, and then it falls on
+the floor (the exact failure mode this rule exists to catch when a new
+knob is added to the spec but not wired through).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Sequence
+
+from repro.analysis.core import Finding, ProjectRule, SourceFile, register
+
+#: where the spec is declared / where its fields must be consumed.
+SPEC_FILE = "api/spec.py"
+CONSUMER_FILES = ("api/facade.py", "api/persist.py", "index/serialize.py")
+SPEC_CLASS = "IndexSpec"
+
+
+def _spec_fields(sf: SourceFile) -> list[tuple[str, ast.AnnAssign]]:
+    """The declared dataclass fields of ``IndexSpec``, in order."""
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.ClassDef) and node.name == SPEC_CLASS:
+            return [
+                (stmt.target.id, stmt)
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and not stmt.target.id.startswith("_")
+            ]
+    return []
+
+
+def _consumed_names(files: Sequence[SourceFile]) -> set[str]:
+    """Attribute names and string keys the consumer files read."""
+    names: set[str] = set()
+    for sf in files:
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Attribute):
+                names.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                names.add(node.value)
+            elif isinstance(node, ast.keyword) and node.arg is not None:
+                names.add(node.arg)
+    return names
+
+
+@register
+class SpecPlumbThroughRule(ProjectRule):
+    """Every ``IndexSpec`` field is consumed by facade/persist/serialize."""
+
+    id = "spec-plumb"
+    description = (
+        "every IndexSpec field must be read by the facade, persistence, "
+        "or serialisation layer; a field none of them consumes is dead "
+        "configuration"
+    )
+    path_suffixes = (SPEC_FILE,) + CONSUMER_FILES
+
+    def check_project(self, files: Sequence[SourceFile]) -> Iterator[Finding]:
+        spec_files = [sf for sf in files if sf.matches((SPEC_FILE,))]
+        consumers = [sf for sf in files if sf.matches(CONSUMER_FILES)]
+        if not spec_files or not consumers:
+            # Partial invocations (e.g. a single-file check) cannot
+            # evaluate plumb-through; stay silent rather than guess.
+            return
+        consumed = _consumed_names(consumers)
+        for sf in spec_files:
+            for name, node in _spec_fields(sf):
+                if name not in consumed:
+                    yield self.finding(
+                        sf,
+                        node,
+                        f"IndexSpec.{name} is validated and persisted but "
+                        f"never consumed by {', '.join(CONSUMER_FILES)}; "
+                        f"wire it through or remove it",
+                    )

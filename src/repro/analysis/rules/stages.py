@@ -1,0 +1,74 @@
+"""Trace-stage rule: ``stage_timer`` uses the closed stage vocabulary.
+
+Dashboards and the Prometheus exposition rely on the stage label being
+one of :data:`repro.observability.tracing.STAGES`; a typo'd or ad-hoc
+stage would silently create a new label series.  The vocabulary is
+imported from the tracing module itself, so extending it there is the
+one place to do it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import Finding, Rule, SourceFile, register
+from repro.observability.tracing import STAGES
+
+
+def _stage_argument(node: ast.Call) -> ast.AST | None:
+    """The stage expression of a ``stage_timer(trace, stage)`` call."""
+    if len(node.args) >= 2:
+        return node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "stage":
+            return keyword.value
+    return None
+
+
+@register
+class TraceStageRule(Rule):
+    """``stage_timer(...)`` stages are literals from ``STAGES``."""
+
+    id = "trace-stage"
+    description = (
+        "stage_timer(trace, stage) requires a string literal from the "
+        "closed observability.tracing.STAGES vocabulary so metric "
+        "labels stay a stable, enumerable set"
+    )
+    #: the vocabulary's defining module is the one place allowed to
+    #: mention stages dynamically.
+    exempt_suffixes = ("observability/tracing.py",)
+
+    def check_file(self, sf: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name != "stage_timer":
+                continue
+            stage = _stage_argument(node)
+            if stage is None:
+                continue  # malformed call; python itself will complain
+            if not (isinstance(stage, ast.Constant) and isinstance(stage.value, str)):
+                yield self.finding(
+                    sf,
+                    stage,
+                    "stage must be a string literal (a computed stage "
+                    "name defeats the closed-vocabulary guarantee)",
+                )
+            elif stage.value not in STAGES:
+                yield self.finding(
+                    sf,
+                    stage,
+                    f"unknown trace stage {stage.value!r}; the closed "
+                    f"vocabulary is {', '.join(STAGES)} "
+                    f"(extend observability.tracing.STAGES first)",
+                )

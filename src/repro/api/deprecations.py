@@ -12,6 +12,7 @@ the engines the :class:`repro.api.Index` facade runs on.
 from __future__ import annotations
 
 import warnings
+from typing import Any
 
 __all__ = ["deprecated_front_door", "warn_once"]
 
@@ -32,7 +33,7 @@ def warn_once(name: str, alternative: str, stacklevel: int = 3) -> None:
     )
 
 
-def deprecated_front_door(cls: type, alternative: str) -> type:
+def deprecated_front_door(cls: type[Any], alternative: str) -> type[Any]:
     """A subclass of ``cls`` that warns (once) on construction.
 
     The shim is substitutable everywhere the original is accepted
@@ -40,8 +41,8 @@ def deprecated_front_door(cls: type, alternative: str) -> type:
     argument untouched.
     """
 
-    class Shim(cls):
-        def __init__(self, *args, **kwargs):
+    class Shim(cls):  # type: ignore[misc, valid-type]
+        def __init__(self, *args: Any, **kwargs: Any) -> None:
             warn_once(cls.__name__, alternative)
             super().__init__(*args, **kwargs)
 

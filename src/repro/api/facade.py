@@ -25,6 +25,8 @@ The package grew three entry points — :class:`~repro.core.hybrid.HybridLSH`
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
+from typing import Any, cast
 
 import numpy as np
 
@@ -80,13 +82,17 @@ class _SingleBackend:
     ) -> list[QueryResult]:
         return self.engine.query_batch(queries, radius, trace=trace)
 
-    def shard_query_batch(self, shard: int, queries, radius) -> list[QueryResult]:
+    def shard_query_batch(
+        self, shard: int, queries: np.ndarray, radius: float
+    ) -> list[QueryResult]:
         return self.engine.query_batch(queries, radius)
 
     def merge(self, parts: list[QueryResult], radius: float) -> QueryResult:
         return parts[0]
 
-    def map_shards(self, work) -> list:
+    def map_shards(
+        self, work: Callable[[int], list[QueryResult]]
+    ) -> list[list[QueryResult]]:
         return [work(0)]
 
     def topk_batch(
@@ -119,7 +125,7 @@ class _ShardedBackend:
     one query/insert surface.
     """
 
-    def __init__(self, sharded) -> None:
+    def __init__(self, sharded: Any) -> None:
         self.engine = sharded
         self.kind = getattr(sharded, "kind", "sharded")
 
@@ -143,13 +149,17 @@ class _ShardedBackend:
     ) -> list[QueryResult]:
         return self.engine.query_batch(queries, radius, trace=trace)
 
-    def shard_query_batch(self, shard: int, queries, radius) -> list[QueryResult]:
+    def shard_query_batch(
+        self, shard: int, queries: np.ndarray, radius: float
+    ) -> list[QueryResult]:
         return self.engine.shard_query_batch(shard, queries, radius)
 
     def merge(self, parts: list[QueryResult], radius: float) -> QueryResult:
         return self.engine.merge_radius(parts, radius)
 
-    def map_shards(self, work) -> list:
+    def map_shards(
+        self, work: Callable[[int], list[QueryResult]]
+    ) -> list[list[QueryResult]]:
         return self.engine.map_shards(work)
 
     def topk_batch(
@@ -166,7 +176,7 @@ class _ShardedBackend:
         self.engine.close()
 
 
-def _resolve_estimator(spec: IndexSpec):
+def _resolve_estimator(spec: IndexSpec) -> Any:
     """Spec estimator name -> searcher argument.
 
     The *built-in* HLL estimator maps to ``None`` so the searcher keeps
@@ -188,7 +198,7 @@ def _resolve_cost_model(spec: IndexSpec, points: np.ndarray) -> CostModel:
     return calibrate_cost_model(points, get_metric(spec.metric), seed=spec.seed).model
 
 
-def _resolve_family_and_k(spec: IndexSpec, dim: int, seed=None):
+def _resolve_family_and_k(spec: IndexSpec, dim: int, seed: Any = None) -> tuple[Any, int]:
     """Resolve (family, k) for one index build.
 
     The default spec reproduces :func:`~repro.core.presets.paper_parameters`
@@ -255,7 +265,7 @@ def _spec_is_shard_customised(spec: IndexSpec) -> bool:
     )
 
 
-def _build_single_index(spec: IndexSpec, points: np.ndarray, seed, freeze: bool):
+def _build_single_index(spec: IndexSpec, points: np.ndarray, seed: Any, freeze: bool) -> Any:
     """Build one (possibly customised) index as the spec describes it.
 
     ``variant`` selects the index class: ``"plain"`` and
@@ -298,7 +308,9 @@ def _build_single_index(spec: IndexSpec, points: np.ndarray, seed, freeze: bool)
     return index
 
 
-def _custom_shard_factory(spec: IndexSpec, cost_model: CostModel, estimator):
+def _custom_shard_factory(
+    spec: IndexSpec, cost_model: CostModel, estimator: Any
+) -> Callable[[np.ndarray, Any], HybridLSH]:
     """``factory(shard_points, rng) -> HybridLSH`` for customised shards.
 
     Mirrors the single-index build path per shard, with the shard's
@@ -306,7 +318,7 @@ def _custom_shard_factory(spec: IndexSpec, cost_model: CostModel, estimator):
     asks for it) stays in :class:`ShardedHybridIndex`'s build step.
     """
 
-    def factory(shard_points: np.ndarray, rng) -> HybridLSH:
+    def factory(shard_points: np.ndarray, rng: Any) -> HybridLSH:
         index = _build_single_index(spec, shard_points, seed=rng, freeze=False)
         return HybridLSH.from_index(
             index, spec.radius, cost_model, delta=spec.delta, estimator=estimator
@@ -338,7 +350,7 @@ class Index:
 
     def __init__(
         self,
-        backend,
+        backend: Any,
         spec: IndexSpec | None = None,
         cache: QueryResultCache | None = None,
     ) -> None:
@@ -358,7 +370,7 @@ class Index:
         points: np.ndarray,
         spec: IndexSpec,
         num_workers: int | None = None,
-    ) -> "Index":
+    ) -> Index:
         """Build an index over ``points`` as described by ``spec``.
 
         ``execution="processes"`` builds the sharded frozen index, saves
@@ -379,6 +391,7 @@ class Index:
         points = check_matrix(points, name="points")
         cost_model = _resolve_cost_model(spec, points)
         estimator = _resolve_estimator(spec)
+        backend: _ShardedBackend | _SingleBackend
         if spec.num_shards > 1:
             factory = (
                 _custom_shard_factory(spec, cost_model, estimator)
@@ -417,10 +430,10 @@ class Index:
     @classmethod
     def from_engine(
         cls,
-        engine,
+        engine: Any,
         cache: QueryResultCache | None = None,
         spec: IndexSpec | None = None,
-    ) -> "Index":
+    ) -> Index:
         """Wrap an already-built engine in the facade.
 
         Accepts a :class:`~repro.service.batch.BatchQueryEngine`, a
@@ -431,7 +444,8 @@ class Index:
         """
         from repro.service.workers import WorkerPool
 
-        if isinstance(engine, (ShardedHybridIndex, WorkerPool)):
+        backend: _ShardedBackend | _SingleBackend
+        if isinstance(engine, ShardedHybridIndex | WorkerPool):
             backend = _ShardedBackend(engine)
         elif isinstance(engine, BatchQueryEngine):
             backend = _SingleBackend(engine)
@@ -448,7 +462,7 @@ class Index:
         return cls(backend, spec=spec, cache=cache)
 
     @classmethod
-    def open(cls, path: str, num_workers: int | None = None) -> "Index":
+    def open(cls, path: str, num_workers: int | None = None) -> Index:
         """Reopen an index saved by :meth:`save` (bit-identical answers).
 
         A spec with ``execution="processes"`` comes back behind a
@@ -470,7 +484,7 @@ class Index:
     # Introspection
     # ------------------------------------------------------------------
     @property
-    def engine(self):
+    def engine(self) -> Any:
         """The underlying engine (batched single index or sharded fan-out)."""
         return self._backend.engine
 
@@ -535,8 +549,7 @@ class Index:
         if pool is not None:
             # Pipes and respawns are parent-side pool-lifetime counters;
             # sync them into the facade stats at snapshot time.
-            self.stats.bytes_shipped = pool.bytes_shipped
-            self.stats.worker_respawns = pool.respawns
+            self.stats.set_transport(pool.bytes_shipped, pool.respawns)
         doc = self.stats.as_dict()
         if pool is not None and hasattr(pool, "worker_stats"):
             per_worker = pool.worker_stats()
@@ -558,7 +571,9 @@ class Index:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, request, radius: float | None = None):
+    def query(
+        self, request: QuerySpec | np.ndarray, radius: float | None = None
+    ) -> QueryResult | list[QueryResult]:
         """Answer one :class:`~repro.api.spec.QuerySpec` (or raw vector/matrix).
 
         Radius requests return points within the radius; ``k`` requests
@@ -572,7 +587,7 @@ class Index:
             raise ConfigurationError(
                 "pass the radius inside the QuerySpec, not alongside it"
             )
-        if request.mode == "topk":
+        if request.k is not None:  # mode == "topk"
             results = self._topk_batch(request.queries, request.k)
         else:
             results = self._radius_batch(request.queries, request.radius)
@@ -639,6 +654,7 @@ class Index:
         (popular-item storms), exactly like the legacy service.
         """
         cache = self.cache
+        assert cache is not None  # only called on the cache-enabled path
         num_shards = self._backend.num_partitions
         num_queries = queries.shape[0]
         results: list[QueryResult | None] = [None] * num_queries
@@ -688,10 +704,11 @@ class Index:
         for i, rep in duplicates:
             results[i] = results[rep]
 
-        self.stats.cache_hits += hits
-        self.stats.cache_misses += len(parts_by_row)
-        self.stats.deduplicated += len(duplicates)
-        return results
+        self.stats.record_cache(
+            hits=hits, misses=len(parts_by_row), deduplicated=len(duplicates)
+        )
+        # Every row was filled above (hit, fresh merge, or duplicate share).
+        return cast("list[QueryResult]", results)
 
     def _account(
         self,
@@ -723,7 +740,7 @@ def _cache_from_spec(spec: IndexSpec) -> QueryResultCache | None:
     return QueryResultCache(maxsize=spec.cache_size, quantum=spec.cache_quantum)
 
 
-def _frozen_indexes_of(backend) -> list:
+def _frozen_indexes_of(backend: Any) -> list[Any]:
     """Frozen indexes reachable in-process from ``backend`` (may be [])."""
     engine = getattr(backend, "engine", None)
     if engine is None:
@@ -738,7 +755,7 @@ def _frozen_indexes_of(backend) -> list:
     return [ix for ix in candidates if hasattr(ix, "overflow_count") and hasattr(ix, "refreeze_count")]
 
 
-def _register_gauge_hooks(stats: ServiceStats, backend) -> None:
+def _register_gauge_hooks(stats: ServiceStats, backend: Any) -> None:
     """Wire live backend gauges into the stats object.
 
     Frozen layouts expose their overflow side-table size and background
@@ -763,7 +780,7 @@ def _register_gauge_hooks(stats: ServiceStats, backend) -> None:
     )
 
 
-def _fanout_width_of(backend) -> int:
+def _fanout_width_of(backend: Any) -> int:
     """The chosen shard fan-out width (0 for an unpartitioned engine)."""
     engine = getattr(backend, "engine", None)
     width = getattr(engine, "num_workers", None)  # process pool
@@ -795,6 +812,7 @@ def _as_process_pool(index: Index, num_workers: int | None = None) -> Index:
     finally:
         index.close()
     pool = WorkerPool(path, num_workers=num_workers, owns_path=True)
+    assert index.spec is not None  # build() always attaches the spec
     return Index(
         _ShardedBackend(pool), spec=index.spec, cache=_cache_from_spec(index.spec)
     )

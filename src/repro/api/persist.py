@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import os
+from typing import Any
 
 import numpy as np
 
@@ -52,7 +53,7 @@ def _frozen_shard_dir(shard: int) -> str:
     return f"shard_{shard:03d}.frozen"
 
 
-def _save_shard_any(shard_index, path: str, shard: int) -> str:
+def _save_shard_any(shard_index: Any, path: str, shard: int) -> str:
     """Persist one shard in its own layout; returns the layout tag.
 
     Dict-layout shards stay one compressed ``.npz``; frozen shards
@@ -66,7 +67,7 @@ def _save_shard_any(shard_index, path: str, shard: int) -> str:
     return "dict"
 
 
-def _load_shard_any(path: str, shard: int, layout: str):
+def _load_shard_any(path: str, shard: int, layout: str) -> Any:
     if layout == "frozen":
         return load_frozen_index(os.path.join(path, _frozen_shard_dir(shard)))
     return _load_shard(os.path.join(path, _shard_file(shard)))
@@ -85,7 +86,7 @@ def write_shard_gids(path: str, shard_gids: list[np.ndarray]) -> None:
     )
 
 
-def save_index(index, path: str) -> None:
+def save_index(index: Any, path: str) -> None:
     """Persist ``index`` (an :class:`repro.api.Index`) under directory ``path``."""
     from repro.api.facade import Index
 
@@ -100,7 +101,7 @@ def save_index(index, path: str) -> None:
         )
     engine = index.engine
     cost_model = index.cost_model
-    meta = {
+    meta: dict[str, Any] = {
         "format_version": _FORMAT_VERSION,
         "spec": index.spec.to_dict(),
         "cost_model": {"alpha": cost_model.alpha, "beta": cost_model.beta},
@@ -144,7 +145,7 @@ def save_index(index, path: str) -> None:
         fh.write("\n")
 
 
-def open_index(path: str, num_workers: int | None = None):
+def open_index(path: str, num_workers: int | None = None) -> Any:
     """Reopen an index saved by :func:`save_index`.
 
     Returns an :class:`repro.api.Index` whose radius, top-k and batch
@@ -189,6 +190,7 @@ def open_index(path: str, num_workers: int | None = None):
     estimator = _resolve_estimator(spec)
     num_shards = int(meta["num_shards"])
     layout = meta.get("layout", "dict")
+    backend: Any
     shard_indexes = [
         _load_shard_any(path, s, layout) for s in range(num_shards)
     ]

@@ -46,10 +46,11 @@ JSON schema (all keys optional unless noted)::
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, fields, replace
+from dataclasses import asdict, dataclass, fields, replace
 from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.distances import get_metric
 from repro.exceptions import ConfigurationError
@@ -88,7 +89,7 @@ class IndexSpec:
     k: int | None = None
     hash_family: str | None = None
     bucket_width: float | None = None
-    family_params: dict | None = None
+    family_params: dict[str, Any] | None = None
     hll_precision: int = 7
     hll_seed: int = 0
     lazy_threshold: int | None = None
@@ -197,12 +198,12 @@ class IndexSpec:
                 'execution="processes" requires layout="frozen" — the worker '
                 "pool serves mmap'd frozen shard artifacts (zero-copy)"
             )
-        if self.seed is not None:
-            if isinstance(self.seed, bool) or not isinstance(self.seed, int):
-                raise ConfigurationError(
-                    f"seed must be an int or None (JSON-serialisable), "
-                    f"got {self.seed!r}"
-                )
+        if self.seed is not None and (
+            isinstance(self.seed, bool) or not isinstance(self.seed, int)
+        ):
+            raise ConfigurationError(
+                f"seed must be an int or None (JSON-serialisable), got {self.seed!r}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable document; inverse of :meth:`from_dict`."""
@@ -211,7 +212,7 @@ class IndexSpec:
         return doc
 
     @classmethod
-    def from_dict(cls, doc: dict[str, Any]) -> "IndexSpec":
+    def from_dict(cls, doc: dict[str, Any]) -> IndexSpec:
         """Validate and build a spec from a (parsed) JSON document."""
         if not isinstance(doc, dict):
             raise ConfigurationError(f"spec document must be an object, got {doc!r}")
@@ -227,7 +228,7 @@ class IndexSpec:
             raise ConfigurationError('spec requires "metric" and "radius"')
         return cls(**doc)
 
-    def with_overrides(self, **overrides: Any) -> "IndexSpec":
+    def with_overrides(self, **overrides: Any) -> IndexSpec:
         """A copy with the given fields replaced (re-validated)."""
         return replace(self, **overrides)
 
@@ -258,10 +259,11 @@ class QuerySpec:
     'topk'
     """
 
-    queries: np.ndarray
+    queries: npt.NDArray[np.float64]
     radius: float | None = None
     k: int | None = None
-    single: bool = field(default=None)  # type: ignore[assignment]
+    #: None until ``__post_init__`` resolves it from the query shape.
+    single: bool | None = None
 
     def __post_init__(self) -> None:
         set_ = object.__setattr__
@@ -302,7 +304,7 @@ class QuerySpec:
         }
 
     @classmethod
-    def from_dict(cls, doc: dict[str, Any]) -> "QuerySpec":
+    def from_dict(cls, doc: dict[str, Any]) -> QuerySpec:
         """Validate and build a query spec from a (parsed) JSON document."""
         if not isinstance(doc, dict) or "queries" not in doc:
             raise ConfigurationError(f'query spec requires "queries", got {doc!r}')

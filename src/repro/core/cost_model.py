@@ -56,7 +56,7 @@ class CostModel:
             raise ConfigurationError(f"beta must be > 0, got {self.beta}")
 
     @classmethod
-    def from_ratio(cls, beta_over_alpha: float, alpha: float = 1.0) -> "CostModel":
+    def from_ratio(cls, beta_over_alpha: float, alpha: float = 1.0) -> CostModel:
         """Build a model from the paper's ``beta / alpha`` ratio.
 
         The paper uses ratios 10 (Webspam), 10 (CoverType), 6 (Corel)

@@ -314,7 +314,7 @@ class HybridLSH:
         cost_model: CostModel,
         delta: float = 0.1,
         estimator=None,
-    ) -> "HybridLSH":
+    ) -> HybridLSH:
         """Wrap an already-built index (e.g. one loaded from disk).
 
         Skips parameter derivation and construction entirely — the
@@ -340,7 +340,7 @@ class HybridLSH:
         self.searcher = HybridSearcher(index, cost_model, estimator=estimator)
         return self
 
-    def freeze(self, refreeze_threshold: int | None = None) -> "HybridLSH":
+    def freeze(self, refreeze_threshold: int | None = None) -> HybridLSH:
         """Compact the underlying index into the frozen CSR layout.
 
         Replaces ``self.index`` with its

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.evaluation.experiments import Figure2Row, Figure3Row, RecallRow, Table1Row
 

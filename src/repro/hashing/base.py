@@ -19,6 +19,7 @@ Concrete families subclass :class:`LSHFamily` and provide
 from __future__ import annotations
 
 import abc
+from typing import Any
 
 import numpy as np
 
@@ -64,10 +65,10 @@ class LSHFamily(abc.ABC):
         return get_metric(self.metric_name)
 
     @abc.abstractmethod
-    def sample(self, k: int) -> "CompositeHashProtocol":
+    def sample(self, k: int) -> CompositeHashProtocol:
         """Draw a composite hash of ``k`` independent atomic functions."""
 
-    def sample_batch(self, k: int, num_tables: int) -> "BatchedHash":
+    def sample_batch(self, k: int, num_tables: int) -> BatchedHash:
         """Draw the ``L`` composite functions of an index, fused.
 
         The returned :class:`~repro.hashing.batched.BatchedHash` hashes
@@ -156,7 +157,7 @@ def register_family(
     return factory
 
 
-def get_family(name: str):
+def get_family(name: str) -> Any:
     """Resolve a family factory by registered name (case-insensitive)."""
     _ensure_builtin_families()
     key = name.lower()

@@ -18,7 +18,7 @@ semantics for custom families.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -14,7 +14,7 @@ the concatenation machinery shared by every family:
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

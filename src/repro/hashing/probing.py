@@ -61,7 +61,7 @@ def probe_deltas(family, k: int, num_probes: int) -> tuple[bool, np.ndarray]:
     from repro.hashing.simhash import SimHashLSH
 
     k = check_positive_int(k, "k")
-    binary = isinstance(family, (SimHashLSH, BitSamplingLSH))
+    binary = isinstance(family, SimHashLSH | BitSamplingLSH)
     if num_probes == 0:
         return binary, np.empty((0, k), dtype=np.int64)
     if binary:

@@ -89,7 +89,7 @@ class Bucket:
         hll_precision: int = 7,
         hll_seed: int = 0,
         lazy_threshold: int | None = None,
-    ) -> "Bucket":
+    ) -> Bucket:
         """Bulk-construct a bucket from a full id array (build fast path).
 
         Equivalent to appending each id in order, but the sketch (when

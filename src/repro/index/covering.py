@@ -174,7 +174,7 @@ class CoveringLSHIndex:
     # ------------------------------------------------------------------
     # Build
     # ------------------------------------------------------------------
-    def build(self, points: np.ndarray) -> "CoveringLSHIndex":
+    def build(self, points: np.ndarray) -> CoveringLSHIndex:
         """Hash every point's block projections into the r+1 tables."""
         points = check_matrix(points, dim=self.dim, name="points")
         n = points.shape[0]

@@ -166,7 +166,7 @@ class FrozenTables:
         hll_hashes: PrecomputedHllHashes | None,
         lazy_threshold: int,
         hll_precision: int,
-    ) -> "FrozenTables":
+    ) -> FrozenTables:
         """Fuse per-table ``(sorted key matrix, sizes, members)`` triples.
 
         Sketch materialisation follows the dict layout's invariant —
@@ -484,7 +484,7 @@ class FrozenQueryLookup:
                 stop = start + int(self._frozen.sizes[b])
                 views.append(
                     _FrozenBucketView(
-                        np.asarray(self._frozen.members[start:stop], dtype=np.int64)
+                        np.asarray(self._frozen.members[start:stop], dtype=np.intp)
                     )
                 )
             if self.overflow is not None:
@@ -566,7 +566,7 @@ class FrozenLSHIndex(LSHIndex):
     @classmethod
     def from_dict_index(
         cls, index: LSHIndex, refreeze_threshold: int | None = None
-    ) -> "FrozenLSHIndex":
+    ) -> FrozenLSHIndex:
         """Compact a built dict-layout index (shares points and kernel)."""
         index._require_built()
         self = cls.__new__(cls)
@@ -605,7 +605,7 @@ class FrozenLSHIndex(LSHIndex):
         with_sketches: bool,
         dedup: str,
         refreeze_threshold: int | None = None,
-    ) -> "FrozenLSHIndex":
+    ) -> FrozenLSHIndex:
         """Reassemble from persisted arrays (no bucket reconstruction)."""
         self = cls.__new__(cls)
         self.family = family
@@ -694,7 +694,7 @@ class FrozenLSHIndex(LSHIndex):
         """
         return self._overflow_count + self._compacting_count
 
-    def build(self, points: np.ndarray) -> "LSHIndex":
+    def build(self, points: np.ndarray) -> LSHIndex:
         raise ConfigurationError(
             "a frozen index is created from a built dict-layout index via "
             "LSHIndex.freeze(); it cannot be rebuilt in place"
@@ -817,7 +817,7 @@ class FrozenLSHIndex(LSHIndex):
         """
         return self._refreeze_error
 
-    def wait_for_refreeze(self) -> "FrozenLSHIndex":
+    def wait_for_refreeze(self) -> FrozenLSHIndex:
         """Block until any in-flight background compaction has landed."""
         with self._refreeze_lock:
             # Assignment and start() both happen under this lock, so a
@@ -828,7 +828,7 @@ class FrozenLSHIndex(LSHIndex):
             thread.join()
         return self
 
-    def refreeze(self) -> "FrozenLSHIndex":
+    def refreeze(self) -> FrozenLSHIndex:
         """Fold all overflow back into the CSR arrays, synchronously.
 
         Waits for an in-flight background compaction first, then folds
@@ -859,7 +859,7 @@ class FrozenLSHIndex(LSHIndex):
                 )
         return self
 
-    def freeze(self, refreeze_threshold: int | None = None) -> "FrozenLSHIndex":
+    def freeze(self, refreeze_threshold: int | None = None) -> FrozenLSHIndex:
         """Re-freezing a frozen index compacts its overflow (idempotent)."""
         if refreeze_threshold is not None:
             self.refreeze_threshold = int(refreeze_threshold)

@@ -184,7 +184,7 @@ class FrozenCoveringLSHIndex(FrozenLSHIndex):
     @classmethod
     def from_covering_index(
         cls, index: CoveringLSHIndex, refreeze_threshold: int | None = None
-    ) -> "FrozenCoveringLSHIndex":
+    ) -> FrozenCoveringLSHIndex:
         """Compact a built covering index (shares points and blocks)."""
         index._require_built()
         self = cls.__new__(cls)
@@ -231,7 +231,7 @@ class FrozenCoveringLSHIndex(FrozenLSHIndex):
         with_sketches: bool,
         dedup: str,
         refreeze_threshold: int | None = None,
-    ) -> "FrozenCoveringLSHIndex":
+    ) -> FrozenCoveringLSHIndex:
         """Reassemble from persisted arrays (no bucket reconstruction)."""
         self = cls.__new__(cls)
         self._adopt_covering(

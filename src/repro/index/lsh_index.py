@@ -168,7 +168,7 @@ class LSHIndex:
     # ------------------------------------------------------------------
     # Build (Algorithm 1)
     # ------------------------------------------------------------------
-    def build(self, points: np.ndarray) -> "LSHIndex":
+    def build(self, points: np.ndarray) -> LSHIndex:
         """Hash every point into every table and attach bucket sketches.
 
         All ``L * k`` atomic hash functions are drawn as one fused

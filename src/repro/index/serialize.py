@@ -98,7 +98,7 @@ def save_index(index: LSHIndex, path: str) -> None:
             payload[f"kernel_{name}"] = array
         key_widths = [8 * index.k] * index.num_tables
     for t, (table, key_width) in enumerate(zip(index.tables, key_widths)):
-        keys = list(table.buckets.keys())
+        keys = list(table.buckets)
         ids = [bucket.ids for bucket in table.buckets.values()]
         if keys:
             key_matrix = np.frombuffer(b"".join(keys), dtype=np.uint8)

@@ -21,8 +21,10 @@ under merging and JSON round-trips.
 from __future__ import annotations
 
 import math
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["LatencyHistogram", "BUCKETS_PER_DECADE", "MIN_EXPONENT", "MAX_EXPONENT"]
 
@@ -39,7 +41,7 @@ MAX_EXPONENT = 2
 #: The shared, immutable bucket upper edges (seconds).  Computed once
 #: from the exponent grid so every histogram everywhere — across
 #: processes and JSON round-trips — agrees on the boundaries exactly.
-_EDGES = np.power(
+_EDGES: npt.NDArray[np.float64] = np.power(
     10.0,
     np.arange(
         MIN_EXPONENT * BUCKETS_PER_DECADE,
@@ -78,6 +80,9 @@ class LatencyHistogram:
 
     __slots__ = ("counts", "total_seconds")
 
+    counts: npt.NDArray[np.int64]
+    total_seconds: float
+
     def __init__(self) -> None:
         self.counts = np.zeros(_EDGES.size + 1, dtype=np.int64)
         self.total_seconds = 0.0
@@ -96,7 +101,7 @@ class LatencyHistogram:
         self.counts[idx] += count
         self.total_seconds += float(seconds) * count
 
-    def record_many(self, values: np.ndarray) -> None:
+    def record_many(self, values: npt.ArrayLike) -> None:
         """Record an array of durations in one vectorised pass."""
         values = np.asarray(values, dtype=np.float64)
         if values.size == 0:
@@ -108,7 +113,7 @@ class LatencyHistogram:
     # ------------------------------------------------------------------
     # Aggregation
     # ------------------------------------------------------------------
-    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+    def merge(self, other: LatencyHistogram) -> LatencyHistogram:
         """Fold ``other`` into this histogram (exact; returns self)."""
         self.counts += other.counts
         self.total_seconds += other.total_seconds
@@ -129,7 +134,7 @@ class LatencyHistogram:
         return self.total_seconds / total if total else 0.0
 
     @staticmethod
-    def bucket_edges() -> np.ndarray:
+    def bucket_edges() -> npt.NDArray[np.float64]:
         """The shared finite bucket upper edges, in seconds (read-only)."""
         return _EDGES
 
@@ -173,7 +178,7 @@ class LatencyHistogram:
         }
 
     @classmethod
-    def from_dict(cls, doc: dict) -> "LatencyHistogram":
+    def from_dict(cls, doc: dict[str, Any]) -> LatencyHistogram:
         """Rebuild from :meth:`to_dict` output (exact counts)."""
         scheme = doc.get("scheme", _SCHEME)
         if scheme != _SCHEME:

@@ -14,6 +14,8 @@ __ https://prometheus.io/docs/instrumenting/exposition_formats/
 
 from __future__ import annotations
 
+from typing import Any
+
 from .histogram import LatencyHistogram
 
 __all__ = ["prometheus_text"]
@@ -47,7 +49,7 @@ def _sanitise_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
-def prometheus_text(stats: dict, prefix_comment: str | None = None) -> str:
+def prometheus_text(stats: dict[str, Any], prefix_comment: str | None = None) -> str:
     """Render a ``ServiceStats.as_dict()`` snapshot as Prometheus text.
 
     Unknown flat keys are ignored, so the renderer tolerates snapshots

@@ -34,6 +34,7 @@ the Prometheus exposition can rely on stable label values:
 from __future__ import annotations
 
 import time
+from types import TracebackType
 
 __all__ = ["STAGES", "StageTrace", "stage_timer"]
 
@@ -60,7 +61,7 @@ class StageTrace:
         self.seconds[stage] = self.seconds.get(stage, 0.0) + seconds
         self.calls[stage] = self.calls.get(stage, 0) + calls
 
-    def merge(self, other: "StageTrace") -> "StageTrace":
+    def merge(self, other: StageTrace) -> StageTrace:
         """Fold another trace (e.g. a per-shard branch) into this one."""
         for stage, seconds in other.seconds.items():
             self.add(stage, seconds, other.calls.get(stage, 0))
@@ -99,11 +100,16 @@ class _Span:
         self._stage = stage
         self._started = 0.0
 
-    def __enter__(self) -> "_Span":
+    def __enter__(self) -> _Span:
         self._started = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self._trace.add(self._stage, time.perf_counter() - self._started)
 
 
@@ -112,17 +118,22 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self) -> "_NullSpan":
+    def __enter__(self) -> _NullSpan:
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         return None
 
 
 _NULL_SPAN = _NullSpan()
 
 
-def stage_timer(trace: StageTrace | None, stage: str):
+def stage_timer(trace: StageTrace | None, stage: str) -> _Span | _NullSpan:
     """Bracket a pipeline stage: a timing span, or a no-op when untraced.
 
     Usage at every instrumentation point::

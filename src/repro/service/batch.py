@@ -97,7 +97,7 @@ class BatchQueryEngine:
         cost_model: CostModel | None = None,
         seed: RandomState = None,
         dedup: str = "vectorized",
-    ) -> "BatchQueryEngine":
+    ) -> BatchQueryEngine:
         """Build a paper-configured hybrid index and wrap it for serving."""
         hybrid = HybridLSH(
             points,

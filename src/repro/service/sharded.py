@@ -236,7 +236,7 @@ class ShardedHybridIndex:
         next_shard: int = 0,
         max_workers: int | None = None,
         dedup: str = "vectorized",
-    ) -> "ShardedHybridIndex":
+    ) -> ShardedHybridIndex:
         """Reassemble a sharded index from prebuilt per-shard searchers.
 
         Persistence (:meth:`repro.api.Index.open`) loads each shard's

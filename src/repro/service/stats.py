@@ -20,8 +20,10 @@ and equality.
 
 from __future__ import annotations
 
+import threading
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any
 
 from repro.observability import LatencyHistogram, StageTrace
 
@@ -30,7 +32,17 @@ __all__ = ["ServiceStats"]
 
 @dataclass(eq=False)
 class ServiceStats:
-    """Running counters, histograms, and gauges of a served index."""
+    """Running counters, histograms, and gauges of a served index.
+
+    One stats object is shared by every thread of a concurrent serving
+    front-end (``serve_stream_concurrent`` fans batches out to a thread
+    pool and every worker accounts into the same object), so all
+    mutating accessors take an internal lock.  Reads of a single
+    counter are atomic anyway; :meth:`as_dict` locks so a snapshot is
+    internally consistent.  The object never crosses a process boundary
+    directly — workers ship :meth:`as_dict` documents — so holding a
+    lock is safe.
+    """
 
     queries_served: int = 0
     batches: int = 0
@@ -63,6 +75,13 @@ class ServiceStats:
         default_factory=dict, repr=False, compare=False
     )
 
+    def __post_init__(self) -> None:
+        # Created here rather than as a field: the lock is process-local
+        # plumbing, not data — it must stay out of repr/eq and can never
+        # be serialised.  RLock so a gauge hook that reads back into the
+        # stats object cannot self-deadlock during a snapshot.
+        self._lock = threading.RLock()
+
     @property
     def qps(self) -> float:
         """Average queries per second over the measured time."""
@@ -84,24 +103,46 @@ class ServiceStats:
         the latency histogram — the latency a caller of that batch
         actually observed.
         """
-        self.queries_served += count
-        self.batches += 1
-        self.elapsed_seconds += seconds
-        if count:
-            self.latency.record(seconds, count=count)
-        if strategies:
-            for name, n in strategies.items():
-                self.strategy_counts[name] = self.strategy_counts.get(name, 0) + n
-        if trace is not None:
-            self.add_stages(trace)
+        with self._lock:
+            self.queries_served += count
+            self.batches += 1
+            self.elapsed_seconds += seconds
+            if count:
+                self.latency.record(seconds, count=count)
+            if strategies:
+                for name, n in strategies.items():
+                    self.strategy_counts[name] = self.strategy_counts.get(name, 0) + n
+            if trace is not None:
+                self._add_stages_locked(trace)
 
     def add_stages(self, trace: StageTrace) -> None:
         """Fold a completed trace's per-stage attribution into the totals."""
+        with self._lock:
+            self._add_stages_locked(trace)
+
+    def _add_stages_locked(self, trace: StageTrace) -> None:
         for stage, seconds in trace.seconds.items():
             self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
             self.stage_calls[stage] = self.stage_calls.get(stage, 0) + trace.calls.get(stage, 0)
 
-    def merge(self, other: "ServiceStats") -> "ServiceStats":
+    def record_cache(self, hits: int = 0, misses: int = 0, deduplicated: int = 0) -> None:
+        """Account one batch's cache outcome (front-end cache layer)."""
+        with self._lock:
+            self.cache_hits += hits
+            self.cache_misses += misses
+            self.deduplicated += deduplicated
+
+    def set_transport(self, bytes_shipped: int, worker_respawns: int) -> None:
+        """Sync the worker-pool transport counters into a snapshot.
+
+        The pool owns the live counters; the facade copies them over
+        just before reading a snapshot, so both land atomically.
+        """
+        with self._lock:
+            self.bytes_shipped = bytes_shipped
+            self.worker_respawns = worker_respawns
+
+    def merge(self, other: ServiceStats) -> ServiceStats:
         """Fold another stats object (e.g. a worker's) into this one.
 
         Counters and histograms add; ``pool_workers`` keeps this
@@ -109,23 +150,26 @@ class ServiceStats:
         contributor); gauges add (each worker reports its own share);
         gauge hooks stay local.  Returns self.
         """
-        self.queries_served += other.queries_served
-        self.batches += other.batches
-        self.cache_hits += other.cache_hits
-        self.cache_misses += other.cache_misses
-        self.deduplicated += other.deduplicated
-        self.elapsed_seconds += other.elapsed_seconds
-        self.bytes_shipped += other.bytes_shipped
-        self.worker_respawns += other.worker_respawns
-        self.latency.merge(other.latency)
-        for name, n in other.strategy_counts.items():
-            self.strategy_counts[name] = self.strategy_counts.get(name, 0) + n
-        for stage, seconds in other.stage_seconds.items():
-            self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
-            self.stage_calls[stage] = self.stage_calls.get(stage, 0) + other.stage_calls.get(stage, 0)
-        for name, value in other.gauges.items():
-            self.gauges[name] = self.gauges.get(name, 0.0) + value
-        return self
+        with self._lock:
+            self.queries_served += other.queries_served
+            self.batches += other.batches
+            self.cache_hits += other.cache_hits
+            self.cache_misses += other.cache_misses
+            self.deduplicated += other.deduplicated
+            self.elapsed_seconds += other.elapsed_seconds
+            self.bytes_shipped += other.bytes_shipped
+            self.worker_respawns += other.worker_respawns
+            self.latency.merge(other.latency)
+            for name, n in other.strategy_counts.items():
+                self.strategy_counts[name] = self.strategy_counts.get(name, 0) + n
+            for stage, seconds in other.stage_seconds.items():
+                self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+                self.stage_calls[stage] = (
+                    self.stage_calls.get(stage, 0) + other.stage_calls.get(stage, 0)
+                )
+            for name, value in other.gauges.items():
+                self.gauges[name] = self.gauges.get(name, 0.0) + value
+            return self
 
     def reset(self) -> None:
         """Zero all measurements in place.
@@ -135,19 +179,20 @@ class ServiceStats:
         Keeping reset here — instead of re-creating the object at each
         call site — means new fields can't be silently dropped.
         """
-        self.queries_served = 0
-        self.batches = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.deduplicated = 0
-        self.elapsed_seconds = 0.0
-        self.bytes_shipped = 0
-        self.worker_respawns = 0
-        self.strategy_counts = {}
-        self.latency = LatencyHistogram()
-        self.stage_seconds = {}
-        self.stage_calls = {}
-        self.gauges = {}
+        with self._lock:
+            self.queries_served = 0
+            self.batches = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.deduplicated = 0
+            self.elapsed_seconds = 0.0
+            self.bytes_shipped = 0
+            self.worker_respawns = 0
+            self.strategy_counts = {}
+            self.latency = LatencyHistogram()
+            self.stage_seconds = {}
+            self.stage_calls = {}
+            self.gauges = {}
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -166,29 +211,36 @@ class ServiceStats:
         original names and types for existing consumers; the histogram,
         stage attribution, and gauges ride along as nested documents.
         """
-        doc: dict[str, object] = {
-            "queries_served": self.queries_served,
-            "batches": self.batches,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "deduplicated": self.deduplicated,
-            "elapsed_seconds": self.elapsed_seconds,
-            "qps": self.qps,
-            "pool_workers": self.pool_workers,
-            "bytes_shipped": self.bytes_shipped,
-            "worker_respawns": self.worker_respawns,
-            **{f"strategy_{name}": count for name, count in sorted(self.strategy_counts.items())},
-        }
-        doc["latency"] = self.latency.to_dict()
-        doc["stages"] = {
-            stage: {"seconds": self.stage_seconds[stage], "calls": self.stage_calls.get(stage, 0)}
-            for stage in sorted(self.stage_seconds)
-        }
-        doc["gauges"] = self.read_gauges()
-        return doc
+        with self._lock:
+            doc: dict[str, object] = {
+                "queries_served": self.queries_served,
+                "batches": self.batches,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "deduplicated": self.deduplicated,
+                "elapsed_seconds": self.elapsed_seconds,
+                "qps": self.qps,
+                "pool_workers": self.pool_workers,
+                "bytes_shipped": self.bytes_shipped,
+                "worker_respawns": self.worker_respawns,
+                **{
+                    f"strategy_{name}": count
+                    for name, count in sorted(self.strategy_counts.items())
+                },
+            }
+            doc["latency"] = self.latency.to_dict()
+            doc["stages"] = {
+                stage: {
+                    "seconds": self.stage_seconds[stage],
+                    "calls": self.stage_calls.get(stage, 0),
+                }
+                for stage in sorted(self.stage_seconds)
+            }
+            doc["gauges"] = self.read_gauges()
+            return doc
 
     @classmethod
-    def from_dict(cls, doc: dict) -> "ServiceStats":
+    def from_dict(cls, doc: dict[str, Any]) -> ServiceStats:
         """Rebuild from :meth:`as_dict` output (derived keys ignored).
 
         The symmetric half of the worker-aggregation round-trip: a

@@ -44,7 +44,7 @@ import queue as queue_mod
 import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -187,7 +187,7 @@ def serve_stream(
     service,
     lines: Iterable[str],
     batch_size: int = 64,
-    more_ready: "Callable[[], bool] | None" = None,
+    more_ready: Callable[[], bool] | None = None,
 ) -> Iterator[str]:
     """Yield one JSON response line per JSON request line, in order.
 
@@ -282,7 +282,7 @@ def serve_stream_concurrent(
     if window < 1:
         raise ValueError(f"window must be >= 1, got {window}")
     state = {"target": service, "owned": False}
-    inbox: "queue_mod.Queue[object]" = queue_mod.Queue(maxsize=max(4 * batch_size, 256))
+    inbox: queue_mod.Queue[object] = queue_mod.Queue(maxsize=max(4 * batch_size, 256))
     _EOF = object()
 
     def _read_all() -> None:

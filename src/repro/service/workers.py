@@ -39,6 +39,7 @@ Operational contract:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import multiprocessing
 import os
@@ -105,7 +106,7 @@ def _payload_nbytes(obj) -> int:
     """
     if isinstance(obj, np.ndarray):
         return obj.nbytes
-    if isinstance(obj, (tuple, list)):
+    if isinstance(obj, tuple | list):
         return sum(_payload_nbytes(item) for item in obj)
     if isinstance(obj, dict):
         return sum(_payload_nbytes(value) for value in obj.values())
@@ -175,10 +176,8 @@ def _worker_main(conn, path: str, shard_ids: list[int], spec_doc: dict,
             )
         conn.send(("ready", {s: indexes[s].n for s in shard_ids}))
     except BaseException as exc:
-        try:
+        with contextlib.suppress(OSError):
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
-        except OSError:
-            pass
         return
 
     while True:
@@ -351,6 +350,12 @@ class WorkerPool:
         self.respawns = 0
         #: per-worker replay log of (shard, points) inserts, in order —
         #: the only state a respawned worker cannot recover from disk.
+        #: Guarded by ``_route_lock`` together with the routing state
+        #: (``_shard_gids``, ``_next_shard``): a query thread can trigger
+        #: a respawn — which replays this log — while an insert commit is
+        #: appending to it.  Lock order is worker lock -> route lock,
+        #: never the reverse.
+        self._route_lock = threading.Lock()
         self._insert_log: list[list] = [[] for _ in range(self.num_workers)]
         self._fanout = ThreadPoolExecutor(
             max_workers=self.num_workers, thread_name_prefix="repro-pool"
@@ -411,7 +416,13 @@ class WorkerPool:
         self._spawn(worker)
         with self._counter_lock:
             self.respawns += 1
-        for shard, points in self._insert_log[worker]:
+        # Snapshot under the route lock: this worker's log cannot grow
+        # mid-replay (appends hold the worker lock, which this method's
+        # caller already holds), but ``save_shards`` may swap the whole
+        # log list out from another thread.
+        with self._route_lock:
+            pending = list(self._insert_log[worker])
+        for shard, points in pending:
             self._conns[worker].send(("insert", shard, points))
             reply = self._conns[worker].recv()
             if isinstance(reply, tuple) and reply and reply[0] == "error":
@@ -419,8 +430,16 @@ class WorkerPool:
                     f"worker {worker} failed to replay inserts: {reply[1]}"
                 )
 
-    def _request(self, worker: int, message):
-        """One send/recv round trip, with a single respawn-and-retry."""
+    def _request(self, worker: int, message, log_entry=None):
+        """One send/recv round trip, with a single respawn-and-retry.
+
+        ``log_entry`` (an insert-log record) is appended to the worker's
+        replay log atomically with a successful reply, *inside* the
+        worker lock: a crash-triggered replay in another thread holds
+        the same lock, so a batch can never fall between a worker's ack
+        and its log commit (the replay would miss it) or be both
+        replayed and re-sent (it would be doubled).
+        """
         if self._closed:
             raise ConfigurationError("the worker pool has been closed")
         with self._locks[worker]:
@@ -431,6 +450,11 @@ class WorkerPool:
                 self._respawn_locked(worker)
                 self._conns[worker].send(message)
                 reply = self._conns[worker].recv()
+            if log_entry is not None and not (
+                isinstance(reply, tuple) and reply and reply[0] == "error"
+            ):
+                with self._route_lock:
+                    self._insert_log[worker].append(log_entry)
         nbytes = _payload_nbytes(message) + _payload_nbytes(reply)
         if nbytes:
             with self._counter_lock:
@@ -475,10 +499,8 @@ class WorkerPool:
         for w, conn in enumerate(self._conns):
             if conn is None:
                 continue
-            try:
+            with contextlib.suppress(BrokenPipeError, OSError):
                 conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
         for process in self._workers:
             if process is None:
                 continue
@@ -656,28 +678,36 @@ class WorkerPool:
             rows = np.flatnonzero(assignment == s)
             if rows.size:
                 routed_by_shard.append((s, rows, np.ascontiguousarray(new_points[rows])))
-        # Phase 1: apply on the workers.  If any shard fails, respawn
-        # every worker the batch touched — the replay log does not yet
-        # contain this batch, so the respawn restores the exact
-        # pre-batch state and a caller retry cannot double-insert.
+        # Phase 1: apply on the workers.  Each shard's replay-log entry
+        # commits atomically with that worker's ack (see ``_request``) —
+        # a concurrent crash-triggered replay can never observe an
+        # acked-but-unlogged batch.  If any shard fails, pop this
+        # batch's entries and respawn every worker touched: the respawn
+        # restores the exact pre-batch state and a caller retry cannot
+        # double-insert.
         touched: list[int] = []
+        appended: list[int] = []
         try:
             for s, _, routed in routed_by_shard:
                 worker = self._owner(s)
                 touched.append(worker)
-                self._request(worker, ("insert", s, routed))
+                self._request(worker, ("insert", s, routed), log_entry=(s, routed))
+                appended.append(worker)
         except BaseException:
+            with self._route_lock:
+                for worker in reversed(appended):
+                    self._insert_log[worker].pop()
             for worker in dict.fromkeys(touched):
                 with self._locks[worker]:
                     self._respawn_locked(worker)
             raise
-        # Phase 2: all workers accepted — commit the parent-side state.
-        for s, rows, routed in routed_by_shard:
-            self._insert_log[self._owner(s)].append((s, routed))
-            self._shard_gids[s] = np.concatenate(
-                [self._shard_gids[s], global_ids[rows]]
-            )
-        self._next_shard = (self._next_shard + m) % self.num_shards
+        # Phase 2: all workers accepted — commit the routing state.
+        with self._route_lock:
+            for s, rows, routed in routed_by_shard:
+                self._shard_gids[s] = np.concatenate(
+                    [self._shard_gids[s], global_ids[rows]]
+                )
+            self._next_shard = (self._next_shard + m) % self.num_shards
         return global_ids
 
     # ------------------------------------------------------------------
@@ -699,7 +729,8 @@ class WorkerPool:
             # Saving in place makes the artifact canonical: a respawned
             # worker now loads the inserts from disk, so replaying the
             # log on top of it would double them.
-            self._insert_log = [[] for _ in range(self.num_workers)]
+            with self._route_lock:
+                self._insert_log = [[] for _ in range(self.num_workers)]
 
     def checkpoint(self) -> None:
         """Fold all inserts into the source artifact and drop the replay log.

@@ -38,7 +38,7 @@ class BloomFilter:
     __slots__ = ("capacity", "error_rate", "seed", "num_bits", "num_hashes", "bits", "count")
 
     def __init__(self, capacity: int, error_rate: float = 0.01, seed: int = 0) -> None:
-        if not isinstance(capacity, (int, np.integer)) or isinstance(capacity, bool) or capacity < 1:
+        if not isinstance(capacity, int | np.integer) or isinstance(capacity, bool) or capacity < 1:
             raise ConfigurationError(f"capacity must be a positive integer, got {capacity!r}")
         if not 0.0 < error_rate < 1.0:
             raise ConfigurationError(f"error_rate must be in (0, 1), got {error_rate}")

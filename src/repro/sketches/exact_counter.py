@@ -41,7 +41,7 @@ class ExactDistinctCounter:
         """True if no element has ever been inserted."""
         return not self._seen
 
-    def merge_in_place(self, other: "ExactDistinctCounter") -> "ExactDistinctCounter":
+    def merge_in_place(self, other: ExactDistinctCounter) -> ExactDistinctCounter:
         """Set union with ``other``."""
         if not isinstance(other, ExactDistinctCounter):
             raise SketchError(

@@ -209,7 +209,7 @@ class HyperLogLog:
     # ------------------------------------------------------------------
     # Merging
     # ------------------------------------------------------------------
-    def _check_compatible(self, other: "HyperLogLog") -> None:
+    def _check_compatible(self, other: HyperLogLog) -> None:
         if not isinstance(other, HyperLogLog):
             raise SketchError(f"cannot merge HyperLogLog with {type(other).__name__}")
         if self.p != other.p or self.seed != other.seed:
@@ -218,13 +218,13 @@ class HyperLogLog:
                 f"(p={other.p}, seed={other.seed})"
             )
 
-    def merge_in_place(self, other: "HyperLogLog") -> "HyperLogLog":
+    def merge_in_place(self, other: HyperLogLog) -> HyperLogLog:
         """Absorb ``other`` into this sketch (register-wise max)."""
         self._check_compatible(other)
         np.maximum(self.registers, other.registers, out=self.registers)
         return self
 
-    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+    def merge(self, other: HyperLogLog) -> HyperLogLog:
         """Return a new sketch equal to the union of the two operands."""
         self._check_compatible(other)
         out = HyperLogLog(p=self.p, seed=self.seed)
@@ -232,7 +232,7 @@ class HyperLogLog:
         return out
 
     @classmethod
-    def merge_many(cls, sketches: "list[HyperLogLog]") -> "HyperLogLog":
+    def merge_many(cls, sketches: list[HyperLogLog]) -> HyperLogLog:
         """Union of a non-empty list of compatible sketches.
 
         This is the per-query merge of Algorithm 2: the sketches of the
@@ -247,7 +247,7 @@ class HyperLogLog:
             out.merge_in_place(sketch)
         return out
 
-    def copy(self) -> "HyperLogLog":
+    def copy(self) -> HyperLogLog:
         """Deep copy (registers are duplicated)."""
         out = HyperLogLog(p=self.p, seed=self.seed)
         out.registers[:] = self.registers
@@ -275,7 +275,7 @@ class HyperLogLog:
 
 
 def _check_precision(p: int) -> None:
-    if not isinstance(p, (int, np.integer)) or isinstance(p, bool):
+    if not isinstance(p, int | np.integer) or isinstance(p, bool):
         raise ConfigurationError(f"precision p must be an integer, got {p!r}")
     if not _MIN_PRECISION <= p <= _MAX_PRECISION:
         raise ConfigurationError(

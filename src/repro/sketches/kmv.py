@@ -39,7 +39,7 @@ class KMinValues:
     __slots__ = ("k", "seed", "_values")
 
     def __init__(self, k: int = 128, seed: int = 0) -> None:
-        if not isinstance(k, (int, np.integer)) or isinstance(k, bool) or k < 2:
+        if not isinstance(k, int | np.integer) or isinstance(k, bool) or k < 2:
             raise ConfigurationError(f"k must be an integer >= 2, got {k!r}")
         self.k = int(k)
         self.seed = int(seed)
@@ -76,7 +76,7 @@ class KMinValues:
         """True if no element has ever been inserted."""
         return self._values.size == 0
 
-    def merge_in_place(self, other: "KMinValues") -> "KMinValues":
+    def merge_in_place(self, other: KMinValues) -> KMinValues:
         """Union with ``other``; lossless for unions (bottom-k of union)."""
         if not isinstance(other, KMinValues):
             raise SketchError(f"cannot merge KMinValues with {type(other).__name__}")

@@ -36,7 +36,7 @@ class LinearCounter:
     __slots__ = ("m", "seed", "bitmap")
 
     def __init__(self, m: int = 1024, seed: int = 0) -> None:
-        if not isinstance(m, (int, np.integer)) or isinstance(m, bool) or m < 1:
+        if not isinstance(m, int | np.integer) or isinstance(m, bool) or m < 1:
             raise ConfigurationError(f"m must be a positive integer, got {m!r}")
         self.m = int(m)
         self.seed = int(seed)
@@ -66,7 +66,7 @@ class LinearCounter:
         """True if no element has ever been inserted."""
         return not bool(self.bitmap.any())
 
-    def merge_in_place(self, other: "LinearCounter") -> "LinearCounter":
+    def merge_in_place(self, other: LinearCounter) -> LinearCounter:
         """Union with ``other`` (bitwise OR); lossless for unions."""
         if not isinstance(other, LinearCounter):
             raise SketchError(f"cannot merge LinearCounter with {type(other).__name__}")

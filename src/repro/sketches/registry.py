@@ -17,7 +17,7 @@ An estimator is a callable ``estimate(index, lookup) -> float`` where
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 __all__ = ["register_estimator", "get_estimator", "available_estimators"]
 

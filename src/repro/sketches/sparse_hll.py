@@ -123,7 +123,7 @@ class SparseHyperLogLog:
     # ------------------------------------------------------------------
     # Merging
     # ------------------------------------------------------------------
-    def merge_in_place(self, other: "SparseHyperLogLog | HyperLogLog") -> "SparseHyperLogLog":
+    def merge_in_place(self, other: SparseHyperLogLog | HyperLogLog) -> SparseHyperLogLog:
         """Union with a sparse or dense sketch of equal (p, seed)."""
         if isinstance(other, HyperLogLog):
             if other.p != self.p or other.seed != self.seed:

@@ -14,14 +14,13 @@ relies on heavily.
 
 from __future__ import annotations
 
-from typing import Union
 
 import numpy as np
 
 __all__ = ["RandomState", "ensure_rng", "spawn_rngs"]
 
 # Public alias: everything accepting randomness accepts this union.
-RandomState = Union[None, int, np.random.Generator]
+RandomState = int | np.random.Generator | None
 
 
 def ensure_rng(seed: RandomState = None) -> np.random.Generator:

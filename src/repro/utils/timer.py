@@ -57,7 +57,7 @@ class Timer:
         """Whether an interval is currently open."""
         return self._started_at is not None
 
-    def __enter__(self) -> "Timer":
+    def __enter__(self) -> Timer:
         self.start()
         return self
 

@@ -1,0 +1,15 @@
+"""True-positive fixture for the ``unseeded-rng`` rule.
+
+Deliberately broken — excluded from lint, never imported; reprolint
+must report every draw below.
+"""
+
+import numpy as np
+
+
+def draw_noise(n):
+    return np.random.rand(n)
+
+
+def make_stream():
+    return np.random.default_rng()

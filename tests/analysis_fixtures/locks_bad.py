@@ -1,0 +1,21 @@
+"""True-positive fixture for the ``lock-discipline`` rule.
+
+``add`` declares ``_items`` shared by mutating it under the lock;
+``drop_all`` then mutates it bare.  Deliberately broken — excluded
+from lint, never imported.
+"""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def drop_all(self):
+        self._items.clear()

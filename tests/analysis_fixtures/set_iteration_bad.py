@@ -1,0 +1,12 @@
+"""True-positive fixture for the ``set-iteration`` rule.
+
+Deliberately broken — excluded from lint, never imported.
+"""
+
+
+def collect(extra):
+    out = []
+    for gid in {3, 1, 2}:
+        out.append(gid)
+    out.extend(list(extra.keys()))
+    return out

@@ -1,0 +1,5 @@
+"""spec-plumb fixture consumer: reads ``metric`` only."""
+
+
+def build(spec):
+    return spec.metric

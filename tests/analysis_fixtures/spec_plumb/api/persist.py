@@ -1,0 +1,5 @@
+"""spec-plumb fixture consumer: reads ``radius`` only."""
+
+
+def save(spec):
+    return {"radius": spec.radius}

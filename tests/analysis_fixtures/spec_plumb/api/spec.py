@@ -1,0 +1,10 @@
+"""True-positive fixture for the ``spec-plumb`` rule: the spec side of
+a miniature project tree.  ``dead_knob`` is read by none of the sibling
+consumer files, so reprolint must flag it.  Never imported.
+"""
+
+
+class IndexSpec:
+    metric: str = "l2"
+    radius: float = 1.0
+    dead_knob: int = 0

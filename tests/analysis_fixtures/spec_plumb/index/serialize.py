@@ -1,0 +1,5 @@
+"""spec-plumb fixture consumer: reads ``metric`` and ``radius``."""
+
+
+def layout(spec):
+    return [spec.metric, spec.radius]

@@ -1,0 +1,14 @@
+"""True-positive fixture for the ``trace-stage`` rule.
+
+One stage outside the closed vocabulary, one computed stage name.
+Deliberately broken — excluded from lint, never imported.
+"""
+
+from repro.observability.tracing import StageTrace, stage_timer
+
+
+def timed(trace: StageTrace, label: str):
+    with stage_timer(trace, "warmup"):
+        pass
+    with stage_timer(trace, label):
+        pass

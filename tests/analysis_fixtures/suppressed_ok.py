@@ -1,0 +1,10 @@
+"""Suppression fixture: same violation as ``determinism_bad.py``, but
+silenced by the inline ``reprolint: disable`` comment — reprolint must
+report nothing here.
+"""
+
+import numpy as np
+
+
+def draw_noise(n):
+    return np.random.rand(n)  # reprolint: disable=unseeded-rng

@@ -168,7 +168,7 @@ class TestCli:
 
         read_fd, write_fd = os.pipe()
         try:
-            with open(read_fd, "r", closefd=False) as stdin:
+            with open(read_fd, closefd=False) as stdin:
                 os.write(write_fd, b"one\ntwo\nthree\n")
                 lines, more_ready = _line_stream_with_probe(stdin)
                 assert next(lines) == "one\n"

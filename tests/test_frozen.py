@@ -57,6 +57,20 @@ class TestFrozenPrimitives:
         for la, lb in zip(batch_a, batch_b):
             assert la.num_collisions == lb.num_collisions
 
+    def test_lookup_bucket_views_keep_member_dtype(self):
+        """Frozen bucket views expose ids in the stored ``intp`` dtype.
+
+        The members contract is ``np.intp`` (every consumer is a fancy
+        index); re-materialising a slice under another integer dtype is
+        the silent platform-equal drift the dtype-contract lint exists
+        to catch — pin it at runtime too.
+        """
+        points, index, frozen = build_pair()
+        views = frozen.lookup(points[0]).nonempty_buckets()
+        assert views
+        for view in views:
+            assert np.asarray(view.ids).dtype == np.intp
+
     def test_candidates_both_dedups_match(self):
         points, index, frozen = build_pair()
         rng = np.random.default_rng(1)

@@ -165,7 +165,7 @@ class TestConcurrentLoop:
         import queue
         import threading
 
-        requests: "queue.Queue[str | None]" = queue.Queue()
+        requests: queue.Queue[str | None] = queue.Queue()
 
         def lines():
             while True:

@@ -142,6 +142,51 @@ class TestCrashRecovery:
         finally:
             procs.close()
 
+    def test_inserts_concurrent_with_respawns_stay_consistent(self, points, queries):
+        """Insert commits racing a crash-triggered replay lose nothing.
+
+        A query thread that hits a dead worker respawns it and replays
+        the insert log while the (single) writer thread may be
+        mid-commit; the route lock makes the commit atomic with respect
+        to the replay snapshot.  Afterwards the pool must answer
+        exactly like a thread backend that received the same batches.
+        """
+        import threading
+
+        threads = Index.build(points, _spec())
+        procs = Index.build(points, _spec(execution="processes"), num_workers=2)
+        rng = np.random.default_rng(23)
+        batches = [rng.normal(size=(3, DIM)) for _ in range(6)]
+        errors = []
+
+        def writer():
+            try:
+                for batch in batches:
+                    procs.insert(batch)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        try:
+            pool = procs.engine
+            thread = threading.Thread(target=writer)
+            thread.start()
+            for _ in range(3):
+                os.kill(pool.worker_pids()[0], signal.SIGKILL)
+                time.sleep(0.01)
+                procs.query_batch(queries[:2])  # triggers respawn + replay
+            thread.join()
+            assert not errors
+            for batch in batches:
+                threads.insert(batch)
+            probes = np.concatenate([batches[0], batches[-1], queries[:4]])
+            for ra, rb in zip(
+                threads.query_batch(probes), procs.query_batch(probes)
+            ):
+                assert_results_equal(ra, rb)
+            assert procs.n == threads.n
+        finally:
+            threads.close(), procs.close()
+
     def test_respawn_replays_overflow_inserts(self, points, queries):
         threads = Index.build(points, _spec())
         procs = Index.build(points, _spec(execution="processes"), num_workers=2)
