@@ -1,6 +1,7 @@
 """Rule modules; importing this package populates the registry."""
 
 from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    deadlines,
     determinism,
     dtypes,
     locks,

@@ -40,6 +40,7 @@ from repro.core.results import QueryResult
 from repro.distances import get_metric
 from repro.distances.matrix import pairwise_distances
 from repro.exceptions import ConfigurationError
+from repro.faults import FaultPlan, FaultTolerancePolicy
 from repro.hashing.base import family_for_metric, get_family
 from repro.hashing.params import concatenation_width
 from repro.index.lsh_index import LSHIndex
@@ -78,8 +79,14 @@ class _SingleBackend:
         return self.engine._resolve_radius(radius)
 
     def query_batch(
-        self, queries: np.ndarray, radius: float, trace: StageTrace | None = None
+        self,
+        queries: np.ndarray,
+        radius: float,
+        trace: StageTrace | None = None,
+        allow_partial: bool = False,
     ) -> list[QueryResult]:
+        # A single in-process engine has no independently failing shards
+        # — ``allow_partial`` is accepted for surface parity and ignored.
         return self.engine.query_batch(queries, radius, trace=trace)
 
     def shard_query_batch(
@@ -96,7 +103,11 @@ class _SingleBackend:
         return [work(0)]
 
     def topk_batch(
-        self, queries: np.ndarray, k: int, trace: StageTrace | None = None
+        self,
+        queries: np.ndarray,
+        k: int,
+        trace: StageTrace | None = None,
+        allow_partial: bool = False,
     ) -> list[QueryResult]:
         index = self.engine.index
         if k > index.n:
@@ -145,9 +156,15 @@ class _ShardedBackend:
         return self.engine._resolve_radius(radius)
 
     def query_batch(
-        self, queries: np.ndarray, radius: float, trace: StageTrace | None = None
+        self,
+        queries: np.ndarray,
+        radius: float,
+        trace: StageTrace | None = None,
+        allow_partial: bool = False,
     ) -> list[QueryResult]:
-        return self.engine.query_batch(queries, radius, trace=trace)
+        return self.engine.query_batch(
+            queries, radius, trace=trace, allow_partial=allow_partial
+        )
 
     def shard_query_batch(
         self, shard: int, queries: np.ndarray, radius: float
@@ -163,9 +180,15 @@ class _ShardedBackend:
         return self.engine.map_shards(work)
 
     def topk_batch(
-        self, queries: np.ndarray, k: int, trace: StageTrace | None = None
+        self,
+        queries: np.ndarray,
+        k: int,
+        trace: StageTrace | None = None,
+        allow_partial: bool = False,
     ) -> list[QueryResult]:
-        return self.engine.query_topk_batch(queries, k, trace=trace)
+        return self.engine.query_topk_batch(
+            queries, k, trace=trace, allow_partial=allow_partial
+        )
 
     def insert(self, new_points: np.ndarray) -> tuple[np.ndarray, set[int]]:
         affected = set(int(s) for s in self.engine.peek_assignment(new_points.shape[0]))
@@ -370,6 +393,8 @@ class Index:
         points: np.ndarray,
         spec: IndexSpec,
         num_workers: int | None = None,
+        fault_policy: FaultTolerancePolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> Index:
         """Build an index over ``points`` as described by ``spec``.
 
@@ -377,17 +402,26 @@ class Index:
         it to a transient artifact, and serves it through a
         :class:`~repro.service.workers.WorkerPool` of ``num_workers``
         processes (default ``min(num_shards, cpu count)``); the artifact
-        is removed when the returned index is closed.
+        is removed when the returned index is closed.  ``fault_policy``
+        tunes that pool's deadlines / retries / circuit breakers, and
+        ``fault_plan`` installs a deterministic chaos schedule
+        (:mod:`repro.faults`) — both are process-pool-only knobs.
         """
         if not isinstance(spec, IndexSpec):
             spec = IndexSpec.from_dict(spec)
-        if num_workers is not None and spec.execution != "processes":
-            # Mirror Index.open: dropping the argument silently would let
-            # the caller believe they configured a process pool.
-            raise ConfigurationError(
-                'num_workers applies to execution="processes" specs only; '
-                f"this spec has execution={spec.execution!r}"
-            )
+        if spec.execution != "processes":
+            # Mirror Index.open: dropping the arguments silently would
+            # let the caller believe they configured a process pool.
+            if num_workers is not None:
+                raise ConfigurationError(
+                    'num_workers applies to execution="processes" specs only; '
+                    f"this spec has execution={spec.execution!r}"
+                )
+            if fault_policy is not None or fault_plan is not None:
+                raise ConfigurationError(
+                    'fault_policy/fault_plan apply to execution="processes" '
+                    f"specs only; this spec has execution={spec.execution!r}"
+                )
         points = check_matrix(points, name="points")
         cost_model = _resolve_cost_model(spec, points)
         estimator = _resolve_estimator(spec)
@@ -424,7 +458,12 @@ class Index:
             )
         built = cls(backend, spec=spec, cache=_cache_from_spec(spec))
         if spec.execution == "processes":
-            return _as_process_pool(built, num_workers=num_workers)
+            return _as_process_pool(
+                built,
+                num_workers=num_workers,
+                fault_policy=fault_policy,
+                fault_plan=fault_plan,
+            )
         return built
 
     @classmethod
@@ -462,17 +501,32 @@ class Index:
         return cls(backend, spec=spec, cache=cache)
 
     @classmethod
-    def open(cls, path: str, num_workers: int | None = None) -> Index:
+    def open(
+        cls,
+        path: str,
+        num_workers: int | None = None,
+        fault_policy: FaultTolerancePolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> Index:
         """Reopen an index saved by :meth:`save` (bit-identical answers).
 
         A spec with ``execution="processes"`` comes back behind a
         :class:`~repro.service.workers.WorkerPool` whose workers mmap
         the saved shards — no rebuild, no rehash; ``num_workers``
-        overrides the pool width (default ``min(num_shards, cpus)``).
+        overrides the pool width (default ``min(num_shards, cpus)``),
+        ``fault_policy`` tunes the pool's deadlines / retries /
+        breakers, ``fault_plan`` installs a deterministic chaos
+        schedule.  A torn or truncated artifact raises
+        :class:`~repro.exceptions.CorruptArtifactError`.
         """
         from repro.api.persist import open_index
 
-        return open_index(path, num_workers=num_workers)
+        return open_index(
+            path,
+            num_workers=num_workers,
+            fault_policy=fault_policy,
+            fault_plan=fault_plan,
+        )
 
     def save(self, path: str) -> None:
         """Persist the full index state (spec, shards, id maps, cost model)."""
@@ -547,9 +601,18 @@ class Index:
         """
         pool = self._backend.engine if self._backend.kind == "processes" else None
         if pool is not None:
-            # Pipes and respawns are parent-side pool-lifetime counters;
-            # sync them into the facade stats at snapshot time.
-            self.stats.set_transport(pool.bytes_shipped, pool.respawns)
+            # Pipes, respawns and the failure counters are parent-side
+            # pool-lifetime counters; sync them into the facade stats at
+            # snapshot time.
+            failure = pool.failure_counters()
+            self.stats.set_transport(
+                pool.bytes_shipped,
+                pool.respawns,
+                worker_timeouts=failure["worker_timeouts"],
+                worker_retries=failure["worker_retries"],
+                breaker_opens=failure["breaker_opens"],
+                respawns_by_cause=failure["respawns_by_cause"],
+            )
         doc = self.stats.as_dict()
         if pool is not None and hasattr(pool, "worker_stats"):
             per_worker = pool.worker_stats()
@@ -588,16 +651,32 @@ class Index:
                 "pass the radius inside the QuerySpec, not alongside it"
             )
         if request.k is not None:  # mode == "topk"
-            results = self._topk_batch(request.queries, request.k)
+            results = self._topk_batch(
+                request.queries, request.k, allow_partial=request.allow_partial
+            )
         else:
-            results = self._radius_batch(request.queries, request.radius)
+            results = self._radius_batch(
+                request.queries,
+                request.radius,
+                allow_partial=request.allow_partial,
+            )
         return results[0] if request.single else results
 
     def query_batch(
-        self, queries: np.ndarray, radius: float | None = None
+        self,
+        queries: np.ndarray,
+        radius: float | None = None,
+        allow_partial: bool = False,
     ) -> list[QueryResult]:
-        """Answer a ``(q, d)`` radius-query matrix (one result per row)."""
-        return self._radius_batch(np.asarray(queries), radius)
+        """Answer a ``(q, d)`` radius-query matrix (one result per row).
+
+        ``allow_partial=True`` lets a process-pool backend answer from
+        the reachable shards when a worker is unrecoverable, tagging
+        results ``degraded=True``; elsewhere it is a no-op.
+        """
+        return self._radius_batch(
+            np.asarray(queries), radius, allow_partial=allow_partial
+        )
 
     def insert(self, new_points: np.ndarray) -> np.ndarray:
         """Insert points; only the receiving shards' cache entries drop.
@@ -616,24 +695,37 @@ class Index:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _topk_batch(self, queries: np.ndarray, k: int) -> list[QueryResult]:
+    def _topk_batch(
+        self, queries: np.ndarray, k: int, allow_partial: bool = False
+    ) -> list[QueryResult]:
         started = time.perf_counter()
         trace = StageTrace() if self._tracing else None
         queries = check_matrix(queries, dim=self.dim, name="queries")
         k = check_positive_int(k, "k")
-        results = self._backend.topk_batch(queries, k, trace=trace)
+        results = self._backend.topk_batch(
+            queries, k, trace=trace, allow_partial=allow_partial
+        )
         self._account(results, queries.shape[0], started, trace)
         return results
 
     def _radius_batch(
-        self, queries: np.ndarray, radius: float | None
+        self,
+        queries: np.ndarray,
+        radius: float | None,
+        allow_partial: bool = False,
     ) -> list[QueryResult]:
         started = time.perf_counter()
         trace = StageTrace() if self._tracing else None
         queries = check_matrix(queries, dim=self.dim, name="queries")
         radius = self._backend.resolve_radius(radius)
-        if self.cache is None:
-            results = self._backend.query_batch(queries, radius, trace=trace)
+        if self.cache is None or allow_partial:
+            # allow_partial bypasses the cache even when one is
+            # configured: a degraded partial answer must never be stored
+            # (it would poison later full-fidelity reads) and per-shard
+            # cache assembly cannot express missing shards.
+            results = self._backend.query_batch(
+                queries, radius, trace=trace, allow_partial=allow_partial
+            )
         else:
             # The cache path fans out per shard through map_shards; its
             # engine work is accounted in the batch latency but not
@@ -718,12 +810,17 @@ class Index:
         trace: StageTrace | None = None,
     ) -> None:
         strategies: dict[str, int] = {}
+        degraded = 0
         for result in results:
             name = result.stats.strategy.value
             strategies[name] = strategies.get(name, 0) + 1
+            if result.degraded:
+                degraded += 1
         self.stats.record_batch(
             count, time.perf_counter() - started, strategies=strategies, trace=trace
         )
+        if degraded:
+            self.stats.record_degraded(degraded)
 
     def __repr__(self) -> str:
         cache = "off" if self.cache is None else f"{len(self.cache)}/{self.cache.maxsize}"
@@ -763,6 +860,10 @@ def _register_gauge_hooks(stats: ServiceStats, backend: Any) -> None:
     time, so the gauges track inserts and re-freezes without the stats
     layer polling anything.
     """
+    engine = getattr(backend, "engine", None)
+    if hasattr(engine, "open_breaker_count"):
+        counter = engine.open_breaker_count
+        stats.gauge_hooks["breaker_open_workers"] = lambda: float(counter())
     indexes = _frozen_indexes_of(backend)
     if not indexes:
         return
@@ -789,7 +890,12 @@ def _fanout_width_of(backend: Any) -> int:
     return int(width) if width else 0
 
 
-def _as_process_pool(index: Index, num_workers: int | None = None) -> Index:
+def _as_process_pool(
+    index: Index,
+    num_workers: int | None = None,
+    fault_policy: FaultTolerancePolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+) -> Index:
     """Re-serve a freshly built sharded frozen index through a WorkerPool.
 
     Saves the index to a transient artifact (the workers' mmap source),
@@ -811,7 +917,13 @@ def _as_process_pool(index: Index, num_workers: int | None = None) -> Index:
         raise
     finally:
         index.close()
-    pool = WorkerPool(path, num_workers=num_workers, owns_path=True)
+    pool = WorkerPool(
+        path,
+        num_workers=num_workers,
+        owns_path=True,
+        policy=fault_policy,
+        fault_plan=fault_plan,
+    )
     assert index.spec is not None  # build() always attaches the spec
     return Index(
         _ShardedBackend(pool), spec=index.spec, cache=_cache_from_spec(index.spec)

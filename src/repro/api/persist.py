@@ -22,6 +22,7 @@ untrusted storage.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from typing import Any
@@ -31,12 +32,13 @@ import numpy as np
 from repro.api.spec import IndexSpec
 from repro.core.cost_model import CostModel
 from repro.core.hybrid import HybridLSH, HybridSearcher
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, CorruptArtifactError, ReproError
 from repro.index.frozen import FrozenLSHIndex, load_frozen_index, save_frozen_index
 from repro.index.serialize import load_index as _load_shard
 from repro.index.serialize import save_index as _save_shard
 from repro.service.batch import BatchQueryEngine
 from repro.service.sharded import ShardedHybridIndex
+from repro.utils.fsio import write_json_atomic
 
 __all__ = ["save_index", "open_index"]
 
@@ -80,10 +82,51 @@ def write_shard_gids(path: str, shard_gids: list[np.ndarray]) -> None:
     engine kinds and :meth:`~repro.service.workers.WorkerPool.checkpoint`
     — goes through here so the archive's keying scheme has one home.
     """
-    np.savez_compressed(
-        os.path.join(path, _GIDS_FILE),
-        **{f"gids_{s:03d}": gids for s, gids in enumerate(shard_gids)},
-    )
+    target = os.path.join(path, _GIDS_FILE)
+    tmp = f"{target}.tmp-{os.getpid()}"
+    try:
+        # Through a file handle so numpy cannot append another ``.npz``
+        # to the temp name; fsync before the rename makes the swap safe
+        # against a crash (or an injected worker kill) mid-write.
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                **{f"gids_{s:03d}": gids for s, gids in enumerate(shard_gids)},
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+
+
+def _read_meta(meta_path: str) -> dict[str, Any]:
+    """Parse ``index.json``, raising a typed error on torn/corrupt files."""
+    with open(meta_path) as fh:
+        try:
+            meta = json.load(fh)
+        except ValueError as exc:
+            raise CorruptArtifactError(
+                f"index metadata {meta_path!r} is not valid JSON ({exc}); "
+                "the artifact is truncated or corrupt"
+            ) from exc
+    if not isinstance(meta, dict):
+        raise CorruptArtifactError(
+            f"index metadata {meta_path!r} must hold a JSON object, "
+            f"got {type(meta).__name__}"
+        )
+    missing = [
+        key for key in ("spec", "cost_model", "n", "dim", "num_shards")
+        if key not in meta
+    ]
+    if missing:
+        raise CorruptArtifactError(
+            f"index metadata {meta_path!r} is missing keys {missing}; "
+            "the artifact is truncated or corrupt"
+        )
+    return meta
 
 
 def save_index(index: Any, path: str) -> None:
@@ -140,12 +183,17 @@ def save_index(index: Any, path: str) -> None:
         meta["num_shards"] = 1
         meta["next_shard"] = 0
         meta["layout"] = _save_shard_any(engine.index, path, 0)
-    with open(os.path.join(path, _META_FILE), "w") as fh:
-        json.dump(meta, fh, indent=2)
-        fh.write("\n")
+    # The metadata commits last and atomically: readers that find a
+    # complete index.json are guaranteed complete shard artifacts too.
+    write_json_atomic(os.path.join(path, _META_FILE), meta)
 
 
-def open_index(path: str, num_workers: int | None = None) -> Any:
+def open_index(
+    path: str,
+    num_workers: int | None = None,
+    fault_policy: Any = None,
+    fault_plan: Any = None,
+) -> Any:
     """Reopen an index saved by :func:`save_index`.
 
     Returns an :class:`repro.api.Index` whose radius, top-k and batch
@@ -155,7 +203,10 @@ def open_index(path: str, num_workers: int | None = None) -> Any:
     never re-run).  A spec carrying ``execution="processes"`` is served
     through a :class:`~repro.service.workers.WorkerPool` — ``K`` worker
     processes mmap the saved frozen shards, no arrays are loaded in the
-    parent; ``num_workers`` overrides the pool width.
+    parent; ``num_workers`` overrides the pool width, ``fault_policy``
+    (a :class:`~repro.faults.FaultTolerancePolicy`) tunes its deadlines
+    / retries / breaker, and ``fault_plan`` installs a deterministic
+    :class:`~repro.faults.FaultPlan` for chaos drills.
     """
     from repro.api.facade import (
         Index,
@@ -167,8 +218,7 @@ def open_index(path: str, num_workers: int | None = None) -> Any:
     meta_path = os.path.join(path, _META_FILE)
     if not os.path.exists(meta_path):
         raise ConfigurationError(f"no saved index at {path!r} (missing {_META_FILE})")
-    with open(meta_path) as fh:
-        meta = json.load(fh)
+    meta = _read_meta(meta_path)
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ConfigurationError(
             f"unsupported index format version: {meta.get('format_version')!r}"
@@ -177,12 +227,22 @@ def open_index(path: str, num_workers: int | None = None) -> Any:
     if spec.execution == "processes":
         from repro.service.workers import WorkerPool
 
-        pool = WorkerPool(path, num_workers=num_workers)
+        pool = WorkerPool(
+            path,
+            num_workers=num_workers,
+            policy=fault_policy,
+            fault_plan=fault_plan,
+        )
         return Index(_ShardedBackend(pool), spec=spec, cache=_cache_from_spec(spec))
     if num_workers is not None:
         raise ConfigurationError(
             "num_workers applies to execution=\"processes\" indexes only; "
             f"this artifact was saved with execution={spec.execution!r}"
+        )
+    if fault_policy is not None or fault_plan is not None:
+        raise ConfigurationError(
+            "fault_policy/fault_plan apply to execution=\"processes\" indexes "
+            f"only; this artifact was saved with execution={spec.execution!r}"
         )
     cost_model = CostModel(
         alpha=float(meta["cost_model"]["alpha"]), beta=float(meta["cost_model"]["beta"])
@@ -191,12 +251,27 @@ def open_index(path: str, num_workers: int | None = None) -> Any:
     num_shards = int(meta["num_shards"])
     layout = meta.get("layout", "dict")
     backend: Any
-    shard_indexes = [
-        _load_shard_any(path, s, layout) for s in range(num_shards)
-    ]
+    try:
+        shard_indexes = [
+            _load_shard_any(path, s, layout) for s in range(num_shards)
+        ]
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise CorruptArtifactError(
+            f"saved index at {path!r} has unreadable shard data ({exc}); "
+            "the artifact is truncated or corrupt"
+        ) from exc
     if num_shards > 1:
-        with np.load(os.path.join(path, _GIDS_FILE), allow_pickle=False) as archive:
-            shard_gids = [archive[f"gids_{s:03d}"] for s in range(num_shards)]
+        gids_path = os.path.join(path, _GIDS_FILE)
+        try:
+            with np.load(gids_path, allow_pickle=False) as archive:
+                shard_gids = [archive[f"gids_{s:03d}"] for s in range(num_shards)]
+        except Exception as exc:
+            raise CorruptArtifactError(
+                f"shard id map {gids_path!r} is unreadable ({exc}); "
+                "the artifact is truncated or corrupt"
+            ) from exc
         shards = [
             HybridLSH.from_index(
                 idx, spec.radius, cost_model, delta=spec.delta, estimator=estimator

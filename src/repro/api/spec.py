@@ -264,6 +264,12 @@ class QuerySpec:
     k: int | None = None
     #: None until ``__post_init__`` resolves it from the query shape.
     single: bool | None = None
+    #: opt into degraded answers when shards are unavailable: results
+    #: from the reachable shards, tagged ``degraded=True`` with the
+    #: missing shard ids, instead of a ShardUnavailableError.  Only
+    #: meaningful for ``execution="processes"`` backends; elsewhere
+    #: shards cannot fail independently and the flag is a no-op.
+    allow_partial: bool = False
 
     def __post_init__(self) -> None:
         set_ = object.__setattr__
@@ -288,6 +294,7 @@ class QuerySpec:
         if self.k is not None:
             set_(self, "k", check_positive_int(self.k, "k"))
         set_(self, "single", bool(self.single))
+        set_(self, "allow_partial", bool(self.allow_partial))
 
     @property
     def mode(self) -> str:
@@ -301,6 +308,7 @@ class QuerySpec:
             "radius": self.radius,
             "k": self.k,
             "single": self.single,
+            "allow_partial": self.allow_partial,
         }
 
     @classmethod
@@ -308,7 +316,7 @@ class QuerySpec:
         """Validate and build a query spec from a (parsed) JSON document."""
         if not isinstance(doc, dict) or "queries" not in doc:
             raise ConfigurationError(f'query spec requires "queries", got {doc!r}')
-        known = {"queries", "radius", "k", "single"}
+        known = {"queries", "radius", "k", "single", "allow_partial"}
         unknown = sorted(set(doc) - known)
         if unknown:
             raise ConfigurationError(f"unknown query-spec keys: {unknown}")
@@ -317,6 +325,7 @@ class QuerySpec:
             radius=doc.get("radius"),
             k=doc.get("k"),
             single=doc.get("single"),
+            allow_partial=bool(doc.get("allow_partial", False)),
         )
 
     def __eq__(self, other: object) -> bool:
@@ -327,6 +336,7 @@ class QuerySpec:
             and self.radius == other.radius
             and self.k == other.k
             and self.single == other.single
+            and self.allow_partial == other.allow_partial
         )
 
     def __repr__(self) -> str:

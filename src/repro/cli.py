@@ -180,6 +180,21 @@ def _build_parser() -> argparse.ArgumentParser:
              "loop (reader thread, responses kept in request order)",
     )
     p_serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-op worker reply deadline for execution='processes' "
+             "indexes (default: the FaultTolerancePolicy default)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="transport-failure retries per worker request (each retry "
+             "respawns the worker before re-sending)",
+    )
+    p_serve.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="ping idle workers every SECONDS to catch hangs between "
+             "requests; 0 disables (the default)",
+    )
+    p_serve.add_argument(
         "--stats-interval", type=float, default=0.0, metavar="SECONDS",
         help="emit a JSONL stats snapshot line every SECONDS (plus one at "
              "shutdown); 0 disables",
@@ -468,7 +483,10 @@ def _build_index(args: argparse.Namespace):
     try:
         spec = _index_spec_from_args(args, dataset.metric, radius)
         num_workers = getattr(args, "workers", None)
-        return dataset, Index.build(dataset.points, spec, num_workers=num_workers)
+        fault_policy = getattr(args, "fault_policy", None)
+        return dataset, Index.build(
+            dataset.points, spec, num_workers=num_workers, fault_policy=fault_policy
+        )
     except ConfigurationError as exc:
         sys.exit(f"error: {exc}")
 
@@ -486,14 +504,40 @@ def _cmd_build(args: argparse.Namespace) -> None:
     index.close()
 
 
+def _fault_policy_from_args(args: argparse.Namespace):
+    """Assemble a FaultTolerancePolicy from --deadline/--retries/--heartbeat.
+
+    Returns ``None`` when no fault flag was given, so indexes keep the
+    library defaults (and non-processes indexes never see a policy).
+    """
+    from repro.exceptions import ConfigurationError
+    from repro.faults import FaultTolerancePolicy
+
+    overrides = {}
+    if args.deadline is not None:
+        overrides["recv_deadline"] = args.deadline
+    if args.retries is not None:
+        overrides["max_retries"] = args.retries
+    if args.heartbeat is not None:
+        overrides["heartbeat_interval"] = args.heartbeat
+    if not overrides:
+        return None
+    try:
+        return FaultTolerancePolicy().with_overrides(**overrides)
+    except ConfigurationError as exc:
+        sys.exit(f"error: {exc}")
+
+
 def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
     from repro.api import Index
+    from repro.exceptions import ConfigurationError
     from repro.service import serve_stream, serve_stream_concurrent
 
     stdin = sys.stdin if stdin is None else stdin
     stdout = sys.stdout if stdout is None else stdout
     if args.inflight < 1:
         sys.exit("error: --inflight must be >= 1")
+    fault_policy = _fault_policy_from_args(args)
     if args.index:
         # A saved index carries its own spec; accepting build flags here
         # and ignoring them would silently serve a different policy than
@@ -521,9 +565,15 @@ def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
                 f"remove {', '.join(conflicting)} (or rebuild with "
                 f"`repro.cli build`)"
             )
-        index = Index.open(args.index, num_workers=args.workers)
+        try:
+            index = Index.open(
+                args.index, num_workers=args.workers, fault_policy=fault_policy
+            )
+        except ConfigurationError as exc:
+            sys.exit(f"error: {exc}")
         source = args.index
     else:
+        args.fault_policy = fault_policy
         dataset, index = _build_index(args)
         source = dataset.name
     spec = index.spec

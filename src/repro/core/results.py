@@ -71,12 +71,21 @@ class QueryResult:
         The query radius ``r``.
     stats:
         Decision diagnostics (see :class:`QueryStats`).
+    degraded:
+        True when the answer is partial: one or more shards stayed
+        unavailable past the serving layer's retry budget and the
+        caller opted into partial results (``allow_partial``).
+    missing_shards:
+        The shard ids whose contribution is absent from a degraded
+        answer (empty for complete answers).
     """
 
     ids: np.ndarray
     distances: np.ndarray
     radius: float
     stats: QueryStats = field(default_factory=QueryStats)
+    degraded: bool = False
+    missing_shards: tuple[int, ...] = ()
 
     @property
     def output_size(self) -> int:

@@ -11,8 +11,11 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "CorruptArtifactError",
+    "DeadlineExceededError",
     "DimensionMismatchError",
     "EmptyIndexError",
+    "ShardUnavailableError",
     "UnknownMetricError",
     "SketchError",
 ]
@@ -42,6 +45,40 @@ class EmptyIndexError(ReproError, RuntimeError):
 
 class UnknownMetricError(ReproError, KeyError):
     """A metric name was requested that is not in the distance registry."""
+
+
+class CorruptArtifactError(ReproError, RuntimeError):
+    """A saved index artifact is truncated, missing files, or unreadable.
+
+    Raised by the persistence loaders (:func:`repro.api.persist.open_index`,
+    :func:`repro.index.frozen.load_frozen_index`) instead of leaking raw
+    numpy/json tracebacks, so operators can tell a damaged artifact from
+    a code bug and restore from a good copy.
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A blocking worker-pool operation missed its per-op deadline.
+
+    The pool treats a breach as a hang: the worker is killed and
+    respawned, and the operation retried within the retry budget.  The
+    error only escapes to callers once the budget is exhausted (wrapped
+    in :class:`ShardUnavailableError` on the query paths).
+    """
+
+
+class ShardUnavailableError(ReproError, RuntimeError):
+    """One or more shards stayed unavailable past the retry budget.
+
+    Carries the shard ids that could not be served.  Query paths raise
+    it when ``allow_partial`` is off; with ``allow_partial`` on, the
+    caller instead receives partial results tagged ``degraded`` with the
+    same shard list.
+    """
+
+    def __init__(self, message: str, shards: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.shards = tuple(int(s) for s in shards)
 
 
 class SketchError(ReproError, ValueError):

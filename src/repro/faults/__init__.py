@@ -1,0 +1,32 @@
+"""Deterministic fault injection and fault-tolerance policy.
+
+The serving layer's failure handling is only trustworthy if every
+failure mode it claims to survive can be *produced on demand*,
+deterministically, in tests.  This package owns both sides of that
+contract:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — a seeded, picklable
+  schedule of worker faults (crash, hang, slow reply, corrupt payload,
+  dropped reply) keyed by worker id and request index, applied inside
+  the worker main loop via an opt-in hook
+  (:mod:`repro.faults.inject`).  With no plan installed the worker
+  code path is unchanged.
+* :class:`FaultTolerancePolicy` — the parent-side budget: per-op recv
+  deadlines, bounded retry with exponential backoff + deterministic
+  jitter, heartbeat cadence, and per-worker circuit-breaker
+  thresholds, consumed by :class:`repro.service.workers.WorkerPool`.
+"""
+
+from repro.faults.inject import send_reply, swallow_request
+from repro.faults.plan import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.faults.policy import FaultTolerancePolicy
+
+__all__ = [
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultTolerancePolicy",
+    "send_reply",
+    "swallow_request",
+]

@@ -1,0 +1,61 @@
+"""Worker-side fault application: the opt-in hook the main loop calls.
+
+These helpers live here — not in :mod:`repro.service.workers` — so the
+worker loop stays two ``if fault is not None`` branches and the
+production path (no plan installed) never touches this module's logic.
+``swallow_request`` runs before the op executes (crash / hang / slow
+pacing); ``send_reply`` replaces the plain ``conn.send`` on the reply
+side (drop / corrupt framing).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from typing import Any
+
+from repro.faults.plan import FaultKind, FaultSpec
+
+__all__ = ["swallow_request", "send_reply", "FAULT_EXIT_CODE", "HANG_SECONDS"]
+
+#: distinguishes an injected crash from a real one in process tables.
+FAULT_EXIT_CODE = 23
+
+#: a hang with no explicit duration sleeps this long — far beyond any
+#: sane deadline, so the parent's kill-and-respawn always wins.
+HANG_SECONDS = 3600.0
+
+
+def swallow_request(fault: FaultSpec) -> bool:
+    """Apply the pre-compute side of a fault; True = drop the request.
+
+    ``CRASH`` never returns (the process exits).  ``HANG`` sleeps — the
+    parent's deadline fires and terminates the process mid-sleep — and
+    asks the caller to swallow the request should it ever wake.
+    ``SLOW`` sleeps, then lets the request proceed normally.
+    """
+    if fault.kind is FaultKind.CRASH:
+        os._exit(FAULT_EXIT_CODE)
+    if fault.kind is FaultKind.HANG:
+        time.sleep(fault.seconds or HANG_SECONDS)
+        return True
+    if fault.kind is FaultKind.SLOW:
+        time.sleep(fault.seconds)
+    return False
+
+
+def send_reply(conn: Any, reply: object, fault: FaultSpec) -> None:
+    """Send ``reply`` through the fault's framing behaviour.
+
+    ``DROP`` sends nothing (the parent's deadline detects it);
+    ``CORRUPT`` ships a truncated pickle so the parent's ``recv``
+    raises mid-deserialisation; every other kind sends normally.
+    """
+    if fault.kind is FaultKind.DROP:
+        return
+    if fault.kind is FaultKind.CORRUPT:
+        payload = pickle.dumps(reply)
+        conn.send_bytes(payload[: max(1, len(payload) // 3)])
+        return
+    conn.send(reply)

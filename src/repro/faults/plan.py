@@ -1,0 +1,174 @@
+"""Seeded fault schedules: which worker misbehaves, when, and how.
+
+A :class:`FaultPlan` is an immutable, picklable value built either from
+an explicit script (:meth:`FaultPlan.scripted`) or from a seeded random
+draw (:meth:`FaultPlan.seeded`); the pool ships it to each worker at
+spawn time.  Workers count the requests they receive and consult their
+:class:`FaultInjector` before answering each one, so a schedule like
+"worker 1 crashes on its 3rd request" reproduces exactly across runs.
+
+Request indices are counted per worker *process*: a respawned worker
+starts counting from zero again, which means a long-``repeat`` fault
+models a persistently sick worker (it misbehaves again after every
+recovery) while a short one models a transient glitch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "FaultInjector"]
+
+
+class FaultKind(str, enum.Enum):
+    """How a scheduled fault manifests inside the worker."""
+
+    #: the worker process exits abruptly mid-request (no reply).
+    CRASH = "crash"
+    #: the worker stops responding: it sleeps and never replies.
+    HANG = "hang"
+    #: the reply is delayed by ``seconds`` but otherwise correct.
+    SLOW = "slow"
+    #: the reply payload is truncated mid-pickle on the pipe.
+    CORRUPT = "corrupt"
+    #: the reply is silently dropped; the worker stays alive.
+    DROP = "drop"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: ``worker`` misbehaves on request ``op_index``.
+
+    ``repeat`` widens the window: the fault fires for every request
+    index in ``[op_index, op_index + repeat)``.  ``seconds`` is the
+    sleep for :attr:`FaultKind.SLOW` and :attr:`FaultKind.HANG` (a hang
+    with ``seconds=0`` sleeps effectively forever and relies on the
+    parent's deadline to kill it).
+    """
+
+    kind: FaultKind
+    worker: int
+    op_index: int
+    seconds: float = 0.0
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ConfigurationError(f"worker must be >= 0, got {self.worker}")
+        if self.op_index < 0:
+            raise ConfigurationError(f"op_index must be >= 0, got {self.op_index}")
+        if self.repeat < 1:
+            raise ConfigurationError(f"repeat must be >= 1, got {self.repeat}")
+        if not self.seconds >= 0:
+            raise ConfigurationError(f"seconds must be >= 0, got {self.seconds}")
+
+    def covers(self, op_index: int) -> bool:
+        """Whether this fault fires for the given request index."""
+        return self.op_index <= op_index < self.op_index + self.repeat
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of :class:`FaultSpec` entries.
+
+    Examples
+    --------
+    >>> plan = FaultPlan.scripted(
+    ...     FaultSpec(FaultKind.CRASH, worker=0, op_index=2),
+    ...     FaultSpec(FaultKind.DROP, worker=1, op_index=0),
+    ... )
+    >>> plan.for_worker(0).next_fault() is None  # request 0: clean
+    True
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def scripted(cls, *specs: FaultSpec) -> FaultPlan:
+        """A plan from an explicit list of faults."""
+        return cls(specs=tuple(specs))
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        num_workers: int,
+        num_ops: int,
+        rate: float = 0.1,
+        kinds: tuple[FaultKind, ...] = (
+            FaultKind.CRASH,
+            FaultKind.HANG,
+            FaultKind.SLOW,
+            FaultKind.CORRUPT,
+            FaultKind.DROP,
+        ),
+        max_delay: float = 0.05,
+    ) -> FaultPlan:
+        """Draw a random schedule deterministically from ``seed``.
+
+        Each (worker, request) slot independently faults with
+        probability ``rate``; the kind is drawn uniformly from
+        ``kinds`` and sleep-bearing kinds get a delay in
+        ``(0, max_delay]``.  The same seed always yields the same plan.
+        """
+        if num_workers < 1:
+            raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
+        if num_ops < 0:
+            raise ConfigurationError(f"num_ops must be >= 0, got {num_ops}")
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {rate}")
+        if not kinds:
+            raise ConfigurationError("kinds must not be empty")
+        rng = np.random.default_rng(seed)
+        specs: list[FaultSpec] = []
+        for worker in range(num_workers):
+            for op_index in range(num_ops):
+                if rng.random() >= rate:
+                    continue
+                kind = kinds[int(rng.integers(len(kinds)))]
+                seconds = 0.0
+                if kind in (FaultKind.SLOW, FaultKind.HANG):
+                    seconds = float(max_delay) * float(rng.random())
+                specs.append(
+                    FaultSpec(kind, worker=worker, op_index=op_index, seconds=seconds)
+                )
+        return cls(specs=tuple(specs))
+
+    def for_worker(self, worker: int) -> FaultInjector:
+        """The injector a worker consults on every request it receives."""
+        return FaultInjector(
+            tuple(spec for spec in self.specs if spec.worker == worker)
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+
+class FaultInjector:
+    """Per-worker request counter matching requests against the plan.
+
+    ``next_fault()`` is called exactly once per received request; the
+    first listed spec covering the current index wins.
+    """
+
+    def __init__(self, specs: tuple[FaultSpec, ...]) -> None:
+        self._specs = specs
+        self._op_index = 0
+
+    @property
+    def op_index(self) -> int:
+        """Requests consumed so far (the next request's index)."""
+        return self._op_index
+
+    def next_fault(self) -> FaultSpec | None:
+        index = self._op_index
+        self._op_index += 1
+        for spec in self._specs:
+            if spec.covers(index):
+                return spec
+        return None

@@ -1,0 +1,117 @@
+"""The parent-side fault-tolerance budget for the worker pool.
+
+One immutable value holds every knob the hardened
+:class:`~repro.service.workers.WorkerPool` request path consumes: the
+per-op recv deadline, the bounded retry schedule (exponential backoff
+with deterministic jitter), the heartbeat cadence for hang detection on
+idle workers, and the per-worker circuit-breaker thresholds.  The
+defaults are production-lenient; tests shrink them to milliseconds so
+fault drills run fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["FaultTolerancePolicy"]
+
+
+@dataclass(frozen=True)
+class FaultTolerancePolicy:
+    """Deadlines, retries, heartbeats, and breaker thresholds.
+
+    Attributes
+    ----------
+    recv_deadline:
+        Seconds a blocking pipe ``recv`` may wait for a worker's reply
+        before the worker is declared hung, killed, and respawned.
+    startup_deadline:
+        Seconds to wait for a (re)spawned worker's mmap-open ack and
+        for each replayed insert during recovery.
+    max_retries:
+        Failed request re-sends after the initial attempt; each retry
+        is preceded by a kill-and-respawn of the worker.
+    backoff_base / backoff_max:
+        Exponential backoff between retries: attempt ``i`` sleeps
+        ``min(backoff_max, backoff_base * 2**(i-1))`` before its
+        respawn, scaled by jitter.
+    backoff_jitter:
+        Fractional jitter width: each sleep is multiplied by a
+        deterministic draw from ``[1, 1 + backoff_jitter]`` (seeded by
+        ``jitter_seed``), de-synchronising retry storms without
+        sacrificing reproducibility.
+    breaker_threshold:
+        Consecutive *final* request failures after which a worker's
+        circuit breaker opens; while open, requests to that worker fail
+        fast instead of burning the retry budget.
+    breaker_cooldown:
+        Seconds an open breaker waits before letting one half-open
+        probe request through; a success closes it, a failure re-opens.
+    heartbeat_interval:
+        Seconds between background liveness pings to idle workers
+        (``0`` disables the heartbeat thread).  A worker that fails its
+        ping is respawned proactively, before a query has to pay the
+        deadline.
+    jitter_seed:
+        Seed for the backoff jitter stream.
+    """
+
+    recv_deadline: float = 30.0
+    startup_deadline: float = 60.0
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    backoff_jitter: float = 0.25
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 5.0
+    heartbeat_interval: float = 0.0
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("recv_deadline", "startup_deadline"):
+            value = float(getattr(self, name))
+            if not value > 0:
+                raise ConfigurationError(f"{name} must be > 0, got {value}")
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if not self.backoff_base >= 0:
+            raise ConfigurationError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if not self.backoff_max >= self.backoff_base:
+            raise ConfigurationError(
+                f"backoff_max ({self.backoff_max}) must be >= backoff_base "
+                f"({self.backoff_base})"
+            )
+        if not self.backoff_jitter >= 0:
+            raise ConfigurationError(
+                f"backoff_jitter must be >= 0, got {self.backoff_jitter}"
+            )
+        if self.breaker_threshold < 1:
+            raise ConfigurationError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if not self.breaker_cooldown >= 0:
+            raise ConfigurationError(
+                f"breaker_cooldown must be >= 0, got {self.breaker_cooldown}"
+            )
+        if not self.heartbeat_interval >= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval must be >= 0, got {self.heartbeat_interval}"
+            )
+
+    def backoff_seconds(self, attempt: int, jitter_fraction: float) -> float:
+        """The sleep before retry ``attempt`` (1-based), jitter applied."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        base = min(self.backoff_max, self.backoff_base * (2.0 ** (attempt - 1)))
+        return base * (1.0 + self.backoff_jitter * float(jitter_fraction))
+
+    def with_overrides(self, **overrides: Any) -> FaultTolerancePolicy:
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **overrides)

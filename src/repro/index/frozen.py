@@ -57,12 +57,14 @@ from __future__ import annotations
 import json
 import math
 import os
+import shutil
 import threading
 import time
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, CorruptArtifactError
+from repro.utils.fsio import commit_dir, staging_path, write_json_atomic
 from repro.hashing.composite import encode_rows
 from repro.index.bucket import Bucket
 from repro.index.lsh_index import LSHIndex
@@ -1316,7 +1318,6 @@ def save_frozen_index(index: FrozenLSHIndex, path: str) -> None:
         if index.variant == "multiprobe":
             config["num_probes"] = index.num_probes
     index.refreeze()
-    os.makedirs(path, exist_ok=True)
     frozen = index.frozen
     arrays = {
         "points": index.points,
@@ -1331,21 +1332,28 @@ def save_frozen_index(index: FrozenLSHIndex, path: str) -> None:
     if batched is not None:
         for name, array in batched.params.items():
             arrays[f"kernel_{name}"] = array
-    # Write-to-temp + rename: a re-saved index may hold arrays that are
-    # memory-mapped from the very files being written (open -> save back
-    # to the same path); truncating those in place would corrupt the
-    # mapping mid-write and destroy the artifact.
-    for name, array in arrays.items():
-        target = os.path.join(path, f"{name}.npy")
-        tmp = target + ".tmp"
-        with open(tmp, "wb") as fh:
-            np.save(fh, np.ascontiguousarray(array))
-        os.replace(tmp, target)
-    config_target = os.path.join(path, _CONFIG_FILE)
-    with open(config_target + ".tmp", "w") as fh:
-        json.dump(config, fh, indent=2)
-        fh.write("\n")
-    os.replace(config_target + ".tmp", config_target)
+    # Stage the whole artifact in a sibling temp directory, fsync every
+    # file, then swap it in with one rename pair (utils.fsio): a crash
+    # mid-save leaves the previous artifact intact instead of a mixture
+    # of old and new arrays.  A re-saved index may hold arrays that are
+    # memory-mapped from the files being replaced (open -> save back to
+    # the same path); the retired directory's inodes stay valid for
+    # those mappings until they close, while fresh opens only ever see
+    # a complete directory.
+    staged = staging_path(path)
+    shutil.rmtree(staged, ignore_errors=True)
+    os.makedirs(staged)
+    try:
+        for name, array in arrays.items():
+            with open(os.path.join(staged, f"{name}.npy"), "wb") as fh:
+                np.save(fh, np.ascontiguousarray(array))
+                fh.flush()
+                os.fsync(fh.fileno())
+        write_json_atomic(os.path.join(staged, _CONFIG_FILE), config)
+        commit_dir(staged, path)
+    except BaseException:
+        shutil.rmtree(staged, ignore_errors=True)
+        raise
 
 
 def load_frozen_index(path: str, mmap_mode: str | None = "r") -> FrozenLSHIndex:
@@ -1365,20 +1373,55 @@ def load_frozen_index(path: str, mmap_mode: str | None = "r") -> FrozenLSHIndex:
             f"no frozen index at {path!r} (missing {_CONFIG_FILE})"
         )
     with open(config_path) as fh:
-        config = json.load(fh)
+        try:
+            config = json.load(fh)
+        except ValueError as exc:
+            raise CorruptArtifactError(
+                f"frozen index config {config_path!r} is not valid JSON "
+                f"({exc}); the artifact is truncated or corrupt"
+            ) from exc
+    if not isinstance(config, dict):
+        raise CorruptArtifactError(
+            f"frozen index config {config_path!r} must hold a JSON object, "
+            f"got {type(config).__name__}"
+        )
     if config.get("format_version") != _FROZEN_FORMAT_VERSION:
         raise ConfigurationError(
             f"unsupported frozen index version: {config.get('format_version')!r}"
         )
-    arrays = {
-        name: np.load(
-            os.path.join(path, f"{name}.npy"),
-            mmap_mode=mmap_mode,
-            allow_pickle=False,
-        )
-        for name in _ARRAY_FILES
-    }
     variant = config.get("variant", "plain")
+    required = {
+        "num_tables", "hll_precision", "hll_seed", "lazy_threshold",
+        "with_sketches", "dedup", "dim",
+    }
+    required |= (
+        {"radius", "blocks", "key_width"}
+        if variant == "covering"
+        else {"k", "family", "kernel_params"}
+    )
+    missing_keys = sorted(required - set(config))
+    if missing_keys:
+        raise CorruptArtifactError(
+            f"frozen index config {config_path!r} is missing keys "
+            f"{missing_keys}; the artifact is truncated or corrupt"
+        )
+
+    def _load_array(name: str) -> np.ndarray:
+        target = os.path.join(path, f"{name}.npy")
+        try:
+            return np.load(target, mmap_mode=mmap_mode, allow_pickle=False)
+        except FileNotFoundError as exc:
+            raise CorruptArtifactError(
+                f"frozen index at {path!r} is missing {name}.npy; "
+                "the artifact is incomplete"
+            ) from exc
+        except (ValueError, OSError, EOFError) as exc:
+            raise CorruptArtifactError(
+                f"frozen index array {target!r} is unreadable ({exc}); "
+                "the artifact is truncated or corrupt"
+            ) from exc
+
+    arrays = {name: _load_array(name) for name in _ARRAY_FILES}
     frozen = FrozenTables(
         num_tables=config["num_tables"],
         key_width=(

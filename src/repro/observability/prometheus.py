@@ -29,6 +29,10 @@ _COUNTERS = {
     "deduplicated": ("repro_deduplicated_total", "Duplicate queries folded by the batch dedup."),
     "bytes_shipped": ("repro_bytes_shipped_total", "Bytes of query/result payload crossing worker pipes."),
     "worker_respawns": ("repro_worker_respawns_total", "Pool workers respawned after a crash."),
+    "worker_timeouts": ("repro_worker_timeouts_total", "Worker replies that missed their recv deadline."),
+    "worker_retries": ("repro_worker_retries_total", "Requests re-sent after a worker transport failure."),
+    "degraded_responses": ("repro_degraded_responses_total", "Responses served with one or more shards missing."),
+    "breaker_opens": ("repro_breaker_opens_total", "Per-worker circuit breakers tripped open."),
 }
 
 _GAUGES = {
@@ -71,6 +75,18 @@ def prometheus_text(stats: dict[str, Any], prefix_comment: str | None = None) ->
             lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name} {_format_value(stats[key])}")
+
+    respawns_by_cause = stats.get("respawns_by_cause") or {}
+    if respawns_by_cause:
+        name = "repro_worker_respawns_by_cause_total"
+        lines.append(f"# HELP {name} Worker respawns keyed by trigger.")
+        lines.append(f"# TYPE {name} counter")
+        for cause in sorted(respawns_by_cause):
+            label = _sanitise_label(str(cause))
+            lines.append(
+                f'{name}{{cause="{label}"}} '
+                f"{_format_value(respawns_by_cause[cause])}"
+            )
 
     strategies = {
         key[len("strategy_"):]: value

@@ -355,8 +355,13 @@ class ShardedHybridIndex:
         queries: np.ndarray,
         radius: float | None = None,
         trace: StageTrace | None = None,
+        allow_partial: bool = False,
     ) -> list[QueryResult]:
         """Answer a ``(q, d)`` matrix; per-shard batches run on the pool.
+
+        ``allow_partial`` is accepted for surface parity with the
+        process pool and ignored: thread-fan-out shards live in this
+        process and cannot fail independently of it.
 
         Each merged result carries global ids sorted ascending — the
         disjoint union of the shard answers — and aggregate stats
@@ -402,9 +407,17 @@ class ShardedHybridIndex:
         return self.query_topk_batch(np.asarray(query)[None, :], k)[0]
 
     def query_topk_batch(
-        self, queries: np.ndarray, k: int, trace: StageTrace | None = None
+        self,
+        queries: np.ndarray,
+        k: int,
+        trace: StageTrace | None = None,
+        allow_partial: bool = False,
     ) -> list[QueryResult]:
         """Exact k-NN for a query matrix, merged across shards.
+
+        ``allow_partial`` is accepted for surface parity with the
+        process pool and ignored (in-process shards cannot fail
+        independently).
 
         Every shard computes its local distance block with the metric's
         batch kernel; the global ``k`` smallest per query are selected

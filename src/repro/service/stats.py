@@ -60,6 +60,21 @@ class ServiceStats:
     bytes_shipped: int = 0
     #: pool workers respawned after a crash (parent-side counter).
     worker_respawns: int = 0
+    #: worker replies that missed their recv deadline (hangs, dropped
+    #: replies) before the worker was killed and respawned.
+    worker_timeouts: int = 0
+    #: request re-sends after a transport failure (each preceded by a
+    #: backoff sleep and a kill-and-respawn of the worker).
+    worker_retries: int = 0
+    #: responses served with ``degraded=True`` — one or more shards
+    #: were unavailable and the caller opted into partial results.
+    degraded_responses: int = 0
+    #: closed-to-open circuit-breaker transitions across all workers.
+    breaker_opens: int = 0
+    #: worker respawns keyed by what triggered them (``crash``,
+    #: ``timeout``, ``corrupt``, ``heartbeat``, ``rollback``); sums to
+    #: ``worker_respawns`` when the pool is the only writer.
+    respawns_by_cause: dict[str, int] = field(default_factory=dict)
     #: per-query latency distribution; each query in a batch is charged
     #: the batch's wall time, so ``latency.count == queries_served``.
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
@@ -132,15 +147,33 @@ class ServiceStats:
             self.cache_misses += misses
             self.deduplicated += deduplicated
 
-    def set_transport(self, bytes_shipped: int, worker_respawns: int) -> None:
-        """Sync the worker-pool transport counters into a snapshot.
+    def set_transport(
+        self,
+        bytes_shipped: int,
+        worker_respawns: int,
+        worker_timeouts: int = 0,
+        worker_retries: int = 0,
+        breaker_opens: int = 0,
+        respawns_by_cause: dict[str, int] | None = None,
+    ) -> None:
+        """Sync the worker-pool transport/failure counters into a snapshot.
 
         The pool owns the live counters; the facade copies them over
-        just before reading a snapshot, so both land atomically.
+        just before reading a snapshot, so they all land atomically.
         """
         with self._lock:
             self.bytes_shipped = bytes_shipped
             self.worker_respawns = worker_respawns
+            self.worker_timeouts = worker_timeouts
+            self.worker_retries = worker_retries
+            self.breaker_opens = breaker_opens
+            if respawns_by_cause is not None:
+                self.respawns_by_cause = dict(respawns_by_cause)
+
+    def record_degraded(self, count: int = 1) -> None:
+        """Account ``count`` responses served with missing shards."""
+        with self._lock:
+            self.degraded_responses += count
 
     def merge(self, other: ServiceStats) -> ServiceStats:
         """Fold another stats object (e.g. a worker's) into this one.
@@ -159,6 +192,14 @@ class ServiceStats:
             self.elapsed_seconds += other.elapsed_seconds
             self.bytes_shipped += other.bytes_shipped
             self.worker_respawns += other.worker_respawns
+            self.worker_timeouts += other.worker_timeouts
+            self.worker_retries += other.worker_retries
+            self.degraded_responses += other.degraded_responses
+            self.breaker_opens += other.breaker_opens
+            for cause, n in other.respawns_by_cause.items():
+                self.respawns_by_cause[cause] = (
+                    self.respawns_by_cause.get(cause, 0) + n
+                )
             self.latency.merge(other.latency)
             for name, n in other.strategy_counts.items():
                 self.strategy_counts[name] = self.strategy_counts.get(name, 0) + n
@@ -188,6 +229,11 @@ class ServiceStats:
             self.elapsed_seconds = 0.0
             self.bytes_shipped = 0
             self.worker_respawns = 0
+            self.worker_timeouts = 0
+            self.worker_retries = 0
+            self.degraded_responses = 0
+            self.breaker_opens = 0
+            self.respawns_by_cause = {}
             self.strategy_counts = {}
             self.latency = LatencyHistogram()
             self.stage_seconds = {}
@@ -223,6 +269,11 @@ class ServiceStats:
                 "pool_workers": self.pool_workers,
                 "bytes_shipped": self.bytes_shipped,
                 "worker_respawns": self.worker_respawns,
+                "worker_timeouts": self.worker_timeouts,
+                "worker_retries": self.worker_retries,
+                "degraded_responses": self.degraded_responses,
+                "breaker_opens": self.breaker_opens,
+                "respawns_by_cause": dict(self.respawns_by_cause),
                 **{
                     f"strategy_{name}": count
                     for name, count in sorted(self.strategy_counts.items())
@@ -257,6 +308,14 @@ class ServiceStats:
             pool_workers=int(doc.get("pool_workers", 0)),
             bytes_shipped=int(doc.get("bytes_shipped", 0)),
             worker_respawns=int(doc.get("worker_respawns", 0)),
+            worker_timeouts=int(doc.get("worker_timeouts", 0)),
+            worker_retries=int(doc.get("worker_retries", 0)),
+            degraded_responses=int(doc.get("degraded_responses", 0)),
+            breaker_opens=int(doc.get("breaker_opens", 0)),
+            respawns_by_cause={
+                str(cause): int(n)
+                for cause, n in (doc.get("respawns_by_cause") or {}).items()
+            },
             strategy_counts={
                 key[len("strategy_"):]: int(value)
                 for key, value in doc.items()

@@ -10,6 +10,10 @@ query surface):
   ``{"ids": [...], "distances": [...], "found": n, "strategy": "lsh"}``;
 * ``{"query": [..], "k": 10}`` — an exact top-k query (same response
   shape, ordered by ascending distance);
+* either query kind may add ``"allow_partial": true`` to accept
+  degraded answers when worker-pool shards are unavailable; a degraded
+  response additionally carries ``"degraded": true`` and
+  ``"missing_shards": [..]`` (full-fidelity responses are unchanged);
 * ``{"op": "insert", "points": [[..], ..]}`` — add points →
   ``{"inserted": m, "ids": [...], "n": total}``;
 * ``{"op": "stats"}`` — telemetry snapshot → the enriched
@@ -39,6 +43,7 @@ always gets its response immediately.  Malformed lines produce
 
 from __future__ import annotations
 
+import contextlib
 import json
 import queue as queue_mod
 import threading
@@ -51,7 +56,9 @@ import numpy as np
 __all__ = ["serve_stream", "serve_stream_concurrent"]
 
 
-def _parse_query(request: dict, dim: int) -> tuple[np.ndarray, float | None, int | None]:
+def _parse_query(
+    request: dict, dim: int
+) -> tuple[np.ndarray, float | None, int | None, bool]:
     query = np.asarray(request["query"], dtype=np.float64)
     if query.ndim != 1 or query.shape[0] != dim:
         raise ValueError(f"query must be a flat list of {dim} numbers")
@@ -67,33 +74,49 @@ def _parse_query(request: dict, dim: int) -> tuple[np.ndarray, float | None, int
         k = int(k)
         if not k > 0:
             raise ValueError(f"k must be > 0, got {k}")
-    return query, radius, k
+    allow_partial = bool(request.get("allow_partial", False))
+    return query, radius, k, allow_partial
 
 
 def _answer(result) -> str:
-    return json.dumps(
-        {
-            "ids": result.ids.tolist(),
-            "distances": result.distances.tolist(),
-            "found": result.output_size,
-            "strategy": result.stats.strategy.value,
-        }
-    )
+    doc = {
+        "ids": result.ids.tolist(),
+        "distances": result.distances.tolist(),
+        "found": result.output_size,
+        "strategy": result.stats.strategy.value,
+    }
+    # Only degraded answers grow the two extra keys, so full-fidelity
+    # response lines stay byte-identical to the pre-fault protocol.
+    if getattr(result, "degraded", False):
+        doc["degraded"] = True
+        doc["missing_shards"] = [int(s) for s in result.missing_shards]
+    return json.dumps(doc)
 
 
-def _flush(service, pending: list[tuple[np.ndarray, float | None]]) -> list[str]:
-    """Answer the buffered radius queries, one engine batch per distinct radius."""
+def _flush(
+    service, pending: list[tuple[np.ndarray, float | None, bool]]
+) -> list[str]:
+    """Answer the buffered radius queries, one engine batch per group.
+
+    Queries batch together only when they share both the radius and the
+    ``allow_partial`` choice; the kwarg is only passed when true, so
+    legacy targets without the parameter keep working.
+    """
     responses: list[str | None] = [None] * len(pending)
-    by_radius: dict[float | None, list[int]] = {}
-    for j, (_, radius) in enumerate(pending):
-        by_radius.setdefault(radius, []).append(j)
-    for radius, rows in by_radius.items():
+    groups: dict[tuple[float | None, bool], list[int]] = {}
+    for j, (_, radius, allow_partial) in enumerate(pending):
+        groups.setdefault((radius, allow_partial), []).append(j)
+    for (radius, allow_partial), rows in groups.items():
         batch = np.stack([pending[j][0] for j in rows])
         try:
-            results = service.query_batch(batch, radius)
+            if allow_partial:
+                results = service.query_batch(batch, radius, allow_partial=True)
+            else:
+                results = service.query_batch(batch, radius)
         except Exception as exc:
-            # e.g. no radius given and the engine has no default; the
-            # per-line contract means the rest of the stream lives on.
+            # e.g. no radius given and the engine has no default, or an
+            # unavailable shard without allow_partial; the per-line
+            # contract means the rest of the stream lives on.
             error = json.dumps({"error": f"query failed: {exc}"})
             for j in rows:
                 responses[j] = error
@@ -201,7 +224,7 @@ def serve_stream(
     their backlog keeps ``more_ready`` true.
     """
     state = {"target": service, "owned": False}
-    pending: list[tuple[np.ndarray, float | None]] = []
+    pending: list[tuple[np.ndarray, float | None, bool]] = []
     for line in lines:
         line = line.strip()
         if not line:
@@ -217,7 +240,9 @@ def serve_stream(
 
         if "query" in request:
             try:
-                query, radius, k = _parse_query(request, state["target"].dim)
+                query, radius, k, allow_partial = _parse_query(
+                    request, state["target"].dim
+                )
             except (ValueError, TypeError) as exc:
                 yield from _flush(state["target"], pending)
                 yield json.dumps({"error": str(exc)})
@@ -228,11 +253,11 @@ def serve_stream(
                 # keep responses aligned with request order.
                 yield from _flush(state["target"], pending)
                 try:
-                    yield _answer(_topk(state["target"], query, k))
+                    yield _answer(_topk(state["target"], query, k, allow_partial))
                 except Exception as exc:
                     yield json.dumps({"error": f"query failed: {exc}"})
                 continue
-            pending.append((query, radius))
+            pending.append((query, radius, allow_partial))
             if len(pending) >= batch_size or not (more_ready and more_ready()):
                 yield from _flush(state["target"], pending)
             continue
@@ -244,13 +269,13 @@ def serve_stream(
     yield from _flush(state["target"], pending)
 
 
-def _topk(target, query: np.ndarray, k: int):
+def _topk(target, query: np.ndarray, k: int, allow_partial: bool = False):
     """Answer one top-k request on an Index (or an Index-backed service)."""
     from repro.api.spec import QuerySpec
 
     if hasattr(target, "_index"):  # legacy QueryService delegate
         target = target._index
-    return target.query(QuerySpec(query, k=k))
+    return target.query(QuerySpec(query, k=k, allow_partial=allow_partial))
 
 
 def serve_stream_concurrent(
@@ -278,43 +303,75 @@ def serve_stream_concurrent(
     overlap differs.  Result caching on the served index should be left
     off (or treated as best-effort) — the cache store itself is locked,
     but hit-rate accounting across overlapped batches is approximate.
+
+    Failure containment: a batch whose worker died mid-flight must not
+    stall the stream.  ``_flush`` already converts per-group engine
+    failures into per-line errors, and anything that still escapes the
+    future (pool shutdown, allocation failures) is converted here into
+    one ``{"error": ...}`` line per buffered query, so responses stay
+    aligned with requests and the loop keeps serving.
     """
     if window < 1:
         raise ValueError(f"window must be >= 1, got {window}")
     state = {"target": service, "owned": False}
     inbox: queue_mod.Queue[object] = queue_mod.Queue(maxsize=max(4 * batch_size, 256))
     _EOF = object()
+    stop = threading.Event()
 
     def _read_all() -> None:
+        # Bounded puts checked against ``stop`` so the reader can always
+        # exit: if the consumer loop dies (or the generator is closed)
+        # with the inbox full, an unconditional put would pin this
+        # thread — and whatever file handle ``lines`` wraps — forever.
         try:
             for line in lines:
-                inbox.put(line)
+                while not stop.is_set():
+                    try:
+                        inbox.put(line, timeout=0.1)
+                        break
+                    except queue_mod.Full:
+                        continue
+                if stop.is_set():
+                    return
         finally:
-            inbox.put(_EOF)
+            while not stop.is_set():
+                try:
+                    inbox.put(_EOF, timeout=0.1)
+                    break
+                except queue_mod.Full:
+                    continue
 
     reader = threading.Thread(
         target=_read_all, name="repro-serve-reader", daemon=True
     )
     reader.start()
     executor = ThreadPoolExecutor(max_workers=window, thread_name_prefix="repro-serve")
-    inflight: deque = deque()  # futures -> list[str], in submission order
-    pending: list[tuple[np.ndarray, float | None]] = []
+    inflight: deque = deque()  # (future -> list[str], batch size), in order
+    pending: list[tuple[np.ndarray, float | None, bool]] = []
 
     def _submit() -> None:
         if pending:
             batch = list(pending)
             pending.clear()
             target = state["target"]
-            inflight.append(executor.submit(_flush, target, batch))
+            inflight.append((executor.submit(_flush, target, batch), len(batch)))
+
+    def _results_of(future, count: int) -> list[str]:
+        # A failed batch still owes exactly ``count`` response lines,
+        # otherwise every later response in the stream is misaligned.
+        try:
+            return future.result()
+        except Exception as exc:
+            return [json.dumps({"error": f"query failed: {exc}"})] * count
 
     def _drain_completed():
-        while inflight and inflight[0].done():
-            yield from inflight.popleft().result()
+        while inflight and inflight[0][0].done():
+            yield from _results_of(*inflight.popleft())
 
     def _drain_all():
         _submit()
         while inflight:
-            yield from inflight.popleft().result()
+            yield from _results_of(*inflight.popleft())
 
     try:
         while True:
@@ -348,7 +405,9 @@ def serve_stream_concurrent(
 
             if "query" in request:
                 try:
-                    query, radius, k = _parse_query(request, state["target"].dim)
+                    query, radius, k, allow_partial = _parse_query(
+                        request, state["target"].dim
+                    )
                 except (ValueError, TypeError) as exc:
                     yield from _drain_all()
                     yield json.dumps({"error": str(exc)})
@@ -356,11 +415,13 @@ def serve_stream_concurrent(
                 if k is not None:
                     yield from _drain_all()
                     try:
-                        yield _answer(_topk(state["target"], query, k))
+                        yield _answer(
+                            _topk(state["target"], query, k, allow_partial)
+                        )
                     except Exception as exc:
                         yield json.dumps({"error": f"query failed: {exc}"})
                     continue
-                pending.append((query, radius))
+                pending.append((query, radius, allow_partial))
                 if len(pending) >= batch_size or inbox.empty():
                     # Full batch, or no backlog waiting: keep latency low
                     # by dispatching now (the synchronous loop's
@@ -368,7 +429,7 @@ def serve_stream_concurrent(
                     _submit()
                 yield from _drain_completed()
                 while len(inflight) >= window:
-                    yield from inflight.popleft().result()
+                    yield from _results_of(*inflight.popleft())
                 continue
 
             # Ops mutate serving state: barrier on everything in flight.
@@ -376,4 +437,9 @@ def serve_stream_concurrent(
             yield _handle_op(state, request)
         yield from _drain_all()
     finally:
+        stop.set()
+        with contextlib.suppress(queue_mod.Empty):
+            while True:
+                inbox.get_nowait()
+        reader.join(timeout=5.0)
         executor.shutdown(wait=True)

@@ -29,10 +29,24 @@ Operational contract:
 * **inserts** route to the owning worker's overflow side-table (the
   frozen layout's insert path, background re-freeze included); the
   parent logs them per worker so a respawn can replay;
-* **crash recovery** — a worker that dies mid-request is respawned
-  from the artifact, its insert log replayed in order, and the request
-  retried once; answers are unchanged because replay reconstructs the
-  exact overflow state;
+* **every blocking pipe read carries a deadline** (see
+  :class:`~repro.faults.FaultTolerancePolicy`): a worker that crashes,
+  hangs, drops a reply or ships a corrupt payload is detected within
+  ``recv_deadline``, killed, respawned from the artifact with its
+  insert log replayed, and the request retried under a bounded
+  exponential-backoff schedule with deterministic jitter;
+* **per-worker circuit breakers** open after ``breaker_threshold``
+  consecutive exhausted-retry failures, fail the worker's requests fast
+  during ``breaker_cooldown``, then admit one half-open probe;
+* **partial results are opt-in**: ``query_batch(...,
+  allow_partial=True)`` answers from the live shards and tags the
+  result ``degraded=True`` with the missing shard ids; without it, an
+  unrecoverable worker raises :class:`~repro.exceptions.ShardUnavailableError`
+  and successful answers stay bit-identical to the fault-free run;
+* **fault drills are deterministic and opt-in**: an installed
+  :class:`~repro.faults.FaultPlan` is consulted by each worker via two
+  ``if fault is not None`` branches; with no plan the request path is
+  byte-identical to the unhardened one;
 * **shutdown** is explicit (:meth:`WorkerPool.close`) and idempotent;
   workers are daemonic so an abandoned pool cannot outlive the parent.
 """
@@ -40,13 +54,13 @@ Operational contract:
 from __future__ import annotations
 
 import contextlib
-import json
 import multiprocessing
 import os
 import shutil
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace as _dc_replace
 
 import numpy as np
 
@@ -54,10 +68,17 @@ from repro.core.cost_model import CostModel
 from repro.core.linear_scan import exact_topk_results
 from repro.core.results import QueryResult, QueryStats, Strategy
 from repro.distances import get_metric
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    ConfigurationError,
+    CorruptArtifactError,
+    DeadlineExceededError,
+    ShardUnavailableError,
+)
+from repro.faults import FaultTolerancePolicy, send_reply, swallow_request
 from repro.observability import StageTrace, stage_timer
 from repro.service.sharded import default_fanout_width, merge_radius_results
 from repro.service.stats import ServiceStats
+from repro.utils.fsio import write_json_atomic
 from repro.utils.validation import check_matrix, check_positive_int
 
 __all__ = ["WorkerPool", "WorkerError"]
@@ -65,6 +86,74 @@ __all__ = ["WorkerPool", "WorkerError"]
 
 class WorkerError(RuntimeError):
     """An operation failed inside a worker process (the worker survives)."""
+
+
+class _TransportFailure(Exception):
+    """One transport attempt failed; ``cause`` labels why.
+
+    Internal to the retry loop — callers of :meth:`WorkerPool._request`
+    only ever see :class:`WorkerError` (application errors) or
+    :class:`~repro.exceptions.ShardUnavailableError` (exhausted
+    recovery).  ``cause`` is one of ``"crash"`` (EOF / broken pipe),
+    ``"timeout"`` (deadline expired: hang or dropped reply) or
+    ``"corrupt"`` (reply failed to deserialise).
+    """
+
+    def __init__(self, cause: str, detail: str) -> None:
+        super().__init__(detail)
+        self.cause = cause
+
+
+class _CircuitBreaker:
+    """Per-worker failure gate; accessed only under that worker's lock.
+
+    Counts consecutive *final* failures (retry budget exhausted, not
+    individual attempts).  At ``threshold`` the breaker opens: requests
+    fail fast without burning deadlines.  After ``cooldown`` seconds one
+    half-open probe is admitted — success closes the breaker, failure
+    re-opens it for another cooldown.
+    """
+
+    def __init__(self, threshold: int, cooldown: float) -> None:
+        self._threshold = threshold
+        self._cooldown = cooldown
+        self._failures = 0
+        self._opened_at: float | None = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._opened_at is not None
+
+    def allow(self) -> bool:
+        """Whether a request may proceed (True while closed or probing)."""
+        if self._opened_at is None:
+            return True
+        return time.monotonic() - self._opened_at >= self._cooldown
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> bool:
+        """Count a final failure; True when this call *opened* the breaker."""
+        self._failures += 1
+        if self._opened_at is not None:
+            # A failed half-open probe re-opens for another cooldown.
+            self._opened_at = time.monotonic()
+            return False
+        if self._failures >= self._threshold:
+            self._opened_at = time.monotonic()
+            return True
+        return False
+
+
+def _recv_with_deadline(conn, seconds: float, what: str):
+    """A pipe ``recv`` that refuses to block past ``seconds``."""
+    if not conn.poll(seconds):
+        raise DeadlineExceededError(
+            f"{what} exceeded its {seconds:.3f}s deadline"
+        )
+    return conn.recv()
 
 
 def _shard_dir(path: str, shard: int) -> str:
@@ -126,13 +215,30 @@ def _unpack_result(packed, radius: float) -> QueryResult:
     return QueryResult(ids=ids, distances=distances, radius=radius, stats=stats)
 
 
-def _worker_main(conn, path: str, shard_ids: list[int], spec_doc: dict,
-                 alpha: float, beta: float) -> None:
+def _empty_result(radius: float) -> QueryResult:
+    """The substitute answer for a shard whose worker is unavailable."""
+    return QueryResult(
+        ids=np.empty(0, dtype=np.int64),
+        distances=np.empty(0, dtype=np.float64),
+        radius=radius,
+    )
+
+
+def _worker_main(conn, worker: int, path: str, shard_ids: list[int],
+                 spec_doc: dict, alpha: float, beta: float,
+                 fault_plan) -> None:
     """Worker process loop: open assigned shards via mmap, answer ops.
 
     Must stay a module-level function so the ``spawn`` start method can
     import it; with ``fork`` it reuses the parent's loaded modules and
     the open is dominated by ``np.load(mmap_mode="r")`` calls.
+
+    ``fault_plan`` is the opt-in chaos hook (:mod:`repro.faults`): when
+    installed, each received request is matched against the worker's
+    deterministic schedule and may crash / hang / delay the process or
+    drop / corrupt the reply.  When ``None`` — production — the two
+    fault branches below are never entered and the request path is
+    byte-identical to an unhardened loop.
     """
     from repro.api.facade import _resolve_estimator
     from repro.api.spec import IndexSpec
@@ -174,6 +280,7 @@ def _worker_main(conn, path: str, shard_ids: list[int], spec_doc: dict,
             stats.gauge_hooks["refreeze_seconds_total"] = lambda: float(
                 sum(ix.refreeze_seconds_total for ix in frozen)
             )
+        injector = fault_plan.for_worker(worker) if fault_plan else None
         conn.send(("ready", {s: indexes[s].n for s in shard_ids}))
     except BaseException as exc:
         with contextlib.suppress(OSError):
@@ -181,6 +288,12 @@ def _worker_main(conn, path: str, shard_ids: list[int], spec_doc: dict,
         return
 
     while True:
+        # The idle wait is bounded so this loop re-checks the pipe
+        # instead of blocking forever on a parent that vanished without
+        # a clean ``stop`` (the poll also satisfies the
+        # ``deadline-required`` lint contract for service code).
+        if not conn.poll(1.0):
+            continue
         try:
             message = conn.recv()
         except (EOFError, OSError):
@@ -188,6 +301,9 @@ def _worker_main(conn, path: str, shard_ids: list[int], spec_doc: dict,
         op = message[0]
         if op == "stop":
             break
+        fault = injector.next_fault() if injector is not None else None
+        if fault is not None and swallow_request(fault):
+            continue
         try:
             if op == "radius":
                 _, shards, queries, radius = message
@@ -239,7 +355,10 @@ def _worker_main(conn, path: str, shard_ids: list[int], spec_doc: dict,
             reply = ("error", f"{type(exc).__name__}: {exc}")
         stats.bytes_shipped += _payload_nbytes(message) + _payload_nbytes(reply)
         try:
-            conn.send(reply)
+            if fault is not None:
+                send_reply(conn, reply, fault)
+            else:
+                conn.send(reply)
         except (BrokenPipeError, OSError):
             break
     conn.close()
@@ -264,6 +383,14 @@ class WorkerPool:
         ``multiprocessing`` start method; default prefers ``fork``
         (instant worker start, inherited imports) and falls back to
         ``spawn`` where fork is unavailable.
+    policy:
+        The :class:`~repro.faults.FaultTolerancePolicy` governing recv
+        deadlines, the retry/backoff schedule, heartbeat cadence and
+        circuit-breaker thresholds; defaults are production-lenient.
+    fault_plan:
+        An optional deterministic :class:`~repro.faults.FaultPlan`
+        shipped to every worker at spawn time — chaos drills only;
+        ``None`` (the default) keeps workers on the production path.
 
     Examples
     --------
@@ -287,8 +414,10 @@ class WorkerPool:
         num_workers: int | None = None,
         owns_path: bool = False,
         start_method: str | None = None,
+        policy: FaultTolerancePolicy | None = None,
+        fault_plan=None,
     ) -> None:
-        from repro.api.persist import _GIDS_FILE, _META_FILE
+        from repro.api.persist import _GIDS_FILE, _META_FILE, _read_meta
         from repro.api.spec import IndexSpec
 
         meta_path = os.path.join(path, _META_FILE)
@@ -296,8 +425,7 @@ class WorkerPool:
             raise ConfigurationError(
                 f"no saved index at {path!r} (missing {_META_FILE})"
             )
-        with open(meta_path) as fh:
-            meta = json.load(fh)
+        meta = _read_meta(meta_path)
         if meta.get("layout", "dict") != "frozen":
             raise ConfigurationError(
                 "the process pool serves frozen-layout artifacts only "
@@ -306,6 +434,8 @@ class WorkerPool:
             )
         self.path = path
         self._owns_path = owns_path
+        self.policy = policy if policy is not None else FaultTolerancePolicy()
+        self._fault_plan = fault_plan
         self.spec = IndexSpec.from_dict(meta["spec"])
         self.metric_name = self.spec.metric
         self.metric = get_metric(self.metric_name)
@@ -318,11 +448,17 @@ class WorkerPool:
         self._dim = int(meta["dim"])
         gids_path = os.path.join(path, _GIDS_FILE)
         if self.num_shards > 1:
-            with np.load(gids_path, allow_pickle=False) as archive:
-                self._shard_gids = [
-                    np.asarray(archive[f"gids_{s:03d}"], dtype=np.int64)
-                    for s in range(self.num_shards)
-                ]
+            try:
+                with np.load(gids_path, allow_pickle=False) as archive:
+                    self._shard_gids = [
+                        np.asarray(archive[f"gids_{s:03d}"], dtype=np.int64)
+                        for s in range(self.num_shards)
+                    ]
+            except Exception as exc:
+                raise CorruptArtifactError(
+                    f"shard id map {gids_path!r} is unreadable ({exc}); "
+                    "the artifact is truncated or corrupt"
+                ) from exc
         else:
             self._shard_gids = [np.arange(int(meta["n"]), dtype=np.int64)]
         self._next_shard = int(meta.get("next_shard", 0)) % self.num_shards
@@ -342,12 +478,28 @@ class WorkerPool:
         self._workers: list = [None] * self.num_workers
         self._conns: list = [None] * self.num_workers
         self._locks = [threading.Lock() for _ in range(self.num_workers)]
-        #: parent-side transport counters (lifetime of the pool): bytes
-        #: of array payload shipped over the pipes in either direction,
-        #: and workers respawned after a crash.
+        #: per-worker circuit breakers, touched only under that worker's
+        #: lock (same discipline as the pipe itself).
+        self._breakers = [
+            _CircuitBreaker(
+                self.policy.breaker_threshold, self.policy.breaker_cooldown
+            )
+            for _ in range(self.num_workers)
+        ]
+        #: parent-side transport + failure counters (lifetime of the
+        #: pool), all guarded by ``_counter_lock``: payload bytes,
+        #: respawns (total and by cause), deadline hits, request
+        #: retries, and breaker-open transitions.
         self._counter_lock = threading.Lock()
         self.bytes_shipped = 0
         self.respawns = 0
+        self.worker_timeouts = 0
+        self.worker_retries = 0
+        self.breaker_opens = 0
+        self.respawns_by_cause: dict[str, int] = {}
+        #: deterministic jitter stream for retry backoff (seeded so two
+        #: runs of the same fault drill sleep identically).
+        self._jitter_rng = np.random.default_rng(self.policy.jitter_seed)
         #: per-worker replay log of (shard, points) inserts, in order —
         #: the only state a respawned worker cannot recover from disk.
         #: Guarded by ``_route_lock`` together with the routing state
@@ -360,12 +512,21 @@ class WorkerPool:
         self._fanout = ThreadPoolExecutor(
             max_workers=self.num_workers, thread_name_prefix="repro-pool"
         )
+        self._hb_stop = threading.Event()
+        self._hb_thread: threading.Thread | None = None
         try:
             for w in range(self.num_workers):
                 self._spawn(w)
         except BaseException:
             self.close()
             raise
+        if self.policy.heartbeat_interval > 0:
+            self._hb_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name="repro-heartbeat",
+                daemon=True,
+            )
+            self._hb_thread.start()
 
     # ------------------------------------------------------------------
     # Process management
@@ -384,11 +545,13 @@ class WorkerPool:
             target=_worker_main,
             args=(
                 child_conn,
+                worker,
                 self.path,
                 self.worker_shards(worker),
                 self.spec.to_dict(),
                 self.cost_model.alpha,
                 self.cost_model.beta,
+                self._fault_plan,
             ),
             name=f"repro-worker-{worker}",
             daemon=True,
@@ -396,16 +559,45 @@ class WorkerPool:
         process.start()
         child_conn.close()
         try:
-            ack = parent_conn.recv()
+            ack = _recv_with_deadline(
+                parent_conn, self.policy.startup_deadline,
+                f"worker {worker} startup ack",
+            )
+        except DeadlineExceededError as exc:
+            process.terminate()
+            process.join(timeout=5.0)
+            parent_conn.close()
+            raise WorkerError(
+                f"worker {worker} failed to start within "
+                f"{self.policy.startup_deadline}s"
+            ) from exc
         except (EOFError, OSError) as exc:
+            parent_conn.close()
             raise WorkerError(f"worker {worker} died during startup") from exc
         if not (isinstance(ack, tuple) and ack and ack[0] == "ready"):
+            process.terminate()
+            process.join(timeout=5.0)
+            parent_conn.close()
+            detail = ack[1] if isinstance(ack, tuple) and len(ack) > 1 else ack
+            if isinstance(detail, str) and "CorruptArtifactError" in detail:
+                # The worker's open failed on a torn artifact: surface
+                # the typed error the in-process open path raises.
+                raise CorruptArtifactError(
+                    f"worker {worker} failed to open shards: {detail}"
+                )
             raise WorkerError(f"worker {worker} failed to open shards: {ack!r}")
         self._workers[worker] = process
         self._conns[worker] = parent_conn
 
-    def _respawn_locked(self, worker: int) -> None:
-        """Replace a dead worker and replay its insert log (lock held)."""
+    def _respawn_locked(self, worker: int, cause: str = "crash") -> None:
+        """Replace a dead worker and replay its insert log (lock held).
+
+        ``cause`` labels the respawn in :attr:`respawns_by_cause`
+        (``crash`` / ``timeout`` / ``corrupt`` / ``heartbeat`` /
+        ``rollback``).  Killing before respawning is what recovers a
+        *hung* worker: the stale pipe is closed, so a late reply from
+        the old process can never desynchronise a future request.
+        """
         process = self._workers[worker]
         if process is not None and process.is_alive():
             process.terminate()
@@ -416,6 +608,9 @@ class WorkerPool:
         self._spawn(worker)
         with self._counter_lock:
             self.respawns += 1
+            self.respawns_by_cause[cause] = (
+                self.respawns_by_cause.get(cause, 0) + 1
+            )
         # Snapshot under the route lock: this worker's log cannot grow
         # mid-replay (appends hold the worker lock, which this method's
         # caller already holds), but ``save_shards`` may swap the whole
@@ -424,14 +619,69 @@ class WorkerPool:
             pending = list(self._insert_log[worker])
         for shard, points in pending:
             self._conns[worker].send(("insert", shard, points))
-            reply = self._conns[worker].recv()
+            reply = _recv_with_deadline(
+                self._conns[worker], self.policy.startup_deadline,
+                f"worker {worker} insert replay",
+            )
             if isinstance(reply, tuple) and reply and reply[0] == "error":
                 raise WorkerError(
                     f"worker {worker} failed to replay inserts: {reply[1]}"
                 )
 
+    def _roundtrip_locked(self, worker: int, message, deadline: float):
+        """One send/recv on the worker's pipe; failures are classified.
+
+        Raises :class:`_TransportFailure` with cause ``crash`` (the
+        pipe broke / the process is gone), ``timeout`` (no reply within
+        ``deadline`` — a hang or a dropped reply) or ``corrupt`` (bytes
+        arrived but would not deserialise — also chosen for an EOF from
+        a still-live process, the signature of a truncated payload).
+        """
+        conn = self._conns[worker]
+        try:
+            conn.send(message)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise _TransportFailure(
+                "crash", f"send to worker {worker} failed: {exc}"
+            ) from exc
+        try:
+            return _recv_with_deadline(
+                conn, deadline, f"worker {worker} reply"
+            )
+        except DeadlineExceededError as exc:
+            raise _TransportFailure("timeout", str(exc)) from exc
+        except (EOFError, OSError) as exc:
+            process = self._workers[worker]
+            alive = process is not None and process.is_alive()
+            cause = "corrupt" if alive and isinstance(exc, EOFError) else "crash"
+            raise _TransportFailure(
+                cause, f"worker {worker} reply stream broke: {exc!r}"
+            ) from exc
+        except Exception as exc:
+            raise _TransportFailure(
+                "corrupt",
+                f"worker {worker} reply failed to deserialise: {exc!r}",
+            ) from exc
+
+    def _op_deadline(self, message) -> float:
+        """The recv deadline for one op; slow ops borrow the startup budget."""
+        if message[0] in ("insert", "save_shard"):
+            return max(self.policy.recv_deadline, self.policy.startup_deadline)
+        return self.policy.recv_deadline
+
     def _request(self, worker: int, message, log_entry=None):
-        """One send/recv round trip, with a single respawn-and-retry.
+        """One pipe round trip under deadlines, bounded retries, a breaker.
+
+        Attempt flow (all inside the worker's lock): an open breaker
+        fails fast with :class:`~repro.exceptions.ShardUnavailableError`;
+        otherwise up to ``1 + max_retries`` transport attempts run, each
+        failure sleeping the jittered exponential backoff and then
+        killing-and-respawning the worker (insert log replayed) before
+        the re-send.  Exhausting the budget records a breaker failure
+        and raises ``ShardUnavailableError`` naming the worker's
+        shards; a worker-side ``("error", ...)`` reply is an
+        *application* error — the transport is healthy, so it counts as
+        breaker success and raises :class:`WorkerError` with no retry.
 
         ``log_entry`` (an insert-log record) is appended to the worker's
         replay log atomically with a successful reply, *inside* the
@@ -442,14 +692,59 @@ class WorkerPool:
         """
         if self._closed:
             raise ConfigurationError("the worker pool has been closed")
+        policy = self.policy
+        deadline = self._op_deadline(message)
+        attempts = 1 + policy.max_retries
         with self._locks[worker]:
-            try:
-                self._conns[worker].send(message)
-                reply = self._conns[worker].recv()
-            except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
-                self._respawn_locked(worker)
-                self._conns[worker].send(message)
-                reply = self._conns[worker].recv()
+            breaker = self._breakers[worker]
+            if not breaker.allow():
+                raise ShardUnavailableError(
+                    f"worker {worker} circuit breaker is open "
+                    f"(cooldown {policy.breaker_cooldown}s)",
+                    shards=tuple(self.worker_shards(worker)),
+                )
+            reply = None
+            last: _TransportFailure | None = None
+            for attempt in range(1, attempts + 1):
+                try:
+                    reply = self._roundtrip_locked(worker, message, deadline)
+                except _TransportFailure as failure:
+                    last = failure
+                    with self._counter_lock:
+                        if failure.cause == "timeout":
+                            self.worker_timeouts += 1
+                        if attempt < attempts:
+                            self.worker_retries += 1
+                    if attempt >= attempts:
+                        break
+                    with self._counter_lock:
+                        jitter = float(self._jitter_rng.random())
+                    time.sleep(policy.backoff_seconds(attempt, jitter))
+                    try:
+                        self._respawn_locked(worker, cause=failure.cause)
+                    except Exception as exc:
+                        last = _TransportFailure(
+                            "crash", f"worker {worker} respawn failed: {exc}"
+                        )
+                        break
+                else:
+                    last = None
+                    break
+            if last is not None:
+                if breaker.record_failure():
+                    with self._counter_lock:
+                        self.breaker_opens += 1
+                # Best-effort respawn so the *next* request (or the
+                # breaker's half-open probe) meets a fresh worker and a
+                # clean pipe rather than a stale, late reply.
+                with contextlib.suppress(Exception):
+                    self._respawn_locked(worker, cause=last.cause)
+                raise ShardUnavailableError(
+                    f"worker {worker} unavailable after {attempts} "
+                    f"attempt(s) ({last.cause}): {last}",
+                    shards=tuple(self.worker_shards(worker)),
+                )
+            breaker.record_success()
             if log_entry is not None and not (
                 isinstance(reply, tuple) and reply and reply[0] == "error"
             ):
@@ -463,6 +758,44 @@ class WorkerPool:
             raise WorkerError(reply[1])
         return reply
 
+    def _heartbeat_loop(self) -> None:
+        """Background liveness probe: ping idle workers, respawn the dead.
+
+        Runs only when ``policy.heartbeat_interval > 0``.  A worker
+        whose lock is busy is serving a request — the request path's own
+        deadline covers it — so the probe only pings workers it can
+        lock without waiting, keeping the heartbeat invisible to
+        foreground latency.
+        """
+        while not self._hb_stop.wait(self.policy.heartbeat_interval):
+            for w in range(self.num_workers):
+                if self._closed or self._hb_stop.is_set():
+                    return
+                if not self._locks[w].acquire(blocking=False):
+                    continue
+                try:
+                    if self._closed:
+                        return
+                    try:
+                        conn = self._conns[w]
+                        conn.send(("ping",))
+                        reply = _recv_with_deadline(
+                            conn, self.policy.recv_deadline,
+                            f"worker {w} heartbeat",
+                        )
+                        if reply != "pong":
+                            raise WorkerError(
+                                f"worker {w} heartbeat answered {reply!r}"
+                            )
+                    except Exception as exc:
+                        if isinstance(exc, DeadlineExceededError):
+                            with self._counter_lock:
+                                self.worker_timeouts += 1
+                        with contextlib.suppress(Exception):
+                            self._respawn_locked(w, cause="heartbeat")
+                finally:
+                    self._locks[w].release()
+
     def _fan_out(self, messages: dict[int, tuple]) -> dict[int, object]:
         """Send one message per worker concurrently; collect the replies."""
         futures = {
@@ -471,31 +804,78 @@ class WorkerPool:
         }
         return {w: future.result() for w, future in futures.items()}
 
+    def _fan_out_collect(self, messages: dict[int, tuple]):
+        """Fan out, harvesting per-worker failures instead of raising.
+
+        Returns ``(replies, failures)``: replies from the workers that
+        answered, and the :class:`~repro.exceptions.ShardUnavailableError`
+        / :class:`WorkerError` each failed worker raised.  Anything else
+        (e.g. a closed pool) propagates — those are caller bugs, not
+        degradable shard outages.
+        """
+        futures = {
+            w: self._fanout.submit(self._request, w, message)
+            for w, message in messages.items()
+        }
+        replies: dict[int, object] = {}
+        failures: dict[int, Exception] = {}
+        for w, future in futures.items():
+            try:
+                replies[w] = future.result()
+            except (ShardUnavailableError, WorkerError) as exc:
+                failures[w] = exc
+        return replies, failures
+
     def worker_pids(self) -> list[int]:
         """The live worker process ids (diagnostics and crash tests)."""
         return [p.pid for p in self._workers if p is not None]
 
     def worker_stats(self) -> list[dict]:
-        """Every worker's own stats snapshot, fetched via the ``stats`` op.
+        """Every *reachable* worker's stats snapshot, via the ``stats`` op.
 
         Each entry is a worker-local ``ServiceStats.as_dict()`` document
         — latency histogram, counters, bytes shipped over *its* pipe,
         and live gauges over its frozen shards (overflow size,
         re-freeze counters).  A worker respawned after a crash starts
         from zeroed counters; the parent's :attr:`respawns` records the
-        event.  Merge with ``ServiceStats.from_dict`` + ``merge`` for
-        the pool-wide aggregate (exact: shared histogram buckets).
+        event.  Workers that are down are skipped — telemetry must not
+        take the service with it.  Merge with ``ServiceStats.from_dict``
+        + ``merge`` for the pool-wide aggregate (exact: shared histogram
+        buckets).
         """
-        replies = self._fan_out(
+        replies, _failures = self._fan_out_collect(
             {w: ("stats",) for w in range(self.num_workers)}
         )
-        return [replies[w] for w in range(self.num_workers)]
+        return [replies[w] for w in sorted(replies)]
+
+    def failure_counters(self) -> dict:
+        """Snapshot of the parent-side failure telemetry (thread-safe)."""
+        with self._counter_lock:
+            return {
+                "worker_timeouts": self.worker_timeouts,
+                "worker_retries": self.worker_retries,
+                "breaker_opens": self.breaker_opens,
+                "respawns_by_cause": dict(self.respawns_by_cause),
+            }
+
+    def open_breaker_count(self) -> int:
+        """How many workers' circuit breakers are currently open.
+
+        Read without the worker locks: a racing transition flips a
+        single reference, so the count is only ever one step stale —
+        fine for a gauge, and it keeps metrics scrapes from queueing
+        behind a hung request's deadline.
+        """
+        return sum(1 for breaker in self._breakers if breaker.is_open)
 
     def close(self) -> None:
         """Stop every worker and release the artifact (idempotent)."""
         if self._closed:
             return
         self._closed = True
+        self._hb_stop.set()
+        if self._hb_thread is not None:
+            self._hb_thread.join(timeout=5.0)
         for w, conn in enumerate(self._conns):
             if conn is None:
                 continue
@@ -551,6 +931,7 @@ class WorkerPool:
         queries: np.ndarray,
         radius: float | None = None,
         trace: StageTrace | None = None,
+        allow_partial: bool = False,
     ) -> list[QueryResult]:
         """Answer a ``(q, d)`` matrix: one pipe round trip per worker.
 
@@ -558,6 +939,16 @@ class WorkerPool:
         :class:`~repro.service.batch.BatchQueryEngine` batch the thread
         path runs, so the merged answers are bit-identical to
         :meth:`ShardedHybridIndex.query_batch`.
+
+        With ``allow_partial=True`` an unrecoverable worker (retries
+        exhausted or breaker open) degrades the answer instead of
+        failing it: its shards contribute empty candidate sets and every
+        returned result is tagged ``degraded=True`` with the sorted
+        missing shard ids.  Without it — the default — such a worker
+        raises :class:`~repro.exceptions.ShardUnavailableError`, so a
+        *successful* return is always bit-identical to a fault-free
+        run.  If no worker answers at all, the error is raised even
+        under ``allow_partial``.
 
         With ``trace``, the fan-out round trip is attributed to the
         ``ipc`` stage — which *includes* the workers' compute, since the
@@ -568,27 +959,38 @@ class WorkerPool:
         radius = self._resolve_radius(radius)
         queries = check_matrix(queries, dim=self.dim, name="queries")
         with stage_timer(trace, "ipc"):
-            replies = self._fan_out(
+            replies, failures = self._fan_out_collect(
                 {
                     w: ("radius", self.worker_shards(w), queries, radius)
                     for w in range(self.num_workers)
                 }
             )
+        if failures and (not allow_partial or not replies):
+            raise failures[min(failures)]
         with stage_timer(trace, "merge"):
             per_shard = {}
             for reply in replies.values():
                 per_shard.update(reply)
-            return [
-                merge_radius_results(
-                    self._shard_gids,
-                    [
-                        _unpack_result(per_shard[s][qi], radius)
-                        for s in range(self.num_shards)
-                    ],
-                    radius,
+            missing = tuple(
+                sorted(s for w in failures for s in self.worker_shards(w))
+            )
+            results = []
+            for qi in range(queries.shape[0]):
+                shard_results = [
+                    _unpack_result(per_shard[s][qi], radius)
+                    if s in per_shard
+                    else _empty_result(radius)
+                    for s in range(self.num_shards)
+                ]
+                merged = merge_radius_results(
+                    self._shard_gids, shard_results, radius
                 )
-                for qi in range(queries.shape[0])
-            ]
+                if missing:
+                    merged = _dc_replace(
+                        merged, degraded=True, missing_shards=missing
+                    )
+                results.append(merged)
+            return results
 
     def shard_query_batch(
         self, shard: int, queries: np.ndarray, radius: float
@@ -620,13 +1022,24 @@ class WorkerPool:
         return self.query_topk_batch(np.asarray(query)[None, :], k)[0]
 
     def query_topk_batch(
-        self, queries: np.ndarray, k: int, trace: StageTrace | None = None
+        self,
+        queries: np.ndarray,
+        k: int,
+        trace: StageTrace | None = None,
+        allow_partial: bool = False,
     ) -> list[QueryResult]:
         """Exact k-NN: workers compute local distance blocks, parent selects.
 
         Same merge kernel as the thread path
         (:func:`~repro.core.linear_scan.exact_topk_results`), so the
         deterministic ``(distance, id)`` tie-breaking is shared.
+
+        Under ``allow_partial=True`` a dead worker shrinks the candidate
+        pool to the reachable shards: results carry up to
+        ``min(k, reachable points)`` neighbors and are tagged
+        ``degraded=True`` with the missing shard ids.  Without it, a
+        dead worker raises
+        :class:`~repro.exceptions.ShardUnavailableError`.
         """
         k = check_positive_int(k, "k")
         queries = check_matrix(queries, dim=self.dim, name="queries")
@@ -635,20 +1048,39 @@ class WorkerPool:
                 f"k ({k}) must not exceed the index size ({self.n})"
             )
         with stage_timer(trace, "ipc"):
-            replies = self._fan_out(
+            replies, failures = self._fan_out_collect(
                 {
                     w: ("topk_block", self.worker_shards(w), queries)
                     for w in range(self.num_workers)
                 }
             )
+        if failures and (not allow_partial or not replies):
+            raise failures[min(failures)]
         with stage_timer(trace, "merge"):
             blocks_by_shard = {}
             for reply in replies.values():
                 blocks_by_shard.update(reply)
-            blocks = [blocks_by_shard[s] for s in range(self.num_shards)]
-            return exact_topk_results(
-                np.concatenate(self._shard_gids), blocks, k, self.n
+            if not failures:
+                blocks = [blocks_by_shard[s] for s in range(self.num_shards)]
+                return exact_topk_results(
+                    np.concatenate(self._shard_gids), blocks, k, self.n
+                )
+            available = sorted(blocks_by_shard)
+            missing = tuple(
+                s for s in range(self.num_shards) if s not in blocks_by_shard
             )
+            gids = np.concatenate([self._shard_gids[s] for s in available])
+            n_avail = int(gids.size)
+            if n_avail == 0:
+                raise failures[min(failures)]
+            blocks = [blocks_by_shard[s] for s in available]
+            results = exact_topk_results(
+                gids, blocks, min(k, n_avail), n_avail
+            )
+            return [
+                _dc_replace(result, degraded=True, missing_shards=missing)
+                for result in results
+            ]
 
     # ------------------------------------------------------------------
     # Incremental inserts
@@ -699,7 +1131,8 @@ class WorkerPool:
                     self._insert_log[worker].pop()
             for worker in dict.fromkeys(touched):
                 with self._locks[worker]:
-                    self._respawn_locked(worker)
+                    with contextlib.suppress(Exception):
+                        self._respawn_locked(worker, cause="rollback")
             raise
         # Phase 2: all workers accepted — commit the routing state.
         with self._route_lock:
@@ -739,9 +1172,11 @@ class WorkerPool:
         the on-disk artifact the recovery point again; without periodic
         checkpoints an insert-heavy parent accumulates a copy of every
         routed batch for crash replay.  Queries keep working throughout
-        (the save writes via temp files + rename under the live mmaps).
+        (shard saves stage a complete sibling directory and atomically
+        swap it in under the live mmaps; the metadata rewrite is a
+        fsync'd rename too).
         """
-        from repro.api.persist import _META_FILE, write_shard_gids
+        from repro.api.persist import _META_FILE, _read_meta, write_shard_gids
 
         self.save_shards(self.path)
         if self.num_shards > 1:
@@ -749,14 +1184,10 @@ class WorkerPool:
         # Keep the metadata honest: n grows with inserts, and a
         # reopened single-shard pool derives its id map from it.
         meta_path = os.path.join(self.path, _META_FILE)
-        with open(meta_path) as fh:
-            meta = json.load(fh)
+        meta = _read_meta(meta_path)
         meta["n"] = self.n
         meta["next_shard"] = int(self._next_shard)
-        with open(meta_path + ".tmp", "w") as fh:
-            json.dump(meta, fh, indent=2)
-            fh.write("\n")
-        os.replace(meta_path + ".tmp", meta_path)
+        write_json_atomic(meta_path, meta)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,95 @@
+"""Crash-safe filesystem writes shared by the persistence layers.
+
+A crash (or an injected worker kill) between ``open`` and the final
+byte must never leave a half-written artifact where a complete one used
+to be.  Two primitives cover the repo's layouts:
+
+* :func:`write_bytes_atomic` / :func:`write_json_atomic` — single-file
+  writers: temp file in the same directory, ``fsync``, ``os.replace``,
+  then an ``fsync`` of the directory so the rename itself is durable.
+* :func:`commit_dir` — multi-file artifacts (frozen shard directories):
+  the caller stages a complete directory next to the target, then the
+  swap retires the old directory and renames the staged one in.  Live
+  ``mmap`` views of the old files stay valid (the inodes survive until
+  the mappings close); fresh opens see only complete artifacts.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import shutil
+from typing import Any
+
+__all__ = [
+    "fsync_directory",
+    "write_bytes_atomic",
+    "write_json_atomic",
+    "staging_path",
+    "commit_dir",
+]
+
+
+def fsync_directory(path: str) -> None:
+    """Flush a directory's entry table (best-effort on odd filesystems)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        with contextlib.suppress(OSError):
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_bytes_atomic(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` so readers see the old or new file, never a torn one."""
+    tmp = f"{path}.tmp-{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    fsync_directory(os.path.dirname(path) or ".")
+
+
+def write_json_atomic(path: str, doc: Any) -> None:
+    """Atomically write a JSON document (trailing newline included)."""
+    write_bytes_atomic(path, (json.dumps(doc, indent=2) + "\n").encode("utf-8"))
+
+
+def staging_path(path: str) -> str:
+    """The sibling staging directory for an atomic directory swap."""
+    return f"{path.rstrip(os.sep)}.tmp-{os.getpid()}"
+
+
+def commit_dir(staged: str, path: str) -> None:
+    """Swap a fully staged directory into place of ``path``.
+
+    The staged directory's contents must already be fsynced (the
+    single-file writers above do that).  An existing target is renamed
+    aside first and removed after the swap, so a crash leaves either
+    the old artifact, or the new one (possibly next to a stale
+    ``.old-*`` remnant a later save cleans up) — never a mixture.
+    """
+    fsync_directory(staged)
+    retired = f"{path.rstrip(os.sep)}.old-{os.getpid()}"
+    shutil.rmtree(retired, ignore_errors=True)
+    if os.path.isdir(path):
+        os.rename(path, retired)
+    try:
+        os.rename(staged, path)
+    except BaseException:
+        # Roll the old artifact back so the target never stays missing.
+        if os.path.isdir(retired) and not os.path.exists(path):
+            os.rename(retired, path)
+        raise
+    shutil.rmtree(retired, ignore_errors=True)
+    fsync_directory(os.path.dirname(path.rstrip(os.sep)) or ".")

@@ -1,0 +1,22 @@
+"""Fixture: unbounded pipe waits in a service/ module (deadline-required).
+
+Both shapes the rule forbids: a ``recv()`` with no bounded ``poll``
+guard anywhere in its function, and an explicit ``poll(None)``.
+"""
+
+
+def unguarded_recv(conn):
+    # No poll guard at all: a dead peer parks this thread forever.
+    return conn.recv()
+
+
+def explicit_unbounded_poll(conn):
+    if conn.poll(None):
+        return conn.recv()
+    return None
+
+
+def guarded_recv_is_fine(conn, seconds):
+    if not conn.poll(seconds):
+        raise TimeoutError("deadline")
+    return conn.recv()

@@ -28,6 +28,7 @@ RULE_FIXTURES = {
     "lock-discipline": FIXTURES / "locks_bad.py",
     "trace-stage": FIXTURES / "stages_bad.py",
     "spec-plumb": FIXTURES / "spec_plumb",
+    "deadline-required": FIXTURES / "service" / "deadline_bad.py",
 }
 
 
@@ -86,6 +87,17 @@ class TestTruePositives:
         assert len(findings) == 1  # metric and radius are consumed
         assert "IndexSpec.dead_knob" in findings[0].message
         assert findings[0].path.endswith("api/spec.py")
+
+    def test_deadline_required_reports_both_shapes(self):
+        findings = run_check(
+            [str(RULE_FIXTURES["deadline-required"])], enabled=["deadline-required"]
+        )
+        # unguarded recv, poll(None), and the recv behind poll(None);
+        # the poll(seconds)-guarded function reports nothing.
+        assert len(findings) == 3
+        blob = " ".join(f.message for f in findings)
+        assert "poll(None)" in blob
+        assert "no bounded" in blob
 
     def test_lock_discipline_points_at_the_bare_mutation(self):
         findings = run_check(

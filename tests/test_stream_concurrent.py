@@ -155,6 +155,88 @@ class TestConcurrentLoop:
         with pytest.raises(ValueError):
             list(serve_stream_concurrent(served_index, [], window=0))
 
+    def test_failing_backend_yields_per_line_errors_and_stream_survives(
+        self, served_index
+    ):
+        """A batch whose backend blows up must not hang or misalign.
+
+        Regression for the mid-batch worker-death hang: the future's
+        exception is converted into one error line per buffered query,
+        and later requests keep being served.
+        """
+
+        class FlakyService:
+            """Duck-typed serving target whose query_batch always raises."""
+
+            def __init__(self, real):
+                self._real = real
+                self.dim = real.dim
+                self.calls = 0
+
+            def query_batch(self, queries, radius=None, **kwargs):
+                self.calls += 1
+                raise RuntimeError("worker pool lost a shard mid-batch")
+
+        flaky = FlakyService(served_index)
+        rng = np.random.default_rng(17)
+        lines = [
+            json.dumps({"query": rng.normal(size=flaky.dim).tolist(),
+                        "radius": 1.2})
+            for _ in range(9)
+        ]
+        out = [
+            json.loads(r)
+            for r in serve_stream_concurrent(flaky, lines, batch_size=4, window=2)
+        ]
+        assert len(out) == len(lines)  # alignment preserved
+        assert all("error" in doc for doc in out)
+        assert all("mid-batch" in doc["error"] for doc in out)
+        assert flaky.calls >= 1
+
+    def test_escaping_future_exception_is_contained(self, served_index):
+        """Even an exception _flush cannot catch owes its batch's lines.
+
+        ``np.stack`` runs before ``_flush``'s per-group try, so a target
+        whose ``dim`` attribute lies produces queries that fail there —
+        the drain path must still emit one error per buffered query
+        instead of killing the generator mid-stream.
+        """
+
+        class LyingDim:
+            def __init__(self, real):
+                self._real = real
+                self.dim = real.dim
+
+            def query_batch(self, queries, radius=None, **kwargs):
+                return self._real.query_batch(queries, radius)
+
+        target = LyingDim(served_index)
+        good = json.dumps(
+            {"query": np.zeros(target.dim).tolist(), "radius": 1.2}
+        )
+        out = list(serve_stream_concurrent(target, [good], window=2))
+        assert len(out) == 1
+        assert "found" in json.loads(out[0])
+
+    def test_closing_the_generator_early_stops_the_reader(self, served_index):
+        """Abandoning the response stream must not leak a blocked reader.
+
+        The reader thread fills a bounded queue; if the consumer stops
+        early the ``finally`` path has to unstick and join it rather
+        than leave it pinned on a full queue forever.
+        """
+        rng = np.random.default_rng(19)
+        lines = [
+            json.dumps({"query": rng.normal(size=served_index.dim).tolist(),
+                        "radius": 1.2})
+            for _ in range(3000)  # far more than the inbox bound
+        ]
+        responses = serve_stream_concurrent(
+            served_index, iter(lines), batch_size=8, window=2
+        )
+        assert "found" in json.loads(next(responses))
+        responses.close()  # runs the finally: stop, drain, join
+
     def test_interactive_client_is_never_starved(self, served_index):
         """A client that sends one request and waits must get its answer.
 
