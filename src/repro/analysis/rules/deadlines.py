@@ -1,4 +1,4 @@
-"""Deadline rule: no unbounded pipe waits in the serving layer.
+"""Deadline rule: no unbounded pipe or socket waits in the serving layer.
 
 The fault-tolerance contract (PR 8) is that every blocking wait on a
 worker connection is bounded — a hung or killed worker must surface as
@@ -9,15 +9,23 @@ this rule makes the *pattern* load-bearing: inside ``service/``,
 
 * every ``<receiver>.recv()`` call must be preceded (in the same
   function) by a bounded ``<receiver>.poll(<timeout>)`` guard on the
-  textually identical receiver — the :func:`_recv_with_deadline`
-  shape — and
+  textually identical receiver — the ``recv_within`` shape the
+  transports use — or, for sockets, by a bounded
+  ``<receiver>.settimeout(<seconds>)``;
 * ``.poll(None)`` / ``.poll(timeout=None)`` is flagged outright, since
-  an explicit ``None`` timeout is just ``recv()`` with extra steps.
+  an explicit ``None`` timeout is just ``recv()`` with extra steps, and
+  ``.settimeout(None)`` is flagged for the same reason (it switches the
+  socket back to blocking mode);
+* the socket rendezvous calls ``.accept()`` and ``.connect()`` need the
+  same bounded ``settimeout`` guard — an unbounded accept parks the
+  listener thread, an unbounded connect parks a reconnect attempt on a
+  black-holed peer.  (``socket.create_connection`` takes an explicit
+  ``timeout=`` and is the preferred connect spelling.)
 
 A no-argument ``poll()`` is non-blocking and therefore counts as a
 guard.  Guards are matched per function scope (nested functions are
-separate scopes), so a ``poll`` in one code path cannot launder a
-``recv`` in an unrelated one elsewhere in the file.  Queue waits
+separate scopes), so a guard in one code path cannot launder a wait in
+an unrelated one elsewhere in the file.  Queue waits
 (``queue.Queue.get``) are out of scope — they take ``timeout=``
 kwargs the runtime code already uses — as is everything outside
 ``service/``.
@@ -32,8 +40,11 @@ from repro.analysis.core import Finding, Rule, SourceFile, register
 
 __all__ = ["DeadlineRequiredRule"]
 
-#: attribute names treated as blocking pipe reads.
+#: attribute names treated as blocking reads (pipe or socket).
 _RECV_NAMES = ("recv", "recv_bytes")
+
+#: socket rendezvous calls that block until the peer shows up.
+_RENDEZVOUS_NAMES = ("accept", "connect")
 
 
 def _scope_nodes(fn: ast.AST) -> Iterator[ast.AST]:
@@ -63,13 +74,14 @@ def _is_none_literal(node: ast.AST | None) -> bool:
 
 @register
 class DeadlineRequiredRule(Rule):
-    """Every pipe ``recv`` in service/ sits behind a bounded ``poll``."""
+    """Every pipe/socket wait in service/ sits behind a bounded guard."""
 
     id = "deadline-required"
     description = (
-        "serving-layer pipe reads must be deadline-bounded: recv() only "
-        "behind a bounded poll(timeout) on the same receiver, and "
-        "poll(None) is forbidden"
+        "serving-layer pipe and socket waits must be deadline-bounded: "
+        "recv() only behind a bounded poll(timeout) or settimeout(s) on "
+        "the same receiver, accept()/connect() only behind a bounded "
+        "settimeout(s), and poll(None)/settimeout(None) are forbidden"
     )
     path_suffixes = ("service/",)
 
@@ -82,8 +94,13 @@ class DeadlineRequiredRule(Rule):
                 yield from self._check_function(sf, node)
 
     def _check_function(self, sf: SourceFile, fn: ast.AST) -> Iterator[Finding]:
-        guarded: set[str] = set()
+        # Receivers with a bounded poll() guard (pipes) and with a
+        # bounded settimeout() guard (sockets); recv accepts either,
+        # the rendezvous calls require the socket one.
+        polled: set[str] = set()
+        timed: set[str] = set()
         recv_sites: list[tuple[ast.Call, str]] = []
+        rendezvous_sites: list[tuple[ast.Call, str]] = []
         for node in _scope_nodes(fn):
             if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
                 continue
@@ -98,16 +115,38 @@ class DeadlineRequiredRule(Rule):
                         "pass a bounded timeout",
                     )
                     continue
-                guarded.add(receiver)
+                polled.add(receiver)
+            elif node.func.attr == "settimeout":
+                timeout = node.args[0] if node.args else None
+                if timeout is None or _is_none_literal(timeout):
+                    yield self.finding(
+                        sf,
+                        node,
+                        f"{receiver}.settimeout(None) puts the socket back "
+                        "in unbounded blocking mode; pass a bounded timeout",
+                    )
+                    continue
+                timed.add(receiver)
             elif node.func.attr in _RECV_NAMES:
                 recv_sites.append((node, receiver))
+            elif node.func.attr in _RENDEZVOUS_NAMES:
+                rendezvous_sites.append((node, receiver))
         for node, receiver in recv_sites:
-            if receiver not in guarded:
+            if receiver not in polled and receiver not in timed:
                 yield self.finding(
                     sf,
                     node,
                     f"{receiver}.{node.func.attr}() has no bounded "
-                    f"{receiver}.poll(timeout) guard in this function; "
-                    "a dead or hung peer would block the serving thread "
-                    "forever",
+                    f"{receiver}.poll(timeout) or {receiver}.settimeout(s) "
+                    "guard in this function; a dead or hung peer would "
+                    "block the serving thread forever",
+                )
+        for node, receiver in rendezvous_sites:
+            if receiver not in timed:
+                yield self.finding(
+                    sf,
+                    node,
+                    f"{receiver}.{node.func.attr}() has no bounded "
+                    f"{receiver}.settimeout(s) guard in this function; an "
+                    "absent peer would block the serving thread forever",
                 )

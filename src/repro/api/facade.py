@@ -507,6 +507,7 @@ class Index:
         num_workers: int | None = None,
         fault_policy: FaultTolerancePolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        endpoints: list | None = None,
     ) -> Index:
         """Reopen an index saved by :meth:`save` (bit-identical answers).
 
@@ -516,7 +517,10 @@ class Index:
         overrides the pool width (default ``min(num_shards, cpus)``),
         ``fault_policy`` tunes the pool's deadlines / retries /
         breakers, ``fault_plan`` installs a deterministic chaos
-        schedule.  A torn or truncated artifact raises
+        schedule.  ``endpoints`` connects the pool to standalone shard
+        servers (``repro.cli shard-serve``) instead of spawning
+        processes — one ``"host:port,host:port"`` replica group per
+        worker slot.  A torn or truncated artifact raises
         :class:`~repro.exceptions.CorruptArtifactError`.
         """
         from repro.api.persist import open_index
@@ -526,6 +530,7 @@ class Index:
             num_workers=num_workers,
             fault_policy=fault_policy,
             fault_plan=fault_plan,
+            endpoints=endpoints,
         )
 
     def save(self, path: str) -> None:
@@ -611,6 +616,7 @@ class Index:
                 worker_timeouts=failure["worker_timeouts"],
                 worker_retries=failure["worker_retries"],
                 breaker_opens=failure["breaker_opens"],
+                replica_failovers=failure.get("replica_failovers", 0),
                 respawns_by_cause=failure["respawns_by_cause"],
             )
         doc = self.stats.as_dict()
@@ -917,14 +923,15 @@ def _as_process_pool(
         raise
     finally:
         index.close()
+    assert index.spec is not None  # build() always attaches the spec
     pool = WorkerPool(
         path,
         num_workers=num_workers,
         owns_path=True,
         policy=fault_policy,
         fault_plan=fault_plan,
+        replicas=index.spec.replicas,
     )
-    assert index.spec is not None  # build() always attaches the spec
     return Index(
         _ShardedBackend(pool), spec=index.spec, cache=_cache_from_spec(index.spec)
     )

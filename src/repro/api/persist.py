@@ -193,6 +193,7 @@ def open_index(
     num_workers: int | None = None,
     fault_policy: Any = None,
     fault_plan: Any = None,
+    endpoints: list[Any] | None = None,
 ) -> Any:
     """Reopen an index saved by :func:`save_index`.
 
@@ -206,7 +207,11 @@ def open_index(
     parent; ``num_workers`` overrides the pool width, ``fault_policy``
     (a :class:`~repro.faults.FaultTolerancePolicy`) tunes its deadlines
     / retries / breaker, and ``fault_plan`` installs a deterministic
-    :class:`~repro.faults.FaultPlan` for chaos drills.
+    :class:`~repro.faults.FaultPlan` for chaos drills.  ``endpoints``
+    connects the pool to already-running shard servers
+    (``repro.cli shard-serve``) over TCP instead of spawning local
+    worker processes — one ``"host:port,host:port"`` replica group per
+    worker slot.
     """
     from repro.api.facade import (
         Index,
@@ -232,6 +237,7 @@ def open_index(
             num_workers=num_workers,
             policy=fault_policy,
             fault_plan=fault_plan,
+            endpoints=endpoints,
         )
         return Index(_ShardedBackend(pool), spec=spec, cache=_cache_from_spec(spec))
     if num_workers is not None:
@@ -243,6 +249,11 @@ def open_index(
         raise ConfigurationError(
             "fault_policy/fault_plan apply to execution=\"processes\" indexes "
             f"only; this artifact was saved with execution={spec.execution!r}"
+        )
+    if endpoints is not None:
+        raise ConfigurationError(
+            "endpoints apply to execution=\"processes\" indexes only; "
+            f"this artifact was saved with execution={spec.execution!r}"
         )
     cost_model = CostModel(
         alpha=float(meta["cost_model"]["alpha"]), beta=float(meta["cost_model"]["beta"])

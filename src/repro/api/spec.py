@@ -40,6 +40,9 @@ JSON schema (all keys optional unless noted)::
       "execution":     "threads",      # shard fan-out: "threads" | "processes"
                                        # ("processes" = mmap'd worker pool;
                                        #  requires layout "frozen")
+      "replicas":      1,              # endpoints per worker slot; > 1
+                                       # replicates every shard for failover
+                                       # (requires execution "processes")
       "seed":          null            # master randomness (int for reproducibility)
     }
 """
@@ -103,6 +106,7 @@ class IndexSpec:
     variant: str = "plain"
     num_probes: int = 2
     execution: str = "threads"
+    replicas: int = 1
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -197,6 +201,12 @@ class IndexSpec:
             raise ConfigurationError(
                 'execution="processes" requires layout="frozen" — the worker '
                 "pool serves mmap'd frozen shard artifacts (zero-copy)"
+            )
+        set_(self, "replicas", check_positive_int(self.replicas, "replicas"))
+        if self.replicas > 1 and self.execution != "processes":
+            raise ConfigurationError(
+                'replicas > 1 requires execution="processes" — only the '
+                "worker pool runs independent endpoints per shard slot"
             )
         if self.seed is not None and (
             isinstance(self.seed, bool) or not isinstance(self.seed, int)

@@ -12,6 +12,9 @@ Usage::
     python -m repro.cli serve    --dataset corel [--shards 2] [--cache-size 512]
     python -m repro.cli serve    --index idx/ [--workers 4] [--inflight 4]
     python -m repro.cli serve    --index idx/ --stats-interval 10 [--stats-log stats.jsonl]
+    python -m repro.cli serve    --index idx/ --connect 127.0.0.1:7401 --connect 127.0.0.1:7402
+    python -m repro.cli shard-serve --artifact idx/ [--shards 0,2] [--port 7401]
+    python -m repro.cli loadgen  --index idx/ --rate 200 --duration 5 [--json out.json]
 
 Every experiment command prints the same text tables the benchmark
 harness emits, so results can be generated in CI logs or piped to
@@ -21,6 +24,14 @@ files.  ``build`` and ``serve`` are spec-driven (:mod:`repro.api`):
 otherwise from the flags — and persists it; ``serve`` speaks the
 :mod:`repro.service.stream` JSON-lines protocol on stdin/stdout over a
 freshly built or reopened index.
+
+``shard-serve`` exposes a saved artifact's shards over TCP (a
+standalone :class:`~repro.service.shard_server.ShardServer` process);
+``serve --connect HOST:PORT[,HOST:PORT]`` (one flag per worker slot,
+commas separating replicas of that slot) serves through such servers
+instead of spawning local workers.  ``loadgen`` offers open-loop
+Poisson load against a saved or connected index and reports tail
+latency (:mod:`repro.service.loadgen`).
 """
 
 from __future__ import annotations
@@ -145,6 +156,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "multi-probe sequential loop and reaches X times its QPS "
              "(CI regression gate; implies --include-multiprobe)",
     )
+    p_tp.add_argument(
+        "--allow-partial", action="store_true",
+        help="opt the workers row's queries into degraded answers "
+             "(requires --execution processes; answers stay bit-identical "
+             "on a healthy pool, only the partial-result bookkeeping is "
+             "charged)",
+    )
 
     p_build = sub.add_parser(
         "build", help="build a spec-driven index over a dataset and save it"
@@ -203,8 +221,83 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats-log", metavar="PATH", default=None,
         help="append the periodic stats lines to PATH instead of stderr",
     )
+    p_serve.add_argument(
+        "--allow-partial", action="store_true",
+        help="opt every query into degraded answers when shards are "
+             "unavailable (per-request \"allow_partial\" can widen but "
+             "never narrow this server-level default)",
+    )
+    p_serve.add_argument(
+        "--connect", action="append", default=None, metavar="HOST:PORT[,HOST:PORT]",
+        help="serve through standalone shard servers (repro.cli shard-serve) "
+             "instead of spawning local workers: one flag per worker slot, "
+             "commas separating that slot's replicas; requires --index",
+    )
     _add_spec_options(p_serve)
     _add_common(p_serve)
+
+    p_shard = sub.add_parser(
+        "shard-serve",
+        help="serve a saved artifact's shards over TCP (see serve --connect)",
+    )
+    p_shard.add_argument(
+        "--artifact", required=True, metavar="DIR",
+        help="saved execution='processes' index directory to serve from",
+    )
+    p_shard.add_argument(
+        "--shards", default=None, metavar="IDS",
+        help="comma-separated shard ids to open (default: all shards)",
+    )
+    p_shard.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_shard.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0: let the OS pick; the chosen port is "
+             "printed in the startup JSON line)",
+    )
+
+    p_lg = sub.add_parser(
+        "loadgen",
+        help="open-loop Poisson load against a saved index; tail latency out",
+    )
+    p_lg.add_argument("--index", required=True, metavar="DIR",
+                      help="saved index directory to drive")
+    p_lg.add_argument(
+        "--connect", action="append", default=None, metavar="HOST:PORT[,HOST:PORT]",
+        help="drive through standalone shard servers instead of spawning "
+             "local workers (same shape as serve --connect)",
+    )
+    p_lg.add_argument("--rate", type=float, default=100.0,
+                      help="offered load, requests/second")
+    p_lg.add_argument("--duration", type=float, default=5.0,
+                      help="run length, seconds")
+    p_lg.add_argument("--seed", type=int, default=0, help="workload seed")
+    p_lg.add_argument("--mode", choices=("radius", "topk"), default="radius",
+                      help="query kind to offer")
+    p_lg.add_argument("--k", type=int, default=10, help="k for --mode topk")
+    p_lg.add_argument("--radius", type=float, default=None,
+                      help="radius for --mode radius (default: the index's)")
+    p_lg.add_argument(
+        "--allow-partial", action="store_true",
+        help="opt requests into degraded answers instead of failures when "
+             "a whole replica set is down",
+    )
+    p_lg.add_argument("--concurrency", type=int, default=8,
+                      help="driver threads sharing the arrival schedule")
+    p_lg.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-op worker reply deadline (FaultTolerancePolicy override)",
+    )
+    p_lg.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="transport-failure retries per request",
+    )
+    p_lg.add_argument("--json", metavar="PATH", default=None,
+                      help="write the full result document to PATH")
+    p_lg.add_argument(
+        "--samples", action="store_true",
+        help="keep the per-request [arrival, latency] samples in the "
+             "output (they dominate the file size)",
+    )
 
     return parser
 
@@ -325,6 +418,8 @@ def _cmd_throughput(args: argparse.Namespace) -> None:
         # Same policy as Index.build/open: dropping the flag silently
         # would let the user believe the pool was measured.
         sys.exit("error: --workers requires --execution processes")
+    if args.allow_partial and args.execution != "processes":
+        sys.exit("error: --allow-partial requires --execution processes")
     points, queries, radius = mixed_workload(
         args.n, dim=args.dim, num_queries=args.queries, seed=args.seed
     )
@@ -345,6 +440,7 @@ def _cmd_throughput(args: argparse.Namespace) -> None:
         num_workers=args.workers,
         include_multiprobe=include_multiprobe,
         num_probes=args.probes,
+        allow_partial=args.allow_partial,
     )
     title = (
         f"Serving throughput: n = {args.n}, d = {args.dim}, "
@@ -518,7 +614,7 @@ def _fault_policy_from_args(args: argparse.Namespace):
         overrides["recv_deadline"] = args.deadline
     if args.retries is not None:
         overrides["max_retries"] = args.retries
-    if args.heartbeat is not None:
+    if getattr(args, "heartbeat", None) is not None:
         overrides["heartbeat_interval"] = args.heartbeat
     if not overrides:
         return None
@@ -537,13 +633,16 @@ def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
     stdout = sys.stdout if stdout is None else stdout
     if args.inflight < 1:
         sys.exit("error: --inflight must be >= 1")
+    if args.connect and not args.index:
+        sys.exit("error: --connect requires --index (the artifact carries "
+                 "the spec and shard map the client merges with)")
     fault_policy = _fault_policy_from_args(args)
     if args.index:
         # A saved index carries its own spec; accepting build flags here
         # and ignoring them would silently serve a different policy than
-        # the operator asked for.  (--workers, --inflight, and the
-        # --stats-* telemetry flags are runtime knobs, not spec fields,
-        # so they stay allowed.)
+        # the operator asked for.  (--workers, --inflight, --connect,
+        # --allow-partial, and the --stats-* telemetry flags are runtime
+        # knobs, not spec fields, so they stay allowed.)
         conflicting = [
             flag
             for flag, given in (
@@ -567,7 +666,10 @@ def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
             )
         try:
             index = Index.open(
-                args.index, num_workers=args.workers, fault_policy=fault_policy
+                args.index,
+                num_workers=args.workers,
+                fault_policy=fault_policy,
+                endpoints=args.connect,
             )
         except ConfigurationError as exc:
             sys.exit(f"error: {exc}")
@@ -591,12 +693,20 @@ def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
     )
     if args.inflight > 1:
         responses = serve_stream_concurrent(
-            index, stdin, batch_size=args.batch_size, window=args.inflight
+            index,
+            stdin,
+            batch_size=args.batch_size,
+            window=args.inflight,
+            default_allow_partial=args.allow_partial,
         )
     else:
         lines, more_ready = _line_stream_with_probe(stdin)
         responses = serve_stream(
-            index, lines, batch_size=args.batch_size, more_ready=more_ready
+            index,
+            lines,
+            batch_size=args.batch_size,
+            more_ready=more_ready,
+            default_allow_partial=args.allow_partial,
         )
     stop_stats = _start_stats_reporter(
         index, getattr(args, "stats_interval", 0.0), getattr(args, "stats_log", None)
@@ -606,6 +716,102 @@ def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
             print(response, file=stdout, flush=True)
     finally:
         stop_stats()
+
+
+def _cmd_shard_serve(args: argparse.Namespace) -> None:
+    """Serve a saved artifact's shards over TCP until interrupted.
+
+    Prints exactly one JSON line on stdout once the listener is bound —
+    ``{"host": ..., "port": ..., "shards": [...], "pid": ...}`` — so a
+    launcher (or CI script) can parse the chosen port and shard set,
+    then blocks in the accept loop.  SIGINT/Ctrl-C shuts down cleanly.
+    """
+    import os
+
+    from repro.exceptions import ConfigurationError
+    from repro.service.shard_server import ShardServer
+
+    shard_ids = None
+    if args.shards is not None:
+        try:
+            shard_ids = [int(s) for s in args.shards.split(",") if s.strip()]
+        except ValueError:
+            sys.exit(f"error: --shards must be comma-separated ints, got {args.shards!r}")
+        if not shard_ids:
+            sys.exit("error: --shards named no shard ids")
+    try:
+        server = ShardServer(
+            args.artifact, shard_ids=shard_ids, host=args.host, port=args.port
+        )
+    except (ConfigurationError, OSError) as exc:
+        sys.exit(f"error: {exc}")
+    print(
+        json.dumps(
+            {
+                "host": server.host,
+                "port": server.port,
+                "shards": server.shard_ids,
+                "pid": os.getpid(),
+            }
+        ),
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> None:
+    """Offer open-loop load against a saved (or connected) index."""
+    from repro.api import Index
+    from repro.exceptions import ConfigurationError
+    from repro.service.loadgen import run_loadgen
+
+    fault_policy = _fault_policy_from_args(args)
+    try:
+        index = Index.open(
+            args.index, fault_policy=fault_policy, endpoints=args.connect
+        )
+    except ConfigurationError as exc:
+        sys.exit(f"error: {exc}")
+    try:
+        doc = run_loadgen(
+            index,
+            rate=args.rate,
+            duration=args.duration,
+            seed=args.seed,
+            mode=args.mode,
+            k=args.k,
+            radius=args.radius,
+            allow_partial=args.allow_partial,
+            concurrency=args.concurrency,
+        )
+    except ValueError as exc:
+        sys.exit(f"error: {exc}")
+    finally:
+        index.close()
+    if not args.samples:
+        doc.pop("samples", None)
+    latency = doc["latency"]
+    print(
+        f"loadgen: {doc['requests']} requests at {doc['rate']:g}/s for "
+        f"{doc['duration']:g}s -> {doc['failures']} failures, "
+        f"{doc['degraded']} degraded; "
+        f"p50 {latency['p50_ms'] or float('nan'):.2f}ms, "
+        f"p95 {latency['p95_ms'] or float('nan'):.2f}ms, "
+        f"p99 {latency['p99_ms'] or float('nan'):.2f}ms",
+        file=sys.stderr,
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    else:
+        print(json.dumps(doc))
 
 
 def _start_stats_reporter(index, interval: float, log_path: str | None):
@@ -715,6 +921,8 @@ _COMMANDS = {
     "throughput": _cmd_throughput,
     "build": _cmd_build,
     "serve": _cmd_serve,
+    "shard-serve": _cmd_shard_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -223,6 +223,7 @@ def throughput_experiment(
     num_workers: int | None = None,
     include_multiprobe: bool = False,
     num_probes: int = 2,
+    allow_partial: bool = False,
 ) -> list[ThroughputRow]:
     """Measure sequential / batched / sharded QPS on one workload.
 
@@ -246,6 +247,12 @@ def throughput_experiment(
     path.  ``frozen_multiprobe.matches`` asserts bit-identity against
     the multi-probe sequential loop, and its ``speedup`` is relative to
     that loop.
+
+    ``allow_partial=True`` opts the ``workers`` row's queries into
+    degraded answers (the serving deployment's ``--allow-partial``
+    posture).  On a healthy pool no shard is ever missing, so the row's
+    ``matches`` flag still asserts full bit-identity — the knob charges
+    the partial-result bookkeeping, not a different answer.
     """
     if cost_model is None:
         from repro.core.calibration import calibrate_cost_model
@@ -344,6 +351,7 @@ def throughput_experiment(
             seed=seed,
             repeats=repeats,
             num_workers=num_workers,
+            allow_partial=allow_partial,
         )
 
     def row(
@@ -535,6 +543,7 @@ def _measure_workers(
     seed: RandomState,
     repeats: int,
     num_workers: int | None,
+    allow_partial: bool = False,
 ) -> tuple[float, list[QueryResult], LatencyHistogram]:
     """Build, persist and time the process-pool serving mode.
 
@@ -542,6 +551,9 @@ def _measure_workers(
     model, is saved to a transient artifact, and reopened behind the
     worker pool (``execution="processes"``); build, save and pool
     startup are excluded from the timing, like every other mode.
+    ``allow_partial`` opts the timed queries into degraded answers; on
+    a healthy pool the answers are unchanged, only the partial-result
+    bookkeeping is charged.
     """
     import shutil
     import tempfile
@@ -574,12 +586,14 @@ def _measure_workers(
         front.close()
         workers_front = Index.open(path, num_workers=num_workers)
         try:
-            workers_front.query_batch(queries[:2], radius)  # warm the pipes
+            kwargs = {"allow_partial": True} if allow_partial else {}
+            workers_front.query_batch(queries[:2], radius, **kwargs)  # warm the pipes
             seconds, results = _time_best(
-                lambda: workers_front.query_batch(queries, radius), repeats
+                lambda: workers_front.query_batch(queries, radius, **kwargs), repeats
             )
             latency = _latency_pass(
-                lambda q: workers_front.query_batch(q[None, :], radius), queries
+                lambda q: workers_front.query_batch(q[None, :], radius, **kwargs),
+                queries,
             )
             return seconds, results, latency
         finally:

@@ -1,15 +1,17 @@
 """Worker-side fault application: the opt-in hook the main loop calls.
 
-These helpers live here — not in :mod:`repro.service.workers` — so the
-worker loop stays two ``if fault is not None`` branches and the
+These helpers live here — not in :mod:`repro.service.shard_server` — so
+the serving loop stays two ``if fault is not None`` branches and the
 production path (no plan installed) never touches this module's logic.
 ``swallow_request`` runs before the op executes (crash / hang / slow
 pacing); ``send_reply`` replaces the plain ``conn.send`` on the reply
-side (drop / corrupt framing).
+side (drop / corrupt payload / and the transport-level kinds:
+disconnect, slow link, corrupt frame).
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 import time
@@ -33,7 +35,9 @@ def swallow_request(fault: FaultSpec) -> bool:
     ``CRASH`` never returns (the process exits).  ``HANG`` sleeps — the
     parent's deadline fires and terminates the process mid-sleep — and
     asks the caller to swallow the request should it ever wake.
-    ``SLOW`` sleeps, then lets the request proceed normally.
+    ``SLOW`` sleeps, then lets the request proceed normally.  The
+    reply-side kinds (including the transport-level ones) fall through:
+    the request executes and :func:`send_reply` applies them.
     """
     if fault.kind is FaultKind.CRASH:
         os._exit(FAULT_EXIT_CODE)
@@ -49,13 +53,35 @@ def send_reply(conn: Any, reply: object, fault: FaultSpec) -> None:
     """Send ``reply`` through the fault's framing behaviour.
 
     ``DROP`` sends nothing (the parent's deadline detects it);
-    ``CORRUPT`` ships a truncated pickle so the parent's ``recv``
-    raises mid-deserialisation; every other kind sends normally.
+    ``CORRUPT`` ships a truncated pickle so the parent's decode fails
+    mid-deserialisation; ``DISCONNECT`` closes the connection instead
+    of replying (the serving loop then winds the session down, but a
+    :class:`~repro.service.shard_server.ShardServer` stays up for
+    reconnects); ``SLOW_LINK`` delays the reply in the framing layer;
+    ``CORRUPT_FRAME`` breaks the frame checksum where the connection
+    supports it (TCP) and degrades to the truncated-pickle corruption
+    where it does not (pipes have no checksums); every other kind sends
+    normally.
     """
     if fault.kind is FaultKind.DROP:
         return
     if fault.kind is FaultKind.CORRUPT:
         payload = pickle.dumps(reply)
         conn.send_bytes(payload[: max(1, len(payload) // 3)])
+        return
+    if fault.kind is FaultKind.DISCONNECT:
+        with contextlib.suppress(OSError):
+            conn.close()
+        return
+    if fault.kind is FaultKind.SLOW_LINK:
+        time.sleep(fault.seconds)
+        conn.send(reply)
+        return
+    if fault.kind is FaultKind.CORRUPT_FRAME:
+        if hasattr(conn, "send_corrupt"):
+            conn.send_corrupt(reply)
+        else:
+            payload = pickle.dumps(reply)
+            conn.send_bytes(payload[: max(1, len(payload) // 3)])
         return
     conn.send(reply)

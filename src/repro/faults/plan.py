@@ -3,14 +3,31 @@
 A :class:`FaultPlan` is an immutable, picklable value built either from
 an explicit script (:meth:`FaultPlan.scripted`) or from a seeded random
 draw (:meth:`FaultPlan.seeded`); the pool ships it to each worker at
-spawn time.  Workers count the requests they receive and consult their
-:class:`FaultInjector` before answering each one, so a schedule like
-"worker 1 crashes on its 3rd request" reproduces exactly across runs.
+spawn time (and a :class:`~repro.service.shard_server.ShardServer` can
+be constructed with one directly).  Workers count the requests they
+receive and consult their :class:`FaultInjector` before answering each
+one, so a schedule like "worker 1 crashes on its 3rd request"
+reproduces exactly across runs.
 
-Request indices are counted per worker *process*: a respawned worker
-starts counting from zero again, which means a long-``repeat`` fault
-models a persistently sick worker (it misbehaves again after every
-recovery) while a short one models a transient glitch.
+How request indices are counted is governed by each spec's ``scope``:
+
+* ``scope="process"`` (the default, and the historical behaviour) —
+  indices restart from zero in every worker process/session.  A
+  long-``repeat`` fault at a low index models a *persistently sick*
+  endpoint: it misbehaves again after every recovery, because the
+  respawned process counts from zero and re-enters the window.
+* ``scope="lifetime"`` — indices accumulate across respawns and
+  reconnects (the pool threads the endpoint's running op count into
+  each new injector via ``start``).  An ``op_index=0`` crash with
+  ``scope="lifetime"`` fires exactly once in the endpoint's life: the
+  respawned process resumes counting *past* the window, modelling a
+  transient glitch rather than a permanent outage.
+
+With replica sets, ``replica=None`` (the default) matches every replica
+of the target worker slot — the pre-replica behaviour — while an
+explicit ``replica`` index pins the fault to one endpoint, which is how
+failover drills break a single replica and assert the others carry the
+slot.
 """
 
 from __future__ import annotations
@@ -24,6 +41,9 @@ from repro.exceptions import ConfigurationError
 
 __all__ = ["FaultKind", "FaultSpec", "FaultPlan", "FaultInjector"]
 
+#: valid values for :attr:`FaultSpec.scope`.
+_SCOPES = ("process", "lifetime")
+
 
 class FaultKind(str, enum.Enum):
     """How a scheduled fault manifests inside the worker."""
@@ -34,10 +54,21 @@ class FaultKind(str, enum.Enum):
     HANG = "hang"
     #: the reply is delayed by ``seconds`` but otherwise correct.
     SLOW = "slow"
-    #: the reply payload is truncated mid-pickle on the pipe.
+    #: the reply payload is truncated mid-pickle on the wire.
     CORRUPT = "corrupt"
     #: the reply is silently dropped; the worker stays alive.
     DROP = "drop"
+    #: transport-level: the connection is closed instead of replying —
+    #: the peer survives and accepts reconnects (a network partition's
+    #: signature, distinct from a crash).
+    DISCONNECT = "disconnect"
+    #: transport-level: the reply is delayed by ``seconds`` in the
+    #: framing layer (a congested or lossy link, not a slow compute).
+    SLOW_LINK = "slow_link"
+    #: transport-level: the reply frame's checksum is broken so the
+    #: receiver rejects it at the framing gate (over a pipe, which has
+    #: no checksums, this degrades to a truncated payload).
+    CORRUPT_FRAME = "corrupt_frame"
 
 
 @dataclass(frozen=True)
@@ -46,9 +77,13 @@ class FaultSpec:
 
     ``repeat`` widens the window: the fault fires for every request
     index in ``[op_index, op_index + repeat)``.  ``seconds`` is the
-    sleep for :attr:`FaultKind.SLOW` and :attr:`FaultKind.HANG` (a hang
-    with ``seconds=0`` sleeps effectively forever and relies on the
-    parent's deadline to kill it).
+    sleep for the delay-bearing kinds (:attr:`FaultKind.SLOW`,
+    :attr:`FaultKind.HANG`, :attr:`FaultKind.SLOW_LINK`; a hang with
+    ``seconds=0`` sleeps effectively forever and relies on the parent's
+    deadline to kill it).  ``scope`` selects per-process or
+    endpoint-lifetime request counting (see the module docstring) and
+    ``replica`` optionally pins the fault to one replica of the worker
+    slot (``None`` matches all).
     """
 
     kind: FaultKind
@@ -56,6 +91,8 @@ class FaultSpec:
     op_index: int
     seconds: float = 0.0
     repeat: int = 1
+    scope: str = "process"
+    replica: int | None = None
 
     def __post_init__(self) -> None:
         if self.worker < 0:
@@ -66,6 +103,14 @@ class FaultSpec:
             raise ConfigurationError(f"repeat must be >= 1, got {self.repeat}")
         if not self.seconds >= 0:
             raise ConfigurationError(f"seconds must be >= 0, got {self.seconds}")
+        if self.scope not in _SCOPES:
+            raise ConfigurationError(
+                f"scope must be one of {_SCOPES}, got {self.scope!r}"
+            )
+        if self.replica is not None and self.replica < 0:
+            raise ConfigurationError(
+                f"replica must be >= 0 or None, got {self.replica}"
+            )
 
     def covers(self, op_index: int) -> bool:
         """Whether this fault fires for the given request index."""
@@ -115,6 +160,8 @@ class FaultPlan:
         probability ``rate``; the kind is drawn uniformly from
         ``kinds`` and sleep-bearing kinds get a delay in
         ``(0, max_delay]``.  The same seed always yields the same plan.
+        The transport kinds are not in the default pool — add them to
+        ``kinds`` explicitly to soak the framing layer too.
         """
         if num_workers < 1:
             raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
@@ -132,17 +179,32 @@ class FaultPlan:
                     continue
                 kind = kinds[int(rng.integers(len(kinds)))]
                 seconds = 0.0
-                if kind in (FaultKind.SLOW, FaultKind.HANG):
+                if kind in (FaultKind.SLOW, FaultKind.HANG, FaultKind.SLOW_LINK):
                     seconds = float(max_delay) * float(rng.random())
                 specs.append(
                     FaultSpec(kind, worker=worker, op_index=op_index, seconds=seconds)
                 )
         return cls(specs=tuple(specs))
 
-    def for_worker(self, worker: int) -> FaultInjector:
-        """The injector a worker consults on every request it receives."""
+    def for_worker(
+        self, worker: int, replica: int = 0, start: int = 0
+    ) -> FaultInjector:
+        """The injector one endpoint consults on every request it receives.
+
+        ``replica`` selects which replica of the worker slot this
+        endpoint is (specs with ``replica=None`` match every replica);
+        ``start`` is the endpoint's lifetime op count so far — a fresh
+        process/session passes the count its predecessors consumed, and
+        ``scope="lifetime"`` specs are matched against ``start + index``
+        while ``scope="process"`` specs see the session-local ``index``.
+        """
         return FaultInjector(
-            tuple(spec for spec in self.specs if spec.worker == worker)
+            tuple(
+                spec
+                for spec in self.specs
+                if spec.worker == worker and spec.replica in (None, replica)
+            ),
+            start=start,
         )
 
     def __bool__(self) -> bool:
@@ -150,25 +212,29 @@ class FaultPlan:
 
 
 class FaultInjector:
-    """Per-worker request counter matching requests against the plan.
+    """Per-endpoint request counter matching requests against the plan.
 
     ``next_fault()`` is called exactly once per received request; the
-    first listed spec covering the current index wins.
+    first listed spec covering the current index wins.  ``start`` seeds
+    the lifetime index for ``scope="lifetime"`` specs; the session-local
+    index always begins at zero.
     """
 
-    def __init__(self, specs: tuple[FaultSpec, ...]) -> None:
+    def __init__(self, specs: tuple[FaultSpec, ...], start: int = 0) -> None:
         self._specs = specs
+        self._start = int(start)
         self._op_index = 0
 
     @property
     def op_index(self) -> int:
-        """Requests consumed so far (the next request's index)."""
+        """Requests consumed this session (the next request's index)."""
         return self._op_index
 
     def next_fault(self) -> FaultSpec | None:
         index = self._op_index
         self._op_index += 1
         for spec in self._specs:
-            if spec.covers(index):
+            effective = index if spec.scope == "process" else self._start + index
+            if spec.covers(effective):
                 return spec
         return None

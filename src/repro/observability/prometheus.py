@@ -33,6 +33,7 @@ _COUNTERS = {
     "worker_retries": ("repro_worker_retries_total", "Requests re-sent after a worker transport failure."),
     "degraded_responses": ("repro_degraded_responses_total", "Responses served with one or more shards missing."),
     "breaker_opens": ("repro_breaker_opens_total", "Per-worker circuit breakers tripped open."),
+    "replica_failovers": ("repro_replica_failovers_total", "Reads re-routed to a surviving replica after a transport failure."),
 }
 
 _GAUGES = {

@@ -21,6 +21,11 @@ preserving the paper's semantics exactly:
   worker *processes*, each opening the saved frozen shards zero-copy
   via ``np.load(mmap_mode="r")``, with exact parent-side merges —
   bit-identical to the thread fan-out (``IndexSpec(execution="processes")``).
+  The pool talks to its shards through a :class:`ShardTransport` —
+  :class:`PipeTransport` for locally spawned workers,
+  :class:`TcpTransport` for standalone :class:`ShardServer` processes
+  (``python -m repro.cli shard-serve``) — and can fan reads across
+  replica endpoints with automatic failover.
 * :class:`QueryService` — the legacy serving facade, now a thin
   delegate over :class:`repro.api.Index`; :func:`serve_stream` speaks
   a JSON-lines request/response protocol over an ``Index`` or a
@@ -35,16 +40,22 @@ builds on; new code should start from :class:`repro.api.Index`.
 from repro.service.batch import BatchQueryEngine
 from repro.service.cache import QueryResultCache
 from repro.service.service import QueryService, ServiceStats
+from repro.service.shard_server import ShardServer
 from repro.service.sharded import ShardedHybridIndex
 from repro.service.stream import serve_stream, serve_stream_concurrent
+from repro.service.transport import PipeTransport, ShardTransport, TcpTransport
 from repro.service.workers import WorkerPool
 
 __all__ = [
     "BatchQueryEngine",
-    "ShardedHybridIndex",
+    "PipeTransport",
     "QueryResultCache",
     "QueryService",
     "ServiceStats",
+    "ShardServer",
+    "ShardTransport",
+    "ShardedHybridIndex",
+    "TcpTransport",
     "WorkerPool",
     "serve_stream",
     "serve_stream_concurrent",

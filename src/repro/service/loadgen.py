@@ -1,0 +1,208 @@
+"""Open-loop load generator: Poisson arrivals, tail-latency accounting.
+
+Closed-loop benchmarks (issue a query, wait, issue the next) hide the
+very thing a tail-latency study cares about: when the server stalls —
+a worker crash mid-failover, a GC pause, a slow link — a closed loop
+simply stops offering load, so the stall never shows up in the
+percentiles (*coordinated omission*).  This generator is open-loop:
+request arrival times are drawn up front from a Poisson process at the
+target ``rate`` and each request's latency is measured from its
+**scheduled arrival**, not from when a worker thread got around to
+sending it.  A stalled server therefore accrues queueing delay into
+every request scheduled during the stall, which is exactly the p99
+blip the failover drills bound.
+
+:func:`run_loadgen` drives an :class:`repro.api.Index` (local pool or
+TCP-connected shard servers alike — it only uses the public query
+surface) and returns a JSON-safe document::
+
+    {
+      "schema": "repro-loadgen/1",
+      "rate": 200.0, "duration": 5.0, "seed": 0, "mode": "radius",
+      "allow_partial": false,
+      "requests": 1000, "failures": 0, "degraded": 0,
+      "achieved_rate": 199.3,
+      "latency": {"p50_ms": ..., "p95_ms": ..., "p99_ms": ..., "max_ms": ...},
+      "timeline": [{"second": 0, "count": 201, "failures": 0, "max_ms": ...}, ...],
+      "samples": [[arrival_seconds, latency_ms], ...]
+    }
+
+``timeline`` buckets per wall-clock second make a mid-run fault
+visible as a localised latency spike; ``samples`` carries every
+(arrival, latency) pair so downstream analysis can recompute any
+quantile (the CLI strips it unless asked, it dominates the file size).
+
+Everything is seeded: the arrival schedule and the query vectors come
+from one ``default_rng(seed)``, so two runs against the same index
+offer byte-identical workloads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["run_loadgen"]
+
+#: Latency recorded for a request that raised instead of answering —
+#: the failure still consumed its scheduled slot, so it stays in the
+#: timeline (but not in the latency percentiles, which describe
+#: *answered* requests).
+_FAILURE_SENTINEL = -1.0
+
+
+def _quantile_ms(latencies: np.ndarray, q: float) -> float:
+    return float(np.quantile(latencies, q) * 1e3)
+
+
+def run_loadgen(
+    index: Any,
+    *,
+    rate: float,
+    duration: float,
+    seed: int = 0,
+    mode: str = "radius",
+    k: int = 10,
+    radius: float | None = None,
+    allow_partial: bool = False,
+    concurrency: int = 8,
+) -> dict[str, Any]:
+    """Offer ``rate`` req/s of single-query load for ``duration`` seconds.
+
+    ``mode="radius"`` issues rNNR queries (``radius=None`` uses the
+    index's spec default), ``mode="topk"`` issues exact top-``k``
+    queries.  ``allow_partial`` opts every request into degraded
+    answers — with it, a request that lost a whole replica set still
+    *answers* (and counts under ``"degraded"``); without it, such
+    requests raise and count under ``"failures"``.
+
+    ``concurrency`` worker threads share the arrival schedule; each
+    claims the next arrival index, sleeps until its scheduled time and
+    issues the query.  If all workers are busy when an arrival comes
+    due, the request starts late and its measured latency includes the
+    wait — by design (see the module docstring on coordinated
+    omission).  Size ``concurrency`` so that
+    ``rate * typical_latency < concurrency`` or the generator itself
+    becomes the bottleneck.
+    """
+    from repro.api.spec import QuerySpec
+
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0 requests/second, got {rate}")
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0 seconds, got {duration}")
+    if mode not in ("radius", "topk"):
+        raise ValueError(f'mode must be "radius" or "topk", got {mode!r}')
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+
+    rng = ensure_rng(seed)
+    # Draw inter-arrival gaps until the schedule covers the duration;
+    # the expected count is rate*duration, the margin covers the draw's
+    # variance without a resample loop.
+    margin = int(rate * duration * 1.5) + 64
+    arrivals = np.cumsum(rng.exponential(1.0 / rate, size=margin))
+    arrivals = arrivals[arrivals < duration]
+    queries = rng.standard_normal(size=(arrivals.size, index.dim))
+
+    latencies = np.zeros(arrivals.size, dtype=np.float64)
+    degraded_flags = np.zeros(arrivals.size, dtype=bool)
+    next_index = 0
+    claim_lock = threading.Lock()
+    start = time.perf_counter()
+
+    def _drive() -> None:
+        nonlocal next_index
+        while True:
+            with claim_lock:
+                i = next_index
+                if i >= arrivals.size:
+                    return
+                next_index = i + 1
+            delay = start + arrivals[i] - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            spec = QuerySpec(
+                queries[i],
+                radius=radius if mode == "radius" else None,
+                k=k if mode == "topk" else None,
+                allow_partial=allow_partial,
+            )
+            try:
+                result = index.query(spec)
+            except Exception:
+                latencies[i] = _FAILURE_SENTINEL
+            else:
+                # Open-loop latency: completion minus *scheduled* arrival.
+                latencies[i] = time.perf_counter() - (start + arrivals[i])
+                degraded_flags[i] = bool(getattr(result, "degraded", False))
+
+    threads = [
+        threading.Thread(target=_drive, name=f"repro-loadgen-{t}", daemon=True)
+        for t in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    failed = latencies == _FAILURE_SENTINEL
+    answered = latencies[~failed]
+    latency_doc = (
+        {
+            "p50_ms": _quantile_ms(answered, 0.50),
+            "p95_ms": _quantile_ms(answered, 0.95),
+            "p99_ms": _quantile_ms(answered, 0.99),
+            "max_ms": float(answered.max() * 1e3),
+        }
+        if answered.size
+        else {"p50_ms": None, "p95_ms": None, "p99_ms": None, "max_ms": None}
+    )
+
+    timeline = []
+    seconds = np.floor(arrivals).astype(np.int64)
+    for second in range(int(np.ceil(duration))):
+        in_bucket = seconds == second
+        if not in_bucket.any():
+            timeline.append(
+                {"second": second, "count": 0, "failures": 0, "max_ms": None}
+            )
+            continue
+        bucket_failed = int((in_bucket & failed).sum())
+        bucket_answered = latencies[in_bucket & ~failed]
+        timeline.append(
+            {
+                "second": second,
+                "count": int(in_bucket.sum()),
+                "failures": bucket_failed,
+                "max_ms": float(bucket_answered.max() * 1e3)
+                if bucket_answered.size
+                else None,
+            }
+        )
+
+    return {
+        "schema": "repro-loadgen/1",
+        "rate": float(rate),
+        "duration": float(duration),
+        "seed": int(seed),
+        "mode": mode,
+        "allow_partial": bool(allow_partial),
+        "concurrency": int(concurrency),
+        "requests": int(arrivals.size),
+        "failures": int(failed.sum()),
+        "degraded": int(degraded_flags.sum()),
+        "achieved_rate": float(arrivals.size / elapsed) if elapsed else None,
+        "latency": latency_doc,
+        "timeline": timeline,
+        "samples": [
+            [float(a), None if f else float(lat * 1e3)]
+            for a, lat, f in zip(arrivals, latencies, failed)
+        ],
+    }

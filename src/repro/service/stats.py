@@ -71,6 +71,9 @@ class ServiceStats:
     degraded_responses: int = 0
     #: closed-to-open circuit-breaker transitions across all workers.
     breaker_opens: int = 0
+    #: reads re-routed to a surviving replica of the same shard slot
+    #: after a transport failure (replicated pools only).
+    replica_failovers: int = 0
     #: worker respawns keyed by what triggered them (``crash``,
     #: ``timeout``, ``corrupt``, ``heartbeat``, ``rollback``); sums to
     #: ``worker_respawns`` when the pool is the only writer.
@@ -154,6 +157,7 @@ class ServiceStats:
         worker_timeouts: int = 0,
         worker_retries: int = 0,
         breaker_opens: int = 0,
+        replica_failovers: int = 0,
         respawns_by_cause: dict[str, int] | None = None,
     ) -> None:
         """Sync the worker-pool transport/failure counters into a snapshot.
@@ -167,6 +171,7 @@ class ServiceStats:
             self.worker_timeouts = worker_timeouts
             self.worker_retries = worker_retries
             self.breaker_opens = breaker_opens
+            self.replica_failovers = replica_failovers
             if respawns_by_cause is not None:
                 self.respawns_by_cause = dict(respawns_by_cause)
 
@@ -196,6 +201,7 @@ class ServiceStats:
             self.worker_retries += other.worker_retries
             self.degraded_responses += other.degraded_responses
             self.breaker_opens += other.breaker_opens
+            self.replica_failovers += other.replica_failovers
             for cause, n in other.respawns_by_cause.items():
                 self.respawns_by_cause[cause] = (
                     self.respawns_by_cause.get(cause, 0) + n
@@ -233,6 +239,7 @@ class ServiceStats:
             self.worker_retries = 0
             self.degraded_responses = 0
             self.breaker_opens = 0
+            self.replica_failovers = 0
             self.respawns_by_cause = {}
             self.strategy_counts = {}
             self.latency = LatencyHistogram()
@@ -273,6 +280,7 @@ class ServiceStats:
                 "worker_retries": self.worker_retries,
                 "degraded_responses": self.degraded_responses,
                 "breaker_opens": self.breaker_opens,
+                "replica_failovers": self.replica_failovers,
                 "respawns_by_cause": dict(self.respawns_by_cause),
                 **{
                     f"strategy_{name}": count
@@ -312,6 +320,7 @@ class ServiceStats:
             worker_retries=int(doc.get("worker_retries", 0)),
             degraded_responses=int(doc.get("degraded_responses", 0)),
             breaker_opens=int(doc.get("breaker_opens", 0)),
+            replica_failovers=int(doc.get("replica_failovers", 0)),
             respawns_by_cause={
                 str(cause): int(n)
                 for cause, n in (doc.get("respawns_by_cause") or {}).items()

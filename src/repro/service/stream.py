@@ -211,6 +211,7 @@ def serve_stream(
     lines: Iterable[str],
     batch_size: int = 64,
     more_ready: Callable[[], bool] | None = None,
+    default_allow_partial: bool = False,
 ) -> Iterator[str]:
     """Yield one JSON response line per JSON request line, in order.
 
@@ -222,6 +223,11 @@ def serve_stream(
     immediately, so an interactive client that sends one request and
     waits never deadlocks — bulk pipes keep the micro-batching because
     their backlog keeps ``more_ready`` true.
+
+    ``default_allow_partial=True`` (the CLI's ``--allow-partial``) opts
+    every query line into degraded answers; individual requests can
+    still ask for ``"allow_partial": true`` themselves, but cannot opt
+    back out of a server-level default — partiality only ever widens.
     """
     state = {"target": service, "owned": False}
     pending: list[tuple[np.ndarray, float | None, bool]] = []
@@ -247,6 +253,7 @@ def serve_stream(
                 yield from _flush(state["target"], pending)
                 yield json.dumps({"error": str(exc)})
                 continue
+            allow_partial = allow_partial or default_allow_partial
             if k is not None:
                 # Top-k requests are answered immediately (no batching
                 # across k values); queued radius queries drain first to
@@ -283,6 +290,7 @@ def serve_stream_concurrent(
     lines: Iterable[str],
     batch_size: int = 64,
     window: int = 4,
+    default_allow_partial: bool = False,
 ) -> Iterator[str]:
     """The concurrent front-end: overlapped batches, ordered responses.
 
@@ -412,6 +420,7 @@ def serve_stream_concurrent(
                     yield from _drain_all()
                     yield json.dumps({"error": str(exc)})
                     continue
+                allow_partial = allow_partial or default_allow_partial
                 if k is not None:
                     yield from _drain_all()
                     try:

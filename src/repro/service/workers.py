@@ -1,19 +1,19 @@
-"""Zero-copy multi-process serving: mmap'd frozen shards behind a pool.
+"""Replicated multi-process serving: frozen shards behind a transport tier.
 
 The thread fan-out of :class:`~repro.service.sharded.ShardedHybridIndex`
 tops out on one core: per-shard dedup/merge work is GIL-bound Python.
 This module cashes in the frozen CSR persistence design instead — each
 shard of a saved frozen index is a directory of plain ``.npy`` files
-reopened with ``np.load(mmap_mode="r")`` — so ``K`` worker *processes*
+reopened with ``np.load(mmap_mode="r")`` — so ``K`` worker *endpoints*
 can each open their assigned shards zero-copy from the shared page
 cache, with no pickling of index state and no per-worker build cost.
 
-:class:`WorkerPool` spawns the persistent workers over a saved artifact
-(the layout written by :meth:`repro.api.Index.save`), distributes query
-batches over duplex pipes, and merges per-shard answers with the exact
-semantics of the thread path (shared
-:func:`~repro.service.sharded.merge_radius_results` /
-:func:`~repro.core.linear_scan.exact_topk_results` kernels), so
+:class:`WorkerPool` serves a saved artifact (the layout written by
+:meth:`repro.api.Index.save`) over a set of endpoints, distributes
+query batches through :class:`~repro.service.transport.ShardTransport`
+channels, and merges per-shard answers with the exact semantics of the
+thread path (shared :func:`~repro.service.sharded.merge_radius_results`
+/ :func:`~repro.core.linear_scan.exact_topk_results` kernels), so
 ``execution="processes"`` answers are **bit-identical** to
 ``execution="threads"``.  The public surface mirrors
 ``ShardedHybridIndex`` — ``query`` / ``query_batch`` / ``query_topk`` /
@@ -22,33 +22,60 @@ semantics of the thread path (shared
 :class:`~repro.service.service.QueryService` and the stream protocol
 work unchanged on top.
 
+Transports and replica sets
+---------------------------
+Each worker *slot* ``w`` owns shards ``w, w + W, w + 2W, ...`` and is
+backed by one or more replica endpoints:
+
+* the default carrier spawns ``replicas`` local worker processes per
+  slot behind duplex pipes (:class:`~repro.service.transport.PipeTransport`),
+  each mmap'ing the same frozen artifact;
+* with ``endpoints=[...]`` the slots connect to standalone shard
+  servers (:class:`~repro.service.shard_server.ShardServer`,
+  ``repro.cli shard-serve``) over checksummed TCP frames
+  (:class:`~repro.service.transport.TcpTransport`) — same wire tuples,
+  same deadlines, shards on other hosts.
+
+Reads rotate round-robin across a slot's healthy replicas and *fail
+over* within the retry budget: a classified failure (``crash`` /
+``timeout`` / ``corrupt`` / ``disconnect``) marks that endpoint down
+with a jittered reconnect backoff and the next attempt goes straight to
+a surviving replica — no sleep, so a single replica loss costs one
+round trip, not a backoff window.  Inserts are broadcast to every
+replica of the owning slot; the per-shard ``seq`` stamp makes delivery
+idempotent (see :mod:`repro.service.shard_server`) and the replay log
+re-converges a replica that was down when the insert happened.
+
 Operational contract:
 
 * **startup is O(mmap)** — workers reopen saved arrays, never rebuild
-  or rehash; the pool is ready once every worker acks its shards;
-* **inserts** route to the owning worker's overflow side-table (the
+  or rehash; the pool is ready once every endpoint acks its shards;
+* **inserts** route to the owning slot's overflow side-table (the
   frozen layout's insert path, background re-freeze included); the
-  parent logs them per worker so a respawn can replay;
-* **every blocking pipe read carries a deadline** (see
-  :class:`~repro.faults.FaultTolerancePolicy`): a worker that crashes,
-  hangs, drops a reply or ships a corrupt payload is detected within
-  ``recv_deadline``, killed, respawned from the artifact with its
-  insert log replayed, and the request retried under a bounded
+  parent logs them per slot so a respawn or reconnect can replay;
+* **every blocking transport read carries a deadline** (see
+  :class:`~repro.faults.FaultTolerancePolicy`): an endpoint that
+  crashes, hangs, disconnects, drops a reply or ships a corrupt payload
+  is detected within ``recv_deadline``, torn down, revived from the
+  artifact (respawn for pipes, reconnect for TCP — insert log replayed
+  either way), and the request retried under a bounded
   exponential-backoff schedule with deterministic jitter;
-* **per-worker circuit breakers** open after ``breaker_threshold``
-  consecutive exhausted-retry failures, fail the worker's requests fast
-  during ``breaker_cooldown``, then admit one half-open probe;
+* **per-endpoint circuit breakers** open after ``breaker_threshold``
+  consecutive exhausted-retry failures, fail that endpoint fast during
+  ``breaker_cooldown``, then admit one half-open probe;
 * **partial results are opt-in**: ``query_batch(...,
   allow_partial=True)`` answers from the live shards and tags the
-  result ``degraded=True`` with the missing shard ids; without it, an
-  unrecoverable worker raises :class:`~repro.exceptions.ShardUnavailableError`
-  and successful answers stay bit-identical to the fault-free run;
+  result ``degraded=True`` with the missing shard ids — a slot degrades
+  only when *every* replica is gone; without it, an unrecoverable slot
+  raises :class:`~repro.exceptions.ShardUnavailableError` and
+  successful answers stay bit-identical to the fault-free run;
 * **fault drills are deterministic and opt-in**: an installed
   :class:`~repro.faults.FaultPlan` is consulted by each worker via two
   ``if fault is not None`` branches; with no plan the request path is
   byte-identical to the unhardened one;
 * **shutdown** is explicit (:meth:`WorkerPool.close`) and idempotent;
-  workers are daemonic so an abandoned pool cannot outlive the parent.
+  spawned workers are daemonic so an abandoned pool cannot outlive the
+  parent (remote shard servers, by design, do outlive their clients).
 """
 
 from __future__ import annotations
@@ -66,7 +93,7 @@ import numpy as np
 
 from repro.core.cost_model import CostModel
 from repro.core.linear_scan import exact_topk_results
-from repro.core.results import QueryResult, QueryStats, Strategy
+from repro.core.results import QueryResult
 from repro.distances import get_metric
 from repro.exceptions import (
     ConfigurationError,
@@ -74,10 +101,16 @@ from repro.exceptions import (
     DeadlineExceededError,
     ShardUnavailableError,
 )
-from repro.faults import FaultTolerancePolicy, send_reply, swallow_request
+from repro.faults import FaultTolerancePolicy
 from repro.observability import StageTrace, stage_timer
+from repro.service.shard_server import (
+    _pack_result,  # noqa: F401  (re-exported for historical importers)
+    _payload_nbytes,
+    _shard_dir,
+    _unpack_result,
+)
 from repro.service.sharded import default_fanout_width, merge_radius_results
-from repro.service.stats import ServiceStats
+from repro.service.transport import PipeTransport, ShardTransport, TcpTransport
 from repro.utils.fsio import write_json_atomic
 from repro.utils.validation import check_matrix, check_positive_int
 
@@ -95,8 +128,10 @@ class _TransportFailure(Exception):
     only ever see :class:`WorkerError` (application errors) or
     :class:`~repro.exceptions.ShardUnavailableError` (exhausted
     recovery).  ``cause`` is one of ``"crash"`` (EOF / broken pipe),
-    ``"timeout"`` (deadline expired: hang or dropped reply) or
-    ``"corrupt"`` (reply failed to deserialise).
+    ``"timeout"`` (deadline expired: hang or dropped reply),
+    ``"corrupt"`` (reply failed checksum or deserialisation) or
+    ``"disconnect"`` (a socket peer closed the connection — the
+    endpoint is retried after reconnect, not declared dead).
     """
 
     def __init__(self, cause: str, detail: str) -> None:
@@ -105,7 +140,7 @@ class _TransportFailure(Exception):
 
 
 class _CircuitBreaker:
-    """Per-worker failure gate; accessed only under that worker's lock.
+    """Per-endpoint failure gate; accessed only under that endpoint's lock.
 
     Counts consecutive *final* failures (retry budget exhausted, not
     individual attempts).  At ``threshold`` the breaker opens: requests
@@ -147,72 +182,38 @@ class _CircuitBreaker:
         return False
 
 
-def _recv_with_deadline(conn, seconds: float, what: str):
-    """A pipe ``recv`` that refuses to block past ``seconds``."""
-    if not conn.poll(seconds):
-        raise DeadlineExceededError(
-            f"{what} exceeded its {seconds:.3f}s deadline"
-        )
-    return conn.recv()
+class _Endpoint:
+    """One replica's connection slot: transport plus health bookkeeping.
 
-
-def _shard_dir(path: str, shard: int) -> str:
-    """Absolute shard directory, named by the one true layout source.
-
-    The artifact layout (meta file, gids archive, shard dir scheme) is
-    owned by :mod:`repro.api.persist`; imported lazily to keep this
-    module free of api-layer imports at load time.
+    ``lock`` serialises all use of the transport (the same discipline
+    the per-worker pipe lock enforced pre-replicas); the other fields
+    are written under it and read optimistically by
+    :meth:`WorkerPool._select_replica`, which re-validates under the
+    lock before acting.  ``ops`` counts requests *sent* over this
+    slot's lifetime — the ``start`` a reconnect hands the fault plan so
+    ``scope="lifetime"`` specs survive respawns.
     """
-    from repro.api.persist import _frozen_shard_dir
 
-    return os.path.join(path, _frozen_shard_dir(shard))
-
-
-def _pack_result(result: QueryResult):
-    """QueryResult -> plain tuple (cheap to pickle across the pipe)."""
-    s = result.stats
-    return (
-        np.asarray(result.ids),
-        np.asarray(result.distances),
-        (
-            s.num_collisions,
-            s.estimated_candidates,
-            s.exact_candidates,
-            s.estimated_lsh_cost,
-            s.linear_cost,
-            s.strategy.value,
-        ),
+    __slots__ = (
+        "lock",
+        "breaker",
+        "transport",
+        "down_cause",
+        "retry_at",
+        "consecutive",
+        "ops",
+        "poisoned",
     )
 
-
-def _payload_nbytes(obj) -> int:
-    """Array bytes inside a pipe message/reply (the dominant pipe cost).
-
-    Counts every ndarray reachable through the tuples/lists/dicts the
-    worker protocol ships; scalar envelope overhead is ignored — the
-    counter answers "how much data crossed the pipe", not "how many
-    pickle bytes".
-    """
-    if isinstance(obj, np.ndarray):
-        return obj.nbytes
-    if isinstance(obj, tuple | list):
-        return sum(_payload_nbytes(item) for item in obj)
-    if isinstance(obj, dict):
-        return sum(_payload_nbytes(value) for value in obj.values())
-    return 0
-
-
-def _unpack_result(packed, radius: float) -> QueryResult:
-    ids, distances, (nc, est, exact, lsh_cost, lin_cost, strategy) = packed
-    stats = QueryStats(
-        num_collisions=int(nc),
-        estimated_candidates=float(est),
-        exact_candidates=int(exact),
-        estimated_lsh_cost=float(lsh_cost),
-        linear_cost=float(lin_cost),
-        strategy=Strategy(strategy),
-    )
-    return QueryResult(ids=ids, distances=distances, radius=radius, stats=stats)
+    def __init__(self, threshold: int, cooldown: float) -> None:
+        self.lock = threading.Lock()
+        self.breaker = _CircuitBreaker(threshold, cooldown)
+        self.transport: ShardTransport | None = None
+        self.down_cause: str | None = None
+        self.retry_at = 0.0
+        self.consecutive = 0
+        self.ops = 0
+        self.poisoned = False
 
 
 def _empty_result(radius: float) -> QueryResult:
@@ -226,155 +227,51 @@ def _empty_result(radius: float) -> QueryResult:
 
 def _worker_main(conn, worker: int, path: str, shard_ids: list[int],
                  spec_doc: dict, alpha: float, beta: float,
-                 fault_plan) -> None:
-    """Worker process loop: open assigned shards via mmap, answer ops.
+                 fault_plan, replica: int = 0, fault_start: int = 0) -> None:
+    """Worker process entry point: open shards via mmap, answer ops.
 
     Must stay a module-level function so the ``spawn`` start method can
     import it; with ``fork`` it reuses the parent's loaded modules and
-    the open is dominated by ``np.load(mmap_mode="r")`` calls.
+    the open is dominated by ``np.load(mmap_mode="r")`` calls.  The
+    serving loop itself lives in :mod:`repro.service.shard_server` so
+    the standalone TCP host runs byte-identical op handling.
 
-    ``fault_plan`` is the opt-in chaos hook (:mod:`repro.faults`): when
-    installed, each received request is matched against the worker's
-    deterministic schedule and may crash / hang / delay the process or
-    drop / corrupt the reply.  When ``None`` — production — the two
-    fault branches below are never entered and the request path is
-    byte-identical to an unhardened loop.
+    ``fault_plan`` is the opt-in chaos hook (:mod:`repro.faults`);
+    ``replica`` and ``fault_start`` thread this endpoint's identity and
+    lifetime op count into the plan so replica-pinned and
+    ``scope="lifetime"`` specs resolve correctly across respawns.
     """
-    from repro.api.facade import _resolve_estimator
-    from repro.api.spec import IndexSpec
-    from repro.core.hybrid import HybridSearcher
-    from repro.distances.matrix import pairwise_distances
-    from repro.index.frozen import load_frozen_index, save_frozen_index
-    from repro.service.batch import BatchQueryEngine
+    from repro.service.shard_server import open_shard_state, serve_connection
 
     try:
-        spec = IndexSpec.from_dict(spec_doc)
-        cost_model = CostModel(alpha=alpha, beta=beta)
-        estimator = _resolve_estimator(spec)
-        metric = get_metric(spec.metric)
-        indexes = {}
-        engines = {}
-        for s in shard_ids:
-            index = load_frozen_index(_shard_dir(path, s))
-            searcher = HybridSearcher(index, cost_model, estimator=estimator)
-            indexes[s] = index
-            engines[s] = BatchQueryEngine(
-                searcher, radius=spec.radius, dedup=spec.dedup
-            )
-        # Worker-local telemetry: latency histogram + counters for the
-        # batches *this* worker answers, a bytes counter for its pipe
-        # payloads, and live gauges over its frozen shards.  The parent
-        # fetches and exactly merges these via the ``stats`` op.
-        stats = ServiceStats()
-        frozen = [
-            ix for ix in indexes.values()
-            if hasattr(ix, "overflow_count") and hasattr(ix, "refreeze_count")
-        ]
-        if frozen:
-            stats.gauge_hooks["overflow_points"] = lambda: float(
-                sum(ix.overflow_count for ix in frozen)
-            )
-            stats.gauge_hooks["refreeze_generations"] = lambda: float(
-                sum(ix.refreeze_count for ix in frozen)
-            )
-            stats.gauge_hooks["refreeze_seconds_total"] = lambda: float(
-                sum(ix.refreeze_seconds_total for ix in frozen)
-            )
-        injector = fault_plan.for_worker(worker) if fault_plan else None
-        conn.send(("ready", {s: indexes[s].n for s in shard_ids}))
+        state = open_shard_state(path, shard_ids, spec_doc, alpha, beta)
+        injector = (
+            fault_plan.for_worker(worker, replica=replica, start=fault_start)
+            if fault_plan
+            else None
+        )
+        conn.send(("ready", state.sizes()))
     except BaseException as exc:
         with contextlib.suppress(OSError):
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
         return
-
-    while True:
-        # The idle wait is bounded so this loop re-checks the pipe
-        # instead of blocking forever on a parent that vanished without
-        # a clean ``stop`` (the poll also satisfies the
-        # ``deadline-required`` lint contract for service code).
-        if not conn.poll(1.0):
-            continue
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            break
-        op = message[0]
-        if op == "stop":
-            break
-        fault = injector.next_fault() if injector is not None else None
-        if fault is not None and swallow_request(fault):
-            continue
-        try:
-            if op == "radius":
-                _, shards, queries, radius = message
-                started = time.perf_counter()
-                reply = {
-                    s: [
-                        _pack_result(r)
-                        for r in engines[s].query_batch(queries, radius)
-                    ]
-                    for s in shards
-                }
-                # Strategy counts tally the *shard-local* dispatch
-                # decisions, so with multiple owned shards they sum to
-                # queries x shards, not queries_served.
-                strategies: dict[str, int] = {}
-                for packed_results in reply.values():
-                    for packed in packed_results:
-                        name = Strategy(packed[2][5]).value
-                        strategies[name] = strategies.get(name, 0) + 1
-                stats.record_batch(
-                    queries.shape[0], time.perf_counter() - started,
-                    strategies=strategies,
-                )
-            elif op == "topk_block":
-                _, shards, queries = message
-                started = time.perf_counter()
-                reply = {
-                    s: pairwise_distances(queries, indexes[s].points, metric)
-                    for s in shards
-                }
-                stats.record_batch(queries.shape[0], time.perf_counter() - started)
-            elif op == "insert":
-                _, s, points = message
-                indexes[s].insert(points)
-                reply = indexes[s].n
-            elif op == "save_shard":
-                _, s, target = message
-                save_frozen_index(indexes[s], target)
-                reply = True
-            elif op == "shard_sizes":
-                reply = {s: indexes[s].n for s in shard_ids}
-            elif op == "stats":
-                reply = stats.as_dict()
-            elif op == "ping":
-                reply = "pong"
-            else:
-                reply = ("error", f"unknown worker op: {op!r}")
-        except Exception as exc:
-            reply = ("error", f"{type(exc).__name__}: {exc}")
-        stats.bytes_shipped += _payload_nbytes(message) + _payload_nbytes(reply)
-        try:
-            if fault is not None:
-                send_reply(conn, reply, fault)
-            else:
-                conn.send(reply)
-        except (BrokenPipeError, OSError):
-            break
-    conn.close()
+    serve_connection(conn, state, injector)
 
 
 class WorkerPool:
-    """``K`` frozen shards served by persistent worker processes.
+    """``K`` frozen shards served by replicated worker endpoints.
 
     Parameters
     ----------
     path:
         A saved index directory (:meth:`repro.api.Index.save`) whose
         shards use the frozen layout — the artifact the workers mmap.
+        With remote ``endpoints`` the parent still reads the metadata
+        and id maps from it (shared filesystem or a copied artifact).
     num_workers:
         Pool width; defaults to ``min(num_shards, os.cpu_count())``.
-        Worker ``w`` owns shards ``w, w + W, w + 2W, ...``.
+        Worker slot ``w`` owns shards ``w, w + W, w + 2W, ...``.  With
+        ``endpoints`` the width is the number of endpoint groups.
     owns_path:
         When True the artifact directory is deleted on :meth:`close`
         (used for the transient artifact ``Index.build`` writes when a
@@ -389,8 +286,18 @@ class WorkerPool:
         circuit-breaker thresholds; defaults are production-lenient.
     fault_plan:
         An optional deterministic :class:`~repro.faults.FaultPlan`
-        shipped to every worker at spawn time — chaos drills only;
-        ``None`` (the default) keeps workers on the production path.
+        shipped to every spawned worker — chaos drills only; ``None``
+        (the default) keeps workers on the production path.  Rejected
+        with remote ``endpoints`` (install the plan on the servers).
+    replicas:
+        Endpoints per worker slot (default: the spec's ``replicas``).
+        Each replica of slot ``w`` serves the same shards; reads rotate
+        across them and fail over, inserts reach all of them.
+    endpoints:
+        Remote shard servers instead of spawned processes: one group
+        per worker slot, each group a ``"host:port,host:port"`` string
+        (or list) naming that slot's replicas.  Every server in group
+        ``w`` must serve (at least) slot ``w``'s shards.
 
     Examples
     --------
@@ -416,6 +323,8 @@ class WorkerPool:
         start_method: str | None = None,
         policy: FaultTolerancePolicy | None = None,
         fault_plan=None,
+        replicas: int | None = None,
+        endpoints=None,
     ) -> None:
         from repro.api.persist import _GIDS_FILE, _META_FILE, _read_meta
         from repro.api.spec import IndexSpec
@@ -462,11 +371,40 @@ class WorkerPool:
         else:
             self._shard_gids = [np.arange(int(meta["n"]), dtype=np.int64)]
         self._next_shard = int(meta.get("next_shard", 0)) % self.num_shards
-        if num_workers is None:
-            num_workers = default_fanout_width(self.num_shards)
-        self.num_workers = min(
-            check_positive_int(num_workers, "num_workers"), self.num_shards
-        )
+        if endpoints is not None:
+            if fault_plan is not None:
+                raise ConfigurationError(
+                    "fault_plan cannot be shipped to remote endpoints; "
+                    "install the plan on the shard servers instead"
+                )
+            groups = [self._parse_endpoint_group(g) for g in endpoints]
+            if not groups:
+                raise ConfigurationError(
+                    "endpoints must name at least one HOST:PORT group"
+                )
+            if len(groups) > self.num_shards:
+                raise ConfigurationError(
+                    f"{len(groups)} endpoint groups exceed the artifact's "
+                    f"{self.num_shards} shards"
+                )
+            if num_workers is not None and num_workers != len(groups):
+                raise ConfigurationError(
+                    f"num_workers={num_workers} conflicts with "
+                    f"{len(groups)} endpoint groups"
+                )
+            self._endpoints_cfg: list[list[tuple[str, int]]] | None = groups
+            self.num_workers = len(groups)
+            self.replicas = max(len(group) for group in groups)
+        else:
+            self._endpoints_cfg = None
+            if replicas is None:
+                replicas = getattr(self.spec, "replicas", 1)
+            self.replicas = check_positive_int(replicas, "replicas")
+            if num_workers is None:
+                num_workers = default_fanout_width(self.num_shards)
+            self.num_workers = min(
+                check_positive_int(num_workers, "num_workers"), self.num_shards
+            )
         if start_method is None:
             start_method = (
                 "fork"
@@ -475,40 +413,49 @@ class WorkerPool:
             )
         self._ctx = multiprocessing.get_context(start_method)
         self._closed = False
-        self._workers: list = [None] * self.num_workers
-        self._conns: list = [None] * self.num_workers
-        self._locks = [threading.Lock() for _ in range(self.num_workers)]
-        #: per-worker circuit breakers, touched only under that worker's
-        #: lock (same discipline as the pipe itself).
-        self._breakers = [
-            _CircuitBreaker(
-                self.policy.breaker_threshold, self.policy.breaker_cooldown
-            )
-            for _ in range(self.num_workers)
+        #: replica endpoints per worker slot; each _Endpoint carries its
+        #: own lock, breaker and transport (see _Endpoint).
+        self._eps: list[list[_Endpoint]] = [
+            [
+                _Endpoint(
+                    self.policy.breaker_threshold, self.policy.breaker_cooldown
+                )
+                for _ in range(
+                    len(self._endpoints_cfg[w])
+                    if self._endpoints_cfg is not None
+                    else self.replicas
+                )
+            ]
+            for w in range(self.num_workers)
         ]
         #: parent-side transport + failure counters (lifetime of the
         #: pool), all guarded by ``_counter_lock``: payload bytes,
         #: respawns (total and by cause), deadline hits, request
-        #: retries, and breaker-open transitions.
+        #: retries, replica failovers, breaker-open transitions — plus
+        #: the per-slot read rotation cursors.
         self._counter_lock = threading.Lock()
         self.bytes_shipped = 0
         self.respawns = 0
         self.worker_timeouts = 0
         self.worker_retries = 0
         self.breaker_opens = 0
+        self.replica_failovers = 0
         self.respawns_by_cause: dict[str, int] = {}
+        self._rr = [0] * self.num_workers
         #: deterministic jitter stream for retry backoff (seeded so two
         #: runs of the same fault drill sleep identically).
         self._jitter_rng = np.random.default_rng(self.policy.jitter_seed)
-        #: per-worker replay log of (shard, points) inserts, in order —
-        #: the only state a respawned worker cannot recover from disk.
-        #: Guarded by ``_route_lock`` together with the routing state
-        #: (``_shard_gids``, ``_next_shard``): a query thread can trigger
-        #: a respawn — which replays this log — while an insert commit is
-        #: appending to it.  Lock order is worker lock -> route lock,
-        #: never the reverse.
+        #: per-slot replay log of (shard, points, seq) inserts, in
+        #: order — the only state a revived endpoint cannot recover
+        #: from disk.  Guarded by ``_route_lock`` together with the
+        #: routing state (``_shard_gids``, ``_next_shard``,
+        #: ``_insert_seq``): a query thread can trigger a respawn —
+        #: which replays this log — while an insert commit is appending
+        #: to it.  Lock order is endpoint lock -> route lock, never the
+        #: reverse.
         self._route_lock = threading.Lock()
         self._insert_log: list[list] = [[] for _ in range(self.num_workers)]
+        self._insert_seq = [0] * self.num_shards
         self._fanout = ThreadPoolExecutor(
             max_workers=self.num_workers, thread_name_prefix="repro-pool"
         )
@@ -516,7 +463,8 @@ class WorkerPool:
         self._hb_thread: threading.Thread | None = None
         try:
             for w in range(self.num_workers):
-                self._spawn(w)
+                for r in range(len(self._eps[w])):
+                    self._open_endpoint(w, r)
         except BaseException:
             self.close()
             raise
@@ -529,17 +477,52 @@ class WorkerPool:
             self._hb_thread.start()
 
     # ------------------------------------------------------------------
-    # Process management
+    # Endpoint management
     # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_endpoint_group(group) -> list[tuple[str, int]]:
+        """One slot's replica addresses from ``"host:port,..."`` or a list."""
+        if isinstance(group, str):
+            entries: list = [e.strip() for e in group.split(",") if e.strip()]
+        else:
+            entries = list(group)
+        parsed: list[tuple[str, int]] = []
+        for entry in entries:
+            if isinstance(entry, str):
+                host, _, port = entry.rpartition(":")
+                if not host or not port.isdigit():
+                    raise ConfigurationError(
+                        f"endpoint {entry!r} is not HOST:PORT"
+                    )
+                parsed.append((host, int(port)))
+            else:
+                host, port = entry
+                parsed.append((str(host), int(port)))
+        if not parsed:
+            raise ConfigurationError(
+                "an endpoint group must name at least one HOST:PORT"
+            )
+        return parsed
+
     def worker_shards(self, worker: int) -> list[int]:
-        """Shard ids owned by ``worker`` (round-robin assignment)."""
+        """Shard ids owned by slot ``worker`` (round-robin assignment)."""
         return list(range(worker, self.num_shards, self.num_workers))
 
     def _owner(self, shard: int) -> int:
         return shard % self.num_workers
 
-    def _spawn(self, worker: int) -> None:
-        """Start (or restart) one worker and wait for its mmap-open ack."""
+    def _open_endpoint(self, worker: int, replica: int) -> None:
+        """First open of one endpoint (init path: no respawn accounting)."""
+        ep = self._eps[worker][replica]
+        if self._endpoints_cfg is not None:
+            transport, _sizes = self._connect_tcp(worker, replica)
+        else:
+            transport, _sizes = self._spawn_pipe(worker, replica)
+        ep.transport = transport
+
+    def _spawn_pipe(self, worker: int, replica: int):
+        """Start one local worker process; returns (transport, sizes)."""
+        ep = self._eps[worker][replica]
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=_worker_main,
@@ -552,32 +535,63 @@ class WorkerPool:
                 self.cost_model.alpha,
                 self.cost_model.beta,
                 self._fault_plan,
+                replica,
+                ep.ops,
             ),
-            name=f"repro-worker-{worker}",
+            name=f"repro-worker-{worker}-{replica}",
             daemon=True,
         )
         process.start()
         child_conn.close()
+        transport = PipeTransport(
+            process, parent_conn, endpoint=f"pid {process.pid}"
+        )
+        sizes = self._await_ready(transport, worker)
+        return transport, sizes
+
+    def _connect_tcp(self, worker: int, replica: int):
+        """Connect to one remote shard server; returns (transport, sizes)."""
+        host, port = self._endpoints_cfg[worker][replica]
         try:
-            ack = _recv_with_deadline(
-                parent_conn, self.policy.startup_deadline,
-                f"worker {worker} startup ack",
+            transport = TcpTransport(
+                host,
+                port,
+                connect_timeout=self.policy.startup_deadline,
+                send_deadline=max(
+                    self.policy.recv_deadline, self.policy.startup_deadline
+                ),
+            )
+        except OSError as exc:
+            raise WorkerError(
+                f"shard server {host}:{port} refused the connection: {exc}"
+            ) from exc
+        sizes = self._await_ready(transport, worker)
+        owned = set(self.worker_shards(worker))
+        if not owned <= set(sizes):
+            transport.kill()
+            raise WorkerError(
+                f"shard server {host}:{port} serves shards {sorted(sizes)} "
+                f"but slot {worker} needs {sorted(owned)}"
+            )
+        return transport, sizes
+
+    def _await_ready(self, transport: ShardTransport, worker: int) -> dict:
+        """Wait for the ``("ready", sizes)`` handshake both carriers send."""
+        try:
+            ack = transport.recv_within(
+                self.policy.startup_deadline, f"worker {worker} startup ack"
             )
         except DeadlineExceededError as exc:
-            process.terminate()
-            process.join(timeout=5.0)
-            parent_conn.close()
+            transport.kill()
             raise WorkerError(
                 f"worker {worker} failed to start within "
                 f"{self.policy.startup_deadline}s"
             ) from exc
-        except (EOFError, OSError) as exc:
-            parent_conn.close()
+        except Exception as exc:
+            transport.kill()
             raise WorkerError(f"worker {worker} died during startup") from exc
         if not (isinstance(ack, tuple) and ack and ack[0] == "ready"):
-            process.terminate()
-            process.join(timeout=5.0)
-            parent_conn.close()
+            transport.kill()
             detail = ack[1] if isinstance(ack, tuple) and len(ack) > 1 else ack
             if isinstance(detail, str) and "CorruptArtifactError" in detail:
                 # The worker's open failed on a torn artifact: surface
@@ -586,82 +600,188 @@ class WorkerPool:
                     f"worker {worker} failed to open shards: {detail}"
                 )
             raise WorkerError(f"worker {worker} failed to open shards: {ack!r}")
-        self._workers[worker] = process
-        self._conns[worker] = parent_conn
+        return dict(ack[1])
 
-    def _respawn_locked(self, worker: int, cause: str = "crash") -> None:
-        """Replace a dead worker and replay its insert log (lock held).
+    def _respawn_locked(
+        self, worker: int, replica: int, cause: str = "crash"
+    ) -> None:
+        """Revive one endpoint and replay its slot's insert log (lock held).
 
-        ``cause`` labels the respawn in :attr:`respawns_by_cause`
-        (``crash`` / ``timeout`` / ``corrupt`` / ``heartbeat`` /
-        ``rollback``).  Killing before respawning is what recovers a
-        *hung* worker: the stale pipe is closed, so a late reply from
-        the old process can never desynchronise a future request.
+        ``cause`` labels the event in :attr:`respawns_by_cause`
+        (``crash`` / ``timeout`` / ``corrupt`` / ``disconnect`` /
+        ``heartbeat`` / ``rollback`` / ``reconnect``).  Killing the old
+        transport first is what recovers a *hung* endpoint: the stale
+        channel is closed, so a late reply can never desynchronise a
+        future request.  Pipes respawn a fresh process; TCP endpoints
+        reconnect to a server whose state survived — the seq-stamped
+        replay makes both converge, and a TCP endpoint is additionally
+        checked against the parent's committed shard sizes (a restarted
+        server that lost inserts must not serve short answers).
         """
-        process = self._workers[worker]
-        if process is not None and process.is_alive():
-            process.terminate()
-            process.join(timeout=5.0)
-        conn = self._conns[worker]
-        if conn is not None:
-            conn.close()
-        self._spawn(worker)
+        ep = self._eps[worker][replica]
+        if ep.poisoned:
+            raise WorkerError(
+                f"worker {worker}[{replica}] is quarantined after a failed "
+                "insert rollback; restart the endpoint to clear it"
+            )
+        if ep.transport is not None:
+            with contextlib.suppress(Exception):
+                ep.transport.kill()
+            ep.transport = None
+        if self._endpoints_cfg is not None:
+            transport, _sizes = self._connect_tcp(worker, replica)
+        else:
+            transport, _sizes = self._spawn_pipe(worker, replica)
+        ep.transport = transport
+        ep.down_cause = None
+        ep.retry_at = 0.0
+        ep.consecutive = 0
         with self._counter_lock:
             self.respawns += 1
             self.respawns_by_cause[cause] = (
                 self.respawns_by_cause.get(cause, 0) + 1
             )
-        # Snapshot under the route lock: this worker's log cannot grow
-        # mid-replay (appends hold the worker lock, which this method's
-        # caller already holds), but ``save_shards`` may swap the whole
-        # log list out from another thread.
+        # Snapshot under the route lock: this slot's log cannot grow
+        # mid-replay (appends hold the endpoint lock, which this
+        # method's caller already holds), but ``save_shards`` may swap
+        # the whole log list out from another thread.
         with self._route_lock:
             pending = list(self._insert_log[worker])
-        for shard, points in pending:
-            self._conns[worker].send(("insert", shard, points))
-            reply = _recv_with_deadline(
-                self._conns[worker], self.policy.startup_deadline,
-                f"worker {worker} insert replay",
+        try:
+            for shard, points, seq in pending:
+                reply = self._roundtrip_locked(
+                    worker,
+                    replica,
+                    ("insert", shard, points, seq),
+                    self.policy.startup_deadline,
+                )
+                if isinstance(reply, tuple) and reply and reply[0] == "error":
+                    raise WorkerError(
+                        f"worker {worker} failed to replay inserts: {reply[1]}"
+                    )
+            if self._endpoints_cfg is not None:
+                self._verify_tcp_state_locked(worker, replica)
+        except BaseException:
+            with contextlib.suppress(Exception):
+                transport.kill()
+            ep.transport = None
+            ep.down_cause = cause
+            raise
+
+    def _verify_tcp_state_locked(self, worker: int, replica: int) -> None:
+        """A reconnected server must cover everything the parent committed.
+
+        ``>=`` rather than ``==``: an in-flight insert may have reached
+        the server before the parent committed its id maps, and the
+        seq-dedup makes that benign — but a *smaller* size means the
+        server restarted from the stale artifact and would serve short
+        answers for ids the parent already handed out.
+        """
+        reply = self._roundtrip_locked(
+            worker, replica, ("shard_sizes",), self.policy.recv_deadline
+        )
+        if isinstance(reply, tuple) and reply and reply[0] == "error":
+            raise WorkerError(
+                f"worker {worker} shard_sizes failed: {reply[1]}"
             )
-            if isinstance(reply, tuple) and reply and reply[0] == "error":
+        with self._route_lock:
+            committed = {
+                s: int(self._shard_gids[s].size)
+                for s in self.worker_shards(worker)
+            }
+        for s, size in committed.items():
+            if int(reply.get(s, -1)) < size:
                 raise WorkerError(
-                    f"worker {worker} failed to replay inserts: {reply[1]}"
+                    f"shard server for worker {worker} is serving a stale "
+                    f"artifact: shard {s} has {reply.get(s)} points but the "
+                    f"parent committed {size}"
                 )
 
-    def _roundtrip_locked(self, worker: int, message, deadline: float):
-        """One send/recv on the worker's pipe; failures are classified.
+    def _roundtrip_locked(
+        self, worker: int, replica: int, message, deadline: float
+    ):
+        """One send/recv on an endpoint's transport; failures classified.
 
-        Raises :class:`_TransportFailure` with cause ``crash`` (the
-        pipe broke / the process is gone), ``timeout`` (no reply within
-        ``deadline`` — a hang or a dropped reply) or ``corrupt`` (bytes
-        arrived but would not deserialise — also chosen for an EOF from
-        a still-live process, the signature of a truncated payload).
+        Raises :class:`_TransportFailure` with the carrier's cause
+        vocabulary (see :mod:`repro.service.transport`); a deadline
+        expiry is always ``timeout``.  The endpoint's lifetime op count
+        advances on every successful non-stop send — the best-effort
+        mirror of the op indices the peer's fault injector counts, used
+        as ``start`` when a revived endpoint re-installs the plan.
         """
-        conn = self._conns[worker]
+        ep = self._eps[worker][replica]
+        transport = ep.transport
+        who = f"worker {worker}[{replica}] ({transport.endpoint})"
         try:
-            conn.send(message)
-        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
-            raise _TransportFailure(
-                "crash", f"send to worker {worker} failed: {exc}"
-            ) from exc
-        try:
-            return _recv_with_deadline(
-                conn, deadline, f"worker {worker} reply"
-            )
-        except DeadlineExceededError as exc:
-            raise _TransportFailure("timeout", str(exc)) from exc
-        except (EOFError, OSError) as exc:
-            process = self._workers[worker]
-            alive = process is not None and process.is_alive()
-            cause = "corrupt" if alive and isinstance(exc, EOFError) else "crash"
-            raise _TransportFailure(
-                cause, f"worker {worker} reply stream broke: {exc!r}"
-            ) from exc
+            transport.send(message)
         except Exception as exc:
             raise _TransportFailure(
-                "corrupt",
-                f"worker {worker} reply failed to deserialise: {exc!r}",
+                transport.classify_send_error(exc),
+                f"send to {who} failed: {exc}",
             ) from exc
+        if message[0] != "stop":
+            ep.ops += 1
+        try:
+            return transport.recv_within(deadline, f"{who} reply")
+        except DeadlineExceededError as exc:
+            raise _TransportFailure("timeout", str(exc)) from exc
+        except Exception as exc:
+            raise _TransportFailure(
+                transport.classify_recv_error(exc),
+                f"{who} reply stream broke: {exc!r}",
+            ) from exc
+
+    def _mark_down_locked(self, worker: int, replica: int, cause: str) -> None:
+        """Tear an endpoint down and schedule its reconnect (lock held).
+
+        With replicas the reconnect backs off exponentially in
+        ``consecutive`` (jittered from the shared deterministic stream)
+        so a dead server is not hammered while its peers serve; a lone
+        endpoint stays immediately retriable — the request loop's own
+        backoff sleep paces it, preserving the single-replica schedule.
+        """
+        ep = self._eps[worker][replica]
+        if ep.transport is not None:
+            with contextlib.suppress(Exception):
+                ep.transport.kill()
+            ep.transport = None
+        ep.down_cause = cause
+        ep.consecutive += 1
+        if len(self._eps[worker]) > 1:
+            with self._counter_lock:
+                jitter = float(self._jitter_rng.random())
+            ep.retry_at = time.monotonic() + self.policy.backoff_seconds(
+                min(ep.consecutive, 16), jitter
+            )
+        else:
+            ep.retry_at = 0.0
+
+    def _select_replica(self, worker: int, rotation: int) -> int | None:
+        """The next admissible replica for a read, or None if all are out.
+
+        Rotates from ``rotation`` so concurrent readers spread across
+        healthy replicas; skips quarantined endpoints, open breakers,
+        and endpoints still inside their reconnect backoff.  Reads are
+        optimistic (no locks) — the request loop re-validates under the
+        endpoint lock before acting.
+        """
+        replicas = self._eps[worker]
+        now = time.monotonic()
+        for k in range(len(replicas)):
+            r = (rotation + k) % len(replicas)
+            ep = replicas[r]
+            if ep.poisoned:
+                continue
+            if not ep.breaker.allow():
+                continue
+            if (
+                ep.transport is None
+                and ep.down_cause is not None
+                and now < ep.retry_at
+            ):
+                continue
+            return r
+        return None
 
     def _op_deadline(self, message) -> float:
         """The recv deadline for one op; slow ops borrow the startup budget."""
@@ -670,86 +790,129 @@ class WorkerPool:
         return self.policy.recv_deadline
 
     def _request(self, worker: int, message, log_entry=None):
-        """One pipe round trip under deadlines, bounded retries, a breaker.
+        """One round trip under deadlines, retries, failover and breakers.
 
-        Attempt flow (all inside the worker's lock): an open breaker
-        fails fast with :class:`~repro.exceptions.ShardUnavailableError`;
-        otherwise up to ``1 + max_retries`` transport attempts run, each
-        failure sleeping the jittered exponential backoff and then
-        killing-and-respawning the worker (insert log replayed) before
-        the re-send.  Exhausting the budget records a breaker failure
-        and raises ``ShardUnavailableError`` naming the worker's
-        shards; a worker-side ``("error", ...)`` reply is an
-        *application* error — the transport is healthy, so it counts as
-        breaker success and raises :class:`WorkerError` with no retry.
+        Attempt flow: pick the next admissible replica (rotating), and
+        under its lock revive it if it is down (respawn or reconnect,
+        insert log replayed), run the round trip, and on a classified
+        failure mark it down.  With one replica the next attempt sleeps
+        the jittered exponential backoff first — the original
+        single-endpoint schedule; with several, the next attempt *fails
+        over* immediately to a surviving replica and the broken one
+        heals in the background of its backoff window.  Exhausting the
+        ``1 + max_retries`` budget records a breaker failure on the
+        last-tried endpoint and raises
+        :class:`~repro.exceptions.ShardUnavailableError` naming the
+        slot's shards; when no replica is admissible at all the raise
+        is immediate (breaker-open fail-fast).  A worker-side
+        ``("error", ...)`` reply is an *application* error — the
+        transport is healthy, so it counts as breaker success and
+        raises :class:`WorkerError` with no retry.
 
-        ``log_entry`` (an insert-log record) is appended to the worker's
+        ``log_entry`` (an insert-log record) is appended to the slot's
         replay log atomically with a successful reply, *inside* the
-        worker lock: a crash-triggered replay in another thread holds
-        the same lock, so a batch can never fall between a worker's ack
-        and its log commit (the replay would miss it) or be both
-        replayed and re-sent (it would be doubled).
+        endpoint lock: a crash-triggered replay in another thread holds
+        the same lock, so a batch can never fall between an endpoint's
+        ack and its log commit (the replay would miss it) or be both
+        replayed and re-sent (the seq stamp would dedup it anyway, but
+        the log must stay an exact history).
         """
         if self._closed:
             raise ConfigurationError("the worker pool has been closed")
         policy = self.policy
         deadline = self._op_deadline(message)
         attempts = 1 + policy.max_retries
-        with self._locks[worker]:
-            breaker = self._breakers[worker]
-            if not breaker.allow():
-                raise ShardUnavailableError(
-                    f"worker {worker} circuit breaker is open "
-                    f"(cooldown {policy.breaker_cooldown}s)",
-                    shards=tuple(self.worker_shards(worker)),
-                )
-            reply = None
-            last: _TransportFailure | None = None
-            for attempt in range(1, attempts + 1):
-                try:
-                    reply = self._roundtrip_locked(worker, message, deadline)
-                except _TransportFailure as failure:
-                    last = failure
-                    with self._counter_lock:
-                        if failure.cause == "timeout":
-                            self.worker_timeouts += 1
-                        if attempt < attempts:
-                            self.worker_retries += 1
-                    if attempt >= attempts:
-                        break
-                    with self._counter_lock:
-                        jitter = float(self._jitter_rng.random())
-                    time.sleep(policy.backoff_seconds(attempt, jitter))
+        replicas = self._eps[worker]
+        num_replicas = len(replicas)
+        with self._counter_lock:
+            rotation = self._rr[worker]
+            self._rr[worker] += 1
+        reply = None
+        last: _TransportFailure | None = None
+        last_r = 0
+        for attempt in range(1, attempts + 1):
+            r = self._select_replica(worker, rotation + attempt - 1)
+            if r is None:
+                if last is None:
+                    if any(not ep.breaker.allow() for ep in replicas):
+                        raise ShardUnavailableError(
+                            f"worker {worker} circuit breaker is open "
+                            f"(cooldown {policy.breaker_cooldown}s)",
+                            shards=tuple(self.worker_shards(worker)),
+                        )
+                    raise ShardUnavailableError(
+                        f"worker {worker} has no admissible replica "
+                        "(every endpoint is down or backing off)",
+                        shards=tuple(self.worker_shards(worker)),
+                    )
+                break
+            ep = replicas[r]
+            last_r = r
+            failure: _TransportFailure | None = None
+            with ep.lock:
+                if not ep.breaker.allow():
+                    failure = _TransportFailure(
+                        "crash",
+                        f"worker {worker}[{r}] breaker opened concurrently",
+                    )
+                elif ep.transport is None:
                     try:
-                        self._respawn_locked(worker, cause=failure.cause)
+                        self._respawn_locked(
+                            worker, r, cause=ep.down_cause or "reconnect"
+                        )
                     except Exception as exc:
-                        last = _TransportFailure(
+                        failure = _TransportFailure(
                             "crash", f"worker {worker} respawn failed: {exc}"
                         )
-                        break
-                else:
+                if failure is None:
+                    try:
+                        reply = self._roundtrip_locked(
+                            worker, r, message, deadline
+                        )
+                    except _TransportFailure as exc:
+                        failure = exc
+                        self._mark_down_locked(worker, r, exc.cause)
+                if failure is None:
+                    ep.breaker.record_success()
                     last = None
-                    break
-            if last is not None:
-                if breaker.record_failure():
+                    if log_entry is not None and not (
+                        isinstance(reply, tuple)
+                        and reply
+                        and reply[0] == "error"
+                    ):
+                        with self._route_lock:
+                            self._insert_log[worker].append(log_entry)
+            if failure is None:
+                break
+            last = failure
+            with self._counter_lock:
+                if failure.cause == "timeout":
+                    self.worker_timeouts += 1
+                if attempt < attempts:
+                    self.worker_retries += 1
+                    if num_replicas > 1:
+                        self.replica_failovers += 1
+            if attempt < attempts and num_replicas == 1:
+                with self._counter_lock:
+                    jitter = float(self._jitter_rng.random())
+                time.sleep(policy.backoff_seconds(attempt, jitter))
+        if last is not None:
+            ep = replicas[last_r]
+            with ep.lock:
+                if ep.breaker.record_failure():
                     with self._counter_lock:
                         self.breaker_opens += 1
-                # Best-effort respawn so the *next* request (or the
-                # breaker's half-open probe) meets a fresh worker and a
-                # clean pipe rather than a stale, late reply.
-                with contextlib.suppress(Exception):
-                    self._respawn_locked(worker, cause=last.cause)
-                raise ShardUnavailableError(
-                    f"worker {worker} unavailable after {attempts} "
-                    f"attempt(s) ({last.cause}): {last}",
-                    shards=tuple(self.worker_shards(worker)),
-                )
-            breaker.record_success()
-            if log_entry is not None and not (
-                isinstance(reply, tuple) and reply and reply[0] == "error"
-            ):
-                with self._route_lock:
-                    self._insert_log[worker].append(log_entry)
+                if self._endpoints_cfg is None and num_replicas == 1:
+                    # Best-effort respawn so the *next* request (or the
+                    # breaker's half-open probe) meets a fresh worker
+                    # and a clean pipe rather than a stale, late reply.
+                    with contextlib.suppress(Exception):
+                        self._respawn_locked(worker, last_r, cause=last.cause)
+            raise ShardUnavailableError(
+                f"worker {worker} unavailable after {attempts} "
+                f"attempt(s) ({last.cause}): {last}",
+                shards=tuple(self.worker_shards(worker)),
+            )
         nbytes = _payload_nbytes(message) + _payload_nbytes(reply)
         if nbytes:
             with self._counter_lock:
@@ -758,43 +921,109 @@ class WorkerPool:
             raise WorkerError(reply[1])
         return reply
 
-    def _heartbeat_loop(self) -> None:
-        """Background liveness probe: ping idle workers, respawn the dead.
+    def _broadcast_insert(self, worker: int, entry) -> None:
+        """Deliver one logged insert to every replica of its owning slot.
 
-        Runs only when ``policy.heartbeat_interval > 0``.  A worker
-        whose lock is busy is serving a request — the request path's own
-        deadline covers it — so the probe only pings workers it can
-        lock without waiting, keeping the heartbeat invisible to
-        foreground latency.
+        Best-effort by design: the insert already succeeded on one
+        replica (and is in the replay log), the seq stamp makes
+        duplicate delivery a set-lookup no-op, and a replica that is
+        down right now converges through the log replay when it
+        reconnects.  A replica that fails mid-broadcast is simply
+        marked down — never the caller's problem.
+        """
+        replicas = self._eps[worker]
+        if len(replicas) == 1:
+            return
+        shard, points, seq = entry
+        message = ("insert", shard, points, seq)
+        deadline = self._op_deadline(message)
+        for r, ep in enumerate(replicas):
+            with ep.lock:
+                if ep.transport is None or ep.poisoned:
+                    continue
+                try:
+                    reply = self._roundtrip_locked(worker, r, message, deadline)
+                except _TransportFailure as exc:
+                    self._mark_down_locked(worker, r, exc.cause)
+                    continue
+                if isinstance(reply, tuple) and reply and reply[0] == "error":
+                    self._mark_down_locked(worker, r, "corrupt")
+
+    def _rollback_endpoints(self, worker: int) -> None:
+        """Restore (pipes) or quarantine (TCP) a slot after a failed insert.
+
+        A respawned pipe worker reloads the artifact and replays the
+        (already popped) log, restoring the exact pre-batch state.  A
+        remote server cannot be rolled back — it may have durably
+        applied part of the batch — so its endpoints are *poisoned*:
+        excluded from selection and revival until a fresh pool (or an
+        operator restart of the server) re-anchors state.
+        """
+        for r, ep in enumerate(self._eps[worker]):
+            with ep.lock:
+                if self._endpoints_cfg is None:
+                    with contextlib.suppress(Exception):
+                        self._respawn_locked(worker, r, cause="rollback")
+                else:
+                    if ep.transport is not None:
+                        with contextlib.suppress(Exception):
+                            ep.transport.kill()
+                        ep.transport = None
+                    ep.poisoned = True
+                    ep.down_cause = "rollback"
+
+    def _heartbeat_loop(self) -> None:
+        """Background liveness probe: ping idle endpoints, revive the dead.
+
+        Runs only when ``policy.heartbeat_interval > 0``.  An endpoint
+        whose lock is busy is serving a request — the request path's
+        own deadline covers it — so the probe only pings endpoints it
+        can lock without waiting, keeping the heartbeat invisible to
+        foreground latency.  Downed replicas past their backoff are
+        revived here too, so a replica set heals without waiting for a
+        read to rotate onto the dead endpoint.
         """
         while not self._hb_stop.wait(self.policy.heartbeat_interval):
             for w in range(self.num_workers):
-                if self._closed or self._hb_stop.is_set():
-                    return
-                if not self._locks[w].acquire(blocking=False):
-                    continue
-                try:
-                    if self._closed:
+                for r, ep in enumerate(self._eps[w]):
+                    if self._closed or self._hb_stop.is_set():
                         return
+                    if not ep.lock.acquire(blocking=False):
+                        continue
                     try:
-                        conn = self._conns[w]
-                        conn.send(("ping",))
-                        reply = _recv_with_deadline(
-                            conn, self.policy.recv_deadline,
-                            f"worker {w} heartbeat",
-                        )
-                        if reply != "pong":
-                            raise WorkerError(
-                                f"worker {w} heartbeat answered {reply!r}"
+                        if self._closed:
+                            return
+                        if ep.poisoned:
+                            continue
+                        if ep.transport is None:
+                            if (
+                                ep.down_cause is not None
+                                and time.monotonic() >= ep.retry_at
+                            ):
+                                with contextlib.suppress(Exception):
+                                    self._respawn_locked(
+                                        w, r, cause=ep.down_cause
+                                    )
+                            continue
+                        try:
+                            pong = self._roundtrip_locked(
+                                w, r, ("ping",), self.policy.recv_deadline
                             )
-                    except Exception as exc:
-                        if isinstance(exc, DeadlineExceededError):
-                            with self._counter_lock:
-                                self.worker_timeouts += 1
-                        with contextlib.suppress(Exception):
-                            self._respawn_locked(w, cause="heartbeat")
-                finally:
-                    self._locks[w].release()
+                            if pong != "pong":
+                                raise WorkerError(
+                                    f"worker {w} heartbeat answered {pong!r}"
+                                )
+                        except Exception as exc:
+                            if (
+                                isinstance(exc, _TransportFailure)
+                                and exc.cause == "timeout"
+                            ):
+                                with self._counter_lock:
+                                    self.worker_timeouts += 1
+                            with contextlib.suppress(Exception):
+                                self._respawn_locked(w, r, cause="heartbeat")
+                    finally:
+                        ep.lock.release()
 
     def _fan_out(self, messages: dict[int, tuple]) -> dict[int, object]:
         """Send one message per worker concurrently; collect the replies."""
@@ -827,18 +1056,32 @@ class WorkerPool:
         return replies, failures
 
     def worker_pids(self) -> list[int]:
-        """The live worker process ids (diagnostics and crash tests)."""
-        return [p.pid for p in self._workers if p is not None]
+        """Live spawned-worker process ids (diagnostics and crash tests).
+
+        Flat across slots then replicas; remote TCP endpoints have no
+        local process and contribute nothing.
+        """
+        pids = []
+        for row in self._eps:
+            for ep in row:
+                transport = ep.transport
+                if (
+                    isinstance(transport, PipeTransport)
+                    and transport.process is not None
+                ):
+                    pids.append(transport.process.pid)
+        return pids
 
     def worker_stats(self) -> list[dict]:
-        """Every *reachable* worker's stats snapshot, via the ``stats`` op.
+        """Every *reachable* slot's stats snapshot, via the ``stats`` op.
 
-        Each entry is a worker-local ``ServiceStats.as_dict()`` document
-        — latency histogram, counters, bytes shipped over *its* pipe,
-        and live gauges over its frozen shards (overflow size,
-        re-freeze counters).  A worker respawned after a crash starts
-        from zeroed counters; the parent's :attr:`respawns` records the
-        event.  Workers that are down are skipped — telemetry must not
+        Each entry is an endpoint-local ``ServiceStats.as_dict()``
+        document — latency histogram, counters, bytes shipped over
+        *its* wire, and live gauges over its frozen shards (overflow
+        size, re-freeze counters).  One replica answers per slot (the
+        read rotation picks it); a respawned endpoint starts from
+        zeroed counters, and the parent's :attr:`respawns` records the
+        event.  Slots that are down are skipped — telemetry must not
         take the service with it.  Merge with ``ServiceStats.from_dict``
         + ``merge`` for the pool-wide aggregate (exact: shared histogram
         buckets).
@@ -855,42 +1098,48 @@ class WorkerPool:
                 "worker_timeouts": self.worker_timeouts,
                 "worker_retries": self.worker_retries,
                 "breaker_opens": self.breaker_opens,
+                "replica_failovers": self.replica_failovers,
                 "respawns_by_cause": dict(self.respawns_by_cause),
             }
 
     def open_breaker_count(self) -> int:
-        """How many workers' circuit breakers are currently open.
+        """How many endpoints' circuit breakers are currently open.
 
-        Read without the worker locks: a racing transition flips a
+        Read without the endpoint locks: a racing transition flips a
         single reference, so the count is only ever one step stale —
         fine for a gauge, and it keeps metrics scrapes from queueing
         behind a hung request's deadline.
         """
-        return sum(1 for breaker in self._breakers if breaker.is_open)
+        return sum(
+            1 for row in self._eps for ep in row if ep.breaker.is_open
+        )
 
     def close(self) -> None:
-        """Stop every worker and release the artifact (idempotent)."""
+        """Stop every endpoint and release the artifact (idempotent).
+
+        Spawned workers get a clean ``stop`` then a join-or-terminate;
+        TCP endpoints get the same ``stop`` (ending the server's
+        session, not the server) and a socket close.
+        """
         if self._closed:
             return
         self._closed = True
         self._hb_stop.set()
         if self._hb_thread is not None:
             self._hb_thread.join(timeout=5.0)
-        for w, conn in enumerate(self._conns):
-            if conn is None:
-                continue
-            with contextlib.suppress(BrokenPipeError, OSError):
-                conn.send(("stop",))
-        for process in self._workers:
-            if process is None:
-                continue
-            process.join(timeout=5.0)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=5.0)
-        for conn in self._conns:
-            if conn is not None:
-                conn.close()
+        for row in self._eps:
+            for ep in row:
+                if ep.transport is None:
+                    continue
+                with contextlib.suppress(Exception):
+                    ep.transport.send(("stop",))
+        for row in self._eps:
+            for ep in row:
+                if ep.transport is None:
+                    continue
+                with contextlib.suppress(Exception):
+                    ep.transport.shutdown()
+                ep.transport = None
         self._fanout.shutdown(wait=True)
         if self._owns_path:
             shutil.rmtree(self.path, ignore_errors=True)
@@ -933,21 +1182,23 @@ class WorkerPool:
         trace: StageTrace | None = None,
         allow_partial: bool = False,
     ) -> list[QueryResult]:
-        """Answer a ``(q, d)`` matrix: one pipe round trip per worker.
+        """Answer a ``(q, d)`` matrix: one round trip per worker slot.
 
-        Each worker runs the identical per-shard
+        Each endpoint runs the identical per-shard
         :class:`~repro.service.batch.BatchQueryEngine` batch the thread
         path runs, so the merged answers are bit-identical to
-        :meth:`ShardedHybridIndex.query_batch`.
+        :meth:`ShardedHybridIndex.query_batch` — over pipes and TCP
+        alike, replicated or not.
 
-        With ``allow_partial=True`` an unrecoverable worker (retries
-        exhausted or breaker open) degrades the answer instead of
-        failing it: its shards contribute empty candidate sets and every
-        returned result is tagged ``degraded=True`` with the sorted
-        missing shard ids.  Without it — the default — such a worker
-        raises :class:`~repro.exceptions.ShardUnavailableError`, so a
+        With ``allow_partial=True`` an unrecoverable slot (every
+        replica's retries exhausted or breaker open) degrades the
+        answer instead of failing it: its shards contribute empty
+        candidate sets and every returned result is tagged
+        ``degraded=True`` with the sorted missing shard ids.  Without
+        it — the default — such a slot raises
+        :class:`~repro.exceptions.ShardUnavailableError`, so a
         *successful* return is always bit-identical to a fault-free
-        run.  If no worker answers at all, the error is raised even
+        run.  If no slot answers at all, the error is raised even
         under ``allow_partial``.
 
         With ``trace``, the fan-out round trip is attributed to the
@@ -1034,11 +1285,11 @@ class WorkerPool:
         (:func:`~repro.core.linear_scan.exact_topk_results`), so the
         deterministic ``(distance, id)`` tie-breaking is shared.
 
-        Under ``allow_partial=True`` a dead worker shrinks the candidate
+        Under ``allow_partial=True`` a dead slot shrinks the candidate
         pool to the reachable shards: results carry up to
         ``min(k, reachable points)`` neighbors and are tagged
         ``degraded=True`` with the missing shard ids.  Without it, a
-        dead worker raises
+        dead slot raises
         :class:`~repro.exceptions.ShardUnavailableError`.
         """
         k = check_positive_int(k, "k")
@@ -1088,15 +1339,25 @@ class WorkerPool:
     def insert(self, new_points: np.ndarray) -> np.ndarray:
         """Insert points round-robin; each lands in its owner's overflow.
 
-        The receiving worker's frozen shard absorbs the points through
+        The receiving endpoint's frozen shard absorbs the points through
         its overflow side-table (background re-freeze included); the
-        parent extends the global id maps and logs the routed batches so
-        a crashed worker can be replayed into the same state.
+        parent stamps each routed batch with a per-shard ``seq``,
+        extends the global id maps and logs the batches so a revived
+        endpoint can be replayed into the same state.  With replicas
+        the batch is then *broadcast* to the slot's other endpoints —
+        best-effort, idempotent under the seq stamp, with the replay
+        log converging any replica that was down.
 
         The replay log grows with every insert until a save makes the
         artifact canonical again — insert-heavy long-running deployments
         should call :meth:`checkpoint` (or ``save`` to the source path)
         periodically to re-anchor recovery on disk and drop the log.
+
+        If any shard's primary delivery fails, the batch is rolled
+        back: its log entries are popped and every touched slot is
+        restored (pipes respawn to the exact pre-batch state; remote
+        TCP endpoints, which may have durably applied part of the
+        batch, are quarantined instead — see :meth:`_rollback_endpoints`).
         """
         new_points = check_matrix(new_points, dim=self.dim, name="new_points")
         m = new_points.shape[0]
@@ -1109,32 +1370,34 @@ class WorkerPool:
         for s in range(self.num_shards):
             rows = np.flatnonzero(assignment == s)
             if rows.size:
-                routed_by_shard.append((s, rows, np.ascontiguousarray(new_points[rows])))
-        # Phase 1: apply on the workers.  Each shard's replay-log entry
-        # commits atomically with that worker's ack (see ``_request``) —
-        # a concurrent crash-triggered replay can never observe an
-        # acked-but-unlogged batch.  If any shard fails, pop this
-        # batch's entries and respawn every worker touched: the respawn
-        # restores the exact pre-batch state and a caller retry cannot
-        # double-insert.
+                routed_by_shard.append(
+                    (s, rows, np.ascontiguousarray(new_points[rows]))
+                )
+        # Phase 1: apply on the owning endpoints.  Each shard's
+        # replay-log entry commits atomically with the primary ack (see
+        # ``_request``) — a concurrent crash-triggered replay can never
+        # observe an acked-but-unlogged batch.
         touched: list[int] = []
         appended: list[int] = []
         try:
             for s, _, routed in routed_by_shard:
                 worker = self._owner(s)
                 touched.append(worker)
-                self._request(worker, ("insert", s, routed), log_entry=(s, routed))
+                with self._route_lock:
+                    seq = self._insert_seq[s]
+                    self._insert_seq[s] += 1
+                entry = (s, routed, seq)
+                self._request(worker, ("insert", s, routed, seq), log_entry=entry)
                 appended.append(worker)
+                self._broadcast_insert(worker, entry)
         except BaseException:
             with self._route_lock:
                 for worker in reversed(appended):
                     self._insert_log[worker].pop()
             for worker in dict.fromkeys(touched):
-                with self._locks[worker]:
-                    with contextlib.suppress(Exception):
-                        self._respawn_locked(worker, cause="rollback")
+                self._rollback_endpoints(worker)
             raise
-        # Phase 2: all workers accepted — commit the routing state.
+        # Phase 2: all owners accepted — commit the routing state.
         with self._route_lock:
             for s, rows, routed in routed_by_shard:
                 self._shard_gids[s] = np.concatenate(
@@ -1151,7 +1414,11 @@ class WorkerPool:
 
         Workers compact their overflow first (``save_frozen_index``
         does), so the artifact is pure CSR arrays; the caller writes the
-        metadata and id maps around them.
+        metadata and id maps around them.  One serving replica per
+        shard performs the save — replicas hold converged state, so any
+        of them may.  Note the multi-host caveat in
+        :mod:`repro.service.shard_server`: through a TCP endpoint the
+        write lands on the *server's* filesystem.
         """
         for w in range(self.num_workers):
             for s in self.worker_shards(w):
@@ -1191,7 +1458,7 @@ class WorkerPool:
 
     def __repr__(self) -> str:
         return (
-            f"WorkerPool(W={self.num_workers}, K={self.num_shards}, "
-            f"n={self.n}, dim={self.dim}, metric={self.metric_name}, "
-            f"r={self.radius})"
+            f"WorkerPool(W={self.num_workers}, R={self.replicas}, "
+            f"K={self.num_shards}, n={self.n}, dim={self.dim}, "
+            f"metric={self.metric_name}, r={self.radius})"
         )

@@ -1,0 +1,42 @@
+"""Fixture: unbounded socket waits in a service/ module (deadline-required).
+
+The socket shapes the extended rule forbids: a framed ``recv()`` with
+no bounded ``settimeout`` guard, an ``accept()`` / ``connect()``
+rendezvous with no bounded ``settimeout``, and an explicit
+``settimeout(None)`` (which flips the socket back to unbounded
+blocking mode).  The final two functions are the compliant spellings
+and must report nothing.
+"""
+
+
+def unguarded_socket_recv(sock):
+    # No settimeout guard: a silent peer parks this thread forever.
+    return sock.recv(4096)
+
+
+def unguarded_accept(listener):
+    # A client that never shows up parks the listener thread.
+    return listener.accept()
+
+
+def unguarded_connect(sock, address):
+    # A black-holed peer parks a reconnect attempt indefinitely.
+    sock.connect(address)
+    return sock
+
+
+def explicit_unbounded_settimeout(sock):
+    sock.settimeout(None)
+    return sock
+
+
+def timed_recv_is_fine(sock, seconds):
+    sock.settimeout(seconds)
+    return sock.recv(4096)
+
+
+def timed_rendezvous_is_fine(listener, sock, address, seconds):
+    listener.settimeout(seconds)
+    sock.settimeout(seconds)
+    sock.connect(address)
+    return listener.accept()

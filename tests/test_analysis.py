@@ -28,7 +28,7 @@ RULE_FIXTURES = {
     "lock-discipline": FIXTURES / "locks_bad.py",
     "trace-stage": FIXTURES / "stages_bad.py",
     "spec-plumb": FIXTURES / "spec_plumb",
-    "deadline-required": FIXTURES / "service" / "deadline_bad.py",
+    "deadline-required": FIXTURES / "service",
 }
 
 
@@ -92,12 +92,17 @@ class TestTruePositives:
         findings = run_check(
             [str(RULE_FIXTURES["deadline-required"])], enabled=["deadline-required"]
         )
-        # unguarded recv, poll(None), and the recv behind poll(None);
-        # the poll(seconds)-guarded function reports nothing.
-        assert len(findings) == 3
+        # Pipe fixture: unguarded recv, poll(None), and the recv behind
+        # poll(None).  Socket fixture: unguarded recv, unguarded accept,
+        # unguarded connect, settimeout(None).  The guarded functions in
+        # both fixtures report nothing.
+        assert len(findings) == 7
         blob = " ".join(f.message for f in findings)
         assert "poll(None)" in blob
         assert "no bounded" in blob
+        assert "settimeout(None)" in blob
+        assert ".accept()" in blob
+        assert ".connect()" in blob
 
     def test_lock_discipline_points_at_the_bare_mutation(self):
         findings = run_check(

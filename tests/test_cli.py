@@ -2,10 +2,16 @@
 
 import io
 import json
+import os
+import signal
+import subprocess
+import sys
 
 import pytest
 
 from repro.cli import main
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 
 
 class TestCli:
@@ -347,6 +353,25 @@ class TestCliVariants:
         assert responses[0]["spec"]["variant"] == "covering"
         assert 3 in responses[1]["ids"]
 
+    def test_throughput_allow_partial_requires_processes(self):
+        with pytest.raises(SystemExit, match="processes"):
+            main([
+                "throughput", "--n", "600", "--queries", "8", "--tables", "4",
+                "--allow-partial",
+            ])
+
+    def test_throughput_allow_partial_stays_bit_identical(self, capsys, tmp_path):
+        """On a healthy pool the flag only charges bookkeeping."""
+        artifact = tmp_path / "tp.json"
+        assert main([
+            "throughput", "--n", "700", "--queries", "10", "--tables", "4",
+            "--shards", "2", "--execution", "processes", "--allow-partial",
+            "--json", str(artifact),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(artifact.read_text())
+        assert payload["modes"]["workers"]["matches_reference"] is True
+
     def test_throughput_multiprobe_gate(self, capsys, tmp_path):
         artifact = tmp_path / "tp.json"
         assert main([
@@ -359,3 +384,107 @@ class TestCliVariants:
         payload = json.loads(artifact.read_text())
         assert "frozen_multiprobe" in payload["modes"]
         assert payload["modes"]["frozen_multiprobe"]["matches_reference"] is True
+
+
+def _spawn_shard_server(artifact, shards=None):
+    """Launch ``repro.cli shard-serve`` and parse its startup banner."""
+    argv = [sys.executable, "-m", "repro.cli", "shard-serve", "--artifact", artifact]
+    if shards is not None:
+        argv += ["--shards", shards]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(argv, stdout=subprocess.PIPE, env=env, text=True)
+    line = proc.stdout.readline()
+    if not line:
+        proc.wait(timeout=10)
+        raise RuntimeError(f"shard-serve exited {proc.returncode} without a banner")
+    return proc, json.loads(line)
+
+
+class TestCliNetworked:
+    """shard-serve / loadgen / serve --connect: the deployment surface."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        out = str(tmp_path_factory.mktemp("cli-net") / "idx")
+        assert main([
+            "build", "--dataset", "corel", "--n", "300", "--tables", "4",
+            "--shards", "2", "--layout", "frozen",
+            "--execution", "processes", "--out", out,
+        ]) == 0
+        return out
+
+    def test_loadgen_reports_tail_latency(self, artifact, capsys, tmp_path):
+        report = tmp_path / "latency.json"
+        assert main([
+            "loadgen", "--index", artifact, "--rate", "80",
+            "--duration", "0.5", "--json", str(report),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "loadgen:" in err and "p99" in err
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro-loadgen/1"
+        assert doc["requests"] > 0
+        assert doc["failures"] == 0
+        latency = doc["latency"]
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+        assert "samples" not in doc  # dropped unless --samples
+
+    def test_shard_serve_banner_loadgen_connect_and_serve_connect(
+        self, artifact, capsys, monkeypatch, tmp_path
+    ):
+        from repro.datasets import corel_like
+
+        proc, banner = _spawn_shard_server(artifact)
+        try:
+            assert banner["shards"] == [0, 1]
+            assert banner["pid"] == proc.pid
+            endpoint = f"{banner['host']}:{banner['port']}"
+            report = tmp_path / "tcp-latency.json"
+            assert main([
+                "loadgen", "--index", artifact, "--connect", endpoint,
+                "--rate", "60", "--duration", "0.5", "--json", str(report),
+            ]) == 0
+            capsys.readouterr()
+            doc = json.loads(report.read_text())
+            assert doc["requests"] > 0 and doc["failures"] == 0
+            # The same endpoint serves the JSON-lines protocol too.
+            dataset = corel_like(n=300, seed=0)
+            request = json.dumps({"query": dataset.points[0].tolist()})
+            monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+            assert main([
+                "serve", "--index", artifact, "--connect", endpoint,
+            ]) == 0
+            out = capsys.readouterr().out
+            assert 0 in json.loads(out.splitlines()[0])["ids"]
+            # SIGINT shuts the server down cleanly.
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=10) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+    def test_shard_serve_rejects_bad_shard_lists(self, artifact):
+        with pytest.raises(SystemExit, match="comma-separated"):
+            main(["shard-serve", "--artifact", artifact, "--shards", "x"])
+        with pytest.raises(SystemExit, match="out of range"):
+            main(["shard-serve", "--artifact", artifact, "--shards", "9"])
+
+    def test_serve_connect_requires_index(self):
+        with pytest.raises(SystemExit, match="--index"):
+            main(["serve", "--connect", "127.0.0.1:1"])
+
+    def test_serve_allow_partial_stays_clean_on_a_healthy_pool(
+        self, artifact, capsys, monkeypatch
+    ):
+        from repro.datasets import corel_like
+
+        dataset = corel_like(n=300, seed=0)
+        request = json.dumps({"query": dataset.points[0].tolist()})
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        assert main([
+            "serve", "--index", artifact, "--allow-partial",
+        ]) == 0
+        response = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert 0 in response["ids"]
+        assert "degraded" not in response

@@ -132,9 +132,34 @@ class TestFaultPlan:
         with pytest.raises(ConfigurationError):
             FaultSpec(FaultKind.CRASH, worker=0, op_index=0, repeat=0)
         with pytest.raises(ConfigurationError):
+            FaultSpec(FaultKind.CRASH, worker=0, op_index=0, scope="bogus")
+        with pytest.raises(ConfigurationError):
+            FaultSpec(FaultKind.CRASH, worker=0, op_index=0, replica=-1)
+        with pytest.raises(ConfigurationError):
             FaultPlan.seeded(seed=0, num_workers=0, num_ops=1)
         with pytest.raises(ConfigurationError):
             FaultPlan.seeded(seed=0, num_workers=1, num_ops=1, rate=1.5)
+
+    def test_lifetime_scope_counts_across_injector_sessions(self):
+        """``scope="lifetime"`` matches ``start + index``, not the session."""
+        spec = FaultSpec(FaultKind.DROP, worker=0, op_index=3, scope="lifetime")
+        plan = FaultPlan.scripted(spec)
+        # First session consumed ops 0-2; the fault fires at lifetime 3.
+        resumed = plan.for_worker(0, start=3)
+        assert resumed.next_fault() == spec
+        # A session starting past the fault index never sees it again —
+        # unlike the default process scope, which restarts per session.
+        later = plan.for_worker(0, start=4)
+        assert [later.next_fault() for _ in range(3)] == [None, None, None]
+
+    def test_replica_field_pins_a_fault_to_one_endpoint(self):
+        pinned = FaultSpec(FaultKind.DROP, worker=0, op_index=0, replica=1)
+        wildcard = FaultSpec(FaultKind.DROP, worker=0, op_index=1)
+        plan = FaultPlan.scripted(pinned, wildcard)
+        r0 = plan.for_worker(0, replica=0)
+        assert [r0.next_fault() for _ in range(2)] == [None, wildcard]
+        r1 = plan.for_worker(0, replica=1)
+        assert [r1.next_fault() for _ in range(2)] == [pinned, wildcard]
 
 
 class TestPolicy:
@@ -238,6 +263,36 @@ class TestRecovery:
             counters = pool.failure_counters()
             assert counters["worker_retries"] == 0
             assert counters["respawns_by_cause"] == {}
+        finally:
+            pool.close()
+
+    def test_lifetime_scope_crash_at_index_zero_still_recovers(
+        self, artifact, queries, baseline
+    ):
+        """The outage-vs-transient distinction is the ``scope`` field.
+
+        A *process*-scoped crash at request index 0 re-fires on every
+        respawn (a persistent outage; see :class:`TestDegradation`).
+        The same crash with ``scope="lifetime"`` fires exactly once in
+        the endpoint's life — the respawned process resumes at the
+        lifetime op count, past the fault — so even an index-0 crash
+        recovers bit-identically.
+        """
+        pool = WorkerPool(
+            artifact,
+            num_workers=WORKERS,
+            policy=_drill_policy(),
+            fault_plan=FaultPlan.scripted(
+                FaultSpec(
+                    FaultKind.CRASH, worker=0, op_index=0, scope="lifetime"
+                )
+            ),
+        )
+        try:
+            assert_results_equal(pool.query_batch(queries), baseline["radius"])
+            assert_results_equal(pool.query_batch(queries), baseline["radius"])
+            counters = pool.failure_counters()
+            assert counters["respawns_by_cause"].get("crash", 0) == 1
         finally:
             pool.close()
 
@@ -452,7 +507,7 @@ class TestFacadeAndStream:
             policy=_drill_policy(heartbeat_interval=0.05),
         )
         try:
-            victim = pool._workers[0].pid
+            victim = pool.worker_pids()[0]
             os.kill(victim, signal.SIGKILL)
             deadline = time.monotonic() + 10.0
             while time.monotonic() < deadline:
@@ -462,9 +517,53 @@ class TestFacadeAndStream:
                 time.sleep(0.05)
             else:
                 pytest.fail("heartbeat never respawned the killed worker")
-            assert pool._workers[0].pid != victim
+            assert victim not in pool.worker_pids()
         finally:
             pool.close()
+
+    def test_heartbeat_respawn_reaches_facade_stats_and_prometheus(
+        self, artifact
+    ):
+        """The heartbeat cause must survive the full telemetry pipeline.
+
+        Pool counter -> facade ``stats_snapshot`` -> Prometheus
+        exposition: an operator watching the scrape endpoint sees the
+        silent-death respawn with its cause label, no pool access
+        needed.
+        """
+        import os
+        import signal
+
+        from repro.observability.prometheus import prometheus_text
+
+        index = Index.open(
+            artifact,
+            num_workers=WORKERS,
+            fault_policy=_drill_policy(heartbeat_interval=0.05),
+        )
+        try:
+            victim = index.engine.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            # Poll the passive parent-side counter: a stats_snapshot()
+            # here would itself round-trip to the dead endpoint and
+            # respawn it with cause "crash" before the heartbeat runs.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                counters = index.engine.failure_counters()
+                if counters["respawns_by_cause"].get("heartbeat", 0) >= 1:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("heartbeat never respawned the killed worker")
+            snapshot = index.stats_snapshot()
+            assert snapshot["respawns_by_cause"].get("heartbeat", 0) >= 1
+            text = prometheus_text(snapshot)
+            assert (
+                'repro_worker_respawns_by_cause_total{cause="heartbeat"}'
+                in text
+            )
+        finally:
+            index.close()
 
 
 hypothesis = pytest.importorskip("hypothesis")
