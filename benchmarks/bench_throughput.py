@@ -23,7 +23,13 @@ results to the sequential single-query loop:
   loop (``multiprobe_sequential``) and reach >= 3x its QPS: multi-probe
   examines ``1 + P`` buckets per table, so the vectorised
   probe-sequence lookups have proportionally more per-bucket Python
-  overhead to delete.
+  overhead to delete;
+* the ``adaptive_budget`` mode — the same multi-probe frozen spec under
+  a per-query candidate budget — must answer with an id-subset of the
+  fixed-fan-out ``adaptive_fixed`` row, examine at most 0.7x its
+  candidates, and hold recall against the brute-force radius ground
+  truth within 0.005 of the fixed row: the estimates-driven policy
+  must genuinely trade examined candidates for nothing at this scale.
 
 Emits ``BENCH_throughput.json`` at the repo root so later PRs (async
 serving, multi-backend, persistence) can track the perf trajectory.
@@ -32,7 +38,9 @@ Environment knobs: ``REPRO_BENCH_THROUGHPUT_N`` (default 20,000),
 ``REPRO_BENCH_QUERIES`` (default 200 here), ``REPRO_BENCH_SHARDS``
 (default 4), ``REPRO_BENCH_REPEATS`` (default 3; best-of timing),
 ``REPRO_BENCH_WORKERS`` (pool width; default min(shards, cpus)),
-``REPRO_BENCH_PROBES`` (multi-probe extra buckets; default 2).
+``REPRO_BENCH_PROBES`` (multi-probe extra buckets; default 2),
+``REPRO_BENCH_ADAPTIVE_TARGET`` (adaptive candidate budget; default
+``max(32, n // 100)``).
 The bars are calibrated for the default scale — shrinking the
 workload shrinks the fixed per-query overheads batching amortises,
 so reduced runs may land below them.
@@ -65,6 +73,11 @@ NUM_WORKERS = (
     else None
 )
 NUM_PROBES = int(os.environ.get("REPRO_BENCH_PROBES", "2"))
+ADAPTIVE_TARGET = (
+    int(os.environ["REPRO_BENCH_ADAPTIVE_TARGET"])
+    if "REPRO_BENCH_ADAPTIVE_TARGET" in os.environ
+    else None
+)
 ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
 
 MIN_SPEEDUP = 3.0
@@ -73,6 +86,10 @@ MIN_FROZEN_SPEEDUP = 5.0
 MIN_WORKERS_SPEEDUP = 1.5
 #: frozen_multiprobe over its own sequential loop (multiprobe_sequential).
 MIN_MULTIPROBE_SPEEDUP = 3.0
+#: adaptive_budget candidates over adaptive_fixed candidates (at most).
+MAX_ADAPTIVE_CANDIDATES = 0.7
+#: adaptive_budget recall may trail adaptive_fixed by at most this much.
+MAX_ADAPTIVE_RECALL_GAP = 0.005
 #: enabled-tracing QPS tax target on frozen_batched (recorded in the
 #: artifact; asserted loosely — wall-clock noise on shared CI hosts
 #: makes a tight 5% gate flaky, so the hard bar is 3x the target).
@@ -106,6 +123,8 @@ def _run_throughput():
         num_workers=NUM_WORKERS,
         include_multiprobe=True,
         num_probes=NUM_PROBES,
+        include_adaptive=True,
+        adaptive_target=ADAPTIVE_TARGET,
     )
     title = (
         f"Serving throughput: n = {THROUGHPUT_N}, {NUM_QUERIES} queries, "
@@ -161,6 +180,7 @@ if pytest is not None:
         assert by_mode["sharded"].matches  # batch path == its own per-query loop
         assert by_mode["workers"].matches  # process pool == thread path
         assert by_mode["frozen_multiprobe"].matches  # frozen probes == dict probes
+        assert by_mode["adaptive_budget"].matches  # id-subset of adaptive_fixed
 
     def test_latency_percentiles_recorded(throughput_rows):
         """Every mode's latency pass must yield ordered, finite percentiles."""
@@ -206,6 +226,26 @@ if pytest is not None:
             >= MIN_MULTIPROBE_SPEEDUP * by_mode["multiprobe_sequential"].qps
         ), by_mode
 
+    def test_adaptive_budget_candidate_reduction(throughput_rows):
+        """Acceptance: the candidate budget examines <= 0.7x at equal recall.
+
+        ``adaptive_budget`` shares every spec knob with ``adaptive_fixed``
+        except the :class:`~repro.core.adaptive.AdaptivePolicy`, so the
+        candidate gap is attributable to the estimates-driven trimming
+        and budget-capped dispatch alone.
+        """
+        by_mode = {row.mode: row for row in throughput_rows}
+        ad, fx = by_mode["adaptive_budget"], by_mode["adaptive_fixed"]
+        assert ad.matches, "budget answers are not an id-subset of fixed"
+        assert ad.candidates <= MAX_ADAPTIVE_CANDIDATES * fx.candidates, (
+            f"adaptive_budget examined {ad.candidates / fx.candidates:.2f}x "
+            f"the fixed candidates > {MAX_ADAPTIVE_CANDIDATES}x bar"
+        )
+        assert ad.recall >= fx.recall - MAX_ADAPTIVE_RECALL_GAP, (
+            f"adaptive_budget recall {ad.recall:.4f} trails fixed "
+            f"{fx.recall:.4f} by more than {MAX_ADAPTIVE_RECALL_GAP}"
+        )
+
     def test_workers_speedup_over_thread_sharding(throughput_rows):
         """Acceptance: the process pool >= 1.5x the thread fan-out.
 
@@ -227,10 +267,14 @@ if __name__ == "__main__":
     frozen = by_mode["frozen_batched"]
     workers = by_mode["workers"]
     frozen_mp = by_mode["frozen_multiprobe"]
+    ad, fx = by_mode["adaptive_budget"], by_mode["adaptive_fixed"]
     assert by_mode["batched"].matches and frozen.matches and by_mode["sharded"].matches
     assert by_mode["frozen_batched_traced"].matches, "tracing changed an answer"
     assert workers.matches, "workers mode diverged from the thread path"
     assert frozen_mp.matches, "frozen multiprobe diverged from the dict layout"
+    assert ad.matches, "adaptive_budget is not an id-subset of adaptive_fixed"
+    assert ad.candidates <= MAX_ADAPTIVE_CANDIDATES * fx.candidates, by_mode
+    assert ad.recall >= fx.recall - MAX_ADAPTIVE_RECALL_GAP, by_mode
     overhead = _tracing_overhead(by_mode)
     assert overhead <= MAX_TRACING_OVERHEAD, f"tracing overhead {overhead:.1%}"
     assert best >= MIN_SPEEDUP * by_mode["sequential"].qps, by_mode
@@ -246,6 +290,10 @@ if __name__ == "__main__":
     print(
         f"frozen_multiprobe {frozen_mp.qps / by_mode['multiprobe_sequential'].qps:.2f}x "
         f">= {MIN_MULTIPROBE_SPEEDUP}x: OK"
+    )
+    print(
+        f"adaptive_budget {ad.candidates / fx.candidates:.2f}x candidates "
+        f"<= {MAX_ADAPTIVE_CANDIDATES}x at recall {ad.recall:.4f}: OK"
     )
     if MULTI_CORE:
         assert workers.qps >= MIN_WORKERS_SPEEDUP * by_mode["sharded"].qps, by_mode

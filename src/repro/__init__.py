@@ -21,8 +21,11 @@ True
 """
 
 from repro.api import (
+    AdaptivePolicy,
+    BatchOutcome,
     Index,
     IndexSpec,
+    QueryOutcome,
     QuerySpec,
     available_estimators,
     available_families,
@@ -77,8 +80,11 @@ ShardedHybridIndex = _deprecated_front_door(
 __version__ = "1.1.0"
 
 __all__ = [
+    "AdaptivePolicy",
+    "BatchOutcome",
     "Index",
     "IndexSpec",
+    "QueryOutcome",
     "QuerySpec",
     "register_family",
     "get_family",

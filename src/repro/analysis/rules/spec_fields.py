@@ -1,12 +1,14 @@
-"""Spec-field plumb-through rule: no dead ``IndexSpec`` configuration.
+"""Spec-field plumb-through rule: no dead spec configuration.
 
-Every field declared on :class:`repro.api.spec.IndexSpec` must be
-consumed somewhere in the layers that act on a spec — the facade build
-path, the persistence layer, or the dict-layout serialiser.  A field
-none of them reads is configuration that silently does nothing: the
-spec validates it, round-trips it through JSON, and then it falls on
-the floor (the exact failure mode this rule exists to catch when a new
-knob is added to the spec but not wired through).
+Every field declared on :class:`repro.api.spec.IndexSpec` and
+:class:`repro.api.spec.QuerySpec` must be consumed somewhere in the
+layers that act on a spec — for ``IndexSpec`` the facade build path,
+the persistence layer, or the dict-layout serialiser; for ``QuerySpec``
+the facade query path or the JSON-lines stream front-end.  A field no
+consumer reads is configuration that silently does nothing: the spec
+validates it, round-trips it through JSON, and then it falls on the
+floor (the exact failure mode this rule exists to catch when a new
+knob is added to a spec but not wired through).
 """
 
 from __future__ import annotations
@@ -16,16 +18,22 @@ from collections.abc import Iterator, Sequence
 
 from repro.analysis.core import Finding, ProjectRule, SourceFile, register
 
-#: where the spec is declared / where its fields must be consumed.
+#: where the specs are declared.
 SPEC_FILE = "api/spec.py"
-CONSUMER_FILES = ("api/facade.py", "api/persist.py", "index/serialize.py")
-SPEC_CLASS = "IndexSpec"
+
+#: spec class -> the files at least one of which must read each field.
+SPEC_CONSUMERS: dict[str, tuple[str, ...]] = {
+    "IndexSpec": ("api/facade.py", "api/persist.py", "index/serialize.py"),
+    "QuerySpec": ("api/facade.py", "service/stream.py"),
+}
 
 
-def _spec_fields(sf: SourceFile) -> list[tuple[str, ast.AnnAssign]]:
-    """The declared dataclass fields of ``IndexSpec``, in order."""
+def _spec_fields(
+    sf: SourceFile, spec_class: str
+) -> list[tuple[str, ast.AnnAssign]]:
+    """The declared dataclass fields of ``spec_class``, in order."""
     for node in ast.walk(sf.tree):
-        if isinstance(node, ast.ClassDef) and node.name == SPEC_CLASS:
+        if isinstance(node, ast.ClassDef) and node.name == spec_class:
             return [
                 (stmt.target.id, stmt)
                 for stmt in node.body
@@ -52,31 +60,38 @@ def _consumed_names(files: Sequence[SourceFile]) -> set[str]:
 
 @register
 class SpecPlumbThroughRule(ProjectRule):
-    """Every ``IndexSpec`` field is consumed by facade/persist/serialize."""
+    """Every ``IndexSpec``/``QuerySpec`` field reaches a consumer layer."""
 
     id = "spec-plumb"
     description = (
         "every IndexSpec field must be read by the facade, persistence, "
-        "or serialisation layer; a field none of them consumes is dead "
+        "or serialisation layer and every QuerySpec field by the facade "
+        "or the stream front-end; a field no consumer reads is dead "
         "configuration"
     )
-    path_suffixes = (SPEC_FILE,) + CONSUMER_FILES
+    path_suffixes = (SPEC_FILE,) + tuple(
+        sorted({f for consumers in SPEC_CONSUMERS.values() for f in consumers})
+    )
 
     def check_project(self, files: Sequence[SourceFile]) -> Iterator[Finding]:
         spec_files = [sf for sf in files if sf.matches((SPEC_FILE,))]
-        consumers = [sf for sf in files if sf.matches(CONSUMER_FILES)]
-        if not spec_files or not consumers:
-            # Partial invocations (e.g. a single-file check) cannot
-            # evaluate plumb-through; stay silent rather than guess.
+        if not spec_files:
             return
-        consumed = _consumed_names(consumers)
-        for sf in spec_files:
-            for name, node in _spec_fields(sf):
-                if name not in consumed:
-                    yield self.finding(
-                        sf,
-                        node,
-                        f"IndexSpec.{name} is validated and persisted but "
-                        f"never consumed by {', '.join(CONSUMER_FILES)}; "
-                        f"wire it through or remove it",
-                    )
+        for spec_class, consumer_paths in SPEC_CONSUMERS.items():
+            consumers = [sf for sf in files if sf.matches(consumer_paths)]
+            if not consumers:
+                # Partial invocations (e.g. a single-file check) cannot
+                # evaluate plumb-through; stay silent rather than guess.
+                continue
+            consumed = _consumed_names(consumers)
+            for sf in spec_files:
+                for name, node in _spec_fields(sf, spec_class):
+                    if name not in consumed:
+                        yield self.finding(
+                            sf,
+                            node,
+                            f"{spec_class}.{name} is validated and "
+                            f"persisted but never consumed by "
+                            f"{', '.join(consumer_paths)}; wire it "
+                            f"through or remove it",
+                        )

@@ -18,8 +18,10 @@ gives it a single surface:
 """
 
 from repro.api.facade import Index, ServiceStats
+from repro.api.outcome import BatchOutcome, QueryOutcome
 from repro.api.persist import open_index, save_index
 from repro.api.spec import IndexSpec, QuerySpec
+from repro.core.adaptive import AdaptivePolicy
 from repro.hashing.base import available_families, get_family, register_family
 from repro.sketches.registry import (
     available_estimators,
@@ -28,8 +30,11 @@ from repro.sketches.registry import (
 )
 
 __all__ = [
+    "AdaptivePolicy",
+    "BatchOutcome",
     "Index",
     "IndexSpec",
+    "QueryOutcome",
     "QuerySpec",
     "ServiceStats",
     "save_index",

@@ -14,7 +14,7 @@ from __future__ import annotations
 import warnings
 from typing import Any
 
-__all__ = ["deprecated_front_door", "warn_once"]
+__all__ = ["deprecated_front_door", "warn_legacy_shape", "warn_once"]
 
 #: names that have already warned this process (tests may clear this)
 _WARNED: set[str] = set()
@@ -28,6 +28,26 @@ def warn_once(name: str, alternative: str, stacklevel: int = 3) -> None:
     warnings.warn(
         f"{name}(...) is a deprecated front door; build via {alternative} "
         f"(see repro.api). The class keeps working unchanged.",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def warn_legacy_shape(name: str, alternative: str, stacklevel: int = 3) -> None:
+    """Emit one :class:`DeprecationWarning` per process for a result shape.
+
+    The typed envelope (:class:`repro.api.outcome.QueryOutcome`) is the
+    supported answer shape; the pre-envelope shapes stay constructible
+    through explicit shims (``to_result`` / ``to_results``) that warn
+    once and then behave exactly as before.
+    """
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"{name} is a deprecated result shape; use the QueryOutcome "
+        f"envelope via {alternative} (see repro.api.outcome). "
+        f"The shape itself is unchanged.",
         DeprecationWarning,
         stacklevel=stacklevel,
     )

@@ -30,8 +30,15 @@ from typing import Any, cast
 
 import numpy as np
 
+from repro.api.deprecations import warn_legacy_shape
+from repro.api.outcome import BatchOutcome, QueryOutcome
 from repro.api.spec import IndexSpec, QuerySpec
-from repro.core.calibration import calibrate_cost_model
+from repro.core.adaptive import AdaptivePolicy
+from repro.core.calibration import (
+    DistanceProfile,
+    calibrate_cost_model,
+    measure_distance_profile,
+)
 from repro.core.cost_model import CostModel
 from repro.core.hybrid import HybridLSH, HybridSearcher
 from repro.core.presets import _PSTABLE_PRESETS, paper_parameters
@@ -84,15 +91,20 @@ class _SingleBackend:
         radius: float,
         trace: StageTrace | None = None,
         allow_partial: bool = False,
+        adaptive: AdaptivePolicy | None = None,
     ) -> list[QueryResult]:
         # A single in-process engine has no independently failing shards
         # — ``allow_partial`` is accepted for surface parity and ignored.
-        return self.engine.query_batch(queries, radius, trace=trace)
+        return self.engine.query_batch(queries, radius, trace=trace, adaptive=adaptive)
 
     def shard_query_batch(
-        self, shard: int, queries: np.ndarray, radius: float
+        self,
+        shard: int,
+        queries: np.ndarray,
+        radius: float,
+        adaptive: AdaptivePolicy | None = None,
     ) -> list[QueryResult]:
-        return self.engine.query_batch(queries, radius)
+        return self.engine.query_batch(queries, radius, adaptive=adaptive)
 
     def merge(self, parts: list[QueryResult], radius: float) -> QueryResult:
         return parts[0]
@@ -122,6 +134,10 @@ class _SingleBackend:
     def insert(self, new_points: np.ndarray) -> tuple[np.ndarray, set[int]]:
         ids = self.engine.insert(new_points)
         return ids, ({0} if ids.size else set())
+
+    @property
+    def recalibrations(self) -> int:
+        return int(self.engine.recalibrations)
 
     def close(self) -> None:
         pass
@@ -161,15 +177,21 @@ class _ShardedBackend:
         radius: float,
         trace: StageTrace | None = None,
         allow_partial: bool = False,
+        adaptive: AdaptivePolicy | None = None,
     ) -> list[QueryResult]:
         return self.engine.query_batch(
-            queries, radius, trace=trace, allow_partial=allow_partial
+            queries, radius, trace=trace, allow_partial=allow_partial,
+            adaptive=adaptive,
         )
 
     def shard_query_batch(
-        self, shard: int, queries: np.ndarray, radius: float
+        self,
+        shard: int,
+        queries: np.ndarray,
+        radius: float,
+        adaptive: AdaptivePolicy | None = None,
     ) -> list[QueryResult]:
-        return self.engine.shard_query_batch(shard, queries, radius)
+        return self.engine.shard_query_batch(shard, queries, radius, adaptive=adaptive)
 
     def merge(self, parts: list[QueryResult], radius: float) -> QueryResult:
         return self.engine.merge_radius(parts, radius)
@@ -194,6 +216,12 @@ class _ShardedBackend:
         affected = set(int(s) for s in self.engine.peek_assignment(new_points.shape[0]))
         ids = self.engine.insert(new_points)
         return ids, (affected if ids.size else set())
+
+    @property
+    def recalibrations(self) -> int:
+        # Worker pools recalibrate inside the worker processes; the
+        # parent-side engine then has no counter of its own.
+        return int(getattr(self.engine, "recalibrations", 0))
 
     def close(self) -> None:
         self.engine.close()
@@ -382,6 +410,14 @@ class Index:
         self.cache = cache
         self.stats = ServiceStats(pool_workers=_fanout_width_of(backend))
         self._tracing = False
+        # Lazily measured distance profile for radius-from-k estimation
+        # (None when the backend has no in-process points to sample).
+        self._profile: DistanceProfile | None = None
+        self._profile_ready = False
+        # Pool-lifetime counter values captured at the last reset_stats,
+        # so snapshots after a reset report deltas, not lifetime totals.
+        self._transport_baseline: dict[str, Any] | None = None
+        self._recalibration_baseline = 0
         _register_gauge_hooks(self.stats, backend)
 
     # ------------------------------------------------------------------
@@ -577,7 +613,31 @@ class Index:
         return "processes" if self._backend.kind == "processes" else "threads"
 
     def reset_stats(self) -> None:
-        """Zero the counters (cache contents are kept)."""
+        """Zero the counters (cache contents are kept).
+
+        Pool-lifetime counters owned by a process-pool backend — pipe
+        bytes, respawns, the failure counters — cannot be zeroed in
+        place (the pool keeps accumulating), so their current values are
+        captured as a baseline that :meth:`stats_snapshot` subtracts;
+        worker-local stats are reset in the workers themselves via the
+        pool's ``reset`` op.  A snapshot right after a reset therefore
+        reads all-zero everywhere, including ``workers.*``.
+        """
+        pool = self._backend.engine if self._backend.kind == "processes" else None
+        if pool is not None:
+            if hasattr(pool, "reset_worker_stats"):
+                pool.reset_worker_stats()
+            failure = pool.failure_counters()
+            self._transport_baseline = {
+                "bytes_shipped": int(pool.bytes_shipped),
+                "worker_respawns": int(pool.respawns),
+                "worker_timeouts": int(failure["worker_timeouts"]),
+                "worker_retries": int(failure["worker_retries"]),
+                "breaker_opens": int(failure["breaker_opens"]),
+                "replica_failovers": int(failure.get("replica_failovers", 0)),
+                "respawns_by_cause": dict(failure["respawns_by_cause"]),
+            }
+        self._recalibration_baseline = self._backend_recalibrations()
         self.stats.reset()
 
     def enable_tracing(self, enabled: bool = True) -> None:
@@ -608,17 +668,41 @@ class Index:
         if pool is not None:
             # Pipes, respawns and the failure counters are parent-side
             # pool-lifetime counters; sync them into the facade stats at
-            # snapshot time.
+            # snapshot time, net of the last reset_stats baseline.
             failure = pool.failure_counters()
+            base = self._transport_baseline or {}
+            base_causes = base.get("respawns_by_cause") or {}
+            causes = {
+                str(cause): max(0, int(n) - int(base_causes.get(cause, 0)))
+                for cause, n in failure["respawns_by_cause"].items()
+            }
             self.stats.set_transport(
-                pool.bytes_shipped,
-                pool.respawns,
-                worker_timeouts=failure["worker_timeouts"],
-                worker_retries=failure["worker_retries"],
-                breaker_opens=failure["breaker_opens"],
-                replica_failovers=failure.get("replica_failovers", 0),
-                respawns_by_cause=failure["respawns_by_cause"],
+                max(0, int(pool.bytes_shipped) - int(base.get("bytes_shipped", 0))),
+                max(0, int(pool.respawns) - int(base.get("worker_respawns", 0))),
+                worker_timeouts=max(
+                    0,
+                    int(failure["worker_timeouts"])
+                    - int(base.get("worker_timeouts", 0)),
+                ),
+                worker_retries=max(
+                    0,
+                    int(failure["worker_retries"])
+                    - int(base.get("worker_retries", 0)),
+                ),
+                breaker_opens=max(
+                    0,
+                    int(failure["breaker_opens"]) - int(base.get("breaker_opens", 0)),
+                ),
+                replica_failovers=max(
+                    0,
+                    int(failure.get("replica_failovers", 0))
+                    - int(base.get("replica_failovers", 0)),
+                ),
+                respawns_by_cause={k: v for k, v in causes.items() if v},
             )
+        self.stats.set_recalibrations(
+            max(0, self._backend_recalibrations() - self._recalibration_baseline)
+        )
         doc = self.stats.as_dict()
         if pool is not None and hasattr(pool, "worker_stats"):
             per_worker = pool.worker_stats()
@@ -642,13 +726,20 @@ class Index:
     # ------------------------------------------------------------------
     def query(
         self, request: QuerySpec | np.ndarray, radius: float | None = None
-    ) -> QueryResult | list[QueryResult]:
+    ) -> QueryOutcome | BatchOutcome:
         """Answer one :class:`~repro.api.spec.QuerySpec` (or raw vector/matrix).
 
         Radius requests return points within the radius; ``k`` requests
         return the exact k nearest neighbors.  A single-vector request
-        returns one :class:`~repro.core.results.QueryResult`, a matrix
-        returns a list (answered through the batched engine).
+        returns one :class:`~repro.api.outcome.QueryOutcome`, a matrix a
+        :class:`~repro.api.outcome.BatchOutcome` (answered through the
+        batched engine) — the typed envelope on every execution path,
+        with payload arrays bit-identical to the legacy shapes.
+
+        The request's ``adaptive`` / ``target_candidates`` /
+        ``quality_floor`` fields override the index's
+        :class:`~repro.core.adaptive.AdaptivePolicy` for this request
+        only.
         """
         if not isinstance(request, QuerySpec):
             request = QuerySpec(request, radius=radius)
@@ -656,17 +747,23 @@ class Index:
             raise ConfigurationError(
                 "pass the radius inside the QuerySpec, not alongside it"
             )
+        policy = self._policy_for(request)
         if request.k is not None:  # mode == "topk"
             results = self._topk_batch(
-                request.queries, request.k, allow_partial=request.allow_partial
+                request.queries,
+                request.k,
+                allow_partial=request.allow_partial,
+                policy=policy,
             )
         else:
             results = self._radius_batch(
                 request.queries,
                 request.radius,
                 allow_partial=request.allow_partial,
+                policy=policy,
             )
-        return results[0] if request.single else results
+        outcomes = tuple(QueryOutcome.from_result(r) for r in results)
+        return outcomes[0] if request.single else BatchOutcome(outcomes)
 
     def query_batch(
         self,
@@ -676,12 +773,20 @@ class Index:
     ) -> list[QueryResult]:
         """Answer a ``(q, d)`` radius-query matrix (one result per row).
 
-        ``allow_partial=True`` lets a process-pool backend answer from
-        the reachable shards when a worker is unrecoverable, tagging
-        results ``degraded=True``; elsewhere it is a no-op.
+        This is the legacy ``list[QueryResult]`` shape — deprecated in
+        favour of ``query(QuerySpec(queries))`` returning a
+        :class:`~repro.api.outcome.BatchOutcome` — and warns once per
+        process; answers are unchanged.  ``allow_partial=True`` lets a
+        process-pool backend answer from the reachable shards when a
+        worker is unrecoverable, tagging results ``degraded=True``;
+        elsewhere it is a no-op.
         """
+        warn_legacy_shape("Index.query_batch()", "Index.query(QuerySpec(queries))")
         return self._radius_batch(
-            np.asarray(queries), radius, allow_partial=allow_partial
+            np.asarray(queries),
+            radius,
+            allow_partial=allow_partial,
+            policy=self._policy_for(None),
         )
 
     def insert(self, new_points: np.ndarray) -> np.ndarray:
@@ -701,42 +806,201 @@ class Index:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _policy_for(self, request: QuerySpec | None) -> AdaptivePolicy | None:
+        """The adaptive policy one request executes under (None = fixed).
+
+        The index policy (``spec.adaptive``) is the base; the request's
+        ``adaptive`` / ``target_candidates`` / ``quality_floor`` fields
+        override it.  A request can opt *in* on an index with no policy
+        (the base is then a disabled default policy) and opt *out* of an
+        index-wide policy with ``adaptive=False``.
+        """
+        base = self.spec.adaptive if self.spec is not None else None
+        if request is None:
+            return base if base is not None and base.enabled else None
+        if base is None:
+            if (
+                request.adaptive is None
+                and request.target_candidates is None
+                and request.quality_floor is None
+            ):
+                return None
+            base = AdaptivePolicy(enabled=request.adaptive is True)
+        policy = base.resolve(
+            request.adaptive, request.target_candidates, request.quality_floor
+        )
+        return policy if policy.enabled else None
+
+    def _backend_recalibrations(self) -> int:
+        """Live recalibration total summed over the backend's engines."""
+        return int(getattr(self._backend, "recalibrations", 0))
+
+    def _profile_points(self) -> np.ndarray | None:
+        """A point sample reachable in-process (None for worker pools)."""
+        engine = self._backend.engine
+        index = getattr(engine, "index", None)
+        if index is not None:  # BatchQueryEngine
+            return cast("np.ndarray", index.points)
+        shards = getattr(engine, "shards", None)
+        if shards:  # ShardedHybridIndex: round-robin partition, so any
+            # one shard is an unbiased sample of the dataset.
+            return cast("np.ndarray", shards[0].index.points)
+        return None
+
+    def _distance_profile(self) -> DistanceProfile | None:
+        """Lazily measured distance profile for radius-from-k estimation.
+
+        Measured once, on first adaptive top-k use, from in-process
+        points with the spec's seed (deterministic); ``None`` when the
+        backend ships its points to worker processes — those requests
+        keep the exact top-k path.
+        """
+        if self._profile_ready:
+            return self._profile
+        spec = self.spec
+        points = self._profile_points() if spec is not None else None
+        if points is not None and points.shape[0] > 0:
+            assert spec is not None
+            self._profile = measure_distance_profile(
+                points,
+                get_metric(spec.metric),
+                seed=0 if spec.seed is None else spec.seed,
+            )
+        self._profile_ready = True
+        return self._profile
+
     def _topk_batch(
-        self, queries: np.ndarray, k: int, allow_partial: bool = False
+        self,
+        queries: np.ndarray,
+        k: int,
+        allow_partial: bool = False,
+        policy: AdaptivePolicy | None = None,
     ) -> list[QueryResult]:
         started = time.perf_counter()
         trace = StageTrace() if self._tracing else None
         queries = check_matrix(queries, dim=self.dim, name="queries")
         k = check_positive_int(k, "k")
-        results = self._backend.topk_batch(
-            queries, k, trace=trace, allow_partial=allow_partial
-        )
+        results: list[QueryResult] | None = None
+        if policy is not None and policy.enabled:
+            results = self._topk_adaptive(queries, k, policy, allow_partial, trace)
+        if results is None:
+            results = self._backend.topk_batch(
+                queries, k, trace=trace, allow_partial=allow_partial
+            )
         self._account(results, queries.shape[0], started, trace)
         return results
+
+    def _topk_adaptive(
+        self,
+        queries: np.ndarray,
+        k: int,
+        policy: AdaptivePolicy,
+        allow_partial: bool,
+        trace: StageTrace | None,
+    ) -> list[QueryResult] | None:
+        """Top-k through radius-from-k estimation (None = no profile).
+
+        Estimates the radius whose ball should hold ``k_safety * k``
+        points from the calibration distance profile, answers a radius
+        batch, and *certifies* a row as a top-k answer when it returned
+        at least ``k`` hits and either is exact by construction (linear
+        scan rows) or carries the paper's ``1 - delta`` recall guarantee
+        at a radius the index is tuned for and the policy's
+        ``quality_floor`` accepts it.  Uncertified rows escalate the
+        radius ``max_escalations`` times, then fall back to the exact
+        top-k path.  With the default ``quality_floor=1.0`` only exact
+        rows certify, so answers are bit-identical to the exact
+        reference.
+        """
+        profile = self._distance_profile()
+        if profile is None:
+            return None
+        n = self.n
+        if k > n:
+            raise ConfigurationError(
+                f"k ({k}) must not exceed the index size ({n})"
+            )
+        spec = self.spec
+        delta = spec.delta if spec is not None else 0.1
+        tuned_radius = spec.radius if spec is not None else None
+        certify_lsh = policy.quality_floor <= 1.0 - delta
+        adaptive = policy if policy.bounds_probes or policy.recalibrate else None
+        num_queries = queries.shape[0]
+        self.stats.record_adaptive(radius_estimates=num_queries)
+        radius = profile.radius_for_k(k, n, safety=policy.k_safety)
+        final: list[QueryResult | None] = [None] * num_queries
+        pending = list(range(num_queries))
+        for _ in range(policy.max_escalations + 1):
+            if not pending:
+                break
+            rows = self._backend.query_batch(
+                queries[pending], float(radius), trace=trace, adaptive=adaptive
+            )
+            still: list[int] = []
+            for pos, row in zip(pending, rows):
+                certified = (
+                    row.output_size >= k
+                    and not row.degraded
+                    and (
+                        row.stats.exact
+                        or (
+                            certify_lsh
+                            and tuned_radius is not None
+                            and radius <= tuned_radius
+                        )
+                    )
+                )
+                if certified:
+                    final[pos] = _topk_from_radius(row, k)
+                else:
+                    still.append(pos)
+            pending = still
+            radius *= policy.radius_growth
+        if pending:
+            fallback = self._backend.topk_batch(
+                queries[pending], k, trace=trace, allow_partial=allow_partial
+            )
+            for pos, row in zip(pending, fallback):
+                final[pos] = row
+        return cast("list[QueryResult]", final)
 
     def _radius_batch(
         self,
         queries: np.ndarray,
         radius: float | None,
         allow_partial: bool = False,
+        policy: AdaptivePolicy | None = None,
     ) -> list[QueryResult]:
         started = time.perf_counter()
         trace = StageTrace() if self._tracing else None
         queries = check_matrix(queries, dim=self.dim, name="queries")
         radius = self._backend.resolve_radius(radius)
-        if self.cache is None or allow_partial:
+        adaptive = policy if policy is not None and policy.enabled else None
+        bypass_cache = allow_partial or (
+            adaptive is not None and (adaptive.bounds_probes or adaptive.recalibrate)
+        )
+        if self.cache is None or bypass_cache:
             # allow_partial bypasses the cache even when one is
             # configured: a degraded partial answer must never be stored
             # (it would poison later full-fidelity reads) and per-shard
-            # cache assembly cannot express missing shards.
+            # cache assembly cannot express missing shards.  A policy
+            # that trims probes (or mutates the cost model) bypasses it
+            # too — trimmed partials must never serve fixed-budget
+            # reads, and vice versa.
             results = self._backend.query_batch(
-                queries, radius, trace=trace, allow_partial=allow_partial
+                queries,
+                radius,
+                trace=trace,
+                allow_partial=allow_partial,
+                adaptive=adaptive,
             )
         else:
             # The cache path fans out per shard through map_shards; its
             # engine work is accounted in the batch latency but not
             # attributed to stages (the trace stays empty here).
             results = self._radius_batch_cached(queries, radius)
+        if adaptive is not None and adaptive.bounds_probes:
+            self.stats.record_adaptive(probe_queries=len(results))
         self._account(results, queries.shape[0], started, trace)
         return results
 
@@ -835,6 +1099,29 @@ class Index:
             f"Index(n={self.n}, dim={self.dim}, shards={self.num_shards}, "
             f"spec={spec}, cache={cache})"
         )
+
+
+def _topk_from_radius(row: QueryResult, k: int) -> QueryResult:
+    """Select the k nearest from one certified radius answer.
+
+    Uses the same ``(distance, id)`` lexsort tie-breaking as
+    :func:`~repro.core.linear_scan.exact_topk_results` and reports the
+    k-th distance as the result radius (the top-k convention), so a
+    certified exact row is bit-identical to the exact reference.  The
+    row's decision stats ride along unchanged — they describe the work
+    that actually ran.
+    """
+    order = np.lexsort((row.ids, row.distances))[:k]
+    ids = row.ids[order]
+    distances = row.distances[order]
+    return QueryResult(
+        ids=ids,
+        distances=distances,
+        radius=float(distances[-1]),
+        stats=row.stats,
+        degraded=row.degraded,
+        missing_shards=row.missing_shards,
+    )
 
 
 def _cache_from_spec(spec: IndexSpec) -> QueryResultCache | None:

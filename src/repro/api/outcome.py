@@ -1,0 +1,242 @@
+"""The typed result envelope returned by :meth:`repro.api.Index.query`.
+
+Every execution path — single index, batched, sharded threads, worker
+processes, TCP shard servers — used to answer with the engine-level
+:class:`~repro.core.results.QueryResult` (or a plain ``list`` of them).
+That shape leaks engine internals (``stats.strategy`` is an enum, the
+adaptive diagnostics hide inside ``stats``) and gives batch callers an
+anonymous list with no place for batch-level metadata.
+
+:class:`QueryOutcome` is the typed envelope: the payload arrays plus the
+first-class serving facts callers actually branch on — which strategy
+answered, how many probe rings were examined, how many candidates were
+distance-checked, whether the answer is exact / degraded — with the full
+engine diagnostics still attached as ``stats``.  :class:`BatchOutcome`
+wraps a batch as an immutable :class:`~collections.abc.Sequence` so the
+idiomatic consumptions (``len``, indexing, iteration, ``zip``) all keep
+working.
+
+The payload is **bit-identical** to the legacy shapes: ``ids`` and
+``distances`` are the very arrays the engine produced, never copied or
+re-ordered.  The legacy shapes remain constructible through
+:meth:`QueryOutcome.to_result` / :meth:`BatchOutcome.to_results`, which
+warn once per process (:mod:`repro.api.deprecations`) and then behave
+exactly as before.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import overload
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.api.deprecations import warn_legacy_shape
+from repro.core.results import QueryResult, QueryStats
+from repro.observability import StageTrace
+
+__all__ = ["BatchOutcome", "QueryOutcome"]
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One query's answer plus the serving facts that produced it.
+
+    Attributes
+    ----------
+    ids:
+        Global point ids of the reported neighbors (the engine's own
+        array, bit-identical to the legacy result).
+    distances:
+        Distances aligned with ``ids``.
+    radius:
+        The radius answered (for top-k outcomes: the k-th distance, the
+        legacy top-k convention).
+    strategy:
+        Which strategy produced the answer (``"lsh"`` / ``"linear"`` /
+        ``"hybrid"``), as a plain string.
+    probes_used:
+        Probe rings examined per table beyond the home bucket; under an
+        adaptive probe budget this is the per-query stopping ring.
+        ``-1`` when the path does not track probing.
+    candidates_examined:
+        Distinct candidates whose exact distance was computed (the full
+        index size for a linear scan); ``-1`` when unknown.
+    estimated_candidates:
+        The merged-HLL ``candSize`` estimate the dispatch decision (and
+        any adaptive probe budget) keyed on; ``nan`` when not computed.
+    exact:
+        True when the answer is exact by construction (linear scan,
+        exact top-k selection, or a certified adaptive top-k answer).
+    degraded:
+        True when one or more shards were unavailable and the caller
+        opted into partial results.
+    missing_shards:
+        The shard ids absent from a degraded answer.
+    stats:
+        The full engine-level decision diagnostics (cost-model inputs,
+        collision counts) for consumers that need them.
+    trace:
+        Optional per-stage timing of the call that produced this
+        outcome (only attached when tracing was requested).
+    """
+
+    ids: npt.NDArray[np.int64]
+    distances: npt.NDArray[np.float64]
+    radius: float
+    strategy: str
+    probes_used: int = -1
+    candidates_examined: int = -1
+    estimated_candidates: float = float("nan")
+    exact: bool = False
+    degraded: bool = False
+    missing_shards: tuple[int, ...] = ()
+    stats: QueryStats = field(default_factory=QueryStats)
+    trace: StageTrace | None = None
+
+    @classmethod
+    def from_result(
+        cls, result: QueryResult, trace: StageTrace | None = None
+    ) -> QueryOutcome:
+        """Wrap one engine-level result (arrays are shared, not copied)."""
+        stats = result.stats
+        return cls(
+            ids=result.ids,
+            distances=result.distances,
+            radius=float(result.radius),
+            strategy=stats.strategy.value,
+            probes_used=int(stats.probes_used),
+            candidates_examined=int(stats.exact_candidates),
+            estimated_candidates=float(stats.estimated_candidates),
+            exact=bool(stats.exact),
+            degraded=bool(result.degraded),
+            missing_shards=tuple(result.missing_shards),
+            stats=stats,
+            trace=trace,
+        )
+
+    @property
+    def output_size(self) -> int:
+        """Number of reported neighbors."""
+        return int(self.ids.shape[0])
+
+    def recall_against(self, true_ids: npt.NDArray[np.int64]) -> float:
+        """Fraction of ``true_ids`` present in this outcome.
+
+        An empty ground truth yields recall 1.0 by convention.
+        """
+        true_ids = np.asarray(true_ids)
+        if true_ids.size == 0:
+            return 1.0
+        return float(np.isin(true_ids, self.ids).mean())
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly envelope document (the stream protocol's v2 body).
+
+        ``ids`` and ``distances`` become plain lists; ``nan`` estimates
+        become ``None`` (JSON has no NaN); the engine diagnostics and
+        trace are deliberately excluded — they are in-process objects.
+        """
+        estimated: float | None = self.estimated_candidates
+        if estimated != estimated:  # nan
+            estimated = None
+        return {
+            "ids": [int(i) for i in self.ids],
+            "distances": [float(d) for d in self.distances],
+            "radius": self.radius,
+            "strategy": self.strategy,
+            "probes_used": self.probes_used,
+            "candidates_examined": self.candidates_examined,
+            "estimated_candidates": estimated,
+            "exact": self.exact,
+            "degraded": self.degraded,
+            "missing_shards": list(self.missing_shards),
+        }
+
+    def to_result(self) -> QueryResult:
+        """The legacy :class:`QueryResult` shape (deprecated; warns once).
+
+        The returned object carries the *same* arrays and stats — the
+        envelope never copies — so the payload is bit-identical.
+        """
+        warn_legacy_shape("QueryOutcome.to_result()", "Index.query")
+        return QueryResult(
+            ids=self.ids,
+            distances=self.distances,
+            radius=self.radius,
+            stats=self.stats,
+            degraded=self.degraded,
+            missing_shards=self.missing_shards,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryOutcome(r={self.radius}, found={self.output_size}, "
+            f"strategy={self.strategy}, probes={self.probes_used}, "
+            f"exact={self.exact})"
+        )
+
+
+@dataclass(frozen=True)
+class BatchOutcome(Sequence[QueryOutcome]):
+    """An immutable batch of :class:`QueryOutcome`, one per query row.
+
+    Supports the full read-only sequence protocol (``len``, indexing,
+    slicing, iteration, ``in``), so code written against the legacy
+    ``list[QueryResult]`` shape keeps working unchanged on the payload
+    level.  Batch-level summaries (:attr:`degraded_count`,
+    :attr:`strategy_counts`) live here instead of forcing callers to
+    re-aggregate.
+    """
+
+    outcomes: tuple[QueryOutcome, ...]
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @overload
+    def __getitem__(self, index: int) -> QueryOutcome: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> BatchOutcome: ...
+
+    def __getitem__(self, index: int | slice) -> QueryOutcome | BatchOutcome:
+        if isinstance(index, slice):
+            return BatchOutcome(self.outcomes[index])
+        return self.outcomes[index]
+
+    def __iter__(self) -> Iterator[QueryOutcome]:
+        return iter(self.outcomes)
+
+    @property
+    def degraded_count(self) -> int:
+        """How many outcomes in the batch are partial answers."""
+        return sum(1 for outcome in self.outcomes if outcome.degraded)
+
+    @property
+    def strategy_counts(self) -> dict[str, int]:
+        """Outcome count per answering strategy."""
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.strategy] = counts.get(outcome.strategy, 0) + 1
+        return counts
+
+    def to_results(self) -> list[QueryResult]:
+        """The legacy ``list[QueryResult]`` shape (deprecated; warns once)."""
+        warn_legacy_shape("BatchOutcome.to_results()", "Index.query")
+        return [
+            QueryResult(
+                ids=outcome.ids,
+                distances=outcome.distances,
+                radius=outcome.radius,
+                stats=outcome.stats,
+                degraded=outcome.degraded,
+                missing_shards=outcome.missing_shards,
+            )
+            for outcome in self.outcomes
+        ]
+
+    def __repr__(self) -> str:
+        return f"BatchOutcome(n={len(self.outcomes)})"

@@ -43,8 +43,15 @@ JSON schema (all keys optional unless noted)::
       "replicas":      1,              # endpoints per worker slot; > 1
                                        # replicates every shard for failover
                                        # (requires execution "processes")
+      "adaptive":      null,           # AdaptivePolicy document; null = fixed
+                                       # probe budgets, exact top-k fallback
       "seed":          null            # master randomness (int for reproducibility)
     }
+
+:class:`QuerySpec` additionally carries per-request adaptive overrides
+(``adaptive`` / ``target_candidates`` / ``quality_floor``, all ``None``
+= follow the index policy) — see
+:class:`~repro.core.adaptive.AdaptivePolicy`.
 """
 
 from __future__ import annotations
@@ -55,6 +62,7 @@ from typing import Any
 import numpy as np
 import numpy.typing as npt
 
+from repro.core.adaptive import AdaptivePolicy
 from repro.distances import get_metric
 from repro.exceptions import ConfigurationError
 from repro.hashing.base import get_family
@@ -107,6 +115,7 @@ class IndexSpec:
     num_probes: int = 2
     execution: str = "threads"
     replicas: int = 1
+    adaptive: AdaptivePolicy | None = None
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -208,6 +217,15 @@ class IndexSpec:
                 'replicas > 1 requires execution="processes" — only the '
                 "worker pool runs independent endpoints per shard slot"
             )
+        if self.adaptive is not None:
+            if isinstance(self.adaptive, dict):
+                # JSON documents carry the policy as a nested object.
+                set_(self, "adaptive", AdaptivePolicy.from_dict(self.adaptive))
+            elif not isinstance(self.adaptive, AdaptivePolicy):
+                raise ConfigurationError(
+                    f"adaptive must be an AdaptivePolicy, a policy document "
+                    f"or None, got {self.adaptive!r}"
+                )
         if self.seed is not None and (
             isinstance(self.seed, bool) or not isinstance(self.seed, int)
         ):
@@ -280,6 +298,11 @@ class QuerySpec:
     #: meaningful for ``execution="processes"`` backends; elsewhere
     #: shards cannot fail independently and the flag is a no-op.
     allow_partial: bool = False
+    #: per-request adaptive-execution overrides; ``None`` = follow the
+    #: index's :class:`~repro.core.adaptive.AdaptivePolicy` for each.
+    adaptive: bool | None = None
+    target_candidates: int | None = None
+    quality_floor: float | None = None
 
     def __post_init__(self) -> None:
         set_ = object.__setattr__
@@ -305,6 +328,25 @@ class QuerySpec:
             set_(self, "k", check_positive_int(self.k, "k"))
         set_(self, "single", bool(self.single))
         set_(self, "allow_partial", bool(self.allow_partial))
+        if self.adaptive is not None:
+            set_(self, "adaptive", bool(self.adaptive))
+        if self.target_candidates is not None:
+            if (
+                isinstance(self.target_candidates, bool)
+                or not isinstance(self.target_candidates, int)
+                or self.target_candidates <= 0
+            ):
+                raise ConfigurationError(
+                    f"target_candidates must be a positive int or None, "
+                    f"got {self.target_candidates!r}"
+                )
+        if self.quality_floor is not None:
+            if not 0.0 <= float(self.quality_floor) <= 1.0:
+                raise ConfigurationError(
+                    f"quality_floor must be in [0, 1] or None, "
+                    f"got {self.quality_floor!r}"
+                )
+            set_(self, "quality_floor", float(self.quality_floor))
 
     @property
     def mode(self) -> str:
@@ -319,6 +361,9 @@ class QuerySpec:
             "k": self.k,
             "single": self.single,
             "allow_partial": self.allow_partial,
+            "adaptive": self.adaptive,
+            "target_candidates": self.target_candidates,
+            "quality_floor": self.quality_floor,
         }
 
     @classmethod
@@ -326,7 +371,10 @@ class QuerySpec:
         """Validate and build a query spec from a (parsed) JSON document."""
         if not isinstance(doc, dict) or "queries" not in doc:
             raise ConfigurationError(f'query spec requires "queries", got {doc!r}')
-        known = {"queries", "radius", "k", "single", "allow_partial"}
+        known = {
+            "queries", "radius", "k", "single", "allow_partial",
+            "adaptive", "target_candidates", "quality_floor",
+        }
         unknown = sorted(set(doc) - known)
         if unknown:
             raise ConfigurationError(f"unknown query-spec keys: {unknown}")
@@ -336,6 +384,9 @@ class QuerySpec:
             k=doc.get("k"),
             single=doc.get("single"),
             allow_partial=bool(doc.get("allow_partial", False)),
+            adaptive=doc.get("adaptive"),
+            target_candidates=doc.get("target_candidates"),
+            quality_floor=doc.get("quality_floor"),
         )
 
     def __eq__(self, other: object) -> bool:
@@ -347,6 +398,9 @@ class QuerySpec:
             and self.k == other.k
             and self.single == other.single
             and self.allow_partial == other.allow_partial
+            and self.adaptive == other.adaptive
+            and self.target_candidates == other.target_candidates
+            and self.quality_floor == other.quality_floor
         )
 
     def __repr__(self) -> str:

@@ -163,6 +163,25 @@ def _build_parser() -> argparse.ArgumentParser:
              "on a healthy pool, only the partial-result bookkeeping is "
              "charged)",
     )
+    p_tp.add_argument(
+        "--include-adaptive", action="store_true",
+        help="also measure adaptive execution: a fixed-fan-out facade "
+             "('adaptive_fixed') vs the same spec under a per-query "
+             "candidate budget ('adaptive_budget'), recording candidates "
+             "examined and recall vs brute-force ground truth",
+    )
+    p_tp.add_argument(
+        "--adaptive-target", type=int, default=None, metavar="C",
+        help="target_candidates for the adaptive_budget row "
+             "(default: max(32, n // 100))",
+    )
+    p_tp.add_argument(
+        "--assert-adaptive-candidates", type=float, default=None, metavar="X",
+        help="exit non-zero unless adaptive_budget's answers are an id-subset "
+             "of adaptive_fixed's, examine at most X times its candidates, "
+             "and recall stays within 0.005 "
+             "(CI regression gate; implies --include-adaptive)",
+    )
 
     p_build = sub.add_parser(
         "build", help="build a spec-driven index over a dataset and save it"
@@ -226,6 +245,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="opt every query into degraded answers when shards are "
              "unavailable (per-request \"allow_partial\" can widen but "
              "never narrow this server-level default)",
+    )
+    p_serve.add_argument(
+        "--proto", choices=("v1", "v2"), default="v2",
+        help="response protocol: v2 (default) emits the QueryOutcome "
+             "envelope with a \"v\": 2 marker; v1 restores the legacy "
+             "response body byte-for-byte",
     )
     p_serve.add_argument(
         "--connect", action="append", default=None, metavar="HOST:PORT[,HOST:PORT]",
@@ -426,6 +451,9 @@ def _cmd_throughput(args: argparse.Namespace) -> None:
     include_multiprobe = (
         args.include_multiprobe or args.assert_multiprobe_speedup is not None
     )
+    include_adaptive = (
+        args.include_adaptive or args.assert_adaptive_candidates is not None
+    )
     rows = throughput_experiment(
         points,
         queries,
@@ -441,6 +469,8 @@ def _cmd_throughput(args: argparse.Namespace) -> None:
         include_multiprobe=include_multiprobe,
         num_probes=args.probes,
         allow_partial=args.allow_partial,
+        include_adaptive=include_adaptive,
+        adaptive_target=args.adaptive_target,
     )
     title = (
         f"Serving throughput: n = {args.n}, d = {args.dim}, "
@@ -506,6 +536,30 @@ def _cmd_throughput(args: argparse.Namespace) -> None:
         print(
             f"frozen_multiprobe {frozen_mp.qps / mp_seq.qps:.2f}x >= "
             f"{args.assert_multiprobe_speedup}x: OK"
+        )
+    if args.assert_adaptive_candidates is not None:
+        ad, fx = by_mode["adaptive_budget"], by_mode["adaptive_fixed"]
+        if not ad.matches:
+            sys.exit(
+                "error: adaptive_budget answers are not an id-subset of "
+                "adaptive_fixed"
+            )
+        bar = args.assert_adaptive_candidates
+        if ad.candidates > bar * fx.candidates:
+            sys.exit(
+                f"error: adaptive_budget examined "
+                f"{ad.candidates / fx.candidates:.2f}x the fixed "
+                f"candidates > {bar}x bar"
+            )
+        if ad.recall < fx.recall - 0.005:
+            sys.exit(
+                f"error: adaptive_budget recall {ad.recall:.4f} fell more "
+                f"than 0.005 below fixed recall {fx.recall:.4f}"
+            )
+        print(
+            f"adaptive_budget {ad.candidates / fx.candidates:.2f}x "
+            f"candidates <= {bar}x at recall {ad.recall:.4f} "
+            f"(fixed {fx.recall:.4f}): OK"
         )
     if args.json:
         write_throughput_json(
@@ -691,6 +745,7 @@ def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
         "(one JSON request per line; Ctrl-D to stop)",
         file=sys.stderr,
     )
+    proto = 1 if getattr(args, "proto", "v2") == "v1" else 2
     if args.inflight > 1:
         responses = serve_stream_concurrent(
             index,
@@ -698,6 +753,7 @@ def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
             batch_size=args.batch_size,
             window=args.inflight,
             default_allow_partial=args.allow_partial,
+            proto=proto,
         )
     else:
         lines, more_ready = _line_stream_with_probe(stdin)
@@ -707,6 +763,7 @@ def _cmd_serve(args: argparse.Namespace, stdin=None, stdout=None) -> None:
             batch_size=args.batch_size,
             more_ready=more_ready,
             default_allow_partial=args.allow_partial,
+            proto=proto,
         )
     stop_stats = _start_stats_reporter(
         index, getattr(args, "stats_interval", 0.0), getattr(args, "stats_log", None)

@@ -29,10 +29,18 @@ import numpy as np
 
 from repro.core.cost_model import CostModel
 from repro.distances import Metric, get_metric
+from repro.exceptions import ConfigurationError
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_matrix, check_positive_int
 
-__all__ = ["CalibrationReport", "calibrate_cost_model", "measure_beta", "measure_alpha"]
+__all__ = [
+    "CalibrationReport",
+    "DistanceProfile",
+    "calibrate_cost_model",
+    "measure_beta",
+    "measure_alpha",
+    "measure_distance_profile",
+]
 
 # Minimum wall-clock seconds to spend per constant; keeps the relative
 # timing error well under the ~2x the decision rule can absorb.
@@ -63,6 +71,90 @@ class CalibrationReport:
     def beta_over_alpha(self) -> float:
         """The decision-relevant ratio."""
         return self.model.beta_over_alpha
+
+
+@dataclass(frozen=True)
+class DistanceProfile:
+    """Empirical query-to-point distance distribution of a dataset.
+
+    Built by :func:`measure_distance_profile` from a seeded sample of
+    query/point pairs.  The profile answers the radius-from-k question
+    the adaptive execution layer asks: *which radius would make a
+    radius query return about ``k`` points?* — the distance quantile at
+    ``k / n``.  Unlike the timing-based calibration above, the profile
+    is deterministic for a fixed seed (pure distance arithmetic, no
+    wall clock), so radius estimates are reproducible across runs.
+
+    Attributes
+    ----------
+    sample:
+        Sorted sampled pairwise distances (float64, ascending).
+    num_queries / num_points:
+        Sample sizes the pairs were drawn from.
+    """
+
+    sample: np.ndarray
+    num_queries: int
+    num_points: int
+
+    def quantile(self, q: float) -> float:
+        """Distance at sample quantile ``q`` (clipped to [0, 1])."""
+        q = min(1.0, max(0.0, float(q)))
+        return float(np.quantile(self.sample, q, method="higher"))
+
+    def radius_for_k(self, k: int, n: int, safety: float = 2.0) -> float:
+        """Estimated radius for a top-``k`` query against ``n`` points.
+
+        Targets the ``safety * k / n`` distance quantile (oversampled so
+        the first radius pass usually returns at least ``k`` hits) and
+        floors the result at the smallest positive sampled distance —
+        a radius must be strictly positive.
+        """
+        if k <= 0 or n <= 0:
+            raise ConfigurationError(f"k and n must be positive, got k={k}, n={n}")
+        radius = self.quantile(max(1.0, float(safety)) * k / n)
+        if radius <= 0.0:
+            positive = self.sample[self.sample > 0.0]
+            radius = float(positive[0]) if positive.size else 1.0
+        return radius
+
+    def __repr__(self) -> str:
+        return (
+            f"DistanceProfile(pairs={self.sample.size}, "
+            f"median={self.quantile(0.5):.3g})"
+        )
+
+
+def measure_distance_profile(
+    points: np.ndarray,
+    metric: str | Metric,
+    num_queries: int = 64,
+    num_points: int = 2048,
+    seed: RandomState = None,
+) -> DistanceProfile:
+    """Sample the query-to-point distance distribution (seeded, no timing).
+
+    Draws ``num_queries`` queries and ``num_points`` reference points
+    from the dataset without replacement (clipped to its size) and
+    records all pairwise distances through the metric's kernel — the
+    same kernel every search path uses, so the profile speaks the exact
+    distance the radius queries will threshold on.
+    """
+    metric = get_metric(metric)
+    points = check_matrix(points, name="points")
+    rng = ensure_rng(seed)
+    n = points.shape[0]
+    num_queries = min(check_positive_int(num_queries, "num_queries"), n)
+    num_points = min(check_positive_int(num_points, "num_points"), n)
+    query_sample = points[rng.choice(n, size=num_queries, replace=False)]
+    point_sample = points[rng.choice(n, size=num_points, replace=False)]
+    sample = np.concatenate(
+        [metric.distances_to(point_sample, q) for q in query_sample]
+    )
+    sample.sort()
+    return DistanceProfile(
+        sample=sample, num_queries=num_queries, num_points=num_points
+    )
 
 
 def measure_beta(

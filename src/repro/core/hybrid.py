@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.adaptive import AdaptivePolicy
 from repro.core.calibration import calibrate_cost_model
 from repro.core.cost_model import CostModel
 from repro.core.linear_scan import LinearScan
@@ -87,6 +88,23 @@ class HybridSearcher:
             return self.index.merged_sketch(lookup).estimate()
         return float(self.estimator(self.index, lookup))
 
+    def _fixed_probes(self) -> int:
+        """Probe rings beyond the home bucket the fixed fan-out examines.
+
+        Derived from the index's *effective* probe set (the enumeration
+        may run dry below the configured ``num_probes``), so a full-ring
+        adaptive lookup reports the same ``probes_used`` as the fixed
+        path — a precondition for the bit-identity properties.
+        """
+        index = self.index
+        num_slots = getattr(index, "num_slots", None)
+        if num_slots is not None:  # frozen layouts: slots per table - 1
+            return int(num_slots) // int(index.num_tables) - 1
+        deltas = getattr(index, "_probe_deltas", None)
+        if deltas is not None:  # dict multi-probe: effective enumeration
+            return int(deltas.shape[0])
+        return 0
+
     def _linear_scan(self) -> LinearScan:
         """The exact-scan fallback, refreshed after incremental inserts.
 
@@ -116,17 +134,22 @@ class HybridSearcher:
         if lsh_cost < linear_cost:
             result = self._lsh.query_from_lookup(query, radius, lookup)
             strategy = Strategy.LSH
+            exact_candidates = result.stats.exact_candidates
         else:
             result = self._linear_scan().query(query, radius)
             strategy = Strategy.LINEAR
+            # A linear scan genuinely examines every point.
+            exact_candidates = self.index.n
 
         result.stats = QueryStats(
             num_collisions=num_collisions,
             estimated_candidates=estimated_candidates,
-            exact_candidates=result.stats.exact_candidates,
+            exact_candidates=exact_candidates,
             estimated_lsh_cost=lsh_cost,
             linear_cost=linear_cost,
             strategy=strategy,
+            probes_used=self._fixed_probes(),
+            exact=result.stats.exact,
         )
         return result
 
@@ -136,6 +159,7 @@ class HybridSearcher:
         radius: float,
         dedup: str | None = None,
         trace: StageTrace | None = None,
+        adaptive: AdaptivePolicy | None = None,
     ) -> list[QueryResult]:
         """Answer a query set; Step S1 is hashed for all queries at once.
 
@@ -157,14 +181,49 @@ class HybridSearcher:
         ``linear`` / ``candidates``.  The spans bracket the existing
         computation without touching it, so traced answers are
         bit-identical to untraced ones.
+
+        ``adaptive`` (an :class:`~repro.core.adaptive.AdaptivePolicy`
+        with a ``target_candidates`` budget) switches Step S1 to the
+        index's per-query probe-budget lookup where the layout supports
+        it: probing beyond the home bucket stops once the merged HLL
+        estimate of the candidates collected so far reaches the target.
+        With a budget the full fan-out cannot reach — or ``min_probes``
+        covering every ring — the answers are bit-identical to the
+        fixed path; otherwise the trimmed candidate set is a subset of
+        the fixed one at equal-or-fewer probes.  The budget also caps
+        dispatch: a row whose estimate certifies ``target_candidates``
+        answers from its LSH candidate set even when Equation (1)
+        favours the scan, so a budgeted query never examines all ``n``
+        points once enough candidates are certified (its answers stay a
+        subset of the scan's).
         """
         radius = check_positive(radius, "radius")
         queries = np.asarray(queries)
+        use_adaptive = (
+            adaptive is not None
+            and adaptive.bounds_probes
+            and self.estimator is None
+            and hasattr(self.index, "lookup_batch_adaptive")
+        )
+        probes_used: np.ndarray | None = None
         with stage_timer(trace, "hash"):
-            lookups = self.index.lookup_batch(queries)
+            if use_adaptive:
+                # The adaptive lookup *is* the estimate pass (ring-prefix
+                # merges), so the whole decision input lands here.
+                lookups, probes_used, adaptive_estimates = (
+                    self.index.lookup_batch_adaptive(
+                        queries,
+                        adaptive.target_candidates,
+                        min_probes=adaptive.min_probes,
+                    )
+                )
+            else:
+                lookups = self.index.lookup_batch(queries)
         linear_cost = self.cost_model.linear_cost(self.index.n)
         with stage_timer(trace, "estimate"):
-            if self.estimator is None:
+            if use_adaptive:
+                estimates = adaptive_estimates.tolist()
+            elif self.estimator is None:
                 # One vectorised pass over the batch-merged registers; the
                 # frozen layout computes this without any sketch objects.
                 estimates = self.index.merged_estimates_batch(lookups).tolist()
@@ -180,8 +239,23 @@ class HybridSearcher:
             ).tolist()
         decisions = list(zip(collision_counts, estimates, lsh_costs))
 
+        # Under an adaptive budget, a row whose (trimmed) estimate already
+        # certifies ``target_candidates`` keeps the LSH candidate set even
+        # when Equation (1) favours the scan: the budget's contract is to
+        # stop examining candidates once enough are certified, and a
+        # linear pass over all n points is exactly the over-examination
+        # it exists to avoid.  The distance filter still runs, so the
+        # row's answers remain a subset of what the scan would return.
+        budget_target = (
+            float(adaptive.target_candidates) if use_adaptive else float("inf")
+        )
+        linear_flags = [
+            not lsh_cost < linear_cost and not est >= budget_target
+            for _, est, lsh_cost in decisions
+        ]
+
         results: list[QueryResult | None] = [None] * len(lookups)
-        linear_rows = [i for i, (_, _, lsh_cost) in enumerate(decisions) if not lsh_cost < linear_cost]
+        linear_rows = [i for i, flag in enumerate(linear_flags) if flag]
         if linear_rows:
             with stage_timer(trace, "linear"):
                 scanned = self._linear_scan().query_batch(queries[linear_rows], radius)
@@ -206,15 +280,25 @@ class HybridSearcher:
                     dedup=dedup,
                     candidates=None if candidate_sets is None else candidate_sets[j],
                 )
+        fixed_probes = self._fixed_probes()
         for i, result in enumerate(results):
             num_collisions, estimated_candidates, lsh_cost = decisions[i]
+            is_linear = linear_flags[i]
             result.stats = QueryStats(
                 num_collisions=num_collisions,
                 estimated_candidates=estimated_candidates,
-                exact_candidates=result.stats.exact_candidates,
+                # A linear scan genuinely examines every point; LSH rows
+                # keep the materialised candidate-set size.
+                exact_candidates=(
+                    self.index.n if is_linear else result.stats.exact_candidates
+                ),
                 estimated_lsh_cost=lsh_cost,
                 linear_cost=linear_cost,
-                strategy=Strategy.LINEAR if not lsh_cost < linear_cost else Strategy.LSH,
+                strategy=Strategy.LINEAR if is_linear else Strategy.LSH,
+                probes_used=(
+                    int(probes_used[i]) if probes_used is not None else fixed_probes
+                ),
+                exact=result.stats.exact,
             )
         return results
 
@@ -363,10 +447,17 @@ class HybridLSH:
         """Answer one query; defaults to the tuned radius."""
         return self.searcher.query(query, self.radius if radius is None else radius)
 
-    def query_batch(self, queries: np.ndarray, radius: float | None = None) -> list[QueryResult]:
+    def query_batch(
+        self,
+        queries: np.ndarray,
+        radius: float | None = None,
+        adaptive: AdaptivePolicy | None = None,
+    ) -> list[QueryResult]:
         """Answer a query set (one result per row, batched Step S1)."""
         return self.searcher.query_batch(
-            np.asarray(queries), self.radius if radius is None else radius
+            np.asarray(queries),
+            self.radius if radius is None else radius,
+            adaptive=adaptive,
         )
 
     def __repr__(self) -> str:

@@ -37,7 +37,7 @@ def exact_topk_results(
         order = np.lexsort((all_ids, distances))[:k]
         ids = all_ids[order]
         dists = distances[order]
-        stats = QueryStats(strategy=Strategy.LINEAR, linear_cost=float(n))
+        stats = QueryStats(strategy=Strategy.LINEAR, linear_cost=float(n), exact=True)
         results.append(
             QueryResult(ids=ids, distances=dists, radius=float(dists[-1]), stats=stats)
         )
@@ -86,7 +86,9 @@ class LinearScan:
         distances = self.metric.distances_to(self.points, query)
         mask = distances <= radius
         ids = np.flatnonzero(mask)
-        stats = QueryStats(strategy=Strategy.LINEAR, linear_cost=float(self.n))
+        stats = QueryStats(
+            strategy=Strategy.LINEAR, linear_cost=float(self.n), exact=True
+        )
         return QueryResult(ids=ids, distances=distances[mask], radius=radius, stats=stats)
 
     def query_batch(self, queries: np.ndarray, radius: float) -> list[QueryResult]:
@@ -109,7 +111,9 @@ class LinearScan:
         results = []
         for row in distance_matrix:
             mask = row <= radius
-            stats = QueryStats(strategy=Strategy.LINEAR, linear_cost=float(self.n))
+            stats = QueryStats(
+                strategy=Strategy.LINEAR, linear_cost=float(self.n), exact=True
+            )
             results.append(
                 QueryResult(
                     ids=np.flatnonzero(mask),

@@ -46,6 +46,15 @@ class QueryStats:
         The strategy that produced the answer.
     elapsed_seconds:
         Wall-clock time of the query (set by the evaluation runner).
+    probes_used:
+        Probe rings examined per table beyond the home bucket; -1 when
+        the path does not track probing (plain layouts, pure linear).
+        Under an adaptive probe budget this is the per-query stopping
+        ring; fixed-budget paths report the configured ``num_probes``.
+    exact:
+        True when the answer is exact by construction (linear scan or
+        exact top-k selection) — the certification bit the adaptive
+        top-k path keys its quality floor on.
     """
 
     num_collisions: int = 0
@@ -55,6 +64,8 @@ class QueryStats:
     linear_cost: float = float("nan")
     strategy: Strategy = Strategy.LSH
     elapsed_seconds: float = 0.0
+    probes_used: int = -1
+    exact: bool = False
 
 
 @dataclass

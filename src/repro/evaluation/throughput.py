@@ -103,6 +103,13 @@ class ThroughputRow:
     p50: float = float("nan")
     p95: float = float("nan")
     p99: float = float("nan")
+    #: Total candidates whose exact distance was computed across the
+    #: query set (a linear-scan row charges the full index size per
+    #: query); NaN when the mode does not report it.
+    candidates: float = float("nan")
+    #: Mean recall against the brute-force radius ground truth; NaN
+    #: when not measured (only the adaptive rows measure it).
+    recall: float = float("nan")
 
 
 def mixed_workload(
@@ -224,6 +231,8 @@ def throughput_experiment(
     include_multiprobe: bool = False,
     num_probes: int = 2,
     allow_partial: bool = False,
+    include_adaptive: bool = False,
+    adaptive_target: int | None = None,
 ) -> list[ThroughputRow]:
     """Measure sequential / batched / sharded QPS on one workload.
 
@@ -253,6 +262,15 @@ def throughput_experiment(
     posture).  On a healthy pool no shard is ever missing, so the row's
     ``matches`` flag still asserts full bit-identity — the knob charges
     the partial-result bookkeeping, not a different answer.
+
+    ``include_adaptive=True`` adds the ``adaptive_fixed`` and
+    ``adaptive_budget`` rows: one multi-probe frozen index served with
+    the full fixed fan-out and the *same* spec served under a per-query
+    probe budget (``adaptive_target`` candidates; default
+    ``max(32, n // 100)``).  Both rows report the total candidates
+    examined and their recall against the brute-force radius ground
+    truth; the budget row's ``matches`` flag asserts its answers are a
+    *subset* of the fixed row's (trimming may only drop, never invent).
     """
     if cost_model is None:
         from repro.core.calibration import calibrate_cost_model
@@ -438,6 +456,21 @@ def throughput_experiment(
                 repeats=repeats,
             )
         )
+    if include_adaptive:
+        rows.extend(
+            _measure_adaptive(
+                points,
+                queries,
+                metric=metric,
+                radius=radius,
+                num_tables=num_tables,
+                num_probes=num_probes,
+                cost_model=cost_model,
+                seed=seed,
+                repeats=repeats,
+                adaptive_target=adaptive_target,
+            )
+        )
     return rows
 
 
@@ -532,6 +565,133 @@ def _measure_multiprobe(
     ]
 
 
+def _measure_adaptive(
+    points: np.ndarray,
+    queries: np.ndarray,
+    metric: str,
+    radius: float,
+    num_tables: int,
+    num_probes: int,
+    cost_model: CostModel,
+    seed: RandomState,
+    repeats: int,
+    adaptive_target: int | None = None,
+) -> list[ThroughputRow]:
+    """The adaptive-execution rows: fixed fan-out vs per-query budget.
+
+    Two spec-built facades share every knob (multi-probe frozen layout,
+    seed, cost ratio) except the :class:`~repro.core.adaptive.AdaptivePolicy`,
+    so their hash draws are identical and the budget row's answers are
+    provably a subset of the fixed row's.  Both report the candidates
+    their queries actually distance-checked and their recall against the
+    brute-force radius ground truth — the "fewer candidates at equal
+    recall" claim the adaptive layer makes, measured rather than assumed.
+    """
+    from repro.api import Index, IndexSpec, QuerySpec
+    from repro.distances.matrix import pairwise_distances
+
+    n = points.shape[0]
+    if adaptive_target is None:
+        adaptive_target = max(32, n // 100)
+    base = dict(
+        metric=metric,
+        radius=radius,
+        num_tables=num_tables,
+        layout="frozen",
+        variant="multiprobe",
+        num_probes=num_probes,
+        cost_ratio=float(cost_model.beta_over_alpha),
+        seed=seed if isinstance(seed, int) else 0,
+    )
+    fixed_front = Index.build(points, IndexSpec(**base))
+    budget_front = Index.build(
+        points,
+        IndexSpec(**base, adaptive={"target_candidates": int(adaptive_target)}),
+    )
+
+    warm = queries[:2]
+    fixed_front.query(QuerySpec(warm))
+    budget_front.query(QuerySpec(warm))
+    fx_seconds, fx_results, ad_seconds, ad_results = _time_best_interleaved(
+        lambda: list(fixed_front.query(QuerySpec(queries))),
+        lambda: list(budget_front.query(QuerySpec(queries))),
+        repeats,
+    )
+    fx_latency = _latency_pass(
+        lambda q: fixed_front.query(QuerySpec(q)), queries
+    )
+    ad_latency = _latency_pass(
+        lambda q: budget_front.query(QuerySpec(q)), queries
+    )
+
+    truth = pairwise_distances(queries, points, metric) <= radius
+
+    def mean_recall(outcomes) -> float:
+        recalls = []
+        for outcome, row_truth in zip(outcomes, truth):
+            true_ids = np.flatnonzero(row_truth)
+            recalls.append(
+                1.0
+                if true_ids.size == 0
+                else float(np.isin(true_ids, outcome.ids).mean())
+            )
+        return float(np.mean(recalls))
+
+    def total_candidates(outcomes) -> float:
+        return float(
+            sum(max(0, outcome.candidates_examined) for outcome in outcomes)
+        )
+
+    def _is_subset(a, b) -> bool:
+        # The id sets must nest exactly; distances may differ in the
+        # final ulps when the budget flips a row from the scan to the
+        # LSH kernel (different BLAS reduction order), so they are
+        # compared within tolerance on the shared ids.
+        if not set(a.ids.tolist()) <= set(b.ids.tolist()):
+            return False
+        ref = dict(zip(b.ids.tolist(), b.distances.tolist()))
+        return all(
+            np.isclose(d, ref[i], rtol=1e-9, atol=1e-12)
+            for i, d in zip(a.ids.tolist(), a.distances.tolist())
+        )
+
+    subset_ok = all(
+        _is_subset(a, b) for a, b in zip(ad_results, fx_results)
+    )
+    num_queries = queries.shape[0]
+
+    def row(
+        mode: str,
+        seconds: float,
+        matches: bool,
+        outcomes,
+        latency: LatencyHistogram,
+    ) -> ThroughputRow:
+        quantiles = latency.quantiles()
+        return ThroughputRow(
+            mode=mode,
+            num_queries=num_queries,
+            seconds=seconds,
+            qps=num_queries / seconds if seconds else float("inf"),
+            speedup=fx_seconds / seconds if seconds else float("inf"),
+            matches=matches,
+            linear_fraction=float(
+                np.mean([o.strategy == "linear" for o in outcomes])
+            ),
+            reference="adaptive_fixed",
+            p50=quantiles.get("p50", float("nan")),
+            p95=quantiles.get("p95", float("nan")),
+            p99=quantiles.get("p99", float("nan")),
+            candidates=total_candidates(outcomes),
+            recall=mean_recall(outcomes),
+        )
+
+    return [
+        row("adaptive_fixed", fx_seconds, True, fx_results, fx_latency),
+        row("adaptive_budget", ad_seconds, subset_ok, ad_results, ad_latency),
+    ]
+
+
 def _measure_workers(
     points: np.ndarray,
     queries: np.ndarray,
@@ -606,7 +766,7 @@ def format_throughput(rows: list[ThroughputRow], title: str = "") -> str:
     """Render the QPS comparison as a text table (percentiles in ms)."""
     headers = [
         "Mode", "Queries", "Seconds", "QPS", "Speedup", "Exact", "%LS",
-        "p50ms", "p95ms", "p99ms",
+        "p50ms", "p95ms", "p99ms", "Cands", "Recall",
     ]
 
     def ms(seconds: float) -> str:
@@ -624,6 +784,8 @@ def format_throughput(rows: list[ThroughputRow], title: str = "") -> str:
             ms(row.p50),
             ms(row.p95),
             ms(row.p99),
+            "-" if np.isnan(row.candidates) else f"{row.candidates:.0f}",
+            "-" if np.isnan(row.recall) else f"{row.recall:.3f}",
         ]
         for row in rows
     ]
@@ -668,6 +830,12 @@ def write_throughput_json(
                 "latency_p50": None if np.isnan(row.p50) else row.p50,
                 "latency_p95": None if np.isnan(row.p95) else row.p95,
                 "latency_p99": None if np.isnan(row.p99) else row.p99,
+                # Adaptive-execution evidence: distance-checked candidate
+                # total and brute-force recall; null for other modes.
+                "candidates_examined": None
+                if np.isnan(row.candidates)
+                else row.candidates,
+                "recall": None if np.isnan(row.recall) else row.recall,
             }
             for row in rows
         },

@@ -98,6 +98,28 @@ def _void_view(key_matrix: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(key_matrix).view(np.dtype((np.void, width))).ravel()
 
 
+def _estimates_from_registers(registers: np.ndarray) -> np.ndarray:
+    """Per-row HLL estimates of a ``(rows, m)`` merged-register matrix.
+
+    The harmonic sums and zero-register counts are computed for all
+    rows in two vectorised passes; the scalar bias/linear-counting
+    finish per row replays :meth:`HyperLogLog.estimate` exactly, so the
+    values are bit-identical to the per-sketch path.  Shared by
+    :meth:`FrozenLSHIndex.merged_estimates_batch` and the per-ring
+    prefix estimates of :meth:`FrozenLSHIndex.lookup_batch_adaptive` —
+    one finish, so the adaptive stopping rule and the cost decision can
+    never disagree about what an estimate is.
+    """
+    m = registers.shape[1]
+    inv_sums = np.sum(np.exp2(-registers.astype(np.float64)), axis=1)
+    zero_counts = m - np.count_nonzero(registers, axis=1)
+    out = (alpha_m(m) * m * m) / inv_sums
+    corrected = np.flatnonzero((out <= 2.5 * m) & (zero_counts > 0))
+    for i in corrected.tolist():
+        out[i] = m * math.log(m / int(zero_counts[i]))
+    return out
+
+
 def _csr_gather(
     members: np.ndarray, starts: np.ndarray, lens: np.ndarray
 ) -> np.ndarray:
@@ -943,12 +965,33 @@ class FrozenLSHIndex(LSHIndex):
         self._require_built()
         queries = check_matrix(queries, dim=self.dim, name="queries")
         all_rows = self._batched.hash_points(queries)  # (q, L, k)
-        q = all_rows.shape[0]
-        num_slots = self.num_slots
         frozen, generations = self._snapshot()
         slot_rows = self._slot_rows(all_rows)  # (q, S, k)
         key_matrix = self._query_key_matrix(slot_rows)
-        positions = frozen.locate(key_matrix, num_slots // self.num_tables)  # (q, S)
+        positions = frozen.locate(
+            key_matrix, self.num_slots // self.num_tables
+        )  # (q, S)
+        return self._finish_lookup_batch(
+            all_rows, slot_rows, positions, frozen, generations
+        )
+
+    def _finish_lookup_batch(
+        self,
+        all_rows: np.ndarray,
+        slot_rows: np.ndarray,
+        positions: np.ndarray,
+        frozen: FrozenTables,
+        generations: list[list[HashTable]],
+    ) -> list[FrozenQueryLookup]:
+        """Assemble :class:`FrozenQueryLookup` objects from located slots.
+
+        ``positions`` may carry -1 in place of slots an adaptive probe
+        budget trimmed away (:meth:`lookup_batch_adaptive`); the
+        vectorised collision count simply skips them, exactly like
+        empty buckets.
+        """
+        q = all_rows.shape[0]
+        num_slots = positions.shape[1]
         found = positions >= 0
         safe = np.where(found, positions, 0)
         collisions = np.where(found, frozen.sizes[safe], 0).sum(axis=1)
@@ -976,6 +1019,82 @@ class FrozenLSHIndex(LSHIndex):
                 )
             )
         return lookups
+
+    def lookup_batch_adaptive(
+        self,
+        queries: np.ndarray,
+        target_candidates: int,
+        min_probes: int = 0,
+    ) -> tuple[list[FrozenQueryLookup], np.ndarray, np.ndarray]:
+        """Per-query probe budgets: stop probing once the estimate suffices.
+
+        Resolves the full probe fan-out (the slot resolution is one
+        binary search per table regardless), then merges each query's
+        bucket sketches *ring by ring* — ring ``j`` holds probe ``j`` of
+        every table; ring 0 is the home buckets — and keeps, per query,
+        only the rings up to the first prefix whose merged HLL estimate
+        reaches ``target_candidates``.  Register maxima are associative,
+        so the ring-``j`` prefix registers are bit-identical to merging
+        the first ``1 + j`` probes outright; with ``min_probes`` covering
+        every ring the result is bit-identical to :meth:`lookup_batch`.
+
+        Returns ``(lookups, probes_used, estimates)``: the (possibly
+        trimmed) lookups, the stopping ring per query (int64), and the
+        merged estimate of each query's kept candidate set (float64, the
+        exact value :meth:`merged_estimates_batch` would report for the
+        returned lookups).
+        """
+        from repro.utils.validation import check_matrix
+
+        self._require_sketches()
+        queries = check_matrix(queries, dim=self.dim, name="queries")
+        all_rows = self._batched.hash_points(queries)  # (q, L, k)
+        q = all_rows.shape[0]
+        rings = self.num_slots // self.num_tables
+        frozen, generations = self._snapshot()
+        slot_rows = self._slot_rows(all_rows)  # (q, S, k)
+        key_matrix = self._query_key_matrix(slot_rows)
+        positions = frozen.locate(key_matrix, rings)  # (q, S)
+        if q == 0 or rings == 1 or generations:
+            # Overflow buckets are keyed per dict table, not per ring,
+            # so a trimmed slot set cannot be matched against them
+            # consistently; probe the full fan-out (bit-identical to the
+            # fixed path) until the next re-freeze folds the overflow.
+            # Single-ring layouts (plain, covering) have nothing to trim.
+            lookups = self._finish_lookup_batch(
+                all_rows, slot_rows, positions, frozen, generations
+            )
+            probes = np.full(q, rings - 1, dtype=np.int64)
+            return lookups, probes, self.merged_estimates_batch(lookups)
+        num_tables = self.num_tables
+        # Pseudo-query trick: ring j of query i becomes row
+        # ``i * rings + j`` of a ``(q * rings, L)`` bucket matrix, so one
+        # vectorised register merge yields every ring's registers at
+        # once; a cumulative max over the ring axis then gives every
+        # probe-prefix's merged registers.
+        ring_mat = (
+            positions.reshape(q, num_tables, rings)
+            .transpose(0, 2, 1)
+            .reshape(q * rings, num_tables)
+        )
+        ring_regs = self._registers_for_bucket_matrix(frozen, ring_mat)
+        prefix = np.maximum.accumulate(ring_regs.reshape(q, rings, -1), axis=1)
+        estimates = _estimates_from_registers(
+            prefix.reshape(q * rings, -1)
+        ).reshape(q, rings)
+        reached = estimates >= float(target_candidates)
+        min_ring = min(max(int(min_probes), 0), rings - 1)
+        if min_ring:
+            reached[:, :min_ring] = False
+        stop = np.where(
+            reached.any(axis=1), reached.argmax(axis=1), rings - 1
+        ).astype(np.int64)
+        slot_rings = np.tile(np.arange(rings), num_tables)  # ring of each slot
+        trimmed = np.where(slot_rings[None, :] <= stop[:, None], positions, -1)
+        lookups = self._finish_lookup_batch(
+            all_rows, slot_rows, trimmed, frozen, []
+        )
+        return lookups, stop, estimates[np.arange(q), stop]
 
     # ------------------------------------------------------------------
     # Sketch merging (Algorithm 2, line 2)
@@ -1013,15 +1132,23 @@ class FrozenLSHIndex(LSHIndex):
                     bucket.contribute_to(merged, self._hll_hashes)
         return merged
 
-    def _merged_registers_batch(self, lookups: list[FrozenQueryLookup]) -> np.ndarray:
-        """The ``(q, m)`` merged-register matrix of a lookup batch."""
+    def _registers_for_bucket_matrix(
+        self, frozen: FrozenTables, bucket_mat: np.ndarray
+    ) -> np.ndarray:
+        """Merged frozen-bucket registers per row of a bucket-index matrix.
+
+        ``bucket_mat`` is any ``(rows, cols)`` matrix of global bucket
+        indexes (-1 = no bucket); the result is the ``(rows, m)`` uint8
+        register matrix of each row's merged sketch.  Rows need not map
+        one-to-one onto queries — :meth:`lookup_batch_adaptive` feeds it
+        one row per ``(query, probe ring)`` pair.  Overflow buckets are
+        the caller's business (they are per-lookup objects, not rows of
+        a matrix).
+        """
         m = 1 << self.hll_precision
-        q = len(lookups)
-        registers = np.zeros((q, m), dtype=np.uint8)
-        if q == 0:
+        registers = np.zeros((bucket_mat.shape[0], m), dtype=np.uint8)
+        if bucket_mat.shape[0] == 0:
             return registers
-        frozen = lookups[0]._frozen  # one lookup_batch -> one snapshot
-        bucket_mat = np.stack([lk.bucket_ids for lk in lookups])  # (q, L)
         found = bucket_mat >= 0
         qi, _ = np.nonzero(found)  # row-major -> qi ascending
         buckets = bucket_mat[found]
@@ -1046,6 +1173,17 @@ class FrozenLSHIndex(LSHIndex):
                 (rows, self._hll_hashes.registers[ids]),
                 self._hll_hashes.ranks[ids],
             )
+        return registers
+
+    def _merged_registers_batch(self, lookups: list[FrozenQueryLookup]) -> np.ndarray:
+        """The ``(q, m)`` merged-register matrix of a lookup batch."""
+        m = 1 << self.hll_precision
+        q = len(lookups)
+        if q == 0:
+            return np.zeros((0, m), dtype=np.uint8)
+        frozen = lookups[0]._frozen  # one lookup_batch -> one snapshot
+        bucket_mat = np.stack([lk.bucket_ids for lk in lookups])  # (q, L)
+        registers = self._registers_for_bucket_matrix(frozen, bucket_mat)
         if any(lk.overflow is not None for lk in lookups):
             for i, lk in enumerate(lookups):
                 if lk.overflow is None:
@@ -1090,18 +1228,7 @@ class FrozenLSHIndex(LSHIndex):
         so the values are bit-identical to the per-sketch path.
         """
         self._require_sketches()
-        registers = self._merged_registers_batch(lookups)
-        m = registers.shape[1]
-        inv_sums = np.sum(np.exp2(-registers.astype(np.float64)), axis=1)
-        zero_counts = m - np.count_nonzero(registers, axis=1)
-        # Elementwise division reproduces the scalar estimator's floats;
-        # only rows needing the linear-counting correction pay a scalar
-        # finish (identical math.log arithmetic to HyperLogLog.estimate).
-        out = (alpha_m(m) * m * m) / inv_sums
-        corrected = np.flatnonzero((out <= 2.5 * m) & (zero_counts > 0))
-        for i in corrected.tolist():
-            out[i] = m * math.log(m / int(zero_counts[i]))
-        return out
+        return _estimates_from_registers(self._merged_registers_batch(lookups))
 
     # ------------------------------------------------------------------
     # Step S2: candidate union

@@ -116,6 +116,76 @@ class MultiProbeLSHIndex(LSHIndex):
             for qi, rows in enumerate(all_rows)
         ]
 
+    def lookup_batch_adaptive(
+        self,
+        queries: np.ndarray,
+        target_candidates: int,
+        min_probes: int = 0,
+    ) -> tuple[list[QueryLookup], np.ndarray, np.ndarray]:
+        """Per-query probe budgets on the dict layout (reference path).
+
+        Mirrors :meth:`~repro.index.frozen.FrozenLSHIndex.lookup_batch_adaptive`:
+        each query's bucket sketches are merged ring by ring (ring ``j``
+        holds probe ``j`` of every table; ring 0 the home buckets) and
+        probing stops at the first ring whose merged HLL estimate
+        reaches ``target_candidates``.  Register maxima are associative,
+        so every prefix estimate is bit-identical to what
+        :meth:`~repro.index.lsh_index.LSHIndex.merged_sketch` reports
+        for the trimmed lookup — the frozen layout computes the same
+        numbers vectorised.
+
+        Returns ``(lookups, probes_used, estimates)`` with the same
+        contract as the frozen layout's implementation.
+        """
+        from repro.exceptions import ConfigurationError
+        from repro.sketches.hyperloglog import HyperLogLog
+
+        self._require_built()
+        if not self.with_sketches or self._hll_hashes is None:
+            raise ConfigurationError("index was built with with_sketches=False")
+        full = self.lookup_batch(queries)
+        q = len(full)
+        rings = 1 + self._probe_deltas.shape[0]
+        if rings == 1:
+            probes = np.zeros(q, dtype=np.int64)
+            return full, probes, np.asarray(self.merged_estimates_batch(full))
+        min_ring = min(max(int(min_probes), 0), rings - 1)
+        target = float(target_candidates)
+        probes = np.empty(q, dtype=np.int64)
+        estimates = np.empty(q, dtype=np.float64)
+        lookups = []
+        for i, lk in enumerate(full):
+            merged = HyperLogLog(p=self.hll_precision, seed=self.hll_seed)
+            stop = rings - 1
+            estimate = 0.0
+            for j in range(rings):
+                for t in range(self.num_tables):
+                    bucket = lk.buckets[t * rings + j]
+                    if bucket is not None and len(bucket):
+                        bucket.contribute_to(merged, self._hll_hashes)
+                estimate = merged.estimate()
+                if j >= min_ring and estimate >= target:
+                    stop = j
+                    break
+            probes[i] = stop
+            estimates[i] = estimate
+            if stop == rings - 1:
+                lookups.append(lk)
+                continue
+            keep = [
+                t * rings + j
+                for t in range(self.num_tables)
+                for j in range(stop + 1)
+            ]
+            lookups.append(
+                QueryLookup(
+                    keys=[lk.keys[s] for s in keep],
+                    buckets=[lk.buckets[s] for s in keep],
+                    hash_rows=lk.hash_rows,
+                )
+            )
+        return lookups, probes, estimates
+
     def freeze(self, refreeze_threshold: int | None = None):
         """Compact into the frozen CSR layout (multi-probe fast path).
 

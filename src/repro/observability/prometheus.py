@@ -34,6 +34,9 @@ _COUNTERS = {
     "degraded_responses": ("repro_degraded_responses_total", "Responses served with one or more shards missing."),
     "breaker_opens": ("repro_breaker_opens_total", "Per-worker circuit breakers tripped open."),
     "replica_failovers": ("repro_replica_failovers_total", "Reads re-routed to a surviving replica after a transport failure."),
+    "adaptive_probes": ("repro_adaptive_probes_total", "Queries answered under a bounded per-query probe budget."),
+    "radius_estimates": ("repro_radius_estimates_total", "Top-k queries attempted via radius-from-k estimation."),
+    "recalibrations": ("repro_recalibrations_total", "Completed online cost-model coefficient updates."),
 }
 
 _GAUGES = {

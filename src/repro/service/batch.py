@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.adaptive import AdaptivePolicy, CostModelTuner
 from repro.core.cost_model import CostModel
 from repro.core.hybrid import HybridLSH, HybridSearcher
-from repro.core.results import QueryResult
+from repro.core.results import QueryResult, Strategy
 from repro.exceptions import ConfigurationError
 from repro.observability import StageTrace
 from repro.utils.rng import RandomState
@@ -84,6 +85,9 @@ class BatchQueryEngine:
         self.searcher = searcher
         self.radius = None if radius is None else float(radius)
         self.dedup = dedup
+        # Online cost-model recalibration state; created lazily by the
+        # first batch whose AdaptivePolicy asks for it.
+        self._tuner: CostModelTuner | None = None
 
     @classmethod
     def from_points(
@@ -150,20 +154,68 @@ class BatchQueryEngine:
         queries: np.ndarray,
         radius: float | None = None,
         trace: StageTrace | None = None,
+        adaptive: AdaptivePolicy | None = None,
     ) -> list[QueryResult]:
         """Answer a ``(q, d)`` query matrix.
 
         Returns exactly the same results (ids, distances, and decision
         stats) as looping :meth:`HybridSearcher.query` over the rows.
         ``trace`` opts into per-stage timing (forwarded to the searcher;
-        answers are unaffected).
+        answers are unaffected).  ``adaptive`` forwards an
+        :class:`~repro.core.adaptive.AdaptivePolicy` to the searcher
+        (per-query probe budgets) and, when the policy asks for
+        ``recalibrate``, feeds the batch's observed per-stage timings
+        into a :class:`~repro.core.adaptive.CostModelTuner` so
+        subsequent batches dispatch with EWMA-recalibrated coefficients.
         """
-        return self.searcher.query_batch(
+        recalibrate = adaptive is not None and adaptive.enabled and adaptive.recalibrate
+        inner_trace = trace
+        if recalibrate and inner_trace is None:
+            inner_trace = StageTrace()
+        results = self.searcher.query_batch(
             np.asarray(queries),
             self._resolve_radius(radius),
             dedup=self.dedup,
-            trace=trace,
+            trace=inner_trace,
+            adaptive=adaptive,
         )
+        if recalibrate:
+            self._observe_timings(results, inner_trace, adaptive)
+        return results
+
+    def _observe_timings(
+        self,
+        results: list[QueryResult],
+        trace: StageTrace,
+        adaptive: AdaptivePolicy,
+    ) -> None:
+        """Fold one batch's stage timings into the cost-model tuner."""
+        tuner = self._tuner
+        if tuner is None or tuner.ewma_weight != adaptive.ewma_weight:
+            tuner = CostModelTuner(
+                self.searcher.cost_model, ewma_weight=adaptive.ewma_weight
+            )
+            self._tuner = tuner
+        linear_ops = sum(
+            self.n for r in results if r.stats.strategy is Strategy.LINEAR
+        )
+        candidate_ops = sum(
+            r.stats.exact_candidates
+            for r in results
+            if r.stats.strategy is Strategy.LSH and r.stats.exact_candidates >= 0
+        )
+        tuner.observe_batch(
+            linear_ops,
+            trace.seconds.get("linear", 0.0),
+            candidate_ops,
+            trace.seconds.get("candidates", 0.0),
+        )
+        self.searcher.cost_model = tuner.model
+
+    @property
+    def recalibrations(self) -> int:
+        """Completed cost-model coefficient updates (0 when never tuned)."""
+        return 0 if self._tuner is None else self._tuner.recalibrations
 
     def insert(self, new_points: np.ndarray) -> np.ndarray:
         """Add points to the served index; returns their assigned ids.

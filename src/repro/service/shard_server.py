@@ -94,19 +94,28 @@ def _pack_result(result: QueryResult):
             s.estimated_lsh_cost,
             s.linear_cost,
             s.strategy.value,
+            s.probes_used,
+            s.exact,
         ),
     )
 
 
 def _unpack_result(packed, radius: float) -> QueryResult:
-    ids, distances, (nc, est, exact, lsh_cost, lin_cost, strategy) = packed
+    ids, distances, stats_tuple = packed
+    # Length-tolerant: the pre-adaptive wire shape carried 6 stats
+    # entries; current endpoints append (probes_used, exact).
+    nc, est, exact_cands, lsh_cost, lin_cost, strategy = stats_tuple[:6]
+    probes_used = int(stats_tuple[6]) if len(stats_tuple) > 6 else -1
+    is_exact = bool(stats_tuple[7]) if len(stats_tuple) > 7 else False
     stats = QueryStats(
         num_collisions=int(nc),
         estimated_candidates=float(est),
-        exact_candidates=int(exact),
+        exact_candidates=int(exact_cands),
         estimated_lsh_cost=float(lsh_cost),
         linear_cost=float(lin_cost),
         strategy=Strategy(strategy),
+        probes_used=probes_used,
+        exact=is_exact,
     )
     return QueryResult(ids=ids, distances=distances, radius=radius, stats=stats)
 
@@ -147,6 +156,10 @@ class ShardState:
         #: per-shard set of applied insert seqs (idempotence under
         #: broadcast + replay delivery; see module docstring).
         self.applied_seqs: dict[int, set[int]] = {s: set() for s in shard_ids}
+        #: engine recalibration total at the last ``reset`` op, so the
+        #: ``stats`` op reports a delta (the engines' own counters are
+        #: lifetime values that cannot be zeroed in place).
+        self._recal_baseline = 0
 
     def sizes(self) -> dict[int, int]:
         return {s: self.indexes[s].n for s in self.shard_ids}
@@ -160,12 +173,22 @@ class ShardState:
         try:
             with self.lock:
                 if op == "radius":
-                    _, shards, queries, radius = message
+                    # Length-tolerant: the pre-adaptive wire shape has 4
+                    # elements; current parents append the adaptive
+                    # policy document (or None) as a 5th.
+                    _, shards, queries, radius = message[:4]
+                    adaptive = None
+                    if len(message) > 4 and message[4] is not None:
+                        from repro.core.adaptive import AdaptivePolicy
+
+                        adaptive = AdaptivePolicy.from_dict(message[4])
                     started = time.perf_counter()
                     reply = {
                         s: [
                             _pack_result(r)
-                            for r in self.engines[s].query_batch(queries, radius)
+                            for r in self.engines[s].query_batch(
+                                queries, radius, adaptive=adaptive
+                            )
                         ]
                         for s in shards
                     }
@@ -214,7 +237,20 @@ class ShardState:
                 if op == "shard_sizes":
                     return self.sizes()
                 if op == "stats":
+                    total = sum(e.recalibrations for e in self.engines.values())
+                    self.stats.set_recalibrations(
+                        max(0, total - self._recal_baseline)
+                    )
                     return self.stats.as_dict()
+                if op == "reset":
+                    # Zero this endpoint's worker-local stats; the
+                    # facade's reset_stats broadcasts this so a snapshot
+                    # right after a reset reads all-zero workers too.
+                    self._recal_baseline = sum(
+                        e.recalibrations for e in self.engines.values()
+                    )
+                    self.stats.reset()
+                    return True
                 if op == "ping":
                     return "pong"
                 return ("error", f"unknown worker op: {op!r}")

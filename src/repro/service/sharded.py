@@ -78,6 +78,7 @@ def merge_radius_results(
     distances = np.concatenate([res.distances for res in shard_results])
     order = np.argsort(ids, kind="stable")
     exact = [res.stats.exact_candidates for res in shard_results]
+    probes = [res.stats.probes_used for res in shard_results]
     stats = QueryStats(
         num_collisions=sum(res.stats.num_collisions for res in shard_results),
         estimated_candidates=float(
@@ -89,6 +90,12 @@ def merge_radius_results(
         ),
         linear_cost=float(sum(res.stats.linear_cost for res in shard_results)),
         strategy=Strategy.HYBRID,
+        # Summed probe rings across shards (each shard probes its own
+        # tables); untracked (-1) anywhere poisons the sum, like
+        # exact_candidates.  The merged answer is exact only if every
+        # shard's part was.
+        probes_used=sum(probes) if all(p >= 0 for p in probes) else -1,
+        exact=all(res.stats.exact for res in shard_results),
     )
     return QueryResult(
         ids=ids[order], distances=distances[order], radius=radius, stats=stats
@@ -302,6 +309,11 @@ class ShardedHybridIndex:
         """Current per-shard point counts."""
         return [shard.index.n for shard in self.shards]
 
+    @property
+    def recalibrations(self) -> int:
+        """Completed cost-model updates summed over the shard engines."""
+        return sum(engine.recalibrations for engine in self._engines)
+
     def _resolve_radius(self, radius: float | None) -> float:
         return self.radius if radius is None else float(radius)
 
@@ -318,7 +330,7 @@ class ShardedHybridIndex:
         return self._fan_out(work, self.num_shards)
 
     def shard_query_batch(
-        self, shard: int, queries: np.ndarray, radius: float
+        self, shard: int, queries: np.ndarray, radius: float, adaptive=None
     ) -> list[QueryResult]:
         """One shard's *local* radius answers (ids are shard-local).
 
@@ -327,7 +339,7 @@ class ShardedHybridIndex:
         shards stay valid across inserts because the shard id maps only
         ever grow.
         """
-        return self._engines[shard].query_batch(queries, radius)
+        return self._engines[shard].query_batch(queries, radius, adaptive=adaptive)
 
     def merge_radius(
         self, shard_results: list[QueryResult], radius: float
@@ -356,6 +368,7 @@ class ShardedHybridIndex:
         radius: float | None = None,
         trace: StageTrace | None = None,
         allow_partial: bool = False,
+        adaptive=None,
     ) -> list[QueryResult]:
         """Answer a ``(q, d)`` matrix; per-shard batches run on the pool.
 
@@ -384,6 +397,7 @@ class ShardedHybridIndex:
                 queries,
                 radius,
                 trace=None if shard_traces is None else shard_traces[s],
+                adaptive=adaptive,
             ),
             self.num_shards,
         )

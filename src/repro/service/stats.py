@@ -78,6 +78,15 @@ class ServiceStats:
     #: ``timeout``, ``corrupt``, ``heartbeat``, ``rollback``); sums to
     #: ``worker_respawns`` when the pool is the only writer.
     respawns_by_cause: dict[str, int] = field(default_factory=dict)
+    #: queries answered under a bounded per-query probe budget (the
+    #: adaptive policy's ``target_candidates`` was in force).
+    adaptive_probes: int = 0
+    #: top-k queries attempted through radius-from-k estimation instead
+    #: of the exact scan (whether or not they certified).
+    radius_estimates: int = 0
+    #: completed online cost-model coefficient updates (synced from the
+    #: engines at snapshot time, like the transport counters).
+    recalibrations: int = 0
     #: per-query latency distribution; each query in a batch is charged
     #: the batch's wall time, so ``latency.count == queries_served``.
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
@@ -180,6 +189,24 @@ class ServiceStats:
         with self._lock:
             self.degraded_responses += count
 
+    def record_adaptive(
+        self, probe_queries: int = 0, radius_estimates: int = 0
+    ) -> None:
+        """Account adaptive-execution activity for one batch."""
+        with self._lock:
+            self.adaptive_probes += probe_queries
+            self.radius_estimates += radius_estimates
+
+    def set_recalibrations(self, count: int) -> None:
+        """Sync the engines' recalibration total into a snapshot.
+
+        The engines own the live counter (one per completed EWMA
+        coefficient update); the facade copies it over just before
+        reading a snapshot, exactly like :meth:`set_transport`.
+        """
+        with self._lock:
+            self.recalibrations = count
+
     def merge(self, other: ServiceStats) -> ServiceStats:
         """Fold another stats object (e.g. a worker's) into this one.
 
@@ -206,6 +233,9 @@ class ServiceStats:
                 self.respawns_by_cause[cause] = (
                     self.respawns_by_cause.get(cause, 0) + n
                 )
+            self.adaptive_probes += other.adaptive_probes
+            self.radius_estimates += other.radius_estimates
+            self.recalibrations += other.recalibrations
             self.latency.merge(other.latency)
             for name, n in other.strategy_counts.items():
                 self.strategy_counts[name] = self.strategy_counts.get(name, 0) + n
@@ -241,6 +271,9 @@ class ServiceStats:
             self.breaker_opens = 0
             self.replica_failovers = 0
             self.respawns_by_cause = {}
+            self.adaptive_probes = 0
+            self.radius_estimates = 0
+            self.recalibrations = 0
             self.strategy_counts = {}
             self.latency = LatencyHistogram()
             self.stage_seconds = {}
@@ -282,6 +315,9 @@ class ServiceStats:
                 "breaker_opens": self.breaker_opens,
                 "replica_failovers": self.replica_failovers,
                 "respawns_by_cause": dict(self.respawns_by_cause),
+                "adaptive_probes": self.adaptive_probes,
+                "radius_estimates": self.radius_estimates,
+                "recalibrations": self.recalibrations,
                 **{
                     f"strategy_{name}": count
                     for name, count in sorted(self.strategy_counts.items())
@@ -325,6 +361,9 @@ class ServiceStats:
                 str(cause): int(n)
                 for cause, n in (doc.get("respawns_by_cause") or {}).items()
             },
+            adaptive_probes=int(doc.get("adaptive_probes", 0)),
+            radius_estimates=int(doc.get("radius_estimates", 0)),
+            recalibrations=int(doc.get("recalibrations", 0)),
             strategy_counts={
                 key[len("strategy_"):]: int(value)
                 for key, value in doc.items()

@@ -6,14 +6,25 @@ target is an :class:`repro.api.Index` (or a legacy
 query surface):
 
 * ``{"query": [..], "radius": 0.5}`` — an rNNR query (``radius``
-  optional when the index has a default) →
-  ``{"ids": [...], "distances": [...], "found": n, "strategy": "lsh"}``;
-* ``{"query": [..], "k": 10}`` — an exact top-k query (same response
-  shape, ordered by ascending distance);
+  optional when the index has a default) → a protocol **v2** envelope
+  ``{"v": 2, "ids": [...], "distances": [...], "found": n,
+  "strategy": "lsh", "radius": r, "probes_used": p,
+  "candidates_examined": c, "estimated_candidates": e, "exact": bool,
+  "degraded": bool, "missing_shards": [..]}`` — the JSON rendering of
+  :class:`repro.api.QueryOutcome`;
+* ``{"query": [..], "k": 10}`` — a top-k query (same response shape,
+  ordered by ascending distance);
+* either query kind may add the adaptive-execution fields ``"adaptive"``
+  (bool), ``"target_candidates"`` (int) and ``"quality_floor"`` (float
+  in (0, 1]) — per-request overrides folded into the served index's
+  :class:`~repro.core.adaptive.AdaptivePolicy`;
 * either query kind may add ``"allow_partial": true`` to accept
   degraded answers when worker-pool shards are unavailable; a degraded
-  response additionally carries ``"degraded": true`` and
-  ``"missing_shards": [..]`` (full-fidelity responses are unchanged);
+  response carries ``"degraded": true`` and ``"missing_shards": [..]``;
+* passing ``proto=1`` (the CLI's ``--proto v1``) restores the legacy
+  response body byte-for-byte: only ``ids`` / ``distances`` / ``found``
+  / ``strategy``, with ``degraded`` / ``missing_shards`` appearing on
+  degraded answers only and no ``"v"`` marker;
 * ``{"op": "insert", "points": [[..], ..]}`` — add points →
   ``{"inserted": m, "ids": [...], "n": total}``;
 * ``{"op": "stats"}`` — telemetry snapshot → the enriched
@@ -56,9 +67,20 @@ import numpy as np
 __all__ = ["serve_stream", "serve_stream_concurrent"]
 
 
+#: The adaptive-execution override fields a query line may carry, as a
+#: hashable group key: ``(adaptive, target_candidates, quality_floor)``.
+_NO_ADAPTIVE = (None, None, None)
+
+
 def _parse_query(
     request: dict, dim: int
-) -> tuple[np.ndarray, float | None, int | None, bool]:
+) -> tuple[
+    np.ndarray,
+    float | None,
+    int | None,
+    bool,
+    tuple[bool | None, int | None, float | None],
+]:
     query = np.asarray(request["query"], dtype=np.float64)
     if query.ndim != 1 or query.shape[0] != dim:
         raise ValueError(f"query must be a flat list of {dim} numbers")
@@ -75,41 +97,105 @@ def _parse_query(
         if not k > 0:
             raise ValueError(f"k must be > 0, got {k}")
     allow_partial = bool(request.get("allow_partial", False))
-    return query, radius, k, allow_partial
+    adaptive = request.get("adaptive")
+    if adaptive is not None:
+        adaptive = bool(adaptive)
+    target_candidates = request.get("target_candidates")
+    if target_candidates is not None:
+        target_candidates = int(target_candidates)
+        if not target_candidates > 0:
+            raise ValueError(
+                f"target_candidates must be > 0, got {target_candidates}"
+            )
+    quality_floor = request.get("quality_floor")
+    if quality_floor is not None:
+        quality_floor = float(quality_floor)
+        if not 0.0 < quality_floor <= 1.0:
+            raise ValueError(
+                f"quality_floor must be in (0, 1], got {quality_floor}"
+            )
+    adaptive_key = (adaptive, target_candidates, quality_floor)
+    return query, radius, k, allow_partial, adaptive_key
 
 
-def _answer(result) -> str:
-    doc = {
-        "ids": result.ids.tolist(),
-        "distances": result.distances.tolist(),
-        "found": result.output_size,
-        "strategy": result.stats.strategy.value,
-    }
-    # Only degraded answers grow the two extra keys, so full-fidelity
-    # response lines stay byte-identical to the pre-fault protocol.
-    if getattr(result, "degraded", False):
-        doc["degraded"] = True
-        doc["missing_shards"] = [int(s) for s in result.missing_shards]
-    return json.dumps(doc)
+def _answer(result, proto: int = 2) -> str:
+    if proto < 2:
+        doc = {
+            "ids": result.ids.tolist(),
+            "distances": result.distances.tolist(),
+            "found": result.output_size,
+            "strategy": _strategy_of(result),
+        }
+        # Only degraded answers grow the two extra keys, so full-fidelity
+        # v1 response lines stay byte-identical to the pre-fault protocol.
+        if getattr(result, "degraded", False):
+            doc["degraded"] = True
+            doc["missing_shards"] = [int(s) for s in result.missing_shards]
+        return json.dumps(doc)
+    from repro.api.outcome import QueryOutcome
+
+    if not isinstance(result, QueryOutcome):
+        result = QueryOutcome.from_result(result)
+    return json.dumps({"v": 2, "found": result.output_size, **result.as_dict()})
+
+
+def _strategy_of(result) -> str:
+    strategy = getattr(result, "strategy", None)
+    if isinstance(strategy, str):  # QueryOutcome carries the plain string
+        return strategy
+    return result.stats.strategy.value
+
+
+def _query_spec_kwargs(
+    radius: float | None,
+    allow_partial: bool,
+    adaptive_key: tuple[bool | None, int | None, float | None],
+) -> dict:
+    adaptive, target_candidates, quality_floor = adaptive_key
+    kwargs: dict = {}
+    if radius is not None:
+        kwargs["radius"] = radius
+    if allow_partial:
+        kwargs["allow_partial"] = True
+    if adaptive is not None:
+        kwargs["adaptive"] = adaptive
+    if target_candidates is not None:
+        kwargs["target_candidates"] = target_candidates
+    if quality_floor is not None:
+        kwargs["quality_floor"] = quality_floor
+    return kwargs
 
 
 def _flush(
-    service, pending: list[tuple[np.ndarray, float | None, bool]]
+    service,
+    pending: list,
+    proto: int = 2,
 ) -> list[str]:
     """Answer the buffered radius queries, one engine batch per group.
 
-    Queries batch together only when they share both the radius and the
-    ``allow_partial`` choice; the kwarg is only passed when true, so
-    legacy targets without the parameter keep working.
+    Queries batch together only when they share the radius, the
+    ``allow_partial`` choice and the adaptive-override fields.  An
+    :class:`~repro.api.Index` target is queried through the spec front
+    door (``index.query(QuerySpec(...))``, the envelope path); legacy
+    duck-typed targets keep the plain ``query_batch(batch, radius)``
+    call so pre-envelope services stay servable.
     """
+    from repro.api.facade import Index
+    from repro.api.spec import QuerySpec
+
     responses: list[str | None] = [None] * len(pending)
-    groups: dict[tuple[float | None, bool], list[int]] = {}
-    for j, (_, radius, allow_partial) in enumerate(pending):
-        groups.setdefault((radius, allow_partial), []).append(j)
-    for (radius, allow_partial), rows in groups.items():
+    groups: dict[tuple, list[int]] = {}
+    for j, (_, radius, allow_partial, adaptive_key) in enumerate(pending):
+        groups.setdefault((radius, allow_partial, adaptive_key), []).append(j)
+    for (radius, allow_partial, adaptive_key), rows in groups.items():
         batch = np.stack([pending[j][0] for j in rows])
         try:
-            if allow_partial:
+            if isinstance(service, Index):
+                spec = QuerySpec(
+                    batch, **_query_spec_kwargs(radius, allow_partial, adaptive_key)
+                )
+                results = list(service.query(spec))
+            elif allow_partial:
                 results = service.query_batch(batch, radius, allow_partial=True)
             else:
                 results = service.query_batch(batch, radius)
@@ -122,7 +208,7 @@ def _flush(
                 responses[j] = error
             continue
         for j, result in zip(rows, results):
-            responses[j] = _answer(result)
+            responses[j] = _answer(result, proto)
     pending.clear()
     return responses
 
@@ -212,6 +298,7 @@ def serve_stream(
     batch_size: int = 64,
     more_ready: Callable[[], bool] | None = None,
     default_allow_partial: bool = False,
+    proto: int = 2,
 ) -> Iterator[str]:
     """Yield one JSON response line per JSON request line, in order.
 
@@ -228,9 +315,13 @@ def serve_stream(
     every query line into degraded answers; individual requests can
     still ask for ``"allow_partial": true`` themselves, but cannot opt
     back out of a server-level default — partiality only ever widens.
+
+    ``proto`` selects the response body: ``2`` (default) emits the
+    :class:`~repro.api.QueryOutcome` envelope with a ``"v": 2`` marker;
+    ``1`` emits the legacy body byte-for-byte.
     """
     state = {"target": service, "owned": False}
-    pending: list[tuple[np.ndarray, float | None, bool]] = []
+    pending: list = []
     for line in lines:
         line = line.strip()
         if not line:
@@ -246,11 +337,11 @@ def serve_stream(
 
         if "query" in request:
             try:
-                query, radius, k, allow_partial = _parse_query(
+                query, radius, k, allow_partial, adaptive_key = _parse_query(
                     request, state["target"].dim
                 )
             except (ValueError, TypeError) as exc:
-                yield from _flush(state["target"], pending)
+                yield from _flush(state["target"], pending, proto)
                 yield json.dumps({"error": str(exc)})
                 continue
             allow_partial = allow_partial or default_allow_partial
@@ -258,31 +349,41 @@ def serve_stream(
                 # Top-k requests are answered immediately (no batching
                 # across k values); queued radius queries drain first to
                 # keep responses aligned with request order.
-                yield from _flush(state["target"], pending)
+                yield from _flush(state["target"], pending, proto)
                 try:
-                    yield _answer(_topk(state["target"], query, k, allow_partial))
+                    yield _answer(
+                        _topk(state["target"], query, k, allow_partial, adaptive_key),
+                        proto,
+                    )
                 except Exception as exc:
                     yield json.dumps({"error": f"query failed: {exc}"})
                 continue
-            pending.append((query, radius, allow_partial))
+            pending.append((query, radius, allow_partial, adaptive_key))
             if len(pending) >= batch_size or not (more_ready and more_ready()):
-                yield from _flush(state["target"], pending)
+                yield from _flush(state["target"], pending, proto)
             continue
 
         # Non-query ops act on the index state, so drain queued queries
         # first to keep responses aligned with request order.
-        yield from _flush(state["target"], pending)
+        yield from _flush(state["target"], pending, proto)
         yield _handle_op(state, request)
-    yield from _flush(state["target"], pending)
+    yield from _flush(state["target"], pending, proto)
 
 
-def _topk(target, query: np.ndarray, k: int, allow_partial: bool = False):
+def _topk(
+    target,
+    query: np.ndarray,
+    k: int,
+    allow_partial: bool = False,
+    adaptive_key: tuple[bool | None, int | None, float | None] = _NO_ADAPTIVE,
+):
     """Answer one top-k request on an Index (or an Index-backed service)."""
     from repro.api.spec import QuerySpec
 
     if hasattr(target, "_index"):  # legacy QueryService delegate
         target = target._index
-    return target.query(QuerySpec(query, k=k, allow_partial=allow_partial))
+    kwargs = _query_spec_kwargs(None, allow_partial, adaptive_key)
+    return target.query(QuerySpec(query, k=k, **kwargs))
 
 
 def serve_stream_concurrent(
@@ -291,6 +392,7 @@ def serve_stream_concurrent(
     batch_size: int = 64,
     window: int = 4,
     default_allow_partial: bool = False,
+    proto: int = 2,
 ) -> Iterator[str]:
     """The concurrent front-end: overlapped batches, ordered responses.
 
@@ -355,14 +457,16 @@ def serve_stream_concurrent(
     reader.start()
     executor = ThreadPoolExecutor(max_workers=window, thread_name_prefix="repro-serve")
     inflight: deque = deque()  # (future -> list[str], batch size), in order
-    pending: list[tuple[np.ndarray, float | None, bool]] = []
+    pending: list = []
 
     def _submit() -> None:
         if pending:
             batch = list(pending)
             pending.clear()
             target = state["target"]
-            inflight.append((executor.submit(_flush, target, batch), len(batch)))
+            inflight.append(
+                (executor.submit(_flush, target, batch, proto), len(batch))
+            )
 
     def _results_of(future, count: int) -> list[str]:
         # A failed batch still owes exactly ``count`` response lines,
@@ -413,7 +517,7 @@ def serve_stream_concurrent(
 
             if "query" in request:
                 try:
-                    query, radius, k, allow_partial = _parse_query(
+                    query, radius, k, allow_partial, adaptive_key = _parse_query(
                         request, state["target"].dim
                     )
                 except (ValueError, TypeError) as exc:
@@ -425,12 +529,16 @@ def serve_stream_concurrent(
                     yield from _drain_all()
                     try:
                         yield _answer(
-                            _topk(state["target"], query, k, allow_partial)
+                            _topk(
+                                state["target"], query, k,
+                                allow_partial, adaptive_key,
+                            ),
+                            proto,
                         )
                     except Exception as exc:
                         yield json.dumps({"error": f"query failed: {exc}"})
                     continue
-                pending.append((query, radius, allow_partial))
+                pending.append((query, radius, allow_partial, adaptive_key))
                 if len(pending) >= batch_size or inbox.empty():
                     # Full batch, or no backlog waiting: keep latency low
                     # by dispatching now (the synchronous loop's

@@ -1091,6 +1091,18 @@ class WorkerPool:
         )
         return [replies[w] for w in sorted(replies)]
 
+    def reset_worker_stats(self) -> None:
+        """Zero every reachable endpoint's worker-local stats.
+
+        Broadcast of the ``reset`` op; unreachable slots are skipped
+        (they restart with zeroed counters anyway when respawned).  Used
+        by the facade's ``reset_stats`` so a ``stats_snapshot`` right
+        after a reset reads all-zero ``workers.*`` documents too.
+        """
+        self._fan_out_collect(
+            {w: ("reset",) for w in range(self.num_workers)}
+        )
+
     def failure_counters(self) -> dict:
         """Snapshot of the parent-side failure telemetry (thread-safe)."""
         with self._counter_lock:
@@ -1181,6 +1193,7 @@ class WorkerPool:
         radius: float | None = None,
         trace: StageTrace | None = None,
         allow_partial: bool = False,
+        adaptive=None,
     ) -> list[QueryResult]:
         """Answer a ``(q, d)`` matrix: one round trip per worker slot.
 
@@ -1209,10 +1222,17 @@ class WorkerPool:
         """
         radius = self._resolve_radius(radius)
         queries = check_matrix(queries, dim=self.dim, name="queries")
+        # The adaptive policy ships as its JSON document, appended as an
+        # optional 5th element so the wire shape stays backward
+        # compatible (older endpoints see the familiar 4-tuple).
+        if adaptive is not None:
+            message_tail = (radius, adaptive.to_dict())
+        else:
+            message_tail = (radius,)
         with stage_timer(trace, "ipc"):
             replies, failures = self._fan_out_collect(
                 {
-                    w: ("radius", self.worker_shards(w), queries, radius)
+                    w: ("radius", self.worker_shards(w), queries, *message_tail)
                     for w in range(self.num_workers)
                 }
             )
@@ -1244,12 +1264,13 @@ class WorkerPool:
             return results
 
     def shard_query_batch(
-        self, shard: int, queries: np.ndarray, radius: float
+        self, shard: int, queries: np.ndarray, radius: float, adaptive=None
     ) -> list[QueryResult]:
         """One shard's *local* radius answers (ids are shard-local)."""
-        reply = self._request(
-            self._owner(shard), ("radius", [shard], queries, radius)
-        )
+        message = ("radius", [shard], queries, radius)
+        if adaptive is not None:
+            message = message + (adaptive.to_dict(),)
+        reply = self._request(self._owner(shard), message)
         return [_unpack_result(packed, radius) for packed in reply[shard]]
 
     def merge_radius(

@@ -1,6 +1,8 @@
 """True-positive fixture for the ``spec-plumb`` rule: the spec side of
-a miniature project tree.  ``dead_knob`` is read by none of the sibling
-consumer files, so reprolint must flag it.  Never imported.
+a miniature project tree.  ``IndexSpec.dead_knob`` is read by none of
+the sibling consumer files and ``QuerySpec.dead_request_knob`` by
+neither the facade nor the stream front-end, so reprolint must flag
+both.  Never imported.
 """
 
 
@@ -8,3 +10,9 @@ class IndexSpec:
     metric: str = "l2"
     radius: float = 1.0
     dead_knob: int = 0
+
+
+class QuerySpec:
+    k: int = 10
+    adaptive: bool = False
+    dead_request_knob: int = 0

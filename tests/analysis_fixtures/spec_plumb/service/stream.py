@@ -1,0 +1,7 @@
+"""spec-plumb fixture consumer: reads ``k`` and ``adaptive`` only."""
+
+
+def serve(request):
+    if request.adaptive:
+        return request.k
+    return None

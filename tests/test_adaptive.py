@@ -1,0 +1,564 @@
+"""Query-adaptive execution and the typed result envelope (PR 10).
+
+The contracts under test:
+
+* :class:`~repro.api.QueryOutcome` / :class:`~repro.api.BatchOutcome`
+  are the only shapes :meth:`repro.api.Index.query` returns, on every
+  execution path, and their payload arrays are bit-identical to the
+  deprecated legacy shapes (which still work, warning once);
+* a bounded probe budget (``target_candidates``) only ever *trims*:
+  adaptive radius answers are a subset of the fixed-budget answers with
+  ``probes_used`` never above the fixed fan-out — and with a
+  non-binding budget the answers are bit-identical;
+* adaptive top-k under the default ``quality_floor`` certifies only
+  exact rows, so its answers are bit-identical to the exact top-k
+  reference — across inserts/re-freezes and across the thread, process
+  and TCP transports;
+* the EWMA-recalibrated cost model never dispatches a strategy whose
+  true cost exceeds 2x the oracle's choice on the calibration set;
+* ``Index.reset_stats()`` propagates through a worker pool: transport
+  counters, worker-side stats and recalibration counts all read zero in
+  the next snapshot;
+* the JSON-lines stream speaks protocol v2 (the envelope body) by
+  default and byte-identical v1 under ``proto=1``, and consumes the
+  adaptive request fields.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AdaptivePolicy,
+    BatchOutcome,
+    Index,
+    IndexSpec,
+    QueryOutcome,
+    QuerySpec,
+)
+from repro.core.adaptive import CostModelTuner
+from repro.core.cost_model import CostModel
+from repro.exceptions import ConfigurationError
+from repro.service.stream import serve_stream
+
+hypothesis = pytest.importorskip(
+    "hypothesis", reason="property tests need hypothesis"
+)
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+DIM = 10
+
+
+def _points(n, seed, dim=DIM):
+    rng = np.random.default_rng(seed)
+    tight = rng.normal(scale=0.3, size=(n // 2, dim))
+    loose = rng.uniform(-3.0, 3.0, size=(n - n // 2, dim))
+    return np.concatenate([tight, loose])
+
+
+def _spec(**overrides):
+    base = dict(
+        metric="l2",
+        radius=1.5,
+        num_tables=8,
+        layout="frozen",
+        variant="multiprobe",
+        num_probes=4,
+        seed=3,
+    )
+    base.update(overrides)
+    return IndexSpec(**base)
+
+
+def _assert_id_subset(a_ids, a_dists, b_ids, b_dists):
+    """ids nest exactly; distances agree within float tolerance.
+
+    A budget flip from the scan to the LSH kernel changes the BLAS
+    reduction order, so a shared id's distance may differ in the final
+    ulps between the two strategies — the subset contract is on ids.
+    """
+    ref = dict(zip(list(b_ids), list(b_dists)))
+    for i, d in zip(list(a_ids), list(a_dists)):
+        assert i in ref
+        assert np.isclose(d, ref[i], rtol=1e-9, atol=1e-12)
+
+
+class TestAdaptivePolicy:
+    def test_validation_rejects_bad_knobs(self):
+        for bad in (
+            dict(target_candidates=0),
+            dict(target_candidates=True),
+            dict(quality_floor=1.5),
+            dict(k_safety=0.5),
+            dict(radius_growth=1.0),
+            dict(max_escalations=-1),
+            dict(min_probes=-2),
+            dict(ewma_weight=0.0),
+        ):
+            with pytest.raises(ConfigurationError):
+                AdaptivePolicy(**bad)
+
+    def test_dict_round_trip(self):
+        policy = AdaptivePolicy(
+            target_candidates=64, quality_floor=0.9, recalibrate=True
+        )
+        doc = json.loads(json.dumps(policy.to_dict()))
+        assert AdaptivePolicy.from_dict(doc) == policy
+        with pytest.raises(ConfigurationError):
+            AdaptivePolicy.from_dict({"no_such_knob": 1})
+
+    def test_resolve_folds_request_overrides(self):
+        base = AdaptivePolicy(target_candidates=64)
+        assert base.resolve() is base
+        resolved = base.resolve(adaptive=False, target_candidates=8)
+        assert resolved.enabled is False and resolved.target_candidates == 8
+        assert base.resolve(quality_floor=0.8).quality_floor == 0.8
+
+    def test_bounds_probes(self):
+        assert not AdaptivePolicy().bounds_probes
+        assert AdaptivePolicy(target_candidates=4).bounds_probes
+        assert not AdaptivePolicy(
+            enabled=False, target_candidates=4
+        ).bounds_probes
+
+    def test_index_spec_round_trips_the_policy(self):
+        spec = _spec(adaptive={"target_candidates": 32})
+        doc = json.loads(json.dumps(spec.to_dict()))
+        reread = IndexSpec.from_dict(doc)
+        assert reread == spec
+        assert isinstance(reread.adaptive, AdaptivePolicy)
+
+    def test_query_spec_round_trips_the_overrides(self):
+        q = QuerySpec(
+            np.zeros(DIM), adaptive=True, target_candidates=16,
+            quality_floor=0.8,
+        )
+        doc = json.loads(json.dumps(q.to_dict()))
+        assert QuerySpec.from_dict(doc) == q
+
+
+class TestEnvelope:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return Index.build(_points(500, seed=0), _spec())
+
+    def test_single_query_returns_outcome(self, index):
+        out = index.query(QuerySpec(_points(500, seed=0)[7]))
+        assert isinstance(out, QueryOutcome)
+        assert out.output_size == len(out.ids) == len(out.distances)
+        assert out.strategy in ("lsh", "linear")
+        assert out.stats.strategy.value == out.strategy
+
+    def test_batch_is_a_sequence(self, index):
+        queries = _points(500, seed=0)[:6]
+        batch = index.query(QuerySpec(queries))
+        assert isinstance(batch, BatchOutcome)
+        assert len(batch) == 6
+        assert isinstance(batch[0], QueryOutcome)
+        assert isinstance(batch[1:3], BatchOutcome) and len(batch[1:3]) == 2
+        assert [o.output_size for o in batch] == [
+            batch[i].output_size for i in range(6)
+        ]
+        assert sum(batch.strategy_counts.values()) == 6
+        assert batch.degraded_count == 0
+
+    def test_topk_outcome_is_exact(self, index):
+        out = index.query(QuerySpec(_points(500, seed=0)[7], k=5))
+        assert out.exact and out.output_size == 5
+        assert out.radius == float(out.distances[-1])
+
+    def test_payload_bit_identical_to_legacy_shape(self, index):
+        queries = _points(500, seed=0)[:6]
+        batch = index.query(QuerySpec(queries))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = index.query_batch(queries)
+            converted = batch.to_results()
+        for out, old, conv in zip(batch, legacy, converted):
+            assert np.array_equal(out.ids, old.ids)
+            assert np.array_equal(out.distances, old.distances)
+            assert out.ids is conv.ids  # the envelope never copies
+            assert out.stats is conv.stats
+
+    def test_legacy_shapes_warn_once(self, index):
+        import repro.api.deprecations as dep
+
+        queries = _points(500, seed=0)[:2]
+        dep._WARNED.discard("Index.query_batch()")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            index.query_batch(queries)
+            index.query_batch(queries)
+        messages = [str(w.message) for w in caught]
+        assert sum("Index.query_batch()" in m for m in messages) == 1
+        assert all("QueryOutcome" in m for m in messages if m)
+
+    def test_as_dict_is_json_safe(self, index):
+        out = index.query(QuerySpec(_points(500, seed=0)[7], k=5))
+        doc = json.loads(json.dumps(out.as_dict()))
+        assert doc["exact"] is True
+        assert doc["strategy"] == out.strategy
+        assert doc["ids"] == [int(i) for i in out.ids]
+        if out.estimated_candidates != out.estimated_candidates:
+            assert doc["estimated_candidates"] is None
+
+    def test_recall_against(self, index):
+        out = index.query(QuerySpec(_points(500, seed=0)[7], k=5))
+        assert out.recall_against(out.ids) == 1.0
+        assert out.recall_against(np.array([], dtype=np.int64)) == 1.0
+
+
+@st.composite
+def adaptive_case(draw):
+    seed = draw(st.integers(0, 2**16))
+    n = draw(st.integers(80, 300))
+    num_queries = draw(st.integers(1, 6))
+    target = draw(st.integers(1, 40))
+    points = _points(n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    queries = points[rng.choice(n, size=num_queries, replace=False)]
+    return points, queries, target, seed
+
+
+class TestAdaptiveRadiusProperties:
+    @given(adaptive_case())
+    @settings(max_examples=12, deadline=None)
+    def test_bounded_budget_only_trims(self, case):
+        points, queries, target, seed = case
+        fixed = Index.build(points, _spec(seed=seed % 97)).query(
+            QuerySpec(queries)
+        )
+        adaptive = Index.build(
+            points, _spec(seed=seed % 97, adaptive={"target_candidates": target})
+        ).query(QuerySpec(queries))
+        for a, b in zip(adaptive, fixed):
+            _assert_id_subset(a.ids, a.distances, b.ids, b.distances)
+            if a.probes_used >= 0 and b.probes_used >= 0:
+                assert a.probes_used <= b.probes_used
+
+    @given(adaptive_case())
+    @settings(max_examples=10, deadline=None)
+    def test_non_binding_budget_is_bit_identical(self, case):
+        points, queries, _, seed = case
+        fixed = Index.build(points, _spec(seed=seed % 97)).query(
+            QuerySpec(queries)
+        )
+        adaptive = Index.build(
+            points,
+            _spec(seed=seed % 97, adaptive={"target_candidates": 10 * len(points)}),
+        ).query(QuerySpec(queries))
+        for a, b in zip(adaptive, fixed):
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.distances, b.distances)
+            assert a.strategy == b.strategy
+
+    def test_request_overrides_win_over_the_spec(self):
+        points = _points(400, seed=5)
+        index = Index.build(points, _spec(adaptive={"target_candidates": 2}))
+        fixed = Index.build(points, _spec())
+        queries = points[:20]
+        trimmed = index.query(QuerySpec(queries))
+        disabled = index.query(QuerySpec(queries, adaptive=False))
+        reference = fixed.query(QuerySpec(queries))
+        for a, b in zip(disabled, reference):
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.distances, b.distances)
+        assert sum(o.probes_used for o in trimmed) <= sum(
+            o.probes_used for o in reference
+        )
+
+    def test_adaptive_probe_telemetry(self):
+        points = _points(300, seed=6)
+        index = Index.build(points, _spec(adaptive={"target_candidates": 4}))
+        index.query(QuerySpec(points[:15]))
+        snap = index.stats_snapshot()
+        assert snap["adaptive_probes"] == 15
+
+
+@st.composite
+def topk_case(draw):
+    seed = draw(st.integers(0, 2**16))
+    n = draw(st.integers(60, 250))
+    k = draw(st.integers(1, 10))
+    insert = draw(st.integers(0, 40))
+    points = _points(n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    queries = points[rng.choice(n, size=3, replace=False)]
+    extra = _points(max(insert, 2), seed=seed + 2)[:insert]
+    return points, queries, k, extra, seed
+
+
+class TestAdaptiveTopKProperties:
+    @given(topk_case())
+    @settings(max_examples=10, deadline=None)
+    def test_adaptive_topk_equals_exact_reference(self, case):
+        points, queries, k, extra, seed = case
+        spec_kwargs = dict(seed=seed % 97)
+        adaptive = Index.build(
+            points, _spec(adaptive={"target_candidates": 64}, **spec_kwargs)
+        )
+        fixed = Index.build(points, _spec(**spec_kwargs))
+        for round_ in range(2):
+            for q in queries:
+                a = adaptive.query(QuerySpec(q, k=k))
+                b = fixed.query(QuerySpec(q, k=k))
+                assert np.array_equal(a.ids, b.ids)
+                assert np.array_equal(a.distances, b.distances)
+                assert a.radius == b.radius
+                assert a.exact and b.exact
+            if round_ == 0 and len(extra):
+                # Inserts (and any overflow re-freeze they trigger) must
+                # not break the certification rule.
+                adaptive.insert(extra)
+                fixed.insert(extra)
+
+    def test_adaptive_topk_records_radius_estimates(self):
+        points = _points(300, seed=9)
+        index = Index.build(
+            points, _spec(adaptive={"target_candidates": 64})
+        )
+        for q in points[:4]:
+            index.query(QuerySpec(q, k=3))
+        assert index.stats_snapshot()["radius_estimates"] == 4
+
+    def test_k_beyond_n_still_raises(self):
+        points = _points(80, seed=10)
+        index = Index.build(points, _spec(adaptive={"target_candidates": 8}))
+        with pytest.raises(ConfigurationError):
+            index.query(QuerySpec(points[0], k=len(points) + 1))
+
+
+class TestAdaptiveAcrossTransports:
+    def test_threads_equal_processes(self, tmp_path):
+        points = _points(600, seed=11)
+        queries = points[:30]
+        base = dict(num_shards=2, adaptive={"target_candidates": 6})
+        threads = Index.build(points, _spec(execution="threads", **base))
+        processes = Index.build(
+            points, _spec(execution="processes", **base), num_workers=2
+        )
+        try:
+            ra = threads.query(QuerySpec(queries))
+            rb = processes.query(QuerySpec(queries))
+            for a, b in zip(ra, rb):
+                assert np.array_equal(a.ids, b.ids)
+                assert np.array_equal(a.distances, b.distances)
+                assert a.probes_used == b.probes_used
+                assert a.exact == b.exact
+            ta = threads.query(QuerySpec(queries[0], k=5))
+            tb = processes.query(QuerySpec(queries[0], k=5))
+            assert np.array_equal(ta.ids, tb.ids)
+            assert np.array_equal(ta.distances, tb.distances)
+        finally:
+            processes.close()
+
+    def test_tcp_equals_pipes(self, tmp_path):
+        from repro.service.shard_server import ShardServer
+
+        points = _points(500, seed=12)
+        queries = points[:20]
+        spec = _spec(
+            execution="processes", num_shards=2,
+            adaptive={"target_candidates": 6},
+        )
+        artifact = str(tmp_path / "adaptive-artifact")
+        built = Index.build(points, spec, num_workers=2)
+        try:
+            built.save(artifact)
+            expected = built.query(QuerySpec(queries))
+        finally:
+            built.close()
+        servers = [
+            ShardServer(artifact, shard_ids=[s]).start() for s in range(2)
+        ]
+        try:
+            remote = Index.open(
+                artifact,
+                endpoints=[f"127.0.0.1:{server.port}" for server in servers],
+            )
+            try:
+                actual = remote.query(QuerySpec(queries))
+                for a, b in zip(actual, expected):
+                    assert np.array_equal(a.ids, b.ids)
+                    assert np.array_equal(a.distances, b.distances)
+                    assert a.probes_used == b.probes_used
+            finally:
+                remote.close()
+        finally:
+            for server in servers:
+                server.close()
+
+
+class TestCostModelTuner:
+    @given(
+        st.floats(0.5, 4.0),
+        st.floats(0.5, 4.0),
+        st.integers(0, 2**12),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_recalibrated_choice_within_2x_of_oracle(
+        self, true_alpha, true_beta, seed
+    ):
+        """Feed exact per-stage rates; the tuned model's dispatch choice
+        never costs more than 2x the oracle's on the calibration set."""
+        oracle = CostModel(alpha=true_alpha, beta=true_beta)
+        tuner = CostModelTuner(CostModel(alpha=1.0, beta=1.0), ewma_weight=0.5)
+        rng = np.random.default_rng(seed)
+        for _ in range(30):
+            linear_ops = int(rng.integers(100, 2000))
+            cand_ops = int(rng.integers(10, 500))
+            tuner.observe_batch(
+                linear_ops, true_beta * linear_ops,
+                cand_ops, true_alpha * cand_ops,
+            )
+        assert tuner.recalibrations == 60
+        tuned = tuner.model
+        for _ in range(50):
+            n = int(rng.integers(100, 5000))
+            collisions = int(rng.integers(0, 4 * n))
+            cand = float(rng.uniform(0, n))
+            chosen = tuned.choose(collisions, cand, n)
+            best = min(
+                oracle.lsh_cost(collisions, cand), oracle.linear_cost(n)
+            )
+            measured = (
+                oracle.lsh_cost(collisions, cand)
+                if chosen.value == "lsh"
+                else oracle.linear_cost(n)
+            )
+            assert measured <= 2.0 * best + 1e-9
+
+    def test_ignores_empty_and_foreign_stages(self):
+        tuner = CostModelTuner(CostModel(alpha=1.0, beta=1.0))
+        tuner.observe("linear", 0, 1.0)
+        tuner.observe("hash", 100, 1.0)
+        tuner.observe("linear", 100, 0.0)
+        assert tuner.recalibrations == 0
+        assert tuner.model.alpha == 1.0 and tuner.model.beta == 1.0
+
+    def test_recalibrate_policy_surfaces_counter(self):
+        points = _points(400, seed=13)
+        index = Index.build(
+            points, _spec(adaptive={"recalibrate": True})
+        )
+        index.query(QuerySpec(points[:20]))
+        assert index.stats_snapshot()["recalibrations"] >= 1
+
+
+class TestResetStatsRegression:
+    def test_worker_pool_reset_zeroes_everything(self):
+        points = _points(600, seed=14)
+        index = Index.build(
+            points,
+            _spec(
+                execution="processes", num_shards=2,
+                adaptive={"target_candidates": 6, "recalibrate": True},
+            ),
+            num_workers=2,
+        )
+        try:
+            index.query(QuerySpec(points[:25]))
+            before = index.stats_snapshot()
+            assert before["queries_served"] == 25
+            assert before["bytes_shipped"] > 0
+            assert before["adaptive_probes"] == 25
+            index.reset_stats()
+            after = index.stats_snapshot()
+            # The regression: transport counters were re-synced from
+            # pool-lifetime values and worker-local stats survived.
+            for key in (
+                "queries_served", "batches", "bytes_shipped",
+                "worker_respawns", "worker_timeouts", "worker_retries",
+                "adaptive_probes", "radius_estimates", "recalibrations",
+            ):
+                assert after.get(key, 0) == 0, (key, after.get(key))
+            assert after.get("respawns_by_cause", {}) == {}
+            index.query(QuerySpec(points[:5]))
+            again = index.stats_snapshot()
+            assert again["queries_served"] == 5
+            assert again["bytes_shipped"] > 0
+        finally:
+            index.close()
+
+
+class TestStreamProtocolV2:
+    @pytest.fixture(scope="class")
+    def served(self):
+        points = _points(400, seed=15)
+        return Index.build(
+            points, _spec(adaptive={"target_candidates": 64})
+        ), points
+
+    def test_v2_body_carries_the_envelope(self, served):
+        index, points = served
+        lines = [
+            json.dumps({"query": points[0].tolist()}),
+            json.dumps({"query": points[1].tolist(), "k": 4}),
+        ]
+        radius_doc, topk_doc = (
+            json.loads(r) for r in serve_stream(index, lines)
+        )
+        for doc in (radius_doc, topk_doc):
+            assert doc["v"] == 2
+            assert doc["found"] == len(doc["ids"]) == len(doc["distances"])
+            for key in (
+                "radius", "strategy", "probes_used", "candidates_examined",
+                "estimated_candidates", "exact", "degraded", "missing_shards",
+            ):
+                assert key in doc
+        assert topk_doc["exact"] is True and topk_doc["found"] == 4
+
+    def test_proto_v1_is_byte_identical_to_legacy(self, served):
+        index, points = served
+        line = json.dumps({"query": points[0].tolist()})
+        (v1_line,) = serve_stream(index, [line], proto=1)
+        out = index.query(QuerySpec(points[0]))
+        legacy = json.dumps(
+            {
+                "ids": out.ids.tolist(),
+                "distances": out.distances.tolist(),
+                "found": out.output_size,
+                "strategy": out.strategy,
+            }
+        )
+        assert v1_line == legacy
+
+    def test_adaptive_request_fields_are_consumed(self, served):
+        index, points = served
+        lines = [
+            json.dumps({"query": points[0].tolist(), "adaptive": True,
+                        "target_candidates": 1}),
+            json.dumps({"query": points[0].tolist(), "adaptive": False}),
+        ]
+        trimmed, full = (json.loads(r) for r in serve_stream(index, lines))
+        _assert_id_subset(
+            trimmed["ids"], trimmed["distances"], full["ids"], full["distances"]
+        )
+        assert trimmed["probes_used"] <= full["probes_used"]
+
+    def test_bad_adaptive_fields_are_per_line_errors(self, served):
+        index, points = served
+        lines = [
+            json.dumps({"query": points[0].tolist(), "target_candidates": 0}),
+            json.dumps({"query": points[0].tolist(), "quality_floor": 2.0}),
+            json.dumps({"query": points[0].tolist()}),
+        ]
+        out = [json.loads(r) for r in serve_stream(index, lines)]
+        assert "target_candidates" in out[0]["error"]
+        assert "quality_floor" in out[1]["error"]
+        assert out[2]["found"] >= 1
+
+    def test_stream_never_touches_deprecated_shapes(self, served):
+        index, points = served
+        lines = [
+            json.dumps({"query": points[0].tolist()}),
+            json.dumps({"query": points[1].tolist(), "k": 3}),
+            json.dumps({"op": "stats"}),
+        ]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            out = [json.loads(r) for r in serve_stream(index, lines)]
+        assert out[-1]["queries_served"] >= 2

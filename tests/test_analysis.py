@@ -82,11 +82,16 @@ class TestTruePositives:
         assert any("offsets" in f.message for f in findings)
         assert any("re-materialising" in f.message for f in findings)
 
-    def test_spec_plumb_names_the_dead_field_only(self):
+    def test_spec_plumb_names_the_dead_fields_only(self):
         findings = run_check([str(RULE_FIXTURES["spec-plumb"])], enabled=["spec-plumb"])
-        assert len(findings) == 1  # metric and radius are consumed
-        assert "IndexSpec.dead_knob" in findings[0].message
-        assert findings[0].path.endswith("api/spec.py")
+        # metric/radius (IndexSpec) and k/adaptive (QuerySpec) are
+        # consumed; only the two dead knobs report, each against its
+        # own consumer set.
+        assert len(findings) == 2
+        blob = " ".join(f.message for f in findings)
+        assert "IndexSpec.dead_knob" in blob
+        assert "QuerySpec.dead_request_knob" in blob
+        assert all(f.path.endswith("api/spec.py") for f in findings)
 
     def test_deadline_required_reports_both_shapes(self):
         findings = run_check(

@@ -487,4 +487,7 @@ class TestCliNetworked:
         ]) == 0
         response = json.loads(capsys.readouterr().out.splitlines()[0])
         assert 0 in response["ids"]
-        assert "degraded" not in response
+        # The v2 envelope always carries the degraded flag; a healthy
+        # pool reports it explicitly false with no missing shards.
+        assert response["degraded"] is False
+        assert response["missing_shards"] == []
